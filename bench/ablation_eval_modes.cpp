@@ -1,0 +1,72 @@
+// Ablation: noisy-evaluation modes (DESIGN.md §2.3).
+//
+// Compares the exact density-matrix channel mean against Pauli-trajectory
+// averaging (varying trajectory counts) and finite-shot sampling: the
+// stochastic estimators converge to the exact values as the budget grows,
+// which is why the exact mode is the default for accuracy measurements —
+// it is the infinite-shot limit real hardware approaches at 8192 shots.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "nn/losses.hpp"
+
+using namespace qnat;
+using namespace qnat::bench;
+
+int main() {
+  print_header(
+      "Ablation: evaluation modes (MNIST-4 on Belem, trained +Norm)",
+      "trajectory / shot estimators converge to the exact channel mean as "
+      "their budget grows");
+  const RunScale scale = scale_from_env();
+
+  BenchConfig config;
+  config.task = "mnist4";
+  config.device = "belem";
+  config.num_blocks = 2;
+  config.layers_per_block = 6;
+  const TaskBundle task = load_task(config.task, scale);
+  QnnModel model(make_arch(task.info, config));
+  const Deployment deployment(model, make_device_noise_model(config.device),
+                              config.optimization_level);
+  const TrainerConfig trainer =
+      make_trainer_config(config, Method::PostNorm, scale);
+  train_qnn(model, task.train, trainer);
+  const QnnForwardOptions pipeline = pipeline_options(trainer);
+
+  NoisyEvalOptions exact;
+  exact.mode = NoiseEvalMode::ExactChannel;
+  QnnForwardCache exact_cache;
+  const Tensor2D exact_logits = qnn_forward_noisy(
+      model, deployment, task.test.features, pipeline, exact, &exact_cache);
+  const real exact_acc = accuracy(exact_logits, task.test.labels);
+
+  TextTable table({"mode", "budget", "accuracy", "outcome MSE vs exact"});
+  table.add_row({"exact channel", "-", fmt_fixed(exact_acc, 2), "0.000"});
+  for (const int traj : {4, 16, 64, 256}) {
+    NoisyEvalOptions opts;
+    opts.mode = NoiseEvalMode::Trajectories;
+    opts.trajectories = traj;
+    QnnForwardCache cache;
+    const Tensor2D logits = qnn_forward_noisy(
+        model, deployment, task.test.features, pipeline, opts, &cache);
+    table.add_row({"trajectories", std::to_string(traj),
+                   fmt_fixed(accuracy(logits, task.test.labels), 2),
+                   fmt_fixed(mse(exact_cache.raw[0], cache.raw[0]), 4)});
+  }
+  for (const int shots : {512, 8192}) {
+    NoisyEvalOptions opts;
+    opts.mode = NoiseEvalMode::Shots;
+    opts.trajectories = 16;
+    opts.shots_per_trajectory = shots;
+    QnnForwardCache cache;
+    const Tensor2D logits = qnn_forward_noisy(
+        model, deployment, task.test.features, pipeline, opts, &cache);
+    table.add_row({"shots (16 traj)", std::to_string(shots),
+                   fmt_fixed(accuracy(logits, task.test.labels), 2),
+                   fmt_fixed(mse(exact_cache.raw[0], cache.raw[0]), 4)});
+  }
+  std::cout << table.render();
+  return 0;
+}

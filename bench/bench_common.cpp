@@ -1,0 +1,116 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace qnat::bench {
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  return std::atoi(value);
+}
+
+}  // namespace
+
+RunScale scale_from_env() {
+  RunScale scale;
+  scale.samples_per_class = env_int("QNAT_SAMPLES", scale.samples_per_class);
+  scale.samples_per_class_10way =
+      env_int("QNAT_SAMPLES_10WAY", scale.samples_per_class_10way);
+  scale.epochs = env_int("QNAT_EPOCHS", scale.epochs);
+  scale.epochs_10way = env_int("QNAT_EPOCHS_10WAY", scale.epochs_10way);
+  scale.trajectories = env_int("QNAT_TRAJ", scale.trajectories);
+  scale.seed = static_cast<std::uint64_t>(
+      env_int("QNAT_SEED", static_cast<int>(scale.seed)));
+  return scale;
+}
+
+std::string method_label(Method method) {
+  switch (method) {
+    case Method::Baseline: return "Baseline";
+    case Method::PostNorm: return "+ Post Norm.";
+    case Method::GateInsert: return "+ Gate Insert.";
+    case Method::PostQuant: return "+ Post Quant.";
+  }
+  return "?";
+}
+
+const std::vector<Method>& all_methods() {
+  static const std::vector<Method> methods = {
+      Method::Baseline, Method::PostNorm, Method::GateInsert,
+      Method::PostQuant};
+  return methods;
+}
+
+TaskBundle load_task(const std::string& name, const RunScale& scale) {
+  const bool ten_way = name == "mnist10" || name == "fashion10";
+  return make_task(name,
+                   ten_way ? scale.samples_per_class_10way
+                           : scale.samples_per_class,
+                   scale.seed);
+}
+
+QnnArchitecture make_arch(const TaskInfo& info, const BenchConfig& config) {
+  QnnArchitecture arch;
+  arch.num_qubits = info.num_qubits;
+  arch.num_blocks = config.num_blocks;
+  arch.layers_per_block = config.layers_per_block;
+  arch.space = config.space;
+  arch.input_features = info.feature_dim;
+  arch.num_classes = info.num_classes;
+  return arch;
+}
+
+TrainerConfig make_trainer_config(const BenchConfig& config, Method method,
+                                  const RunScale& scale) {
+  const bool ten_way = config.task == "mnist10" || config.task == "fashion10";
+  TrainerConfig trainer;
+  trainer.epochs = ten_way ? scale.epochs_10way : scale.epochs;
+  trainer.batch_size = scale.batch_size;
+  trainer.seed = scale.seed * 7919 + static_cast<std::uint64_t>(method);
+  trainer.apply_to_last = config.apply_to_last;
+  trainer.normalize = method != Method::Baseline;
+  trainer.quantize = method == Method::PostQuant;
+  trainer.quant.levels = config.quant_levels;
+  trainer.quant_loss_weight = 1.0;
+  if (method == Method::GateInsert || method == Method::PostQuant) {
+    trainer.injection.method = InjectionMethod::GateInsertion;
+    trainer.injection.noise_factor = config.noise_factor;
+    trainer.injection.readout = true;
+  }
+  return trainer;
+}
+
+MethodResult run_method(const BenchConfig& config, Method method,
+                        const RunScale& scale) {
+  const TaskBundle task = load_task(config.task, scale);
+  QnnModel model(make_arch(task.info, config));
+  const NoiseModel device = make_device_noise_model(config.device);
+  const Deployment deployment(model, device, config.optimization_level);
+
+  const TrainerConfig trainer = make_trainer_config(config, method, scale);
+  const bool needs_device =
+      trainer.injection.method == InjectionMethod::GateInsertion;
+  train_qnn(model, task.train, trainer, needs_device ? &deployment : nullptr);
+
+  const QnnForwardOptions pipeline = pipeline_options(trainer);
+  NoisyEvalOptions eval_options;
+  eval_options.trajectories = scale.trajectories;
+  eval_options.seed = scale.seed * 13 + 5;
+
+  MethodResult result;
+  result.noisy_accuracy =
+      noisy_accuracy(model, deployment, task.test, pipeline, eval_options);
+  result.ideal_accuracy = ideal_accuracy(model, task.test, pipeline);
+  return result;
+}
+
+void print_header(const std::string& title, const std::string& expectation) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "Expected shape (vs paper): " << expectation << "\n\n";
+}
+
+}  // namespace qnat::bench

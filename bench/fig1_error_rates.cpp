@@ -1,0 +1,53 @@
+// Figure 1: device error rates and the accuracy degradation they cause.
+// Left panel: gate/readout error magnitudes per device (~1e-3, far above
+// classical error rates). Right panel: the same noise-unaware MNIST-4
+// model deployed on different devices — noisier devices score lower, all
+// far below the noise-free accuracy.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace qnat;
+using namespace qnat::bench;
+
+int main() {
+  print_header(
+      "Figure 1: error rates vs on-device accuracy (MNIST-4, noise-unaware)",
+      "noisy accuracy << noise-free; accuracy decreases as device error "
+      "grows (Santiago best, Melbourne worst)");
+  const RunScale scale = scale_from_env();
+
+  // One noise-unaware model, deployed everywhere (the Fig. 1 setting).
+  // Depth matters: the paper's models are deep enough that baseline
+  // accuracy collapses on noisy devices; 2 blocks x 6 layers shows it.
+  const TaskBundle task = load_task("mnist4", scale);
+  BenchConfig config;
+  config.task = "mnist4";
+  config.num_blocks = 2;
+  config.layers_per_block = 6;
+  QnnModel model(make_arch(task.info, config));
+  const TrainerConfig trainer =
+      make_trainer_config(config, Method::Baseline, scale);
+  train_qnn(model, task.train, trainer);
+  const QnnForwardOptions pipeline = pipeline_options(trainer);
+  const real noise_free = ideal_accuracy(model, task.test, pipeline);
+
+  TextTable table({"device", "1q gate err", "2q gate err", "readout err",
+                   "acc (noisy)", "acc (noise-free)"});
+  for (const std::string device :
+       {"santiago", "athens", "lima", "belem", "yorktown", "melbourne"}) {
+    const NoiseModel noise = make_device_noise_model(device);
+    const Deployment deployment(model, noise, config.optimization_level);
+    NoisyEvalOptions eval_options;
+    eval_options.trajectories = scale.trajectories;
+    eval_options.seed = scale.seed;
+    const real acc =
+        noisy_accuracy(model, deployment, task.test, pipeline, eval_options);
+    table.add_row({device, fmt_fixed(noise.average_single_qubit_error(), 5),
+                   fmt_fixed(noise.average_two_qubit_error(), 4),
+                   fmt_fixed(noise.average_readout_error(), 3),
+                   fmt_fixed(acc, 2), fmt_fixed(noise_free, 2)});
+  }
+  std::cout << table.render();
+  return 0;
+}

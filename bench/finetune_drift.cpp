@@ -1,0 +1,115 @@
+// Appendix A.3.1 future-work extension: fast fine-tuning to an updated
+// noise model. The paper notes that hardware-specific noise-aware models
+// need retraining whenever the calibration drifts, and proposes exploring
+// cheap fine-tuning instead. We train noise-aware on a device, drift the
+// calibration (scaled rates + fresh coherent signatures), then compare:
+//  (a) deploying the stale model as-is,
+//  (b) fine-tuning it for a few epochs on the drifted model (warm start),
+//  (c) retraining from scratch on the drifted model.
+// Fine-tuning should recover most of (c)'s accuracy at a fraction of the
+// epochs.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace qnat;
+using namespace qnat::bench;
+
+namespace {
+
+/// Drifted calibration: rates scaled and coherent signatures re-drawn.
+NoiseModel drifted(const NoiseModel& model, std::uint64_t seed) {
+  NoiseModel out = model.scaled(1.3);
+  Rng rng(seed);
+  for (QubitIndex q = 0; q < out.num_qubits(); ++q) {
+    out.set_coherent_overrotation(
+        q, model.coherent_overrotation(q) + rng.gaussian(0.0, 0.02));
+  }
+  for (const auto& [a, b] : model.coupling_map()) {
+    out.set_coherent_zz(a, b,
+                        model.coherent_zz(a, b) + rng.gaussian(0.0, 0.06));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Extension (appendix A.3.1): fine-tuning to a drifted noise model "
+      "(MNIST-4 on Belem)",
+      "stale model degrades on the drifted device; a few fine-tuning "
+      "epochs recover most of the full-retrain accuracy");
+  const RunScale scale = scale_from_env();
+
+  BenchConfig config;
+  config.task = "mnist4";
+  config.device = "belem";
+  config.num_blocks = 2;
+  config.layers_per_block = 6;
+  const TaskBundle task = load_task(config.task, scale);
+
+  const NoiseModel original = make_device_noise_model(config.device);
+  const NoiseModel updated = drifted(original, scale.seed * 3 + 1);
+
+  // Train noise-aware on the original calibration.
+  QnnModel model(make_arch(task.info, config));
+  const Deployment original_dep(model, original, config.optimization_level);
+  TrainerConfig trainer = make_trainer_config(config, Method::GateInsert,
+                                              scale);
+  train_qnn(model, task.train, trainer, &original_dep);
+
+  const QnnForwardOptions pipeline = pipeline_options(trainer);
+  NoisyEvalOptions eval_options;
+  eval_options.trajectories = scale.trajectories;
+
+  const Deployment drift_dep(model, updated, config.optimization_level);
+  const real on_original = noisy_accuracy(model, original_dep, task.test,
+                                          pipeline, eval_options);
+  const real stale = noisy_accuracy(model, drift_dep, task.test, pipeline,
+                                    eval_options);
+
+  // (b) warm-start fine-tune for a fraction of the epochs.
+  QnnModel finetuned = model;
+  const Deployment finetune_dep(finetuned, updated,
+                                config.optimization_level);
+  TrainerConfig finetune_config = trainer;
+  finetune_config.warm_start = true;
+  finetune_config.epochs = std::max(3, scale.epochs / 3);
+  finetune_config.adam.learning_rate = 1e-2;  // gentler than full training
+  train_qnn(finetuned, task.train, finetune_config, &finetune_dep);
+  const real adapted = noisy_accuracy(finetuned, finetune_dep, task.test,
+                                      pipeline, eval_options);
+
+  // (c) cold start with the same small budget — the fair comparison for
+  // the warm start's value.
+  QnnModel cold(make_arch(task.info, config));
+  const Deployment cold_dep(cold, updated, config.optimization_level);
+  TrainerConfig cold_config = finetune_config;
+  cold_config.warm_start = false;
+  train_qnn(cold, task.train, cold_config, &cold_dep);
+  const real cold_acc = noisy_accuracy(cold, cold_dep, task.test, pipeline,
+                                       eval_options);
+
+  // (d) full retrain on the drifted calibration.
+  QnnModel retrained(make_arch(task.info, config));
+  const Deployment retrain_dep(retrained, updated,
+                               config.optimization_level);
+  train_qnn(retrained, task.train, trainer, &retrain_dep);
+  const real retrain = noisy_accuracy(retrained, retrain_dep, task.test,
+                                      pipeline, eval_options);
+
+  TextTable table({"configuration", "epochs", "accuracy"});
+  table.add_row({"trained on original, eval original",
+                 std::to_string(trainer.epochs), fmt_fixed(on_original, 2)});
+  table.add_row({"stale model on drifted device", "0", fmt_fixed(stale, 2)});
+  table.add_row({"fine-tuned on drifted device (warm start)",
+                 std::to_string(finetune_config.epochs),
+                 fmt_fixed(adapted, 2)});
+  table.add_row({"cold start, same small budget",
+                 std::to_string(cold_config.epochs), fmt_fixed(cold_acc, 2)});
+  table.add_row({"retrained on drifted device",
+                 std::to_string(trainer.epochs), fmt_fixed(retrain, 2)});
+  std::cout << table.render();
+  return 0;
+}

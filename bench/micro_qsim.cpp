@@ -1,0 +1,133 @@
+// Microbenchmarks for the simulation/gradient substrate (google-benchmark):
+// statevector gate throughput, adjoint vs parameter-shift vs finite
+// difference gradient cost, error-gate insertion, and transpilation.
+#include <benchmark/benchmark.h>
+
+#include "compile/transpiler.hpp"
+#include "core/design_space.hpp"
+#include "grad/adjoint.hpp"
+#include "grad/finite_diff.hpp"
+#include "grad/parameter_shift.hpp"
+#include "noise/device_presets.hpp"
+#include "noise/error_inserter.hpp"
+#include "qsim/execution.hpp"
+
+namespace {
+
+using namespace qnat;
+
+Circuit layered_circuit(int num_qubits, int layers) {
+  Circuit c(num_qubits, 0);
+  append_trainable_layers(c, DesignSpace::U3CU3, layers);
+  return c;
+}
+
+ParamVector params_for(const Circuit& c) {
+  ParamVector p(static_cast<std::size_t>(c.num_params()));
+  Rng rng(7);
+  for (auto& v : p) v = rng.uniform(-kPi, kPi);
+  return p;
+}
+
+void BM_StateVector1QGate(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  StateVector sv(nq);
+  const CMatrix m = gate_matrix(GateType::SX, {});
+  QubitIndex q = 0;
+  for (auto _ : state) {
+    sv.apply_1q(m, q);
+    q = (q + 1) % nq;
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << nq));
+}
+BENCHMARK(BM_StateVector1QGate)->Arg(4)->Arg(10)->Arg(16);
+
+void BM_StateVector2QGate(benchmark::State& state) {
+  const int nq = static_cast<int>(state.range(0));
+  StateVector sv(nq);
+  const CMatrix m = gate_matrix(GateType::CX, {});
+  QubitIndex q = 0;
+  for (auto _ : state) {
+    sv.apply_2q(m, q, (q + 1) % nq);
+    q = (q + 1) % nq;
+  }
+  state.SetItemsProcessed(state.iterations() * (1LL << nq));
+}
+BENCHMARK(BM_StateVector2QGate)->Arg(4)->Arg(10)->Arg(16);
+
+void BM_ForwardPass(benchmark::State& state) {
+  const Circuit c = layered_circuit(static_cast<int>(state.range(0)), 4);
+  const ParamVector p = params_for(c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_expectations(c, p));
+  }
+}
+BENCHMARK(BM_ForwardPass)->Arg(4)->Arg(10);
+
+void BM_AdjointGradient(benchmark::State& state) {
+  const Circuit c = layered_circuit(static_cast<int>(state.range(0)), 4);
+  const ParamVector p = params_for(c);
+  const std::vector<real> cot(static_cast<std::size_t>(c.num_qubits()), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adjoint_vjp(c, p, cot));
+  }
+}
+BENCHMARK(BM_AdjointGradient)->Arg(4)->Arg(10);
+
+void BM_ParameterShiftGradient(benchmark::State& state) {
+  const Circuit c = layered_circuit(4, 2);
+  const ParamVector p = params_for(c);
+  const std::vector<real> cot(4, 1.0);
+  const CircuitExecutor exec = make_ideal_executor();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parameter_shift_gradient(c, p, cot, exec));
+  }
+}
+BENCHMARK(BM_ParameterShiftGradient);
+
+void BM_FiniteDiffGradient(benchmark::State& state) {
+  const Circuit c = layered_circuit(4, 2);
+  const ParamVector p = params_for(c);
+  const std::vector<real> cot(4, 1.0);
+  const CircuitExecutor exec = make_ideal_executor();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finite_diff_gradient(c, p, cot, exec));
+  }
+}
+BENCHMARK(BM_FiniteDiffGradient);
+
+void BM_ErrorInsertion(benchmark::State& state) {
+  const NoiseModel model = make_device_noise_model("yorktown");
+  const Circuit c = [&] {
+    const Circuit logical = layered_circuit(4, 8);
+    return transpile(logical, model, 2).circuit;
+  }();
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(insert_error_gates(c, model, 1.0, rng));
+  }
+}
+BENCHMARK(BM_ErrorInsertion);
+
+void BM_Transpile(benchmark::State& state) {
+  const NoiseModel model = make_device_noise_model("yorktown");
+  const Circuit c = layered_circuit(4, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transpile(c, model,
+                                       static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Transpile)->Arg(0)->Arg(2)->Arg(3);
+
+void BM_ShotSampling(benchmark::State& state) {
+  const Circuit c = layered_circuit(4, 4);
+  const ParamVector p = params_for(c);
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        measure_expectations_shots(c, p, rng, 8192));
+  }
+}
+BENCHMARK(BM_ShotSampling);
+
+}  // namespace

@@ -1,0 +1,52 @@
+// Table 12 (appendix A.3.6): accuracy improvements grow in relative terms
+// with the number of classes — 2-, 4-, and 10-class tasks compared
+// between the noise-unaware baseline and full QuantumNAT.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace qnat;
+using namespace qnat::bench;
+
+int main() {
+  print_header(
+      "Table 12: improvement vs number of classes",
+      "relative improvement grows with class count (10-class >> 2-class)");
+  const RunScale scale = scale_from_env();
+
+  struct Group {
+    std::string label;
+    std::vector<std::string> tasks;
+    std::string device;
+    int blocks;
+    int layers;
+  };
+  const std::vector<Group> groups = {
+      {"2-classification", {"mnist2", "fashion2"}, "yorktown", 2, 2},
+      {"4-classification", {"mnist4", "fashion4"}, "yorktown", 2, 2},
+      {"10-classification", {"mnist10", "fashion10"}, "melbourne", 2, 2},
+  };
+
+  TextTable table({"task group", "baseline", "QuantumNAT", "absolute gain",
+                   "relative gain"});
+  for (const Group& group : groups) {
+    real base = 0.0, nat = 0.0;
+    for (const std::string& task : group.tasks) {
+      BenchConfig config;
+      config.task = task;
+      config.device = group.device;
+      config.num_blocks = group.blocks;
+      config.layers_per_block = group.layers;
+      base += run_method(config, Method::Baseline, scale).noisy_accuracy;
+      nat += run_method(config, Method::PostQuant, scale).noisy_accuracy;
+    }
+    base /= static_cast<real>(group.tasks.size());
+    nat /= static_cast<real>(group.tasks.size());
+    const real rel = base > 0.0 ? (nat - base) / base : 0.0;
+    table.add_row({group.label, fmt_fixed(base, 2), fmt_fixed(nat, 2),
+                   fmt_fixed(nat - base, 2),
+                   fmt_fixed(100.0 * rel, 0) + "%"});
+  }
+  std::cout << table.render();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Table 13 (appendix A.3.7): normalizing the test set with statistics
+// profiled on the validation set is nearly as good as using the test
+// set's own statistics — enabling small deployment batches.
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+using namespace qnat;
+using namespace qnat::bench;
+
+namespace {
+
+std::string vec_to_string(const std::vector<real>& values) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ", ";
+    os << fmt_fixed(values[i], 3);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Table 13: validation-set vs test-set normalization statistics",
+      "per-qubit stats of valid and test sets are close; accuracy with "
+      "valid-set stats ~ accuracy with test-set stats");
+  const RunScale scale = scale_from_env();
+
+  TextTable table({"task-device", "stats", "MEAN", "STD", "accuracy"});
+  real acc_test_sum = 0.0, acc_valid_sum = 0.0;
+  int cells = 0;
+  for (const std::string task_name : {"fashion4", "vowel4", "mnist2"}) {
+    for (const std::string device : {"santiago", "yorktown", "belem"}) {
+      BenchConfig config;
+      config.task = task_name;
+      config.device = device;
+      const TaskBundle task = load_task(task_name, scale);
+      QnnModel model(make_arch(task.info, config));
+      const Deployment deployment(model, make_device_noise_model(device),
+                                  config.optimization_level);
+      const TrainerConfig trainer =
+          make_trainer_config(config, Method::PostNorm, scale);
+      train_qnn(model, task.train, trainer);
+      const QnnForwardOptions pipeline = pipeline_options(trainer);
+      NoisyEvalOptions eval_options;
+      eval_options.trajectories = scale.trajectories;
+
+      const BlockStats valid_stats = profile_block_stats(
+          model, deployment, task.valid.features, pipeline, eval_options);
+      const BlockStats test_stats = profile_block_stats(
+          model, deployment, task.test.features, pipeline, eval_options);
+
+      // Accuracy using the test batch's own statistics (default pipeline).
+      const real acc_test = noisy_accuracy(model, deployment, task.test,
+                                           pipeline, eval_options);
+      // Accuracy using validation-profiled statistics.
+      QnnForwardOptions profiled = pipeline;
+      profiled.profiled_mean = &valid_stats.mean;
+      profiled.profiled_std = &valid_stats.stddev;
+      const real acc_valid = noisy_accuracy(model, deployment, task.test,
+                                            profiled, eval_options);
+      acc_test_sum += acc_test;
+      acc_valid_sum += acc_valid;
+      ++cells;
+
+      const std::string label = task_name + "-" + device;
+      table.add_row({label, "test", vec_to_string(test_stats.mean[0]),
+                     vec_to_string(test_stats.stddev[0]),
+                     fmt_fixed(acc_test, 2)});
+      table.add_row({"", "valid", vec_to_string(valid_stats.mean[0]),
+                     vec_to_string(valid_stats.stddev[0]),
+                     fmt_fixed(acc_valid, 2)});
+      table.add_separator();
+    }
+  }
+  table.add_row({"average", "test", "-", "-",
+                 fmt_fixed(acc_test_sum / cells, 2)});
+  table.add_row({"", "valid", "-", "-",
+                 fmt_fixed(acc_valid_sum / cells, 2)});
+  std::cout << table.render();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Table 3: scalable noise-aware training directly on the (simulated)
+// quantum device with the parameter-shift rule. A tiny 2-feature 2-class
+// QNN (2 blocks of 2 RY + CNOT) is trained either classically
+// (noise-unaware) or through the noisy executor — gradients measured on
+// the device are naturally noise-aware and win on every machine.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "compile/transpiler.hpp"
+#include "core/onqc_trainer.hpp"
+
+using namespace qnat;
+using namespace qnat::bench;
+
+namespace {
+
+Circuit table3_circuit() {
+  // params 0-1: encoder RY angles; 2-5: trainable RY weights.
+  Circuit c(2, 6);
+  c.ry(0, 0);
+  c.ry(1, 1);
+  c.ry(0, 2);
+  c.ry(1, 3);
+  c.cx(0, 1);
+  c.ry(0, 4);
+  c.ry(1, 5);
+  c.cx(0, 1);
+  return c;
+}
+
+real train_and_eval(const std::string& device, bool noise_aware,
+                    const RunScale& scale) {
+  const TaskBundle task = make_task("twofeature2", scale.samples_per_class,
+                                    scale.seed);
+  const NoiseModel noise = make_device_noise_model(device);
+  const Circuit logical = table3_circuit();
+  const TranspileResult compiled = transpile(logical, noise, 2);
+
+  Rng traj_rng(scale.seed * 31 + (noise_aware ? 1 : 0));
+  const CircuitExecutor noisy_device = make_noisy_device_executor(
+      noise, compiled.final_layout, 2, scale.trajectories, traj_rng);
+
+  // The baseline trains classically on the logical circuit; noise-aware
+  // training runs parameter shifts through the noisy device on the
+  // compiled circuit.
+  const Circuit& train_circuit = noise_aware ? compiled.circuit : logical;
+  const CircuitExecutor train_exec =
+      noise_aware ? noisy_device : make_ideal_executor();
+
+  ParamVector weights(4);
+  OnDeviceTrainConfig config;
+  config.epochs = std::max(40, scale.epochs);
+  config.seed = scale.seed * 17 + (noise_aware ? 3 : 0);
+  train_on_device(train_circuit, 2, task.train, train_exec, weights, config);
+
+  // Both variants are evaluated on the noisy device.
+  return on_device_accuracy(compiled.circuit, 2, task.test, noisy_device,
+                            weights);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Table 3: on-device noise-aware training via parameter shift "
+      "(2-feature 2-class)",
+      "noise-aware (trained on the noisy device) beats noise-unaware on "
+      "every machine");
+  const RunScale scale = scale_from_env();
+  TextTable table({"machine", "noise-unaware", "QuantumNAT (on-QC)"});
+  for (const std::string device : {"bogota", "santiago", "lima"}) {
+    table.add_row({device, fmt_fixed(train_and_eval(device, false, scale), 2),
+                   fmt_fixed(train_and_eval(device, true, scale), 2)});
+  }
+  std::cout << table.render();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table 6 (appendix A.3.1): hardware-specific noise models matter. Train
+// Fashion-2 models injecting noise from three different device models,
+// deploy each on all three devices: the accuracy matrix should show a
+// diagonal pattern (matching train-model and deploy-device wins).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace qnat;
+using namespace qnat::bench;
+
+namespace {
+
+QnnModel train_with_device_model(const std::string& noise_device,
+                                 const TaskBundle& task,
+                                 const RunScale& scale) {
+  BenchConfig config;
+  config.task = "mnist4";
+  config.device = noise_device;
+  config.num_blocks = 2;
+  config.layers_per_block = 6;
+  QnnModel model(make_arch(task.info, config));
+  const Deployment deployment(model, make_device_noise_model(noise_device),
+                              config.optimization_level);
+  TrainerConfig trainer = make_trainer_config(config, Method::GateInsert, scale);
+  train_qnn(model, task.train, trainer, &deployment);
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  // The paper runs this on Fashion-2; our Fashion-2 surrogate saturates
+  // near ceiling on every device, hiding the effect, so we use the harder
+  // MNIST-4 at the Belem-row depth (2 blocks x 6 layers).
+  print_header(
+      "Table 6: cross-device noise-model matrix (MNIST-4, 2Bx6L)",
+      "best accuracy when the injected noise model matches the deployment "
+      "device (diagonal pattern)");
+  const RunScale scale = scale_from_env();
+  const TaskBundle task = load_task("mnist4", scale);
+  const std::vector<std::string> devices{"santiago", "yorktown", "lima"};
+
+  std::vector<QnnModel> models;
+  for (const auto& d : devices) {
+    models.push_back(train_with_device_model(d, task, scale));
+  }
+
+  BenchConfig config;
+  config.task = "mnist4";
+  config.num_blocks = 2;
+  config.layers_per_block = 6;
+  TextTable table({"inference \\ noise model", "santiago", "yorktown",
+                   "lima"});
+  for (const auto& deploy_device : devices) {
+    std::vector<std::string> row{deploy_device};
+    const NoiseModel device_model = make_device_noise_model(deploy_device);
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const Deployment deployment(models[m], device_model,
+                                  config.optimization_level);
+      TrainerConfig trainer =
+          make_trainer_config(config, Method::GateInsert, scale);
+      NoisyEvalOptions eval_options;
+      eval_options.trajectories = scale.trajectories;
+      row.push_back(fmt_fixed(
+          noisy_accuracy(models[m], deployment, task.test,
+                         pipeline_options(trainer), eval_options),
+          2));
+    }
+    table.add_row(row);
+  }
+  std::cout << table.render();
+  return 0;
+}

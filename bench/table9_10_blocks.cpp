@@ -1,0 +1,76 @@
+// Tables 9 & 10 (appendix A.3.4): the intermediate-measurement tradeoff.
+// With six total layers split as 1x6, 2x3, 3x2, 6x1 (blocks x layers),
+// there is a sweet spot (2 blocks x 3 layers in the paper) — more
+// measurement boundaries allow more normalization/quantization denoising,
+// but collapse the Hilbert space. Table 10 directly compares the
+// fully-quantum 6L model with the original 2Bx3L model.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace qnat;
+using namespace qnat::bench;
+
+namespace {
+
+real run_split(const std::string& task, const std::string& device,
+               int blocks, int layers, const RunScale& scale) {
+  BenchConfig config;
+  config.task = task;
+  config.device = device;
+  config.num_blocks = blocks;
+  config.layers_per_block = layers;
+  config.noise_factor = 0.1;
+  config.quant_levels = 6;
+  // Fully-quantum configuration when there is a single block.
+  config.apply_to_last = blocks == 1;
+  return run_method(config, Method::GateInsert, scale).noisy_accuracy;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Table 9: effect of the number of intermediate measurements "
+      "(Santiago) / Table 10: direct 6L vs 2Bx3L comparison",
+      "an intermediate split (around 2 blocks x 3 layers) outperforms the "
+      "fully-quantum 1x6 and the fully-classicalized 6x1 extremes");
+  const RunScale scale = scale_from_env();
+
+  TextTable table9({"task", "1B x 6L", "2B x 3L", "3B x 2L", "6B x 1L"});
+  struct Split {
+    int blocks;
+    int layers;
+  };
+  const std::vector<Split> splits = {{1, 6}, {2, 3}, {3, 2}, {6, 1}};
+  for (const std::string task : {"mnist4", "fashion4"}) {
+    std::vector<std::string> row{task};
+    for (const Split& s : splits) {
+      row.push_back(
+          fmt_fixed(run_split(task, "santiago", s.blocks, s.layers, scale),
+                    2));
+    }
+    table9.add_row(row);
+  }
+  std::cout << table9.render() << "\n";
+
+  TextTable table10(
+      {"machine", "task", "fully-quantum (6L)", "original (2B x 3L)"});
+  struct Row {
+    std::string machine;
+    std::string task;
+  };
+  for (const Row& r : std::vector<Row>{{"santiago", "mnist4"},
+                                       {"santiago", "fashion4"},
+                                       {"santiago", "mnist2"},
+                                       {"belem", "mnist4"},
+                                       {"belem", "fashion4"},
+                                       {"belem", "mnist2"}}) {
+    table10.add_row({r.machine, r.task,
+                     fmt_fixed(run_split(r.task, r.machine, 1, 6, scale), 2),
+                     fmt_fixed(run_split(r.task, r.machine, 2, 3, scale),
+                               2)});
+  }
+  std::cout << table10.render();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Explores the five QNN design spaces on one task/device pair: builds a
+// 2-block model in each space, prints its circuit statistics (gate count,
+// parameters, transpiled depth on hardware), trains it noise-aware, and
+// reports accuracy — a miniature of the paper's Table 2 study plus the
+// compiler's view of each ansatz.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+#include "data/tasks.hpp"
+#include "noise/device_presets.hpp"
+#include "noise/error_inserter.hpp"
+
+using namespace qnat;
+
+int main() {
+  const TaskBundle task = make_task("fashion2", /*samples_per_class=*/50);
+  const NoiseModel device = make_device_noise_model("santiago");
+
+  struct SpaceSpec {
+    DesignSpace space;
+    int layers;  // one full cycle
+  };
+  const std::vector<SpaceSpec> specs = {
+      {DesignSpace::U3CU3, 2},      {DesignSpace::ZZRY, 2},
+      {DesignSpace::RXYZ, 5},       {DesignSpace::ZXXX, 2},
+      {DesignSpace::RXYZU1CU3, 11},
+  };
+
+  TextTable table({"design space", "params", "logical gates",
+                   "compiled gates", "expected error gates/step",
+                   "noise-free acc", "on-device acc"});
+  for (const SpaceSpec& spec : specs) {
+    QnnArchitecture arch;
+    arch.num_qubits = 4;
+    arch.num_blocks = 2;
+    arch.layers_per_block = spec.layers;
+    arch.space = spec.space;
+    arch.input_features = 16;
+    arch.num_classes = 2;
+    QnnModel model(arch);
+    const Deployment deployment(model, device, 2);
+
+    std::size_t logical_gates = 0;
+    std::size_t compiled_gates = 0;
+    double expected_errors = 0.0;
+    for (std::size_t b = 0; b < model.blocks().size(); ++b) {
+      logical_gates += model.blocks()[b].circuit.size();
+      const Circuit& compiled = deployment.compiled_blocks()[b].circuit;
+      compiled_gates += compiled.size();
+      expected_errors += expected_insertions(compiled, device, 1.0);
+    }
+
+    TrainerConfig config;
+    config.epochs = 12;
+    config.batch_size = 16;
+    config.quantize = true;
+    config.injection.method = InjectionMethod::GateInsertion;
+    config.injection.noise_factor = 0.1;
+    train_qnn(model, task.train, config, &deployment);
+
+    const QnnForwardOptions pipeline = pipeline_options(config);
+    NoisyEvalOptions eval_options;
+    eval_options.trajectories = 8;
+    table.add_row(
+        {design_space_name(spec.space), std::to_string(model.num_weights()),
+         std::to_string(logical_gates), std::to_string(compiled_gates),
+         fmt_fixed(expected_errors, 3),
+         fmt_fixed(ideal_accuracy(model, task.test, pipeline), 2),
+         fmt_fixed(noisy_accuracy(model, deployment, task.test, pipeline,
+                                  eval_options),
+                   2)});
+  }
+  std::cout << table.render();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// MNIST-4 walkthrough of the full QuantumNAT cascade: trains the same
+// architecture four ways (baseline, +normalization, +gate insertion,
+// +quantization) and reports how each stage recovers on-device accuracy —
+// the paper's Table 1 story on one task.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+#include "data/tasks.hpp"
+#include "noise/device_presets.hpp"
+
+using namespace qnat;
+
+namespace {
+
+struct Stage {
+  std::string label;
+  bool normalize;
+  bool inject;
+  bool quantize;
+};
+
+}  // namespace
+
+int main() {
+  const TaskBundle task = make_task("mnist4", /*samples_per_class=*/50);
+  const NoiseModel device = make_device_noise_model("belem");
+
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 6;
+  arch.input_features = 16;
+  arch.num_classes = 4;
+
+  const std::vector<Stage> stages = {
+      {"Baseline", false, false, false},
+      {"+ Post Norm.", true, false, false},
+      {"+ Gate Insert.", true, true, false},
+      {"+ Post Quant.", true, true, true},
+  };
+
+  TextTable table({"method", "noise-free acc", "on-device acc"});
+  for (const Stage& stage : stages) {
+    QnnModel model(arch);
+    const Deployment deployment(model, device, 2);
+
+    TrainerConfig config;
+    config.epochs = 12;
+    config.batch_size = 16;
+    config.normalize = stage.normalize;
+    config.quantize = stage.quantize;
+    config.quant.levels = 5;
+    if (stage.inject) {
+      config.injection.method = InjectionMethod::GateInsertion;
+      config.injection.noise_factor = 0.1;
+    }
+    train_qnn(model, task.train, config, stage.inject ? &deployment : nullptr);
+
+    const QnnForwardOptions pipeline = pipeline_options(config);
+    NoisyEvalOptions eval_options;
+    eval_options.trajectories = 8;
+    table.add_row({stage.label,
+                   fmt_fixed(ideal_accuracy(model, task.test, pipeline), 2),
+                   fmt_fixed(noisy_accuracy(model, deployment, task.test,
+                                            pipeline, eval_options),
+                             2)});
+  }
+  std::cout << table.render();
+  std::cout << "Each stage should claw back on-device accuracy; the\n"
+               "noise-free column shows the (small) clean-accuracy cost.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// On-device training with the parameter-shift rule (paper Table 3).
+//
+// When classical simulation is infeasible, gradients can be measured on
+// the quantum device itself: shift each gate angle by ±π/2, re-run, and
+// difference the expectations. Gradients measured through a noisy device
+// are naturally noise-aware. This example trains a tiny two-qubit
+// classifier two ways — classically (noise-unaware) and through the noisy
+// "device" executor — and compares deployed accuracy, reporting the
+// device-evaluation budget each gradient costs.
+#include <iostream>
+
+#include "compile/transpiler.hpp"
+#include "core/onqc_trainer.hpp"
+#include "data/tasks.hpp"
+#include "noise/device_presets.hpp"
+
+using namespace qnat;
+
+namespace {
+
+// 2 encoder RY gates + 2 blocks of (2 RY + CNOT): 6 parameters total,
+// the first 2 bound to the input features.
+Circuit build_circuit() {
+  Circuit c(2, 6);
+  c.ry(0, 0);
+  c.ry(1, 1);
+  c.ry(0, 2);
+  c.ry(1, 3);
+  c.cx(0, 1);
+  c.ry(0, 4);
+  c.ry(1, 5);
+  c.cx(0, 1);
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  const TaskBundle task = make_task("twofeature2", /*samples_per_class=*/40);
+  const NoiseModel device = make_device_noise_model("lima");
+  const Circuit logical = build_circuit();
+  const TranspileResult compiled = transpile(logical, device, 2);
+  std::cout << "compiled to " << compiled.circuit.size()
+            << " basis gates on " << device.device_name() << "; "
+            << parameter_shift_num_evaluations(compiled.circuit)
+            << " device evaluations per per-sample gradient\n";
+
+  Rng rng(17);
+  const CircuitExecutor noisy_device = make_noisy_device_executor(
+      device, compiled.final_layout, 2, /*trajectories=*/8, rng);
+
+  OnDeviceTrainConfig config;
+  config.epochs = 25;
+
+  // Noise-unaware: classical training on the logical circuit.
+  ParamVector classical(4);
+  train_on_device(logical, 2, task.train, make_ideal_executor(), classical,
+                  config);
+
+  // Noise-aware: every gradient measured through the noisy device.
+  ParamVector on_device(4);
+  const OnDeviceTrainResult result = train_on_device(
+      compiled.circuit, 2, task.train, noisy_device, on_device, config);
+  std::cout << "noise-aware training consumed " << result.device_evaluations
+            << " device circuit evaluations\n";
+
+  std::cout << "noise-unaware (classical training) accuracy on device: "
+            << on_device_accuracy(compiled.circuit, 2, task.test,
+                                  noisy_device, classical)
+            << "\n";
+  std::cout << "noise-aware (on-device parameter-shift) accuracy:       "
+            << on_device_accuracy(compiled.circuit, 2, task.test,
+                                  noisy_device, on_device)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Error handling for the QuantumNAT library.
+//
+// The library reports precondition violations and invalid configurations by
+// throwing `qnat::Error`. Hot inner loops (statevector updates) use plain
+// assertions compiled out in release builds; everything user-facing uses
+// QNAT_CHECK so misuse produces an actionable message instead of UB.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qnat {
+
+/// Exception thrown on invalid arguments, malformed circuits, or broken
+/// invariants detected at API boundaries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* cond, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed (" << cond << ")";
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace qnat
+
+/// Throws qnat::Error with file/line context when `cond` is false.
+#define QNAT_CHECK(cond, msg)                                       \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::qnat::detail::raise(#cond, __FILE__, __LINE__, (msg));      \
+    }                                                               \
+  } while (0)

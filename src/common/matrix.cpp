@@ -1,0 +1,151 @@
+#include "common/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols,
+                 std::initializer_list<cplx> values)
+    : rows_(rows), cols_(cols), data_(values) {
+  QNAT_CHECK(data_.size() == rows * cols,
+             "initializer list size does not match matrix shape");
+}
+
+CMatrix CMatrix::identity(std::size_t n) {
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = cplx{1.0, 0.0};
+  return m;
+}
+
+CMatrix CMatrix::zeros(std::size_t rows, std::size_t cols) {
+  return CMatrix(rows, cols);
+}
+
+CMatrix CMatrix::operator*(const CMatrix& rhs) const {
+  QNAT_CHECK(cols_ == rhs.rows_, "matrix product shape mismatch");
+  CMatrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx a = (*this)(i, k);
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += a * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+CMatrix CMatrix::operator+(const CMatrix& rhs) const {
+  QNAT_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+             "matrix sum shape mismatch");
+  CMatrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+CMatrix CMatrix::operator-(const CMatrix& rhs) const {
+  QNAT_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+             "matrix difference shape mismatch");
+  CMatrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+CMatrix CMatrix::operator*(cplx scalar) const {
+  CMatrix out = *this;
+  for (auto& v : out.data_) v *= scalar;
+  return out;
+}
+
+CMatrix CMatrix::adjoint() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out(j, i) = std::conj((*this)(i, j));
+    }
+  }
+  return out;
+}
+
+CMatrix CMatrix::conjugate() const {
+  CMatrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = std::conj(data_[i]);
+  }
+  return out;
+}
+
+CMatrix CMatrix::kron(const CMatrix& rhs) const {
+  CMatrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const cplx a = (*this)(i, j);
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t k = 0; k < rhs.rows_; ++k) {
+        for (std::size_t l = 0; l < rhs.cols_; ++l) {
+          out(i * rhs.rows_ + k, j * rhs.cols_ + l) = a * rhs(k, l);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+cplx CMatrix::trace() const {
+  QNAT_CHECK(rows_ == cols_, "trace requires a square matrix");
+  cplx t{0.0, 0.0};
+  for (std::size_t i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+double CMatrix::frobenius_norm() const {
+  double s = 0.0;
+  for (const auto& v : data_) s += std::norm(v);
+  return std::sqrt(s);
+}
+
+bool CMatrix::is_unitary(double tol) const {
+  if (rows_ != cols_) return false;
+  const CMatrix prod = adjoint() * (*this);
+  return prod.approx_equal(identity(rows_), tol);
+}
+
+bool CMatrix::approx_equal(const CMatrix& rhs, double tol) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - rhs.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+bool CMatrix::approx_equal_up_to_phase(const CMatrix& rhs, double tol) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) return false;
+  // Align using the largest-magnitude entry of this matrix.
+  std::size_t argmax = 0;
+  double best = -1.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double mag = std::abs(data_[i]);
+    if (mag > best) {
+      best = mag;
+      argmax = i;
+    }
+  }
+  if (best < tol) return rhs.frobenius_norm() < tol;
+  if (std::abs(rhs.data_[argmax]) < tol) return false;
+  const cplx phase =
+      (rhs.data_[argmax] / std::abs(rhs.data_[argmax])) /
+      (data_[argmax] / std::abs(data_[argmax]));
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] * phase - rhs.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace qnat

@@ -1,0 +1,75 @@
+// Small dense complex matrices used for gate unitaries.
+//
+// Gates act on one or two qubits, so the matrices handled here are 2x2 or
+// 4x4. `CMatrix` is a general row-major complex matrix; helpers construct
+// common unitaries, products, adjoints, and tensor products, and compare
+// unitaries up to a global phase (needed to validate basis decompositions).
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qnat {
+
+/// Row-major dense complex matrix.
+class CMatrix {
+ public:
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols);
+  CMatrix(std::size_t rows, std::size_t cols,
+          std::initializer_list<cplx> values);
+
+  static CMatrix identity(std::size_t n);
+  static CMatrix zeros(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  cplx& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  const cplx& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<cplx>& data() const { return data_; }
+
+  CMatrix operator*(const CMatrix& rhs) const;
+  CMatrix operator+(const CMatrix& rhs) const;
+  CMatrix operator-(const CMatrix& rhs) const;
+  CMatrix operator*(cplx scalar) const;
+
+  /// Conjugate transpose.
+  CMatrix adjoint() const;
+
+  /// Elementwise complex conjugate (no transpose).
+  CMatrix conjugate() const;
+
+  /// Kronecker product (this ⊗ rhs).
+  CMatrix kron(const CMatrix& rhs) const;
+
+  /// Trace (requires square matrix).
+  cplx trace() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// True when U† U ≈ I within `tol`.
+  bool is_unitary(double tol = 1e-9) const;
+
+  /// True when matrices are elementwise equal within `tol`.
+  bool approx_equal(const CMatrix& rhs, double tol = 1e-9) const;
+
+  /// True when matrices are equal up to a global phase within `tol`.
+  /// The comparison aligns phases using the largest-magnitude entry.
+  bool approx_equal_up_to_phase(const CMatrix& rhs, double tol = 1e-9) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+}  // namespace qnat

@@ -1,0 +1,63 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (weight init, Pauli error-gate
+// sampling, shot sampling, synthetic datasets) draws from an explicitly
+// seeded `Rng` so that experiments are exactly reproducible. The engine is
+// xoshiro256**, a small, fast, high-quality generator; we avoid
+// std::mt19937 only to guarantee identical streams across standard library
+// implementations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qnat {
+
+/// Seeded pseudo-random generator (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double gaussian();
+
+  /// Normal with given mean / standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Samples an index from an unnormalized non-negative weight vector.
+  /// Weights summing to < 1 treat the deficit as extra mass on the last
+  /// index only if `weights` is a full distribution; callers should pass
+  /// normalized distributions. Requires a positive total weight.
+  std::size_t discrete(std::span<const double> weights);
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independent child generator (for per-worker streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace qnat

@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  QNAT_CHECK(!header_.empty(), "table header must not be empty");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  QNAT_CHECK(cells.size() == header_.size(),
+             "row width does not match header");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_line = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << '\n';
+  };
+
+  emit_line();
+  emit_row(header_);
+  emit_line();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      emit_line();
+    } else {
+      emit_row(row.cells);
+    }
+  }
+  emit_line();
+  return os.str();
+}
+
+std::string fmt_fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace qnat

@@ -1,0 +1,40 @@
+// ASCII table rendering for the benchmark harness.
+//
+// Every bench binary reproduces one paper table/figure and prints it with
+// the same row/column layout. `TextTable` handles column sizing and
+// alignment so the bench code only supplies cells.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qnat {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  /// Sets the header row. Column count is fixed by the header.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders the table with column-aligned cells.
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with fixed precision (default 2), e.g. "0.74".
+std::string fmt_fixed(double value, int precision = 2);
+
+}  // namespace qnat

@@ -1,0 +1,30 @@
+// Fundamental scalar and index types shared across the QuantumNAT library.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace qnat {
+
+/// Complex amplitude type used throughout the statevector simulator.
+using cplx = std::complex<double>;
+
+/// Real scalar used for parameters, measurement outcomes and gradients.
+using real = double;
+
+/// Qubit index within a register.
+using QubitIndex = int;
+
+/// Index into a circuit's trainable/bound parameter vector. Negative means
+/// "constant parameter baked into the gate" (not differentiated).
+using ParamIndex = int;
+
+inline constexpr ParamIndex kNoParam = -1;
+
+/// Dense vector of real parameters (gate angles, weights).
+using ParamVector = std::vector<real>;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace qnat

@@ -1,0 +1,297 @@
+#include "compile/basis.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Appends U3(theta, phi, lambda) as the IBM 'ZSX' Euler sequence
+/// RZ(phi+pi) SX RZ(theta+pi) SX RZ(lambda), exact up to global phase.
+void append_u3_template(Circuit& out, QubitIndex q, const ParamExpr& theta,
+                        const ParamExpr& phi, const ParamExpr& lambda) {
+  out.append(Gate(GateType::RZ, {q}, {lambda}));
+  out.sx(q);
+  out.append(Gate(GateType::RZ, {q}, {theta.shifted(kPi)}));
+  out.sx(q);
+  out.append(Gate(GateType::RZ, {q}, {phi.shifted(kPi)}));
+}
+
+void append_rz(Circuit& out, QubitIndex q, real angle) {
+  out.append(Gate(GateType::RZ, {q}, {ParamExpr::constant(angle)}));
+}
+
+/// H = e^{-i pi/4} RZ(pi/2) SX RZ(pi/2): three gates instead of the
+/// generic five-gate U3 expansion.
+void append_h(Circuit& out, QubitIndex q) {
+  append_rz(out, q, kPi / 2);
+  out.sx(q);
+  append_rz(out, q, kPi / 2);
+}
+
+void append_constant_1q(Circuit& out, QubitIndex q, const CMatrix& u) {
+  const ZyzAngles z = decompose_1q_unitary(u);
+  if (std::abs(z.theta) < kEps) {
+    // Diagonal: a single frame change.
+    const real angle = z.phi + z.lambda;
+    if (std::abs(angle) > kEps) append_rz(out, q, angle);
+    return;
+  }
+  append_u3_template(out, q, ParamExpr::constant(z.theta),
+                     ParamExpr::constant(z.phi),
+                     ParamExpr::constant(z.lambda));
+}
+
+/// RZZ(theta) on (a, b): CX, RZ(theta) on target, CX.
+void append_rzz(Circuit& out, QubitIndex a, QubitIndex b,
+                const ParamExpr& theta) {
+  out.cx(a, b);
+  out.append(Gate(GateType::RZ, {b}, {theta}));
+  out.cx(a, b);
+}
+
+void append_rxx(Circuit& out, QubitIndex a, QubitIndex b,
+                const ParamExpr& theta) {
+  append_h(out, a);
+  append_h(out, b);
+  append_rzz(out, a, b, theta);
+  append_h(out, a);
+  append_h(out, b);
+}
+
+void append_ryy(Circuit& out, QubitIndex a, QubitIndex b,
+                const ParamExpr& theta) {
+  // RX(pi/2) rotates Z into Y basis: RYY = (RX⊗RX)(pi/2) RZZ (RX⊗RX)(-pi/2).
+  const auto rx = [&](QubitIndex q, real angle) {
+    append_u3_template(out, q, ParamExpr::constant(angle),
+                       ParamExpr::constant(-kPi / 2),
+                       ParamExpr::constant(kPi / 2));
+  };
+  rx(a, kPi / 2);
+  rx(b, kPi / 2);
+  append_rzz(out, a, b, theta);
+  rx(a, -kPi / 2);
+  rx(b, -kPi / 2);
+}
+
+void append_rzx(Circuit& out, QubitIndex a, QubitIndex b,
+                const ParamExpr& theta) {
+  append_h(out, b);
+  append_rzz(out, a, b, theta);
+  append_h(out, b);
+}
+
+/// Controlled-U3 (standard two-CX decomposition). Angles are linear
+/// expressions, so trainable CU3 gates stay differentiable after
+/// decomposition.
+void append_cu3(Circuit& out, QubitIndex c, QubitIndex t,
+                const ParamExpr& theta, const ParamExpr& phi,
+                const ParamExpr& lambda) {
+  out.append(Gate(GateType::RZ, {c}, {(lambda + phi) * 0.5}));
+  out.append(Gate(GateType::RZ, {t}, {(lambda - phi) * 0.5}));
+  out.cx(c, t);
+  append_u3_template(out, t, theta * -0.5, ParamExpr::constant(0.0),
+                     (phi + lambda) * -0.5);
+  out.cx(c, t);
+  append_u3_template(out, t, theta * 0.5, phi, ParamExpr::constant(0.0));
+}
+
+}  // namespace
+
+bool is_basis_gate(GateType type) {
+  switch (type) {
+    case GateType::RZ:
+    case GateType::SX:
+    case GateType::X:
+    case GateType::CX:
+    case GateType::I:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ZyzAngles decompose_1q_unitary(const CMatrix& u) {
+  QNAT_CHECK(u.rows() == 2 && u.cols() == 2, "expected a 2x2 matrix");
+  QNAT_CHECK(u.is_unitary(1e-9), "matrix is not unitary");
+  ZyzAngles z;
+  const cplx u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0);
+  const double a00 = std::abs(u00), a10 = std::abs(u10);
+  z.theta = 2.0 * std::atan2(a10, a00);
+  if (a10 < kEps) {
+    // Diagonal.
+    z.phase = std::arg(u00);
+    z.phi = 0.0;
+    z.lambda = std::arg(u(1, 1)) - z.phase;
+  } else if (a00 < kEps) {
+    // Anti-diagonal.
+    z.phase = 0.0;
+    z.phi = std::arg(u10);
+    z.lambda = std::arg(-u01);
+  } else {
+    z.phase = std::arg(u00);
+    z.phi = std::arg(u10) - z.phase;
+    z.lambda = std::arg(-u01) - z.phase;
+  }
+  return z;
+}
+
+void append_basis_decomposition(Circuit& out, const Gate& gate) {
+  const QubitIndex q = gate.qubits[0];
+  switch (gate.type) {
+    // Already in basis.
+    case GateType::I:
+    case GateType::X:
+    case GateType::SX:
+    case GateType::CX:
+      out.append(gate);
+      return;
+    case GateType::RZ:
+      out.append(gate);
+      return;
+
+    // Diagonal single-qubit gates: one RZ (global phase dropped).
+    case GateType::Z:
+      append_rz(out, q, kPi);
+      return;
+    case GateType::S:
+      append_rz(out, q, kPi / 2);
+      return;
+    case GateType::Sdg:
+      append_rz(out, q, -kPi / 2);
+      return;
+    case GateType::T:
+      append_rz(out, q, kPi / 4);
+      return;
+    case GateType::Tdg:
+      append_rz(out, q, -kPi / 4);
+      return;
+    case GateType::P:
+      out.append(Gate(GateType::RZ, {q}, {gate.params[0]}));
+      return;
+
+    case GateType::Y:
+      // Y = i X Z: apply Z then X (global phase dropped).
+      append_rz(out, q, kPi);
+      out.x(q);
+      return;
+    case GateType::H:
+      append_h(out, q);
+      return;
+    case GateType::SH:
+    case GateType::SXdg:
+      append_constant_1q(out, q, gate.matrix({}));
+      return;
+
+    case GateType::RX:
+      append_u3_template(out, q, gate.params[0],
+                         ParamExpr::constant(-kPi / 2),
+                         ParamExpr::constant(kPi / 2));
+      return;
+    case GateType::RY:
+      append_u3_template(out, q, gate.params[0], ParamExpr::constant(0.0),
+                         ParamExpr::constant(0.0));
+      return;
+    case GateType::U2:
+      append_u3_template(out, q, ParamExpr::constant(kPi / 2),
+                         gate.params[0], gate.params[1]);
+      return;
+    case GateType::U3:
+      append_u3_template(out, q, gate.params[0], gate.params[1],
+                         gate.params[2]);
+      return;
+
+    case GateType::CZ: {
+      const QubitIndex t = gate.qubits[1];
+      append_h(out, t);
+      out.cx(q, t);
+      append_h(out, t);
+      return;
+    }
+    case GateType::CY: {
+      const QubitIndex t = gate.qubits[1];
+      append_rz(out, t, -kPi / 2);
+      out.cx(q, t);
+      append_rz(out, t, kPi / 2);
+      return;
+    }
+    case GateType::CH: {
+      // H = U3(pi/2, 0, pi) exactly (no extra phase), so CH = CU3.
+      const QubitIndex t = gate.qubits[1];
+      append_cu3(out, q, t, ParamExpr::constant(kPi / 2),
+                 ParamExpr::constant(0.0), ParamExpr::constant(kPi));
+      return;
+    }
+    case GateType::SWAP: {
+      const QubitIndex b = gate.qubits[1];
+      out.cx(q, b);
+      out.cx(b, q);
+      out.cx(q, b);
+      return;
+    }
+    case GateType::SqrtSwap: {
+      // sqrt(SWAP) = e^{i pi/8} RXX(pi/4) RYY(pi/4) RZZ(pi/4).
+      const QubitIndex b = gate.qubits[1];
+      append_rxx(out, q, b, ParamExpr::constant(kPi / 4));
+      append_ryy(out, q, b, ParamExpr::constant(kPi / 4));
+      append_rzz(out, q, b, ParamExpr::constant(kPi / 4));
+      return;
+    }
+    case GateType::RZZ:
+      append_rzz(out, q, gate.qubits[1], gate.params[0]);
+      return;
+    case GateType::RXX:
+      append_rxx(out, q, gate.qubits[1], gate.params[0]);
+      return;
+    case GateType::RYY:
+      append_ryy(out, q, gate.qubits[1], gate.params[0]);
+      return;
+    case GateType::RZX:
+      append_rzx(out, q, gate.qubits[1], gate.params[0]);
+      return;
+    case GateType::CRZ: {
+      const QubitIndex t = gate.qubits[1];
+      out.append(Gate(GateType::RZ, {t}, {gate.params[0] * 0.5}));
+      out.cx(q, t);
+      out.append(Gate(GateType::RZ, {t}, {gate.params[0] * -0.5}));
+      out.cx(q, t);
+      return;
+    }
+    case GateType::CP: {
+      const QubitIndex t = gate.qubits[1];
+      out.append(Gate(GateType::RZ, {q}, {gate.params[0] * 0.5}));
+      out.cx(q, t);
+      out.append(Gate(GateType::RZ, {t}, {gate.params[0] * -0.5}));
+      out.cx(q, t);
+      out.append(Gate(GateType::RZ, {t}, {gate.params[0] * 0.5}));
+      return;
+    }
+    case GateType::CRX:
+      append_cu3(out, q, gate.qubits[1], gate.params[0],
+                 ParamExpr::constant(-kPi / 2), ParamExpr::constant(kPi / 2));
+      return;
+    case GateType::CRY:
+      append_cu3(out, q, gate.qubits[1], gate.params[0],
+                 ParamExpr::constant(0.0), ParamExpr::constant(0.0));
+      return;
+    case GateType::CU3:
+      append_cu3(out, q, gate.qubits[1], gate.params[0], gate.params[1],
+                 gate.params[2]);
+      return;
+  }
+  throw Error("unsupported gate in basis decomposition: " + gate.to_string());
+}
+
+Circuit decompose_to_basis(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.num_params());
+  for (const auto& gate : circuit.gates()) {
+    append_basis_decomposition(out, gate);
+  }
+  return out;
+}
+
+}  // namespace qnat

@@ -1,0 +1,40 @@
+// Basis-gate decomposition.
+//
+// The paper compiles the QNN "to the basis gate set of the quantum
+// hardware (e.g., X, CNOT, RZ, ... and ID) before performing gate
+// insertion and training" (§3.2). IBM's physical basis is {RZ, SX, X, CX,
+// ID}; this pass rewrites every supported gate into that set.
+//
+// Parameterized gates decompose with *linear parameter expressions*, so a
+// decomposed circuit remains exactly differentiable w.r.t. the original
+// parameters (e.g. CU3's (λ+φ)/2 rotation carries two expression terms).
+// Constant single-qubit gates go through a numeric ZYZ extraction.
+#pragma once
+
+#include "qsim/circuit.hpp"
+
+namespace qnat {
+
+/// True for gates in the hardware basis {RZ, SX, X, CX, I}.
+bool is_basis_gate(GateType type);
+
+/// ZYZ (U3) angles of an arbitrary 2x2 unitary: u = e^{i phase} U3(theta,
+/// phi, lambda). Throws when `u` is not unitary.
+struct ZyzAngles {
+  real theta = 0.0;
+  real phi = 0.0;
+  real lambda = 0.0;
+  real phase = 0.0;
+};
+ZyzAngles decompose_1q_unitary(const CMatrix& u);
+
+/// Appends the basis decomposition of `gate` to `out` (same qubit count
+/// and parameter space as the source circuit).
+void append_basis_decomposition(Circuit& out, const Gate& gate);
+
+/// Rewrites a whole circuit into the hardware basis. Parameter count and
+/// measurement semantics (per-qubit Z) are preserved; global phases are
+/// dropped, except control-dependent phases which are kept as RZ gates.
+Circuit decompose_to_basis(const Circuit& circuit);
+
+}  // namespace qnat

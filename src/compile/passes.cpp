@@ -1,0 +1,139 @@
+#include "compile/passes.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+namespace {
+
+bool touches_qubit(const Gate& gate, QubitIndex q) {
+  for (QubitIndex g : gate.qubits) {
+    if (g == q) return true;
+  }
+  return false;
+}
+
+bool touches_any(const Gate& gate, const Gate& other) {
+  for (QubitIndex q : other.qubits) {
+    if (touches_qubit(gate, q)) return true;
+  }
+  return false;
+}
+
+bool self_inverse(GateType type) {
+  switch (type) {
+    case GateType::X:
+    case GateType::Y:
+    case GateType::Z:
+    case GateType::H:
+    case GateType::CX:
+    case GateType::CY:
+    case GateType::CZ:
+    case GateType::SWAP:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool same_operands(const Gate& a, const Gate& b) {
+  return a.qubits == b.qubits;
+}
+
+/// Index of the next gate after `i` acting on any operand of gates_[i], or
+/// nullopt when gates_[i] has no later neighbor.
+std::optional<std::size_t> next_on_same_qubits(const std::vector<Gate>& gates,
+                                               std::size_t i) {
+  for (std::size_t j = i + 1; j < gates.size(); ++j) {
+    if (touches_any(gates[j], gates[i])) return j;
+  }
+  return std::nullopt;
+}
+
+bool is_zero_mod_2pi(real angle) {
+  const real r = std::remainder(angle, 2.0 * kPi);
+  return std::abs(r) < 1e-12;
+}
+
+Circuit rebuild(const Circuit& source, const std::vector<Gate>& gates,
+                const std::vector<bool>& keep) {
+  Circuit out(source.num_qubits(), source.num_params());
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (keep[i]) out.append(gates[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Circuit merge_rotations(const Circuit& circuit, PassStats* stats) {
+  std::vector<Gate> gates = circuit.gates();
+  std::vector<bool> keep(gates.size(), true);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (!keep[i] || gates[i].type != GateType::RZ) continue;
+    const auto j = next_on_same_qubits(gates, i);
+    if (!j || gates[*j].type != GateType::RZ ||
+        !same_operands(gates[i], gates[*j])) {
+      continue;
+    }
+    gates[*j].params[0] = gates[i].params[0] + gates[*j].params[0];
+    keep[i] = false;
+    if (stats != nullptr) ++stats->merged_rotations;
+  }
+  return rebuild(circuit, gates, keep);
+}
+
+Circuit cancel_inverse_pairs(const Circuit& circuit, PassStats* stats) {
+  std::vector<Gate> gates = circuit.gates();
+  std::vector<bool> keep(gates.size(), true);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (!keep[i] || !self_inverse(gates[i].type)) continue;
+    const auto j = next_on_same_qubits(gates, i);
+    if (!j || !keep[*j]) continue;
+    if (gates[*j].type == gates[i].type && same_operands(gates[i], gates[*j])) {
+      keep[i] = false;
+      keep[*j] = false;
+      if (stats != nullptr) ++stats->cancelled_pairs;
+    }
+  }
+  return rebuild(circuit, gates, keep);
+}
+
+Circuit drop_trivial_gates(const Circuit& circuit, PassStats* stats) {
+  const std::vector<Gate>& gates = circuit.gates();
+  std::vector<bool> keep(gates.size(), true);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    const bool trivial_rz = g.type == GateType::RZ &&
+                            g.params[0].is_constant() &&
+                            is_zero_mod_2pi(g.params[0].offset);
+    if (g.type == GateType::I || trivial_rz) {
+      keep[i] = false;
+      if (stats != nullptr) ++stats->dropped_gates;
+    }
+  }
+  return rebuild(circuit, gates, keep);
+}
+
+Circuit optimize_circuit(const Circuit& circuit, PassStats* stats) {
+  Circuit current = circuit;
+  // Fixpoint with a safety bound; each round strictly shrinks or stops.
+  for (int round = 0; round < 64; ++round) {
+    PassStats local;
+    current = merge_rotations(current, &local);
+    current = drop_trivial_gates(current, &local);
+    current = cancel_inverse_pairs(current, &local);
+    if (stats != nullptr) {
+      stats->merged_rotations += local.merged_rotations;
+      stats->cancelled_pairs += local.cancelled_pairs;
+      stats->dropped_gates += local.dropped_gates;
+    }
+    if (local.total() == 0) break;
+  }
+  return current;
+}
+
+}  // namespace qnat

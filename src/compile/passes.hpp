@@ -1,0 +1,37 @@
+// Peephole optimization passes over basis-gate circuits.
+//
+// Mirrors the cheap always-on cleanups of a production transpiler:
+//  - merge adjacent RZ rotations on the same qubit (linear expressions add),
+//  - cancel adjacent self-inverse pairs (X·X, CX·CX, H·H, CZ·CZ, ...),
+//  - drop RZ gates with constant angle ≡ 0 (mod 2π) and identity gates.
+// Passes run to a fixpoint. "Adjacent" means no intervening gate touches
+// any operand qubit.
+#pragma once
+
+#include "qsim/circuit.hpp"
+
+namespace qnat {
+
+struct PassStats {
+  int merged_rotations = 0;
+  int cancelled_pairs = 0;
+  int dropped_gates = 0;
+  int total() const {
+    return merged_rotations + cancelled_pairs + dropped_gates;
+  }
+};
+
+/// One sweep of rotation merging. Returns the rewritten circuit.
+Circuit merge_rotations(const Circuit& circuit, PassStats* stats = nullptr);
+
+/// One sweep of self-inverse pair cancellation.
+Circuit cancel_inverse_pairs(const Circuit& circuit,
+                             PassStats* stats = nullptr);
+
+/// Removes identity gates and constant-zero rotations.
+Circuit drop_trivial_gates(const Circuit& circuit, PassStats* stats = nullptr);
+
+/// Runs all passes to a fixpoint (bounded iteration count).
+Circuit optimize_circuit(const Circuit& circuit, PassStats* stats = nullptr);
+
+}  // namespace qnat

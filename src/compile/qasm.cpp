@@ -1,0 +1,294 @@
+#include "compile/qasm.hpp"
+
+#include "compile/basis.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+namespace {
+
+/// Gate types with a direct OpenQASM 2.0 (qelib1) spelling.
+const std::map<GateType, std::string>& qasm_names() {
+  static const std::map<GateType, std::string> names = {
+      {GateType::I, "id"},     {GateType::X, "x"},
+      {GateType::Y, "y"},      {GateType::Z, "z"},
+      {GateType::H, "h"},      {GateType::S, "s"},
+      {GateType::Sdg, "sdg"},  {GateType::T, "t"},
+      {GateType::Tdg, "tdg"},  {GateType::SX, "sx"},
+      {GateType::SXdg, "sxdg"}, {GateType::RX, "rx"},
+      {GateType::RY, "ry"},    {GateType::RZ, "rz"},
+      {GateType::P, "u1"},     {GateType::U2, "u2"},
+      {GateType::U3, "u3"},    {GateType::CX, "cx"},
+      {GateType::CY, "cy"},    {GateType::CZ, "cz"},
+      {GateType::CH, "ch"},    {GateType::SWAP, "swap"},
+      {GateType::CRX, "crx"},  {GateType::CRY, "cry"},
+      {GateType::CRZ, "crz"},  {GateType::CP, "cu1"},
+      {GateType::CU3, "cu3"},  {GateType::RXX, "rxx"},
+      {GateType::RYY, "ryy"},  {GateType::RZZ, "rzz"},
+  };
+  return names;
+}
+
+const std::map<std::string, GateType>& qasm_types() {
+  static const std::map<std::string, GateType> types = [] {
+    std::map<std::string, GateType> t;
+    for (const auto& [type, name] : qasm_names()) t[name] = type;
+    t["u"] = GateType::U3;  // OpenQASM 3 spelling Qiskit sometimes emits
+    t["p"] = GateType::P;
+    t["cnot"] = GateType::CX;
+    return t;
+  }();
+  return types;
+}
+
+std::string format_double(real value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+std::string format_expr(const ParamExpr& expr) {
+  if (expr.is_constant()) return format_double(expr.offset);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < expr.terms.size(); ++i) {
+    if (i) os << "+";
+    if (expr.terms[i].scale != 1.0) {
+      os << format_double(expr.terms[i].scale) << "*";
+    }
+    os << "p" << expr.terms[i].id;
+  }
+  if (expr.offset != 0.0) os << "+" << format_double(expr.offset);
+  return os.str();
+}
+
+/// Parses "0.5*p3", "p3", or "1.25". Throws on anything else.
+void parse_term(const std::string& term, ParamExpr& expr, int line_number) {
+  const auto star = term.find('*');
+  auto parse_float = [&](const std::string& s) {
+    std::size_t consumed = 0;
+    const real value = std::stod(s, &consumed);
+    QNAT_CHECK(consumed == s.size(),
+               "qasm line " + std::to_string(line_number) +
+                   ": malformed number '" + s + "'");
+    return value;
+  };
+  auto parse_param = [&](const std::string& s, real scale) {
+    QNAT_CHECK(s.size() >= 2 && s[0] == 'p',
+               "qasm line " + std::to_string(line_number) +
+                   ": malformed parameter '" + s + "'");
+    const int id = std::stoi(s.substr(1));
+    expr = expr + ParamExpr::affine(id, scale, 0.0);
+  };
+  if (star != std::string::npos) {
+    parse_param(term.substr(star + 1), parse_float(term.substr(0, star)));
+  } else if (!term.empty() && term[0] == 'p' && term.size() > 1 &&
+             std::isdigit(static_cast<unsigned char>(term[1]))) {
+    parse_param(term, 1.0);
+  } else {
+    expr.offset += parse_float(term);
+  }
+}
+
+ParamExpr parse_expr(const std::string& text, int line_number) {
+  ParamExpr expr = ParamExpr::constant(0.0);
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    // Split on '+' (terms may carry their own leading '-').
+    std::size_t end = text.find('+', start);
+    if (end == std::string::npos) end = text.size();
+    std::string term = text.substr(start, end - start);
+    // Trim spaces.
+    while (!term.empty() && term.front() == ' ') term.erase(term.begin());
+    while (!term.empty() && term.back() == ' ') term.pop_back();
+    QNAT_CHECK(!term.empty(), "qasm line " + std::to_string(line_number) +
+                                  ": empty term in expression '" + text + "'");
+    parse_term(term, expr, line_number);
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return expr;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  int depth = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || (text[i] == sep && depth == 0)) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    } else if (text[i] == '(') {
+      ++depth;
+    } else if (text[i] == ')') {
+      --depth;
+    }
+  }
+  return out;
+}
+
+std::string trim(std::string s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.erase(s.begin());
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string to_qasm(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  if (circuit.num_params() > 0) {
+    os << "// qnat-params: " << circuit.num_params() << "\n";
+  }
+  os << "qreg q[" << circuit.num_qubits() << "];\n";
+
+  // Gates without a qelib1 spelling are lowered via their basis
+  // decomposition into a temporary circuit fragment.
+  auto emit = [&](const Gate& gate) {
+    const auto it = qasm_names().find(gate.type);
+    QNAT_CHECK(it != qasm_names().end(),
+               "gate " + gate_name(gate.type) + " has no OpenQASM form");
+    os << it->second;
+    if (!gate.params.empty()) {
+      os << "(";
+      for (std::size_t k = 0; k < gate.params.size(); ++k) {
+        if (k) os << ",";
+        os << format_expr(gate.params[k]);
+      }
+      os << ")";
+    }
+    os << " ";
+    for (std::size_t i = 0; i < gate.qubits.size(); ++i) {
+      if (i) os << ",";
+      os << "q[" << gate.qubits[i] << "]";
+    }
+    os << ";\n";
+  };
+
+  for (const auto& gate : circuit.gates()) {
+    if (qasm_names().count(gate.type) != 0) {
+      emit(gate);
+    } else {
+      // SH, SqrtSwap, RZX: lower to basis gates for interchange.
+      Circuit fragment(circuit.num_qubits(), circuit.num_params());
+      append_basis_decomposition(fragment, gate);
+      for (const auto& lowered : fragment.gates()) emit(lowered);
+    }
+  }
+  return os.str();
+}
+
+Circuit from_qasm(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int line_number = 0;
+  int declared_params = 0;
+  int num_qubits = 0;
+  std::vector<std::string> gate_lines;
+  std::vector<int> gate_line_numbers;
+
+  while (std::getline(is, line)) {
+    ++line_number;
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.rfind("//", 0) == 0) {
+      const std::string marker = "// qnat-params:";
+      if (line.rfind(marker, 0) == 0) {
+        declared_params = std::stoi(line.substr(marker.size()));
+      }
+      continue;
+    }
+    if (line.rfind("OPENQASM", 0) == 0 || line.rfind("include", 0) == 0) {
+      continue;
+    }
+    if (line.rfind("qreg", 0) == 0) {
+      const auto lb = line.find('[');
+      const auto rb = line.find(']');
+      QNAT_CHECK(lb != std::string::npos && rb != std::string::npos && rb > lb,
+                 "qasm line " + std::to_string(line_number) +
+                     ": malformed qreg");
+      num_qubits = std::stoi(line.substr(lb + 1, rb - lb - 1));
+      continue;
+    }
+    if (line.rfind("creg", 0) == 0 || line.rfind("measure", 0) == 0 ||
+        line.rfind("barrier", 0) == 0) {
+      continue;  // classical bookkeeping: ignored
+    }
+    gate_lines.push_back(line);
+    gate_line_numbers.push_back(line_number);
+  }
+  QNAT_CHECK(num_qubits > 0, "qasm input declares no qreg");
+
+  Circuit circuit(num_qubits, declared_params);
+  for (std::size_t g = 0; g < gate_lines.size(); ++g) {
+    std::string statement = gate_lines[g];
+    const int ln = gate_line_numbers[g];
+    QNAT_CHECK(!statement.empty() && statement.back() == ';',
+               "qasm line " + std::to_string(ln) + ": missing ';'");
+    statement.pop_back();
+
+    // Split into mnemonic(+args) and operand list.
+    std::string head = statement;
+    std::string params_text;
+    const auto lp = statement.find('(');
+    std::string operands_text;
+    if (lp != std::string::npos) {
+      const auto rp = statement.find(')', lp);
+      QNAT_CHECK(rp != std::string::npos,
+                 "qasm line " + std::to_string(ln) + ": unbalanced '('");
+      head = trim(statement.substr(0, lp));
+      params_text = statement.substr(lp + 1, rp - lp - 1);
+      operands_text = trim(statement.substr(rp + 1));
+    } else {
+      const auto space = statement.find(' ');
+      QNAT_CHECK(space != std::string::npos,
+                 "qasm line " + std::to_string(ln) + ": malformed statement");
+      head = trim(statement.substr(0, space));
+      operands_text = trim(statement.substr(space + 1));
+    }
+
+    const auto type_it = qasm_types().find(head);
+    QNAT_CHECK(type_it != qasm_types().end(),
+               "qasm line " + std::to_string(ln) + ": unsupported gate '" +
+                   head + "'");
+    const GateType type = type_it->second;
+
+    std::vector<ParamExpr> exprs;
+    if (!params_text.empty()) {
+      for (const std::string& piece : split(params_text, ',')) {
+        exprs.push_back(parse_expr(trim(piece), ln));
+      }
+    }
+    QNAT_CHECK(static_cast<int>(exprs.size()) == gate_num_params(type),
+               "qasm line " + std::to_string(ln) + ": gate '" + head +
+                   "' expects " + std::to_string(gate_num_params(type)) +
+                   " parameters");
+
+    std::vector<QubitIndex> qubits;
+    for (const std::string& piece : split(operands_text, ',')) {
+      const std::string operand = trim(piece);
+      const auto lb = operand.find('[');
+      const auto rb = operand.find(']');
+      QNAT_CHECK(lb != std::string::npos && rb != std::string::npos,
+                 "qasm line " + std::to_string(ln) + ": malformed operand '" +
+                     operand + "'");
+      qubits.push_back(std::stoi(operand.substr(lb + 1, rb - lb - 1)));
+    }
+    circuit.append(Gate(type, std::move(qubits), std::move(exprs)));
+  }
+  return circuit;
+}
+
+}  // namespace qnat

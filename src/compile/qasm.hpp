@@ -1,0 +1,34 @@
+// OpenQASM 2.0 import/export.
+//
+// Round-trippable serialization of circuits for interchange with Qiskit
+// and friends. Export writes every gate the library knows, lowering the
+// few non-OpenQASM natives (SH, RZX) to supported forms via their basis
+// decomposition; parameterized angles print either as literals or as
+// `param[k]`-style symbols (a small extension Qiskit tolerates as
+// comments? no — symbolic circuits are exported with a declared
+// `// qnat-params: N` header and `p<k>` identifiers, and re-imported by
+// this library; plain numeric circuits are standard OpenQASM 2.0).
+//
+// Import supports the subset this library emits plus the common Qiskit
+// output gates (u1/u2/u3, cx, ccx is NOT supported — no Toffoli in the
+// gate set).
+#pragma once
+
+#include <string>
+
+#include "qsim/circuit.hpp"
+
+namespace qnat {
+
+/// Serializes a circuit to OpenQASM 2.0 text. Gates whose angles are
+/// bound parameter expressions are written as `p<k>` symbols (with scale
+/// and offset folded in as arithmetic), prefixed by a `// qnat-params: N`
+/// header line so `from_qasm` can rebuild the parameter space.
+std::string to_qasm(const Circuit& circuit);
+
+/// Parses OpenQASM 2.0 text produced by `to_qasm` or by other tools using
+/// the supported gate subset. Throws qnat::Error with a line number on
+/// malformed input.
+Circuit from_qasm(const std::string& text);
+
+}  // namespace qnat

@@ -1,0 +1,281 @@
+#include "compile/routing.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+namespace {
+
+std::vector<std::vector<QubitIndex>> adjacency(const NoiseModel& model) {
+  std::vector<std::vector<QubitIndex>> adj(
+      static_cast<std::size_t>(model.num_qubits()));
+  for (const auto& [a, b] : model.coupling_map()) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  }
+  return adj;
+}
+
+/// BFS shortest path between physical qubits; empty when unreachable.
+std::vector<QubitIndex> shortest_path(
+    const std::vector<std::vector<QubitIndex>>& adj, QubitIndex from,
+    QubitIndex to) {
+  std::vector<QubitIndex> parent(adj.size(), -1);
+  std::vector<bool> seen(adj.size(), false);
+  std::queue<QubitIndex> frontier;
+  frontier.push(from);
+  seen[static_cast<std::size_t>(from)] = true;
+  while (!frontier.empty()) {
+    const QubitIndex cur = frontier.front();
+    frontier.pop();
+    if (cur == to) break;
+    for (QubitIndex next : adj[static_cast<std::size_t>(cur)]) {
+      if (seen[static_cast<std::size_t>(next)]) continue;
+      seen[static_cast<std::size_t>(next)] = true;
+      parent[static_cast<std::size_t>(next)] = cur;
+      frontier.push(next);
+    }
+  }
+  if (!seen[static_cast<std::size_t>(to)]) return {};
+  std::vector<QubitIndex> path;
+  for (QubitIndex cur = to; cur != -1; cur = parent[static_cast<std::size_t>(cur)]) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double qubit_score(const NoiseModel& model, QubitIndex q) {
+  const auto readout = model.readout_error(q);
+  return model.single_qubit_channel(GateType::SX, q).total() +
+         0.5 * (readout.p1_given_0() + readout.p0_given_1());
+}
+
+}  // namespace
+
+Layout trivial_layout(int num_logical) {
+  Layout layout(static_cast<std::size_t>(num_logical));
+  for (int i = 0; i < num_logical; ++i) {
+    layout[static_cast<std::size_t>(i)] = i;
+  }
+  return layout;
+}
+
+Layout noise_adaptive_layout(int num_logical, const NoiseModel& model) {
+  QNAT_CHECK(num_logical <= model.num_qubits(),
+             "circuit does not fit on device");
+  const auto adj = adjacency(model);
+  double best_total = std::numeric_limits<double>::infinity();
+  Layout best;
+
+  // Grow a connected set greedily from each seed qubit; keep the cheapest.
+  for (QubitIndex seed = 0; seed < model.num_qubits(); ++seed) {
+    std::vector<QubitIndex> chosen{seed};
+    std::vector<bool> in_set(static_cast<std::size_t>(model.num_qubits()),
+                             false);
+    in_set[static_cast<std::size_t>(seed)] = true;
+    double total = qubit_score(model, seed);
+    while (static_cast<int>(chosen.size()) < num_logical) {
+      QubitIndex best_next = -1;
+      double best_score = std::numeric_limits<double>::infinity();
+      for (QubitIndex member : chosen) {
+        for (QubitIndex cand : adj[static_cast<std::size_t>(member)]) {
+          if (in_set[static_cast<std::size_t>(cand)]) continue;
+          const double score =
+              qubit_score(model, cand) +
+              model.two_qubit_channel(member, cand).total();
+          if (score < best_score) {
+            best_score = score;
+            best_next = cand;
+          }
+        }
+      }
+      if (best_next == -1) break;  // disconnected or exhausted
+      chosen.push_back(best_next);
+      in_set[static_cast<std::size_t>(best_next)] = true;
+      total += best_score;
+    }
+    if (static_cast<int>(chosen.size()) == num_logical && total < best_total) {
+      best_total = total;
+      best = Layout(chosen.begin(), chosen.end());
+    }
+  }
+  QNAT_CHECK(!best.empty(),
+             "no connected physical subset large enough for the circuit");
+  return best;
+}
+
+std::optional<Layout> embed_interaction_graph(const Circuit& circuit,
+                                              const NoiseModel& model,
+                                              long max_steps,
+                                              int collect_limit) {
+  const int nl = circuit.num_qubits();
+  if (nl > model.num_qubits()) return std::nullopt;
+
+  // Interaction graph: logical adjacency from two-qubit gates.
+  std::vector<std::vector<QubitIndex>> interacts(
+      static_cast<std::size_t>(nl));
+  for (const auto& gate : circuit.gates()) {
+    if (gate.num_qubits() != 2) continue;
+    const QubitIndex a = gate.qubits[0];
+    const QubitIndex b = gate.qubits[1];
+    auto& na = interacts[static_cast<std::size_t>(a)];
+    auto& nb = interacts[static_cast<std::size_t>(b)];
+    if (std::find(na.begin(), na.end(), b) == na.end()) na.push_back(b);
+    if (std::find(nb.begin(), nb.end(), a) == nb.end()) nb.push_back(a);
+  }
+
+  // Assignment order: BFS over the interaction graph so each vertex
+  // (after the first) has an already-placed neighbor, pruning early.
+  std::vector<QubitIndex> order;
+  std::vector<bool> ordered(static_cast<std::size_t>(nl), false);
+  for (QubitIndex seed = 0; seed < nl; ++seed) {
+    if (ordered[static_cast<std::size_t>(seed)]) continue;
+    std::vector<QubitIndex> queue{seed};
+    ordered[static_cast<std::size_t>(seed)] = true;
+    while (!queue.empty()) {
+      const QubitIndex cur = queue.front();
+      queue.erase(queue.begin());
+      order.push_back(cur);
+      for (const QubitIndex next : interacts[static_cast<std::size_t>(cur)]) {
+        if (!ordered[static_cast<std::size_t>(next)]) {
+          ordered[static_cast<std::size_t>(next)] = true;
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+
+  Layout assignment(static_cast<std::size_t>(nl), -1);
+  std::vector<bool> used(static_cast<std::size_t>(model.num_qubits()), false);
+  std::vector<Layout> found;
+  long steps = 0;
+
+  auto score = [&](const Layout& layout) {
+    double total = 0.0;
+    for (QubitIndex l = 0; l < nl; ++l) {
+      const QubitIndex p = layout[static_cast<std::size_t>(l)];
+      total += qubit_score(model, p);
+      for (const QubitIndex ln : interacts[static_cast<std::size_t>(l)]) {
+        total += 0.5 * model
+                           .two_qubit_channel(
+                               p, layout[static_cast<std::size_t>(ln)])
+                           .total();
+      }
+    }
+    return total;
+  };
+
+  std::function<bool(std::size_t)> place = [&](std::size_t depth) -> bool {
+    if (++steps > max_steps) return true;  // budget exhausted: stop search
+    if (depth == order.size()) {
+      found.push_back(assignment);
+      return static_cast<int>(found.size()) >= collect_limit;
+    }
+    const QubitIndex logical = order[depth];
+    for (QubitIndex p = 0; p < model.num_qubits(); ++p) {
+      if (used[static_cast<std::size_t>(p)]) continue;
+      bool compatible = true;
+      for (const QubitIndex ln :
+           interacts[static_cast<std::size_t>(logical)]) {
+        const QubitIndex lp = assignment[static_cast<std::size_t>(ln)];
+        if (lp != -1 && !model.coupled(p, lp)) {
+          compatible = false;
+          break;
+        }
+      }
+      if (!compatible) continue;
+      assignment[static_cast<std::size_t>(logical)] = p;
+      used[static_cast<std::size_t>(p)] = true;
+      if (place(depth + 1)) return true;
+      assignment[static_cast<std::size_t>(logical)] = -1;
+      used[static_cast<std::size_t>(p)] = false;
+    }
+    return false;
+  };
+  place(0);
+
+  if (found.empty()) return std::nullopt;
+  std::size_t best = 0;
+  double best_score = score(found[0]);
+  for (std::size_t i = 1; i < found.size(); ++i) {
+    const double s = score(found[i]);
+    if (s < best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return found[best];
+}
+
+RoutedCircuit route_circuit(const Circuit& circuit, const NoiseModel& model,
+                            const Layout& initial_layout) {
+  QNAT_CHECK(circuit.num_qubits() <= model.num_qubits(),
+             "circuit does not fit on device");
+  QNAT_CHECK(initial_layout.size() ==
+                 static_cast<std::size_t>(circuit.num_qubits()),
+             "layout size must match circuit qubit count");
+
+  const auto adj = adjacency(model);
+  Layout layout = initial_layout;  // logical -> physical
+  // physical -> logical (or -1 when holding an ancilla).
+  std::vector<QubitIndex> occupant(
+      static_cast<std::size_t>(model.num_qubits()), -1);
+  for (std::size_t l = 0; l < layout.size(); ++l) {
+    const QubitIndex p = layout[l];
+    QNAT_CHECK(p >= 0 && p < model.num_qubits(), "layout entry out of range");
+    QNAT_CHECK(occupant[static_cast<std::size_t>(p)] == -1,
+               "layout maps two logical qubits to one physical qubit");
+    occupant[static_cast<std::size_t>(p)] = static_cast<QubitIndex>(l);
+  }
+
+  RoutedCircuit out{Circuit(model.num_qubits(), circuit.num_params()), {}, 0};
+
+  auto apply_swap = [&](QubitIndex pa, QubitIndex pb) {
+    out.circuit.cx(pa, pb);
+    out.circuit.cx(pb, pa);
+    out.circuit.cx(pa, pb);
+    ++out.inserted_swaps;
+    const QubitIndex la = occupant[static_cast<std::size_t>(pa)];
+    const QubitIndex lb = occupant[static_cast<std::size_t>(pb)];
+    occupant[static_cast<std::size_t>(pa)] = lb;
+    occupant[static_cast<std::size_t>(pb)] = la;
+    if (la != -1) layout[static_cast<std::size_t>(la)] = pb;
+    if (lb != -1) layout[static_cast<std::size_t>(lb)] = pa;
+  };
+
+  for (const auto& gate : circuit.gates()) {
+    if (gate.num_qubits() == 1) {
+      Gate mapped = gate;
+      mapped.qubits[0] = layout[static_cast<std::size_t>(gate.qubits[0])];
+      out.circuit.append(std::move(mapped));
+      continue;
+    }
+    QNAT_CHECK(gate.type == GateType::CX,
+               "router expects basis circuits (two-qubit gates must be CX)");
+    QubitIndex pa = layout[static_cast<std::size_t>(gate.qubits[0])];
+    const QubitIndex pb = layout[static_cast<std::size_t>(gate.qubits[1])];
+    if (!model.coupled(pa, pb)) {
+      const auto path = shortest_path(adj, pa, pb);
+      QNAT_CHECK(path.size() >= 2, "coupling map is disconnected");
+      // Walk the control toward the target, leaving them adjacent.
+      for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+        apply_swap(path[i], path[i + 1]);
+      }
+      pa = layout[static_cast<std::size_t>(gate.qubits[0])];
+    }
+    Gate mapped = gate;
+    mapped.qubits[0] = pa;
+    mapped.qubits[1] = layout[static_cast<std::size_t>(gate.qubits[1])];
+    out.circuit.append(std::move(mapped));
+  }
+  out.final_layout = layout;
+  return out;
+}
+
+}  // namespace qnat

@@ -1,0 +1,64 @@
+// Qubit layout and SWAP routing.
+//
+// Real devices only support two-qubit gates between physically coupled
+// qubits. The router maintains a logical→physical layout, inserts SWAPs
+// (as three CX gates, staying in the hardware basis) along shortest
+// coupling-graph paths when a gate spans uncoupled qubits, and reports the
+// final layout so measurement can read each logical qubit from the right
+// physical wire.
+//
+// Two initial-layout strategies mirror Qiskit optimization levels: the
+// trivial layout (levels 0-2) and a noise-adaptive greedy layout (level 3)
+// that places the circuit on the connected subset of qubits with the
+// lowest combined gate + readout error — the knob behind the paper's
+// Table 7 experiment.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "noise/noise_model.hpp"
+#include "qsim/circuit.hpp"
+
+namespace qnat {
+
+/// logical qubit i lives on physical qubit layout[i].
+using Layout = std::vector<QubitIndex>;
+
+/// Identity layout: logical i → physical i.
+Layout trivial_layout(int num_logical);
+
+/// Greedy noise-adaptive layout: grows a connected physical subset of the
+/// device minimizing (single-qubit error + readout error), preferring
+/// low-error coupling edges.
+Layout noise_adaptive_layout(int num_logical, const NoiseModel& model);
+
+/// Exact embedding of the circuit's two-qubit interaction graph into the
+/// device coupling graph (backtracking subgraph isomorphism, bounded by
+/// `max_steps`). When it succeeds, routing inserts **zero** SWAPs — e.g.
+/// a 10-qubit ring ansatz embeds exactly into Melbourne's ladder. With
+/// `collect_limit > 1`, up to that many embeddings are found and the one
+/// with the lowest combined gate + readout error is returned (the
+/// noise-adaptive variant used at optimization level 3). Returns nullopt
+/// when no embedding exists or the search budget is exhausted.
+std::optional<Layout> embed_interaction_graph(const Circuit& circuit,
+                                              const NoiseModel& model,
+                                              long max_steps = 200000,
+                                              int collect_limit = 1);
+
+struct RoutedCircuit {
+  /// Circuit over the device's physical qubits.
+  Circuit circuit;
+  /// Final logical→physical layout after SWAP insertion.
+  Layout final_layout;
+  int inserted_swaps = 0;
+};
+
+/// Routes `circuit` (over logical qubits) onto the device coupling map.
+/// Two-qubit gates must be CX (run after basis decomposition). Throws when
+/// the device has fewer qubits than the circuit or a disconnected
+/// coupling map blocks routing.
+RoutedCircuit route_circuit(const Circuit& circuit, const NoiseModel& model,
+                            const Layout& initial_layout);
+
+}  // namespace qnat

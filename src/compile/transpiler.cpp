@@ -1,0 +1,45 @@
+#include "compile/transpiler.hpp"
+
+#include "common/error.hpp"
+#include "compile/basis.hpp"
+
+namespace qnat {
+
+TranspileResult transpile(const Circuit& circuit, const NoiseModel& model,
+                          int optimization_level) {
+  QNAT_CHECK(optimization_level >= 0 && optimization_level <= 3,
+             "optimization level must be 0..3");
+  TranspileResult result;
+
+  Circuit basis = decompose_to_basis(circuit);
+  if (optimization_level >= 2) {
+    basis = optimize_circuit(basis, &result.pass_stats);
+  }
+
+  // Layout selection: at levels >= 1 try to embed the interaction graph
+  // exactly (zero SWAPs); level 3 scores up to 64 embeddings by noise.
+  // Fallbacks: noise-adaptive greedy (level 3) or trivial.
+  Layout layout;
+  std::optional<Layout> embedded;
+  if (optimization_level >= 1) {
+    embedded = embed_interaction_graph(basis, model, 200000,
+                                       optimization_level >= 3 ? 64 : 1);
+  }
+  if (embedded.has_value()) {
+    layout = *embedded;
+  } else if (optimization_level >= 3) {
+    layout = noise_adaptive_layout(circuit.num_qubits(), model);
+  } else {
+    layout = trivial_layout(circuit.num_qubits());
+  }
+
+  RoutedCircuit routed = route_circuit(basis, model, layout);
+  result.inserted_swaps = routed.inserted_swaps;
+  result.final_layout = std::move(routed.final_layout);
+  result.circuit = optimization_level >= 1
+                       ? optimize_circuit(routed.circuit, &result.pass_stats)
+                       : std::move(routed.circuit);
+  return result;
+}
+
+}  // namespace qnat

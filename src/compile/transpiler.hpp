@@ -1,0 +1,30 @@
+// Transpiler facade: decompose → (optimize) → layout → route → (optimize).
+//
+// Optimization levels mirror the Qiskit settings the paper uses:
+//   0 — basis decomposition + trivial layout + routing, no cleanup;
+//   1 — plus one peephole cleanup round after routing;
+//   2 — peephole cleanup before and after routing (the paper's default);
+//   3 — level 2 plus the noise-adaptive initial layout (Table 7).
+#pragma once
+
+#include "compile/passes.hpp"
+#include "compile/routing.hpp"
+#include "noise/noise_model.hpp"
+#include "qsim/circuit.hpp"
+
+namespace qnat {
+
+struct TranspileResult {
+  /// Basis circuit over the device's physical qubits.
+  Circuit circuit;
+  /// Logical qubit q is measured on physical wire final_layout[q].
+  Layout final_layout;
+  PassStats pass_stats;
+  int inserted_swaps = 0;
+};
+
+/// Compiles `circuit` for the device described by `model`.
+TranspileResult transpile(const Circuit& circuit, const NoiseModel& model,
+                          int optimization_level = 2);
+
+}  // namespace qnat

@@ -1,0 +1,160 @@
+#include "core/design_space.hpp"
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+namespace {
+
+/// Ring edges q → (q+1) mod Q. For Q == 2 this yields both directions,
+/// matching TorchQuantum's ring connection on two qubits.
+std::vector<std::pair<QubitIndex, QubitIndex>> ring_edges(int nq) {
+  std::vector<std::pair<QubitIndex, QubitIndex>> edges;
+  if (nq < 2) return edges;
+  for (int q = 0; q < nq; ++q) edges.emplace_back(q, (q + 1) % nq);
+  return edges;
+}
+
+/// Disjoint neighbor pairs (0,1), (2,3), ...
+std::vector<std::pair<QubitIndex, QubitIndex>> pair_edges(int nq) {
+  std::vector<std::pair<QubitIndex, QubitIndex>> edges;
+  for (int q = 0; q + 1 < nq; q += 2) edges.emplace_back(q, q + 1);
+  return edges;
+}
+
+// One named layer of each kind. Returns parameters allocated.
+
+int layer_u3(Circuit& c) {
+  const int first = c.allocate_params(3 * c.num_qubits());
+  for (int q = 0; q < c.num_qubits(); ++q) {
+    c.u3(q, first + 3 * q, first + 3 * q + 1, first + 3 * q + 2);
+  }
+  return 3 * c.num_qubits();
+}
+
+int layer_cu3_ring(Circuit& c) {
+  const auto edges = ring_edges(c.num_qubits());
+  const int first = c.allocate_params(3 * static_cast<int>(edges.size()));
+  int p = first;
+  for (const auto& [a, b] : edges) {
+    c.cu3(a, b, p, p + 1, p + 2);
+    p += 3;
+  }
+  return 3 * static_cast<int>(edges.size());
+}
+
+int layer_rot(Circuit& c, GateType type) {
+  const int first = c.allocate_params(c.num_qubits());
+  for (int q = 0; q < c.num_qubits(); ++q) {
+    c.append(Gate(type, {q}, {ParamExpr::param(first + q)}));
+  }
+  return c.num_qubits();
+}
+
+int layer_two_qubit_ring(Circuit& c, GateType type) {
+  const auto edges = ring_edges(c.num_qubits());
+  const int first = c.allocate_params(static_cast<int>(edges.size()));
+  int p = first;
+  for (const auto& [a, b] : edges) {
+    c.append(Gate(type, {a, b}, {ParamExpr::param(p)}));
+    ++p;
+  }
+  return static_cast<int>(edges.size());
+}
+
+int layer_const_1q(Circuit& c, GateType type) {
+  for (int q = 0; q < c.num_qubits(); ++q) c.append(Gate(type, {q}));
+  return 0;
+}
+
+int layer_cnot_ring(Circuit& c) {
+  for (const auto& [a, b] : ring_edges(c.num_qubits())) c.cx(a, b);
+  return 0;
+}
+
+int layer_const_pairs(Circuit& c, GateType type) {
+  for (const auto& [a, b] : pair_edges(c.num_qubits())) {
+    c.append(Gate(type, {a, b}));
+  }
+  return 0;
+}
+
+/// Appends the `index`-th named layer of `space`'s cycle.
+int append_cycle_layer(Circuit& c, DesignSpace space, int index) {
+  switch (space) {
+    case DesignSpace::U3CU3:
+      return index % 2 == 0 ? layer_u3(c) : layer_cu3_ring(c);
+    case DesignSpace::ZZRY:
+      return index % 2 == 0 ? layer_two_qubit_ring(c, GateType::RZZ)
+                            : layer_rot(c, GateType::RY);
+    case DesignSpace::RXYZ:
+      switch (index % 5) {
+        case 0: return layer_const_1q(c, GateType::SH);
+        case 1: return layer_rot(c, GateType::RX);
+        case 2: return layer_rot(c, GateType::RY);
+        case 3: return layer_rot(c, GateType::RZ);
+        default: {
+          for (const auto& [a, b] : ring_edges(c.num_qubits())) c.cz(a, b);
+          return 0;
+        }
+      }
+    case DesignSpace::ZXXX:
+      return index % 2 == 0 ? layer_two_qubit_ring(c, GateType::RZX)
+                            : layer_two_qubit_ring(c, GateType::RXX);
+    case DesignSpace::RXYZU1CU3:
+      switch (index % 11) {
+        case 0: return layer_rot(c, GateType::RX);
+        case 1: return layer_const_1q(c, GateType::S);
+        case 2: return layer_cnot_ring(c);
+        case 3: return layer_rot(c, GateType::RY);
+        case 4: return layer_const_1q(c, GateType::T);
+        case 5: return layer_const_pairs(c, GateType::SWAP);
+        case 6: return layer_rot(c, GateType::RZ);
+        case 7: return layer_const_1q(c, GateType::H);
+        case 8: return layer_const_pairs(c, GateType::SqrtSwap);
+        case 9: return layer_rot(c, GateType::P);
+        default: return layer_cu3_ring(c);
+      }
+  }
+  throw Error("unknown design space");
+}
+
+}  // namespace
+
+DesignSpace design_space_from_string(const std::string& name) {
+  if (name == "u3cu3") return DesignSpace::U3CU3;
+  if (name == "zzry") return DesignSpace::ZZRY;
+  if (name == "rxyz") return DesignSpace::RXYZ;
+  if (name == "zxxx") return DesignSpace::ZXXX;
+  if (name == "rxyzu1cu3") return DesignSpace::RXYZU1CU3;
+  throw Error("unknown design space: " + name);
+}
+
+std::string design_space_name(DesignSpace space) {
+  switch (space) {
+    case DesignSpace::U3CU3: return "u3cu3";
+    case DesignSpace::ZZRY: return "zzry";
+    case DesignSpace::RXYZ: return "rxyz";
+    case DesignSpace::ZXXX: return "zxxx";
+    case DesignSpace::RXYZU1CU3: return "rxyzu1cu3";
+  }
+  return "?";
+}
+
+int append_trainable_layers(Circuit& circuit, DesignSpace space,
+                            int num_layers) {
+  QNAT_CHECK(num_layers > 0, "need at least one trainable layer");
+  int params = 0;
+  for (int layer = 0; layer < num_layers; ++layer) {
+    params += append_cycle_layer(circuit, space, layer);
+  }
+  return params;
+}
+
+int count_trainable_params(DesignSpace space, int num_qubits,
+                           int num_layers) {
+  Circuit scratch(num_qubits);
+  return append_trainable_layers(scratch, space, num_layers);
+}
+
+}  // namespace qnat

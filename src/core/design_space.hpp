@@ -1,0 +1,38 @@
+// Trainable-layer design spaces (paper Table 2).
+//
+//  - U3CU3 (default, Fig. 2): alternating layers of per-qubit U3 gates and
+//    ring-connected CU3 gates; a "2B x 2L" model has 2 blocks, each with
+//    one U3 layer and one CU3 layer.
+//  - ZZRY  ('ZZ+RY' [18]): ring-connected RZZ layer + RY layer.
+//  - RXYZ  ('RXYZ' [21]): five layers — sqrt(H), RX, RY, RZ, ring CZ.
+//  - ZXXX  ('ZX+XX' [6]): ring RZX layer + ring RXX layer.
+//  - RXYZU1CU3 ('RXYZ+U1+CU3' [8]): the 11-layer cycle RX, S, CNOT(ring),
+//    RY, T, SWAP(pairs), RZ, H, sqrt(SWAP)(pairs), U1, CU3(ring).
+//
+// `num_layers` counts *named layers* from the space's cycle, so a
+// 12-layer U3CU3 block alternates U3/CU3 six times, and a 5-layer RXYZ
+// block is exactly one full cycle.
+#pragma once
+
+#include <string>
+
+#include "qsim/circuit.hpp"
+
+namespace qnat {
+
+enum class DesignSpace { U3CU3, ZZRY, RXYZ, ZXXX, RXYZU1CU3 };
+
+DesignSpace design_space_from_string(const std::string& name);
+std::string design_space_name(DesignSpace space);
+
+/// Appends `num_layers` trainable layers to `circuit`, allocating the
+/// parameter slots it needs on the circuit. Returns the number of
+/// parameters added.
+int append_trainable_layers(Circuit& circuit, DesignSpace space,
+                            int num_layers);
+
+/// Number of parameters `append_trainable_layers` would allocate (for
+/// model-size reporting without building a circuit).
+int count_trainable_params(DesignSpace space, int num_qubits, int num_layers);
+
+}  // namespace qnat

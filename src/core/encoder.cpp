@@ -1,0 +1,33 @@
+#include "core/encoder.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+void append_feature_encoder(Circuit& circuit, int num_features,
+                            int first_param) {
+  QNAT_CHECK(num_features > 0, "encoder needs at least one feature");
+  const int nq = circuit.num_qubits();
+  static constexpr std::array<GateType, 4> kCycle = {
+      GateType::RY, GateType::RX, GateType::RZ, GateType::RY};
+  int feature = 0;
+  int layer = 0;
+  while (feature < num_features) {
+    const GateType type = kCycle[static_cast<std::size_t>(layer % 4)];
+    for (int q = 0; q < nq && feature < num_features; ++q, ++feature) {
+      circuit.append(
+          Gate(type, {q}, {ParamExpr::param(first_param + feature)}));
+    }
+    ++layer;
+  }
+}
+
+void append_reencoder(Circuit& circuit, int first_param) {
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    circuit.ry(q, first_param + q);
+  }
+}
+
+}  // namespace qnat

@@ -1,0 +1,27 @@
+// Input encoders (paper §3, Fig. 2).
+//
+// The first block's encoder embeds classical features as rotation angles,
+// cycling gate layers [RY, RX, RZ, RY] across qubits — e.g. 16 features on
+// 4 qubits become 4 RY + 4 RX + 4 RZ + 4 RY gates; 36 features on 10
+// qubits become 10 RY + 10 RX + 10 RZ + 6 RY; 10 vowel features on 4
+// qubits become 4 RY + 4 RX + 2 RZ. Later blocks re-encode the previous
+// block's (normalized, quantized) measurement outcomes with one RY per
+// qubit.
+#pragma once
+
+#include "qsim/circuit.hpp"
+
+namespace qnat {
+
+/// Appends the first-block encoder for `num_features` inputs bound to
+/// parameter slots [first_param, first_param + num_features). Gate layers
+/// cycle RY → RX → RZ → RY → RY → ... (repeating the 4-layer pattern),
+/// each layer covering qubits 0..Q-1 until features run out.
+void append_feature_encoder(Circuit& circuit, int num_features,
+                            int first_param);
+
+/// Appends the inter-block encoder: one RY per qubit bound to slots
+/// [first_param, first_param + num_qubits).
+void append_reencoder(Circuit& circuit, int first_param);
+
+}  // namespace qnat

@@ -1,0 +1,260 @@
+#include "core/evaluator.hpp"
+
+#include "common/error.hpp"
+#include "nn/losses.hpp"
+#include "noise/channel_simulator.hpp"
+#include "noise/error_inserter.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+
+Deployment::Deployment(const QnnModel& model, NoiseModel noise_model,
+                       int optimization_level)
+    : model_(&model),
+      noise_(std::move(noise_model)),
+      optimization_level_(optimization_level) {
+  QNAT_CHECK(model.architecture().num_qubits <= noise_.num_qubits(),
+             "model does not fit on device");
+  compiled_.reserve(model.blocks().size());
+  for (const auto& block : model.blocks()) {
+    compiled_.push_back(transpile(block.circuit, noise_, optimization_level));
+  }
+
+  // Union of device wires any block touches (gates or measured layout).
+  const int nq = model.architecture().num_qubits;
+  std::vector<bool> used(static_cast<std::size_t>(noise_.num_qubits()),
+                         false);
+  for (const auto& result : compiled_) {
+    for (const auto& gate : result.circuit.gates()) {
+      for (const QubitIndex q : gate.qubits) {
+        used[static_cast<std::size_t>(q)] = true;
+      }
+    }
+    for (int q = 0; q < nq; ++q) {
+      used[static_cast<std::size_t>(
+          result.final_layout[static_cast<std::size_t>(q)])] = true;
+    }
+  }
+  std::vector<QubitIndex> to_compact(
+      static_cast<std::size_t>(noise_.num_qubits()), -1);
+  for (QubitIndex p = 0; p < noise_.num_qubits(); ++p) {
+    if (used[static_cast<std::size_t>(p)]) {
+      to_compact[static_cast<std::size_t>(p)] =
+          static_cast<QubitIndex>(compact_wires_.size());
+      compact_wires_.push_back(p);
+    }
+  }
+  compact_noise_ = noise_.restricted_to(compact_wires_);
+
+  for (const auto& result : compiled_) {
+    Circuit compact(static_cast<int>(compact_wires_.size()),
+                    result.circuit.num_params());
+    for (Gate gate : result.circuit.gates()) {
+      for (QubitIndex& q : gate.qubits) {
+        q = to_compact[static_cast<std::size_t>(q)];
+      }
+      compact.append(std::move(gate));
+    }
+    compact_circuits_.push_back(std::move(compact));
+
+    std::vector<QubitIndex> wires;
+    wires.reserve(static_cast<std::size_t>(nq));
+    for (int q = 0; q < nq; ++q) {
+      wires.push_back(to_compact[static_cast<std::size_t>(
+          result.final_layout[static_cast<std::size_t>(q)])]);
+    }
+    compact_measure_wires_.push_back(std::move(wires));
+  }
+}
+
+namespace {
+
+std::vector<BlockExecutionPlan> plans_over_compact(
+    const Deployment& deployment, int num_logical, bool readout_map,
+    const std::vector<const Circuit*>& circuits) {
+  const NoiseModel& noise = deployment.compact_noise();
+  std::vector<BlockExecutionPlan> plans;
+  plans.reserve(circuits.size());
+  for (std::size_t b = 0; b < circuits.size(); ++b) {
+    BlockExecutionPlan plan;
+    plan.circuit = circuits[b];
+    plan.measure_wires = deployment.compact_measure_wires()[b];
+    plan.readout_slope.resize(static_cast<std::size_t>(num_logical));
+    plan.readout_intercept.resize(static_cast<std::size_t>(num_logical));
+    for (int q = 0; q < num_logical; ++q) {
+      const auto qi = static_cast<std::size_t>(q);
+      if (readout_map) {
+        const ReadoutError e = noise.readout_error(plan.measure_wires[qi]);
+        plan.readout_slope[qi] = e.slope();
+        plan.readout_intercept[qi] = e.intercept();
+      } else {
+        plan.readout_slope[qi] = 1.0;
+        plan.readout_intercept[qi] = 0.0;
+      }
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+}  // namespace
+
+std::vector<BlockExecutionPlan> Deployment::compiled_plans(
+    bool readout_map) const {
+  std::vector<const Circuit*> circuits;
+  circuits.reserve(compact_circuits_.size());
+  for (const auto& c : compact_circuits_) circuits.push_back(&c);
+  return plans_over_compact(*this, model_->architecture().num_qubits,
+                            readout_map, circuits);
+}
+
+std::vector<BlockExecutionPlan> Deployment::injected_plans(
+    double noise_factor, bool readout_map, Rng& rng,
+    std::vector<Circuit>& storage) const {
+  storage.clear();
+  storage.reserve(compact_circuits_.size());
+  for (const auto& circuit : compact_circuits_) {
+    storage.push_back(
+        insert_error_gates(circuit, compact_noise_, noise_factor, rng));
+  }
+  std::vector<const Circuit*> circuits;
+  circuits.reserve(storage.size());
+  for (const auto& c : storage) circuits.push_back(&c);
+  return plans_over_compact(*this, model_->architecture().num_qubits,
+                            readout_map, circuits);
+}
+
+Tensor2D qnn_forward_noisy(const QnnModel& model, const Deployment& deployment,
+                           const Tensor2D& inputs,
+                           const QnnForwardOptions& pipeline,
+                           const NoisyEvalOptions& eval_options,
+                           QnnForwardCache* cache) {
+  QNAT_CHECK(eval_options.trajectories > 0, "need at least one trajectory");
+  const int nq = model.architecture().num_qubits;
+  Rng rng(eval_options.seed);
+  const auto& circuits = deployment.compact_circuits();
+  const auto& measure = deployment.compact_measure_wires();
+
+  auto block_mode = [&](std::size_t b) {
+    switch (eval_options.mode) {
+      case NoiseEvalMode::ExactChannel:
+        QNAT_CHECK(channel_simulation_feasible(circuits[b]),
+                   "block too large for exact channel simulation");
+        return NoiseEvalMode::ExactChannel;
+      case NoiseEvalMode::Trajectories:
+      case NoiseEvalMode::Shots:
+        return eval_options.mode;
+      case NoiseEvalMode::Auto:
+        if (eval_options.shots_per_trajectory > 0) return NoiseEvalMode::Shots;
+        return channel_simulation_feasible(circuits[b])
+                   ? NoiseEvalMode::ExactChannel
+                   : NoiseEvalMode::Trajectories;
+    }
+    return NoiseEvalMode::Trajectories;
+  };
+
+  // Scaled model for the stochastic paths (the exact path scales
+  // internally via ChannelSimOptions::noise_scale).
+  const NoiseModel scaled_noise =
+      eval_options.noise_scale == 1.0
+          ? deployment.compact_noise()
+          : deployment.compact_noise().scaled(eval_options.noise_scale);
+  const std::vector<real> flip01 = scaled_noise.readout_flip_probs_0to1();
+  const std::vector<real> flip10 = scaled_noise.readout_flip_probs_1to0();
+
+  const BlockRunner runner = [&](std::size_t b, std::size_t /*sample*/,
+                                 const ParamVector& params) -> std::vector<real> {
+    const NoiseEvalMode mode = block_mode(b);
+    std::vector<real> out(static_cast<std::size_t>(nq), 0.0);
+
+    if (mode == NoiseEvalMode::ExactChannel) {
+      ChannelSimOptions sim;
+      sim.apply_readout = true;
+      sim.noise_scale = eval_options.noise_scale;
+      const std::vector<real> wires = channel_mean_expectations(
+          circuits[b], params, deployment.compact_noise(), sim);
+      for (int q = 0; q < nq; ++q) {
+        out[static_cast<std::size_t>(q)] = wires[static_cast<std::size_t>(
+            measure[b][static_cast<std::size_t>(q)])];
+      }
+      return out;
+    }
+
+    for (int t = 0; t < eval_options.trajectories; ++t) {
+      const Circuit noisy =
+          insert_error_gates(circuits[b], scaled_noise, 1.0, rng);
+      std::vector<real> wire_exp;
+      if (mode == NoiseEvalMode::Shots) {
+        QNAT_CHECK(eval_options.shots_per_trajectory > 0,
+                   "shot mode requires shots_per_trajectory > 0");
+        wire_exp = measure_expectations_shots(
+            noisy, params, rng, eval_options.shots_per_trajectory, flip01,
+            flip10);
+      } else {
+        wire_exp = measure_expectations(noisy, params);
+      }
+      for (int q = 0; q < nq; ++q) {
+        const auto qi = static_cast<std::size_t>(q);
+        out[qi] += wire_exp[static_cast<std::size_t>(
+            measure[b][qi])];
+      }
+    }
+    for (auto& m : out) m /= eval_options.trajectories;
+    if (mode != NoiseEvalMode::Shots) {
+      // Exact affine readout map on the averaged expectations.
+      for (int q = 0; q < nq; ++q) {
+        const auto qi = static_cast<std::size_t>(q);
+        const ReadoutError e =
+            scaled_noise.readout_error(measure[b][qi]);
+        out[qi] = e.slope() * out[qi] + e.intercept();
+      }
+    }
+    return out;
+  };
+  return qnn_forward_with_runner(model, inputs, runner, pipeline, cache);
+}
+
+Tensor2D qnn_forward_ideal(const QnnModel& model, const Tensor2D& inputs,
+                           const QnnForwardOptions& pipeline,
+                           QnnForwardCache* cache) {
+  return qnn_forward(model, inputs, make_logical_plans(model), pipeline,
+                     cache);
+}
+
+real noisy_accuracy(const QnnModel& model, const Deployment& deployment,
+                    const Dataset& dataset, const QnnForwardOptions& pipeline,
+                    const NoisyEvalOptions& eval_options) {
+  const Tensor2D logits = qnn_forward_noisy(model, deployment,
+                                            dataset.features, pipeline,
+                                            eval_options);
+  return accuracy(logits, dataset.labels);
+}
+
+real ideal_accuracy(const QnnModel& model, const Dataset& dataset,
+                    const QnnForwardOptions& pipeline) {
+  const Tensor2D logits =
+      qnn_forward_ideal(model, dataset.features, pipeline);
+  return accuracy(logits, dataset.labels);
+}
+
+BlockStats profile_block_stats(const QnnModel& model,
+                               const Deployment& deployment,
+                               const Tensor2D& inputs,
+                               const QnnForwardOptions& pipeline,
+                               const NoisyEvalOptions& eval_options) {
+  QnnForwardCache cache;
+  qnn_forward_noisy(model, deployment, inputs, pipeline, eval_options,
+                    &cache);
+  BlockStats stats;
+  // Raw outcomes exist for every block; statistics are only meaningful for
+  // processed (normalized) blocks, which are all but the last unless
+  // apply_to_last.
+  const std::size_t processed = cache.normalized.size();
+  for (std::size_t b = 0; b < processed; ++b) {
+    stats.mean.push_back(cache.raw[b].col_mean());
+    stats.stddev.push_back(cache.raw[b].col_std(kNormEpsilon));
+  }
+  return stats;
+}
+
+}  // namespace qnat

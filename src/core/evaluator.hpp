@@ -1,0 +1,141 @@
+// Device deployment and noisy inference.
+//
+// `Deployment` binds a QNN model to a device noise model: every block
+// circuit is transpiled (basis decomposition, layout, routing) and the
+// final layout tells the measurement layer which physical wire carries
+// each logical qubit.
+//
+// Noisy inference simulates what the paper measures on real IBMQ machines:
+// stochastic Pauli-trajectory sampling (each trajectory = the compiled
+// circuit with error gates freshly sampled from the *unscaled* device
+// model) averaged per sample, plus the readout confusion map — either as
+// an exact affine map on expectations (expectation mode) or as per-shot
+// bit flips (shot mode, 8192 shots in the paper). The classical pipeline
+// (normalization/quantization) is shared verbatim with training via
+// qnn_forward_with_runner.
+#pragma once
+
+#include "compile/transpiler.hpp"
+#include "core/qnn.hpp"
+#include "data/dataset.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qnat {
+
+class Deployment {
+ public:
+  Deployment(const QnnModel& model, NoiseModel noise_model,
+             int optimization_level = 2);
+
+  const NoiseModel& noise_model() const { return noise_; }
+  int optimization_level() const { return optimization_level_; }
+  const std::vector<TranspileResult>& compiled_blocks() const {
+    return compiled_;
+  }
+
+  /// Compact view: the union of device wires the compiled blocks actually
+  /// touch, so simulation never pays for idle ancilla wires (a 4-qubit
+  /// model routed on a 15-qubit device runs on a 4..6-wire circuit).
+  /// compact_wires()[i] is the physical qubit behind compact wire i;
+  /// compact_noise() is the device model restricted to those wires.
+  const std::vector<QubitIndex>& compact_wires() const {
+    return compact_wires_;
+  }
+  const NoiseModel& compact_noise() const { return compact_noise_; }
+  const std::vector<Circuit>& compact_circuits() const {
+    return compact_circuits_;
+  }
+  /// Per block: logical qubit q is measured on compact wire
+  /// compact_measure_wires()[block][q].
+  const std::vector<std::vector<QubitIndex>>& compact_measure_wires() const {
+    return compact_measure_wires_;
+  }
+
+  /// Plans running the compact compiled circuits without gate errors.
+  /// With `readout_map`, the per-qubit readout confusion map is applied
+  /// to the measured expectations (training-time readout injection).
+  std::vector<BlockExecutionPlan> compiled_plans(bool readout_map) const;
+
+  /// Per-step noise-injected plans: samples Pauli error gates into copies
+  /// of the compact circuits (stochastic channels scaled by the paper's
+  /// noise factor T; deterministic coherent errors at full magnitude).
+  /// The circuits are stored in `storage`, which must outlive the plans.
+  std::vector<BlockExecutionPlan> injected_plans(
+      double noise_factor, bool readout_map, Rng& rng,
+      std::vector<Circuit>& storage) const;
+
+ private:
+  const QnnModel* model_;
+  NoiseModel noise_;
+  int optimization_level_;
+  std::vector<TranspileResult> compiled_;
+  std::vector<QubitIndex> compact_wires_;
+  NoiseModel compact_noise_;
+  std::vector<Circuit> compact_circuits_;
+  std::vector<std::vector<QubitIndex>> compact_measure_wires_;
+};
+
+/// How noisy inference evaluates each block.
+enum class NoiseEvalMode {
+  /// ExactChannel when the block fits a density matrix (<= 8 wires after
+  /// compaction), otherwise Trajectories. Shots when shots_per_trajectory
+  /// is set.
+  Auto,
+  /// Exact channel mean via density-matrix simulation (the infinite-shot
+  /// limit; no Monte-Carlo error).
+  ExactChannel,
+  /// Stochastic Pauli-trajectory averaging on the statevector.
+  Trajectories,
+  /// Trajectories with finite-shot sampling + per-shot readout flips.
+  Shots,
+};
+
+struct NoisyEvalOptions {
+  NoiseEvalMode mode = NoiseEvalMode::Auto;
+  /// Pauli trajectories averaged per sample per block (Trajectories/Shots
+  /// modes).
+  int trajectories = 16;
+  /// Shots per trajectory in Shots mode (8192 in the paper).
+  int shots_per_trajectory = 0;
+  /// Scales the device noise model (calibration-drift studies, Table 11).
+  double noise_scale = 1.0;
+  std::uint64_t seed = 20220712;
+};
+
+/// Noisy forward pass of a whole dataset; returns logits. `pipeline`
+/// controls normalization/quantization exactly as in training; `cache`
+/// (optional) exposes raw/normalized outcomes for SNR metrics.
+Tensor2D qnn_forward_noisy(const QnnModel& model, const Deployment& deployment,
+                           const Tensor2D& inputs,
+                           const QnnForwardOptions& pipeline,
+                           const NoisyEvalOptions& eval_options,
+                           QnnForwardCache* cache = nullptr);
+
+/// Noise-free forward pass on the logical circuits; returns logits.
+Tensor2D qnn_forward_ideal(const QnnModel& model, const Tensor2D& inputs,
+                           const QnnForwardOptions& pipeline,
+                           QnnForwardCache* cache = nullptr);
+
+/// Test accuracy under device noise.
+real noisy_accuracy(const QnnModel& model, const Deployment& deployment,
+                    const Dataset& dataset, const QnnForwardOptions& pipeline,
+                    const NoisyEvalOptions& eval_options);
+
+/// Test accuracy without noise.
+real ideal_accuracy(const QnnModel& model, const Dataset& dataset,
+                    const QnnForwardOptions& pipeline);
+
+/// Per-block mean/std of the *noisy raw* measurement outcomes on a
+/// profiling set (appendix A.3.7: validation-set statistics reused to
+/// normalize small test batches).
+struct BlockStats {
+  std::vector<std::vector<real>> mean;  // per processed block, per qubit
+  std::vector<std::vector<real>> stddev;
+};
+BlockStats profile_block_stats(const QnnModel& model,
+                               const Deployment& deployment,
+                               const Tensor2D& inputs,
+                               const QnnForwardOptions& pipeline,
+                               const NoisyEvalOptions& eval_options);
+
+}  // namespace qnat

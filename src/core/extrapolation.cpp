@@ -1,0 +1,122 @@
+#include "core/extrapolation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+LineFit fit_line(const std::vector<real>& xs, const std::vector<real>& ys) {
+  QNAT_CHECK(xs.size() == ys.size() && xs.size() >= 2,
+             "line fit needs at least two points");
+  const auto n = static_cast<real>(xs.size());
+  real sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const real denom = n * sxx - sx * sx;
+  QNAT_CHECK(std::abs(denom) > 1e-12, "degenerate x values in line fit");
+  LineFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  return fit;
+}
+
+std::vector<real> extrapolate_noise_free_std(
+    const std::vector<real>& depths,
+    const std::vector<std::vector<real>>& stds_per_depth) {
+  QNAT_CHECK(depths.size() == stds_per_depth.size() && depths.size() >= 2,
+             "need stds at two or more depths");
+  const std::size_t nq = stds_per_depth.front().size();
+  std::vector<real> out(nq);
+  for (std::size_t q = 0; q < nq; ++q) {
+    std::vector<real> ys;
+    ys.reserve(depths.size());
+    for (const auto& stds : stds_per_depth) {
+      QNAT_CHECK(stds.size() == nq, "inconsistent qubit counts");
+      ys.push_back(stds[q]);
+    }
+    const LineFit fit = fit_line(depths, ys);
+    out[q] = std::max(fit.intercept, real{1e-4});
+  }
+  return out;
+}
+
+std::vector<real> extrapolate_noise_free_std_exponential(
+    const std::vector<real>& depths,
+    const std::vector<std::vector<real>>& stds_per_depth) {
+  QNAT_CHECK(depths.size() == stds_per_depth.size() && depths.size() >= 2,
+             "need stds at two or more depths");
+  const std::size_t nq = stds_per_depth.front().size();
+  std::vector<real> out(nq);
+  for (std::size_t q = 0; q < nq; ++q) {
+    std::vector<real> log_ys;
+    log_ys.reserve(depths.size());
+    for (const auto& stds : stds_per_depth) {
+      QNAT_CHECK(stds.size() == nq, "inconsistent qubit counts");
+      QNAT_CHECK(stds[q] > 0.0,
+                 "exponential extrapolation requires positive stds");
+      log_ys.push_back(std::log(stds[q]));
+    }
+    const LineFit fit = fit_line(depths, log_ys);
+    out[q] = std::exp(fit.intercept);
+  }
+  return out;
+}
+
+QnnModel repeat_trainable_layers(const QnnModel& model, int times) {
+  QNAT_CHECK(times >= 1, "repetition count must be >= 1");
+  std::vector<QnnModel::Block> blocks;
+  blocks.reserve(model.blocks().size());
+  for (const auto& source : model.blocks()) {
+    // The encoder prefix is the run of parameterized gates that only
+    // reference input parameter slots; the first constant gate or the
+    // first reference to a weight slot starts the trainable section.
+    const auto& gates = source.circuit.gates();
+    std::size_t split = gates.size();
+    for (std::size_t g = 0; g < gates.size(); ++g) {
+      bool is_encoder_gate = !gates[g].params.empty();
+      for (const auto& expr : gates[g].params) {
+        if (expr.is_constant()) {
+          is_encoder_gate = false;
+          break;
+        }
+        for (const auto& term : expr.terms) {
+          if (term.id >= source.num_inputs) {
+            is_encoder_gate = false;
+            break;
+          }
+        }
+        if (!is_encoder_gate) break;
+      }
+      if (!is_encoder_gate) {
+        split = g;
+        break;
+      }
+    }
+
+    QnnModel::Block block;
+    block.num_inputs = source.num_inputs;
+    block.num_weights = source.num_weights;
+    block.weight_offset = source.weight_offset;
+    block.circuit =
+        Circuit(source.circuit.num_qubits(), source.circuit.num_params());
+    for (std::size_t g = 0; g < split; ++g) block.circuit.append(gates[g]);
+    for (int rep = 0; rep < times; ++rep) {
+      for (std::size_t g = split; g < gates.size(); ++g) {
+        block.circuit.append(gates[g]);
+      }
+    }
+    blocks.push_back(std::move(block));
+  }
+  QnnModel repeated =
+      QnnModel::with_custom_blocks(model.architecture(), std::move(blocks));
+  repeated.weights() = model.weights();
+  return repeated;
+}
+
+}  // namespace qnat

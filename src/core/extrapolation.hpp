@@ -1,0 +1,48 @@
+// Zero-noise extrapolation compatibility layer (paper Table 4).
+//
+// The paper's combination: train a QNN, repeat its trainable layers to
+// depths L, 2L, 3L, 4L, measure the per-qubit standard deviation of noisy
+// outcomes at each depth, linearly extrapolate to depth 0 to estimate the
+// noise-free std, rescale outcomes to that std, then apply
+// post-measurement normalization. This header provides the layer
+// repetition and the least-squares extrapolation primitives; the bench
+// harness composes them.
+#pragma once
+
+#include <vector>
+
+#include "core/qnn.hpp"
+
+namespace qnat {
+
+/// Ordinary least-squares line fit y = slope * x + intercept.
+struct LineFit {
+  real slope = 0.0;
+  real intercept = 0.0;
+};
+LineFit fit_line(const std::vector<real>& xs, const std::vector<real>& ys);
+
+/// Extrapolates per-qubit stds measured at the given depths down to depth
+/// 0 with a *linear* fit (the paper's formulation). stds_per_depth[d][q]
+/// is qubit q's std at depths[d]. Results are clamped to be positive.
+std::vector<real> extrapolate_noise_free_std(
+    const std::vector<real>& depths,
+    const std::vector<std::vector<real>>& stds_per_depth);
+
+/// Exponential-decay variant: Pauli channels attenuate expectations by a
+/// per-layer factor, so std(depth) ≈ std0 · γ^depth; fitting log(std)
+/// linearly in depth and exponentiating the intercept recovers std0 —
+/// more accurate than the linear fit when folding amplifies noise
+/// severalfold. Requires strictly positive stds.
+std::vector<real> extrapolate_noise_free_std_exponential(
+    const std::vector<real>& depths,
+    const std::vector<std::vector<real>>& stds_per_depth);
+
+/// Builds a copy of `model` whose every block has its *trainable* section
+/// repeated `times` times (the encoder is kept once). The repeated
+/// sections share the original weights, so the returned model reuses the
+/// source model's weight vector unchanged — this is the circuit-folding
+/// trick extrapolation uses to amplify noise without retraining.
+QnnModel repeat_trainable_layers(const QnnModel& model, int times);
+
+}  // namespace qnat

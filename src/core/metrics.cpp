@@ -1,0 +1,94 @@
+#include "core/metrics.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "nn/losses.hpp"
+
+namespace qnat {
+
+real snr(const Tensor2D& reference, const Tensor2D& noisy) {
+  QNAT_CHECK(reference.rows() == noisy.rows() &&
+                 reference.cols() == noisy.cols(),
+             "SNR shape mismatch");
+  real signal = 0.0;
+  real noise = 0.0;
+  for (std::size_t i = 0; i < reference.data().size(); ++i) {
+    signal += reference.data()[i] * reference.data()[i];
+    const real d = reference.data()[i] - noisy.data()[i];
+    noise += d * d;
+  }
+  if (noise == 0.0) return std::numeric_limits<real>::infinity();
+  return signal / noise;
+}
+
+std::vector<real> snr_per_column(const Tensor2D& reference,
+                                 const Tensor2D& noisy) {
+  QNAT_CHECK(reference.rows() == noisy.rows() &&
+                 reference.cols() == noisy.cols(),
+             "SNR shape mismatch");
+  std::vector<real> out(reference.cols());
+  for (std::size_t c = 0; c < reference.cols(); ++c) {
+    real signal = 0.0;
+    real noise = 0.0;
+    for (std::size_t r = 0; r < reference.rows(); ++r) {
+      signal += reference(r, c) * reference(r, c);
+      const real d = reference(r, c) - noisy(r, c);
+      noise += d * d;
+    }
+    out[c] = noise == 0.0 ? std::numeric_limits<real>::infinity()
+                          : signal / noise;
+  }
+  return out;
+}
+
+Tensor2D error_map(const Tensor2D& reference, const Tensor2D& noisy) {
+  return reference - noisy;
+}
+
+ClassificationReport classification_report(const Tensor2D& logits,
+                                           const std::vector<int>& labels,
+                                           int num_classes) {
+  QNAT_CHECK(num_classes >= 2, "need at least two classes");
+  QNAT_CHECK(labels.size() == logits.rows(), "label count mismatch");
+  QNAT_CHECK(logits.cols() >= static_cast<std::size_t>(num_classes),
+             "logits narrower than class count");
+  ClassificationReport report;
+  const auto nc = static_cast<std::size_t>(num_classes);
+  report.confusion = Tensor2D(nc, nc);
+
+  const std::vector<int> predictions = argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    const int truth = labels[r];
+    QNAT_CHECK(truth >= 0 && truth < num_classes, "label out of range");
+    const int predicted = predictions[r];
+    report.confusion(static_cast<std::size_t>(truth),
+                     static_cast<std::size_t>(predicted)) += 1.0;
+    if (predicted == truth) ++correct;
+  }
+  report.accuracy =
+      static_cast<real>(correct) / static_cast<real>(labels.size());
+
+  report.precision.resize(nc);
+  report.recall.resize(nc);
+  report.f1.resize(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    real predicted_total = 0.0;
+    real true_total = 0.0;
+    for (std::size_t o = 0; o < nc; ++o) {
+      predicted_total += report.confusion(o, c);
+      true_total += report.confusion(c, o);
+    }
+    const real tp = report.confusion(c, c);
+    report.precision[c] = predicted_total > 0.0 ? tp / predicted_total : 0.0;
+    report.recall[c] = true_total > 0.0 ? tp / true_total : 0.0;
+    const real denom = report.precision[c] + report.recall[c];
+    report.f1[c] =
+        denom > 0.0 ? 2.0 * report.precision[c] * report.recall[c] / denom
+                    : 0.0;
+  }
+  return report;
+}
+
+}  // namespace qnat

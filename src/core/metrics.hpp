@@ -1,0 +1,38 @@
+// Evaluation metrics: the paper's signal-to-noise ratio
+// SNR = ||A||² / ||A - Ã||² (inverse relative matrix distance), per-qubit
+// SNR, MSE error maps (Fig. 6), and classification accuracy helpers.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace qnat {
+
+/// SNR between a reference (noise-free) matrix and its noisy counterpart.
+real snr(const Tensor2D& reference, const Tensor2D& noisy);
+
+/// Per-column (per-qubit) SNR.
+std::vector<real> snr_per_column(const Tensor2D& reference,
+                                 const Tensor2D& noisy);
+
+/// Elementwise error map reference - noisy (Fig. 6's matrices).
+Tensor2D error_map(const Tensor2D& reference, const Tensor2D& noisy);
+
+/// Per-class evaluation summary.
+struct ClassificationReport {
+  /// confusion(true_class, predicted_class) = count.
+  Tensor2D confusion;
+  std::vector<real> precision;  // per class; 0 when the class is never predicted
+  std::vector<real> recall;     // per class; 0 when the class has no samples
+  std::vector<real> f1;
+  real accuracy = 0.0;
+};
+
+/// Builds the confusion matrix and per-class precision/recall/F1 from
+/// row-argmax predictions over `logits`.
+ClassificationReport classification_report(const Tensor2D& logits,
+                                           const std::vector<int>& labels,
+                                           int num_classes);
+
+}  // namespace qnat

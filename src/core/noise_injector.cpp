@@ -1,0 +1,185 @@
+#include "core/noise_injector.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+std::string injection_method_name(InjectionMethod method) {
+  switch (method) {
+    case InjectionMethod::None: return "none";
+    case InjectionMethod::GateInsertion: return "gate-insertion";
+    case InjectionMethod::MeasurementPerturbation: return "meas-perturb";
+    case InjectionMethod::AnglePerturbation: return "angle-perturb";
+  }
+  return "?";
+}
+
+NoiseInjector::NoiseInjector(InjectionConfig config,
+                             const Deployment* deployment)
+    : config_(config), deployment_(deployment) {
+  if (config_.method == InjectionMethod::GateInsertion) {
+    QNAT_CHECK(deployment_ != nullptr,
+               "gate insertion requires a device deployment");
+  }
+}
+
+namespace {
+
+/// Copies the model's logical circuits with N(0, sigma) added to the
+/// offset of every parameterized gate angle.
+std::vector<Circuit> perturb_angles(const QnnModel& model, real sigma,
+                                    Rng& rng) {
+  std::vector<Circuit> out;
+  out.reserve(model.blocks().size());
+  for (const auto& block : model.blocks()) {
+    Circuit c = block.circuit;
+    for (std::size_t g = 0; g < c.size(); ++g) {
+      Gate& gate = c.mutable_gate(g);
+      for (auto& expr : gate.params) {
+        if (!expr.is_constant()) {
+          expr.offset += rng.gaussian(0.0, sigma);
+        }
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+StepPlans NoiseInjector::step_plans(const QnnModel& model,
+                                    std::size_t batch_size, Rng& rng,
+                                    std::vector<Circuit>& storage) const {
+  QNAT_CHECK(batch_size >= 1, "step plans need a positive batch size");
+  const std::size_t realizations =
+      config_.per_sample ? batch_size : std::size_t{1};
+  const std::size_t num_blocks = model.blocks().size();
+
+  switch (config_.method) {
+    case InjectionMethod::GateInsertion: {
+      // Pre-size the storage so plan pointers stay valid.
+      storage.clear();
+      storage.reserve(realizations * num_blocks);
+      StepPlans plans;
+      for (std::size_t s = 0; s < realizations; ++s) {
+        std::vector<Circuit> step_storage;
+        std::vector<BlockExecutionPlan> plan_set =
+            deployment_->injected_plans(config_.noise_factor, config_.readout,
+                                        rng, step_storage);
+        for (std::size_t b = 0; b < num_blocks; ++b) {
+          storage.push_back(std::move(step_storage[b]));
+          plan_set[b].circuit = &storage.back();
+        }
+        plans.per_sample.push_back(std::move(plan_set));
+      }
+      return plans;
+    }
+    case InjectionMethod::AnglePerturbation: {
+      storage.clear();
+      storage.reserve(realizations * num_blocks);
+      StepPlans plans;
+      for (std::size_t s = 0; s < realizations; ++s) {
+        std::vector<Circuit> perturbed =
+            perturb_angles(model, config_.angle_std, rng);
+        const std::size_t first = storage.size();
+        for (auto& c : perturbed) storage.push_back(std::move(c));
+        std::vector<BlockExecutionPlan> plan_set = make_logical_plans(model);
+        for (std::size_t b = 0; b < num_blocks; ++b) {
+          plan_set[b].circuit = &storage[first + b];
+        }
+        plans.per_sample.push_back(std::move(plan_set));
+      }
+      return plans;
+    }
+    case InjectionMethod::None:
+    case InjectionMethod::MeasurementPerturbation:
+      storage.clear();
+      return StepPlans::shared(make_logical_plans(model));
+  }
+  throw Error("unknown injection method");
+}
+
+void NoiseInjector::configure_forward(QnnForwardOptions& options,
+                                      Rng& rng) const {
+  if (config_.method == InjectionMethod::MeasurementPerturbation) {
+    options.measurement_perturbation = true;
+    options.perturb_mean = config_.perturb_mean;
+    options.perturb_std = config_.perturb_std;
+    options.rng = &rng;
+  }
+}
+
+std::pair<real, real> benchmark_error_stats(
+    const QnnModel& model, const Deployment& deployment,
+    const Tensor2D& valid_inputs, const QnnForwardOptions& pipeline,
+    const NoisyEvalOptions& eval_options) {
+  QnnForwardCache ideal_cache;
+  QnnForwardCache noisy_cache;
+  qnn_forward_ideal(model, valid_inputs, pipeline, &ideal_cache);
+  qnn_forward_noisy(model, deployment, valid_inputs, pipeline, eval_options,
+                    &noisy_cache);
+  // Error over normalized outcomes of every processed block, plus the raw
+  // final outputs (which feed the classifier directly).
+  std::vector<real> errors;
+  for (std::size_t b = 0; b < ideal_cache.normalized.size(); ++b) {
+    const auto& a = ideal_cache.normalized[b].data();
+    const auto& n = noisy_cache.normalized[b].data();
+    for (std::size_t i = 0; i < a.size(); ++i) errors.push_back(n[i] - a[i]);
+  }
+  {
+    const auto& a = ideal_cache.final_outputs.data();
+    const auto& n = noisy_cache.final_outputs.data();
+    for (std::size_t i = 0; i < a.size(); ++i) errors.push_back(n[i] - a[i]);
+  }
+  QNAT_CHECK(!errors.empty(), "no outcomes to benchmark");
+  real mean = 0.0;
+  for (const real e : errors) mean += e;
+  mean /= static_cast<real>(errors.size());
+  real var = 0.0;
+  for (const real e : errors) var += (e - mean) * (e - mean);
+  var /= static_cast<real>(errors.size());
+  return {mean, std::sqrt(var)};
+}
+
+real calibrate_angle_std(const QnnModel& model, const Tensor2D& valid_inputs,
+                         const QnnForwardOptions& pipeline,
+                         real target_outcome_std, Rng& rng,
+                         const std::vector<real>& candidates) {
+  QNAT_CHECK(!candidates.empty(), "no candidate sigmas");
+  QnnForwardCache ideal_cache;
+  qnn_forward_ideal(model, valid_inputs, pipeline, &ideal_cache);
+
+  real best_sigma = candidates.front();
+  real best_gap = std::numeric_limits<real>::infinity();
+  for (const real sigma : candidates) {
+    InjectionConfig config;
+    config.method = InjectionMethod::AnglePerturbation;
+    config.angle_std = sigma;
+    config.per_sample = false;  // one realization suffices for calibration
+    const NoiseInjector injector(config, nullptr);
+    std::vector<Circuit> storage;
+    const StepPlans plans = injector.step_plans(model, 1, rng, storage);
+    QnnForwardCache perturbed_cache;
+    qnn_forward(model, valid_inputs, plans.per_sample[0], pipeline,
+                &perturbed_cache);
+    const auto& a = ideal_cache.final_outputs.data();
+    const auto& p = perturbed_cache.final_outputs.data();
+    real var = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      var += (p[i] - a[i]) * (p[i] - a[i]);
+    }
+    const real induced = std::sqrt(var / static_cast<real>(a.size()));
+    const real gap = std::abs(induced - target_outcome_std);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best_sigma = sigma;
+    }
+  }
+  return best_sigma;
+}
+
+}  // namespace qnat

@@ -1,0 +1,67 @@
+#include "core/normalization.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+Tensor2D normalize_batch(const Tensor2D& outcomes, NormCache* cache) {
+  QNAT_CHECK(outcomes.rows() >= 2,
+             "batch normalization needs at least 2 samples");
+  const std::vector<real> mean = outcomes.col_mean();
+  const std::vector<real> stddev = outcomes.col_std(kNormEpsilon);
+  Tensor2D normalized(outcomes.rows(), outcomes.cols());
+  for (std::size_t r = 0; r < outcomes.rows(); ++r) {
+    for (std::size_t c = 0; c < outcomes.cols(); ++c) {
+      normalized(r, c) = (outcomes(r, c) - mean[c]) / stddev[c];
+    }
+  }
+  if (cache != nullptr) {
+    cache->mean = mean;
+    cache->std = stddev;
+    cache->normalized = normalized;
+  }
+  return normalized;
+}
+
+Tensor2D normalize_batch_backward(const Tensor2D& grad_normalized,
+                                  const NormCache& cache) {
+  const Tensor2D& xhat = cache.normalized;
+  QNAT_CHECK(grad_normalized.rows() == xhat.rows() &&
+                 grad_normalized.cols() == xhat.cols(),
+             "gradient shape mismatch");
+  const auto m = static_cast<real>(xhat.rows());
+  Tensor2D grad(xhat.rows(), xhat.cols());
+  for (std::size_t c = 0; c < xhat.cols(); ++c) {
+    real sum_g = 0.0;
+    real sum_gx = 0.0;
+    for (std::size_t r = 0; r < xhat.rows(); ++r) {
+      sum_g += grad_normalized(r, c);
+      sum_gx += grad_normalized(r, c) * xhat(r, c);
+    }
+    const real inv_std = 1.0 / cache.std[c];
+    for (std::size_t r = 0; r < xhat.rows(); ++r) {
+      grad(r, c) = inv_std * (grad_normalized(r, c) - sum_g / m -
+                              xhat(r, c) * sum_gx / m);
+    }
+  }
+  return grad;
+}
+
+Tensor2D normalize_with_stats(const Tensor2D& outcomes,
+                              const std::vector<real>& mean,
+                              const std::vector<real>& stddev) {
+  QNAT_CHECK(mean.size() == outcomes.cols() && stddev.size() == outcomes.cols(),
+             "statistics dimension mismatch");
+  Tensor2D out(outcomes.rows(), outcomes.cols());
+  for (std::size_t r = 0; r < outcomes.rows(); ++r) {
+    for (std::size_t c = 0; c < outcomes.cols(); ++c) {
+      QNAT_CHECK(stddev[c] > 0.0, "non-positive profiled std");
+      out(r, c) = (outcomes(r, c) - mean[c]) / stddev[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace qnat

@@ -1,0 +1,45 @@
+// Post-measurement normalization (paper §3.1).
+//
+// For each qubit, measurement outcomes are normalized across the batch to
+// zero mean and unit variance, during both training and inference. By
+// Theorem 3.1, quantum noise acts on expectations as y → γy + β; batch
+// normalization cancels both γ and the batch-mean shift β, which is why
+// the same statistics-free transform aligns noisy and noise-free feature
+// distributions. Unlike BatchNorm there are no trainable affine
+// parameters, and inference uses the *test batch's own* statistics by
+// default; profiled statistics (e.g. from the validation set, appendix
+// A.3.7) are supported for small deployment batches.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace qnat {
+
+/// Saved forward state needed by the backward pass.
+struct NormCache {
+  std::vector<real> mean;
+  std::vector<real> std;
+  Tensor2D normalized;  // x̂, reused by the backward formula
+};
+
+inline constexpr real kNormEpsilon = 1e-8;
+
+/// Batch normalization per column. Requires at least 2 rows (a singleton
+/// batch has no usable statistics).
+Tensor2D normalize_batch(const Tensor2D& outcomes, NormCache* cache = nullptr);
+
+/// Backward: given dL/dx̂ and the forward cache, returns dL/dx. Accounts
+/// for the dependence of batch statistics on every element.
+Tensor2D normalize_batch_backward(const Tensor2D& grad_normalized,
+                                  const NormCache& cache);
+
+/// Normalization with externally-profiled statistics (no batch coupling;
+/// backward is a plain 1/std scale). Used when the deployment batch is
+/// too small for reliable statistics (appendix A.3.7).
+Tensor2D normalize_with_stats(const Tensor2D& outcomes,
+                              const std::vector<real>& mean,
+                              const std::vector<real>& stddev);
+
+}  // namespace qnat

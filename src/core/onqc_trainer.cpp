@@ -1,0 +1,144 @@
+#include "core/onqc_trainer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "nn/losses.hpp"
+#include "nn/scheduler.hpp"
+#include "noise/error_inserter.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+
+namespace {
+
+ParamVector bind_sample(const Dataset& data, std::size_t row,
+                 const ParamVector& weights) {
+  ParamVector params = data.features.row(row);
+  params.insert(params.end(), weights.begin(), weights.end());
+  return params;
+}
+
+Tensor2D logits_row(const std::vector<real>& expectations, int num_classes) {
+  Tensor2D logits(1, static_cast<std::size_t>(num_classes));
+  for (int c = 0; c < num_classes; ++c) {
+    logits(0, static_cast<std::size_t>(c)) =
+        expectations[static_cast<std::size_t>(c)];
+  }
+  return logits;
+}
+
+}  // namespace
+
+OnDeviceTrainResult train_on_device(const Circuit& circuit, int num_inputs,
+                                    const Dataset& train,
+                                    const CircuitExecutor& executor,
+                                    ParamVector& weights,
+                                    const OnDeviceTrainConfig& config) {
+  QNAT_CHECK(config.epochs > 0, "need at least one epoch");
+  QNAT_CHECK(num_inputs >= 0 && num_inputs <= circuit.num_params(),
+             "invalid input slot count");
+  QNAT_CHECK(train.feature_dim() == static_cast<std::size_t>(num_inputs),
+             "dataset feature width does not match circuit inputs");
+  QNAT_CHECK(train.num_classes >= 2 &&
+                 train.num_classes <= circuit.num_qubits(),
+             "need one measured wire per class");
+  const auto num_weights =
+      static_cast<std::size_t>(circuit.num_params() - num_inputs);
+  QNAT_CHECK(weights.size() == num_weights, "weight vector size mismatch");
+
+  Rng rng(config.seed);
+  for (auto& w : weights) w = rng.uniform(-kPi, kPi);
+
+  Adam adam(num_weights, config.adam);
+  const WarmupCosineSchedule schedule(
+      std::max(1L, static_cast<long>(config.warmup_fraction * config.epochs)),
+      config.epochs);
+
+  OnDeviceTrainResult result;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    real loss = 0.0;
+    ParamVector grad(num_weights, 0.0);
+    for (std::size_t r = 0; r < train.size(); ++r) {
+      const ParamVector params = bind_sample(train, r, weights);
+      const auto expectations = executor(circuit, params);
+      ++result.device_evaluations;
+      const Tensor2D logits = logits_row(expectations, train.num_classes);
+      const std::vector<int> label{train.labels[r]};
+      loss += cross_entropy_loss(logits, label);
+      const Tensor2D grad_logits = cross_entropy_grad(logits, label);
+      std::vector<real> cotangent(
+          static_cast<std::size_t>(circuit.num_qubits()), 0.0);
+      for (int c = 0; c < train.num_classes; ++c) {
+        cotangent[static_cast<std::size_t>(c)] =
+            grad_logits(0, static_cast<std::size_t>(c));
+      }
+      const ParamVector g =
+          parameter_shift_gradient(circuit, params, cotangent, executor);
+      result.device_evaluations += parameter_shift_num_evaluations(circuit);
+      for (std::size_t w = 0; w < num_weights; ++w) {
+        grad[w] += g[static_cast<std::size_t>(num_inputs) + w];
+      }
+    }
+    const auto n = static_cast<real>(train.size());
+    for (auto& g : grad) g /= n;
+    adam.step(weights, grad, schedule.scale(epoch));
+    result.epoch_loss.push_back(loss / n);
+  }
+  return result;
+}
+
+CircuitExecutor make_noisy_device_executor(
+    const NoiseModel& noise, const std::vector<QubitIndex>& final_layout,
+    int num_logical, int trajectories, Rng& rng) {
+  QNAT_CHECK(trajectories > 0, "need at least one trajectory");
+  QNAT_CHECK(static_cast<int>(final_layout.size()) >= num_logical,
+             "layout must cover every logical qubit");
+  return [&noise, final_layout, num_logical, trajectories, &rng](
+             const Circuit& circuit,
+             const ParamVector& params) -> std::vector<real> {
+    std::vector<real> mean(static_cast<std::size_t>(num_logical), 0.0);
+    for (int t = 0; t < trajectories; ++t) {
+      const Circuit noisy = insert_error_gates(circuit, noise, 1.0, rng);
+      const auto wires = measure_expectations(noisy, params);
+      for (int q = 0; q < num_logical; ++q) {
+        mean[static_cast<std::size_t>(q)] += wires[static_cast<std::size_t>(
+            final_layout[static_cast<std::size_t>(q)])];
+      }
+    }
+    for (auto& m : mean) m /= trajectories;
+    for (int q = 0; q < num_logical; ++q) {
+      const ReadoutError e = noise.readout_error(
+          final_layout[static_cast<std::size_t>(q)]);
+      mean[static_cast<std::size_t>(q)] =
+          e.slope() * mean[static_cast<std::size_t>(q)] + e.intercept();
+    }
+    return mean;
+  };
+}
+
+real on_device_accuracy(const Circuit& circuit, int num_inputs,
+                        const Dataset& data, const CircuitExecutor& executor,
+                        const ParamVector& weights) {
+  QNAT_CHECK(data.size() > 0, "empty dataset");
+  QNAT_CHECK(data.feature_dim() == static_cast<std::size_t>(num_inputs) &&
+                 static_cast<int>(weights.size()) ==
+                     circuit.num_params() - num_inputs,
+             "feature/weight split does not match circuit parameters");
+  int correct = 0;
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    const ParamVector params = bind_sample(data, r, weights);
+    const auto expectations = executor(circuit, params);
+    int best = 0;
+    for (int c = 1; c < data.num_classes; ++c) {
+      if (expectations[static_cast<std::size_t>(c)] >
+          expectations[static_cast<std::size_t>(best)]) {
+        best = c;
+      }
+    }
+    if (best == data.labels[r]) ++correct;
+  }
+  return static_cast<real>(correct) / static_cast<real>(data.size());
+}
+
+}  // namespace qnat

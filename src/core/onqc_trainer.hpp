@@ -1,0 +1,71 @@
+// On-device training with the parameter-shift rule (paper §4.2
+// "Scalability" / Table 3).
+//
+// When classical simulation is infeasible, gradients are measured on the
+// quantum device itself: each gate angle is shifted ±π/2 (±3π/2 for
+// controlled rotations) and the expectation difference yields the exact
+// derivative. Gradients measured through a noisy executor are naturally
+// noise-aware — the device's errors shape them — so a model trained this
+// way is robust on that device with no explicit injection step.
+//
+// The executor abstraction (`CircuitExecutor`) is the "device": the
+// analytic simulator, the trajectory-averaged noisy simulator, or
+// anything else that maps (circuit, params) to per-wire expectations.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "grad/parameter_shift.hpp"
+#include "nn/optimizer.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qnat {
+
+struct OnDeviceTrainConfig {
+  /// Full-batch epochs (one parameter-shift gradient + one Adam step per
+  /// epoch — device evaluations are the scarce resource, so batching is
+  /// maximal).
+  int epochs = 40;
+  /// Larger rate than the minibatch trainer: only `epochs` steps happen.
+  AdamConfig adam{.learning_rate = 0.1};
+  double warmup_fraction = 0.2;
+  std::uint64_t seed = 4242;
+};
+
+struct OnDeviceTrainResult {
+  std::vector<real> epoch_loss;
+  /// Device evaluations consumed (forward passes through the executor).
+  long device_evaluations = 0;
+};
+
+/// Trains the trainable slice of `circuit`'s parameters on `train`.
+///
+/// Parameter layout follows the QNN block convention: slots
+/// [0, num_inputs) are bound per sample to the feature vector; slots
+/// [num_inputs, num_params) are the weights, initialized
+/// uniform(-pi, pi) from `config.seed` and updated in place in `weights`
+/// (which must have num_params - num_inputs entries; its incoming values
+/// are overwritten). Logits are the first `train.num_classes` wire
+/// expectations; the loss is softmax cross-entropy.
+OnDeviceTrainResult train_on_device(const Circuit& circuit, int num_inputs,
+                                    const Dataset& train,
+                                    const CircuitExecutor& executor,
+                                    ParamVector& weights,
+                                    const OnDeviceTrainConfig& config = {});
+
+/// Accuracy of the trained circuit on `data` through `executor` (argmax
+/// over the first num_classes wire expectations).
+real on_device_accuracy(const Circuit& circuit, int num_inputs,
+                        const Dataset& data, const CircuitExecutor& executor,
+                        const ParamVector& weights);
+
+/// Builds a simulated noisy "device" executor: runs the (compiled) circuit
+/// under `trajectories` freshly-sampled Pauli/idle/coherent realizations
+/// of `noise`, averages, applies each measured wire's readout map, and
+/// returns expectations in *logical* order via `final_layout` (entry q =
+/// the wire carrying logical qubit q). `noise` and `rng` must outlive the
+/// executor.
+CircuitExecutor make_noisy_device_executor(
+    const NoiseModel& noise, const std::vector<QubitIndex>& final_layout,
+    int num_logical, int trajectories, Rng& rng);
+
+}  // namespace qnat

@@ -1,0 +1,380 @@
+#include "core/qnn.hpp"
+
+#include "common/error.hpp"
+#include "core/encoder.hpp"
+#include "grad/adjoint.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+
+void QnnArchitecture::validate() const {
+  QNAT_CHECK(num_qubits >= 2, "need at least two qubits");
+  QNAT_CHECK(num_blocks >= 1, "need at least one block");
+  QNAT_CHECK(layers_per_block >= 1, "need at least one layer per block");
+  QNAT_CHECK(input_features >= 1, "need at least one input feature");
+  QNAT_CHECK(num_classes >= 2, "need at least two classes");
+  QNAT_CHECK(num_classes == 2 || num_classes <= num_qubits,
+             "direct head needs one qubit per class");
+}
+
+QnnModel::QnnModel(QnnArchitecture arch) : arch_(arch) {
+  arch_.validate();
+  int weight_offset = 0;
+  for (int b = 0; b < arch_.num_blocks; ++b) {
+    Block block;
+    const int num_inputs = b == 0 ? arch_.input_features : arch_.num_qubits;
+    block.circuit = Circuit(arch_.num_qubits, num_inputs);
+    if (b == 0) {
+      append_feature_encoder(block.circuit, num_inputs, 0);
+    } else {
+      append_reencoder(block.circuit, 0);
+    }
+    block.num_inputs = num_inputs;
+    block.num_weights = append_trainable_layers(block.circuit, arch_.space,
+                                                arch_.layers_per_block);
+    block.weight_offset = weight_offset;
+    weight_offset += block.num_weights;
+    blocks_.push_back(std::move(block));
+  }
+  weights_.assign(static_cast<std::size_t>(weight_offset), 0.0);
+}
+
+QnnModel QnnModel::with_custom_blocks(QnnArchitecture arch,
+                                      std::vector<Block> blocks) {
+  QNAT_CHECK(!blocks.empty(), "need at least one block");
+  QnnModel model(arch);
+  int total = 0;
+  for (const auto& block : blocks) {
+    QNAT_CHECK(block.weight_offset == total,
+               "custom blocks must have contiguous weight offsets");
+    total += block.num_weights;
+    QNAT_CHECK(block.circuit.num_params() ==
+                   block.num_inputs + block.num_weights,
+               "custom block parameter count mismatch");
+  }
+  model.blocks_ = std::move(blocks);
+  model.weights_.assign(static_cast<std::size_t>(total), 0.0);
+  return model;
+}
+
+void QnnModel::init_weights(Rng& rng) {
+  for (auto& w : weights_) w = rng.uniform(-kPi, kPi);
+}
+
+HeadType QnnModel::head_type() const {
+  return (arch_.num_classes == 2 && arch_.num_qubits >= 4)
+             ? HeadType::PairSum
+             : HeadType::Direct;
+}
+
+Tensor2D QnnModel::apply_head(const Tensor2D& outcomes) const {
+  QNAT_CHECK(outcomes.cols() == static_cast<std::size_t>(arch_.num_qubits),
+             "head input width mismatch");
+  const auto classes = static_cast<std::size_t>(arch_.num_classes);
+  Tensor2D logits(outcomes.rows(), classes);
+  if (head_type() == HeadType::PairSum) {
+    for (std::size_t r = 0; r < outcomes.rows(); ++r) {
+      logits(r, 0) = outcomes(r, 0) + outcomes(r, 1);
+      logits(r, 1) = outcomes(r, 2) + outcomes(r, 3);
+    }
+  } else {
+    for (std::size_t r = 0; r < outcomes.rows(); ++r) {
+      for (std::size_t c = 0; c < classes; ++c) logits(r, c) = outcomes(r, c);
+    }
+  }
+  return logits;
+}
+
+Tensor2D QnnModel::head_backward(const Tensor2D& grad_logits) const {
+  QNAT_CHECK(grad_logits.cols() == static_cast<std::size_t>(arch_.num_classes),
+             "head gradient width mismatch");
+  Tensor2D grad(grad_logits.rows(), static_cast<std::size_t>(arch_.num_qubits));
+  if (head_type() == HeadType::PairSum) {
+    for (std::size_t r = 0; r < grad.rows(); ++r) {
+      grad(r, 0) = grad_logits(r, 0);
+      grad(r, 1) = grad_logits(r, 0);
+      grad(r, 2) = grad_logits(r, 1);
+      grad(r, 3) = grad_logits(r, 1);
+    }
+  } else {
+    for (std::size_t r = 0; r < grad.rows(); ++r) {
+      for (std::size_t c = 0; c < grad_logits.cols(); ++c) {
+        grad(r, c) = grad_logits(r, c);
+      }
+    }
+  }
+  return grad;
+}
+
+std::vector<BlockExecutionPlan> make_logical_plans(const QnnModel& model) {
+  std::vector<BlockExecutionPlan> plans;
+  const int nq = model.architecture().num_qubits;
+  for (const auto& block : model.blocks()) {
+    BlockExecutionPlan plan;
+    plan.circuit = &block.circuit;
+    plan.measure_wires.resize(static_cast<std::size_t>(nq));
+    for (int q = 0; q < nq; ++q) {
+      plan.measure_wires[static_cast<std::size_t>(q)] = q;
+    }
+    plan.readout_slope.assign(static_cast<std::size_t>(nq), 1.0);
+    plan.readout_intercept.assign(static_cast<std::size_t>(nq), 0.0);
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+namespace {
+
+/// Runs one block circuit for one sample; returns post-readout logical
+/// expectations.
+std::vector<real> run_block_sample(const BlockExecutionPlan& plan,
+                                   const ParamVector& params, int num_logical) {
+  const StateVector state = run_circuit(*plan.circuit, params);
+  std::vector<real> y(static_cast<std::size_t>(num_logical));
+  for (int q = 0; q < num_logical; ++q) {
+    const auto qi = static_cast<std::size_t>(q);
+    const real e = state.expectation_z(plan.measure_wires[qi]);
+    y[qi] = plan.readout_slope[qi] * e + plan.readout_intercept[qi];
+  }
+  return y;
+}
+
+/// Assembles the circuit parameter vector [inputs | weights] for sample r.
+ParamVector bind_params(const Tensor2D& inputs, std::size_t r,
+                        const ParamVector& weights, int weight_offset,
+                        int num_weights) {
+  ParamVector params = inputs.row(r);
+  params.insert(params.end(),
+                weights.begin() + weight_offset,
+                weights.begin() + weight_offset + num_weights);
+  return params;
+}
+
+void check_plan(const BlockExecutionPlan& plan, const QnnModel::Block& block,
+                int num_logical) {
+  QNAT_CHECK(plan.circuit != nullptr, "execution plan missing circuit");
+  QNAT_CHECK(plan.circuit->num_params() ==
+                 block.num_inputs + block.num_weights,
+             "plan circuit parameter count mismatch");
+  QNAT_CHECK(plan.measure_wires.size() ==
+                     static_cast<std::size_t>(num_logical) &&
+                 plan.readout_slope.size() == plan.measure_wires.size() &&
+                 plan.readout_intercept.size() == plan.measure_wires.size(),
+             "plan wiring arrays must cover every logical qubit");
+}
+
+}  // namespace
+
+Tensor2D qnn_forward(const QnnModel& model, const Tensor2D& batch_inputs,
+                     const std::vector<BlockExecutionPlan>& plans,
+                     const QnnForwardOptions& options,
+                     QnnForwardCache* cache) {
+  return qnn_forward(model, batch_inputs, StepPlans::shared(plans), options,
+                     cache);
+}
+
+Tensor2D qnn_forward(const QnnModel& model, const Tensor2D& batch_inputs,
+                     const StepPlans& plans, const QnnForwardOptions& options,
+                     QnnForwardCache* cache) {
+  QNAT_CHECK(!plans.per_sample.empty(),
+             "step plans must contain at least one plan set");
+  QNAT_CHECK(plans.is_shared() ||
+                 plans.per_sample.size() == batch_inputs.rows(),
+             "per-sample plans must cover the whole batch");
+  const int nq = model.architecture().num_qubits;
+  for (const auto& plan_set : plans.per_sample) {
+    QNAT_CHECK(plan_set.size() == model.blocks().size(),
+               "one execution plan required per block");
+    for (std::size_t b = 0; b < plan_set.size(); ++b) {
+      check_plan(plan_set[b], model.blocks()[b], nq);
+    }
+  }
+  const BlockRunner runner = [&](std::size_t b, std::size_t sample,
+                                 const ParamVector& params) {
+    return run_block_sample(plans.for_sample(sample)[b], params, nq);
+  };
+  return qnn_forward_with_runner(model, batch_inputs, runner, options, cache);
+}
+
+Tensor2D qnn_forward_with_runner(const QnnModel& model,
+                                 const Tensor2D& batch_inputs,
+                                 const BlockRunner& runner,
+                                 const QnnForwardOptions& options,
+                                 QnnForwardCache* cache) {
+  const auto& arch = model.architecture();
+  QNAT_CHECK(batch_inputs.cols() ==
+                 static_cast<std::size_t>(arch.input_features),
+             "input feature width mismatch");
+  if (options.measurement_perturbation) {
+    QNAT_CHECK(options.rng != nullptr,
+               "measurement perturbation requires an RNG");
+  }
+  const std::size_t batch = batch_inputs.rows();
+  const int nq = arch.num_qubits;
+
+  QnnForwardCache local;
+  QnnForwardCache& cc = cache != nullptr ? *cache : local;
+  cc = QnnForwardCache{};
+
+  Tensor2D current = batch_inputs;
+  for (std::size_t b = 0; b < model.blocks().size(); ++b) {
+    const auto& block = model.blocks()[b];
+    cc.inputs.push_back(current);
+
+    Tensor2D raw(batch, static_cast<std::size_t>(nq));
+    for (std::size_t r = 0; r < batch; ++r) {
+      const ParamVector params = bind_params(
+          current, r, model.weights(), block.weight_offset, block.num_weights);
+      raw.set_row(r, runner(b, r, params));
+    }
+    cc.raw.push_back(raw);
+
+    const bool is_last = b + 1 == model.blocks().size();
+    const bool process = !is_last || options.apply_to_last;
+    if (!process) {
+      cc.final_outputs = raw;
+      break;
+    }
+
+    // Normalization.
+    Tensor2D normalized = raw;
+    NormCache norm_cache;
+    bool batch_norm_used = false;
+    if (options.normalize) {
+      if (options.profiled_mean != nullptr && options.profiled_std != nullptr) {
+        normalized = normalize_with_stats(raw, (*options.profiled_mean)[b],
+                                          (*options.profiled_std)[b]);
+      } else {
+        normalized = normalize_batch(raw, &norm_cache);
+        batch_norm_used = true;
+      }
+    }
+    if (options.measurement_perturbation) {
+      for (auto& v : normalized.data()) {
+        v += options.rng->gaussian(options.perturb_mean, options.perturb_std);
+      }
+    }
+    cc.norm.push_back(norm_cache);
+    cc.norm_valid.push_back(batch_norm_used);
+    cc.normalized.push_back(normalized);
+
+    // Quantization.
+    Tensor2D processed = normalized;
+    if (options.quantize) {
+      processed = quantize(normalized, options.quant);
+      cc.quant_loss += quantization_loss(normalized, options.quant);
+    }
+    cc.processed.push_back(processed);
+
+    if (is_last) {
+      cc.final_outputs = processed;
+    } else {
+      current = processed;
+    }
+  }
+  return model.apply_head(cc.final_outputs);
+}
+
+ParamVector qnn_backward(const QnnModel& model, const Tensor2D& grad_logits,
+                         const QnnForwardCache& cache,
+                         const std::vector<BlockExecutionPlan>& plans,
+                         const QnnForwardOptions& options,
+                         real quant_loss_weight) {
+  return qnn_backward(model, grad_logits, cache, StepPlans::shared(plans),
+                      options, quant_loss_weight);
+}
+
+ParamVector qnn_backward(const QnnModel& model, const Tensor2D& grad_logits,
+                         const QnnForwardCache& cache, const StepPlans& plans,
+                         const QnnForwardOptions& options,
+                         real quant_loss_weight) {
+  const auto& arch = model.architecture();
+  const int nq = arch.num_qubits;
+  const std::size_t batch = grad_logits.rows();
+  ParamVector weight_grad(static_cast<std::size_t>(model.num_weights()), 0.0);
+
+  // Gradient w.r.t. the processed outputs of the current block (starts as
+  // the head gradient on the final block's outputs).
+  Tensor2D grad_processed = model.head_backward(grad_logits);
+
+  for (std::size_t b = model.blocks().size(); b-- > 0;) {
+    const auto& block = model.blocks()[b];
+    const bool is_last = b + 1 == model.blocks().size();
+    const bool processed_block = !is_last || options.apply_to_last;
+
+    // Undo processing: quantization STE, perturbation (identity), then
+    // normalization.
+    Tensor2D grad_raw = grad_processed;
+    if (processed_block) {
+      Tensor2D grad_normalized = grad_processed;
+      if (options.quantize) {
+        grad_normalized = quantize_backward_ste(
+            grad_processed, cache.normalized[b], options.quant);
+        if (quant_loss_weight != 0.0) {
+          const Tensor2D ql_grad =
+              quantization_loss_grad(cache.normalized[b], options.quant) *
+              quant_loss_weight;
+          grad_normalized = grad_normalized + ql_grad;
+        }
+      }
+      if (options.normalize) {
+        if (cache.norm_valid[b]) {
+          grad_raw = normalize_batch_backward(grad_normalized, cache.norm[b]);
+        } else {
+          // Profiled statistics: constant affine map, gradient scales by
+          // 1/std.
+          grad_raw = grad_normalized;
+          const auto& stddev = (*options.profiled_std)[b];
+          for (std::size_t r = 0; r < grad_raw.rows(); ++r) {
+            for (std::size_t c = 0; c < grad_raw.cols(); ++c) {
+              grad_raw(r, c) /= stddev[c];
+            }
+          }
+        }
+      } else {
+        grad_raw = grad_normalized;
+      }
+    }
+
+    // Readout-error injection backward: e' = slope * e + intercept.
+    for (std::size_t r = 0; r < batch; ++r) {
+      const auto& plan = plans.for_sample(r)[b];
+      for (int q = 0; q < nq; ++q) {
+        grad_raw(r, static_cast<std::size_t>(q)) *=
+            plan.readout_slope[static_cast<std::size_t>(q)];
+      }
+    }
+
+    // Adjoint sweep per sample: weights gradient + encoder-input gradient.
+    Tensor2D grad_inputs(batch, static_cast<std::size_t>(block.num_inputs));
+    for (std::size_t r = 0; r < batch; ++r) {
+      const auto& plan = plans.for_sample(r)[b];
+      const int circuit_qubits = plan.circuit->num_qubits();
+      std::vector<real> cotangent(static_cast<std::size_t>(circuit_qubits),
+                                  0.0);
+      for (int q = 0; q < nq; ++q) {
+        cotangent[static_cast<std::size_t>(
+            plan.measure_wires[static_cast<std::size_t>(q)])] +=
+            grad_raw(r, static_cast<std::size_t>(q));
+      }
+      const ParamVector params =
+          bind_params(cache.inputs[b], r, model.weights(), block.weight_offset,
+                      block.num_weights);
+      const AdjointResult adjoint = adjoint_vjp(*plan.circuit, params,
+                                                cotangent);
+      for (int i = 0; i < block.num_inputs; ++i) {
+        grad_inputs(r, static_cast<std::size_t>(i)) =
+            adjoint.gradient[static_cast<std::size_t>(i)];
+      }
+      for (int w = 0; w < block.num_weights; ++w) {
+        weight_grad[static_cast<std::size_t>(block.weight_offset + w)] +=
+            adjoint.gradient[static_cast<std::size_t>(block.num_inputs + w)];
+      }
+    }
+
+    if (b > 0) grad_processed = grad_inputs;
+  }
+  return weight_grad;
+}
+
+}  // namespace qnat

@@ -1,0 +1,209 @@
+// Multi-block Quantum Neural Network (paper Fig. 2) and its batched
+// forward/backward engine.
+//
+// A model is a chain of blocks; each block is one circuit whose parameter
+// vector is [encoder inputs | trainable weights]. Block 0 encodes the
+// classical features; later blocks re-encode the previous block's
+// processed measurement outcomes with RY gates. Between blocks the
+// measurement outcomes pass through post-measurement normalization and
+// quantization (not applied after the last block unless `apply_to_last` —
+// the fully-quantum-model configuration of appendix A.3.3).
+//
+// Training backpropagates a classical cotangent into each block with the
+// adjoint differentiator; the encoder-input gradient of block b+1 becomes
+// the upstream gradient of block b's processed outputs, and normalization
+// (exact batch-statistics Jacobian) / quantization (straight-through) /
+// readout-error injection (affine slope) close the chain rule.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/design_space.hpp"
+#include "core/normalization.hpp"
+#include "core/quantization.hpp"
+#include "nn/tensor.hpp"
+#include "qsim/circuit.hpp"
+
+namespace qnat {
+
+struct QnnArchitecture {
+  int num_qubits = 4;
+  int num_blocks = 2;
+  int layers_per_block = 2;
+  DesignSpace space = DesignSpace::U3CU3;
+  /// Feature count consumed by the first block's encoder.
+  int input_features = 16;
+  int num_classes = 4;
+
+  void validate() const;
+};
+
+/// How final measurement outcomes map to class logits.
+enum class HeadType {
+  /// logits = first num_classes outcomes.
+  Direct,
+  /// 2-class on >= 4 qubits: logit0 = y0 + y1, logit1 = y2 + y3 (paper
+  /// §4.1).
+  PairSum,
+};
+
+class QnnModel {
+ public:
+  struct Block {
+    Circuit circuit;
+    int num_inputs = 0;
+    int num_weights = 0;
+    /// Offset of this block's weights inside the model weight vector.
+    int weight_offset = 0;
+  };
+
+  explicit QnnModel(QnnArchitecture arch);
+
+  /// Builds a model from externally-constructed blocks (used by
+  /// extrapolation's layer folding). Weight vector is zero-initialized
+  /// and sized from the blocks.
+  static QnnModel with_custom_blocks(QnnArchitecture arch,
+                                     std::vector<Block> blocks);
+
+  const QnnArchitecture& architecture() const { return arch_; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+  int num_weights() const { return static_cast<int>(weights_.size()); }
+
+  ParamVector& weights() { return weights_; }
+  const ParamVector& weights() const { return weights_; }
+
+  /// Uniform(-pi, pi) initialization of all rotation weights.
+  void init_weights(Rng& rng);
+
+  HeadType head_type() const;
+
+  /// Maps a batch of final-block outcomes (batch x num_qubits) to logits
+  /// (batch x num_classes).
+  Tensor2D apply_head(const Tensor2D& outcomes) const;
+
+  /// Backward of the head: dL/d(outcomes) from dL/d(logits).
+  Tensor2D head_backward(const Tensor2D& grad_logits) const;
+
+ private:
+  QnnArchitecture arch_;
+  std::vector<Block> blocks_;
+  ParamVector weights_;
+};
+
+/// How to execute one block for the current step: which circuit (possibly
+/// a transpiled and/or noise-injected copy, owned by the caller), where
+/// each logical qubit is measured, and the affine readout-error map
+/// applied to the measured expectations.
+struct BlockExecutionPlan {
+  const Circuit* circuit = nullptr;
+  /// Logical qubit q is read from wire measure_wires[q].
+  std::vector<QubitIndex> measure_wires;
+  /// Per logical qubit: e -> slope * e + intercept (1, 0 when readout
+  /// injection is off).
+  std::vector<real> readout_slope;
+  std::vector<real> readout_intercept;
+};
+
+/// Plans that run the model's own logical circuits noise-free.
+std::vector<BlockExecutionPlan> make_logical_plans(const QnnModel& model);
+
+/// Per-step execution plans, optionally distinct per sample. With a single
+/// entry, every sample in the batch shares the same plans (the paper's
+/// one-noise-realization-per-step semantics); with one entry per sample,
+/// each sample runs its own noise realization, which averages injection
+/// noise within the batch and makes short training runs converge.
+struct StepPlans {
+  std::vector<std::vector<BlockExecutionPlan>> per_sample;
+
+  static StepPlans shared(std::vector<BlockExecutionPlan> plans) {
+    StepPlans sp;
+    sp.per_sample.push_back(std::move(plans));
+    return sp;
+  }
+
+  const std::vector<BlockExecutionPlan>& for_sample(std::size_t sample) const {
+    return per_sample.size() == 1 ? per_sample[0]
+                                  : per_sample[sample];
+  }
+  bool is_shared() const { return per_sample.size() == 1; }
+};
+
+struct QnnForwardOptions {
+  bool normalize = true;
+  bool quantize = false;
+  QuantConfig quant;
+  /// Apply normalization/quantization to the last block too (fully-quantum
+  /// single-block models, appendix A.3.3).
+  bool apply_to_last = false;
+  /// Gaussian measurement-outcome perturbation (the paper's "direct
+  /// perturbation" injection baseline); applied to normalized outcomes.
+  bool measurement_perturbation = false;
+  real perturb_mean = 0.0;
+  real perturb_std = 0.0;
+  Rng* rng = nullptr;
+  /// Profiled per-block statistics for normalization (appendix A.3.7);
+  /// when set, replaces batch statistics. Outer index = block.
+  const std::vector<std::vector<real>>* profiled_mean = nullptr;
+  const std::vector<std::vector<real>>* profiled_std = nullptr;
+};
+
+struct QnnForwardCache {
+  std::vector<Tensor2D> inputs;      // per block: encoder inputs
+  std::vector<Tensor2D> raw;         // per block: post-readout outcomes
+  std::vector<NormCache> norm;       // per processed block
+  std::vector<bool> norm_valid;      // whether norm[b] was batch-based
+  std::vector<Tensor2D> normalized;  // per processed block (post perturb)
+  std::vector<Tensor2D> processed;   // per processed block (post quant)
+  Tensor2D final_outputs;            // what the head consumed
+  real quant_loss = 0.0;             // mean ||y - Q(y)||^2 over blocks
+};
+
+/// Batched forward pass. Returns class logits (batch x num_classes).
+/// `plans` must have one entry per block and outlive any later backward
+/// call that uses `cache`.
+Tensor2D qnn_forward(const QnnModel& model, const Tensor2D& batch_inputs,
+                     const std::vector<BlockExecutionPlan>& plans,
+                     const QnnForwardOptions& options,
+                     QnnForwardCache* cache = nullptr);
+
+/// Forward pass with (possibly per-sample) step plans.
+Tensor2D qnn_forward(const QnnModel& model, const Tensor2D& batch_inputs,
+                     const StepPlans& plans, const QnnForwardOptions& options,
+                     QnnForwardCache* cache = nullptr);
+
+/// Pluggable block executor: given the block index, the batch sample
+/// index, and the bound parameter vector [inputs | block weights], returns
+/// the (already readout-mapped) per-logical-qubit measurement outcomes.
+/// The noisy evaluator supplies a trajectory-averaging runner so ideal and
+/// noisy inference share the exact same classical pipeline.
+using BlockRunner = std::function<std::vector<real>(
+    std::size_t block_index, std::size_t sample_index,
+    const ParamVector& params)>;
+
+/// Forward pass through an arbitrary runner (no backward support).
+Tensor2D qnn_forward_with_runner(const QnnModel& model,
+                                 const Tensor2D& batch_inputs,
+                                 const BlockRunner& runner,
+                                 const QnnForwardOptions& options,
+                                 QnnForwardCache* cache = nullptr);
+
+/// Batched backward pass; returns dL/d(weights) for the whole model.
+/// `quant_loss_weight` scales the centroid-attraction loss contribution
+/// (its forward value is cache.quant_loss).
+ParamVector qnn_backward(const QnnModel& model, const Tensor2D& grad_logits,
+                         const QnnForwardCache& cache,
+                         const std::vector<BlockExecutionPlan>& plans,
+                         const QnnForwardOptions& options,
+                         real quant_loss_weight = 0.0);
+
+/// Backward pass with (possibly per-sample) step plans; must be called
+/// with the same plans the forward pass used.
+ParamVector qnn_backward(const QnnModel& model, const Tensor2D& grad_logits,
+                         const QnnForwardCache& cache, const StepPlans& plans,
+                         const QnnForwardOptions& options,
+                         real quant_loss_weight = 0.0);
+
+}  // namespace qnat

@@ -1,0 +1,75 @@
+#include "core/quantization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+void QuantConfig::validate() const {
+  QNAT_CHECK(levels >= 2, "need at least two quantization levels");
+  QNAT_CHECK(clip_min < clip_max, "empty clip range");
+}
+
+real QuantConfig::centroid(int k) const {
+  return clip_min + static_cast<real>(k) * step();
+}
+
+real QuantConfig::step() const {
+  return (clip_max - clip_min) / static_cast<real>(levels - 1);
+}
+
+real quantize_value(real value, const QuantConfig& config) {
+  config.validate();
+  const real clipped = std::clamp(value, config.clip_min, config.clip_max);
+  const real s = config.step();
+  const int k = static_cast<int>(std::lround((clipped - config.clip_min) / s));
+  return config.centroid(std::clamp(k, 0, config.levels - 1));
+}
+
+Tensor2D quantize(const Tensor2D& values, const QuantConfig& config) {
+  config.validate();
+  Tensor2D out(values.rows(), values.cols());
+  for (std::size_t i = 0; i < values.data().size(); ++i) {
+    out.data()[i] = quantize_value(values.data()[i], config);
+  }
+  return out;
+}
+
+Tensor2D quantize_backward_ste(const Tensor2D& grad_out,
+                               const Tensor2D& pre_quant_values,
+                               const QuantConfig& config) {
+  QNAT_CHECK(grad_out.rows() == pre_quant_values.rows() &&
+                 grad_out.cols() == pre_quant_values.cols(),
+             "gradient shape mismatch");
+  Tensor2D grad = grad_out;
+  for (std::size_t i = 0; i < grad.data().size(); ++i) {
+    const real y = pre_quant_values.data()[i];
+    if (y < config.clip_min || y > config.clip_max) grad.data()[i] = 0.0;
+  }
+  return grad;
+}
+
+real quantization_loss(const Tensor2D& values, const QuantConfig& config) {
+  QNAT_CHECK(!values.empty(), "quantization loss of empty tensor");
+  real s = 0.0;
+  for (const real y : values.data()) {
+    const real d = y - quantize_value(y, config);
+    s += d * d;
+  }
+  return s / static_cast<real>(values.data().size());
+}
+
+Tensor2D quantization_loss_grad(const Tensor2D& values,
+                                const QuantConfig& config) {
+  Tensor2D grad(values.rows(), values.cols());
+  const real scale = 2.0 / static_cast<real>(values.data().size());
+  for (std::size_t i = 0; i < values.data().size(); ++i) {
+    const real y = values.data()[i];
+    grad.data()[i] = scale * (y - quantize_value(y, config));
+  }
+  return grad;
+}
+
+}  // namespace qnat

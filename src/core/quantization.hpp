@@ -1,0 +1,51 @@
+// Post-measurement quantization (paper §3.3, Fig. 6).
+//
+// Normalized measurement outcomes are clipped to [clip_min, clip_max] and
+// uniformly quantized to `levels` centroids. Small noise-induced
+// deviations snap back to the correct centroid — the denoising effect.
+// Training treats quantization with a straight-through estimator
+// (gradient passes where the input is inside the clip range, zero
+// outside) and adds the quadratic centroid-attraction loss ||y - Q(y)||²
+// that pulls outcomes toward centroids so they are harder to mis-quantize.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace qnat {
+
+struct QuantConfig {
+  int levels = 5;
+  real clip_min = -2.0;
+  real clip_max = 2.0;
+
+  void validate() const;
+
+  /// Centroid value of level k (k in [0, levels)).
+  real centroid(int k) const;
+
+  /// Spacing between adjacent centroids.
+  real step() const;
+};
+
+/// Scalar quantization: clip then round to the nearest centroid.
+real quantize_value(real value, const QuantConfig& config);
+
+/// Elementwise quantization of a batch.
+Tensor2D quantize(const Tensor2D& values, const QuantConfig& config);
+
+/// Straight-through backward: passes grad where clip_min <= y <= clip_max,
+/// zero elsewhere.
+Tensor2D quantize_backward_ste(const Tensor2D& grad_out,
+                               const Tensor2D& pre_quant_values,
+                               const QuantConfig& config);
+
+/// Mean squared distance to the nearest centroid: the paper's auxiliary
+/// loss term ||y - Q(y)||² (mean over elements).
+real quantization_loss(const Tensor2D& values, const QuantConfig& config);
+
+/// Gradient of `quantization_loss` w.r.t. the values: 2 (y - Q(y)) / N,
+/// treating Q(y) as locally constant.
+Tensor2D quantization_loss_grad(const Tensor2D& values,
+                                const QuantConfig& config);
+
+}  // namespace qnat

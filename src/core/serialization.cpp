@@ -1,0 +1,80 @@
+#include "core/serialization.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+namespace {
+
+std::string expect_key(std::istream& is, const std::string& key) {
+  std::string k, v;
+  QNAT_CHECK(static_cast<bool>(is >> k >> v),
+             "model text truncated while reading '" + key + "'");
+  QNAT_CHECK(k == key, "expected key '" + key + "', found '" + k + "'");
+  return v;
+}
+
+}  // namespace
+
+std::string serialize_model(const QnnModel& model) {
+  const QnnArchitecture& arch = model.architecture();
+  std::ostringstream os;
+  os.precision(17);
+  os << "qnatmodel 1\n";
+  os << "qubits " << arch.num_qubits << "\n";
+  os << "blocks " << arch.num_blocks << "\n";
+  os << "layers " << arch.layers_per_block << "\n";
+  os << "space " << design_space_name(arch.space) << "\n";
+  os << "features " << arch.input_features << "\n";
+  os << "classes " << arch.num_classes << "\n";
+  os << "weights " << model.num_weights() << "\n";
+  for (const real w : model.weights()) os << w << "\n";
+  return os.str();
+}
+
+QnnModel deserialize_model(const std::string& text) {
+  std::istringstream is(text);
+  const std::string version = expect_key(is, "qnatmodel");
+  QNAT_CHECK(version == "1", "unsupported model version " + version);
+
+  QnnArchitecture arch;
+  arch.num_qubits = std::stoi(expect_key(is, "qubits"));
+  arch.num_blocks = std::stoi(expect_key(is, "blocks"));
+  arch.layers_per_block = std::stoi(expect_key(is, "layers"));
+  arch.space = design_space_from_string(expect_key(is, "space"));
+  arch.input_features = std::stoi(expect_key(is, "features"));
+  arch.num_classes = std::stoi(expect_key(is, "classes"));
+  const int num_weights = std::stoi(expect_key(is, "weights"));
+
+  QnnModel model(arch);
+  QNAT_CHECK(model.num_weights() == num_weights,
+             "weight count does not match architecture (" +
+                 std::to_string(model.num_weights()) + " vs " +
+                 std::to_string(num_weights) + ")");
+  for (int w = 0; w < num_weights; ++w) {
+    QNAT_CHECK(static_cast<bool>(
+                   is >> model.weights()[static_cast<std::size_t>(w)]),
+               "model text truncated in weight list");
+  }
+  return model;
+}
+
+void save_model(const QnnModel& model, const std::string& path) {
+  std::ofstream out(path);
+  QNAT_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << serialize_model(model);
+  QNAT_CHECK(out.good(), "failed writing model to '" + path + "'");
+}
+
+QnnModel load_model(const std::string& path) {
+  std::ifstream in(path);
+  QNAT_CHECK(in.good(), "cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return deserialize_model(buffer.str());
+}
+
+}  // namespace qnat

@@ -1,0 +1,38 @@
+// Model serialization.
+//
+// Saves/loads a trained QNN as a small line-oriented text format (the
+// architecture fields plus the weight vector), so trained models can be
+// checkpointed, shipped, or re-deployed on a different device without
+// retraining — the workflow behind the paper's Table 6 (one model, many
+// deployment targets).
+//
+// Format (versioned, one key per line):
+//   qnatmodel 1
+//   qubits 4
+//   blocks 2
+//   layers 2
+//   space u3cu3
+//   features 16
+//   classes 2
+//   weights 48
+//   <one weight per line, full precision>
+#pragma once
+
+#include <string>
+
+#include "core/qnn.hpp"
+
+namespace qnat {
+
+/// Serializes architecture + weights to the text format above.
+std::string serialize_model(const QnnModel& model);
+
+/// Rebuilds a model from `serialize_model` output. Throws qnat::Error on
+/// malformed input or version mismatch.
+QnnModel deserialize_model(const std::string& text);
+
+/// Convenience file wrappers.
+void save_model(const QnnModel& model, const std::string& path);
+QnnModel load_model(const std::string& path);
+
+}  // namespace qnat

@@ -1,0 +1,48 @@
+#include "core/theorem31.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+LinearMapFit fit_noise_linear_map(const Tensor2D& ideal,
+                                  const Tensor2D& noisy) {
+  QNAT_CHECK(ideal.rows() == noisy.rows() && ideal.cols() == noisy.cols(),
+             "shape mismatch");
+  QNAT_CHECK(ideal.rows() >= 3, "need at least 3 samples for the fit");
+  const auto n = static_cast<real>(ideal.rows());
+  LinearMapFit fit;
+  for (std::size_t c = 0; c < ideal.cols(); ++c) {
+    real sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t r = 0; r < ideal.rows(); ++r) {
+      const real x = ideal(r, c);
+      const real y = noisy(r, c);
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+      syy += y * y;
+    }
+    const real var_x = sxx - sx * sx / n;
+    const real cov = sxy - sx * sy / n;
+    const real var_y = syy - sy * sy / n;
+    // Degenerate (constant ideal column): slope undefined; report gamma=0
+    // with everything in the intercept.
+    const real gamma = var_x > 1e-12 ? cov / var_x : 0.0;
+    const real beta = (sy - gamma * sx) / n;
+
+    real ss_res = 0.0;
+    for (std::size_t r = 0; r < ideal.rows(); ++r) {
+      const real resid = noisy(r, c) - (gamma * ideal(r, c) + beta);
+      ss_res += resid * resid;
+    }
+    fit.gamma.push_back(gamma);
+    fit.beta_mean.push_back(beta);
+    fit.beta_std.push_back(std::sqrt(ss_res / n));
+    fit.r_squared.push_back(var_y > 1e-12 ? 1.0 - ss_res / var_y : 1.0);
+  }
+  return fit;
+}
+
+}  // namespace qnat

@@ -1,0 +1,37 @@
+// Empirical verification of Theorem 3.1.
+//
+// The theorem states that quantum noise maps each qubit's noiseless
+// measurement expectation y to γ·y + β_x, with γ input-independent and
+// β_x input-dependent (it vanishes for pure Pauli channels, where
+// Ω = Σ O† Z O stays proportional to Z, and is produced by coherent
+// errors through the tr(XΩ)tr(Xρ) terms). `fit_noise_linear_map`
+// regresses noisy outcomes against ideal outcomes per qubit over a batch:
+// the slope estimates γ, the intercept estimates E[β], and the residual
+// spread estimates the input dependence of β_x — exactly the quantities
+// the paper's normalization can and cannot remove.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace qnat {
+
+struct LinearMapFit {
+  /// Per-qubit slope (Theorem 3.1's γ, |γ| <= 1 for physical channels).
+  std::vector<real> gamma;
+  /// Per-qubit intercept (the batch-mean shift E[β]).
+  std::vector<real> beta_mean;
+  /// Per-qubit std of the residuals (input dependence of β_x; ~0 for pure
+  /// Pauli channels).
+  std::vector<real> beta_std;
+  /// Per-qubit coefficient of determination of the linear fit.
+  std::vector<real> r_squared;
+};
+
+/// Least-squares fit of noisy = γ·ideal + β per column (qubit).
+/// Requires >= 3 rows and matching shapes.
+LinearMapFit fit_noise_linear_map(const Tensor2D& ideal,
+                                  const Tensor2D& noisy);
+
+}  // namespace qnat

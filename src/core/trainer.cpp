@@ -1,0 +1,124 @@
+#include "core/trainer.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "nn/losses.hpp"
+
+namespace qnat {
+
+QnnForwardOptions pipeline_options(const TrainerConfig& config) {
+  QnnForwardOptions options;
+  options.normalize = config.normalize;
+  options.quantize = config.quantize;
+  options.quant = config.quant;
+  options.apply_to_last = config.apply_to_last;
+  return options;
+}
+
+TrainResult train_qnn(QnnModel& model, const Dataset& train,
+                      const TrainerConfig& config,
+                      const Deployment* deployment) {
+  QNAT_CHECK(config.epochs > 0, "need at least one epoch");
+  QNAT_CHECK(train.size() >= 2, "training set too small");
+  QNAT_CHECK(train.feature_dim() ==
+                 static_cast<std::size_t>(model.architecture().input_features),
+             "dataset feature width does not match model encoder");
+
+  Rng rng(config.seed);
+  if (!config.warm_start) model.init_weights(rng);
+  const NoiseInjector injector(config.injection, deployment);
+
+  Adam optimizer(model.weights().size(), config.adam);
+  Batcher batcher(train.size(), config.batch_size, rng.fork());
+  const long total_steps =
+      static_cast<long>(config.epochs) *
+      static_cast<long>(batcher.batches_per_epoch());
+  const WarmupCosineSchedule schedule(
+      static_cast<long>(config.warmup_fraction * total_steps), total_steps);
+
+  TrainResult result;
+  long step = 0;
+  Rng injection_rng = rng.fork();
+  Rng perturb_rng = rng.fork();
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    real epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (const auto& indices : batcher.epoch_batches()) {
+      if (indices.size() < 2) continue;  // batch-norm needs >= 2 samples
+      const Dataset batch = train.subset(indices);
+
+      std::vector<Circuit> storage;
+      const StepPlans plans =
+          injector.step_plans(model, indices.size(), injection_rng, storage);
+      QnnForwardOptions options = pipeline_options(config);
+      injector.configure_forward(options, perturb_rng);
+
+      QnnForwardCache cache;
+      const Tensor2D logits =
+          qnn_forward(model, batch.features, plans, options, &cache);
+      const real loss = cross_entropy_loss(logits, batch.labels) +
+                        config.quant_loss_weight * cache.quant_loss;
+      const Tensor2D grad_logits = cross_entropy_grad(logits, batch.labels);
+      const ParamVector grad =
+          qnn_backward(model, grad_logits, cache, plans, options,
+                       config.quantize ? config.quant_loss_weight : 0.0);
+
+      optimizer.step(model.weights(), grad, schedule.scale(step));
+      ++step;
+      epoch_loss += loss;
+      ++batches;
+    }
+    QNAT_CHECK(batches > 0, "no usable batches (batch size vs dataset size)");
+    result.epoch_loss.push_back(epoch_loss / static_cast<real>(batches));
+  }
+
+  // Final noise-free training accuracy with the training pipeline.
+  const QnnForwardOptions options = pipeline_options(config);
+  const Tensor2D logits =
+      qnn_forward(model, train.features, make_logical_plans(model), options);
+  result.final_train_accuracy = accuracy(logits, train.labels);
+  return result;
+}
+
+real noisy_validation_loss(const QnnModel& model, const Deployment& deployment,
+                           const Dataset& valid,
+                           const QnnForwardOptions& pipeline,
+                           const NoisyEvalOptions& eval_options) {
+  const Tensor2D logits = qnn_forward_noisy(model, deployment, valid.features,
+                                            pipeline, eval_options);
+  return cross_entropy_loss(logits, valid.labels);
+}
+
+GridSearchResult grid_search_noise_factor_levels(
+    QnnModel& model, const Dataset& train, const Dataset& valid,
+    const TrainerConfig& base_config, const Deployment& deployment,
+    const std::vector<double>& noise_factors, const std::vector<int>& levels,
+    const NoisyEvalOptions& eval_options) {
+  QNAT_CHECK(!noise_factors.empty() && !levels.empty(),
+             "empty hyperparameter grid");
+  GridSearchResult best;
+  best.valid_loss = std::numeric_limits<real>::infinity();
+  ParamVector best_weights;
+
+  for (const double factor : noise_factors) {
+    for (const int level : levels) {
+      TrainerConfig config = base_config;
+      config.injection.noise_factor = factor;
+      config.quantize = true;
+      config.quant.levels = level;
+      train_qnn(model, train, config, &deployment);
+      const real loss = noisy_validation_loss(
+          model, deployment, valid, pipeline_options(config), eval_options);
+      if (loss < best.valid_loss) {
+        best = GridSearchResult{factor, level, loss};
+        best_weights = model.weights();
+      }
+    }
+  }
+  model.weights() = best_weights;
+  return best;
+}
+
+}  // namespace qnat

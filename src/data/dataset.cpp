@@ -1,0 +1,71 @@
+#include "data/dataset.hpp"
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  out.features = Tensor2D(indices.size(), features.cols());
+  out.labels.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    QNAT_CHECK(indices[i] < size(), "subset index out of range");
+    out.features.set_row(i, features.row(indices[i]));
+    out.labels.push_back(labels[indices[i]]);
+  }
+  return out;
+}
+
+Dataset Dataset::take(std::size_t n) const {
+  QNAT_CHECK(n <= size(), "take exceeds dataset size");
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  return subset(indices);
+}
+
+SplitDataset split_dataset(const Dataset& dataset, double train_fraction,
+                           double valid_fraction) {
+  QNAT_CHECK(train_fraction > 0.0 && valid_fraction >= 0.0 &&
+                 train_fraction + valid_fraction <= 1.0,
+             "invalid split fractions");
+  const std::size_t n = dataset.size();
+  const auto n_train = static_cast<std::size_t>(n * train_fraction);
+  const auto n_valid = static_cast<std::size_t>(n * valid_fraction);
+  QNAT_CHECK(n_train >= 1, "empty training split");
+
+  auto range = [](std::size_t lo, std::size_t hi) {
+    std::vector<std::size_t> idx;
+    idx.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) idx.push_back(i);
+    return idx;
+  };
+  SplitDataset out;
+  out.train = dataset.subset(range(0, n_train));
+  out.valid = dataset.subset(range(n_train, n_train + n_valid));
+  out.test = dataset.subset(range(n_train + n_valid, n));
+  return out;
+}
+
+Batcher::Batcher(std::size_t dataset_size, std::size_t batch_size, Rng rng)
+    : dataset_size_(dataset_size), batch_size_(batch_size), rng_(rng) {
+  QNAT_CHECK(dataset_size > 0, "empty dataset");
+  QNAT_CHECK(batch_size > 0, "batch size must be positive");
+}
+
+std::vector<std::vector<std::size_t>> Batcher::epoch_batches() {
+  const auto perm = rng_.permutation(dataset_size_);
+  std::vector<std::vector<std::size_t>> batches;
+  for (std::size_t start = 0; start < dataset_size_; start += batch_size_) {
+    const std::size_t end = std::min(start + batch_size_, dataset_size_);
+    batches.emplace_back(perm.begin() + static_cast<std::ptrdiff_t>(start),
+                         perm.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+std::size_t Batcher::batches_per_epoch() const {
+  return (dataset_size_ + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace qnat

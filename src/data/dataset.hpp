@@ -1,0 +1,55 @@
+// Processed dataset container, train/valid/test splitting, and mini-batch
+// iteration with per-epoch shuffling.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace qnat {
+
+struct Dataset {
+  Tensor2D features;        // samples x feature_dim
+  std::vector<int> labels;  // contiguous 0..num_classes-1
+  int num_classes = 0;
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t feature_dim() const { return features.cols(); }
+
+  /// Row subset by indices.
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// First n samples.
+  Dataset take(std::size_t n) const;
+};
+
+struct SplitDataset {
+  Dataset train;
+  Dataset valid;
+  Dataset test;
+};
+
+/// Splits by the given fractions (must sum to <= 1; remainder goes to
+/// test). Order within the dataset is preserved — shuffle upstream.
+SplitDataset split_dataset(const Dataset& dataset, double train_fraction,
+                           double valid_fraction);
+
+/// Mini-batch index iterator with per-epoch reshuffling.
+class Batcher {
+ public:
+  Batcher(std::size_t dataset_size, std::size_t batch_size, Rng rng);
+
+  /// Index groups for one epoch (reshuffled each call). The final batch
+  /// may be smaller.
+  std::vector<std::vector<std::size_t>> epoch_batches();
+
+  std::size_t batches_per_epoch() const;
+
+ private:
+  std::size_t dataset_size_;
+  std::size_t batch_size_;
+  Rng rng_;
+};
+
+}  // namespace qnat

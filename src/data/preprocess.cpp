@@ -1,0 +1,210 @@
+#include "data/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+Image to_grayscale(const Image& image) {
+  if (image.channels == 1) return image;
+  Image out;
+  out.height = image.height;
+  out.width = image.width;
+  out.channels = 1;
+  out.pixels.assign(static_cast<std::size_t>(image.height) * image.width, 0.0);
+  for (int y = 0; y < image.height; ++y) {
+    for (int x = 0; x < image.width; ++x) {
+      real s = 0.0;
+      for (int c = 0; c < image.channels; ++c) s += image.at(c, y, x);
+      out.at(0, y, x) = s / image.channels;
+    }
+  }
+  return out;
+}
+
+Image center_crop(const Image& image, int size) {
+  QNAT_CHECK(size > 0 && size <= image.height && size <= image.width,
+             "crop size exceeds image");
+  const int oy = (image.height - size) / 2;
+  const int ox = (image.width - size) / 2;
+  Image out;
+  out.height = size;
+  out.width = size;
+  out.channels = image.channels;
+  out.pixels.assign(
+      static_cast<std::size_t>(image.channels) * size * size, 0.0);
+  for (int c = 0; c < image.channels; ++c) {
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        out.at(c, y, x) = image.at(c, oy + y, ox + x);
+      }
+    }
+  }
+  return out;
+}
+
+Image average_pool(const Image& image, int out_size) {
+  QNAT_CHECK(out_size > 0 && image.height % out_size == 0 &&
+                 image.width % out_size == 0,
+             "image size must be divisible by pool output size");
+  const int ky = image.height / out_size;
+  const int kx = image.width / out_size;
+  Image out;
+  out.height = out_size;
+  out.width = out_size;
+  out.channels = image.channels;
+  out.pixels.assign(
+      static_cast<std::size_t>(image.channels) * out_size * out_size, 0.0);
+  for (int c = 0; c < image.channels; ++c) {
+    for (int y = 0; y < out_size; ++y) {
+      for (int x = 0; x < out_size; ++x) {
+        real s = 0.0;
+        for (int dy = 0; dy < ky; ++dy) {
+          for (int dx = 0; dx < kx; ++dx) {
+            s += image.at(c, y * ky + dy, x * kx + dx);
+          }
+        }
+        out.at(c, y, x) = s / (ky * kx);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor2D flatten_images(const std::vector<Image>& images) {
+  QNAT_CHECK(!images.empty(), "no images to flatten");
+  const Image& first = images.front();
+  QNAT_CHECK(first.channels == 1, "flatten expects single-channel images");
+  const std::size_t width =
+      static_cast<std::size_t>(first.height) * first.width;
+  Tensor2D out(images.size(), width);
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    QNAT_CHECK(images[i].pixels.size() == width,
+               "inconsistent image sizes in batch");
+    for (std::size_t j = 0; j < width; ++j) {
+      out(i, j) = images[i].pixels[j];
+    }
+  }
+  return out;
+}
+
+void symmetric_eigen(const Tensor2D& matrix, std::vector<real>& eigenvalues,
+                     std::vector<std::vector<real>>& eigenvectors) {
+  QNAT_CHECK(matrix.rows() == matrix.cols(), "matrix must be square");
+  const std::size_t n = matrix.rows();
+  Tensor2D a = matrix;
+  Tensor2D v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    real off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-20) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a(p, q)) < 1e-15) continue;
+        const real theta = 0.5 * std::atan2(2.0 * a(p, q), a(q, q) - a(p, p));
+        const real c = std::cos(theta), s = std::sin(theta);
+        for (std::size_t k = 0; k < n; ++k) {
+          const real akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const real apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const real vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a(x, x) > a(y, y); });
+
+  eigenvalues.assign(n, 0.0);
+  eigenvectors.assign(n, std::vector<real>(n, 0.0));
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const std::size_t src = order[rank];
+    eigenvalues[rank] = a(src, src);
+    for (std::size_t k = 0; k < n; ++k) eigenvectors[rank][k] = v(k, src);
+  }
+}
+
+Pca::Pca(const Tensor2D& data, int num_components)
+    : num_components_(num_components) {
+  QNAT_CHECK(num_components > 0 &&
+                 static_cast<std::size_t>(num_components) <= data.cols(),
+             "invalid component count");
+  QNAT_CHECK(data.rows() >= 2, "PCA needs at least two samples");
+  mean_ = data.col_mean();
+  const std::size_t d = data.cols();
+  Tensor2D cov(d, d);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const real di = data(r, i) - mean_[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov(i, j) += di * (data(r, j) - mean_[j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov(i, j) /= static_cast<real>(data.rows() - 1);
+      cov(j, i) = cov(i, j);
+    }
+  }
+  std::vector<real> values;
+  std::vector<std::vector<real>> vectors;
+  symmetric_eigen(cov, values, vectors);
+  eigenvalues_.assign(values.begin(),
+                      values.begin() + num_components);
+  components_.assign(vectors.begin(), vectors.begin() + num_components);
+}
+
+Tensor2D Pca::transform(const Tensor2D& data) const {
+  QNAT_CHECK(data.cols() == mean_.size(), "PCA dimension mismatch");
+  Tensor2D out(data.rows(), static_cast<std::size_t>(num_components_));
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (int k = 0; k < num_components_; ++k) {
+      real s = 0.0;
+      for (std::size_t j = 0; j < mean_.size(); ++j) {
+        s += (data(r, j) - mean_[j]) *
+             components_[static_cast<std::size_t>(k)][j];
+      }
+      out(r, static_cast<std::size_t>(k)) = s;
+    }
+  }
+  return out;
+}
+
+Standardizer::Standardizer(const Tensor2D& train_data)
+    : mean_(train_data.col_mean()), std_(train_data.col_std(1e-12)) {
+  for (auto& s : std_) {
+    if (s < 1e-6) s = 1.0;  // constant feature: leave centered at zero
+  }
+}
+
+Tensor2D Standardizer::transform(const Tensor2D& data) const {
+  QNAT_CHECK(data.cols() == mean_.size(), "standardizer dimension mismatch");
+  Tensor2D out(data.rows(), data.cols());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      out(r, c) = (data(r, c) - mean_[c]) / std_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace qnat

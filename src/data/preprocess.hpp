@@ -1,0 +1,73 @@
+// Preprocessing pipeline, matching the paper's §4.1 exactly:
+//   MNIST / Fashion: center-crop 24x24, average-pool to 4x4 (2-/4-class)
+//     or 6x6 (10-class);
+//   CIFAR: grayscale, center-crop 28x28, average-pool to 4x4;
+//   Vowel: PCA to the 10 most significant dimensions.
+// Plus per-column standardization fit on the training split (the classical
+// equivalent of torchvision's Normalize), so features arrive at the
+// encoder as O(1)-magnitude rotation angles.
+#pragma once
+
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "nn/tensor.hpp"
+
+namespace qnat {
+
+/// Averages RGB channels into one plane. Grayscale images pass through.
+Image to_grayscale(const Image& image);
+
+/// Central crop to size x size. Throws when the image is smaller.
+Image center_crop(const Image& image, int size);
+
+/// Average pooling to out_size x out_size; input size must be divisible
+/// by out_size.
+Image average_pool(const Image& image, int out_size);
+
+/// Flattens a batch of equal-size single-channel images row-major into a
+/// (batch x H*W) tensor.
+Tensor2D flatten_images(const std::vector<Image>& images);
+
+/// Principal component analysis fit on a (samples x dim) matrix.
+class Pca {
+ public:
+  /// Fits on `data`, retaining `num_components` leading components.
+  Pca(const Tensor2D& data, int num_components);
+
+  /// Projects rows onto the principal subspace.
+  Tensor2D transform(const Tensor2D& data) const;
+
+  const std::vector<real>& eigenvalues() const { return eigenvalues_; }
+  int num_components() const { return num_components_; }
+
+ private:
+  int num_components_;
+  std::vector<real> mean_;
+  /// components_[k] is the k-th eigenvector (length = input dim).
+  std::vector<std::vector<real>> components_;
+  std::vector<real> eigenvalues_;
+};
+
+/// Symmetric-matrix eigendecomposition by cyclic Jacobi rotations.
+/// `matrix` is n*n row-major symmetric; outputs are sorted descending by
+/// eigenvalue. Exposed for testing.
+void symmetric_eigen(const Tensor2D& matrix, std::vector<real>& eigenvalues,
+                     std::vector<std::vector<real>>& eigenvectors);
+
+/// Per-column standardizer fit on the training split.
+class Standardizer {
+ public:
+  explicit Standardizer(const Tensor2D& train_data);
+
+  Tensor2D transform(const Tensor2D& data) const;
+
+  const std::vector<real>& mean() const { return mean_; }
+  const std::vector<real>& std() const { return std_; }
+
+ private:
+  std::vector<real> mean_;
+  std::vector<real> std_;
+};
+
+}  // namespace qnat

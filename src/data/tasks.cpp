@@ -1,0 +1,162 @@
+#include "data/tasks.hpp"
+
+#include "common/error.hpp"
+#include "data/preprocess.hpp"
+#include "data/synthetic.hpp"
+
+namespace qnat {
+
+namespace {
+
+struct ImageTaskSpec {
+  ImageFamily family;
+  std::vector<int> class_ids;
+  int crop = 24;
+  int pool = 4;
+};
+
+Dataset finish_dataset(Tensor2D features, std::vector<int> labels,
+                       int num_classes) {
+  Dataset d;
+  d.features = std::move(features);
+  d.labels = std::move(labels);
+  d.num_classes = num_classes;
+  return d;
+}
+
+TaskBundle build_image_task(const std::string& name, const ImageTaskSpec& spec,
+                            int samples_per_class, std::uint64_t seed,
+                            int num_qubits) {
+  ImageGenConfig config;
+  config.family = spec.family;
+  config.class_ids = spec.class_ids;
+  config.samples_per_class = samples_per_class;
+  config.seed = seed;
+  const RawImageDataset raw = generate_images(config);
+
+  std::vector<Image> processed;
+  processed.reserve(raw.images.size());
+  for (const Image& img : raw.images) {
+    Image g = to_grayscale(img);
+    g = center_crop(g, spec.crop);
+    processed.push_back(average_pool(g, spec.pool));
+  }
+  Dataset all = finish_dataset(flatten_images(processed), raw.labels,
+                               static_cast<int>(spec.class_ids.size()));
+
+  SplitDataset split = split_dataset(all, 0.70, 0.10);
+  const Standardizer standardizer(split.train.features);
+  split.train.features = standardizer.transform(split.train.features);
+  split.valid.features = standardizer.transform(split.valid.features);
+  split.test.features = standardizer.transform(split.test.features);
+
+  TaskBundle bundle;
+  bundle.info = TaskInfo{name, all.num_classes,
+                         static_cast<int>(all.feature_dim()), num_qubits};
+  bundle.train = std::move(split.train);
+  bundle.valid = std::move(split.valid);
+  bundle.test = std::move(split.test);
+  return bundle;
+}
+
+TaskBundle build_vowel_task(int samples_per_class, std::uint64_t seed) {
+  VowelGenConfig config;
+  config.samples_per_class = samples_per_class;
+  config.seed = seed;
+  const RawVectorDataset raw = generate_vowel(config);
+
+  Tensor2D features(raw.samples.size(), static_cast<std::size_t>(config.dim));
+  for (std::size_t i = 0; i < raw.samples.size(); ++i) {
+    features.set_row(i, raw.samples[i]);
+  }
+  Dataset all = finish_dataset(std::move(features), raw.labels,
+                               config.num_classes);
+
+  // Paper: train:valid:test = 6:1:3, PCA to 10 dimensions.
+  SplitDataset split = split_dataset(all, 0.6, 0.1);
+  const Pca pca(split.train.features, 10);
+  split.train.features = pca.transform(split.train.features);
+  split.valid.features = pca.transform(split.valid.features);
+  split.test.features = pca.transform(split.test.features);
+  const Standardizer standardizer(split.train.features);
+  split.train.features = standardizer.transform(split.train.features);
+  split.valid.features = standardizer.transform(split.valid.features);
+  split.test.features = standardizer.transform(split.test.features);
+
+  TaskBundle bundle;
+  bundle.info = TaskInfo{"vowel4", 4, 10, 4};
+  bundle.train = std::move(split.train);
+  bundle.valid = std::move(split.valid);
+  bundle.test = std::move(split.test);
+  return bundle;
+}
+
+TaskBundle build_two_feature_task(int samples_per_class, std::uint64_t seed) {
+  const RawVectorDataset raw =
+      generate_two_feature_binary(samples_per_class, seed);
+  Tensor2D features(raw.samples.size(), 2);
+  for (std::size_t i = 0; i < raw.samples.size(); ++i) {
+    features.set_row(i, raw.samples[i]);
+  }
+  Dataset all = finish_dataset(std::move(features), raw.labels, 2);
+  SplitDataset split = split_dataset(all, 0.6, 0.1);
+
+  TaskBundle bundle;
+  bundle.info = TaskInfo{"twofeature2", 2, 2, 2};
+  bundle.train = std::move(split.train);
+  bundle.valid = std::move(split.valid);
+  bundle.test = std::move(split.test);
+  return bundle;
+}
+
+}  // namespace
+
+std::vector<std::string> available_tasks() {
+  return {"mnist2",   "mnist4",   "mnist10", "fashion2", "fashion4",
+          "fashion10", "cifar2",  "vowel4",  "twofeature2"};
+}
+
+TaskBundle make_task(const std::string& name, int samples_per_class,
+                     std::uint64_t seed) {
+  QNAT_CHECK(samples_per_class > 0, "need at least one sample per class");
+  if (name == "mnist2") {
+    return build_image_task(name, {ImageFamily::Mnist, {3, 6}, 24, 4},
+                            samples_per_class, seed, 4);
+  }
+  if (name == "mnist4") {
+    return build_image_task(name, {ImageFamily::Mnist, {0, 1, 2, 3}, 24, 4},
+                            samples_per_class, seed, 4);
+  }
+  if (name == "mnist10") {
+    return build_image_task(
+        name, {ImageFamily::Mnist, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 24, 6},
+        samples_per_class, seed, 10);
+  }
+  if (name == "fashion2") {
+    // dress (3), shirt (6)
+    return build_image_task(name, {ImageFamily::Fashion, {3, 6}, 24, 4},
+                            samples_per_class, seed, 4);
+  }
+  if (name == "fashion4") {
+    // t-shirt/top (0), trouser (1), pullover (2), dress (3)
+    return build_image_task(name, {ImageFamily::Fashion, {0, 1, 2, 3}, 24, 4},
+                            samples_per_class, seed, 4);
+  }
+  if (name == "fashion10") {
+    return build_image_task(
+        name, {ImageFamily::Fashion, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 24, 6},
+        samples_per_class, seed, 10);
+  }
+  if (name == "cifar2") {
+    // frog (6), ship (8); grayscale + crop 28 + pool to 4x4.
+    return build_image_task(name, {ImageFamily::Cifar, {6, 8}, 28, 4},
+                            samples_per_class, seed, 4);
+  }
+  if (name == "vowel4") return build_vowel_task(samples_per_class, seed);
+  if (name == "twofeature2") {
+    return build_two_feature_task(samples_per_class, seed);
+  }
+  throw Error("unknown task: " + name);
+}
+
+}  // namespace qnat

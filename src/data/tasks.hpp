@@ -1,0 +1,42 @@
+// The paper's 8 classification tasks (plus the Table 3 two-feature task),
+// assembled end-to-end: synthetic generation → §4.1 preprocessing →
+// standardization → train/valid/test split.
+//
+// Task names: "mnist2" (digits 3, 6), "mnist4" (0-3), "mnist10",
+// "fashion2" (dress, shirt), "fashion4" (t-shirt/top, trouser, pullover,
+// dress), "fashion10", "cifar2" (frog, ship), "vowel4" (hid, hId, had,
+// hOd), "twofeature2" (Table 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace qnat {
+
+struct TaskInfo {
+  std::string name;
+  int num_classes = 0;
+  int feature_dim = 0;
+  /// Qubits the paper's reference models use for this task.
+  int num_qubits = 0;
+};
+
+struct TaskBundle {
+  TaskInfo info;
+  Dataset train;
+  Dataset valid;
+  Dataset test;
+};
+
+/// Names of all available tasks.
+std::vector<std::string> available_tasks();
+
+/// Builds a task. `samples_per_class` scales the synthetic dataset size
+/// (CPU-budget knob; the relative splits follow the paper: 95/5 train/
+/// valid for image tasks, 6:1:3 for vowel). Deterministic in (name, seed).
+TaskBundle make_task(const std::string& name, int samples_per_class = 120,
+                     std::uint64_t seed = 42);
+
+}  // namespace qnat

@@ -1,0 +1,125 @@
+#include "grad/adjoint.hpp"
+
+#include "common/error.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+
+namespace {
+
+/// Applies O = Σ_q w_q Z_q to `state` (diagonal in the computational
+/// basis), writing into `out`.
+StateVector apply_observable(const StateVector& state,
+                             std::span<const real> weights) {
+  StateVector out = state;
+  const int nq = state.num_qubits();
+  for (std::size_t i = 0; i < state.dim(); ++i) {
+    real c = 0.0;
+    for (int q = 0; q < nq; ++q) {
+      c += (i & (std::size_t{1} << q)) ? -weights[static_cast<std::size_t>(q)]
+                                       : weights[static_cast<std::size_t>(q)];
+    }
+    out.set_amplitude(i, c * state.amplitude(i));
+  }
+  return out;
+}
+
+/// Computes <bra| dU |ket> for a 1- or 2-qubit derivative matrix without
+/// materializing dU|ket> — the adjoint sweep's hot path.
+cplx derivative_inner(const StateVector& bra, const StateVector& ket,
+                      const Gate& gate, const CMatrix& d) {
+  cplx acc{0.0, 0.0};
+  if (gate.num_qubits() == 1) {
+    const std::size_t stride = std::size_t{1} << gate.qubits[0];
+    const cplx d00 = d(0, 0), d01 = d(0, 1), d10 = d(1, 0), d11 = d(1, 1);
+    const std::size_t n = ket.dim();
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+      for (std::size_t i = base; i < base + stride; ++i) {
+        const cplx k0 = ket.amplitude(i);
+        const cplx k1 = ket.amplitude(i + stride);
+        acc += std::conj(bra.amplitude(i)) * (d00 * k0 + d01 * k1);
+        acc += std::conj(bra.amplitude(i + stride)) * (d10 * k0 + d11 * k1);
+      }
+    }
+    return acc;
+  }
+  const std::size_t sa = std::size_t{1} << gate.qubits[0];
+  const std::size_t sb = std::size_t{1} << gate.qubits[1];
+  const std::size_t mask = sa | sb;
+  const std::size_t n = ket.dim();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i & mask) continue;
+    const std::size_t idx[4] = {i, i | sb, i | sa, i | sa | sb};
+    cplx k[4];
+    for (int j = 0; j < 4; ++j) k[j] = ket.amplitude(idx[j]);
+    for (int r = 0; r < 4; ++r) {
+      cplx row{0.0, 0.0};
+      for (int col = 0; col < 4; ++col) {
+        row += d(static_cast<std::size_t>(r), static_cast<std::size_t>(col)) *
+               k[col];
+      }
+      acc += std::conj(bra.amplitude(idx[static_cast<std::size_t>(r)])) * row;
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+AdjointResult adjoint_vjp(const Circuit& circuit, const ParamVector& params,
+                          std::span<const real> cotangent) {
+  QNAT_CHECK(cotangent.size() ==
+                 static_cast<std::size_t>(circuit.num_qubits()),
+             "cotangent must have one entry per qubit");
+  AdjointResult result;
+  result.gradient.assign(static_cast<std::size_t>(circuit.num_params()), 0.0);
+
+  // Forward pass.
+  StateVector ket = run_circuit(circuit, params);
+  result.expectations = ket.expectations_z();
+
+  if (circuit.num_params() == 0) return result;
+
+  // bra = O |psi>; L = <psi|O|psi> = <bra|ket> (real).
+  StateVector bra = apply_observable(ket, cotangent);
+
+  // Backward sweep: after processing gate k, ket is the state *before*
+  // gate k and bra is O-propagated to the same cut.
+  const auto& gates = circuit.gates();
+  for (std::size_t gi = gates.size(); gi-- > 0;) {
+    const Gate& gate = gates[gi];
+    ket.apply_gate_adjoint(gate, params);
+    if (gate.is_parameterized()) {
+      const std::vector<real> values = gate.eval_params(params);
+      for (int k = 0; k < gate.num_params(); ++k) {
+        const ParamExpr& expr = gate.params[static_cast<std::size_t>(k)];
+        if (expr.is_constant()) continue;
+        // dL/d(angle) = 2 Re(<bra| dU |ket_before>)
+        const CMatrix d = gate.matrix_derivative(values, k);
+        const real g = 2.0 * derivative_inner(bra, ket, gate, d).real();
+        for (const auto& term : expr.terms) {
+          result.gradient[static_cast<std::size_t>(term.id)] +=
+              term.scale * g;
+        }
+      }
+    }
+    bra.apply_gate_adjoint(gate, params);
+  }
+  return result;
+}
+
+std::vector<std::vector<real>> adjoint_jacobian(const Circuit& circuit,
+                                                const ParamVector& params) {
+  const int nq = circuit.num_qubits();
+  std::vector<std::vector<real>> jac;
+  jac.reserve(static_cast<std::size_t>(nq));
+  std::vector<real> cotangent(static_cast<std::size_t>(nq), 0.0);
+  for (int q = 0; q < nq; ++q) {
+    cotangent[static_cast<std::size_t>(q)] = 1.0;
+    jac.push_back(adjoint_vjp(circuit, params, cotangent).gradient);
+    cotangent[static_cast<std::size_t>(q)] = 0.0;
+  }
+  return jac;
+}
+
+}  // namespace qnat

@@ -1,0 +1,44 @@
+// Adjoint-mode differentiation of circuit expectation values.
+//
+// Computes d<psi(θ)| O |psi(θ)> / dθ for O = Σ_q w_q Z_q in a single
+// backward sweep over the circuit (O(#gates) matrix applications, two
+// auxiliary statevectors) — the same algorithm PyTorch-backed simulators
+// use under the hood, reimplemented here for the C++ training loop.
+//
+// The vector-Jacobian-product form is the workhorse: the QNN trainer
+// backpropagates a classical cotangent w_q = dL/dy_q into the circuit and
+// receives dL/dθ for *all* parameters at once, including encoder-angle
+// parameters (which become the upstream gradient of the previous block).
+//
+// Noise-injected circuits differentiate with no special casing: sampled
+// Pauli error gates are constant unitaries, transparent to the sweep.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qsim/circuit.hpp"
+#include "qsim/statevector.hpp"
+
+namespace qnat {
+
+/// Result of one adjoint sweep.
+struct AdjointResult {
+  /// Per-qubit Z expectations of the forward pass.
+  std::vector<real> expectations;
+  /// dL/dθ for L = Σ_q cotangent[q] * expectations[q]; length =
+  /// circuit.num_params().
+  ParamVector gradient;
+};
+
+/// Vector-Jacobian product: forward pass + one adjoint sweep.
+/// `cotangent` has one weight per qubit.
+AdjointResult adjoint_vjp(const Circuit& circuit, const ParamVector& params,
+                          std::span<const real> cotangent);
+
+/// Full Jacobian J[q][p] = d(exp_z[q]) / d(params[p]), computed with one
+/// adjoint sweep per qubit.
+std::vector<std::vector<real>> adjoint_jacobian(const Circuit& circuit,
+                                                const ParamVector& params);
+
+}  // namespace qnat

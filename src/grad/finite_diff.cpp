@@ -1,0 +1,37 @@
+#include "grad/finite_diff.hpp"
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+ParamVector finite_diff_gradient(const Circuit& circuit,
+                                 const ParamVector& params,
+                                 std::span<const real> cotangent,
+                                 const CircuitExecutor& executor,
+                                 real step) {
+  QNAT_CHECK(step > 0.0, "finite difference step must be positive");
+  QNAT_CHECK(cotangent.size() ==
+                 static_cast<std::size_t>(circuit.num_qubits()),
+             "cotangent must have one entry per qubit");
+  auto project = [&](const std::vector<real>& expectations) {
+    real s = 0.0;
+    for (std::size_t q = 0; q < expectations.size(); ++q) {
+      s += cotangent[q] * expectations[q];
+    }
+    return s;
+  };
+  ParamVector grad(static_cast<std::size_t>(circuit.num_params()), 0.0);
+  ParamVector work = params;
+  for (std::size_t p = 0; p < grad.size(); ++p) {
+    const real saved = work[p];
+    work[p] = saved + step;
+    const real fp = project(executor(circuit, work));
+    work[p] = saved - step;
+    const real fm = project(executor(circuit, work));
+    work[p] = saved;
+    grad[p] = (fp - fm) / (2.0 * step);
+  }
+  return grad;
+}
+
+}  // namespace qnat

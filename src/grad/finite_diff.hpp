@@ -1,0 +1,20 @@
+// Central finite-difference gradients — the ground truth the test suite
+// checks adjoint and parameter-shift gradients against. Never used in
+// training (O(#params) circuit evaluations and O(h^2) truncation error).
+#pragma once
+
+#include <span>
+
+#include "grad/parameter_shift.hpp"
+#include "qsim/circuit.hpp"
+
+namespace qnat {
+
+/// Central-difference gradient of L = Σ_q cotangent[q] * exp_z[q].
+ParamVector finite_diff_gradient(const Circuit& circuit,
+                                 const ParamVector& params,
+                                 std::span<const real> cotangent,
+                                 const CircuitExecutor& executor,
+                                 real step = 1e-5);
+
+}  // namespace qnat

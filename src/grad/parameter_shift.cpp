@@ -1,0 +1,112 @@
+#include "grad/parameter_shift.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+
+namespace {
+
+bool is_controlled_param_gate(GateType type) {
+  switch (type) {
+    case GateType::CRX:
+    case GateType::CRY:
+    case GateType::CRZ:
+    case GateType::CP:
+    case GateType::CU3:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Weighted sum of per-qubit expectations.
+real project(const std::vector<real>& expectations,
+             std::span<const real> cotangent) {
+  real s = 0.0;
+  for (std::size_t q = 0; q < expectations.size(); ++q) {
+    s += cotangent[q] * expectations[q];
+  }
+  return s;
+}
+
+}  // namespace
+
+CircuitExecutor make_ideal_executor() {
+  return [](const Circuit& circuit, const ParamVector& params) {
+    return measure_expectations(circuit, params);
+  };
+}
+
+ParamVector parameter_shift_gradient(const Circuit& circuit,
+                                     const ParamVector& params,
+                                     std::span<const real> cotangent,
+                                     const CircuitExecutor& executor,
+                                     std::vector<real>* out_expectations) {
+  QNAT_CHECK(cotangent.size() ==
+                 static_cast<std::size_t>(circuit.num_qubits()),
+             "cotangent must have one entry per qubit");
+  ParamVector grad(static_cast<std::size_t>(circuit.num_params()), 0.0);
+
+  if (out_expectations != nullptr) {
+    *out_expectations = executor(circuit, params);
+  }
+
+  // Shifted evaluation of a single gate occurrence: clone the circuit and
+  // add `shift` to the offset of that gate's angle expression.
+  Circuit shifted = circuit;
+  auto eval_shifted = [&](std::size_t gate_index, int slot,
+                          real shift) -> real {
+    // Mutate, evaluate, restore on the working copy.
+    Gate& g = shifted.mutable_gate(gate_index);
+    ParamExpr& expr = g.params[static_cast<std::size_t>(slot)];
+    const real saved = expr.offset;
+    expr.offset += shift;
+    const real value = project(executor(shifted, params), cotangent);
+    expr.offset = saved;
+    return value;
+  };
+
+  const real c_plus = (std::sqrt(2.0) + 1.0) / (4.0 * std::sqrt(2.0));
+  const real c_minus = (std::sqrt(2.0) - 1.0) / (4.0 * std::sqrt(2.0));
+
+  const auto& gates = circuit.gates();
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    const Gate& gate = gates[gi];
+    for (int k = 0; k < gate.num_params(); ++k) {
+      const ParamExpr& expr = gate.params[static_cast<std::size_t>(k)];
+      if (expr.is_constant()) continue;
+      real dangle = 0.0;
+      if (is_controlled_param_gate(gate.type)) {
+        const real f1p = eval_shifted(gi, k, kPi / 2);
+        const real f1m = eval_shifted(gi, k, -kPi / 2);
+        const real f2p = eval_shifted(gi, k, 3 * kPi / 2);
+        const real f2m = eval_shifted(gi, k, -3 * kPi / 2);
+        dangle = c_plus * (f1p - f1m) - c_minus * (f2p - f2m);
+      } else {
+        const real fp = eval_shifted(gi, k, kPi / 2);
+        const real fm = eval_shifted(gi, k, -kPi / 2);
+        dangle = 0.5 * (fp - fm);
+      }
+      for (const auto& term : expr.terms) {
+        grad[static_cast<std::size_t>(term.id)] += term.scale * dangle;
+      }
+    }
+  }
+  return grad;
+}
+
+int parameter_shift_num_evaluations(const Circuit& circuit) {
+  int n = 0;
+  for (const auto& gate : circuit.gates()) {
+    for (int k = 0; k < gate.num_params(); ++k) {
+      if (gate.params[static_cast<std::size_t>(k)].is_constant()) continue;
+      n += is_controlled_param_gate(gate.type) ? 4 : 2;
+    }
+  }
+  return n;
+}
+
+}  // namespace qnat

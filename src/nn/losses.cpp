@@ -1,0 +1,89 @@
+#include "nn/losses.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+Tensor2D softmax(const Tensor2D& logits) {
+  Tensor2D out(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    real max_logit = logits(r, 0);
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      max_logit = std::max(max_logit, logits(r, c));
+    }
+    real denom = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      out(r, c) = std::exp(logits(r, c) - max_logit);
+      denom += out(r, c);
+    }
+    for (std::size_t c = 0; c < logits.cols(); ++c) out(r, c) /= denom;
+  }
+  return out;
+}
+
+real cross_entropy_loss(const Tensor2D& logits,
+                        const std::vector<int>& labels) {
+  QNAT_CHECK(labels.size() == logits.rows(), "label count mismatch");
+  const Tensor2D probs = softmax(logits);
+  real loss = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const int y = labels[r];
+    QNAT_CHECK(y >= 0 && static_cast<std::size_t>(y) < logits.cols(),
+               "label out of range");
+    loss -= std::log(std::max(probs(r, static_cast<std::size_t>(y)), 1e-12));
+  }
+  return loss / static_cast<real>(logits.rows());
+}
+
+Tensor2D cross_entropy_grad(const Tensor2D& logits,
+                            const std::vector<int>& labels) {
+  QNAT_CHECK(labels.size() == logits.rows(), "label count mismatch");
+  Tensor2D grad = softmax(logits);
+  const real inv_batch = 1.0 / static_cast<real>(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    grad(r, static_cast<std::size_t>(labels[r])) -= 1.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) grad(r, c) *= inv_batch;
+  }
+  return grad;
+}
+
+real mse(const Tensor2D& a, const Tensor2D& b) {
+  QNAT_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "shape mismatch");
+  QNAT_CHECK(a.rows() > 0 && a.cols() > 0, "mse of empty tensor");
+  real s = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const real d = a.data()[i] - b.data()[i];
+    s += d * d;
+  }
+  return s / static_cast<real>(a.data().size());
+}
+
+real accuracy(const Tensor2D& logits, const std::vector<int>& labels) {
+  QNAT_CHECK(labels.size() == logits.rows(), "label count mismatch");
+  QNAT_CHECK(logits.rows() > 0, "accuracy of empty batch");
+  const std::vector<int> predictions = argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    if (predictions[r] == labels[r]) ++correct;
+  }
+  return static_cast<real>(correct) / static_cast<real>(labels.size());
+}
+
+std::vector<int> argmax_rows(const Tensor2D& logits) {
+  std::vector<int> out(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    int best = 0;
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      if (logits(r, c) > logits(r, static_cast<std::size_t>(best))) {
+        best = static_cast<int>(c);
+      }
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+}  // namespace qnat

@@ -1,0 +1,31 @@
+// Classifier head: softmax, cross-entropy, and MSE with gradients.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace qnat {
+
+/// Numerically-stable softmax over each row.
+Tensor2D softmax(const Tensor2D& logits);
+
+/// Mean cross-entropy of row-softmaxed logits against integer labels.
+real cross_entropy_loss(const Tensor2D& logits,
+                        const std::vector<int>& labels);
+
+/// Gradient of mean cross-entropy w.r.t. the logits:
+/// (softmax - onehot) / batch.
+Tensor2D cross_entropy_grad(const Tensor2D& logits,
+                            const std::vector<int>& labels);
+
+/// Mean squared error between two equal-shape tensors.
+real mse(const Tensor2D& a, const Tensor2D& b);
+
+/// Fraction of rows whose argmax logit equals the label.
+real accuracy(const Tensor2D& logits, const std::vector<int>& labels);
+
+/// Row-wise argmax.
+std::vector<int> argmax_rows(const Tensor2D& logits);
+
+}  // namespace qnat

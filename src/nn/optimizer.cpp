@@ -1,0 +1,40 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+Adam::Adam(std::size_t num_params, AdamConfig config)
+    : config_(config), m_(num_params, 0.0), v_(num_params, 0.0) {
+  QNAT_CHECK(config.learning_rate > 0.0, "learning rate must be positive");
+  QNAT_CHECK(config.beta1 >= 0.0 && config.beta1 < 1.0, "beta1 in [0,1)");
+  QNAT_CHECK(config.beta2 >= 0.0 && config.beta2 < 1.0, "beta2 in [0,1)");
+}
+
+void Adam::step(ParamVector& params, const ParamVector& gradient,
+                real lr_scale) {
+  QNAT_CHECK(params.size() == m_.size() && gradient.size() == m_.size(),
+             "optimizer state size mismatch");
+  ++step_count_;
+  const real lr = config_.learning_rate * lr_scale;
+  const real bias1 = 1.0 - std::pow(config_.beta1, static_cast<real>(step_count_));
+  const real bias2 = 1.0 - std::pow(config_.beta2, static_cast<real>(step_count_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = config_.beta1 * m_[i] + (1.0 - config_.beta1) * gradient[i];
+    v_[i] = config_.beta2 * v_[i] + (1.0 - config_.beta2) * gradient[i] * gradient[i];
+    const real m_hat = m_[i] / bias1;
+    const real v_hat = v_[i] / bias2;
+    params[i] -= lr * (m_hat / (std::sqrt(v_hat) + config_.epsilon) +
+                       config_.weight_decay * params[i]);
+  }
+}
+
+void Adam::reset() {
+  std::fill(m_.begin(), m_.end(), 0.0);
+  std::fill(v_.begin(), v_.end(), 0.0);
+  step_count_ = 0;
+}
+
+}  // namespace qnat

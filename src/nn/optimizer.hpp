@@ -1,0 +1,43 @@
+// Adam optimizer with decoupled weight decay — the paper trains all QNN
+// models with Adam, weight decay 1e-4, and a warmup + cosine LR schedule.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qnat {
+
+struct AdamConfig {
+  real learning_rate = 5e-3;
+  real beta1 = 0.9;
+  real beta2 = 0.999;
+  real epsilon = 1e-8;
+  /// Decoupled (AdamW-style) weight decay coefficient λ.
+  real weight_decay = 1e-4;
+};
+
+class Adam {
+ public:
+  Adam(std::size_t num_params, AdamConfig config = {});
+
+  /// Applies one update: params -= lr * (m̂ / (√v̂ + ε) + λ * params).
+  /// `lr_scale` multiplies the configured learning rate (set by the LR
+  /// scheduler each step).
+  void step(ParamVector& params, const ParamVector& gradient,
+            real lr_scale = 1.0);
+
+  /// Resets first/second moment accumulators and the step counter.
+  void reset();
+
+  long step_count() const { return step_count_; }
+  const AdamConfig& config() const { return config_; }
+
+ private:
+  AdamConfig config_;
+  ParamVector m_;
+  ParamVector v_;
+  long step_count_ = 0;
+};
+
+}  // namespace qnat

@@ -1,0 +1,32 @@
+#include "nn/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+WarmupCosineSchedule::WarmupCosineSchedule(long warmup_steps, long total_steps,
+                                           real floor)
+    : warmup_steps_(warmup_steps), total_steps_(total_steps), floor_(floor) {
+  QNAT_CHECK(warmup_steps >= 0, "negative warmup");
+  QNAT_CHECK(total_steps > 0, "total steps must be positive");
+  QNAT_CHECK(warmup_steps <= total_steps, "warmup exceeds total steps");
+  QNAT_CHECK(floor >= 0.0 && floor <= 1.0, "floor must be in [0, 1]");
+}
+
+real WarmupCosineSchedule::scale(long step) const {
+  step = std::clamp(step, 0L, total_steps_);
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return static_cast<real>(step + 1) / static_cast<real>(warmup_steps_);
+  }
+  const long decay_span = total_steps_ - warmup_steps_;
+  if (decay_span == 0) return 1.0;
+  const real progress =
+      static_cast<real>(step - warmup_steps_) / static_cast<real>(decay_span);
+  const real cosine = 0.5 * (1.0 + std::cos(kPi * progress));
+  return floor_ + (1.0 - floor_) * cosine;
+}
+
+}  // namespace qnat

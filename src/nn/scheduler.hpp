@@ -1,0 +1,28 @@
+// Learning-rate schedule: linear warmup followed by cosine decay, matching
+// the paper's training recipe (warmup 0 → peak over the first epochs, then
+// cosine decay to zero).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace qnat {
+
+class WarmupCosineSchedule {
+ public:
+  /// `warmup_steps` of linear ramp 0 → 1, then cosine decay 1 → `floor`
+  /// over the remaining steps up to `total_steps`.
+  WarmupCosineSchedule(long warmup_steps, long total_steps, real floor = 0.0);
+
+  /// Multiplicative LR factor at `step` (0-based). Clamped past the end.
+  real scale(long step) const;
+
+  long warmup_steps() const { return warmup_steps_; }
+  long total_steps() const { return total_steps_; }
+
+ private:
+  long warmup_steps_;
+  long total_steps_;
+  real floor_;
+};
+
+}  // namespace qnat

@@ -1,0 +1,102 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+Tensor2D::Tensor2D(std::size_t rows, std::size_t cols, real fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Tensor2D Tensor2D::from_rows(
+    std::initializer_list<std::initializer_list<real>> rows) {
+  Tensor2D t;
+  t.rows_ = rows.size();
+  t.cols_ = rows.begin() == rows.end() ? 0 : rows.begin()->size();
+  t.data_.reserve(t.rows_ * t.cols_);
+  for (const auto& r : rows) {
+    QNAT_CHECK(r.size() == t.cols_, "ragged row in Tensor2D::from_rows");
+    t.data_.insert(t.data_.end(), r.begin(), r.end());
+  }
+  return t;
+}
+
+std::vector<real> Tensor2D::row(std::size_t r) const {
+  QNAT_CHECK(r < rows_, "row index out of range");
+  return std::vector<real>(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                           data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+void Tensor2D::set_row(std::size_t r, const std::vector<real>& values) {
+  QNAT_CHECK(r < rows_, "row index out of range");
+  QNAT_CHECK(values.size() == cols_, "row width mismatch");
+  std::copy(values.begin(), values.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+std::vector<real> Tensor2D::col_mean() const {
+  QNAT_CHECK(rows_ > 0, "mean of empty tensor");
+  std::vector<real> mean(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) mean[c] += (*this)(r, c);
+  }
+  for (auto& m : mean) m /= static_cast<real>(rows_);
+  return mean;
+}
+
+std::vector<real> Tensor2D::col_std(real epsilon) const {
+  const std::vector<real> mean = col_mean();
+  std::vector<real> var(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const real d = (*this)(r, c) - mean[c];
+      var[c] += d * d;
+    }
+  }
+  std::vector<real> out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    out[c] = std::sqrt(var[c] / static_cast<real>(rows_) + epsilon);
+  }
+  return out;
+}
+
+Tensor2D Tensor2D::operator+(const Tensor2D& rhs) const {
+  QNAT_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch");
+  Tensor2D out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Tensor2D Tensor2D::operator-(const Tensor2D& rhs) const {
+  QNAT_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch");
+  Tensor2D out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Tensor2D Tensor2D::operator*(real scalar) const {
+  Tensor2D out = *this;
+  for (auto& v : out.data_) v *= scalar;
+  return out;
+}
+
+Tensor2D Tensor2D::hadamard(const Tensor2D& rhs) const {
+  QNAT_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch");
+  Tensor2D out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= rhs.data_[i];
+  return out;
+}
+
+real Tensor2D::sum() const {
+  real s = 0.0;
+  for (real v : data_) s += v;
+  return s;
+}
+
+real Tensor2D::mean() const {
+  QNAT_CHECK(!data_.empty(), "mean of empty tensor");
+  return sum() / static_cast<real>(data_.size());
+}
+
+}  // namespace qnat

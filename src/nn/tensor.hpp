@@ -1,0 +1,69 @@
+// Minimal dense 2-D real tensor (batch × features).
+//
+// Carries the classical data flowing between quantum blocks: measurement
+// outcomes, normalized features, logits. Deliberately small — the QNN's
+// classical compute is elementwise/reduction only, so this is a plain
+// row-major container with the handful of batch reductions the framework
+// needs (column mean/std for post-measurement normalization, row softmax
+// for the classifier head).
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qnat {
+
+class Tensor2D {
+ public:
+  Tensor2D() = default;
+  Tensor2D(std::size_t rows, std::size_t cols, real fill = 0.0);
+
+  static Tensor2D from_rows(std::initializer_list<std::initializer_list<real>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  real& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const real& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::vector<real>& data() { return data_; }
+  const std::vector<real>& data() const { return data_; }
+
+  /// Copies row r into a vector.
+  std::vector<real> row(std::size_t r) const;
+
+  /// Overwrites row r from a vector of matching width.
+  void set_row(std::size_t r, const std::vector<real>& values);
+
+  /// Column means (length = cols).
+  std::vector<real> col_mean() const;
+
+  /// Column standard deviations (population, i.e. dividing by rows), with
+  /// `epsilon` added to the variance before the square root.
+  std::vector<real> col_std(real epsilon = 0.0) const;
+
+  Tensor2D operator+(const Tensor2D& rhs) const;
+  Tensor2D operator-(const Tensor2D& rhs) const;
+  Tensor2D operator*(real scalar) const;
+
+  /// Elementwise product.
+  Tensor2D hadamard(const Tensor2D& rhs) const;
+
+  /// Sum of all elements.
+  real sum() const;
+
+  /// Mean of all elements.
+  real mean() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<real> data_;
+};
+
+}  // namespace qnat

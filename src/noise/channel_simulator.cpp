@@ -1,0 +1,108 @@
+#include "noise/channel_simulator.hpp"
+
+#include "common/error.hpp"
+#include "noise/scheduling.hpp"
+#include "qsim/density_matrix.hpp"
+
+namespace qnat {
+
+bool channel_simulation_feasible(const Circuit& circuit) {
+  // 8 wires = a 65536-amplitude vectorized density matrix; beyond that the
+  // evaluator's trajectory sampler on the plain statevector is faster.
+  return circuit.num_qubits() <= 8;
+}
+
+std::vector<real> channel_mean_expectations(const Circuit& circuit,
+                                            const ParamVector& params,
+                                            const NoiseModel& model,
+                                            const ChannelSimOptions& options) {
+  QNAT_CHECK(channel_simulation_feasible(circuit),
+             "circuit too large for exact channel simulation");
+  auto physical = [&](QubitIndex wire) -> QubitIndex {
+    if (options.physical_wires.empty()) return wire;
+    return options.physical_wires[static_cast<std::size_t>(wire)];
+  };
+  if (options.physical_wires.empty()) {
+    QNAT_CHECK(circuit.num_qubits() <= model.num_qubits(),
+               "circuit does not fit on device");
+  } else {
+    QNAT_CHECK(options.physical_wires.size() ==
+                   static_cast<std::size_t>(circuit.num_qubits()),
+               "wire map must cover every circuit wire");
+  }
+  DensityMatrix rho(circuit.num_qubits());
+  MomentTracker moments(circuit.num_qubits());
+
+  auto apply_idle = [&](QubitIndex wire, int layers) {
+    if (layers <= 0) return;
+    const PauliChannel idle =
+        model.idle_channel(physical(wire)).scaled(options.noise_scale);
+    if (idle.total() <= 0.0) return;
+    // k idle layers compose analytically into one channel application.
+    rho.apply_pauli_channel(wire, idle.power(layers));
+  };
+
+  for (const auto& gate : circuit.gates()) {
+    const int layer = moments.start_layer(gate);
+    for (const QubitIndex q : gate.qubits) {
+      apply_idle(q, moments.idle_layers(q, layer));
+    }
+    moments.occupy(gate, layer);
+
+    rho.apply_gate(gate, params);
+    const PauliChannel channel =
+        gate.num_qubits() == 1
+            ? model.single_qubit_channel(gate.type, physical(gate.qubits[0]))
+                  .scaled(options.noise_scale)
+            : model
+                  .two_qubit_channel(physical(gate.qubits[0]),
+                                     physical(gate.qubits[1]))
+                  .scaled(options.noise_scale);
+    for (const QubitIndex q : gate.qubits) {
+      rho.apply_pauli_channel(q, channel);
+    }
+
+    // Deterministic coherent errors, identical to the trajectory path.
+    if (gate.num_qubits() == 1) {
+      if (!NoiseModel::is_virtual_gate(gate.type)) {
+        const real angle = model.coherent_overrotation(
+                               physical(gate.qubits[0])) *
+                           options.noise_scale;
+        if (angle != 0.0) {
+          rho.apply_gate(Gate(GateType::RX, {gate.qubits[0]},
+                              {ParamExpr::constant(angle)}),
+                         params);
+        }
+      }
+    } else {
+      const real zz = model.coherent_zz(physical(gate.qubits[0]),
+                                        physical(gate.qubits[1])) *
+                      options.noise_scale;
+      if (zz != 0.0) {
+        rho.apply_gate(Gate(GateType::RZZ, {gate.qubits[0], gate.qubits[1]},
+                            {ParamExpr::constant(zz)}),
+                       params);
+      }
+    }
+  }
+
+  // Idle until the joint final measurement.
+  const int final_layer = moments.final_layer();
+  for (QubitIndex q = 0; q < circuit.num_qubits(); ++q) {
+    apply_idle(q, final_layer - moments.next_free(q));
+  }
+
+  std::vector<real> expectations = rho.expectations_z();
+  if (options.apply_readout) {
+    for (QubitIndex q = 0; q < circuit.num_qubits(); ++q) {
+      const ReadoutError e =
+          model.readout_error(physical(q)).scaled(options.noise_scale);
+      expectations[static_cast<std::size_t>(q)] =
+          e.slope() * expectations[static_cast<std::size_t>(q)] +
+          e.intercept();
+    }
+  }
+  return expectations;
+}
+
+}  // namespace qnat

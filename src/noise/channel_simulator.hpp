@@ -1,0 +1,41 @@
+// Exact noisy-channel evaluation via density-matrix simulation.
+//
+// Computes the *channel mean* of the per-qubit Z expectations — what real
+// hardware converges to with many shots — with no Monte-Carlo error:
+// every gate's Pauli channel, every idle layer's decoherence channel, and
+// (optionally) the readout confusion map are applied exactly. This is the
+// evaluator's high-fidelity mode for circuits up to ~10 qubits; larger
+// circuits fall back to Pauli-trajectory sampling.
+#pragma once
+
+#include "noise/noise_model.hpp"
+#include "qsim/circuit.hpp"
+
+namespace qnat {
+
+struct ChannelSimOptions {
+  /// Apply each qubit's readout confusion map to the final expectations.
+  bool apply_readout = true;
+  /// Scales every channel (calibration drift / noise factor studies).
+  double noise_scale = 1.0;
+  /// Optional map from circuit wire to physical device qubit for noise
+  /// lookups. Lets callers compact a device-wide transpiled circuit down
+  /// to its used wires (a 4-qubit model routed on a 15-qubit device only
+  /// needs a 4..5-wire density matrix) while still reading each wire's
+  /// own calibration data. Empty = identity.
+  std::vector<QubitIndex> physical_wires;
+};
+
+/// True when the circuit is small enough for exact channel simulation.
+bool channel_simulation_feasible(const Circuit& circuit);
+
+/// Exact per-wire Z expectations of the circuit evolved under the device
+/// noise model (gate channels + per-layer idle channels + readout).
+/// `circuit` is typically a transpiled (device-wide) circuit; returns one
+/// expectation per circuit wire.
+std::vector<real> channel_mean_expectations(const Circuit& circuit,
+                                            const ParamVector& params,
+                                            const NoiseModel& model,
+                                            const ChannelSimOptions& options = {});
+
+}  // namespace qnat

@@ -1,0 +1,126 @@
+#include "noise/error_inserter.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "noise/scheduling.hpp"
+
+namespace qnat {
+
+namespace {
+
+PauliChannel scaled_channel_for_operand(const NoiseModel& model,
+                                        const Gate& gate,
+                                        double noise_factor) {
+  if (gate.num_qubits() == 1) {
+    return model.single_qubit_channel(gate.type, gate.qubits[0])
+        .scaled(noise_factor);
+  }
+  return model.two_qubit_channel(gate.qubits[0], gate.qubits[1])
+      .scaled(noise_factor);
+}
+
+}  // namespace
+
+Circuit insert_error_gates(const Circuit& circuit, const NoiseModel& model,
+                           double noise_factor, Rng& rng,
+                           InsertionStats* stats, double coherent_factor) {
+  QNAT_CHECK(circuit.num_qubits() <= model.num_qubits(),
+             "circuit does not fit on device");
+  Circuit out(circuit.num_qubits(), circuit.num_params());
+  InsertionStats local;
+  MomentTracker moments(circuit.num_qubits());
+
+  auto sample_idle = [&](QubitIndex q, int layers) {
+    if (layers <= 0) return;
+    const PauliChannel idle =
+        model.idle_channel(q).scaled(noise_factor);
+    if (idle.total() <= 0.0) return;
+    // k idle layers compose into one Pauli channel (Paulis multiply to
+    // Paulis), so one sample from the composed channel suffices.
+    if (const auto pauli = idle.power(layers).sample(rng)) {
+      out.append(Gate(*pauli, {q}));
+      ++local.inserted_gates;
+    }
+  };
+
+  for (const auto& gate : circuit.gates()) {
+    // Charge decoherence for the layers each operand spent waiting.
+    const int layer = moments.start_layer(gate);
+    for (const QubitIndex q : gate.qubits) {
+      sample_idle(q, moments.idle_layers(q, layer));
+    }
+    moments.occupy(gate, layer);
+
+    out.append(gate);
+    ++local.original_gates;
+    const PauliChannel channel =
+        scaled_channel_for_operand(model, gate, noise_factor);
+    for (int operand = 0; operand < gate.num_qubits(); ++operand) {
+      if (const auto pauli = channel.sample(rng)) {
+        out.append(
+            Gate(*pauli, {gate.qubits[static_cast<std::size_t>(operand)]}));
+        ++local.inserted_gates;
+      }
+    }
+
+    // Deterministic coherent errors: a systematic RX over-rotation after
+    // every physical single-qubit gate and a ZZ phase after every
+    // two-qubit gate. Present in every realization (they survive shot
+    // averaging on hardware).
+    if (gate.num_qubits() == 1) {
+      if (!NoiseModel::is_virtual_gate(gate.type)) {
+        const real angle =
+            model.coherent_overrotation(gate.qubits[0]) * coherent_factor;
+        if (angle != 0.0) {
+          out.append(Gate(GateType::RX, {gate.qubits[0]},
+                          {ParamExpr::constant(angle)}));
+          ++local.coherent_gates;
+        }
+      }
+    } else {
+      const real zz =
+          model.coherent_zz(gate.qubits[0], gate.qubits[1]) * coherent_factor;
+      if (zz != 0.0) {
+        out.append(Gate(GateType::RZZ, {gate.qubits[0], gate.qubits[1]},
+                        {ParamExpr::constant(zz)}));
+        ++local.coherent_gates;
+      }
+    }
+  }
+
+  // Qubits idle until the final layer, when all are measured together.
+  const int final_layer = moments.final_layer();
+  for (QubitIndex q = 0; q < circuit.num_qubits(); ++q) {
+    sample_idle(q, final_layer - moments.next_free(q));
+  }
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+double expected_insertions(const Circuit& circuit, const NoiseModel& model,
+                           double noise_factor) {
+  double expected = 0.0;
+  MomentTracker moments(circuit.num_qubits());
+  auto idle_expectation = [&](QubitIndex q, int layers) {
+    if (layers <= 0) return 0.0;
+    return model.idle_channel(q).scaled(noise_factor).power(layers).total();
+  };
+  for (const auto& gate : circuit.gates()) {
+    const int layer = moments.start_layer(gate);
+    for (const QubitIndex q : gate.qubits) {
+      expected += idle_expectation(q, moments.idle_layers(q, layer));
+    }
+    moments.occupy(gate, layer);
+    expected += gate.num_qubits() *
+                scaled_channel_for_operand(model, gate, noise_factor).total();
+  }
+  const int final_layer = moments.final_layer();
+  for (QubitIndex q = 0; q < circuit.num_qubits(); ++q) {
+    expected += idle_expectation(q, final_layer - moments.next_free(q));
+  }
+  return expected;
+}
+
+}  // namespace qnat

@@ -1,0 +1,54 @@
+// Error-gate insertion pass (paper §3.2, Fig. 5).
+//
+// Walks a (compiled) circuit and, after every original gate, samples a
+// Pauli error gate per operand qubit from the device noise model scaled by
+// the noise factor T, appending X/Y/Z gates where errors are drawn. The
+// pass also schedules the circuit into layers (greedy ASAP) and charges
+// each qubit one *idle-channel* sample per layer it spends waiting —
+// the decoherence contribution that makes deep circuits degrade faster,
+// as on real hardware. A new set of error gates is sampled each call —
+// the trainer calls this once per training step. Inserted error gates are
+// constant (non-parameterized) so gradient flow through the original
+// parameters is unchanged.
+#pragma once
+
+#include "common/rng.hpp"
+#include "noise/noise_model.hpp"
+#include "qsim/circuit.hpp"
+
+namespace qnat {
+
+/// Statistics of one insertion pass.
+struct InsertionStats {
+  int original_gates = 0;
+  /// Stochastically sampled Pauli error gates.
+  int inserted_gates = 0;
+  /// Deterministic coherent-error gates (systematic over-rotations / ZZ
+  /// phases), present on every call.
+  int coherent_gates = 0;
+  /// sampled inserted / original — the paper reports this overhead as
+  /// < 2%.
+  double overhead() const {
+    return original_gates == 0
+               ? 0.0
+               : static_cast<double>(inserted_gates) / original_gates;
+  }
+};
+
+/// Returns a copy of `circuit` with sampled Pauli error gates inserted
+/// after each gate. `noise_factor` is the paper's T (typically 0.1–1.5)
+/// and scales the *stochastic* channels; deterministic coherent errors
+/// are inserted at `coherent_factor` (default full magnitude — they are
+/// known calibration facts, not sampling knobs).
+Circuit insert_error_gates(const Circuit& circuit, const NoiseModel& model,
+                           double noise_factor, Rng& rng,
+                           InsertionStats* stats = nullptr,
+                           double coherent_factor = 1.0);
+
+/// Expected number of inserted gates per pass (sum of scaled channel
+/// totals over all gate operands) — deterministic companion of the
+/// sampling pass, used by tests and the overhead report.
+double expected_insertions(const Circuit& circuit, const NoiseModel& model,
+                           double noise_factor);
+
+}  // namespace qnat

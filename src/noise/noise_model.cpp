@@ -1,0 +1,219 @@
+#include "noise/noise_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+namespace {
+
+std::pair<int, int> sorted_edge(QubitIndex a, QubitIndex b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+}  // namespace
+
+bool NoiseModel::is_virtual_gate(GateType type) {
+  return type == GateType::RZ || type == GateType::I || type == GateType::P;
+}
+
+NoiseModel::NoiseModel(std::string device_name, int num_qubits)
+    : name_(std::move(device_name)),
+      num_qubits_(num_qubits),
+      single_defaults_(static_cast<std::size_t>(num_qubits)),
+      idle_(static_cast<std::size_t>(num_qubits)),
+      coherent_1q_(static_cast<std::size_t>(num_qubits), 0.0),
+      readout_(static_cast<std::size_t>(num_qubits), ReadoutError::ideal()) {
+  QNAT_CHECK(num_qubits > 0, "noise model requires at least one qubit");
+}
+
+void NoiseModel::set_single_qubit_channel(QubitIndex q, PauliChannel channel) {
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  channel.validate();
+  single_defaults_[static_cast<std::size_t>(q)] = channel;
+}
+
+void NoiseModel::set_gate_channel(GateType type, QubitIndex q,
+                                  PauliChannel channel) {
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  channel.validate();
+  gate_overrides_[{static_cast<int>(type), q}] = channel;
+}
+
+void NoiseModel::set_two_qubit_channel(QubitIndex a, QubitIndex b,
+                                       PauliChannel channel) {
+  QNAT_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
+             "invalid qubit pair");
+  channel.validate();
+  two_qubit_[sorted_edge(a, b)] = channel;
+}
+
+void NoiseModel::set_idle_channel(QubitIndex q, PauliChannel channel) {
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  channel.validate();
+  idle_[static_cast<std::size_t>(q)] = channel;
+}
+
+PauliChannel NoiseModel::idle_channel(QubitIndex q) const {
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  return idle_[static_cast<std::size_t>(q)];
+}
+
+void NoiseModel::set_coherent_overrotation(QubitIndex q, real angle) {
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  coherent_1q_[static_cast<std::size_t>(q)] = angle;
+}
+
+real NoiseModel::coherent_overrotation(QubitIndex q) const {
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  return coherent_1q_[static_cast<std::size_t>(q)];
+}
+
+void NoiseModel::set_coherent_zz(QubitIndex a, QubitIndex b, real angle) {
+  QNAT_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
+             "invalid qubit pair");
+  coherent_zz_[sorted_edge(a, b)] = angle;
+}
+
+real NoiseModel::coherent_zz(QubitIndex a, QubitIndex b) const {
+  QNAT_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
+             "invalid qubit pair");
+  const auto it = coherent_zz_.find(sorted_edge(a, b));
+  return it == coherent_zz_.end() ? 0.0 : it->second;
+}
+
+void NoiseModel::set_readout_error(QubitIndex q, ReadoutError error) {
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  error.validate();
+  readout_[static_cast<std::size_t>(q)] = error;
+}
+
+void NoiseModel::add_coupling(QubitIndex a, QubitIndex b) {
+  QNAT_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
+             "invalid coupling");
+  if (!coupled(a, b)) couplings_.emplace_back(a, b);
+}
+
+PauliChannel NoiseModel::single_qubit_channel(GateType type,
+                                              QubitIndex q) const {
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  const auto it = gate_overrides_.find({static_cast<int>(type), q});
+  if (it != gate_overrides_.end()) return it->second;
+  if (is_virtual_gate(type)) return PauliChannel::ideal();
+  return single_defaults_[static_cast<std::size_t>(q)];
+}
+
+PauliChannel NoiseModel::two_qubit_channel(QubitIndex a, QubitIndex b) const {
+  QNAT_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
+             "invalid qubit pair");
+  const auto it = two_qubit_.find(sorted_edge(a, b));
+  if (it != two_qubit_.end()) return it->second;
+  // Uncharacterized edge: conservatively use the worse operand default.
+  const PauliChannel& ca = single_defaults_[static_cast<std::size_t>(a)];
+  const PauliChannel& cb = single_defaults_[static_cast<std::size_t>(b)];
+  return ca.total() >= cb.total() ? ca : cb;
+}
+
+ReadoutError NoiseModel::readout_error(QubitIndex q) const {
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  return readout_[static_cast<std::size_t>(q)];
+}
+
+std::vector<real> NoiseModel::readout_flip_probs_0to1() const {
+  std::vector<real> out;
+  out.reserve(readout_.size());
+  for (const auto& r : readout_) out.push_back(r.p1_given_0());
+  return out;
+}
+
+std::vector<real> NoiseModel::readout_flip_probs_1to0() const {
+  std::vector<real> out;
+  out.reserve(readout_.size());
+  for (const auto& r : readout_) out.push_back(r.p0_given_1());
+  return out;
+}
+
+bool NoiseModel::coupled(QubitIndex a, QubitIndex b) const {
+  const auto e = sorted_edge(a, b);
+  return std::any_of(couplings_.begin(), couplings_.end(), [&](const auto& c) {
+    return sorted_edge(c.first, c.second) == e;
+  });
+}
+
+double NoiseModel::average_single_qubit_error() const {
+  double s = 0.0;
+  for (const auto& c : single_defaults_) s += c.total();
+  return s / static_cast<double>(num_qubits_);
+}
+
+double NoiseModel::average_two_qubit_error() const {
+  if (couplings_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& [a, b] : couplings_) s += two_qubit_channel(a, b).total();
+  return s / static_cast<double>(couplings_.size());
+}
+
+double NoiseModel::average_readout_error() const {
+  double s = 0.0;
+  for (const auto& r : readout_) {
+    s += 0.5 * (r.p1_given_0() + r.p0_given_1());
+  }
+  return s / static_cast<double>(num_qubits_);
+}
+
+NoiseModel NoiseModel::restricted_to(
+    const std::vector<QubitIndex>& wires) const {
+  QNAT_CHECK(!wires.empty(), "restriction needs at least one wire");
+  NoiseModel out(name_, static_cast<int>(wires.size()));
+  std::vector<QubitIndex> to_new(static_cast<std::size_t>(num_qubits_), -1);
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    const QubitIndex w = wires[i];
+    QNAT_CHECK(w >= 0 && w < num_qubits_, "restriction wire out of range");
+    QNAT_CHECK(to_new[static_cast<std::size_t>(w)] == -1,
+               "duplicate wire in restriction");
+    to_new[static_cast<std::size_t>(w)] = static_cast<QubitIndex>(i);
+  }
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    const auto old_q = static_cast<std::size_t>(wires[i]);
+    out.single_defaults_[i] = single_defaults_[old_q];
+    out.idle_[i] = idle_[old_q];
+    out.coherent_1q_[i] = coherent_1q_[old_q];
+    out.readout_[i] = readout_[old_q];
+  }
+  for (const auto& [key, channel] : gate_overrides_) {
+    const QubitIndex mapped = to_new[static_cast<std::size_t>(key.second)];
+    if (mapped != -1) out.gate_overrides_[{key.first, mapped}] = channel;
+  }
+  for (const auto& [edge, channel] : two_qubit_) {
+    const QubitIndex a = to_new[static_cast<std::size_t>(edge.first)];
+    const QubitIndex b = to_new[static_cast<std::size_t>(edge.second)];
+    if (a != -1 && b != -1) out.set_two_qubit_channel(a, b, channel);
+  }
+  for (const auto& [edge, angle] : coherent_zz_) {
+    const QubitIndex a = to_new[static_cast<std::size_t>(edge.first)];
+    const QubitIndex b = to_new[static_cast<std::size_t>(edge.second)];
+    if (a != -1 && b != -1) out.set_coherent_zz(a, b, angle);
+  }
+  for (const auto& [a, b] : couplings_) {
+    const QubitIndex na = to_new[static_cast<std::size_t>(a)];
+    const QubitIndex nb = to_new[static_cast<std::size_t>(b)];
+    if (na != -1 && nb != -1) out.add_coupling(na, nb);
+  }
+  return out;
+}
+
+NoiseModel NoiseModel::scaled(double factor) const {
+  QNAT_CHECK(factor >= 0.0, "noise factor must be non-negative");
+  NoiseModel out = *this;
+  for (auto& c : out.single_defaults_) c = c.scaled(factor);
+  for (auto& c : out.idle_) c = c.scaled(factor);
+  for (auto& a : out.coherent_1q_) a *= factor;
+  for (auto& [key, a] : out.coherent_zz_) a *= factor;
+  for (auto& [key, c] : out.gate_overrides_) c = c.scaled(factor);
+  for (auto& [key, c] : out.two_qubit_) c = c.scaled(factor);
+  for (auto& r : out.readout_) r = r.scaled(factor);
+  return out;
+}
+
+}  // namespace qnat

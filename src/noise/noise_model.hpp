@@ -1,0 +1,128 @@
+// Device noise model.
+//
+// Mirrors the structure of IBMQ backend noise models the paper queries
+// through Qiskit: per-qubit Pauli channels for single-qubit gates, per-edge
+// channels for two-qubit gates, and a per-qubit readout confusion matrix,
+// plus the device coupling map used by the router. Channels can be
+// overridden per gate type (the paper notes the same gate on different
+// qubits/hardware varies by up to 10x).
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "noise/pauli_channel.hpp"
+#include "noise/readout_error.hpp"
+#include "qsim/circuit.hpp"
+
+namespace qnat {
+
+class NoiseModel {
+ public:
+  NoiseModel() = default;
+  NoiseModel(std::string device_name, int num_qubits);
+
+  /// True for gates implemented as error-free frame changes on IBM
+  /// hardware (RZ, phase) or timing placeholders (identity).
+  static bool is_virtual_gate(GateType type);
+
+  const std::string& device_name() const { return name_; }
+  int num_qubits() const { return num_qubits_; }
+
+  /// Sets the default single-qubit channel for qubit `q` (all 1q gates).
+  void set_single_qubit_channel(QubitIndex q, PauliChannel channel);
+
+  /// Overrides the channel for a specific gate type on qubit `q`.
+  void set_gate_channel(GateType type, QubitIndex q, PauliChannel channel);
+
+  /// Sets the channel applied to *each* operand qubit of a two-qubit gate
+  /// on edge (a, b); symmetric in (a, b).
+  void set_two_qubit_channel(QubitIndex a, QubitIndex b, PauliChannel channel);
+
+  /// Sets the readout confusion matrix for qubit `q`.
+  void set_readout_error(QubitIndex q, ReadoutError error);
+
+  /// Sets the per-moment idle (decoherence) channel for qubit `q`:
+  /// applied once for every circuit layer during which the qubit waits
+  /// while others operate. Dephasing-dominant on real hardware (T2 < T1).
+  void set_idle_channel(QubitIndex q, PauliChannel channel);
+
+  /// Idle channel of qubit q (ideal when unset).
+  PauliChannel idle_channel(QubitIndex q) const;
+
+  /// Sets qubit q's *coherent* single-qubit miscalibration: a systematic
+  /// RX over-rotation (radians) applied after every physical single-qubit
+  /// gate on q. Unlike stochastic Pauli errors, coherent errors survive
+  /// shot averaging and produce the input-dependent shift β_x of Theorem
+  /// 3.1 — the component normalization cannot remove.
+  void set_coherent_overrotation(QubitIndex q, real angle);
+  real coherent_overrotation(QubitIndex q) const;
+
+  /// Sets the coherent ZZ phase (radians) accumulated after every
+  /// two-qubit gate on edge (a, b) — the dominant coherent error of
+  /// cross-resonance hardware (ZZ crosstalk / echo miscalibration).
+  void set_coherent_zz(QubitIndex a, QubitIndex b, real angle);
+  real coherent_zz(QubitIndex a, QubitIndex b) const;
+
+  /// Declares a physical coupling (undirected) between qubits a and b.
+  void add_coupling(QubitIndex a, QubitIndex b);
+
+  /// Channel for a single-qubit gate of `type` on qubit `q`. Gate-specific
+  /// overrides win over the per-qubit default. Identity/RZ gates are
+  /// virtual (frame changes) on IBM hardware and return the ideal channel
+  /// unless explicitly overridden.
+  PauliChannel single_qubit_channel(GateType type, QubitIndex q) const;
+
+  /// Channel applied per operand qubit of a two-qubit gate on edge (a, b).
+  PauliChannel two_qubit_channel(QubitIndex a, QubitIndex b) const;
+
+  /// Readout error of qubit q (ideal when unset).
+  ReadoutError readout_error(QubitIndex q) const;
+
+  /// Per-qubit flip probability vectors in the layout expected by
+  /// measure_expectations_shots.
+  std::vector<real> readout_flip_probs_0to1() const;
+  std::vector<real> readout_flip_probs_1to0() const;
+
+  const std::vector<std::pair<QubitIndex, QubitIndex>>& coupling_map() const {
+    return couplings_;
+  }
+
+  /// True when qubits a and b are physically coupled.
+  bool coupled(QubitIndex a, QubitIndex b) const;
+
+  /// Mean single-qubit gate error over qubits (Fig. 1's x-axis).
+  double average_single_qubit_error() const;
+
+  /// Mean per-operand two-qubit gate error over coupled edges.
+  double average_two_qubit_error() const;
+
+  /// Mean readout assignment error over qubits.
+  double average_readout_error() const;
+
+  /// Returns a copy whose every channel and readout flip probability is
+  /// scaled by `factor` (calibration drift / noise factor studies).
+  NoiseModel scaled(double factor) const;
+
+  /// Returns the model restricted to `wires` (new qubit i = old
+  /// wires[i]): channels, overrides, readout, coherent errors, and the
+  /// couplings whose endpoints both survive. Used to compact transpiled
+  /// circuits down to their touched wires.
+  NoiseModel restricted_to(const std::vector<QubitIndex>& wires) const;
+
+ private:
+  std::string name_;
+  int num_qubits_ = 0;
+  std::vector<PauliChannel> single_defaults_;
+  std::vector<PauliChannel> idle_;
+  std::vector<real> coherent_1q_;
+  std::map<std::pair<int, int>, real> coherent_zz_;             // sorted edge
+  std::map<std::pair<int, int>, PauliChannel> gate_overrides_;  // (type, q)
+  std::map<std::pair<int, int>, PauliChannel> two_qubit_;       // sorted edge
+  std::vector<ReadoutError> readout_;
+  std::vector<std::pair<QubitIndex, QubitIndex>> couplings_;
+};
+
+}  // namespace qnat

@@ -1,0 +1,6 @@
+// Forwarding header: PauliChannel lives in qsim/ so the density-matrix
+// simulator can apply channels without inverting the module layering;
+// noise-model code keeps including it from here.
+#pragma once
+
+#include "qsim/pauli_channel.hpp"

@@ -1,0 +1,38 @@
+#include "noise/readout_error.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+ReadoutError ReadoutError::from_flip_probs(double p_flip_0to1,
+                                           double p_flip_1to0) {
+  ReadoutError e{1.0 - p_flip_0to1, 1.0 - p_flip_1to0};
+  e.validate();
+  return e;
+}
+
+real ReadoutError::apply_to_expectation(real e) const {
+  return slope() * e + intercept();
+}
+
+real ReadoutError::apply_to_prob0(real p0) const {
+  return p0 * p0_given_0 + (1.0 - p0) * p0_given_1();
+}
+
+ReadoutError ReadoutError::scaled(double factor) const {
+  QNAT_CHECK(factor >= 0.0, "noise factor must be non-negative");
+  const double f01 = std::clamp(p1_given_0() * factor, 0.0, 1.0);
+  const double f10 = std::clamp(p0_given_1() * factor, 0.0, 1.0);
+  return from_flip_probs(f01, f10);
+}
+
+void ReadoutError::validate() const {
+  QNAT_CHECK(p0_given_0 >= 0.0 && p0_given_0 <= 1.0,
+             "P(0|0) must be a probability");
+  QNAT_CHECK(p1_given_1 >= 0.0 && p1_given_1 <= 1.0,
+             "P(1|1) must be a probability");
+}
+
+}  // namespace qnat

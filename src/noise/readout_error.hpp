@@ -1,0 +1,53 @@
+// Readout (measurement) error model.
+//
+// A 2x2 confusion matrix per qubit, row = prepared state, column = observed
+// bit: M[0][0] = P(observe 0 | state 0), M[0][1] = P(observe 1 | state 0),
+// etc. (e.g. IBMQ-Santiago qubit 0 in the paper: [[0.984, 0.016],
+// [0.022, 0.978]]).
+//
+// Acting on a Z expectation e (with P(0) = (1+e)/2) the confusion matrix is
+// an affine map e' = slope * e + intercept — this is exactly the γ/β
+// structure of Theorem 3.1 and is what makes training-time readout
+// injection differentiable.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace qnat {
+
+struct ReadoutError {
+  /// P(observe 0 | true 0). Diagonal terms near 1 for realistic devices.
+  double p0_given_0 = 1.0;
+  /// P(observe 1 | true 1).
+  double p1_given_1 = 1.0;
+
+  static ReadoutError ideal() { return ReadoutError{1.0, 1.0}; }
+
+  /// Builds from off-diagonal flip probabilities.
+  static ReadoutError from_flip_probs(double p_flip_0to1, double p_flip_1to0);
+
+  double p1_given_0() const { return 1.0 - p0_given_0; }
+  double p0_given_1() const { return 1.0 - p1_given_1; }
+
+  /// Slope of the affine expectation map e' = slope*e + intercept (the
+  /// per-qubit γ contribution of Theorem 3.1).
+  double slope() const { return p0_given_0 + p1_given_1 - 1.0; }
+
+  /// Intercept of the affine expectation map (the per-qubit β contribution).
+  double intercept() const { return p0_given_0 - p1_given_1; }
+
+  /// Applies the confusion matrix to a Z expectation in [-1, 1].
+  real apply_to_expectation(real e) const;
+
+  /// Applies the confusion matrix to P(0).
+  real apply_to_prob0(real p0) const;
+
+  /// Scales the flip probabilities by `factor` (noise factor T), clamped
+  /// to valid probabilities.
+  ReadoutError scaled(double factor) const;
+
+  /// Validates all probabilities lie in [0, 1]; throws otherwise.
+  void validate() const;
+};
+
+}  // namespace qnat

@@ -1,0 +1,57 @@
+// Greedy ASAP circuit-layer scheduling.
+//
+// Both the stochastic error inserter and the exact channel simulator need
+// to know how many layers each qubit spends idle (decoherence is charged
+// per idle layer). `MomentTracker` maintains per-qubit next-free-layer
+// counters as gates stream by.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "qsim/gate.hpp"
+
+namespace qnat {
+
+class MomentTracker {
+ public:
+  explicit MomentTracker(int num_qubits)
+      : next_free_(static_cast<std::size_t>(num_qubits), 0) {}
+
+  /// Layer the gate starts in (max of its operands' next-free layers).
+  int start_layer(const Gate& gate) const {
+    int layer = 0;
+    for (const QubitIndex q : gate.qubits) {
+      layer = std::max(layer, next_free_[static_cast<std::size_t>(q)]);
+    }
+    return layer;
+  }
+
+  /// Idle layers qubit q accrues before joining a gate at `layer`.
+  int idle_layers(QubitIndex q, int layer) const {
+    return layer - next_free_[static_cast<std::size_t>(q)];
+  }
+
+  /// Marks the gate's operands busy during `layer`.
+  void occupy(const Gate& gate, int layer) {
+    for (const QubitIndex q : gate.qubits) {
+      next_free_[static_cast<std::size_t>(q)] = layer + 1;
+    }
+  }
+
+  /// Depth of the scheduled circuit so far.
+  int final_layer() const {
+    return next_free_.empty()
+               ? 0
+               : *std::max_element(next_free_.begin(), next_free_.end());
+  }
+
+  int next_free(QubitIndex q) const {
+    return next_free_[static_cast<std::size_t>(q)];
+  }
+
+ private:
+  std::vector<int> next_free_;
+};
+
+}  // namespace qnat

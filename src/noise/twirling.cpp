@@ -1,0 +1,44 @@
+#include "noise/twirling.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+PauliChannel depolarizing_to_pauli(double lambda) {
+  QNAT_CHECK(lambda >= 0.0 && lambda <= 1.0,
+             "depolarizing parameter must be in [0, 1]");
+  return PauliChannel::symmetric(lambda / 4.0);
+}
+
+double average_error_to_depolarizing(double error, int dimension) {
+  QNAT_CHECK(error >= 0.0 && error <= 1.0, "gate error must be in [0, 1]");
+  QNAT_CHECK(dimension >= 2, "dimension must be >= 2");
+  const double d = static_cast<double>(dimension);
+  return error * d / (d - 1.0);
+}
+
+PauliChannel single_qubit_error_to_pauli(double error) {
+  return depolarizing_to_pauli(average_error_to_depolarizing(error, 2));
+}
+
+PauliChannel two_qubit_error_to_pauli_per_operand(double error) {
+  // Each operand absorbs half the error budget as a symmetric channel.
+  QNAT_CHECK(error >= 0.0 && error <= 1.0, "gate error must be in [0, 1]");
+  return PauliChannel::symmetric(error / 6.0);
+}
+
+PauliChannel amplitude_damping_twirl(double gamma) {
+  QNAT_CHECK(gamma >= 0.0 && gamma <= 1.0, "damping γ must be in [0, 1]");
+  const double px = gamma / 4.0;
+  const double pz = (2.0 - gamma - 2.0 * std::sqrt(1.0 - gamma)) / 4.0;
+  return PauliChannel{px, px, pz};
+}
+
+PauliChannel dephasing_to_pauli(double p) {
+  QNAT_CHECK(p >= 0.0 && p <= 1.0, "dephasing probability must be in [0, 1]");
+  return PauliChannel{0.0, 0.0, p};
+}
+
+}  // namespace qnat

@@ -1,0 +1,41 @@
+// Pauli twirling approximations.
+//
+// Converts common physical error descriptions (average gate error,
+// depolarizing parameter, amplitude damping, dephasing) into the Pauli
+// channels the noise-injection pass samples from. These are the standard
+// closed forms used when twirling a channel over the Pauli group; device
+// presets use them to go from headline calibration numbers (e.g. "SX error
+// 2.1e-4") to insertable (pX, pY, pZ) triples.
+#pragma once
+
+#include "noise/pauli_channel.hpp"
+
+namespace qnat {
+
+/// Depolarizing channel ρ → (1-λ)ρ + λ I/2 expressed as a Pauli channel:
+/// pX = pY = pZ = λ/4.
+PauliChannel depolarizing_to_pauli(double lambda);
+
+/// Converts an *average gate error* e (1 - average fidelity, the number
+/// reported by device calibration) of a d-dimensional gate to the
+/// depolarizing parameter λ = e * d / (d - 1); d = 2 for single-qubit
+/// gates, 4 for two-qubit gates.
+double average_error_to_depolarizing(double error, int dimension);
+
+/// Single-qubit gate calibration error → Pauli channel (depolarizing
+/// twirl): pX = pY = pZ = e/2 / ... = λ/4 with λ = 2e.
+PauliChannel single_qubit_error_to_pauli(double error);
+
+/// Two-qubit gate calibration error → per-operand Pauli channel. The
+/// insertion pass samples one Pauli per operand qubit, so each operand
+/// channel carries half the total error budget: pX = pY = pZ = e/6.
+PauliChannel two_qubit_error_to_pauli_per_operand(double error);
+
+/// Pauli twirl of the amplitude-damping channel with decay γ:
+/// pX = pY = γ/4, pZ = (2 - γ - 2√(1-γ)) / 4.
+PauliChannel amplitude_damping_twirl(double gamma);
+
+/// Pure dephasing with probability p: pZ = p.
+PauliChannel dephasing_to_pauli(double p);
+
+}  // namespace qnat

@@ -1,0 +1,63 @@
+#include "qsim/circuit.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+Circuit::Circuit(int num_qubits, int num_params)
+    : num_qubits_(num_qubits), num_params_(num_params) {
+  QNAT_CHECK(num_qubits > 0, "circuit requires at least one qubit");
+  QNAT_CHECK(num_params >= 0, "negative parameter count");
+}
+
+void Circuit::append(Gate gate) {
+  for (QubitIndex q : gate.qubits) {
+    QNAT_CHECK(q >= 0 && q < num_qubits_,
+               "gate qubit out of range: " + gate.to_string());
+  }
+  for (const auto& p : gate.params) {
+    for (const auto& term : p.terms) {
+      QNAT_CHECK(term.id >= 0 && term.id < num_params_,
+                 "gate parameter out of range: " + gate.to_string());
+    }
+  }
+  gates_.push_back(std::move(gate));
+}
+
+void Circuit::extend(const Circuit& other, int param_offset) {
+  QNAT_CHECK(other.num_qubits_ == num_qubits_,
+             "extend requires matching qubit counts");
+  for (Gate g : other.gates_) {
+    for (auto& p : g.params) {
+      for (auto& term : p.terms) term.id += param_offset;
+    }
+    append(std::move(g));
+  }
+}
+
+int Circuit::allocate_params(int count) {
+  QNAT_CHECK(count >= 0, "negative parameter allocation");
+  const int first = num_params_;
+  num_params_ += count;
+  return first;
+}
+
+int Circuit::num_parameterized_gates() const {
+  int n = 0;
+  for (const auto& g : gates_) {
+    if (g.is_parameterized()) ++n;
+  }
+  return n;
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << "circuit(" << num_qubits_ << " qubits, " << num_params_
+     << " params, " << gates_.size() << " gates)\n";
+  for (const auto& g : gates_) os << "  " << g.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace qnat

@@ -1,0 +1,123 @@
+// Circuit intermediate representation.
+//
+// A `Circuit` is an ordered gate list over `num_qubits` qubits with
+// `num_params` free real parameters. Builder methods append gates either
+// with constant angles (`*_const`) or bound to a parameter slot. The same
+// IR is consumed by the simulator, the adjoint differentiator, the
+// transpiler, and the noise-injection pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qsim/gate.hpp"
+
+namespace qnat {
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(int num_qubits, int num_params = 0);
+
+  int num_qubits() const { return num_qubits_; }
+  int num_params() const { return num_params_; }
+  std::size_t size() const { return gates_.size(); }
+  bool empty() const { return gates_.empty(); }
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  const Gate& gate(std::size_t i) const { return gates_[i]; }
+
+  /// Mutable gate access for passes that rewrite angles in place (e.g.
+  /// parameter-shift offset poking, transpiler optimizations). Qubit and
+  /// parameter ranges are the caller's responsibility to preserve.
+  Gate& mutable_gate(std::size_t i) { return gates_[i]; }
+
+  /// Appends a fully-specified gate; validates qubit and parameter ranges.
+  void append(Gate gate);
+
+  /// Appends all gates of `other` (same qubit count required); parameter
+  /// indices of `other` are shifted by `param_offset`.
+  void extend(const Circuit& other, int param_offset = 0);
+
+  /// Grows the free-parameter count and returns the first new slot index.
+  int allocate_params(int count);
+
+  // --- convenience builders: non-parameterized gates ---
+  void x(QubitIndex q) { append(Gate(GateType::X, {q})); }
+  void y(QubitIndex q) { append(Gate(GateType::Y, {q})); }
+  void z(QubitIndex q) { append(Gate(GateType::Z, {q})); }
+  void h(QubitIndex q) { append(Gate(GateType::H, {q})); }
+  void s(QubitIndex q) { append(Gate(GateType::S, {q})); }
+  void t(QubitIndex q) { append(Gate(GateType::T, {q})); }
+  void sx(QubitIndex q) { append(Gate(GateType::SX, {q})); }
+  void sh(QubitIndex q) { append(Gate(GateType::SH, {q})); }
+  void id(QubitIndex q) { append(Gate(GateType::I, {q})); }
+  void cx(QubitIndex c, QubitIndex t) { append(Gate(GateType::CX, {c, t})); }
+  void cy(QubitIndex c, QubitIndex t) { append(Gate(GateType::CY, {c, t})); }
+  void cz(QubitIndex c, QubitIndex t) { append(Gate(GateType::CZ, {c, t})); }
+  void swap(QubitIndex a, QubitIndex b) {
+    append(Gate(GateType::SWAP, {a, b}));
+  }
+  void sqrtswap(QubitIndex a, QubitIndex b) {
+    append(Gate(GateType::SqrtSwap, {a, b}));
+  }
+
+  // --- convenience builders: parameterized, bound to parameter slots ---
+  void rx(QubitIndex q, ParamIndex p) {
+    append(Gate(GateType::RX, {q}, {ParamExpr::param(p)}));
+  }
+  void ry(QubitIndex q, ParamIndex p) {
+    append(Gate(GateType::RY, {q}, {ParamExpr::param(p)}));
+  }
+  void rz(QubitIndex q, ParamIndex p) {
+    append(Gate(GateType::RZ, {q}, {ParamExpr::param(p)}));
+  }
+  void u1(QubitIndex q, ParamIndex p) {
+    append(Gate(GateType::P, {q}, {ParamExpr::param(p)}));
+  }
+  void u3(QubitIndex q, ParamIndex theta, ParamIndex phi, ParamIndex lambda) {
+    append(Gate(GateType::U3, {q},
+                {ParamExpr::param(theta), ParamExpr::param(phi),
+                 ParamExpr::param(lambda)}));
+  }
+  void cu3(QubitIndex c, QubitIndex t, ParamIndex theta, ParamIndex phi,
+           ParamIndex lambda) {
+    append(Gate(GateType::CU3, {c, t},
+                {ParamExpr::param(theta), ParamExpr::param(phi),
+                 ParamExpr::param(lambda)}));
+  }
+  void rzz(QubitIndex a, QubitIndex b, ParamIndex p) {
+    append(Gate(GateType::RZZ, {a, b}, {ParamExpr::param(p)}));
+  }
+  void rxx(QubitIndex a, QubitIndex b, ParamIndex p) {
+    append(Gate(GateType::RXX, {a, b}, {ParamExpr::param(p)}));
+  }
+  void rzx(QubitIndex a, QubitIndex b, ParamIndex p) {
+    append(Gate(GateType::RZX, {a, b}, {ParamExpr::param(p)}));
+  }
+
+  // --- convenience builders: parameterized with constant angles ---
+  void rx_const(QubitIndex q, real angle) {
+    append(Gate(GateType::RX, {q}, {ParamExpr::constant(angle)}));
+  }
+  void ry_const(QubitIndex q, real angle) {
+    append(Gate(GateType::RY, {q}, {ParamExpr::constant(angle)}));
+  }
+  void rz_const(QubitIndex q, real angle) {
+    append(Gate(GateType::RZ, {q}, {ParamExpr::constant(angle)}));
+  }
+
+  /// Total number of gates whose matrix depends on at least one free
+  /// parameter.
+  int num_parameterized_gates() const;
+
+  /// Multi-line textual dump, one gate per line.
+  std::string to_string() const;
+
+ private:
+  int num_qubits_ = 0;
+  int num_params_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace qnat

@@ -1,0 +1,87 @@
+#include "qsim/density_matrix.hpp"
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+DensityMatrix::DensityMatrix(int num_qubits)
+    : num_qubits_(num_qubits), vec_(2 * num_qubits) {
+  QNAT_CHECK(num_qubits > 0 && num_qubits <= 12,
+             "density matrix supports 1..12 qubits");
+}
+
+void DensityMatrix::reset() { vec_.reset(); }
+
+void DensityMatrix::apply_gate(const Gate& gate, const ParamVector& params) {
+  const CMatrix m = gate.matrix(gate.eval_params(params));
+  const CMatrix mc = m.conjugate();
+  if (gate.num_qubits() == 1) {
+    vec_.apply_1q(m, gate.qubits[0]);
+    vec_.apply_1q(mc, gate.qubits[0] + num_qubits_);
+  } else {
+    vec_.apply_2q(m, gate.qubits[0], gate.qubits[1]);
+    vec_.apply_2q(mc, gate.qubits[0] + num_qubits_,
+                  gate.qubits[1] + num_qubits_);
+  }
+}
+
+void DensityMatrix::apply_pauli_channel(QubitIndex q,
+                                        const PauliChannel& channel) {
+  channel.validate();
+  const double total = channel.total();
+  if (total <= 0.0) return;
+  // The channel acts on the vectorized density matrix as the 4x4
+  // superoperator Σ_k p_k (P_k ⊗ P_k*) on the (row, column) qubit pair —
+  // one pass through the state via the two-qubit kernel, no copies.
+  CMatrix super = CMatrix::identity(4) * cplx{1.0 - total, 0.0};
+  const struct {
+    GateType type;
+    double probability;
+  } terms[] = {{GateType::X, channel.px},
+               {GateType::Y, channel.py},
+               {GateType::Z, channel.pz}};
+  for (const auto& term : terms) {
+    if (term.probability <= 0.0) continue;
+    const CMatrix p = gate_matrix(term.type, {});
+    super = super + p.kron(p.conjugate()) * cplx{term.probability, 0.0};
+  }
+  vec_.apply_2q(super, q, q + num_qubits_);
+}
+
+real DensityMatrix::expectation_z(QubitIndex q) const {
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  const std::size_t dim = std::size_t{1} << num_qubits_;
+  const std::size_t bit = std::size_t{1} << q;
+  real e = 0.0;
+  for (std::size_t r = 0; r < dim; ++r) {
+    const real diag = vec_.amplitude(r * dim + r).real();
+    e += (r & bit) ? -diag : diag;
+  }
+  return e;
+}
+
+std::vector<real> DensityMatrix::expectations_z() const {
+  std::vector<real> out(static_cast<std::size_t>(num_qubits_), 0.0);
+  const std::size_t dim = std::size_t{1} << num_qubits_;
+  for (std::size_t r = 0; r < dim; ++r) {
+    const real diag = vec_.amplitude(r * dim + r).real();
+    for (int q = 0; q < num_qubits_; ++q) {
+      out[static_cast<std::size_t>(q)] +=
+          (r & (std::size_t{1} << q)) ? -diag : diag;
+    }
+  }
+  return out;
+}
+
+real DensityMatrix::trace() const {
+  const std::size_t dim = std::size_t{1} << num_qubits_;
+  real t = 0.0;
+  for (std::size_t r = 0; r < dim; ++r) {
+    t += vec_.amplitude(r * dim + r).real();
+  }
+  return t;
+}
+
+real DensityMatrix::purity() const { return vec_.norm_sq(); }
+
+}  // namespace qnat

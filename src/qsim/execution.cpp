@@ -1,0 +1,62 @@
+#include "qsim/execution.hpp"
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+StateVector run_circuit(const Circuit& circuit, const ParamVector& params) {
+  StateVector state(circuit.num_qubits());
+  run_circuit_inplace(circuit, params, state);
+  return state;
+}
+
+void run_circuit_inplace(const Circuit& circuit, const ParamVector& params,
+                         StateVector& state) {
+  QNAT_CHECK(state.num_qubits() == circuit.num_qubits(),
+             "state / circuit qubit count mismatch");
+  QNAT_CHECK(static_cast<int>(params.size()) >= circuit.num_params(),
+             "parameter vector too short for circuit");
+  for (const auto& gate : circuit.gates()) {
+    state.apply_gate(gate, params);
+  }
+}
+
+std::vector<real> measure_expectations(const Circuit& circuit,
+                                       const ParamVector& params) {
+  return run_circuit(circuit, params).expectations_z();
+}
+
+std::vector<real> measure_expectations_shots(
+    const Circuit& circuit, const ParamVector& params, Rng& rng, int shots,
+    const std::vector<real>& bit_flip_prob_0to1,
+    const std::vector<real>& bit_flip_prob_1to0) {
+  const StateVector state = run_circuit(circuit, params);
+  const int nq = circuit.num_qubits();
+  const bool noisy_readout = !bit_flip_prob_0to1.empty();
+  if (noisy_readout) {
+    QNAT_CHECK(bit_flip_prob_0to1.size() == static_cast<std::size_t>(nq) &&
+                   bit_flip_prob_1to0.size() == static_cast<std::size_t>(nq),
+               "readout flip probabilities must cover every qubit");
+  }
+  std::vector<long> plus_counts(static_cast<std::size_t>(nq), 0);
+  for (std::size_t basis : state.sample(rng, shots)) {
+    for (int q = 0; q < nq; ++q) {
+      bool one = (basis >> q) & 1u;
+      if (noisy_readout) {
+        const real flip = one ? bit_flip_prob_1to0[static_cast<std::size_t>(q)]
+                              : bit_flip_prob_0to1[static_cast<std::size_t>(q)];
+        if (rng.bernoulli(flip)) one = !one;
+      }
+      if (!one) ++plus_counts[static_cast<std::size_t>(q)];
+    }
+  }
+  std::vector<real> out(static_cast<std::size_t>(nq));
+  for (int q = 0; q < nq; ++q) {
+    const real p_plus =
+        static_cast<real>(plus_counts[static_cast<std::size_t>(q)]) / shots;
+    out[static_cast<std::size_t>(q)] = 2.0 * p_plus - 1.0;
+  }
+  return out;
+}
+
+}  // namespace qnat

@@ -1,0 +1,32 @@
+// Circuit execution helpers: run a parameter binding through a circuit and
+// read out Pauli-Z expectations, analytically or from finite shots.
+#pragma once
+
+#include "common/rng.hpp"
+#include "qsim/circuit.hpp"
+#include "qsim/statevector.hpp"
+
+namespace qnat {
+
+/// Evolves |0...0> through `circuit` under the given parameter binding.
+StateVector run_circuit(const Circuit& circuit, const ParamVector& params);
+
+/// Evolves an existing state in place.
+void run_circuit_inplace(const Circuit& circuit, const ParamVector& params,
+                         StateVector& state);
+
+/// Analytic Z expectations of the final state, one per qubit.
+std::vector<real> measure_expectations(const Circuit& circuit,
+                                       const ParamVector& params);
+
+/// Finite-shot estimate of per-qubit Z expectations: samples `shots`
+/// register readouts and averages (+1 for bit 0, -1 for bit 1). With
+/// `bit_flip_prob_0to1` / `bit_flip_prob_1to0` per qubit (may be empty for
+/// ideal readout), each sampled bit is flipped with the corresponding
+/// probability — the shot-level model of readout error.
+std::vector<real> measure_expectations_shots(
+    const Circuit& circuit, const ParamVector& params, Rng& rng, int shots,
+    const std::vector<real>& bit_flip_prob_0to1 = {},
+    const std::vector<real>& bit_flip_prob_1to0 = {});
+
+}  // namespace qnat

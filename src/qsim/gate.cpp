@@ -1,0 +1,459 @@
+#include "qsim/gate.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+namespace {
+
+const cplx kI{0.0, 1.0};
+
+CMatrix mat2(cplx a, cplx b, cplx c, cplx d) {
+  return CMatrix(2, 2, {a, b, c, d});
+}
+
+/// Embeds a 2x2 target-qubit matrix as a controlled gate (control = high
+/// bit, target = low bit): block diag(I, U).
+CMatrix controlled(const CMatrix& u) {
+  CMatrix m = CMatrix::identity(4);
+  m(2, 2) = u(0, 0);
+  m(2, 3) = u(0, 1);
+  m(3, 2) = u(1, 0);
+  m(3, 3) = u(1, 1);
+  return m;
+}
+
+/// Zeroes the control-0 block; derivative of a controlled gate.
+CMatrix controlled_derivative(const CMatrix& du) {
+  CMatrix m(4, 4);
+  m(2, 2) = du(0, 0);
+  m(2, 3) = du(0, 1);
+  m(3, 2) = du(1, 0);
+  m(3, 3) = du(1, 1);
+  return m;
+}
+
+CMatrix u3_matrix(real theta, real phi, real lambda) {
+  const real ct = std::cos(theta / 2);
+  const real st = std::sin(theta / 2);
+  return mat2(ct, -std::exp(kI * lambda) * st, std::exp(kI * phi) * st,
+              std::exp(kI * (phi + lambda)) * ct);
+}
+
+CMatrix u3_derivative(real theta, real phi, real lambda, int k) {
+  const real ct = std::cos(theta / 2);
+  const real st = std::sin(theta / 2);
+  switch (k) {
+    case 0:  // d/d theta
+      return mat2(-0.5 * st, -0.5 * std::exp(kI * lambda) * ct,
+                  0.5 * std::exp(kI * phi) * ct,
+                  -0.5 * std::exp(kI * (phi + lambda)) * st);
+    case 1:  // d/d phi
+      return mat2(0.0, 0.0, kI * std::exp(kI * phi) * st,
+                  kI * std::exp(kI * (phi + lambda)) * ct);
+    case 2:  // d/d lambda
+      return mat2(0.0, -kI * std::exp(kI * lambda) * st, 0.0,
+                  kI * std::exp(kI * (phi + lambda)) * ct);
+    default:
+      throw Error("u3 derivative index out of range");
+  }
+}
+
+/// Two-qubit Pauli-product rotation exp(-i theta/2 P⊗Q) where P, Q are
+/// Pauli matrices given as 2x2 CMatrix. Used for RXX/RYY/RZZ/RZX.
+CMatrix pauli_product_rotation(const CMatrix& p, const CMatrix& q,
+                               real theta) {
+  const CMatrix pq = p.kron(q);
+  const CMatrix id = CMatrix::identity(4);
+  // P⊗Q squares to identity, so exp(-i t/2 PQ) = cos(t/2) I - i sin(t/2) PQ.
+  return id * cplx{std::cos(theta / 2), 0.0} +
+         pq * (-kI * std::sin(theta / 2));
+}
+
+CMatrix pauli_product_rotation_derivative(const CMatrix& p, const CMatrix& q,
+                                          real theta) {
+  const CMatrix pq = p.kron(q);
+  const CMatrix id = CMatrix::identity(4);
+  return id * cplx{-0.5 * std::sin(theta / 2), 0.0} +
+         pq * (-kI * 0.5 * std::cos(theta / 2));
+}
+
+CMatrix pauli_x() { return mat2(0, 1, 1, 0); }
+CMatrix pauli_y() { return mat2(0, -kI, kI, 0); }
+CMatrix pauli_z() { return mat2(1, 0, 0, -1); }
+
+}  // namespace
+
+ParamExpr ParamExpr::constant(real value) {
+  ParamExpr e;
+  e.offset = value;
+  return e;
+}
+
+ParamExpr ParamExpr::param(ParamIndex id) {
+  ParamExpr e;
+  e.terms.push_back(Term{id, 1.0});
+  return e;
+}
+
+ParamExpr ParamExpr::affine(ParamIndex id, real scale, real offset) {
+  ParamExpr e;
+  if (scale != 0.0) e.terms.push_back(Term{id, scale});
+  e.offset = offset;
+  return e;
+}
+
+real ParamExpr::eval(const ParamVector& params) const {
+  real v = offset;
+  for (const Term& t : terms) {
+    v += t.scale * params[static_cast<std::size_t>(t.id)];
+  }
+  return v;
+}
+
+ParamExpr ParamExpr::operator+(const ParamExpr& rhs) const {
+  ParamExpr out = *this;
+  out.offset += rhs.offset;
+  for (const Term& t : rhs.terms) {
+    bool merged = false;
+    for (Term& mine : out.terms) {
+      if (mine.id == t.id) {
+        mine.scale += t.scale;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.terms.push_back(t);
+  }
+  // Drop cancelled terms so is_constant() stays meaningful.
+  std::erase_if(out.terms, [](const Term& t) { return t.scale == 0.0; });
+  return out;
+}
+
+ParamExpr ParamExpr::operator-(const ParamExpr& rhs) const {
+  return (*this) + rhs.negated();
+}
+
+ParamExpr ParamExpr::operator*(real factor) const {
+  ParamExpr out = *this;
+  out.offset *= factor;
+  for (Term& t : out.terms) t.scale *= factor;
+  if (factor == 0.0) out.terms.clear();
+  return out;
+}
+
+ParamExpr ParamExpr::shifted(real delta) const {
+  ParamExpr out = *this;
+  out.offset += delta;
+  return out;
+}
+
+int gate_num_qubits(GateType type) {
+  switch (type) {
+    case GateType::I:
+    case GateType::X:
+    case GateType::Y:
+    case GateType::Z:
+    case GateType::H:
+    case GateType::S:
+    case GateType::Sdg:
+    case GateType::T:
+    case GateType::Tdg:
+    case GateType::SX:
+    case GateType::SXdg:
+    case GateType::SH:
+    case GateType::RX:
+    case GateType::RY:
+    case GateType::RZ:
+    case GateType::P:
+    case GateType::U2:
+    case GateType::U3:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+int gate_num_params(GateType type) {
+  switch (type) {
+    case GateType::RX:
+    case GateType::RY:
+    case GateType::RZ:
+    case GateType::P:
+    case GateType::CRX:
+    case GateType::CRY:
+    case GateType::CRZ:
+    case GateType::CP:
+    case GateType::RXX:
+    case GateType::RYY:
+    case GateType::RZZ:
+    case GateType::RZX:
+      return 1;
+    case GateType::U2:
+      return 2;
+    case GateType::U3:
+    case GateType::CU3:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+std::string gate_name(GateType type) {
+  switch (type) {
+    case GateType::I: return "id";
+    case GateType::X: return "x";
+    case GateType::Y: return "y";
+    case GateType::Z: return "z";
+    case GateType::H: return "h";
+    case GateType::S: return "s";
+    case GateType::Sdg: return "sdg";
+    case GateType::T: return "t";
+    case GateType::Tdg: return "tdg";
+    case GateType::SX: return "sx";
+    case GateType::SXdg: return "sxdg";
+    case GateType::SH: return "sh";
+    case GateType::RX: return "rx";
+    case GateType::RY: return "ry";
+    case GateType::RZ: return "rz";
+    case GateType::P: return "p";
+    case GateType::U2: return "u2";
+    case GateType::U3: return "u3";
+    case GateType::CX: return "cx";
+    case GateType::CY: return "cy";
+    case GateType::CZ: return "cz";
+    case GateType::CH: return "ch";
+    case GateType::SWAP: return "swap";
+    case GateType::SqrtSwap: return "sqrtswap";
+    case GateType::CRX: return "crx";
+    case GateType::CRY: return "cry";
+    case GateType::CRZ: return "crz";
+    case GateType::CP: return "cp";
+    case GateType::CU3: return "cu3";
+    case GateType::RXX: return "rxx";
+    case GateType::RYY: return "ryy";
+    case GateType::RZZ: return "rzz";
+    case GateType::RZX: return "rzx";
+  }
+  return "?";
+}
+
+Gate::Gate(GateType t, std::vector<QubitIndex> qs, std::vector<ParamExpr> ps)
+    : type(t), qubits(std::move(qs)), params(std::move(ps)) {
+  QNAT_CHECK(static_cast<int>(qubits.size()) == gate_num_qubits(t),
+             "gate " + gate_name(t) + ": wrong qubit count");
+  QNAT_CHECK(static_cast<int>(params.size()) == gate_num_params(t),
+             "gate " + gate_name(t) + ": wrong parameter count");
+  if (qubits.size() == 2) {
+    QNAT_CHECK(qubits[0] != qubits[1],
+               "two-qubit gate requires distinct qubits");
+  }
+}
+
+bool Gate::is_parameterized() const {
+  for (const auto& p : params) {
+    if (!p.is_constant()) return true;
+  }
+  return false;
+}
+
+std::vector<real> Gate::eval_params(const ParamVector& bound) const {
+  std::vector<real> values;
+  values.reserve(params.size());
+  for (const auto& p : params) values.push_back(p.eval(bound));
+  return values;
+}
+
+CMatrix gate_matrix(GateType type, const std::vector<real>& v) {
+  const real inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  switch (type) {
+    case GateType::I:
+      return CMatrix::identity(2);
+    case GateType::X:
+      return pauli_x();
+    case GateType::Y:
+      return pauli_y();
+    case GateType::Z:
+      return pauli_z();
+    case GateType::H:
+      return mat2(inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2);
+    case GateType::S:
+      return mat2(1, 0, 0, kI);
+    case GateType::Sdg:
+      return mat2(1, 0, 0, -kI);
+    case GateType::T:
+      return mat2(1, 0, 0, std::exp(kI * (kPi / 4)));
+    case GateType::Tdg:
+      return mat2(1, 0, 0, std::exp(-kI * (kPi / 4)));
+    case GateType::SX:
+      return mat2(cplx{0.5, 0.5}, cplx{0.5, -0.5}, cplx{0.5, -0.5},
+                  cplx{0.5, 0.5});
+    case GateType::SXdg:
+      return mat2(cplx{0.5, -0.5}, cplx{0.5, 0.5}, cplx{0.5, 0.5},
+                  cplx{0.5, -0.5});
+    case GateType::SH: {
+      // sqrt(H) = e^{i pi/4} (I - iH)/sqrt(2); squares to H.
+      const CMatrix h = gate_matrix(GateType::H, {});
+      const cplx phase = std::exp(kI * (kPi / 4));
+      return (CMatrix::identity(2) * (phase * inv_sqrt2)) +
+             (h * (phase * (-kI) * inv_sqrt2));
+    }
+    case GateType::RX: {
+      const real c = std::cos(v[0] / 2), s = std::sin(v[0] / 2);
+      return mat2(c, -kI * s, -kI * s, c);
+    }
+    case GateType::RY: {
+      const real c = std::cos(v[0] / 2), s = std::sin(v[0] / 2);
+      return mat2(c, -s, s, c);
+    }
+    case GateType::RZ:
+      return mat2(std::exp(-kI * (v[0] / 2)), 0, 0, std::exp(kI * (v[0] / 2)));
+    case GateType::P:
+      return mat2(1, 0, 0, std::exp(kI * v[0]));
+    case GateType::U2:
+      return mat2(inv_sqrt2, -std::exp(kI * v[1]) * inv_sqrt2,
+                  std::exp(kI * v[0]) * inv_sqrt2,
+                  std::exp(kI * (v[0] + v[1])) * inv_sqrt2);
+    case GateType::U3:
+      return u3_matrix(v[0], v[1], v[2]);
+    case GateType::CX:
+      return controlled(pauli_x());
+    case GateType::CY:
+      return controlled(pauli_y());
+    case GateType::CZ:
+      return controlled(pauli_z());
+    case GateType::CH:
+      return controlled(gate_matrix(GateType::H, {}));
+    case GateType::SWAP: {
+      CMatrix m(4, 4);
+      m(0, 0) = 1;
+      m(1, 2) = 1;
+      m(2, 1) = 1;
+      m(3, 3) = 1;
+      return m;
+    }
+    case GateType::SqrtSwap: {
+      CMatrix m = CMatrix::identity(4);
+      m(1, 1) = cplx{0.5, 0.5};
+      m(1, 2) = cplx{0.5, -0.5};
+      m(2, 1) = cplx{0.5, -0.5};
+      m(2, 2) = cplx{0.5, 0.5};
+      return m;
+    }
+    case GateType::CRX:
+      return controlled(gate_matrix(GateType::RX, v));
+    case GateType::CRY:
+      return controlled(gate_matrix(GateType::RY, v));
+    case GateType::CRZ:
+      return controlled(gate_matrix(GateType::RZ, v));
+    case GateType::CP:
+      return controlled(gate_matrix(GateType::P, v));
+    case GateType::CU3:
+      return controlled(u3_matrix(v[0], v[1], v[2]));
+    case GateType::RXX:
+      return pauli_product_rotation(pauli_x(), pauli_x(), v[0]);
+    case GateType::RYY:
+      return pauli_product_rotation(pauli_y(), pauli_y(), v[0]);
+    case GateType::RZZ:
+      return pauli_product_rotation(pauli_z(), pauli_z(), v[0]);
+    case GateType::RZX:
+      return pauli_product_rotation(pauli_z(), pauli_x(), v[0]);
+  }
+  throw Error("unknown gate type");
+}
+
+CMatrix Gate::matrix(const std::vector<real>& values) const {
+  return gate_matrix(type, values);
+}
+
+CMatrix Gate::matrix_derivative(const std::vector<real>& v, int k) const {
+  QNAT_CHECK(k >= 0 && k < num_params(), "derivative index out of range");
+  switch (type) {
+    case GateType::RX: {
+      const real c = std::cos(v[0] / 2), s = std::sin(v[0] / 2);
+      return mat2(-0.5 * s, -kI * 0.5 * c, -kI * 0.5 * c, -0.5 * s);
+    }
+    case GateType::RY: {
+      const real c = std::cos(v[0] / 2), s = std::sin(v[0] / 2);
+      return mat2(-0.5 * s, -0.5 * c, 0.5 * c, -0.5 * s);
+    }
+    case GateType::RZ:
+      return mat2(-kI * 0.5 * std::exp(-kI * (v[0] / 2)), 0, 0,
+                  kI * 0.5 * std::exp(kI * (v[0] / 2)));
+    case GateType::P:
+      return mat2(0, 0, 0, kI * std::exp(kI * v[0]));
+    case GateType::U2: {
+      const real inv_sqrt2 = 1.0 / std::sqrt(2.0);
+      if (k == 0) {
+        return mat2(0, 0, kI * std::exp(kI * v[0]) * inv_sqrt2,
+                    kI * std::exp(kI * (v[0] + v[1])) * inv_sqrt2);
+      }
+      return mat2(0, -kI * std::exp(kI * v[1]) * inv_sqrt2, 0,
+                  kI * std::exp(kI * (v[0] + v[1])) * inv_sqrt2);
+    }
+    case GateType::U3:
+      return u3_derivative(v[0], v[1], v[2], k);
+    case GateType::CRX:
+      return controlled_derivative(
+          Gate(GateType::RX, {0}, {ParamExpr::constant(v[0])})
+              .matrix_derivative(v, 0));
+    case GateType::CRY:
+      return controlled_derivative(
+          Gate(GateType::RY, {0}, {ParamExpr::constant(v[0])})
+              .matrix_derivative(v, 0));
+    case GateType::CRZ:
+      return controlled_derivative(
+          Gate(GateType::RZ, {0}, {ParamExpr::constant(v[0])})
+              .matrix_derivative(v, 0));
+    case GateType::CP:
+      return controlled_derivative(
+          Gate(GateType::P, {0}, {ParamExpr::constant(v[0])})
+              .matrix_derivative(v, 0));
+    case GateType::CU3:
+      return controlled_derivative(u3_derivative(v[0], v[1], v[2], k));
+    case GateType::RXX:
+      return pauli_product_rotation_derivative(pauli_x(), pauli_x(), v[0]);
+    case GateType::RYY:
+      return pauli_product_rotation_derivative(pauli_y(), pauli_y(), v[0]);
+    case GateType::RZZ:
+      return pauli_product_rotation_derivative(pauli_z(), pauli_z(), v[0]);
+    case GateType::RZX:
+      return pauli_product_rotation_derivative(pauli_z(), pauli_x(), v[0]);
+    default:
+      throw Error("matrix_derivative: gate " + gate_name(type) +
+                  " is not parameterized");
+  }
+}
+
+std::string Gate::to_string() const {
+  std::ostringstream os;
+  os << gate_name(type) << "(";
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    if (i) os << ",";
+    os << "q" << qubits[i];
+  }
+  if (!params.empty()) {
+    os << ";";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      os << (i ? "," : " ");
+      const auto& p = params[i];
+      if (p.is_constant()) {
+        os << p.offset;
+      } else {
+        for (std::size_t t = 0; t < p.terms.size(); ++t) {
+          if (t) os << "+";
+          os << "p" << p.terms[t].id;
+          if (p.terms[t].scale != 1.0) os << "*" << p.terms[t].scale;
+        }
+        if (p.offset != 0.0) os << "+" << p.offset;
+      }
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace qnat

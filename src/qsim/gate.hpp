@@ -1,0 +1,139 @@
+// Gate library for the statevector simulator.
+//
+// A `Gate` references one or two qubits and zero or more real parameters.
+// Parameters are *linear expressions* of a circuit-level parameter vector:
+// value = Σ_k scale_k * params[id_k] + offset (or just `offset` for
+// constants). Linear expressions are what allow the transpiler to
+// decompose e.g. CU3(θ,φ,λ) into basis rotations with angles like θ/2 or
+// (λ+φ)/2 while keeping exact gradient flow back to the original
+// parameters — the adjoint differentiator multiplies each gate-angle
+// gradient by `scale_k` and accumulates it into `params[id_k]`.
+//
+// Convention: qubit 0 is the least-significant bit of a basis index. For a
+// two-qubit gate on qubits (a, b) = (qubits[0], qubits[1]), the 4x4 matrix
+// row/column index is (bit_a << 1) | bit_b, i.e. the first listed qubit is
+// the high bit. For controlled gates the control is qubits[0].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace qnat {
+
+/// All gate types understood by the simulator, transpiler, and noise model.
+enum class GateType {
+  // Non-parameterized single-qubit gates.
+  I,
+  X,
+  Y,
+  Z,
+  H,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  SX,
+  SXdg,
+  SH,  // square root of Hadamard (used by the 'RXYZ' design space)
+  // Parameterized single-qubit gates.
+  RX,
+  RY,
+  RZ,
+  P,   // phase gate, a.k.a. U1
+  U2,  // U2(phi, lambda)
+  U3,  // U3(theta, phi, lambda)
+  // Non-parameterized two-qubit gates.
+  CX,
+  CY,
+  CZ,
+  CH,
+  SWAP,
+  SqrtSwap,
+  // Parameterized two-qubit gates.
+  CRX,
+  CRY,
+  CRZ,
+  CP,   // controlled-phase, a.k.a. CU1
+  CU3,  // controlled-U3
+  RXX,  // exp(-i theta/2 X⊗X)
+  RYY,  // exp(-i theta/2 Y⊗Y)
+  RZZ,  // exp(-i theta/2 Z⊗Z)
+  RZX,  // exp(-i theta/2 Z⊗X)
+};
+
+/// Number of qubits the gate type acts on (1 or 2).
+int gate_num_qubits(GateType type);
+
+/// Number of real parameters of the gate type (0 to 3).
+int gate_num_params(GateType type);
+
+/// Short lowercase mnemonic, e.g. "cu3".
+std::string gate_name(GateType type);
+
+/// Linear parameter expression: value = Σ_k terms[k].scale *
+/// params[terms[k].id] + offset. An empty term list is a constant.
+struct ParamExpr {
+  struct Term {
+    ParamIndex id = kNoParam;
+    real scale = 1.0;
+  };
+  std::vector<Term> terms;
+  real offset = 0.0;
+
+  ParamExpr() = default;
+
+  /// Constant expression.
+  static ParamExpr constant(real value);
+  /// Direct reference to params[id].
+  static ParamExpr param(ParamIndex id);
+  /// Single-term affine reference scale * params[id] + offset.
+  static ParamExpr affine(ParamIndex id, real scale, real offset);
+
+  bool is_constant() const { return terms.empty(); }
+  real eval(const ParamVector& params) const;
+
+  // --- linear arithmetic (used by the transpiler) ---
+  ParamExpr operator+(const ParamExpr& rhs) const;
+  ParamExpr operator-(const ParamExpr& rhs) const;
+  /// Scales all terms and the offset.
+  ParamExpr operator*(real factor) const;
+  /// Adds a constant shift.
+  ParamExpr shifted(real delta) const;
+  ParamExpr negated() const { return (*this) * -1.0; }
+};
+
+/// One gate instance in a circuit.
+struct Gate {
+  GateType type = GateType::I;
+  std::vector<QubitIndex> qubits;
+  std::vector<ParamExpr> params;
+
+  Gate() = default;
+  Gate(GateType t, std::vector<QubitIndex> qs, std::vector<ParamExpr> ps = {});
+
+  int num_qubits() const { return gate_num_qubits(type); }
+  int num_params() const { return gate_num_params(type); }
+  bool is_parameterized() const;
+
+  /// Evaluates the concrete gate angles for a parameter binding.
+  std::vector<real> eval_params(const ParamVector& params) const;
+
+  /// Unitary matrix for concrete angle values (2x2 or 4x4).
+  CMatrix matrix(const std::vector<real>& values) const;
+
+  /// Partial derivative of the matrix w.r.t. angle slot `k` (analytic).
+  /// Defined for all parameterized gate types.
+  CMatrix matrix_derivative(const std::vector<real>& values, int k) const;
+
+  /// Human-readable representation, e.g. "cu3(q0,q1; p3, 0.50, p4*0.5)".
+  std::string to_string() const;
+};
+
+/// Unitary of a gate type for given concrete angle values; free-function
+/// form used by tests and the transpiler.
+CMatrix gate_matrix(GateType type, const std::vector<real>& values);
+
+}  // namespace qnat

@@ -1,0 +1,53 @@
+#include "qsim/pauli_channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+PauliChannel PauliChannel::scaled(double factor) const {
+  QNAT_CHECK(factor >= 0.0, "noise factor must be non-negative");
+  PauliChannel out{px * factor, py * factor, pz * factor};
+  const double t = out.total();
+  if (t > 1.0) {
+    out.px /= t;
+    out.py /= t;
+    out.pz /= t;
+  }
+  return out;
+}
+
+void PauliChannel::validate() const {
+  QNAT_CHECK(px >= 0.0 && py >= 0.0 && pz >= 0.0,
+             "Pauli probabilities must be non-negative");
+  QNAT_CHECK(total() <= 1.0 + 1e-12, "Pauli probabilities must sum to <= 1");
+}
+
+PauliChannel PauliChannel::power(int k) const {
+  QNAT_CHECK(k >= 0, "channel power must be non-negative");
+  validate();
+  if (k == 0) return PauliChannel::ideal();
+  if (k == 1) return *this;
+  const double lx = std::pow(1.0 - 2.0 * (py + pz), k);
+  const double ly = std::pow(1.0 - 2.0 * (px + pz), k);
+  const double lz = std::pow(1.0 - 2.0 * (px + py), k);
+  PauliChannel out{(1.0 + lx - ly - lz) / 4.0, (1.0 - lx + ly - lz) / 4.0,
+                   (1.0 - lx - ly + lz) / 4.0};
+  // Guard tiny negative values from floating-point cancellation.
+  out.px = std::max(out.px, 0.0);
+  out.py = std::max(out.py, 0.0);
+  out.pz = std::max(out.pz, 0.0);
+  return out;
+}
+
+std::optional<GateType> PauliChannel::sample(Rng& rng) const {
+  const double r = rng.uniform();
+  if (r < px) return GateType::X;
+  if (r < px + py) return GateType::Y;
+  if (r < px + py + pz) return GateType::Z;
+  return std::nullopt;
+}
+
+}  // namespace qnat

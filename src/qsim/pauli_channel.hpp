@@ -1,0 +1,53 @@
+// Pauli error channels.
+//
+// Per the paper (§3.2), arbitrary gate errors are approximated by Pauli
+// errors via Pauli twirling: after a gate executes, an X, Y, or Z gate is
+// applied to each operand qubit with small probabilities (pX, pY, pZ), or
+// nothing with probability 1 - pX - pY - pZ. The channel also supports the
+// paper's noise factor T, which scales all three probabilities to trade
+// off injection strength against training stability.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "qsim/gate.hpp"
+
+namespace qnat {
+
+struct PauliChannel {
+  double px = 0.0;
+  double py = 0.0;
+  double pz = 0.0;
+
+  /// Channel that never inserts an error.
+  static PauliChannel ideal() { return PauliChannel{}; }
+
+  /// Symmetric channel with equal X/Y/Z probability p each.
+  static PauliChannel symmetric(double p) { return PauliChannel{p, p, p}; }
+
+  /// Total error probability (probability that any Pauli is inserted).
+  double total() const { return px + py + pz; }
+
+  /// Probability that no error gate is inserted.
+  double p_none() const { return 1.0 - total(); }
+
+  /// Returns a copy with all probabilities scaled by `factor` (the paper's
+  /// noise factor T), clamped so the total stays <= 1.
+  PauliChannel scaled(double factor) const;
+
+  /// Validates 0 <= px,py,pz and total <= 1; throws qnat::Error otherwise.
+  void validate() const;
+
+  /// The channel applied `k` times, composed analytically: Pauli channels
+  /// are diagonal in the Pauli transfer picture with eigenvalues
+  /// λ_x = 1 - 2(p_y + p_z) (cyclically), so k applications raise each
+  /// eigenvalue to the k-th power. Used to charge k idle layers in one
+  /// step.
+  PauliChannel power(int k) const;
+
+  /// Samples one of {X, Y, Z, none}. Returns nullopt when 'none' is drawn.
+  std::optional<GateType> sample(Rng& rng) const;
+};
+
+}  // namespace qnat

@@ -1,0 +1,163 @@
+#include "qsim/statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+StateVector::StateVector(int num_qubits)
+    : num_qubits_(num_qubits),
+      amps_(std::size_t{1} << num_qubits, cplx{0.0, 0.0}) {
+  QNAT_CHECK(num_qubits > 0 && num_qubits <= 24,
+             "statevector supports 1..24 qubits");
+  amps_[0] = cplx{1.0, 0.0};
+}
+
+void StateVector::reset() {
+  std::fill(amps_.begin(), amps_.end(), cplx{0.0, 0.0});
+  amps_[0] = cplx{1.0, 0.0};
+}
+
+void StateVector::apply_1q(const CMatrix& m, QubitIndex q) {
+  QNAT_CHECK(m.rows() == 2 && m.cols() == 2, "apply_1q requires 2x2 matrix");
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  const std::size_t stride = std::size_t{1} << q;
+  const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
+  const std::size_t n = amps_.size();
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      const cplx a0 = amps_[i];
+      const cplx a1 = amps_[i + stride];
+      amps_[i] = m00 * a0 + m01 * a1;
+      amps_[i + stride] = m10 * a0 + m11 * a1;
+    }
+  }
+}
+
+void StateVector::apply_2q(const CMatrix& m, QubitIndex a, QubitIndex b) {
+  QNAT_CHECK(m.rows() == 4 && m.cols() == 4, "apply_2q requires 4x4 matrix");
+  QNAT_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
+             "invalid qubit pair");
+  const std::size_t sa = std::size_t{1} << a;  // high bit of matrix index
+  const std::size_t sb = std::size_t{1} << b;  // low bit of matrix index
+  const std::size_t n = amps_.size();
+  // Iterate basis states with bits a and b both zero.
+  const std::size_t mask = sa | sb;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i & mask) continue;
+    const std::size_t i00 = i;
+    const std::size_t i01 = i | sb;
+    const std::size_t i10 = i | sa;
+    const std::size_t i11 = i | sa | sb;
+    const cplx a00 = amps_[i00], a01 = amps_[i01], a10 = amps_[i10],
+               a11 = amps_[i11];
+    amps_[i00] = m(0, 0) * a00 + m(0, 1) * a01 + m(0, 2) * a10 + m(0, 3) * a11;
+    amps_[i01] = m(1, 0) * a00 + m(1, 1) * a01 + m(1, 2) * a10 + m(1, 3) * a11;
+    amps_[i10] = m(2, 0) * a00 + m(2, 1) * a01 + m(2, 2) * a10 + m(2, 3) * a11;
+    amps_[i11] = m(3, 0) * a00 + m(3, 1) * a01 + m(3, 2) * a10 + m(3, 3) * a11;
+  }
+}
+
+void StateVector::apply_gate(const Gate& gate, const ParamVector& params) {
+  const CMatrix m = gate.matrix(gate.eval_params(params));
+  if (gate.num_qubits() == 1) {
+    apply_1q(m, gate.qubits[0]);
+  } else {
+    apply_2q(m, gate.qubits[0], gate.qubits[1]);
+  }
+}
+
+void StateVector::apply_gate_adjoint(const Gate& gate,
+                                     const ParamVector& params) {
+  const CMatrix m = gate.matrix(gate.eval_params(params)).adjoint();
+  if (gate.num_qubits() == 1) {
+    apply_1q(m, gate.qubits[0]);
+  } else {
+    apply_2q(m, gate.qubits[0], gate.qubits[1]);
+  }
+}
+
+real StateVector::expectation_z(QubitIndex q) const {
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  const std::size_t bit = std::size_t{1} << q;
+  real e = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    const real p = std::norm(amps_[i]);
+    e += (i & bit) ? -p : p;
+  }
+  return e;
+}
+
+std::vector<real> StateVector::expectations_z() const {
+  std::vector<real> out(static_cast<std::size_t>(num_qubits_), 0.0);
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    const real p = std::norm(amps_[i]);
+    if (p == 0.0) continue;
+    for (int q = 0; q < num_qubits_; ++q) {
+      out[static_cast<std::size_t>(q)] +=
+          (i & (std::size_t{1} << q)) ? -p : p;
+    }
+  }
+  return out;
+}
+
+real StateVector::prob_one(QubitIndex q) const {
+  return 0.5 * (1.0 - expectation_z(q));
+}
+
+real StateVector::norm_sq() const {
+  real s = 0.0;
+  for (const auto& a : amps_) s += std::norm(a);
+  return s;
+}
+
+void StateVector::normalize() {
+  const real n = std::sqrt(norm_sq());
+  QNAT_CHECK(n > 0.0, "cannot normalize the zero state");
+  for (auto& a : amps_) a /= n;
+}
+
+cplx StateVector::inner(const StateVector& other) const {
+  QNAT_CHECK(num_qubits_ == other.num_qubits_,
+             "inner product dimension mismatch");
+  cplx s{0.0, 0.0};
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    s += std::conj(amps_[i]) * other.amps_[i];
+  }
+  return s;
+}
+
+void StateVector::add_scaled(const StateVector& other, cplx factor) {
+  QNAT_CHECK(num_qubits_ == other.num_qubits_, "dimension mismatch");
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    amps_[i] += factor * other.amps_[i];
+  }
+}
+
+void StateVector::scale(cplx factor) {
+  for (auto& a : amps_) a *= factor;
+}
+
+std::vector<std::size_t> StateVector::sample(Rng& rng, int shots) const {
+  QNAT_CHECK(shots > 0, "sample requires positive shot count");
+  std::vector<double> cumulative(amps_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    acc += std::norm(amps_[i]);
+    cumulative[i] = acc;
+  }
+  std::vector<std::size_t> out;
+  out.reserve(static_cast<std::size_t>(shots));
+  for (int s = 0; s < shots; ++s) {
+    const double r = rng.uniform() * acc;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), r);
+    out.push_back(static_cast<std::size_t>(
+        std::distance(cumulative.begin(), it)));
+  }
+  return out;
+}
+
+}  // namespace qnat

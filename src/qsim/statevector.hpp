@@ -1,0 +1,83 @@
+// Dense statevector simulator.
+//
+// Stores the 2^n complex amplitudes of an n-qubit register (qubit 0 =
+// least-significant bit of the basis index) and applies arbitrary 2x2/4x4
+// matrices — unitary or not; the adjoint differentiator applies gate
+// *derivative* matrices, which are not unitary. Pauli-Z expectations,
+// basis-state probabilities and finite-shot sampling support the QNN
+// measurement layer.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "qsim/gate.hpp"
+
+namespace qnat {
+
+class StateVector {
+ public:
+  /// Initializes |0...0>.
+  explicit StateVector(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  std::size_t dim() const { return amps_.size(); }
+
+  /// Resets to |0...0>.
+  void reset();
+
+  const std::vector<cplx>& amplitudes() const { return amps_; }
+  cplx amplitude(std::size_t basis_index) const { return amps_[basis_index]; }
+  void set_amplitude(std::size_t basis_index, cplx value) {
+    amps_[basis_index] = value;
+  }
+
+  /// Applies an arbitrary 2x2 matrix to qubit `q`.
+  void apply_1q(const CMatrix& m, QubitIndex q);
+
+  /// Applies an arbitrary 4x4 matrix to qubits (a, b) where `a` is the
+  /// high bit of the matrix index (matching the Gate convention).
+  void apply_2q(const CMatrix& m, QubitIndex a, QubitIndex b);
+
+  /// Applies a gate with a concrete parameter binding.
+  void apply_gate(const Gate& gate, const ParamVector& params);
+
+  /// Applies the adjoint (inverse for unitaries) of a gate.
+  void apply_gate_adjoint(const Gate& gate, const ParamVector& params);
+
+  /// <psi| Z_q |psi> in [-1, 1].
+  real expectation_z(QubitIndex q) const;
+
+  /// Z expectations on all qubits.
+  std::vector<real> expectations_z() const;
+
+  /// Probability of measuring qubit q as |1>.
+  real prob_one(QubitIndex q) const;
+
+  /// Squared norm (should be 1 after unitary evolution).
+  real norm_sq() const;
+
+  /// Normalizes amplitudes to unit norm; throws on a zero state.
+  void normalize();
+
+  /// <this|other>.
+  cplx inner(const StateVector& other) const;
+
+  /// In-place amps += factor * other.amps (used by channel mixing).
+  void add_scaled(const StateVector& other, cplx factor);
+
+  /// In-place amps *= factor.
+  void scale(cplx factor);
+
+  /// Samples `shots` full-register measurement outcomes; returns basis
+  /// indices. Uses a cumulative-probability table (fine for <= ~20 qubits).
+  std::vector<std::size_t> sample(Rng& rng, int shots) const;
+
+ private:
+  int num_qubits_;
+  std::vector<cplx> amps_;
+};
+
+}  // namespace qnat

@@ -1,0 +1,105 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace qnat {
+namespace {
+
+const cplx kI{0.0, 1.0};
+
+TEST(CMatrix, IdentityIsUnitary) {
+  EXPECT_TRUE(CMatrix::identity(4).is_unitary());
+}
+
+TEST(CMatrix, ProductShapes) {
+  CMatrix a(2, 3);
+  CMatrix b(3, 4);
+  const CMatrix c = a * b;
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+  EXPECT_THROW(b * a, Error);
+}
+
+TEST(CMatrix, ProductValues) {
+  const CMatrix x(2, 2, {0, 1, 1, 0});
+  const CMatrix z(2, 2, {1, 0, 0, -1});
+  const CMatrix xz = x * z;
+  // XZ = [[0,-1],[1,0]]
+  EXPECT_EQ(xz(0, 0), cplx(0));
+  EXPECT_EQ(xz(0, 1), cplx(-1));
+  EXPECT_EQ(xz(1, 0), cplx(1));
+  EXPECT_EQ(xz(1, 1), cplx(0));
+}
+
+TEST(CMatrix, AdjointConjugatesAndTransposes) {
+  const CMatrix y(2, 2, {0, -kI, kI, 0});
+  const CMatrix ydag = y.adjoint();
+  EXPECT_TRUE(y.approx_equal(ydag));  // Y is Hermitian
+  const CMatrix s(2, 2, {1, 0, 0, kI});
+  const CMatrix sdag = s.adjoint();
+  EXPECT_EQ(sdag(1, 1), cplx(0, -1));
+}
+
+TEST(CMatrix, KroneckerProductShapeAndValues) {
+  const CMatrix x(2, 2, {0, 1, 1, 0});
+  const CMatrix id = CMatrix::identity(2);
+  const CMatrix xi = x.kron(id);
+  EXPECT_EQ(xi.rows(), 4u);
+  // X ⊗ I: swaps the high bit.
+  EXPECT_EQ(xi(0, 2), cplx(1));
+  EXPECT_EQ(xi(1, 3), cplx(1));
+  EXPECT_EQ(xi(2, 0), cplx(1));
+  EXPECT_EQ(xi(0, 0), cplx(0));
+}
+
+TEST(CMatrix, TraceOfPauliIsZero) {
+  const CMatrix z(2, 2, {1, 0, 0, -1});
+  EXPECT_EQ(z.trace(), cplx(0));
+  EXPECT_THROW(CMatrix(2, 3).trace(), Error);
+}
+
+TEST(CMatrix, FrobeniusNorm) {
+  const CMatrix m(2, 2, {3, 0, 0, 4});
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(CMatrix, UnitaryDetection) {
+  const CMatrix h(2, 2,
+                  {1 / std::sqrt(2.0), 1 / std::sqrt(2.0), 1 / std::sqrt(2.0),
+                   -1 / std::sqrt(2.0)});
+  EXPECT_TRUE(h.is_unitary());
+  const CMatrix not_unitary(2, 2, {1, 1, 0, 1});
+  EXPECT_FALSE(not_unitary.is_unitary());
+}
+
+TEST(CMatrix, ApproxEqualUpToPhase) {
+  const CMatrix h(2, 2,
+                  {1 / std::sqrt(2.0), 1 / std::sqrt(2.0), 1 / std::sqrt(2.0),
+                   -1 / std::sqrt(2.0)});
+  const cplx phase = std::exp(kI * 0.7);
+  const CMatrix hp = h * phase;
+  EXPECT_FALSE(h.approx_equal(hp, 1e-9));
+  EXPECT_TRUE(h.approx_equal_up_to_phase(hp, 1e-9));
+  const CMatrix x(2, 2, {0, 1, 1, 0});
+  EXPECT_FALSE(h.approx_equal_up_to_phase(x, 1e-9));
+}
+
+TEST(CMatrix, InitializerListShapeValidation) {
+  EXPECT_THROW(CMatrix(2, 2, {1, 2, 3}), Error);
+}
+
+TEST(CMatrix, SumAndDifference) {
+  const CMatrix a(1, 2, {1, 2});
+  const CMatrix b(1, 2, {3, 5});
+  EXPECT_EQ((a + b)(0, 1), cplx(7));
+  EXPECT_EQ((b - a)(0, 0), cplx(2));
+  EXPECT_THROW(a + CMatrix(2, 1), Error);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,160 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShiftScale) {
+  Rng rng(6);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, IndexCoversAllValues) {
+  Rng rng(8);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  for (const auto v : seen) EXPECT_LT(v, 7u);
+}
+
+TEST(Rng, IndexRejectsZero) {
+  Rng rng(8);
+  EXPECT_THROW(rng.index(0), Error);
+}
+
+TEST(Rng, DiscreteMatchesWeights) {
+  Rng rng(9);
+  const std::array<double, 3> weights{0.2, 0.3, 0.5};
+  std::array<int, 3> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.discrete(std::span<const double>(weights))];
+  }
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, weights[k], 0.01);
+  }
+}
+
+TEST(Rng, DiscreteRejectsNegativeAndZeroTotal) {
+  Rng rng(9);
+  const std::array<double, 2> negative{0.5, -0.1};
+  EXPECT_THROW(rng.discrete(std::span<const double>(negative)), Error);
+  const std::array<double, 2> zeros{0.0, 0.0};
+  EXPECT_THROW(rng.discrete(std::span<const double>(zeros)), Error);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(10);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, BernoulliRateMatches) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsBijective) {
+  Rng rng(12);
+  const auto perm = rng.permutation(50);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng rng(13);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto one = rng.permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng rng(14);
+  Rng child = rng.fork();
+  // The child stream should differ from the parent's continuation.
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) {
+    if (rng.next_u64() != child.next_u64()) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace qnat

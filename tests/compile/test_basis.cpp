@@ -1,0 +1,160 @@
+#include "compile/basis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "grad/adjoint.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+namespace {
+
+/// Full unitary of a circuit (columns = images of basis states).
+CMatrix circuit_unitary(const Circuit& c, const ParamVector& params) {
+  const std::size_t dim = std::size_t{1} << c.num_qubits();
+  CMatrix u(dim, dim);
+  for (std::size_t col = 0; col < dim; ++col) {
+    StateVector s(c.num_qubits());
+    s.set_amplitude(0, cplx{0.0, 0.0});
+    s.set_amplitude(col, cplx{1.0, 0.0});
+    run_circuit_inplace(c, params, s);
+    for (std::size_t row = 0; row < dim; ++row) {
+      u(row, col) = s.amplitude(row);
+    }
+  }
+  return u;
+}
+
+struct DecompCase {
+  GateType type;
+  int num_qubits;  // circuit width to test on
+};
+
+const std::vector<DecompCase> kCases = {
+    {GateType::I, 1},      {GateType::X, 1},        {GateType::Y, 1},
+    {GateType::Z, 1},      {GateType::H, 1},        {GateType::S, 1},
+    {GateType::Sdg, 1},    {GateType::T, 1},        {GateType::Tdg, 1},
+    {GateType::SX, 1},     {GateType::SXdg, 1},     {GateType::SH, 1},
+    {GateType::RX, 1},     {GateType::RY, 1},       {GateType::RZ, 1},
+    {GateType::P, 1},      {GateType::U2, 1},       {GateType::U3, 1},
+    {GateType::CX, 2},     {GateType::CY, 2},       {GateType::CZ, 2},
+    {GateType::CH, 2},     {GateType::SWAP, 2},     {GateType::SqrtSwap, 2},
+    {GateType::CRX, 2},    {GateType::CRY, 2},      {GateType::CRZ, 2},
+    {GateType::CP, 2},     {GateType::CU3, 2},      {GateType::RXX, 2},
+    {GateType::RYY, 2},    {GateType::RZZ, 2},      {GateType::RZX, 2},
+};
+
+class BasisDecompositionTest : public ::testing::TestWithParam<DecompCase> {};
+
+TEST_P(BasisDecompositionTest, UnitaryPreservedUpToGlobalPhase) {
+  const auto [type, nq] = GetParam();
+  Circuit original(nq, gate_num_params(type));
+  std::vector<ParamExpr> exprs;
+  ParamVector params;
+  for (int k = 0; k < gate_num_params(type); ++k) {
+    exprs.push_back(ParamExpr::param(k));
+    params.push_back(0.37 + 0.51 * k);
+  }
+  std::vector<QubitIndex> qubits = nq == 1 ? std::vector<QubitIndex>{0}
+                                           : std::vector<QubitIndex>{0, 1};
+  original.append(Gate(type, qubits, exprs));
+
+  const Circuit decomposed = decompose_to_basis(original);
+  for (const auto& g : decomposed.gates()) {
+    EXPECT_TRUE(is_basis_gate(g.type))
+        << gate_name(type) << " produced " << gate_name(g.type);
+  }
+  const CMatrix u_orig = circuit_unitary(original, params);
+  const CMatrix u_dec = circuit_unitary(decomposed, params);
+  EXPECT_TRUE(u_orig.approx_equal_up_to_phase(u_dec, 1e-9))
+      << "decomposition of " << gate_name(type) << " diverges";
+}
+
+TEST_P(BasisDecompositionTest, GradientsPreserved) {
+  const auto [type, nq] = GetParam();
+  if (gate_num_params(type) == 0) GTEST_SKIP() << "constant gate";
+  // Wrap the gate between rotations so the expectation depends on every
+  // parameter; compare adjoint gradients of original vs decomposed.
+  Circuit original(nq, gate_num_params(type) + nq);
+  ParamVector params;
+  for (int q = 0; q < nq; ++q) {
+    original.ry(q, gate_num_params(type) + q);
+  }
+  std::vector<ParamExpr> exprs;
+  for (int k = 0; k < gate_num_params(type); ++k) {
+    exprs.push_back(ParamExpr::param(k));
+    params.push_back(0.29 + 0.41 * k);
+  }
+  std::vector<QubitIndex> qubits = nq == 1 ? std::vector<QubitIndex>{0}
+                                           : std::vector<QubitIndex>{0, 1};
+  original.append(Gate(type, qubits, exprs));
+  for (int q = 0; q < nq; ++q) params.push_back(0.8 - 0.3 * q);
+
+  const Circuit decomposed = decompose_to_basis(original);
+  const std::vector<real> cotangent(static_cast<std::size_t>(nq), 1.0);
+  const auto g_orig = adjoint_vjp(original, params, cotangent);
+  const auto g_dec = adjoint_vjp(decomposed, params, cotangent);
+  ASSERT_EQ(g_orig.gradient.size(), g_dec.gradient.size());
+  for (std::size_t i = 0; i < g_orig.gradient.size(); ++i) {
+    EXPECT_NEAR(g_orig.gradient[i], g_dec.gradient[i], 1e-8)
+        << gate_name(type) << " param " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGates, BasisDecompositionTest,
+                         ::testing::ValuesIn(kCases),
+                         [](const auto& info) {
+                           return gate_name(info.param.type);
+                         });
+
+TEST(BasisDecomposition, ZyzRoundTripRandomUnitaries) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CMatrix u = gate_matrix(
+        GateType::U3, {rng.uniform(0, kPi), rng.uniform(-kPi, kPi),
+                       rng.uniform(-kPi, kPi)});
+    const ZyzAngles z = decompose_1q_unitary(u);
+    const CMatrix rebuilt =
+        gate_matrix(GateType::U3, {z.theta, z.phi, z.lambda}) *
+        std::exp(cplx(0, z.phase));
+    EXPECT_TRUE(u.approx_equal(rebuilt, 1e-9));
+  }
+}
+
+TEST(BasisDecomposition, ZyzHandlesDiagonalAndAntidiagonal) {
+  const ZyzAngles zs = decompose_1q_unitary(gate_matrix(GateType::S, {}));
+  EXPECT_NEAR(zs.theta, 0.0, 1e-12);
+  const ZyzAngles zx = decompose_1q_unitary(gate_matrix(GateType::X, {}));
+  EXPECT_NEAR(zx.theta, kPi, 1e-12);
+}
+
+TEST(BasisDecomposition, ZyzRejectsNonUnitary) {
+  EXPECT_THROW(decompose_1q_unitary(CMatrix(2, 2, {1, 1, 0, 1})), Error);
+  EXPECT_THROW(decompose_1q_unitary(CMatrix(3, 3)), Error);
+}
+
+TEST(BasisDecomposition, MultiGateCircuitEquivalence) {
+  Circuit c(3, 4);
+  c.h(0);
+  c.cu3(0, 1, 0, 1, 2);
+  c.swap(1, 2);
+  c.rzz(0, 2, 3);
+  c.sh(1);
+  c.t(2);
+  const ParamVector params{0.3, -0.7, 1.1, 0.5};
+  const Circuit decomposed = decompose_to_basis(c);
+  EXPECT_TRUE(circuit_unitary(c, params).approx_equal_up_to_phase(
+      circuit_unitary(decomposed, params), 1e-8));
+}
+
+TEST(BasisDecomposition, HIsThreeGates) {
+  Circuit c(1, 0);
+  c.h(0);
+  EXPECT_EQ(decompose_to_basis(c).size(), 3u);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,133 @@
+#include "compile/passes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qsim/execution.hpp"
+
+namespace qnat {
+namespace {
+
+/// Statevector equivalence of two circuits on |0...0> (sufficient for the
+/// peephole identities exercised here, which are exact circuit rewrites).
+void expect_equivalent(const Circuit& a, const Circuit& b,
+                       const ParamVector& params) {
+  const StateVector sa = run_circuit(a, params);
+  const StateVector sb = run_circuit(b, params);
+  EXPECT_NEAR(std::abs(sa.inner(sb)), 1.0, 1e-10);
+}
+
+TEST(Passes, MergesAdjacentRz) {
+  Circuit c(1, 2);
+  c.rz(0, 0);
+  c.rz(0, 1);
+  PassStats stats;
+  const Circuit merged = merge_rotations(c, &stats);
+  EXPECT_EQ(merged.size(), 1u);
+  EXPECT_EQ(stats.merged_rotations, 1);
+  expect_equivalent(c, merged, {0.4, 0.9});
+}
+
+TEST(Passes, DoesNotMergeAcrossBlockingGate) {
+  Circuit c(1, 2);
+  c.rz(0, 0);
+  c.sx(0);
+  c.rz(0, 1);
+  const Circuit merged = merge_rotations(c);
+  EXPECT_EQ(merged.size(), 3u);
+}
+
+TEST(Passes, MergesAcrossOtherQubitActivity) {
+  Circuit c(2, 2);
+  c.rz(0, 0);
+  c.sx(1);  // does not touch qubit 0
+  c.rz(0, 1);
+  const Circuit merged = merge_rotations(c);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(Passes, CancelsSelfInversePairs) {
+  Circuit c(2, 0);
+  c.x(0);
+  c.x(0);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  c.h(1);
+  PassStats stats;
+  const Circuit out = cancel_inverse_pairs(c, &stats);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.cancelled_pairs, 2);
+}
+
+TEST(Passes, CxPairWithInterveningGateSurvives) {
+  Circuit c(2, 0);
+  c.cx(0, 1);
+  c.x(1);
+  c.cx(0, 1);
+  EXPECT_EQ(cancel_inverse_pairs(c).size(), 3u);
+}
+
+TEST(Passes, CxReversedOperandsNotCancelled) {
+  Circuit c(2, 0);
+  c.cx(0, 1);
+  c.cx(1, 0);
+  EXPECT_EQ(cancel_inverse_pairs(c).size(), 2u);
+}
+
+TEST(Passes, DropsTrivialGates) {
+  Circuit c(1, 1);
+  c.id(0);
+  c.rz_const(0, 0.0);
+  c.rz_const(0, 4.0 * kPi);
+  c.rz(0, 0);  // parameterized: kept
+  PassStats stats;
+  const Circuit out = drop_trivial_gates(c, &stats);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.dropped_gates, 3);
+}
+
+TEST(Passes, OptimizeReachesFixpoint) {
+  // X SX SX X -> X X (after sx-untouched) ... construct a chain that needs
+  // multiple rounds: rz(a) rz(-a) collapses to rz(0) then drops, exposing
+  // an X X pair.
+  Circuit c(1, 1);
+  c.x(0);
+  c.append(Gate(GateType::RZ, {0}, {ParamExpr::constant(0.7)}));
+  c.append(Gate(GateType::RZ, {0}, {ParamExpr::constant(-0.7)}));
+  c.x(0);
+  const Circuit out = optimize_circuit(c);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(Passes, OptimizePreservesSemantics) {
+  Circuit c(3, 3);
+  c.h(0);
+  c.rz(0, 0);
+  c.rz(0, 1);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  c.x(2);
+  c.x(2);
+  c.ry(1, 2);
+  c.id(0);
+  const ParamVector params{0.3, 0.5, -1.2};
+  const Circuit out = optimize_circuit(c);
+  EXPECT_LT(out.size(), c.size());
+  expect_equivalent(c, out, params);
+}
+
+TEST(Passes, MergedRotationKeepsParameterReferences) {
+  Circuit c(1, 2);
+  c.rz(0, 0);
+  c.rz(0, 1);
+  const Circuit merged = merge_rotations(c);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged.gate(0).params[0].terms.size(), 2u);
+}
+
+TEST(Passes, EmptyCircuitIsFine) {
+  Circuit c(2, 0);
+  EXPECT_EQ(optimize_circuit(c).size(), 0u);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,100 @@
+// Property sweeps: transpilation must preserve measurement semantics and
+// gradients for every (device, design space) combination the benches use.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "compile/basis.hpp"
+#include "compile/transpiler.hpp"
+#include "core/design_space.hpp"
+#include "core/encoder.hpp"
+#include "grad/adjoint.hpp"
+#include "noise/device_presets.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+namespace {
+
+using SweepParam = std::tuple<std::string, DesignSpace>;
+
+class TranspileSweep : public ::testing::TestWithParam<SweepParam> {};
+
+Circuit block_circuit(DesignSpace space) {
+  // Encoder (4 features) + one full cycle of the space.
+  const int layers = space == DesignSpace::RXYZ
+                         ? 5
+                         : (space == DesignSpace::RXYZU1CU3 ? 11 : 2);
+  Circuit c(4, 4);
+  append_feature_encoder(c, 4, 0);
+  append_trainable_layers(c, space, layers);
+  return c;
+}
+
+ParamVector random_params(const Circuit& c, std::uint64_t seed) {
+  ParamVector p(static_cast<std::size_t>(c.num_params()));
+  Rng rng(seed);
+  for (auto& v : p) v = rng.uniform(-kPi, kPi);
+  return p;
+}
+
+TEST_P(TranspileSweep, ExpectationsPreserved) {
+  const auto& [device, space] = GetParam();
+  const NoiseModel model = make_device_noise_model(device);
+  const Circuit logical = block_circuit(space);
+  const ParamVector params = random_params(logical, 91);
+  const TranspileResult result = transpile(logical, model, 2);
+
+  for (const auto& g : result.circuit.gates()) {
+    ASSERT_TRUE(is_basis_gate(g.type));
+  }
+  const auto before = measure_expectations(logical, params);
+  const auto after = measure_expectations(result.circuit, params);
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_NEAR(before[static_cast<std::size_t>(q)],
+                after[static_cast<std::size_t>(
+                    result.final_layout[static_cast<std::size_t>(q)])],
+                1e-8)
+        << "qubit " << q;
+  }
+}
+
+TEST_P(TranspileSweep, GradientsPreserved) {
+  const auto& [device, space] = GetParam();
+  const NoiseModel model = make_device_noise_model(device);
+  const Circuit logical = block_circuit(space);
+  const ParamVector params = random_params(logical, 92);
+  const TranspileResult result = transpile(logical, model, 2);
+
+  const std::vector<real> logical_cot(4, 1.0);
+  const auto g_logical = adjoint_vjp(logical, params, logical_cot);
+  std::vector<real> physical_cot(
+      static_cast<std::size_t>(result.circuit.num_qubits()), 0.0);
+  for (int q = 0; q < 4; ++q) {
+    physical_cot[static_cast<std::size_t>(
+        result.final_layout[static_cast<std::size_t>(q)])] = 1.0;
+  }
+  const auto g_physical = adjoint_vjp(result.circuit, params, physical_cot);
+  for (std::size_t p = 0; p < g_logical.gradient.size(); ++p) {
+    EXPECT_NEAR(g_logical.gradient[p], g_physical.gradient[p], 1e-7)
+        << "param " << p;
+  }
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<SweepParam>& info) {
+  return std::get<0>(info.param) + "_" +
+         design_space_name(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DevicesAndSpaces, TranspileSweep,
+    ::testing::Combine(
+        ::testing::Values("santiago", "yorktown", "belem", "athens",
+                          "melbourne"),
+        ::testing::Values(DesignSpace::U3CU3, DesignSpace::ZZRY,
+                          DesignSpace::RXYZ, DesignSpace::ZXXX,
+                          DesignSpace::RXYZU1CU3)),
+    sweep_name);
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,124 @@
+#include "compile/qasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/design_space.hpp"
+#include "core/encoder.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+namespace {
+
+void expect_equivalent(const Circuit& a, const Circuit& b,
+                       const ParamVector& params) {
+  ASSERT_EQ(a.num_qubits(), b.num_qubits());
+  const StateVector sa = run_circuit(a, params);
+  const StateVector sb = run_circuit(b, params);
+  EXPECT_NEAR(std::abs(sa.inner(sb)), 1.0, 1e-9);
+}
+
+TEST(Qasm, HeaderAndRegister) {
+  Circuit c(3, 0);
+  c.h(0);
+  const std::string text = to_qasm(c);
+  EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(text.find("include \"qelib1.inc\";"), std::string::npos);
+  EXPECT_NE(text.find("qreg q[3];"), std::string::npos);
+  EXPECT_NE(text.find("h q[0];"), std::string::npos);
+}
+
+TEST(Qasm, RoundTripConstantCircuit) {
+  Circuit c(3, 0);
+  c.h(0);
+  c.cx(0, 1);
+  c.t(2);
+  c.swap(1, 2);
+  c.ry_const(0, 0.75);
+  const Circuit back = from_qasm(to_qasm(c));
+  EXPECT_EQ(back.size(), c.size());
+  expect_equivalent(c, back, {});
+}
+
+TEST(Qasm, RoundTripParameterizedCircuit) {
+  Circuit c(4, 20);
+  append_feature_encoder(c, 16, 0);
+  c.cu3(0, 1, 16, 17, 18);
+  c.rzz(2, 3, 19);
+  const Circuit back = from_qasm(to_qasm(c));
+  EXPECT_EQ(back.num_params(), 20);
+  ParamVector params(20);
+  Rng rng(5);
+  for (auto& p : params) p = rng.uniform(-2, 2);
+  expect_equivalent(c, back, params);
+}
+
+TEST(Qasm, RoundTripLinearExpressions) {
+  Circuit c(2, 2);
+  ParamExpr combo = (ParamExpr::param(0) + ParamExpr::param(1)) * 0.5;
+  combo = combo.shifted(-0.25);
+  c.append(Gate(GateType::RY, {0}, {combo}));
+  c.append(Gate(GateType::RZ, {1}, {ParamExpr::affine(0, -2.0, 0.0)}));
+  const Circuit back = from_qasm(to_qasm(c));
+  expect_equivalent(c, back, {0.7, -1.3});
+}
+
+TEST(Qasm, NonQelibGatesLoweredButEquivalent) {
+  Circuit c(2, 1);
+  c.sh(0);
+  c.sqrtswap(0, 1);
+  c.rzx(0, 1, 0);
+  const std::string text = to_qasm(c);
+  EXPECT_EQ(text.find("sh "), std::string::npos);
+  EXPECT_EQ(text.find("sqrtswap"), std::string::npos);
+  const Circuit back = from_qasm(text);
+  expect_equivalent(c, back, {0.45});
+}
+
+TEST(Qasm, ImportsQiskitSpellings) {
+  const std::string text = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+u(0.3,0.1,-0.2) q[0];
+p(0.5) q[1];
+cnot q[0],q[1];
+measure q[0] -> c[0];
+)";
+  const Circuit c = from_qasm(text);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.gate(0).type, GateType::U3);
+  EXPECT_EQ(c.gate(1).type, GateType::P);
+  EXPECT_EQ(c.gate(2).type, GateType::CX);
+}
+
+TEST(Qasm, RejectsMalformedInput) {
+  EXPECT_THROW(from_qasm("OPENQASM 2.0;\nh q[0];\n"), Error);  // no qreg
+  EXPECT_THROW(from_qasm("qreg q[2];\nfoo q[0];\n"), Error);
+  EXPECT_THROW(from_qasm("qreg q[2];\nh q[0]\n"), Error);  // missing ';'
+  EXPECT_THROW(from_qasm("qreg q[2];\nrx() q[0];\n"), Error);
+  EXPECT_THROW(from_qasm("qreg q[2];\nrx(0.1,0.2) q[0];\n"), Error);
+}
+
+TEST(Qasm, ParamCountHeaderRoundTrips) {
+  Circuit c(1, 7);
+  c.rx(0, 6);
+  const std::string text = to_qasm(c);
+  EXPECT_NE(text.find("// qnat-params: 7"), std::string::npos);
+  EXPECT_EQ(from_qasm(text).num_params(), 7);
+}
+
+TEST(Qasm, DesignSpaceCircuitsRoundTrip) {
+  for (const DesignSpace space :
+       {DesignSpace::U3CU3, DesignSpace::ZZRY, DesignSpace::RXYZ}) {
+    Circuit c(3, 0);
+    append_trainable_layers(c, space, 4);
+    ParamVector params(static_cast<std::size_t>(c.num_params()));
+    Rng rng(11 + static_cast<int>(space));
+    for (auto& p : params) p = rng.uniform(-kPi, kPi);
+    expect_equivalent(c, from_qasm(to_qasm(c)), params);
+  }
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,127 @@
+#include "compile/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "compile/basis.hpp"
+#include "noise/device_presets.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+namespace {
+
+NoiseModel line5() {
+  NoiseModel m("line5", 5);
+  for (int q = 0; q < 5; ++q) {
+    m.set_single_qubit_channel(q, PauliChannel::symmetric(0.001 * (q + 1)));
+    m.set_readout_error(q,
+                        ReadoutError::from_flip_probs(0.01 * (q + 1), 0.01));
+  }
+  for (int q = 0; q < 4; ++q) m.add_coupling(q, q + 1);
+  return m;
+}
+
+TEST(Routing, TrivialLayoutIdentity) {
+  const Layout l = trivial_layout(4);
+  ASSERT_EQ(l.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(l[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Routing, CoupledGatePassesThrough) {
+  Circuit c(2, 0);
+  c.cx(0, 1);
+  const RoutedCircuit routed = route_circuit(c, line5(), trivial_layout(2));
+  EXPECT_EQ(routed.inserted_swaps, 0);
+  EXPECT_EQ(routed.circuit.size(), 1u);
+  EXPECT_EQ(routed.circuit.num_qubits(), 5);
+}
+
+TEST(Routing, UncoupledGateGetsSwaps) {
+  Circuit c(4, 0);
+  c.cx(0, 3);
+  const RoutedCircuit routed = route_circuit(c, line5(), trivial_layout(4));
+  EXPECT_GE(routed.inserted_swaps, 2);
+  // Every CX in the output must respect the coupling map.
+  const NoiseModel m = line5();
+  for (const auto& g : routed.circuit.gates()) {
+    if (g.type == GateType::CX) {
+      EXPECT_TRUE(m.coupled(g.qubits[0], g.qubits[1]));
+    }
+  }
+}
+
+TEST(Routing, FinalLayoutTracksLogicalQubits) {
+  // Route, then verify semantics: prepare a distinctive state and check
+  // the measured expectations on the routed circuit's final layout match
+  // the logical circuit's per-qubit expectations.
+  Circuit c(4, 0);
+  c.ry_const(0, 0.4);
+  c.ry_const(1, 1.0);
+  c.ry_const(2, 1.6);
+  c.ry_const(3, 2.2);
+  c.cx(0, 3);
+  c.cx(1, 2);
+  const auto logical = measure_expectations(c, {});
+  const RoutedCircuit routed = route_circuit(c, line5(), trivial_layout(4));
+  const auto physical = measure_expectations(routed.circuit, {});
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_NEAR(
+        logical[static_cast<std::size_t>(q)],
+        physical[static_cast<std::size_t>(
+            routed.final_layout[static_cast<std::size_t>(q)])],
+        1e-10)
+        << "logical qubit " << q;
+  }
+}
+
+TEST(Routing, CustomInitialLayoutRespected) {
+  Circuit c(2, 0);
+  c.x(0);
+  const Layout layout{3, 4};
+  const RoutedCircuit routed = route_circuit(c, line5(), layout);
+  ASSERT_EQ(routed.circuit.size(), 1u);
+  EXPECT_EQ(routed.circuit.gate(0).qubits[0], 3);
+}
+
+TEST(Routing, RejectsDuplicateLayout) {
+  Circuit c(2, 0);
+  c.x(0);
+  EXPECT_THROW(route_circuit(c, line5(), Layout{1, 1}), Error);
+}
+
+TEST(Routing, RejectsNonBasisTwoQubitGates) {
+  Circuit c(2, 0);
+  c.swap(0, 1);
+  EXPECT_THROW(route_circuit(c, line5(), trivial_layout(2)), Error);
+}
+
+TEST(Routing, NoiseAdaptiveLayoutPrefersCleanQubits) {
+  // line5 has monotonically increasing error with qubit index, so the
+  // adaptive layout should live on the low-index end.
+  const Layout l = noise_adaptive_layout(3, line5());
+  for (const QubitIndex p : l) EXPECT_LE(p, 2);
+}
+
+TEST(Routing, NoiseAdaptiveLayoutIsConnected) {
+  const NoiseModel m = make_device_noise_model("belem");
+  const Layout l = noise_adaptive_layout(4, m);
+  ASSERT_EQ(l.size(), 4u);
+  // Each selected qubit couples to at least one other selected qubit.
+  for (const QubitIndex a : l) {
+    bool connected = false;
+    for (const QubitIndex b : l) {
+      if (a != b && m.coupled(a, b)) connected = true;
+    }
+    EXPECT_TRUE(connected);
+  }
+}
+
+TEST(Routing, LayoutTooLargeRejected) {
+  EXPECT_THROW(noise_adaptive_layout(6, line5()), Error);
+  Circuit c(6, 0);
+  c.h(0);
+  EXPECT_THROW(route_circuit(c, line5(), trivial_layout(6)), Error);
+}
+
+}  // namespace
+}  // namespace qnat

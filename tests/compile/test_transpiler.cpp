@@ -1,0 +1,116 @@
+#include "compile/transpiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "compile/basis.hpp"
+#include "grad/adjoint.hpp"
+#include "noise/device_presets.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+namespace {
+
+Circuit demo_circuit() {
+  Circuit c(4, 6);
+  c.ry(0, 0);
+  c.ry(1, 1);
+  c.ry(2, 2);
+  c.ry(3, 3);
+  c.cu3(0, 2, 4, 5, 3);
+  c.h(1);
+  c.cz(1, 3);
+  return c;
+}
+
+TEST(Transpiler, OutputIsBasisOnly) {
+  const NoiseModel m = make_device_noise_model("santiago");
+  for (int level = 0; level <= 3; ++level) {
+    const TranspileResult result = transpile(demo_circuit(), m, level);
+    for (const auto& g : result.circuit.gates()) {
+      EXPECT_TRUE(is_basis_gate(g.type)) << "level " << level;
+    }
+    EXPECT_EQ(result.circuit.num_qubits(), m.num_qubits());
+  }
+}
+
+TEST(Transpiler, SemanticsPreservedAcrossLevels) {
+  const NoiseModel m = make_device_noise_model("santiago");
+  const Circuit c = demo_circuit();
+  const ParamVector params{0.3, 0.8, -0.4, 1.2, 0.6, -0.9};
+  const auto logical = measure_expectations(c, params);
+  for (int level = 0; level <= 3; ++level) {
+    const TranspileResult result = transpile(c, m, level);
+    const auto physical = measure_expectations(result.circuit, params);
+    for (int q = 0; q < 4; ++q) {
+      EXPECT_NEAR(
+          logical[static_cast<std::size_t>(q)],
+          physical[static_cast<std::size_t>(
+              result.final_layout[static_cast<std::size_t>(q)])],
+          1e-8)
+          << "level " << level << " qubit " << q;
+    }
+  }
+}
+
+TEST(Transpiler, GradientsSurviveTranspilation) {
+  const NoiseModel m = make_device_noise_model("belem");
+  const Circuit c = demo_circuit();
+  const ParamVector params{0.3, 0.8, -0.4, 1.2, 0.6, -0.9};
+  const std::vector<real> logical_cot(4, 1.0);
+  const auto g_logical = adjoint_vjp(c, params, logical_cot);
+
+  const TranspileResult result = transpile(c, m, 2);
+  std::vector<real> physical_cot(static_cast<std::size_t>(m.num_qubits()),
+                                 0.0);
+  for (int q = 0; q < 4; ++q) {
+    physical_cot[static_cast<std::size_t>(
+        result.final_layout[static_cast<std::size_t>(q)])] = 1.0;
+  }
+  const auto g_physical = adjoint_vjp(result.circuit, params, physical_cot);
+  for (std::size_t p = 0; p < g_logical.gradient.size(); ++p) {
+    EXPECT_NEAR(g_logical.gradient[p], g_physical.gradient[p], 1e-8)
+        << "param " << p;
+  }
+}
+
+TEST(Transpiler, HigherLevelsNotLarger) {
+  const NoiseModel m = make_device_noise_model("yorktown");
+  const Circuit c = demo_circuit();
+  const auto l0 = transpile(c, m, 0);
+  const auto l2 = transpile(c, m, 2);
+  EXPECT_LE(l2.circuit.size(), l0.circuit.size());
+  EXPECT_GE(l2.pass_stats.total(), 0);
+}
+
+TEST(Transpiler, Level3UsesNoiseAdaptiveLayout) {
+  // On a device with a noisy low-index region, level 3 should relocate.
+  NoiseModel m("skewed", 6);
+  for (int q = 0; q < 6; ++q) {
+    const double err = q < 3 ? 0.05 : 0.0005;
+    m.set_single_qubit_channel(q, PauliChannel::symmetric(err));
+    m.set_readout_error(q, ReadoutError::from_flip_probs(err, err));
+  }
+  for (int q = 0; q < 5; ++q) {
+    m.add_coupling(q, q + 1);
+    m.set_two_qubit_channel(q, q + 1, PauliChannel::symmetric(0.002));
+  }
+  Circuit c(3, 0);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  const auto l3 = transpile(c, m, 3);
+  for (const QubitIndex p : l3.final_layout) EXPECT_GE(p, 3);
+  const auto l2 = transpile(c, m, 2);
+  for (std::size_t q = 0; q < 3; ++q) {
+    EXPECT_EQ(l2.final_layout[q], static_cast<QubitIndex>(q));
+  }
+}
+
+TEST(Transpiler, InvalidLevelRejected) {
+  const NoiseModel m = make_device_noise_model("santiago");
+  EXPECT_THROW(transpile(demo_circuit(), m, 4), Error);
+  EXPECT_THROW(transpile(demo_circuit(), m, -1), Error);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,100 @@
+#include "core/design_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(DesignSpace, NamesRoundTrip) {
+  for (const DesignSpace s :
+       {DesignSpace::U3CU3, DesignSpace::ZZRY, DesignSpace::RXYZ,
+        DesignSpace::ZXXX, DesignSpace::RXYZU1CU3}) {
+    EXPECT_EQ(design_space_from_string(design_space_name(s)), s);
+  }
+  EXPECT_THROW(design_space_from_string("nope"), Error);
+}
+
+TEST(DesignSpace, U3Cu3ParameterCountMatchesPaper) {
+  // Paper §4.1: 4 qubits, 1 U3 + 1 CU3 layer = 3*4*2 = 24 params/block.
+  EXPECT_EQ(count_trainable_params(DesignSpace::U3CU3, 4, 2), 24);
+  // 12 layers = 6x that.
+  EXPECT_EQ(count_trainable_params(DesignSpace::U3CU3, 4, 12), 144);
+}
+
+TEST(DesignSpace, U3Cu3AlternatesLayers) {
+  Circuit c(4, 0);
+  append_trainable_layers(c, DesignSpace::U3CU3, 2);
+  // First 4 gates U3, next 4 CU3 (ring).
+  for (std::size_t g = 0; g < 4; ++g) EXPECT_EQ(c.gate(g).type, GateType::U3);
+  for (std::size_t g = 4; g < 8; ++g) {
+    EXPECT_EQ(c.gate(g).type, GateType::CU3);
+  }
+  // Ring closes: last CU3 is (3, 0).
+  EXPECT_EQ(c.gate(7).qubits, (std::vector<QubitIndex>{3, 0}));
+}
+
+TEST(DesignSpace, ZzRyStructure) {
+  Circuit c(4, 0);
+  const int params = append_trainable_layers(c, DesignSpace::ZZRY, 2);
+  // ZZ ring (4 gates, 4 params) + RY layer (4 gates, 4 params).
+  EXPECT_EQ(params, 8);
+  EXPECT_EQ(c.gate(0).type, GateType::RZZ);
+  EXPECT_EQ(c.gate(4).type, GateType::RY);
+}
+
+TEST(DesignSpace, RxyzFiveLayerCycle) {
+  Circuit c(3, 0);
+  const int params = append_trainable_layers(c, DesignSpace::RXYZ, 5);
+  // SH (0 params) + RX + RY + RZ (3 each) + CZ ring (0).
+  EXPECT_EQ(params, 9);
+  EXPECT_EQ(c.gate(0).type, GateType::SH);
+  EXPECT_EQ(c.gate(3).type, GateType::RX);
+  EXPECT_EQ(c.gate(12).type, GateType::CZ);
+}
+
+TEST(DesignSpace, ZxXxStructure) {
+  Circuit c(3, 0);
+  const int params = append_trainable_layers(c, DesignSpace::ZXXX, 2);
+  EXPECT_EQ(params, 6);  // two rings of 3 edges, 1 param each
+  EXPECT_EQ(c.gate(0).type, GateType::RZX);
+  EXPECT_EQ(c.gate(3).type, GateType::RXX);
+}
+
+TEST(DesignSpace, ElevenLayerCycleGateOrder) {
+  Circuit c(4, 0);
+  append_trainable_layers(c, DesignSpace::RXYZU1CU3, 11);
+  // Layer order: RX, S, CNOT, RY, T, SWAP, RZ, H, sqrtSWAP, U1, CU3.
+  std::vector<GateType> first_of_layer;
+  std::vector<GateType> expected{
+      GateType::RX,   GateType::S,  GateType::CX, GateType::RY,
+      GateType::T,    GateType::SWAP, GateType::RZ, GateType::H,
+      GateType::SqrtSwap, GateType::P, GateType::CU3};
+  std::size_t g = 0;
+  for (const GateType want : expected) {
+    EXPECT_EQ(c.gate(g).type, want);
+    // Advance over the layer (4 gates for 1q layers and rings, 2 for pair
+    // layers).
+    const bool pair_layer =
+        want == GateType::SWAP || want == GateType::SqrtSwap;
+    g += pair_layer ? 2 : 4;
+  }
+  EXPECT_EQ(g, c.size());
+}
+
+TEST(DesignSpace, TwoQubitRingUsesBothDirections) {
+  Circuit c(2, 0);
+  append_trainable_layers(c, DesignSpace::U3CU3, 2);
+  // 2 U3 + ring on 2 qubits = edges (0,1) and (1,0).
+  EXPECT_EQ(c.gate(2).qubits, (std::vector<QubitIndex>{0, 1}));
+  EXPECT_EQ(c.gate(3).qubits, (std::vector<QubitIndex>{1, 0}));
+}
+
+TEST(DesignSpace, LayerCountValidated) {
+  Circuit c(3, 0);
+  EXPECT_THROW(append_trainable_layers(c, DesignSpace::U3CU3, 0), Error);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,94 @@
+#include "core/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+namespace {
+
+std::vector<GateType> gate_types(const Circuit& c) {
+  std::vector<GateType> out;
+  for (const auto& g : c.gates()) out.push_back(g.type);
+  return out;
+}
+
+TEST(Encoder, SixteenFeaturesOnFourQubits) {
+  // Paper: 4 RY, 4 RX, 4 RZ, 4 RY.
+  Circuit c(4, 16);
+  append_feature_encoder(c, 16, 0);
+  ASSERT_EQ(c.size(), 16u);
+  const auto types = gate_types(c);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(types[static_cast<std::size_t>(i)], GateType::RY);
+    EXPECT_EQ(types[static_cast<std::size_t>(4 + i)], GateType::RX);
+    EXPECT_EQ(types[static_cast<std::size_t>(8 + i)], GateType::RZ);
+    EXPECT_EQ(types[static_cast<std::size_t>(12 + i)], GateType::RY);
+  }
+}
+
+TEST(Encoder, ThirtySixFeaturesOnTenQubits) {
+  // Paper: 10 RY, 10 RX, 10 RZ, 6 RY.
+  Circuit c(10, 36);
+  append_feature_encoder(c, 36, 0);
+  ASSERT_EQ(c.size(), 36u);
+  const auto types = gate_types(c);
+  EXPECT_EQ(types[9], GateType::RY);
+  EXPECT_EQ(types[10], GateType::RX);
+  EXPECT_EQ(types[29], GateType::RZ);
+  EXPECT_EQ(types[30], GateType::RY);
+  EXPECT_EQ(types[35], GateType::RY);
+  // Last partial layer covers qubits 0..5.
+  EXPECT_EQ(c.gate(35).qubits[0], 5);
+}
+
+TEST(Encoder, TenVowelFeaturesOnFourQubits) {
+  // Paper: 4 RY, 4 RX, 2 RZ.
+  Circuit c(4, 10);
+  append_feature_encoder(c, 10, 0);
+  ASSERT_EQ(c.size(), 10u);
+  const auto types = gate_types(c);
+  EXPECT_EQ(types[3], GateType::RY);
+  EXPECT_EQ(types[7], GateType::RX);
+  EXPECT_EQ(types[8], GateType::RZ);
+  EXPECT_EQ(types[9], GateType::RZ);
+}
+
+TEST(Encoder, ParametersBoundSequentially) {
+  Circuit c(4, 20);
+  append_feature_encoder(c, 16, 4);
+  for (std::size_t g = 0; g < c.size(); ++g) {
+    ASSERT_EQ(c.gate(g).params.size(), 1u);
+    EXPECT_EQ(c.gate(g).params[0].terms[0].id,
+              static_cast<ParamIndex>(4 + g));
+  }
+}
+
+TEST(Encoder, AnglesActuallyRotate) {
+  Circuit c(2, 2);
+  append_feature_encoder(c, 2, 0);
+  const auto e = measure_expectations(c, {0.9, 1.7});
+  EXPECT_NEAR(e[0], std::cos(0.9), 1e-12);
+  EXPECT_NEAR(e[1], std::cos(1.7), 1e-12);
+}
+
+TEST(Encoder, ReencoderOneRyPerQubit) {
+  Circuit c(4, 4);
+  append_reencoder(c, 0);
+  ASSERT_EQ(c.size(), 4u);
+  for (std::size_t g = 0; g < 4; ++g) {
+    EXPECT_EQ(c.gate(g).type, GateType::RY);
+    EXPECT_EQ(c.gate(g).qubits[0], static_cast<QubitIndex>(g));
+  }
+}
+
+TEST(Encoder, RejectsZeroFeatures) {
+  Circuit c(4, 0);
+  EXPECT_THROW(append_feature_encoder(c, 0, 0), Error);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,207 @@
+#include "core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "compile/basis.hpp"
+#include "core/metrics.hpp"
+#include "nn/losses.hpp"
+#include "noise/device_presets.hpp"
+
+namespace qnat {
+namespace {
+
+QnnModel small_model(int num_blocks = 2) {
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = num_blocks;
+  arch.layers_per_block = 2;
+  arch.input_features = 16;
+  arch.num_classes = 4;
+  QnnModel model(arch);
+  Rng rng(21);
+  model.init_weights(rng);
+  return model;
+}
+
+Tensor2D random_inputs(std::size_t batch, Rng& rng) {
+  Tensor2D t(batch, 16);
+  for (auto& v : t.data()) v = rng.gaussian(0.0, 1.0);
+  return t;
+}
+
+TEST(Deployment, CompilesEveryBlockToBasis) {
+  const QnnModel model = small_model();
+  const Deployment deployment(model, make_device_noise_model("santiago"), 2);
+  ASSERT_EQ(deployment.compiled_blocks().size(), 2u);
+  for (const auto& result : deployment.compiled_blocks()) {
+    for (const auto& g : result.circuit.gates()) {
+      EXPECT_TRUE(is_basis_gate(g.type));
+    }
+    EXPECT_EQ(result.circuit.num_qubits(), 5);
+  }
+}
+
+TEST(Deployment, CompiledPlansPreserveIdealSemantics) {
+  // Running the compiled circuits with no injected errors and no readout
+  // map must match the logical forward exactly.
+  const QnnModel model = small_model();
+  const Deployment deployment(model, make_device_noise_model("santiago"), 2);
+  Rng rng(22);
+  const Tensor2D inputs = random_inputs(5, rng);
+  QnnForwardOptions options;
+  const Tensor2D logical =
+      qnn_forward(model, inputs, make_logical_plans(model), options);
+  const Tensor2D compiled =
+      qnn_forward(model, inputs, deployment.compiled_plans(false), options);
+  for (std::size_t i = 0; i < logical.data().size(); ++i) {
+    EXPECT_NEAR(logical.data()[i], compiled.data()[i], 1e-7);
+  }
+}
+
+TEST(Deployment, ModelMustFitDevice) {
+  QnnArchitecture arch;
+  arch.num_qubits = 10;
+  arch.num_blocks = 1;
+  arch.layers_per_block = 2;
+  arch.input_features = 36;
+  arch.num_classes = 10;
+  const QnnModel model(arch);
+  EXPECT_THROW(Deployment(model, make_device_noise_model("santiago"), 2),
+               Error);
+  EXPECT_NO_THROW(Deployment(model, make_device_noise_model("melbourne"), 2));
+}
+
+TEST(Evaluator, NoiseDegradesOutcomesProportionally) {
+  const QnnModel model = small_model();
+  Rng rng(23);
+  const Tensor2D inputs = random_inputs(8, rng);
+  QnnForwardOptions options;
+  options.normalize = false;
+
+  QnnForwardCache ideal_cache;
+  qnn_forward_ideal(model, inputs, options, &ideal_cache);
+
+  auto raw_snr_on = [&](const std::string& device) {
+    const Deployment deployment(model, make_device_noise_model(device), 2);
+    NoisyEvalOptions eval_options;
+    eval_options.trajectories = 8;
+    QnnForwardCache cache;
+    qnn_forward_noisy(model, deployment, inputs, options, eval_options,
+                      &cache);
+    return snr(ideal_cache.raw[0], cache.raw[0]);
+  };
+  const real santiago = raw_snr_on("santiago");
+  const real melbourne = raw_snr_on("melbourne");
+  EXPECT_GT(santiago, melbourne);  // noisier device, lower SNR
+}
+
+TEST(Evaluator, ShotModeApproachesExpectationMode) {
+  const QnnModel model = small_model(1);
+  Rng rng(24);
+  const Tensor2D inputs = random_inputs(3, rng);
+  const Deployment deployment(model, make_device_noise_model("santiago"), 2);
+  QnnForwardOptions options;
+  options.normalize = false;
+
+  // The two modes draw different Pauli trajectories, so agreement is
+  // limited by trajectory-averaging variance; use enough trajectories to
+  // keep it well under the tolerance.
+  NoisyEvalOptions exact;
+  exact.trajectories = 64;
+  QnnForwardCache exact_cache;
+  qnn_forward_noisy(model, deployment, inputs, options, exact, &exact_cache);
+
+  NoisyEvalOptions shots;
+  shots.trajectories = 64;
+  shots.shots_per_trajectory = 2048;
+  QnnForwardCache shot_cache;
+  qnn_forward_noisy(model, deployment, inputs, options, shots, &shot_cache);
+
+  for (std::size_t i = 0; i < exact_cache.raw[0].data().size(); ++i) {
+    EXPECT_NEAR(exact_cache.raw[0].data()[i], shot_cache.raw[0].data()[i],
+                0.1);
+  }
+}
+
+TEST(Evaluator, NoiseScaleZeroWithIdealReadoutMatchesIdeal) {
+  const QnnModel model = small_model();
+  Rng rng(25);
+  const Tensor2D inputs = random_inputs(4, rng);
+  // Build a readout-free device so scale 0 is exactly noise-free.
+  NoiseModel clean("clean", 4);
+  for (int q = 0; q < 4; ++q) {
+    clean.set_single_qubit_channel(q, PauliChannel::symmetric(0.01));
+  }
+  for (int q = 0; q < 3; ++q) clean.add_coupling(q, q + 1);
+  clean.add_coupling(0, 3);
+  const Deployment deployment(model, clean, 2);
+  QnnForwardOptions options;
+  NoisyEvalOptions eval_options;
+  eval_options.trajectories = 2;
+  eval_options.noise_scale = 0.0;
+  const Tensor2D noisy = qnn_forward_noisy(model, deployment, inputs,
+                                           options, eval_options);
+  const Tensor2D ideal = qnn_forward_ideal(model, inputs, options);
+  for (std::size_t i = 0; i < ideal.data().size(); ++i) {
+    EXPECT_NEAR(ideal.data()[i], noisy.data()[i], 1e-8);
+  }
+}
+
+TEST(Evaluator, AccuracyHelpersAgreeWithManualComputation) {
+  const QnnModel model = small_model();
+  Rng rng(26);
+  Dataset data;
+  data.features = random_inputs(6, rng);
+  data.labels = {0, 1, 2, 3, 0, 1};
+  data.num_classes = 4;
+  QnnForwardOptions options;
+  const real acc = ideal_accuracy(model, data, options);
+  const Tensor2D logits = qnn_forward_ideal(model, data.features, options);
+  EXPECT_DOUBLE_EQ(acc, accuracy(logits, data.labels));
+}
+
+TEST(Evaluator, ProfiledStatsCloseToBatchStats) {
+  const QnnModel model = small_model();
+  const Deployment deployment(model, make_device_noise_model("belem"), 2);
+  Rng rng(27);
+  const Tensor2D inputs = random_inputs(20, rng);
+  QnnForwardOptions options;
+  NoisyEvalOptions eval_options;
+  eval_options.trajectories = 6;
+  const BlockStats stats = profile_block_stats(model, deployment, inputs,
+                                               options, eval_options);
+  ASSERT_EQ(stats.mean.size(), 1u);
+  ASSERT_EQ(stats.mean[0].size(), 4u);
+  for (const real s : stats.stddev[0]) EXPECT_GT(s, 0.0);
+
+  // Using the profiled stats for normalization should produce logits close
+  // to batch-stat normalization on the same inputs.
+  QnnForwardOptions profiled = options;
+  profiled.profiled_mean = &stats.mean;
+  profiled.profiled_std = &stats.stddev;
+  NoisyEvalOptions replay = eval_options;
+  const Tensor2D with_profiled = qnn_forward_noisy(
+      model, deployment, inputs, profiled, replay);
+  const Tensor2D with_batch =
+      qnn_forward_noisy(model, deployment, inputs, options, replay);
+  real max_gap = 0.0;
+  for (std::size_t i = 0; i < with_profiled.data().size(); ++i) {
+    max_gap = std::max(
+        max_gap, std::abs(with_profiled.data()[i] - with_batch.data()[i]));
+  }
+  EXPECT_LT(max_gap, 0.5);
+}
+
+TEST(Evaluator, TrajectoryCountValidated) {
+  const QnnModel model = small_model();
+  const Deployment deployment(model, make_device_noise_model("santiago"), 2);
+  Rng rng(28);
+  const Tensor2D inputs = random_inputs(3, rng);
+  NoisyEvalOptions bad;
+  bad.trajectories = 0;
+  EXPECT_THROW(qnn_forward_noisy(model, deployment, inputs, {}, bad), Error);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,103 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(Metrics, SnrIdenticalIsInfinite) {
+  const Tensor2D a = Tensor2D::from_rows({{1, 2}, {3, 4}});
+  EXPECT_TRUE(std::isinf(snr(a, a)));
+}
+
+TEST(Metrics, SnrKnownValue) {
+  const Tensor2D a = Tensor2D::from_rows({{3, 4}});  // ||A||^2 = 25
+  const Tensor2D b = Tensor2D::from_rows({{3, 3}});  // ||A-B||^2 = 1
+  EXPECT_DOUBLE_EQ(snr(a, b), 25.0);
+}
+
+TEST(Metrics, SnrDecreasesWithNoise) {
+  const Tensor2D a = Tensor2D::from_rows({{1, -1}, {0.5, -0.5}});
+  Tensor2D small = a, large = a;
+  for (auto& v : small.data()) v += 0.01;
+  for (auto& v : large.data()) v += 0.2;
+  EXPECT_GT(snr(a, small), snr(a, large));
+}
+
+TEST(Metrics, PerColumnSnr) {
+  const Tensor2D a = Tensor2D::from_rows({{1, 2}, {1, 2}});
+  Tensor2D b = a;
+  b(0, 1) += 1.0;  // only column 1 corrupted
+  const auto per = snr_per_column(a, b);
+  EXPECT_TRUE(std::isinf(per[0]));
+  EXPECT_DOUBLE_EQ(per[1], 8.0);
+}
+
+TEST(Metrics, ErrorMapIsDifference) {
+  const Tensor2D a = Tensor2D::from_rows({{1, 2}});
+  const Tensor2D b = Tensor2D::from_rows({{0.5, 2.5}});
+  const Tensor2D e = error_map(a, b);
+  EXPECT_DOUBLE_EQ(e(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(e(0, 1), -0.5);
+}
+
+TEST(Metrics, ShapeMismatchRejected) {
+  EXPECT_THROW(snr(Tensor2D(1, 2), Tensor2D(2, 1)), Error);
+  EXPECT_THROW(snr_per_column(Tensor2D(1, 2), Tensor2D(1, 3)), Error);
+}
+
+}  // namespace
+}  // namespace qnat
+
+namespace qnat {
+namespace {
+
+TEST(ClassificationReport, ConfusionAndPerClassStats) {
+  // 3 classes; predictions from simple argmax logits.
+  const Tensor2D logits = Tensor2D::from_rows({
+      {3, 0, 0},   // true 0, pred 0
+      {3, 0, 0},   // true 0, pred 0
+      {0, 3, 0},   // true 0, pred 1 (error)
+      {0, 3, 0},   // true 1, pred 1
+      {0, 0, 3},   // true 1, pred 2 (error)
+      {0, 0, 3},   // true 2, pred 2
+  });
+  const std::vector<int> labels{0, 0, 0, 1, 1, 2};
+  const ClassificationReport report = classification_report(logits, labels, 3);
+  EXPECT_DOUBLE_EQ(report.confusion(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(report.confusion(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(report.confusion(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(report.confusion(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(report.confusion(2, 2), 1.0);
+  EXPECT_NEAR(report.accuracy, 4.0 / 6.0, 1e-12);
+  // Class 0: precision 2/2, recall 2/3.
+  EXPECT_NEAR(report.precision[0], 1.0, 1e-12);
+  EXPECT_NEAR(report.recall[0], 2.0 / 3.0, 1e-12);
+  // Class 2: precision 1/2, recall 1/1.
+  EXPECT_NEAR(report.precision[2], 0.5, 1e-12);
+  EXPECT_NEAR(report.recall[2], 1.0, 1e-12);
+  EXPECT_NEAR(report.f1[2], 2 * 0.5 * 1.0 / 1.5, 1e-12);
+}
+
+TEST(ClassificationReport, HandlesNeverPredictedClass) {
+  const Tensor2D logits = Tensor2D::from_rows({{1, 0}, {1, 0}});
+  const std::vector<int> labels{0, 1};
+  const ClassificationReport report = classification_report(logits, labels, 2);
+  EXPECT_DOUBLE_EQ(report.precision[1], 0.0);
+  EXPECT_DOUBLE_EQ(report.recall[1], 0.0);
+  EXPECT_DOUBLE_EQ(report.f1[1], 0.0);
+}
+
+TEST(ClassificationReport, Validation) {
+  const Tensor2D logits(2, 2);
+  EXPECT_THROW(classification_report(logits, {0}, 2), Error);
+  EXPECT_THROW(classification_report(logits, {0, 3}, 2), Error);
+  EXPECT_THROW(classification_report(logits, {0, 1}, 3), Error);
+}
+
+}  // namespace
+}  // namespace qnat

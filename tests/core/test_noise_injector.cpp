@@ -1,0 +1,215 @@
+#include "core/noise_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "noise/device_presets.hpp"
+
+namespace qnat {
+namespace {
+
+QnnModel small_model() {
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 2;
+  arch.input_features = 16;
+  arch.num_classes = 4;
+  QnnModel model(arch);
+  Rng rng(1);
+  model.init_weights(rng);
+  return model;
+}
+
+TEST(NoiseInjector, NoneGivesSharedLogicalPlans) {
+  const QnnModel model = small_model();
+  const NoiseInjector injector({}, nullptr);
+  Rng rng(2);
+  std::vector<Circuit> storage;
+  const StepPlans plans = injector.step_plans(model, 8, rng, storage);
+  EXPECT_TRUE(plans.is_shared());
+  ASSERT_EQ(plans.per_sample[0].size(), 2u);
+  EXPECT_TRUE(storage.empty());
+  EXPECT_EQ(plans.per_sample[0][0].circuit, &model.blocks()[0].circuit);
+  EXPECT_DOUBLE_EQ(plans.per_sample[0][0].readout_slope[0], 1.0);
+}
+
+TEST(NoiseInjector, GateInsertionRequiresDeployment) {
+  InjectionConfig config;
+  config.method = InjectionMethod::GateInsertion;
+  EXPECT_THROW(NoiseInjector(config, nullptr), Error);
+}
+
+TEST(NoiseInjector, GateInsertionProducesDeviceCircuits) {
+  const QnnModel model = small_model();
+  const Deployment deployment(model, make_device_noise_model("yorktown"), 2);
+  InjectionConfig config;
+  config.method = InjectionMethod::GateInsertion;
+  config.noise_factor = 1.0;
+  config.per_sample = false;
+  const NoiseInjector injector(config, &deployment);
+  Rng rng(3);
+  std::vector<Circuit> storage;
+  const StepPlans plans = injector.step_plans(model, 4, rng, storage);
+  EXPECT_TRUE(plans.is_shared());
+  ASSERT_EQ(storage.size(), 2u);
+  // Circuits are compacted to the wires the routed blocks actually touch.
+  EXPECT_EQ(storage[0].num_qubits(),
+            static_cast<int>(deployment.compact_wires().size()));
+  EXPECT_GE(storage[0].size(), deployment.compact_circuits()[0].size());
+  // Readout injection on by default.
+  EXPECT_LT(plans.per_sample[0][0].readout_slope[0], 1.0);
+}
+
+TEST(NoiseInjector, PerSampleRealizationsAreIndependent) {
+  const QnnModel model = small_model();
+  const Deployment deployment(model, make_device_noise_model("melbourne"), 2);
+  InjectionConfig config;
+  config.method = InjectionMethod::GateInsertion;
+  config.noise_factor = 1.5;
+  config.per_sample = true;
+  const NoiseInjector injector(config, &deployment);
+  Rng rng(4);
+  std::vector<Circuit> storage;
+  const StepPlans plans = injector.step_plans(model, 6, rng, storage);
+  EXPECT_FALSE(plans.is_shared());
+  ASSERT_EQ(plans.per_sample.size(), 6u);
+  ASSERT_EQ(storage.size(), 12u);
+  // Different samples should (almost surely) see different insertions.
+  std::set<std::size_t> sizes;
+  for (const auto& circuit : storage) sizes.insert(circuit.size());
+  EXPECT_GT(sizes.size(), 1u);
+  // Plan circuit pointers land inside the storage vector.
+  for (const auto& plan_set : plans.per_sample) {
+    for (const auto& plan : plan_set) {
+      bool found = false;
+      for (const auto& circuit : storage) {
+        if (plan.circuit == &circuit) found = true;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(NoiseInjector, ReadoutToggle) {
+  const QnnModel model = small_model();
+  const Deployment deployment(model, make_device_noise_model("yorktown"), 2);
+  InjectionConfig config;
+  config.method = InjectionMethod::GateInsertion;
+  config.readout = false;
+  config.per_sample = false;
+  const NoiseInjector injector(config, &deployment);
+  Rng rng(4);
+  std::vector<Circuit> storage;
+  const StepPlans plans = injector.step_plans(model, 2, rng, storage);
+  EXPECT_DOUBLE_EQ(plans.per_sample[0][0].readout_slope[0], 1.0);
+  EXPECT_DOUBLE_EQ(plans.per_sample[0][0].readout_intercept[0], 0.0);
+}
+
+TEST(NoiseInjector, StepsResampleErrorGates) {
+  const QnnModel model = small_model();
+  const Deployment deployment(model, make_device_noise_model("melbourne"), 2);
+  InjectionConfig config;
+  config.method = InjectionMethod::GateInsertion;
+  config.noise_factor = 1.5;
+  config.per_sample = false;
+  const NoiseInjector injector(config, &deployment);
+  Rng rng(5);
+  // Over many steps, insertion counts should vary (fresh sampling).
+  std::set<std::size_t> sizes;
+  for (int step = 0; step < 30; ++step) {
+    std::vector<Circuit> storage;
+    injector.step_plans(model, 1, rng, storage);
+    sizes.insert(storage[0].size());
+  }
+  EXPECT_GT(sizes.size(), 1u);
+}
+
+TEST(NoiseInjector, AnglePerturbationShiftsParameterizedGatesOnly) {
+  const QnnModel model = small_model();
+  InjectionConfig config;
+  config.method = InjectionMethod::AnglePerturbation;
+  config.angle_std = 0.2;
+  config.per_sample = false;
+  const NoiseInjector injector(config, nullptr);
+  Rng rng(6);
+  std::vector<Circuit> storage;
+  injector.step_plans(model, 1, rng, storage);
+  ASSERT_EQ(storage.size(), 2u);
+  const Circuit& original = model.blocks()[0].circuit;
+  const Circuit& perturbed = storage[0];
+  ASSERT_EQ(original.size(), perturbed.size());
+  int shifted = 0;
+  for (std::size_t g = 0; g < original.size(); ++g) {
+    for (std::size_t k = 0; k < original.gate(g).params.size(); ++k) {
+      const auto& o = original.gate(g).params[k];
+      const auto& p = perturbed.gate(g).params[k];
+      if (o.is_constant()) {
+        EXPECT_DOUBLE_EQ(o.offset, p.offset);
+      } else if (o.offset != p.offset) {
+        ++shifted;
+      }
+    }
+  }
+  EXPECT_GT(shifted, 10);
+}
+
+TEST(NoiseInjector, MeasurementPerturbationConfiguresForward) {
+  InjectionConfig config;
+  config.method = InjectionMethod::MeasurementPerturbation;
+  config.perturb_mean = 0.01;
+  config.perturb_std = 0.07;
+  const NoiseInjector injector(config, nullptr);
+  QnnForwardOptions options;
+  Rng rng(7);
+  injector.configure_forward(options, rng);
+  EXPECT_TRUE(options.measurement_perturbation);
+  EXPECT_DOUBLE_EQ(options.perturb_std, 0.07);
+  EXPECT_EQ(options.rng, &rng);
+}
+
+TEST(NoiseInjector, BenchmarkErrorStatsDetectsNoise) {
+  const QnnModel model = small_model();
+  const Deployment deployment(model, make_device_noise_model("yorktown"), 2);
+  Rng rng(8);
+  Tensor2D inputs(6, 16);
+  for (auto& v : inputs.data()) v = rng.gaussian(0.0, 1.0);
+  QnnForwardOptions pipeline;
+  NoisyEvalOptions eval_options;
+  eval_options.trajectories = 4;
+  const auto [mean, stddev] = benchmark_error_stats(
+      model, deployment, inputs, pipeline, eval_options);
+  EXPECT_GT(stddev, 0.0);
+  EXPECT_LT(std::abs(mean), 1.0);
+}
+
+TEST(NoiseInjector, CalibrateAngleStdPicksFromCandidates) {
+  const QnnModel model = small_model();
+  Rng rng(9);
+  Tensor2D inputs(6, 16);
+  for (auto& v : inputs.data()) v = rng.gaussian(0.0, 1.0);
+  QnnForwardOptions pipeline;
+  const real sigma =
+      calibrate_angle_std(model, inputs, pipeline, 0.05, rng,
+                          {0.01, 0.05, 0.2});
+  EXPECT_TRUE(sigma == 0.01 || sigma == 0.05 || sigma == 0.2);
+}
+
+TEST(NoiseInjector, MethodNames) {
+  EXPECT_EQ(injection_method_name(InjectionMethod::GateInsertion),
+            "gate-insertion");
+  EXPECT_EQ(injection_method_name(InjectionMethod::None), "none");
+}
+
+TEST(NoiseInjector, BatchSizeValidated) {
+  const QnnModel model = small_model();
+  const NoiseInjector injector({}, nullptr);
+  Rng rng(10);
+  std::vector<Circuit> storage;
+  EXPECT_THROW(injector.step_plans(model, 0, rng, storage), Error);
+}
+
+}  // namespace
+}  // namespace qnat

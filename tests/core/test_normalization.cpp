@@ -1,0 +1,130 @@
+#include "core/normalization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qnat {
+namespace {
+
+Tensor2D random_batch(std::size_t rows, std::size_t cols, Rng& rng) {
+  Tensor2D t(rows, cols);
+  for (auto& v : t.data()) v = rng.gaussian(0.3, 0.8);
+  return t;
+}
+
+TEST(Normalization, ZeroMeanUnitVariancePerColumn) {
+  Rng rng(1);
+  const Tensor2D y = random_batch(50, 4, rng);
+  const Tensor2D yhat = normalize_batch(y);
+  const auto mean = yhat.col_mean();
+  const auto stddev = yhat.col_std();
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(mean[c], 0.0, 1e-10);
+    EXPECT_NEAR(stddev[c], 1.0, 1e-6);
+  }
+}
+
+TEST(Normalization, CancelsAffineNoise) {
+  // Theorem 3.1: noise maps y -> gamma*y + beta. Normalized noisy outcomes
+  // must equal normalized clean outcomes.
+  Rng rng(2);
+  const Tensor2D clean = random_batch(40, 3, rng);
+  Tensor2D noisy = clean;
+  const real gamma = 0.62;
+  const real beta = -0.21;
+  for (auto& v : noisy.data()) v = gamma * v + beta;
+  const Tensor2D a = normalize_batch(clean);
+  const Tensor2D b = normalize_batch(noisy);
+  // The epsilon inside the std computation perturbs the two scales
+  // slightly differently, so agreement is to ~1e-6, not machine epsilon.
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-6);
+  }
+}
+
+TEST(Normalization, NegativeGammaFlipsSign) {
+  // gamma < 0 flips the normalized sign (std is positive by definition).
+  const Tensor2D clean = Tensor2D::from_rows({{0.1}, {0.5}, {0.9}});
+  Tensor2D noisy = clean;
+  for (auto& v : noisy.data()) v = -0.5 * v;
+  const Tensor2D a = normalize_batch(clean);
+  const Tensor2D b = normalize_batch(noisy);
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    EXPECT_NEAR(a.data()[i], -b.data()[i], 1e-6);
+  }
+}
+
+TEST(Normalization, BackwardMatchesFiniteDifference) {
+  Rng rng(3);
+  const Tensor2D y = random_batch(6, 2, rng);
+  NormCache cache;
+  normalize_batch(y, &cache);
+  // Loss = sum of w .* yhat for a fixed random w.
+  Tensor2D w(6, 2);
+  for (auto& v : w.data()) v = rng.gaussian(0.0, 1.0);
+  const Tensor2D grad = normalize_batch_backward(w, cache);
+
+  const real h = 1e-6;
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      Tensor2D plus = y, minus = y;
+      plus(r, c) += h;
+      minus(r, c) -= h;
+      const real fp = normalize_batch(plus).hadamard(w).sum();
+      const real fm = normalize_batch(minus).hadamard(w).sum();
+      EXPECT_NEAR(grad(r, c), (fp - fm) / (2 * h), 1e-5);
+    }
+  }
+}
+
+TEST(Normalization, BackwardAnnihilatesConstantGradients) {
+  // Batch-norm output is invariant to adding a constant to the batch, so
+  // a uniform upstream gradient must map to (numerically) zero.
+  Rng rng(4);
+  const Tensor2D y = random_batch(8, 1, rng);
+  NormCache cache;
+  normalize_batch(y, &cache);
+  const Tensor2D ones(8, 1, 1.0);
+  const Tensor2D grad = normalize_batch_backward(ones, cache);
+  for (const real g : grad.data()) EXPECT_NEAR(g, 0.0, 1e-9);
+}
+
+TEST(Normalization, WithProfiledStats) {
+  const Tensor2D y = Tensor2D::from_rows({{2.0}, {4.0}});
+  const Tensor2D out = normalize_with_stats(y, {3.0}, {2.0});
+  EXPECT_NEAR(out(0, 0), -0.5, 1e-12);
+  EXPECT_NEAR(out(1, 0), 0.5, 1e-12);
+  EXPECT_THROW(normalize_with_stats(y, {1.0, 2.0}, {1.0}), Error);
+  EXPECT_THROW(normalize_with_stats(y, {0.0}, {0.0}), Error);
+}
+
+TEST(Normalization, SingletonBatchRejected) {
+  const Tensor2D y(1, 3, 0.5);
+  EXPECT_THROW(normalize_batch(y), Error);
+}
+
+TEST(Normalization, ImprovesSnrUnderAffineNoise) {
+  // The Fig. 4 effect: normalization aligns distributions, raising SNR.
+  Rng rng(5);
+  const Tensor2D clean = random_batch(60, 4, rng);
+  Tensor2D noisy = clean;
+  for (auto& v : noisy.data()) v = 0.55 * v - 0.3 + rng.gaussian(0, 0.02);
+  auto snr_of = [](const Tensor2D& a, const Tensor2D& b) {
+    real s = 0, n = 0;
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+      s += a.data()[i] * a.data()[i];
+      n += (a.data()[i] - b.data()[i]) * (a.data()[i] - b.data()[i]);
+    }
+    return s / n;
+  };
+  const real before = snr_of(clean, noisy);
+  const real after = snr_of(normalize_batch(clean), normalize_batch(noisy));
+  EXPECT_GT(after, 5.0 * before);
+}
+
+}  // namespace
+}  // namespace qnat

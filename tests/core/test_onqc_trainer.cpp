@@ -1,0 +1,116 @@
+#include "core/onqc_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "compile/transpiler.hpp"
+#include "data/tasks.hpp"
+#include "noise/device_presets.hpp"
+
+namespace qnat {
+namespace {
+
+Circuit table3_circuit() {
+  Circuit c(2, 6);
+  c.ry(0, 0);
+  c.ry(1, 1);
+  c.ry(0, 2);
+  c.ry(1, 3);
+  c.cx(0, 1);
+  c.ry(0, 4);
+  c.ry(1, 5);
+  c.cx(0, 1);
+  return c;
+}
+
+TEST(OnDeviceTrainer, ConvergesOnIdealExecutor) {
+  const TaskBundle task = make_task("twofeature2", 30, 21);
+  const Circuit circuit = table3_circuit();
+  ParamVector weights(4);
+  OnDeviceTrainConfig config;
+  config.epochs = 30;
+  const OnDeviceTrainResult result = train_on_device(
+      circuit, 2, task.train, make_ideal_executor(), weights, config);
+  ASSERT_EQ(result.epoch_loss.size(), 30u);
+  EXPECT_LT(result.epoch_loss.back(), result.epoch_loss.front());
+  const real acc = on_device_accuracy(circuit, 2, task.test,
+                                      make_ideal_executor(), weights);
+  EXPECT_GT(acc, 0.85);
+}
+
+TEST(OnDeviceTrainer, CountsDeviceEvaluations) {
+  const TaskBundle task = make_task("twofeature2", 10, 22);
+  const Circuit circuit = table3_circuit();
+  ParamVector weights(4);
+  OnDeviceTrainConfig config;
+  config.epochs = 2;
+  const OnDeviceTrainResult result = train_on_device(
+      circuit, 2, task.train, make_ideal_executor(), weights, config);
+  // Per sample per epoch: 1 forward + the parameter-shift budget.
+  const long expected =
+      2 * static_cast<long>(task.train.size()) *
+      (1 + parameter_shift_num_evaluations(circuit));
+  EXPECT_EQ(result.device_evaluations, expected);
+}
+
+TEST(OnDeviceTrainer, NoisyExecutorTrainingIsNoiseAware) {
+  // The Table 3 mechanism: training through the noisy executor yields a
+  // model that works on that device.
+  const TaskBundle task = make_task("twofeature2", 25, 23);
+  const NoiseModel noise = make_device_noise_model("lima");
+  const Circuit logical = table3_circuit();
+  const TranspileResult compiled = transpile(logical, noise, 2);
+
+  Rng rng(9);
+  const CircuitExecutor device = make_noisy_device_executor(
+      noise, compiled.final_layout, 2, 8, rng);
+
+  ParamVector weights(4);
+  OnDeviceTrainConfig config;
+  config.epochs = 25;
+  train_on_device(compiled.circuit, 2, task.train, device, weights, config);
+  const real acc = on_device_accuracy(compiled.circuit, 2, task.test, device,
+                                      weights);
+  EXPECT_GT(acc, 0.75);
+}
+
+TEST(OnDeviceTrainer, ValidatesShapes) {
+  const TaskBundle task = make_task("twofeature2", 10, 24);
+  const Circuit circuit = table3_circuit();
+  ParamVector wrong_weights(3);
+  EXPECT_THROW(train_on_device(circuit, 2, task.train,
+                               make_ideal_executor(), wrong_weights),
+               Error);
+  ParamVector weights(4);
+  const TaskBundle wide = make_task("mnist2", 10, 24);
+  EXPECT_THROW(train_on_device(circuit, 2, wide.train,
+                               make_ideal_executor(), weights),
+               Error);
+  OnDeviceTrainConfig zero;
+  zero.epochs = 0;
+  EXPECT_THROW(train_on_device(circuit, 2, task.train,
+                               make_ideal_executor(), weights, zero),
+               Error);
+}
+
+TEST(OnDeviceTrainer, NoisyExecutorMapsLogicalOrder) {
+  // A circuit whose routing permutes wires must still report logical
+  // expectations in logical order.
+  NoiseModel noise("line3", 3);
+  noise.add_coupling(0, 1);
+  noise.add_coupling(1, 2);
+  Circuit c(3, 0);
+  c.x(0);
+  c.cx(0, 2);  // forces routing
+  const TranspileResult compiled = transpile(c, noise, 2);
+  Rng rng(4);
+  const CircuitExecutor device = make_noisy_device_executor(
+      noise, compiled.final_layout, 3, 1, rng);
+  const auto e = device(compiled.circuit, {});
+  EXPECT_NEAR(e[0], -1.0, 1e-9);  // logical q0 flipped
+  EXPECT_NEAR(e[2], -1.0, 1e-9);  // logical q2 flipped by CX
+  EXPECT_NEAR(e[1], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,297 @@
+#include "core/qnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/losses.hpp"
+
+namespace qnat {
+namespace {
+
+QnnArchitecture small_arch() {
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 2;
+  arch.input_features = 16;
+  arch.num_classes = 4;
+  return arch;
+}
+
+Tensor2D random_inputs(std::size_t batch, int features, Rng& rng) {
+  Tensor2D t(batch, static_cast<std::size_t>(features));
+  for (auto& v : t.data()) v = rng.gaussian(0.0, 1.0);
+  return t;
+}
+
+TEST(QnnModel, BlockStructureMatchesArchitecture) {
+  const QnnModel model(small_arch());
+  ASSERT_EQ(model.blocks().size(), 2u);
+  EXPECT_EQ(model.blocks()[0].num_inputs, 16);
+  EXPECT_EQ(model.blocks()[1].num_inputs, 4);
+  EXPECT_EQ(model.blocks()[0].num_weights, 24);
+  EXPECT_EQ(model.blocks()[1].num_weights, 24);
+  EXPECT_EQ(model.num_weights(), 48);
+  EXPECT_EQ(model.blocks()[1].weight_offset, 24);
+}
+
+TEST(QnnModel, FiveBlockParamCountMatchesPaper) {
+  // Paper: 4 qubits, 1 U3 + 1 CU3 per block, 5 blocks -> 120 parameters.
+  QnnArchitecture arch = small_arch();
+  arch.num_blocks = 5;
+  EXPECT_EQ(QnnModel(arch).num_weights(), 120);
+}
+
+TEST(QnnModel, InitWeightsInRange) {
+  QnnModel model(small_arch());
+  Rng rng(1);
+  model.init_weights(rng);
+  bool nonzero = false;
+  for (const real w : model.weights()) {
+    EXPECT_GE(w, -kPi);
+    EXPECT_LE(w, kPi);
+    if (w != 0.0) nonzero = true;
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(QnnModel, HeadSelection) {
+  QnnArchitecture arch = small_arch();
+  EXPECT_EQ(QnnModel{arch}.head_type(), HeadType::Direct);
+  arch.num_classes = 2;
+  EXPECT_EQ(QnnModel{arch}.head_type(), HeadType::PairSum);
+  arch.num_qubits = 2;
+  arch.input_features = 2;
+  EXPECT_EQ(QnnModel{arch}.head_type(), HeadType::Direct);
+}
+
+TEST(QnnModel, PairSumHeadForwardBackward) {
+  QnnArchitecture arch = small_arch();
+  arch.num_classes = 2;
+  const QnnModel model(arch);
+  const Tensor2D y = Tensor2D::from_rows({{0.1, 0.2, 0.3, 0.4}});
+  const Tensor2D logits = model.apply_head(y);
+  EXPECT_NEAR(logits(0, 0), 0.3, 1e-12);
+  EXPECT_NEAR(logits(0, 1), 0.7, 1e-12);
+  const Tensor2D grad = model.head_backward(Tensor2D::from_rows({{2.0, -1.0}}));
+  EXPECT_DOUBLE_EQ(grad(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(grad(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(grad(0, 2), -1.0);
+  EXPECT_DOUBLE_EQ(grad(0, 3), -1.0);
+}
+
+TEST(QnnModel, ArchitectureValidation) {
+  QnnArchitecture arch = small_arch();
+  arch.num_classes = 10;  // > qubits with Direct head
+  EXPECT_THROW(QnnModel{arch}, Error);
+  arch = small_arch();
+  arch.num_blocks = 0;
+  EXPECT_THROW(QnnModel{arch}, Error);
+}
+
+TEST(QnnForward, OutputShapeAndDeterminism) {
+  QnnModel model(small_arch());
+  Rng rng(2);
+  model.init_weights(rng);
+  const Tensor2D inputs = random_inputs(5, 16, rng);
+  QnnForwardOptions options;
+  const auto plans = make_logical_plans(model);
+  const Tensor2D a = qnn_forward(model, inputs, plans, options);
+  const Tensor2D b = qnn_forward(model, inputs, plans, options);
+  EXPECT_EQ(a.rows(), 5u);
+  EXPECT_EQ(a.cols(), 4u);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(QnnForward, RawOutcomesInValidRange) {
+  QnnModel model(small_arch());
+  Rng rng(3);
+  model.init_weights(rng);
+  const Tensor2D inputs = random_inputs(4, 16, rng);
+  QnnForwardOptions options;
+  options.normalize = false;
+  QnnForwardCache cache;
+  qnn_forward(model, inputs, make_logical_plans(model), options, &cache);
+  for (const auto& raw : cache.raw) {
+    for (const real y : raw.data()) {
+      EXPECT_GE(y, -1.0 - 1e-9);
+      EXPECT_LE(y, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(QnnForward, NormalizationAppliedToIntermediateOnly) {
+  QnnModel model(small_arch());
+  Rng rng(4);
+  model.init_weights(rng);
+  const Tensor2D inputs = random_inputs(8, 16, rng);
+  QnnForwardOptions options;
+  QnnForwardCache cache;
+  qnn_forward(model, inputs, make_logical_plans(model), options, &cache);
+  ASSERT_EQ(cache.normalized.size(), 1u);  // only block 0 processed
+  const auto mean = cache.normalized[0].col_mean();
+  for (const real m : mean) EXPECT_NEAR(m, 0.0, 1e-9);
+  // Final outputs are raw (within [-1, 1]) when apply_to_last is off.
+  for (const real y : cache.final_outputs.data()) {
+    EXPECT_LE(std::abs(y), 1.0 + 1e-9);
+  }
+}
+
+TEST(QnnForward, ApplyToLastProcessesFinalBlock) {
+  QnnArchitecture arch = small_arch();
+  arch.num_blocks = 1;
+  QnnModel model(arch);
+  Rng rng(5);
+  model.init_weights(rng);
+  const Tensor2D inputs = random_inputs(8, 16, rng);
+  QnnForwardOptions options;
+  options.apply_to_last = true;
+  options.quantize = true;
+  options.quant = QuantConfig{5, -2.0, 2.0};
+  QnnForwardCache cache;
+  qnn_forward(model, inputs, make_logical_plans(model), options, &cache);
+  ASSERT_EQ(cache.processed.size(), 1u);
+  // Final outputs are quantized centroids.
+  for (const real y : cache.final_outputs.data()) {
+    EXPECT_NEAR(y, std::round(y), 1e-9);
+  }
+  EXPECT_GT(cache.quant_loss, 0.0);
+}
+
+TEST(QnnForward, QuantizedIntermediateFeedsNextBlock) {
+  QnnModel model(small_arch());
+  Rng rng(6);
+  model.init_weights(rng);
+  const Tensor2D inputs = random_inputs(6, 16, rng);
+  QnnForwardOptions options;
+  options.quantize = true;
+  options.quant = QuantConfig{5, -2.0, 2.0};
+  QnnForwardCache cache;
+  qnn_forward(model, inputs, make_logical_plans(model), options, &cache);
+  ASSERT_EQ(cache.inputs.size(), 2u);
+  for (const real v : cache.inputs[1].data()) {
+    EXPECT_NEAR(v, std::round(v), 1e-9);  // centroids are integers here
+  }
+}
+
+TEST(QnnForward, ReadoutMapAffectsOutcomes) {
+  QnnModel model(small_arch());
+  Rng rng(7);
+  model.init_weights(rng);
+  const Tensor2D inputs = random_inputs(3, 16, rng);
+  auto plans = make_logical_plans(model);
+  QnnForwardOptions options;
+  options.normalize = false;
+  QnnForwardCache clean_cache;
+  qnn_forward(model, inputs, plans, options, &clean_cache);
+  for (auto& plan : plans) {
+    plan.readout_slope.assign(4, 0.9);
+    plan.readout_intercept.assign(4, 0.05);
+  }
+  QnnForwardCache noisy_cache;
+  qnn_forward(model, inputs, plans, options, &noisy_cache);
+  // First-block raw outcomes obey the affine map exactly.
+  for (std::size_t i = 0; i < clean_cache.raw[0].data().size(); ++i) {
+    EXPECT_NEAR(noisy_cache.raw[0].data()[i],
+                0.9 * clean_cache.raw[0].data()[i] + 0.05, 1e-9);
+  }
+}
+
+TEST(QnnBackward, WeightGradientMatchesFiniteDifference) {
+  QnnArchitecture arch = small_arch();
+  arch.num_blocks = 2;
+  QnnModel model(arch);
+  Rng rng(8);
+  model.init_weights(rng);
+  const Tensor2D inputs = random_inputs(4, 16, rng);
+  const std::vector<int> labels{0, 1, 2, 3};
+  QnnForwardOptions options;  // normalization on, quantization off (smooth)
+  const auto plans = make_logical_plans(model);
+
+  QnnForwardCache cache;
+  const Tensor2D logits = qnn_forward(model, inputs, plans, options, &cache);
+  const Tensor2D grad_logits = cross_entropy_grad(logits, labels);
+  const ParamVector grad =
+      qnn_backward(model, grad_logits, cache, plans, options);
+
+  auto loss_at = [&](QnnModel& m) {
+    const Tensor2D l = qnn_forward(m, inputs, plans, options);
+    return cross_entropy_loss(l, labels);
+  };
+  const real h = 1e-5;
+  // Spot-check a spread of weights across both blocks.
+  for (const std::size_t w : {std::size_t{0}, std::size_t{7}, std::size_t{23},
+                              std::size_t{24}, std::size_t{40},
+                              std::size_t{47}}) {
+    QnnModel probe = model;
+    probe.weights()[w] = model.weights()[w] + h;
+    const real fp = loss_at(probe);
+    probe.weights()[w] = model.weights()[w] - h;
+    const real fm = loss_at(probe);
+    EXPECT_NEAR(grad[w], (fp - fm) / (2 * h), 2e-4) << "weight " << w;
+  }
+}
+
+TEST(QnnBackward, QuantLossGradientMatchesFiniteDifference) {
+  // With quantization enabled, the differentiable part of the loss is the
+  // quant-loss term on block 0's normalized outcomes plus CE through the
+  // STE. FD on the *quant loss only* is exact where no element crosses a
+  // rounding boundary; test with the CE term removed.
+  QnnModel model(small_arch());
+  Rng rng(9);
+  model.init_weights(rng);
+  const Tensor2D inputs = random_inputs(4, 16, rng);
+  QnnForwardOptions options;
+  options.quantize = true;
+  options.quant = QuantConfig{5, -2.0, 2.0};
+  const auto plans = make_logical_plans(model);
+
+  QnnForwardCache cache;
+  qnn_forward(model, inputs, plans, options, &cache);
+  // Zero logits gradient isolates the quant-loss path.
+  const Tensor2D zero_grad(4, 4, 0.0);
+  const ParamVector grad =
+      qnn_backward(model, zero_grad, cache, plans, options, 1.0);
+
+  auto quant_loss_at = [&](QnnModel& m) {
+    QnnForwardCache c;
+    qnn_forward(m, inputs, plans, options, &c);
+    return c.quant_loss;
+  };
+  const real h = 1e-6;
+  for (const std::size_t w : {std::size_t{1}, std::size_t{12}}) {
+    QnnModel probe = model;
+    probe.weights()[w] = model.weights()[w] + h;
+    const real fp = quant_loss_at(probe);
+    probe.weights()[w] = model.weights()[w] - h;
+    const real fm = quant_loss_at(probe);
+    EXPECT_NEAR(grad[w], (fp - fm) / (2 * h), 1e-4) << "weight " << w;
+  }
+}
+
+TEST(QnnForward, MeasurementPerturbationRequiresRng) {
+  QnnModel model(small_arch());
+  Rng rng(10);
+  model.init_weights(rng);
+  const Tensor2D inputs = random_inputs(3, 16, rng);
+  QnnForwardOptions options;
+  options.measurement_perturbation = true;
+  EXPECT_THROW(
+      qnn_forward(model, inputs, make_logical_plans(model), options), Error);
+  options.rng = &rng;
+  options.perturb_std = 0.1;
+  EXPECT_NO_THROW(
+      qnn_forward(model, inputs, make_logical_plans(model), options));
+}
+
+TEST(QnnForward, InputWidthValidated) {
+  QnnModel model(small_arch());
+  const Tensor2D wrong(3, 7);
+  EXPECT_THROW(qnn_forward(model, wrong, make_logical_plans(model), {}),
+               Error);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,134 @@
+#include "core/quantization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(Quantization, FiveLevelCentroids) {
+  // Paper Fig. 6: five levels on [-2, 2] -> centroids -2, -1, 0, 1, 2.
+  const QuantConfig config{5, -2.0, 2.0};
+  EXPECT_DOUBLE_EQ(config.step(), 1.0);
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_DOUBLE_EQ(config.centroid(k), -2.0 + k);
+  }
+}
+
+TEST(Quantization, RoundsToNearestCentroid) {
+  const QuantConfig config{5, -2.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantize_value(0.4, config), 0.0);
+  EXPECT_DOUBLE_EQ(quantize_value(0.6, config), 1.0);
+  EXPECT_DOUBLE_EQ(quantize_value(-1.7, config), -2.0);
+}
+
+TEST(Quantization, ClipsOutOfRange) {
+  const QuantConfig config{5, -2.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantize_value(7.0, config), 2.0);
+  EXPECT_DOUBLE_EQ(quantize_value(-9.0, config), -2.0);
+}
+
+TEST(Quantization, IdempotentOnCentroids) {
+  const QuantConfig config{4, -1.0, 1.0};
+  for (int k = 0; k < 4; ++k) {
+    const real c = config.centroid(k);
+    EXPECT_DOUBLE_EQ(quantize_value(c, config), c);
+  }
+}
+
+class QuantLevelsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantLevelsTest, OutputAlwaysACentroid) {
+  const QuantConfig config{GetParam(), -2.0, 2.0};
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const real q = quantize_value(rng.uniform(-4.0, 4.0), config);
+    const real steps = (q - config.clip_min) / config.step();
+    EXPECT_NEAR(steps, std::round(steps), 1e-9);
+    EXPECT_GE(q, config.clip_min);
+    EXPECT_LE(q, config.clip_max);
+  }
+}
+
+TEST_P(QuantLevelsTest, MaxErrorHalfStep) {
+  const QuantConfig config{GetParam(), -2.0, 2.0};
+  Rng rng(10);
+  for (int i = 0; i < 500; ++i) {
+    const real y = rng.uniform(config.clip_min, config.clip_max);
+    EXPECT_LE(std::abs(y - quantize_value(y, config)),
+              config.step() / 2 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, QuantLevelsTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 8));
+
+TEST(Quantization, DenoisesSmallPerturbations) {
+  // The core claim: noise smaller than half a step is fully corrected.
+  const QuantConfig config{5, -2.0, 2.0};
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const real clean = config.centroid(static_cast<int>(rng.index(5)));
+    const real noisy = clean + rng.uniform(-0.45, 0.45);
+    EXPECT_DOUBLE_EQ(quantize_value(noisy, config), clean);
+  }
+}
+
+TEST(Quantization, SteBackwardMasksClippedRegion) {
+  const QuantConfig config{5, -2.0, 2.0};
+  const Tensor2D pre = Tensor2D::from_rows({{-3.0, 0.2, 2.5, 1.9}});
+  const Tensor2D grad_out(1, 4, 1.0);
+  const Tensor2D grad = quantize_backward_ste(grad_out, pre, config);
+  EXPECT_DOUBLE_EQ(grad(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grad(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(grad(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(grad(0, 3), 1.0);
+}
+
+TEST(Quantization, LossIsZeroOnCentroids) {
+  const QuantConfig config{5, -2.0, 2.0};
+  const Tensor2D on = Tensor2D::from_rows({{-2.0, -1.0, 0.0, 1.0}});
+  EXPECT_NEAR(quantization_loss(on, config), 0.0, 1e-12);
+  const Tensor2D off = Tensor2D::from_rows({{0.5, 0.5, 0.5, 0.5}});
+  EXPECT_NEAR(quantization_loss(off, config), 0.25, 1e-12);
+}
+
+TEST(Quantization, LossGradMatchesFiniteDifference) {
+  const QuantConfig config{5, -2.0, 2.0};
+  const Tensor2D y = Tensor2D::from_rows({{0.3, -1.2}, {1.7, 0.05}});
+  const Tensor2D grad = quantization_loss_grad(y, config);
+  const real h = 1e-7;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      Tensor2D plus = y, minus = y;
+      plus(r, c) += h;
+      minus(r, c) -= h;
+      const real fd = (quantization_loss(plus, config) -
+                       quantization_loss(minus, config)) /
+                      (2 * h);
+      EXPECT_NEAR(grad(r, c), fd, 1e-6);
+    }
+  }
+}
+
+TEST(Quantization, ConfigValidation) {
+  EXPECT_THROW((QuantConfig{1, -1.0, 1.0}).validate(), Error);
+  EXPECT_THROW((QuantConfig{4, 1.0, 1.0}).validate(), Error);
+  EXPECT_THROW(quantize_value(0.0, QuantConfig{1, -1.0, 1.0}), Error);
+}
+
+TEST(Quantization, BatchQuantizeMatchesScalar) {
+  const QuantConfig config{3, -1.0, 1.0};
+  const Tensor2D y = Tensor2D::from_rows({{0.4, -0.6}, {0.9, 0.1}});
+  const Tensor2D q = quantize(y, config);
+  for (std::size_t i = 0; i < y.data().size(); ++i) {
+    EXPECT_DOUBLE_EQ(q.data()[i], quantize_value(y.data()[i], config));
+  }
+}
+
+}  // namespace
+}  // namespace qnat

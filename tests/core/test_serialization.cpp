@@ -1,0 +1,89 @@
+#include "core/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "core/evaluator.hpp"
+
+namespace qnat {
+namespace {
+
+QnnModel trained_like_model() {
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 2;
+  arch.input_features = 16;
+  arch.num_classes = 4;
+  QnnModel model(arch);
+  Rng rng(77);
+  model.init_weights(rng);
+  return model;
+}
+
+TEST(Serialization, RoundTripPreservesArchitectureAndWeights) {
+  const QnnModel model = trained_like_model();
+  const QnnModel back = deserialize_model(serialize_model(model));
+  EXPECT_EQ(back.architecture().num_qubits, 4);
+  EXPECT_EQ(back.architecture().num_blocks, 2);
+  EXPECT_EQ(back.architecture().space, DesignSpace::U3CU3);
+  ASSERT_EQ(back.weights().size(), model.weights().size());
+  for (std::size_t w = 0; w < model.weights().size(); ++w) {
+    EXPECT_DOUBLE_EQ(back.weights()[w], model.weights()[w]);
+  }
+}
+
+TEST(Serialization, RoundTripPreservesPredictions) {
+  const QnnModel model = trained_like_model();
+  const QnnModel back = deserialize_model(serialize_model(model));
+  Rng rng(8);
+  Tensor2D inputs(5, 16);
+  for (auto& v : inputs.data()) v = rng.gaussian(0.0, 1.0);
+  QnnForwardOptions options;
+  const Tensor2D a = qnn_forward_ideal(model, inputs, options);
+  const Tensor2D b = qnn_forward_ideal(back, inputs, options);
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(Serialization, NonDefaultSpaceRoundTrips) {
+  QnnArchitecture arch;
+  arch.num_qubits = 3;
+  arch.num_blocks = 1;
+  arch.layers_per_block = 5;
+  arch.space = DesignSpace::RXYZ;
+  arch.input_features = 9;
+  arch.num_classes = 3;
+  QnnModel model(arch);
+  Rng rng(9);
+  model.init_weights(rng);
+  const QnnModel back = deserialize_model(serialize_model(model));
+  EXPECT_EQ(back.architecture().space, DesignSpace::RXYZ);
+  EXPECT_EQ(back.num_weights(), model.num_weights());
+}
+
+TEST(Serialization, RejectsCorruptedInput) {
+  const QnnModel model = trained_like_model();
+  std::string text = serialize_model(model);
+  EXPECT_THROW(deserialize_model("garbage"), Error);
+  EXPECT_THROW(deserialize_model("qnatmodel 2\n"), Error);
+  // Truncate the weight list.
+  text = text.substr(0, text.size() / 2);
+  EXPECT_THROW(deserialize_model(text), Error);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const QnnModel model = trained_like_model();
+  const std::string path = "/tmp/qnat_test_model.txt";
+  save_model(model, path);
+  const QnnModel back = load_model(path);
+  EXPECT_EQ(back.weights(), model.weights());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_model("/nonexistent/dir/model.txt"), Error);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,139 @@
+// StepPlans engine tests: per-sample execution plans in the forward and
+// backward passes.
+#include <gtest/gtest.h>
+
+#include "core/qnn.hpp"
+#include "common/error.hpp"
+#include "nn/losses.hpp"
+
+namespace qnat {
+namespace {
+
+QnnModel small_model(std::uint64_t seed) {
+  QnnArchitecture arch;
+  arch.num_qubits = 2;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 2;
+  arch.input_features = 2;
+  arch.num_classes = 2;
+  QnnModel model(arch);
+  Rng rng(seed);
+  model.init_weights(rng);
+  return model;
+}
+
+Tensor2D random_inputs(std::size_t batch, Rng& rng) {
+  Tensor2D t(batch, 2);
+  for (auto& v : t.data()) v = rng.gaussian(0.0, 1.0);
+  return t;
+}
+
+TEST(StepPlans, SharedEqualsPerSampleWithIdenticalPlans) {
+  const QnnModel model = small_model(1);
+  Rng rng(2);
+  const Tensor2D inputs = random_inputs(4, rng);
+  QnnForwardOptions options;
+
+  const auto base = make_logical_plans(model);
+  const Tensor2D shared =
+      qnn_forward(model, inputs, StepPlans::shared(base), options);
+
+  StepPlans per_sample;
+  for (int s = 0; s < 4; ++s) per_sample.per_sample.push_back(base);
+  const Tensor2D replicated = qnn_forward(model, inputs, per_sample, options);
+  EXPECT_EQ(shared.data(), replicated.data());
+}
+
+TEST(StepPlans, PerSamplePlansActuallyDiffer) {
+  // Give sample 1 a circuit with an extra X on qubit 0: only its row may
+  // change.
+  const QnnModel model = small_model(3);
+  Rng rng(4);
+  const Tensor2D inputs = random_inputs(2, rng);
+  QnnForwardOptions options;
+  options.normalize = false;
+
+  const auto base = make_logical_plans(model);
+  Circuit flipped = model.blocks()[1].circuit;
+  flipped.x(0);
+  StepPlans plans;
+  plans.per_sample.push_back(base);
+  plans.per_sample.push_back(base);
+  plans.per_sample[1][1].circuit = &flipped;
+
+  const Tensor2D mixed = qnn_forward(model, inputs, plans, options);
+  const Tensor2D clean =
+      qnn_forward(model, inputs, StepPlans::shared(base), options);
+  for (std::size_t c = 0; c < mixed.cols(); ++c) {
+    EXPECT_DOUBLE_EQ(mixed(0, c), clean(0, c));
+  }
+  real diff = 0.0;
+  for (std::size_t c = 0; c < mixed.cols(); ++c) {
+    diff += std::abs(mixed(1, c) - clean(1, c));
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(StepPlans, BackwardMatchesFiniteDifferenceWithPerSamplePlans) {
+  const QnnModel model = small_model(5);
+  Rng rng(6);
+  const Tensor2D inputs = random_inputs(3, rng);
+  const std::vector<int> labels{0, 1, 0};
+  QnnForwardOptions options;  // batch norm on (differentiable path)
+
+  // Distinct per-sample circuits: constant error gates inserted by hand.
+  std::vector<Circuit> storage;
+  storage.reserve(6);
+  StepPlans plans;
+  for (int s = 0; s < 3; ++s) {
+    auto plan_set = make_logical_plans(model);
+    for (int b = 0; b < 2; ++b) {
+      Circuit variant = model.blocks()[static_cast<std::size_t>(b)].circuit;
+      if ((s + b) % 2 == 0) variant.z(0);
+      storage.push_back(std::move(variant));
+      plan_set[static_cast<std::size_t>(b)].circuit = &storage.back();
+    }
+    plans.per_sample.push_back(std::move(plan_set));
+  }
+
+  QnnModel work = model;
+  QnnForwardCache cache;
+  const Tensor2D logits = qnn_forward(work, inputs, plans, options, &cache);
+  const Tensor2D grad_logits = cross_entropy_grad(logits, labels);
+  const ParamVector grad =
+      qnn_backward(work, grad_logits, cache, plans, options);
+
+  const real h = 1e-5;
+  for (const std::size_t w : {std::size_t{0}, std::size_t{5},
+                              std::size_t{13}}) {
+    QnnModel probe = model;
+    probe.weights()[w] += h;
+    const real fp = cross_entropy_loss(
+        qnn_forward(probe, inputs, plans, options), labels);
+    probe.weights()[w] = model.weights()[w] - h;
+    const real fm = cross_entropy_loss(
+        qnn_forward(probe, inputs, plans, options), labels);
+    EXPECT_NEAR(grad[w], (fp - fm) / (2 * h), 1e-4) << "weight " << w;
+  }
+}
+
+TEST(StepPlans, BatchSizeMismatchRejected) {
+  const QnnModel model = small_model(7);
+  Rng rng(8);
+  const Tensor2D inputs = random_inputs(3, rng);
+  StepPlans plans;
+  plans.per_sample.push_back(make_logical_plans(model));
+  plans.per_sample.push_back(make_logical_plans(model));  // 2 != 3
+  EXPECT_THROW(qnn_forward(model, inputs, plans, QnnForwardOptions{}), Error);
+}
+
+TEST(StepPlans, EmptyPlansRejected) {
+  const QnnModel model = small_model(9);
+  Rng rng(10);
+  const Tensor2D inputs = random_inputs(2, rng);
+  EXPECT_THROW(qnn_forward(model, inputs, StepPlans{}, QnnForwardOptions{}),
+               Error);
+}
+
+}  // namespace
+}  // namespace qnat

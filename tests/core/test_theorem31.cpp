@@ -1,0 +1,118 @@
+#include "core/theorem31.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/evaluator.hpp"
+#include "noise/device_presets.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(Theorem31, RecoversExactAffineMap) {
+  Rng rng(1);
+  Tensor2D ideal(40, 2);
+  for (auto& v : ideal.data()) v = rng.uniform(-1, 1);
+  Tensor2D noisy(40, 2);
+  for (std::size_t r = 0; r < 40; ++r) {
+    noisy(r, 0) = 0.7 * ideal(r, 0) + 0.1;
+    noisy(r, 1) = -0.4 * ideal(r, 1) - 0.05;
+  }
+  const LinearMapFit fit = fit_noise_linear_map(ideal, noisy);
+  EXPECT_NEAR(fit.gamma[0], 0.7, 1e-10);
+  EXPECT_NEAR(fit.beta_mean[0], 0.1, 1e-10);
+  EXPECT_NEAR(fit.beta_std[0], 0.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared[0], 1.0, 1e-10);
+  EXPECT_NEAR(fit.gamma[1], -0.4, 1e-10);
+}
+
+TEST(Theorem31, ResidualSpreadMeasured) {
+  Rng rng(2);
+  Tensor2D ideal(200, 1);
+  Tensor2D noisy(200, 1);
+  for (std::size_t r = 0; r < 200; ++r) {
+    ideal(r, 0) = rng.uniform(-1, 1);
+    noisy(r, 0) = 0.9 * ideal(r, 0) + rng.gaussian(0.0, 0.05);
+  }
+  const LinearMapFit fit = fit_noise_linear_map(ideal, noisy);
+  EXPECT_NEAR(fit.gamma[0], 0.9, 0.02);
+  EXPECT_NEAR(fit.beta_std[0], 0.05, 0.01);
+  EXPECT_GT(fit.r_squared[0], 0.9);
+}
+
+TEST(Theorem31, DegenerateColumnHandled) {
+  Tensor2D ideal(5, 1, 0.3);  // constant ideal column
+  Tensor2D noisy(5, 1, 0.2);
+  const LinearMapFit fit = fit_noise_linear_map(ideal, noisy);
+  EXPECT_DOUBLE_EQ(fit.gamma[0], 0.0);
+  EXPECT_DOUBLE_EQ(fit.beta_mean[0], 0.2);
+}
+
+TEST(Theorem31, ShapeValidation) {
+  EXPECT_THROW(fit_noise_linear_map(Tensor2D(2, 1), Tensor2D(2, 1)), Error);
+  EXPECT_THROW(fit_noise_linear_map(Tensor2D(5, 1), Tensor2D(5, 2)), Error);
+}
+
+TEST(Theorem31, PauliOnlyChannelIsPureScaling) {
+  // The theorem's sharpest prediction: a Pauli-only device produces
+  // β_x ≡ 0 (residual ~ 0, R² ~ 1); adding coherent errors produces a
+  // finite residual spread.
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 1;
+  arch.layers_per_block = 2;
+  arch.input_features = 16;
+  arch.num_classes = 4;
+  QnnModel model(arch);
+  Rng rng(3);
+  model.init_weights(rng);
+  Tensor2D inputs(24, 16);
+  for (auto& v : inputs.data()) v = rng.gaussian(0.0, 1.0);
+
+  QnnForwardOptions raw;
+  raw.normalize = false;
+  QnnForwardCache ideal_cache;
+  qnn_forward_ideal(model, inputs, raw, &ideal_cache);
+
+  NoiseModel pauli_only = make_device_noise_model("belem");
+  for (QubitIndex q = 0; q < pauli_only.num_qubits(); ++q) {
+    pauli_only.set_coherent_overrotation(q, 0.0);
+    pauli_only.set_readout_error(q, ReadoutError::ideal());
+  }
+  for (const auto& [a, b] : pauli_only.coupling_map()) {
+    pauli_only.set_coherent_zz(a, b, 0.0);
+  }
+
+  const Deployment pauli_dep(model, pauli_only, 2);
+  NoisyEvalOptions eval_options;
+  QnnForwardCache pauli_cache;
+  qnn_forward_noisy(model, pauli_dep, inputs, raw, eval_options,
+                    &pauli_cache);
+  const LinearMapFit pauli_fit =
+      fit_noise_linear_map(ideal_cache.raw[0], pauli_cache.raw[0]);
+
+  const Deployment coherent_dep(model, make_device_noise_model("belem"), 2);
+  QnnForwardCache coherent_cache;
+  qnn_forward_noisy(model, coherent_dep, inputs, raw, eval_options,
+                    &coherent_cache);
+  const LinearMapFit coherent_fit =
+      fit_noise_linear_map(ideal_cache.raw[0], coherent_cache.raw[0]);
+
+  for (std::size_t q = 0; q < 4; ++q) {
+    // Pauli-only: near-perfect linear fit with |γ| <= 1.
+    EXPECT_GT(pauli_fit.r_squared[q], 0.99) << "qubit " << q;
+    EXPECT_LE(std::abs(pauli_fit.gamma[q]), 1.0 + 1e-9);
+    EXPECT_LT(pauli_fit.beta_std[q], 0.02) << "qubit " << q;
+  }
+  // Coherent errors create a larger input-dependent residual on average.
+  real pauli_resid = 0, coherent_resid = 0;
+  for (std::size_t q = 0; q < 4; ++q) {
+    pauli_resid += pauli_fit.beta_std[q];
+    coherent_resid += coherent_fit.beta_std[q];
+  }
+  EXPECT_GT(coherent_resid, pauli_resid);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,146 @@
+#include "core/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/tasks.hpp"
+#include "noise/device_presets.hpp"
+
+namespace qnat {
+namespace {
+
+QnnArchitecture tiny_arch() {
+  QnnArchitecture arch;
+  arch.num_qubits = 2;
+  arch.num_blocks = 1;
+  arch.layers_per_block = 2;
+  arch.input_features = 2;
+  arch.num_classes = 2;
+  return arch;
+}
+
+TEST(Trainer, PipelineOptionsMirrorConfig) {
+  TrainerConfig config;
+  config.normalize = false;
+  config.quantize = true;
+  config.quant.levels = 4;
+  config.apply_to_last = true;
+  const QnnForwardOptions options = pipeline_options(config);
+  EXPECT_FALSE(options.normalize);
+  EXPECT_TRUE(options.quantize);
+  EXPECT_EQ(options.quant.levels, 4);
+  EXPECT_TRUE(options.apply_to_last);
+  EXPECT_FALSE(options.measurement_perturbation);
+}
+
+TEST(Trainer, DeterministicForFixedSeed) {
+  const TaskBundle task = make_task("twofeature2", 20, 3);
+  TrainerConfig config;
+  config.epochs = 5;
+  config.batch_size = 8;
+  config.seed = 99;
+  QnnModel a(tiny_arch()), b(tiny_arch());
+  train_qnn(a, task.train, config);
+  train_qnn(b, task.train, config);
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(Trainer, DifferentSeedsDiverge) {
+  const TaskBundle task = make_task("twofeature2", 20, 3);
+  TrainerConfig config;
+  config.epochs = 5;
+  config.batch_size = 8;
+  QnnModel a(tiny_arch()), b(tiny_arch());
+  config.seed = 1;
+  train_qnn(a, task.train, config);
+  config.seed = 2;
+  train_qnn(b, task.train, config);
+  EXPECT_NE(a.weights(), b.weights());
+}
+
+TEST(Trainer, ReportsOneLossPerEpoch) {
+  const TaskBundle task = make_task("twofeature2", 20, 3);
+  TrainerConfig config;
+  config.epochs = 7;
+  config.batch_size = 8;
+  QnnModel model(tiny_arch());
+  const TrainResult result = train_qnn(model, task.train, config);
+  EXPECT_EQ(result.epoch_loss.size(), 7u);
+  for (const real loss : result.epoch_loss) EXPECT_GT(loss, 0.0);
+}
+
+TEST(Trainer, ValidatesConfiguration) {
+  const TaskBundle task = make_task("twofeature2", 20, 3);
+  QnnModel model(tiny_arch());
+  TrainerConfig config;
+  config.epochs = 0;
+  EXPECT_THROW(train_qnn(model, task.train, config), Error);
+  config.epochs = 3;
+  // Feature width mismatch.
+  const TaskBundle wide = make_task("mnist2", 10, 3);
+  EXPECT_THROW(train_qnn(model, wide.train, config), Error);
+}
+
+TEST(Trainer, GateInsertionWithoutDeploymentRejected) {
+  const TaskBundle task = make_task("twofeature2", 20, 3);
+  QnnModel model(tiny_arch());
+  TrainerConfig config;
+  config.epochs = 2;
+  config.injection.method = InjectionMethod::GateInsertion;
+  EXPECT_THROW(train_qnn(model, task.train, config, nullptr), Error);
+}
+
+TEST(Trainer, NoisyValidationLossFinite) {
+  const TaskBundle task = make_task("twofeature2", 20, 4);
+  QnnModel model(tiny_arch());
+  TrainerConfig config;
+  config.epochs = 4;
+  const Deployment deployment(model, make_device_noise_model("lima"), 2);
+  train_qnn(model, task.train, config);
+  NoisyEvalOptions eval_options;
+  const real loss = noisy_validation_loss(model, deployment, task.valid,
+                                          pipeline_options(config),
+                                          eval_options);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(loss, 10.0);
+}
+
+TEST(Trainer, GridSearchPicksLowestValidationLoss) {
+  const TaskBundle task = make_task("twofeature2", 24, 5);
+  QnnModel model(tiny_arch());
+  const Deployment deployment(model, make_device_noise_model("lima"), 2);
+  TrainerConfig base;
+  base.epochs = 4;
+  base.batch_size = 8;
+  base.injection.method = InjectionMethod::GateInsertion;
+  NoisyEvalOptions eval_options;
+  const GridSearchResult best = grid_search_noise_factor_levels(
+      model, task.train, task.valid, base, deployment, {0.05, 0.2}, {4, 6},
+      eval_options);
+  EXPECT_TRUE(best.noise_factor == 0.05 || best.noise_factor == 0.2);
+  EXPECT_TRUE(best.quant_levels == 4 || best.quant_levels == 6);
+  EXPECT_GT(best.valid_loss, 0.0);
+  // The returned model must reproduce the winning validation loss.
+  TrainerConfig winning = base;
+  winning.quantize = true;
+  winning.quant.levels = best.quant_levels;
+  winning.injection.noise_factor = best.noise_factor;
+  const real replay = noisy_validation_loss(
+      model, deployment, task.valid, pipeline_options(winning), eval_options);
+  EXPECT_NEAR(replay, best.valid_loss, 1e-9);
+}
+
+TEST(Trainer, GridSearchValidatesGrid) {
+  const TaskBundle task = make_task("twofeature2", 20, 5);
+  QnnModel model(tiny_arch());
+  const Deployment deployment(model, make_device_noise_model("lima"), 2);
+  TrainerConfig base;
+  base.epochs = 2;
+  EXPECT_THROW(grid_search_noise_factor_levels(model, task.train, task.valid,
+                                               base, deployment, {}, {4},
+                                               NoisyEvalOptions{}),
+               Error);
+}
+
+}  // namespace
+}  // namespace qnat

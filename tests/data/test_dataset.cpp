@@ -1,0 +1,88 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+Dataset demo_dataset(std::size_t n) {
+  Dataset d;
+  d.num_classes = 2;
+  d.features = Tensor2D(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.features(i, 0) = static_cast<real>(i);
+    d.features(i, 1) = -static_cast<real>(i);
+    d.labels.push_back(static_cast<int>(i % 2));
+  }
+  return d;
+}
+
+TEST(Dataset, SubsetPicksRows) {
+  const Dataset d = demo_dataset(10);
+  const Dataset s = d.subset({3, 7});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.features(0, 0), 3.0);
+  EXPECT_EQ(s.labels[1], 1);
+  EXPECT_EQ(s.num_classes, 2);
+  EXPECT_THROW(d.subset({99}), Error);
+}
+
+TEST(Dataset, TakePrefix) {
+  const Dataset d = demo_dataset(10);
+  const Dataset t = d.take(4);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_DOUBLE_EQ(t.features(3, 0), 3.0);
+  EXPECT_THROW(d.take(11), Error);
+}
+
+TEST(Dataset, SplitFractionsPartition) {
+  const Dataset d = demo_dataset(100);
+  const SplitDataset s = split_dataset(d, 0.6, 0.1);
+  EXPECT_EQ(s.train.size(), 60u);
+  EXPECT_EQ(s.valid.size(), 10u);
+  EXPECT_EQ(s.test.size(), 30u);
+  EXPECT_DOUBLE_EQ(s.valid.features(0, 0), 60.0);
+  EXPECT_DOUBLE_EQ(s.test.features(0, 0), 70.0);
+}
+
+TEST(Dataset, SplitValidation) {
+  const Dataset d = demo_dataset(10);
+  EXPECT_THROW(split_dataset(d, 0.0, 0.1), Error);
+  EXPECT_THROW(split_dataset(d, 0.8, 0.3), Error);
+}
+
+TEST(Batcher, CoversAllIndicesOncePerEpoch) {
+  Batcher b(23, 5, Rng(1));
+  const auto batches = b.epoch_batches();
+  EXPECT_EQ(batches.size(), 5u);
+  EXPECT_EQ(batches.back().size(), 3u);
+  std::set<std::size_t> seen;
+  for (const auto& batch : batches) {
+    for (const auto i : batch) seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(Batcher, ReshufflesBetweenEpochs) {
+  Batcher b(50, 50, Rng(2));
+  const auto e1 = b.epoch_batches();
+  const auto e2 = b.epoch_batches();
+  EXPECT_NE(e1[0], e2[0]);
+}
+
+TEST(Batcher, BatchesPerEpochRoundsUp) {
+  EXPECT_EQ(Batcher(10, 3, Rng(3)).batches_per_epoch(), 4u);
+  EXPECT_EQ(Batcher(9, 3, Rng(3)).batches_per_epoch(), 3u);
+}
+
+TEST(Batcher, Validation) {
+  EXPECT_THROW(Batcher(0, 5, Rng(4)), Error);
+  EXPECT_THROW(Batcher(5, 0, Rng(4)), Error);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,155 @@
+#include "data/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qnat {
+namespace {
+
+Image uniform_image(int size, real value, int channels = 1) {
+  Image img;
+  img.height = size;
+  img.width = size;
+  img.channels = channels;
+  img.pixels.assign(static_cast<std::size_t>(channels) * size * size, value);
+  return img;
+}
+
+TEST(Preprocess, GrayscaleAveragesChannels) {
+  Image rgb = uniform_image(4, 0.0, 3);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      rgb.at(0, y, x) = 0.9;
+      rgb.at(1, y, x) = 0.3;
+      rgb.at(2, y, x) = 0.0;
+    }
+  }
+  const Image g = to_grayscale(rgb);
+  EXPECT_EQ(g.channels, 1);
+  EXPECT_NEAR(g.at(0, 2, 2), 0.4, 1e-12);
+}
+
+TEST(Preprocess, CenterCropTakesMiddle) {
+  Image img = uniform_image(6, 0.0);
+  img.at(0, 2, 2) = 1.0;  // inside the central 2x2
+  img.at(0, 0, 0) = 0.7;  // outside
+  const Image c = center_crop(img, 2);
+  EXPECT_EQ(c.height, 2);
+  EXPECT_NEAR(c.at(0, 0, 0), 1.0, 1e-12);
+  EXPECT_THROW(center_crop(img, 7), Error);
+}
+
+TEST(Preprocess, AveragePoolComputesBlockMeans) {
+  Image img = uniform_image(4, 0.0);
+  // Top-left 2x2 block: values 0,1,2,3 -> mean 1.5.
+  img.at(0, 0, 0) = 0.0;
+  img.at(0, 0, 1) = 1.0;
+  img.at(0, 1, 0) = 2.0;
+  img.at(0, 1, 1) = 3.0;
+  const Image p = average_pool(img, 2);
+  EXPECT_NEAR(p.at(0, 0, 0), 1.5, 1e-12);
+  EXPECT_NEAR(p.at(0, 1, 1), 0.0, 1e-12);
+  EXPECT_THROW(average_pool(img, 3), Error);
+}
+
+TEST(Preprocess, PaperPipelineShapes) {
+  // 28 -> crop 24 -> pool 4 gives 16 features; pool 6 gives 36.
+  const Image img = uniform_image(28, 0.5);
+  const Image cropped = center_crop(img, 24);
+  EXPECT_EQ(average_pool(cropped, 4).pixels.size(), 16u);
+  EXPECT_EQ(average_pool(cropped, 6).pixels.size(), 36u);
+}
+
+TEST(Preprocess, FlattenImagesRowMajor) {
+  Image a = uniform_image(2, 0.0);
+  a.at(0, 0, 1) = 0.5;
+  const Tensor2D t = flatten_images({a, uniform_image(2, 1.0)});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_DOUBLE_EQ(t(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(t(1, 3), 1.0);
+}
+
+TEST(Preprocess, SymmetricEigenDiagonal) {
+  const Tensor2D m = Tensor2D::from_rows({{3, 0}, {0, 1}});
+  std::vector<real> values;
+  std::vector<std::vector<real>> vectors;
+  symmetric_eigen(m, values, vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(vectors[0][0]), 1.0, 1e-10);
+}
+
+TEST(Preprocess, SymmetricEigenReconstructs) {
+  const Tensor2D m =
+      Tensor2D::from_rows({{4, 1, 0.5}, {1, 3, -0.2}, {0.5, -0.2, 2}});
+  std::vector<real> values;
+  std::vector<std::vector<real>> vectors;
+  symmetric_eigen(m, values, vectors);
+  // Check M v = lambda v for each pair.
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      real mv = 0.0;
+      for (std::size_t j = 0; j < 3; ++j) mv += m(i, j) * vectors[k][j];
+      EXPECT_NEAR(mv, values[k] * vectors[k][i], 1e-8);
+    }
+  }
+  EXPECT_GE(values[0], values[1]);
+  EXPECT_GE(values[1], values[2]);
+}
+
+TEST(Preprocess, PcaRecoversDominantDirection) {
+  // Data stretched along (1, 1)/sqrt(2): first component aligns with it.
+  Rng rng(5);
+  Tensor2D data(300, 2);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const real t = rng.gaussian(0.0, 3.0);
+    const real n = rng.gaussian(0.0, 0.1);
+    data(i, 0) = t + n;
+    data(i, 1) = t - n;
+  }
+  const Pca pca(data, 1);
+  const Tensor2D proj = pca.transform(data);
+  EXPECT_EQ(proj.cols(), 1u);
+  // Projected variance should capture nearly all total variance.
+  const real total_var = data.col_std()[0] * data.col_std()[0] +
+                         data.col_std()[1] * data.col_std()[1];
+  const real proj_var = proj.col_std()[0] * proj.col_std()[0];
+  EXPECT_GT(proj_var / total_var, 0.95);
+}
+
+TEST(Preprocess, PcaValidation) {
+  const Tensor2D tiny(1, 3);
+  EXPECT_THROW(Pca(tiny, 1), Error);
+  const Tensor2D ok(5, 3);
+  EXPECT_THROW(Pca(ok, 4), Error);
+}
+
+TEST(Preprocess, StandardizerZeroMeanUnitVariance) {
+  Rng rng(6);
+  Tensor2D data(200, 3);
+  for (auto& v : data.data()) v = rng.gaussian(5.0, 2.0);
+  const Standardizer s(data);
+  const Tensor2D out = s.transform(data);
+  const auto mean = out.col_mean();
+  const auto stddev = out.col_std();
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(mean[c], 0.0, 1e-10);
+    EXPECT_NEAR(stddev[c], 1.0, 1e-10);
+  }
+}
+
+TEST(Preprocess, StandardizerHandlesConstantColumns) {
+  const Tensor2D data = Tensor2D::from_rows({{1, 5}, {1, 7}});
+  const Standardizer s(data);
+  const Tensor2D out = s.transform(data);
+  EXPECT_NEAR(out(0, 0), 0.0, 1e-9);
+  EXPECT_NEAR(out(1, 0), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,120 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(Synthetic, GeneratesRequestedCounts) {
+  ImageGenConfig config;
+  config.class_ids = {3, 6};
+  config.samples_per_class = 25;
+  const RawImageDataset d = generate_images(config);
+  EXPECT_EQ(d.images.size(), 50u);
+  EXPECT_EQ(d.labels.size(), 50u);
+  int c0 = 0;
+  for (const int l : d.labels) {
+    if (l == 0) ++c0;
+  }
+  EXPECT_EQ(c0, 25);
+}
+
+TEST(Synthetic, PixelsInUnitRange) {
+  ImageGenConfig config;
+  config.class_ids = {0};
+  config.samples_per_class = 5;
+  const RawImageDataset d = generate_images(config);
+  for (const auto& img : d.images) {
+    for (const real p : img.pixels) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(Synthetic, DeterministicInConfig) {
+  ImageGenConfig config;
+  config.class_ids = {1, 2};
+  config.samples_per_class = 10;
+  config.seed = 99;
+  const RawImageDataset a = generate_images(config);
+  const RawImageDataset b = generate_images(config);
+  ASSERT_EQ(a.images.size(), b.images.size());
+  for (std::size_t i = 0; i < a.images.size(); ++i) {
+    EXPECT_EQ(a.labels[i], b.labels[i]);
+    EXPECT_EQ(a.images[i].pixels, b.images[i].pixels);
+  }
+}
+
+TEST(Synthetic, CifarHasThreeChannels) {
+  ImageGenConfig config;
+  config.family = ImageFamily::Cifar;
+  config.class_ids = {6, 8};
+  config.samples_per_class = 3;
+  const RawImageDataset d = generate_images(config);
+  EXPECT_EQ(d.images.front().channels, 3);
+  config.family = ImageFamily::Mnist;
+  EXPECT_EQ(generate_images(config).images.front().channels, 1);
+}
+
+TEST(Synthetic, ClassesAreSeparable) {
+  // Mean images of the two classes should differ substantially more than
+  // within-class variation — the property the classifier relies on.
+  ImageGenConfig config;
+  config.class_ids = {3, 6};
+  config.samples_per_class = 40;
+  const RawImageDataset d = generate_images(config);
+  const std::size_t npix = d.images.front().pixels.size();
+  std::vector<real> mean0(npix, 0.0), mean1(npix, 0.0);
+  int n0 = 0, n1 = 0;
+  for (std::size_t i = 0; i < d.images.size(); ++i) {
+    auto& target = d.labels[i] == 0 ? mean0 : mean1;
+    (d.labels[i] == 0 ? n0 : n1)++;
+    for (std::size_t p = 0; p < npix; ++p) target[p] += d.images[i].pixels[p];
+  }
+  real diff = 0.0;
+  for (std::size_t p = 0; p < npix; ++p) {
+    diff += std::abs(mean0[p] / n0 - mean1[p] / n1);
+  }
+  EXPECT_GT(diff / static_cast<real>(npix), 0.02);
+}
+
+TEST(Synthetic, VowelClassCountsAndDim) {
+  VowelGenConfig config;
+  config.samples_per_class = 30;
+  const RawVectorDataset d = generate_vowel(config);
+  EXPECT_EQ(d.samples.size(), 120u);
+  EXPECT_EQ(d.samples.front().size(), 20u);
+  std::set<int> labels(d.labels.begin(), d.labels.end());
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(Synthetic, TwoFeatureBinaryShape) {
+  const RawVectorDataset d = generate_two_feature_binary(50, 3);
+  EXPECT_EQ(d.samples.size(), 100u);
+  EXPECT_EQ(d.samples.front().size(), 2u);
+  // Classes have opposite-sign means: check a simple linear rule works on
+  // most samples.
+  int correct = 0;
+  for (std::size_t i = 0; i < d.samples.size(); ++i) {
+    const int pred = d.samples[i][0] + d.samples[i][1] > 0 ? 1 : 0;
+    if (pred == d.labels[i]) ++correct;
+  }
+  EXPECT_GT(correct, 85);
+}
+
+TEST(Synthetic, InvalidConfigsRejected) {
+  ImageGenConfig config;
+  EXPECT_THROW(generate_images(config), Error);  // no classes
+  config.class_ids = {0};
+  config.samples_per_class = 0;
+  EXPECT_THROW(generate_images(config), Error);
+  EXPECT_THROW(generate_two_feature_binary(0, 1), Error);
+}
+
+}  // namespace
+}  // namespace qnat

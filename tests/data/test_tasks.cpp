@@ -1,0 +1,88 @@
+#include "data/tasks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+struct TaskShape {
+  const char* name;
+  int classes;
+  int features;
+  int qubits;
+};
+
+class TaskShapeTest : public ::testing::TestWithParam<TaskShape> {};
+
+TEST_P(TaskShapeTest, ShapesMatchPaper) {
+  const TaskShape shape = GetParam();
+  const TaskBundle bundle = make_task(shape.name, 30);
+  EXPECT_EQ(bundle.info.num_classes, shape.classes);
+  EXPECT_EQ(bundle.info.feature_dim, shape.features);
+  EXPECT_EQ(bundle.info.num_qubits, shape.qubits);
+  EXPECT_EQ(bundle.train.feature_dim(),
+            static_cast<std::size_t>(shape.features));
+  EXPECT_GT(bundle.train.size(), 0u);
+  EXPECT_GT(bundle.valid.size(), 0u);
+  EXPECT_GT(bundle.test.size(), 0u);
+  // Labels are contiguous 0..C-1.
+  std::set<int> labels(bundle.train.labels.begin(),
+                       bundle.train.labels.end());
+  EXPECT_EQ(static_cast<int>(labels.size()), shape.classes);
+  EXPECT_EQ(*labels.begin(), 0);
+  EXPECT_EQ(*labels.rbegin(), shape.classes - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTasks, TaskShapeTest,
+    ::testing::Values(TaskShape{"mnist2", 2, 16, 4},
+                      TaskShape{"mnist4", 4, 16, 4},
+                      TaskShape{"mnist10", 10, 36, 10},
+                      TaskShape{"fashion2", 2, 16, 4},
+                      TaskShape{"fashion4", 4, 16, 4},
+                      TaskShape{"fashion10", 10, 36, 10},
+                      TaskShape{"cifar2", 2, 16, 4},
+                      TaskShape{"vowel4", 4, 10, 4},
+                      TaskShape{"twofeature2", 2, 2, 2}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Tasks, TrainFeaturesStandardized) {
+  const TaskBundle bundle = make_task("mnist4", 40);
+  const auto mean = bundle.train.features.col_mean();
+  const auto stddev = bundle.train.features.col_std();
+  for (std::size_t c = 0; c < mean.size(); ++c) {
+    EXPECT_NEAR(mean[c], 0.0, 1e-8);
+    EXPECT_NEAR(stddev[c], 1.0, 1e-6);
+  }
+}
+
+TEST(Tasks, Deterministic) {
+  const TaskBundle a = make_task("fashion2", 20, 7);
+  const TaskBundle b = make_task("fashion2", 20, 7);
+  EXPECT_EQ(a.train.features.data(), b.train.features.data());
+  EXPECT_EQ(a.test.labels, b.test.labels);
+}
+
+TEST(Tasks, DifferentSeedsGiveDifferentData) {
+  const TaskBundle a = make_task("fashion2", 20, 7);
+  const TaskBundle b = make_task("fashion2", 20, 8);
+  EXPECT_NE(a.train.features.data(), b.train.features.data());
+}
+
+TEST(Tasks, AvailableTasksAllBuild) {
+  for (const auto& name : available_tasks()) {
+    EXPECT_NO_THROW(make_task(name, 12)) << name;
+  }
+}
+
+TEST(Tasks, UnknownTaskRejected) {
+  EXPECT_THROW(make_task("imagenet"), Error);
+  EXPECT_THROW(make_task("mnist4", 0), Error);
+}
+
+}  // namespace
+}  // namespace qnat

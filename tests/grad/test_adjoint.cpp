@@ -1,0 +1,144 @@
+#include "grad/adjoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/design_space.hpp"
+#include "grad/finite_diff.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+namespace {
+
+ParamVector random_params(int n, Rng& rng) {
+  ParamVector p(static_cast<std::size_t>(n));
+  for (auto& v : p) v = rng.uniform(-kPi, kPi);
+  return p;
+}
+
+void expect_gradients_match(const Circuit& circuit, const ParamVector& params,
+                            const std::vector<real>& cotangent,
+                            real tol = 1e-6) {
+  const AdjointResult adjoint = adjoint_vjp(circuit, params, cotangent);
+  const ParamVector fd = finite_diff_gradient(circuit, params, cotangent,
+                                              make_ideal_executor());
+  ASSERT_EQ(adjoint.gradient.size(), fd.size());
+  for (std::size_t i = 0; i < fd.size(); ++i) {
+    EXPECT_NEAR(adjoint.gradient[i], fd[i], tol) << "param " << i;
+  }
+}
+
+TEST(Adjoint, SingleRyAnalyticGradient) {
+  Circuit c(1, 1);
+  c.ry(0, 0);
+  const real theta = 0.6;
+  const AdjointResult r = adjoint_vjp(c, {theta}, std::vector<real>{1.0});
+  EXPECT_NEAR(r.expectations[0], std::cos(theta), 1e-12);
+  EXPECT_NEAR(r.gradient[0], -std::sin(theta), 1e-12);
+}
+
+TEST(Adjoint, MatchesFiniteDifferenceMixedGateCircuit) {
+  Circuit c(3, 7);
+  c.ry(0, 0);
+  c.rx(1, 1);
+  c.h(2);
+  c.cx(0, 1);
+  c.u3(2, 2, 3, 4);
+  c.cu3(1, 2, 5, 6, 4);  // shares param 4 across gates
+  c.rzz(0, 1, 0);        // shares param 0
+  Rng rng(11);
+  const ParamVector params = random_params(7, rng);
+  expect_gradients_match(c, params, {0.7, -0.3, 1.2});
+}
+
+TEST(Adjoint, MatchesFiniteDifferenceWithLinearExpressions) {
+  Circuit c(2, 2);
+  // Angle (p0 + p1)/2 + 0.3 on one gate, -p0 on another.
+  ParamExpr combo = (ParamExpr::param(0) + ParamExpr::param(1)) * 0.5;
+  combo = combo.shifted(0.3);
+  c.append(Gate(GateType::RY, {0}, {combo}));
+  c.append(Gate(GateType::RX, {1}, {ParamExpr::param(0).negated()}));
+  c.cx(0, 1);
+  Rng rng(13);
+  const ParamVector params = random_params(2, rng);
+  expect_gradients_match(c, params, {0.5, 0.5});
+}
+
+TEST(Adjoint, ConstantErrorGatesAreTransparent) {
+  // Same circuit with inserted X/Z error gates must still produce exact
+  // gradients (the noise-injection training path).
+  Circuit c(2, 2);
+  c.ry(0, 0);
+  c.x(0);
+  c.cx(0, 1);
+  c.z(1);
+  c.rx(1, 1);
+  c.y(0);
+  Rng rng(17);
+  const ParamVector params = random_params(2, rng);
+  expect_gradients_match(c, params, {1.0, -1.0});
+}
+
+TEST(Adjoint, DesignSpaceCircuitsDifferentiate) {
+  for (const DesignSpace space :
+       {DesignSpace::U3CU3, DesignSpace::ZZRY, DesignSpace::RXYZ,
+        DesignSpace::ZXXX, DesignSpace::RXYZU1CU3}) {
+    Circuit c(3, 0);
+    const int added = append_trainable_layers(
+        c, space, space == DesignSpace::RXYZU1CU3 ? 11 : 4);
+    ASSERT_GT(added, 0) << design_space_name(space);
+    Rng rng(23 + static_cast<int>(space));
+    const ParamVector params = random_params(c.num_params(), rng);
+    expect_gradients_match(c, params, {0.4, 0.8, -0.6}, 2e-6);
+  }
+}
+
+TEST(Adjoint, JacobianRowsMatchPerQubitVjp) {
+  Circuit c(2, 3);
+  c.ry(0, 0);
+  c.cu3(0, 1, 1, 2, 0);
+  Rng rng(29);
+  const ParamVector params = random_params(3, rng);
+  const auto jac = adjoint_jacobian(c, params);
+  ASSERT_EQ(jac.size(), 2u);
+  for (int q = 0; q < 2; ++q) {
+    std::vector<real> cot(2, 0.0);
+    cot[static_cast<std::size_t>(q)] = 1.0;
+    const auto vjp = adjoint_vjp(c, params, cot);
+    for (std::size_t p = 0; p < 3; ++p) {
+      EXPECT_NEAR(jac[static_cast<std::size_t>(q)][p], vjp.gradient[p], 1e-12);
+    }
+  }
+}
+
+TEST(Adjoint, ZeroCotangentGivesZeroGradient) {
+  Circuit c(2, 2);
+  c.ry(0, 0);
+  c.rx(1, 1);
+  const auto r = adjoint_vjp(c, {0.2, 0.4}, std::vector<real>{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(r.gradient[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.gradient[1], 0.0);
+}
+
+TEST(Adjoint, CotangentSizeValidated) {
+  Circuit c(2, 1);
+  c.ry(0, 0);
+  EXPECT_THROW(adjoint_vjp(c, {0.1}, std::vector<real>{1.0}), Error);
+}
+
+TEST(Adjoint, ExpectationsMatchForwardPass) {
+  Circuit c(2, 2);
+  c.ry(0, 0);
+  c.cx(0, 1);
+  c.rx(1, 1);
+  const ParamVector params{0.3, -0.8};
+  const auto r = adjoint_vjp(c, params, std::vector<real>{1.0, 1.0});
+  const auto direct = measure_expectations(c, params);
+  EXPECT_NEAR(r.expectations[0], direct[0], 1e-12);
+  EXPECT_NEAR(r.expectations[1], direct[1], 1e-12);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,113 @@
+#include "grad/parameter_shift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grad/adjoint.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+namespace {
+
+void expect_matches_adjoint(const Circuit& c, const ParamVector& params,
+                            const std::vector<real>& cotangent,
+                            real tol = 1e-9) {
+  const ParamVector shift = parameter_shift_gradient(
+      c, params, cotangent, make_ideal_executor());
+  const AdjointResult adjoint = adjoint_vjp(c, params, cotangent);
+  ASSERT_EQ(shift.size(), adjoint.gradient.size());
+  for (std::size_t i = 0; i < shift.size(); ++i) {
+    EXPECT_NEAR(shift[i], adjoint.gradient[i], tol) << "param " << i;
+  }
+}
+
+TEST(ParameterShift, TwoTermRuleExactForRotations) {
+  Circuit c(2, 3);
+  c.ry(0, 0);
+  c.rx(1, 1);
+  c.cx(0, 1);
+  c.rz(1, 2);
+  c.h(0);
+  expect_matches_adjoint(c, {0.3, -1.2, 0.8}, {1.0, -0.5});
+}
+
+TEST(ParameterShift, FourTermRuleExactForControlledRotations) {
+  Circuit c(2, 4);
+  c.h(0);
+  c.cu3(0, 1, 0, 1, 2);
+  c.append(Gate(GateType::CRY, {1, 0}, {ParamExpr::param(3)}));
+  expect_matches_adjoint(c, {0.7, -0.4, 1.1, 0.9}, {0.8, 0.6});
+}
+
+TEST(ParameterShift, SharedParametersAccumulate) {
+  Circuit c(2, 1);
+  c.ry(0, 0);
+  c.ry(1, 0);
+  c.cx(0, 1);
+  c.ry(1, 0);
+  expect_matches_adjoint(c, {0.5}, {1.0, 1.0});
+}
+
+TEST(ParameterShift, LinearExpressionScalesGradient) {
+  Circuit c(1, 1);
+  c.append(Gate(GateType::RY, {0}, {ParamExpr::affine(0, 0.5, 0.2)}));
+  const ParamVector grad = parameter_shift_gradient(
+      c, {0.9}, std::vector<real>{1.0}, make_ideal_executor());
+  // d cos(0.5 p + 0.2)/dp = -0.5 sin(0.5 p + 0.2)
+  EXPECT_NEAR(grad[0], -0.5 * std::sin(0.5 * 0.9 + 0.2), 1e-10);
+}
+
+TEST(ParameterShift, PauliProductRotationsExact) {
+  Circuit c(3, 3);
+  c.h(0);
+  c.rzz(0, 1, 0);
+  c.rxx(1, 2, 1);
+  c.rzx(0, 2, 2);
+  expect_matches_adjoint(c, {0.4, -0.9, 1.3}, {1.0, 0.2, -0.7});
+}
+
+TEST(ParameterShift, EvaluationCountAccounting) {
+  Circuit c(2, 4);
+  c.ry(0, 0);                                       // 2 evals
+  c.cu3(0, 1, 1, 2, 3);                             // 3 params x 4 evals
+  c.rz_const(0, 0.3);                               // constant: 0 evals
+  EXPECT_EQ(parameter_shift_num_evaluations(c), 2 + 12);
+}
+
+TEST(ParameterShift, ExecutorSeesShiftedCircuits) {
+  // Count executor invocations to confirm the evaluation budget.
+  Circuit c(1, 1);
+  c.ry(0, 0);
+  int calls = 0;
+  const CircuitExecutor counting = [&](const Circuit& circuit,
+                                       const ParamVector& params) {
+    ++calls;
+    return measure_expectations(circuit, params);
+  };
+  std::vector<real> expectations;
+  parameter_shift_gradient(c, {0.1}, std::vector<real>{1.0}, counting,
+                           &expectations);
+  EXPECT_EQ(calls, 3);  // 1 forward + 2 shifts
+  EXPECT_NEAR(expectations[0], std::cos(0.1), 1e-12);
+}
+
+TEST(ParameterShift, NoisyExecutorStillGivesUsableGradient) {
+  // A stochastic executor (simulating device sampling noise) should give a
+  // gradient near the true one when noise is small.
+  Circuit c(1, 1);
+  c.ry(0, 0);
+  Rng rng(31);
+  const CircuitExecutor noisy = [&](const Circuit& circuit,
+                                    const ParamVector& params) {
+    auto e = measure_expectations(circuit, params);
+    for (auto& v : e) v += rng.gaussian(0.0, 0.001);
+    return e;
+  };
+  const ParamVector grad =
+      parameter_shift_gradient(c, {0.6}, std::vector<real>{1.0}, noisy);
+  EXPECT_NEAR(grad[0], -std::sin(0.6), 0.01);
+}
+
+}  // namespace
+}  // namespace qnat

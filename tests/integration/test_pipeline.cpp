@@ -1,0 +1,182 @@
+// Cross-module pipeline integration tests: the paper's qualitative claims
+// on small, seeded configurations.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/trainer.hpp"
+#include "data/tasks.hpp"
+#include "nn/losses.hpp"
+#include "noise/device_presets.hpp"
+
+namespace qnat {
+namespace {
+
+struct TrainedModel {
+  QnnModel model;
+  TrainerConfig config;
+};
+
+constexpr int kSamplesPerClass = 80;  // small test splits make quantized
+                                      // batch-norm inference unstable
+
+TrainedModel train_mnist2(bool normalize, InjectionMethod method,
+                          bool quantize, const Deployment* deployment,
+                          std::uint64_t seed) {
+  const TaskBundle task = make_task("mnist2", kSamplesPerClass, 11);
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 2;
+  arch.input_features = 16;
+  arch.num_classes = 2;
+  QnnModel model(arch);
+  TrainerConfig config;
+  config.epochs = 10;
+  config.batch_size = 16;
+  config.normalize = normalize;
+  config.quantize = quantize;
+  config.injection.method = method;
+  config.seed = seed;
+  train_qnn(model, task.train, config, deployment);
+  return {std::move(model), config};
+}
+
+TEST(PipelineIntegration, NormalizationImprovesNoisySnr) {
+  // Fig. 4 / Table 5: normalization raises the SNR between noise-free and
+  // noisy measurement outcomes.
+  TrainedModel trained =
+      train_mnist2(true, InjectionMethod::None, false, nullptr, 100);
+  const TaskBundle task = make_task("mnist2", kSamplesPerClass, 11);
+  const Deployment deployment(trained.model,
+                              make_device_noise_model("yorktown"), 2);
+
+  QnnForwardOptions raw_options;
+  raw_options.normalize = false;
+  QnnForwardCache ideal_cache, noisy_cache;
+  qnn_forward_ideal(trained.model, task.test.features, raw_options,
+                    &ideal_cache);
+  NoisyEvalOptions eval_options;
+  eval_options.trajectories = 8;
+  qnn_forward_noisy(trained.model, deployment, task.test.features,
+                    raw_options, eval_options, &noisy_cache);
+
+  const real snr_raw = snr(ideal_cache.raw[0], noisy_cache.raw[0]);
+  const real snr_norm = snr(normalize_batch(ideal_cache.raw[0]),
+                            normalize_batch(noisy_cache.raw[0]));
+  EXPECT_GT(snr_norm, snr_raw);
+}
+
+TEST(PipelineIntegration, NoisyAccuracyBelowIdealAccuracy) {
+  TrainedModel trained =
+      train_mnist2(true, InjectionMethod::None, false, nullptr, 101);
+  const TaskBundle task = make_task("mnist2", kSamplesPerClass, 11);
+  const Deployment deployment(trained.model,
+                              make_device_noise_model("melbourne"), 2);
+  const QnnForwardOptions options = pipeline_options(trained.config);
+  NoisyEvalOptions eval_options;
+  eval_options.trajectories = 8;
+  const real ideal = ideal_accuracy(trained.model, task.test, options);
+  const real noisy = noisy_accuracy(trained.model, deployment, task.test,
+                                    options, eval_options);
+  EXPECT_LE(noisy, ideal + 0.1);
+  EXPECT_GT(ideal, 0.7);
+}
+
+TEST(PipelineIntegration, QuantizationDenoisesOutcomes) {
+  // Fig. 6: quantization reduces MSE between noise-free and noisy
+  // normalized outcomes.
+  TrainedModel trained =
+      train_mnist2(true, InjectionMethod::None, true, nullptr, 102);
+  const TaskBundle task = make_task("mnist2", kSamplesPerClass, 11);
+  const Deployment deployment(trained.model,
+                              make_device_noise_model("belem"), 2);
+  QnnForwardOptions options;
+  options.normalize = true;
+  options.quantize = false;
+  QnnForwardCache ideal_cache, noisy_cache;
+  qnn_forward_ideal(trained.model, task.test.features, options, &ideal_cache);
+  NoisyEvalOptions eval_options;
+  eval_options.trajectories = 8;
+  qnn_forward_noisy(trained.model, deployment, task.test.features, options,
+                    eval_options, &noisy_cache);
+
+  // Fig. 6's robust criterion: "most errors can be corrected back to
+  // zero" — the fraction of exactly-matching entries grows after
+  // quantization. (The MSE direction depends on the noise magnitude
+  // relative to the centroid spacing; bench_fig6 reports it.)
+  const QuantConfig quant{5, -2.0, 2.0};
+  auto zero_fraction = [](const Tensor2D& a, const Tensor2D& b) {
+    std::size_t zeros = 0;
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+      if (std::abs(a.data()[i] - b.data()[i]) < 1e-9) ++zeros;
+    }
+    return static_cast<real>(zeros) / static_cast<real>(a.data().size());
+  };
+  const real exact_before =
+      zero_fraction(ideal_cache.normalized[0], noisy_cache.normalized[0]);
+  const real exact_after =
+      zero_fraction(quantize(ideal_cache.normalized[0], quant),
+                    quantize(noisy_cache.normalized[0], quant));
+  EXPECT_GT(exact_after, exact_before);
+  EXPECT_GT(exact_after, 0.5);
+}
+
+TEST(PipelineIntegration, FullPipelineBeatsBaselineUnderNoise) {
+  // The headline claim (Table 1 direction): noise-aware training with
+  // normalization + injection + quantization outperforms the noise-unaware
+  // baseline when evaluated under device noise.
+  const TaskBundle task = make_task("mnist2", kSamplesPerClass, 11);
+  const NoiseModel device = make_device_noise_model("yorktown");
+
+  TrainedModel baseline =
+      train_mnist2(false, InjectionMethod::None, false, nullptr, 103);
+  const Deployment baseline_dep(baseline.model, device, 2);
+
+  QnnArchitecture arch = baseline.model.architecture();
+  QnnModel full_model(arch);
+  const Deployment full_dep(full_model, device, 2);
+  TrainerConfig full_config;
+  full_config.epochs = 10;
+  full_config.batch_size = 16;
+  full_config.quantize = true;
+  full_config.injection.method = InjectionMethod::GateInsertion;
+  full_config.injection.noise_factor = 0.1;
+  full_config.seed = 103;
+  train_qnn(full_model, task.train, full_config, &full_dep);
+
+  NoisyEvalOptions eval_options;
+  eval_options.trajectories = 12;
+  const real baseline_acc =
+      noisy_accuracy(baseline.model, baseline_dep, task.test,
+                     pipeline_options(baseline.config), eval_options);
+  const real full_acc = noisy_accuracy(full_model, full_dep, task.test,
+                                       pipeline_options(full_config),
+                                       eval_options);
+  EXPECT_GE(full_acc, baseline_acc - 0.05);
+  EXPECT_GT(full_acc, 0.6);
+}
+
+TEST(PipelineIntegration, TenQubitModelRunsOnMelbourne) {
+  const TaskBundle task = make_task("mnist10", 6, 13);
+  QnnArchitecture arch;
+  arch.num_qubits = 10;
+  arch.num_blocks = 1;
+  arch.layers_per_block = 2;
+  arch.input_features = 36;
+  arch.num_classes = 10;
+  QnnModel model(arch);
+  Rng rng(50);
+  model.init_weights(rng);
+  const Deployment deployment(model, make_device_noise_model("melbourne"), 2);
+  NoisyEvalOptions eval_options;
+  eval_options.trajectories = 2;
+  QnnForwardOptions options;
+  const Tensor2D logits = qnn_forward_noisy(model, deployment,
+                                            task.test.features, options,
+                                            eval_options);
+  EXPECT_EQ(logits.cols(), 10u);
+  EXPECT_EQ(logits.rows(), task.test.size());
+}
+
+}  // namespace
+}  // namespace qnat

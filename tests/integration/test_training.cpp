@@ -1,0 +1,158 @@
+// End-to-end training integration tests (small budgets, fixed seeds).
+#include <gtest/gtest.h>
+
+#include "core/trainer.hpp"
+#include "data/tasks.hpp"
+#include "grad/parameter_shift.hpp"
+#include "nn/losses.hpp"
+#include "noise/device_presets.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(TrainingIntegration, LossDecreasesOnTwoFeatureTask) {
+  const TaskBundle task = make_task("twofeature2", 40, 5);
+  QnnArchitecture arch;
+  arch.num_qubits = 2;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 2;
+  arch.input_features = 2;
+  arch.num_classes = 2;
+  QnnModel model(arch);
+
+  TrainerConfig config;
+  config.epochs = 15;
+  config.batch_size = 16;
+  const TrainResult result = train_qnn(model, task.train, config);
+  ASSERT_EQ(result.epoch_loss.size(), 15u);
+  EXPECT_LT(result.epoch_loss.back(), result.epoch_loss.front());
+  EXPECT_GT(result.final_train_accuracy, 0.8);
+}
+
+TEST(TrainingIntegration, TrainedModelBeatsChanceOnTest) {
+  const TaskBundle task = make_task("mnist2", 40, 6);
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 2;
+  arch.input_features = 16;
+  arch.num_classes = 2;
+  QnnModel model(arch);
+
+  TrainerConfig config;
+  config.epochs = 12;
+  config.batch_size = 16;
+  train_qnn(model, task.train, config);
+  const real acc =
+      ideal_accuracy(model, task.test, pipeline_options(config));
+  EXPECT_GT(acc, 0.75);
+}
+
+TEST(TrainingIntegration, GateInsertionTrainingRuns) {
+  const TaskBundle task = make_task("mnist2", 25, 7);
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 2;
+  arch.input_features = 16;
+  arch.num_classes = 2;
+  QnnModel model(arch);
+  const Deployment deployment(model, make_device_noise_model("yorktown"), 2);
+
+  TrainerConfig config;
+  config.epochs = 8;
+  config.batch_size = 16;
+  config.quantize = true;
+  config.injection.method = InjectionMethod::GateInsertion;
+  config.injection.noise_factor = 0.1;
+  const TrainResult result = train_qnn(model, task.train, config, &deployment);
+  EXPECT_LT(result.epoch_loss.back(), result.epoch_loss.front());
+  // Under device noise the injected model should classify above chance.
+  NoisyEvalOptions eval_options;
+  EXPECT_GT(noisy_accuracy(model, deployment, task.test,
+                           pipeline_options(config), eval_options),
+            0.6);
+}
+
+TEST(TrainingIntegration, MeasurementAndAnglePerturbationTrainingRun) {
+  const TaskBundle task = make_task("twofeature2", 25, 8);
+  QnnArchitecture arch;
+  arch.num_qubits = 2;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 2;
+  arch.input_features = 2;
+  arch.num_classes = 2;
+
+  for (const InjectionMethod method :
+       {InjectionMethod::MeasurementPerturbation,
+        InjectionMethod::AnglePerturbation}) {
+    QnnModel model(arch);
+    TrainerConfig config;
+    config.epochs = 8;
+    config.batch_size = 10;
+    config.injection.method = method;
+    config.injection.perturb_std = 0.05;
+    config.injection.angle_std = 0.05;
+    const TrainResult result = train_qnn(model, task.train, config);
+    EXPECT_GT(result.final_train_accuracy, 0.7)
+        << injection_method_name(method);
+  }
+}
+
+TEST(TrainingIntegration, ParameterShiftTrainsTable3Model) {
+  // Table 3: 2 blocks, each 2 RY + CNOT, trained with parameter shift on
+  // the (noisy) executor — here the ideal executor for speed; the bench
+  // exercises the noisy path.
+  const TaskBundle task = make_task("twofeature2", 30, 9);
+  Circuit circuit(2, 2 + 4);
+  circuit.ry(0, 0);
+  circuit.ry(1, 1);
+  circuit.ry(0, 2);
+  circuit.ry(1, 3);
+  circuit.cx(0, 1);
+  circuit.ry(0, 4);
+  circuit.ry(1, 5);
+  circuit.cx(0, 1);
+
+  Rng rng(41);
+  ParamVector weights(4);
+  for (auto& w : weights) w = rng.uniform(-kPi, kPi);
+  const CircuitExecutor executor = make_ideal_executor();
+
+  auto loss_and_grad = [&](const Dataset& batch, ParamVector& grad_out) {
+    real loss = 0.0;
+    grad_out.assign(4, 0.0);
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      ParamVector params = batch.features.row(r);
+      params.insert(params.end(), weights.begin(), weights.end());
+      const auto y = executor(circuit, params);
+      // logits = per-qubit expectations; CE on softmax.
+      Tensor2D logits(1, 2);
+      logits(0, 0) = y[0];
+      logits(0, 1) = y[1];
+      const std::vector<int> label{batch.labels[r]};
+      loss += cross_entropy_loss(logits, label);
+      const Tensor2D grad_logits = cross_entropy_grad(logits, label);
+      const std::vector<real> cot{grad_logits(0, 0), grad_logits(0, 1)};
+      const ParamVector g =
+          parameter_shift_gradient(circuit, params, cot, executor);
+      for (std::size_t w = 0; w < 4; ++w) grad_out[w] += g[2 + w];
+    }
+    for (auto& g : grad_out) g /= static_cast<real>(batch.size());
+    return loss / static_cast<real>(batch.size());
+  };
+
+  Adam adam(4, {});
+  ParamVector grad;
+  real first_loss = 0.0, last_loss = 0.0;
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    const real loss = loss_and_grad(task.train, grad);
+    if (epoch == 0) first_loss = loss;
+    last_loss = loss;
+    adam.step(weights, grad);
+  }
+  EXPECT_LT(last_loss, first_loss);
+}
+
+}  // namespace
+}  // namespace qnat

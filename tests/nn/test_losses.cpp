@@ -1,0 +1,77 @@
+#include "nn/losses.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(Losses, SoftmaxRowsSumToOne) {
+  const Tensor2D logits = Tensor2D::from_rows({{1, 2, 3}, {-5, 0, 5}});
+  const Tensor2D p = softmax(logits);
+  for (std::size_t r = 0; r < 2; ++r) {
+    real s = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_GT(p(r, c), 0.0);
+      s += p(r, c);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(Losses, SoftmaxNumericallyStable) {
+  const Tensor2D logits = Tensor2D::from_rows({{1000, 1001}});
+  const Tensor2D p = softmax(logits);
+  EXPECT_NEAR(p(0, 1), 1.0 / (1.0 + std::exp(-1.0)), 1e-9);
+}
+
+TEST(Losses, CrossEntropyUniformIsLogC) {
+  const Tensor2D logits(3, 4, 0.0);
+  const real loss = cross_entropy_loss(logits, {0, 1, 2});
+  EXPECT_NEAR(loss, std::log(4.0), 1e-9);
+}
+
+TEST(Losses, CrossEntropyGradMatchesFiniteDifference) {
+  Tensor2D logits = Tensor2D::from_rows({{0.3, -0.8, 1.2}, {0.1, 0.0, -0.2}});
+  const std::vector<int> labels{2, 0};
+  const Tensor2D grad = cross_entropy_grad(logits, labels);
+  const real h = 1e-6;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      Tensor2D plus = logits, minus = logits;
+      plus(r, c) += h;
+      minus(r, c) -= h;
+      const real fd = (cross_entropy_loss(plus, labels) -
+                       cross_entropy_loss(minus, labels)) /
+                      (2 * h);
+      EXPECT_NEAR(grad(r, c), fd, 1e-6);
+    }
+  }
+}
+
+TEST(Losses, CrossEntropyValidatesLabels) {
+  const Tensor2D logits(1, 2, 0.0);
+  EXPECT_THROW(cross_entropy_loss(logits, {5}), Error);
+  EXPECT_THROW(cross_entropy_loss(logits, {0, 1}), Error);
+}
+
+TEST(Losses, MseBasics) {
+  const Tensor2D a = Tensor2D::from_rows({{1, 2}});
+  const Tensor2D b = Tensor2D::from_rows({{1, 4}});
+  EXPECT_DOUBLE_EQ(mse(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+  EXPECT_THROW(mse(a, Tensor2D(2, 2)), Error);
+}
+
+TEST(Losses, AccuracyAndArgmax) {
+  const Tensor2D logits = Tensor2D::from_rows({{2, 1}, {0, 3}, {5, 4}});
+  EXPECT_EQ(argmax_rows(logits), (std::vector<int>{0, 1, 0}));
+  EXPECT_NEAR(accuracy(logits, {0, 1, 1}), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(accuracy(logits, {1, 0, 1}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qnat

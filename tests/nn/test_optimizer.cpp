@@ -1,0 +1,80 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(Adam, DescendsQuadratic) {
+  // Minimize f(x) = (x - 3)^2 from x = 0.
+  AdamConfig config;
+  config.learning_rate = 0.1;
+  config.weight_decay = 0.0;
+  Adam adam(1, config);
+  ParamVector x{0.0};
+  for (int step = 0; step < 500; ++step) {
+    const ParamVector grad{2.0 * (x[0] - 3.0)};
+    adam.step(x, grad);
+  }
+  EXPECT_NEAR(x[0], 3.0, 1e-2);
+}
+
+TEST(Adam, FirstStepIsSignedLearningRate) {
+  AdamConfig config;
+  config.learning_rate = 0.01;
+  config.weight_decay = 0.0;
+  Adam adam(2, config);
+  ParamVector x{1.0, -1.0};
+  adam.step(x, {0.5, -0.5});
+  // Adam's bias-corrected first step is ~lr * sign(grad).
+  EXPECT_NEAR(x[0], 1.0 - 0.01, 1e-6);
+  EXPECT_NEAR(x[1], -1.0 + 0.01, 1e-6);
+}
+
+TEST(Adam, WeightDecayShrinksParameters) {
+  AdamConfig config;
+  config.learning_rate = 0.1;
+  config.weight_decay = 0.5;
+  Adam adam(1, config);
+  ParamVector x{2.0};
+  adam.step(x, {0.0});
+  EXPECT_LT(x[0], 2.0);
+}
+
+TEST(Adam, LrScaleZeroFreezesParams) {
+  Adam adam(1, {});
+  ParamVector x{1.0};
+  adam.step(x, {5.0}, 0.0);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+}
+
+TEST(Adam, ResetClearsState) {
+  Adam adam(1, {});
+  ParamVector x{0.0};
+  adam.step(x, {1.0});
+  EXPECT_EQ(adam.step_count(), 1);
+  adam.reset();
+  EXPECT_EQ(adam.step_count(), 0);
+}
+
+TEST(Adam, SizeMismatchRejected) {
+  Adam adam(2, {});
+  ParamVector x{1.0};
+  EXPECT_THROW(adam.step(x, {1.0}), Error);
+}
+
+TEST(Adam, ConfigValidation) {
+  AdamConfig bad;
+  bad.learning_rate = 0.0;
+  EXPECT_THROW(Adam(1, bad), Error);
+  bad = AdamConfig{};
+  bad.beta1 = 1.0;
+  EXPECT_THROW(Adam(1, bad), Error);
+}
+
+}  // namespace
+}  // namespace qnat

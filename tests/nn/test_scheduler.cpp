@@ -1,0 +1,51 @@
+#include "nn/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(Scheduler, WarmupRampsLinearly) {
+  const WarmupCosineSchedule s(10, 100);
+  EXPECT_NEAR(s.scale(0), 0.1, 1e-12);
+  EXPECT_NEAR(s.scale(4), 0.5, 1e-12);
+  EXPECT_NEAR(s.scale(9), 1.0, 1e-12);
+}
+
+TEST(Scheduler, CosineDecaysToFloor) {
+  const WarmupCosineSchedule s(10, 110, 0.0);
+  EXPECT_NEAR(s.scale(10), 1.0, 1e-12);
+  EXPECT_NEAR(s.scale(60), 0.5, 1e-12);  // halfway through decay
+  EXPECT_NEAR(s.scale(110), 0.0, 1e-12);
+}
+
+TEST(Scheduler, FloorRespected) {
+  const WarmupCosineSchedule s(0, 100, 0.2);
+  EXPECT_NEAR(s.scale(100), 0.2, 1e-12);
+  EXPECT_NEAR(s.scale(0), 1.0, 1e-12);
+}
+
+TEST(Scheduler, ClampsBeyondRange) {
+  const WarmupCosineSchedule s(5, 50);
+  EXPECT_NEAR(s.scale(1000), s.scale(50), 1e-12);
+  EXPECT_NEAR(s.scale(-3), s.scale(0), 1e-12);
+}
+
+TEST(Scheduler, MonotoneDecreasingAfterWarmup) {
+  const WarmupCosineSchedule s(10, 100);
+  for (long t = 10; t < 99; ++t) {
+    EXPECT_GE(s.scale(t), s.scale(t + 1));
+  }
+}
+
+TEST(Scheduler, Validation) {
+  EXPECT_THROW(WarmupCosineSchedule(-1, 10), Error);
+  EXPECT_THROW(WarmupCosineSchedule(0, 0), Error);
+  EXPECT_THROW(WarmupCosineSchedule(20, 10), Error);
+  EXPECT_THROW(WarmupCosineSchedule(0, 10, 1.5), Error);
+}
+
+}  // namespace
+}  // namespace qnat

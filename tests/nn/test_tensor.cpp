@@ -1,0 +1,70 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(Tensor2D, ConstructionAndAccess) {
+  Tensor2D t(2, 3, 0.5);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_DOUBLE_EQ(t(1, 2), 0.5);
+  t(0, 1) = 2.0;
+  EXPECT_DOUBLE_EQ(t(0, 1), 2.0);
+}
+
+TEST(Tensor2D, FromRowsValidatesShape) {
+  const Tensor2D t = Tensor2D::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(t(1, 0), 3.0);
+  EXPECT_THROW(Tensor2D::from_rows({{1, 2}, {3}}), Error);
+}
+
+TEST(Tensor2D, RowGetSet) {
+  Tensor2D t(2, 2);
+  t.set_row(0, {1.0, 2.0});
+  const auto r = t.row(0);
+  EXPECT_DOUBLE_EQ(r[1], 2.0);
+  EXPECT_THROW(t.set_row(0, {1.0}), Error);
+  EXPECT_THROW(t.row(5), Error);
+}
+
+TEST(Tensor2D, ColumnStatistics) {
+  const Tensor2D t = Tensor2D::from_rows({{1, 10}, {3, 30}});
+  const auto mean = t.col_mean();
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 20.0);
+  const auto stddev = t.col_std();
+  EXPECT_DOUBLE_EQ(stddev[0], 1.0);
+  EXPECT_DOUBLE_EQ(stddev[1], 10.0);
+}
+
+TEST(Tensor2D, StdEpsilonFloorsVariance) {
+  const Tensor2D constant = Tensor2D::from_rows({{5}, {5}});
+  EXPECT_DOUBLE_EQ(constant.col_std()[0], 0.0);
+  EXPECT_NEAR(constant.col_std(1e-8)[0], 1e-4, 1e-10);
+}
+
+TEST(Tensor2D, Arithmetic) {
+  const Tensor2D a = Tensor2D::from_rows({{1, 2}});
+  const Tensor2D b = Tensor2D::from_rows({{3, 4}});
+  EXPECT_DOUBLE_EQ((a + b)(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((a * 2.0)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.hadamard(b)(0, 1), 8.0);
+  EXPECT_THROW(a + Tensor2D(2, 2), Error);
+}
+
+TEST(Tensor2D, Reductions) {
+  const Tensor2D t = Tensor2D::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(t.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 2.5);
+  EXPECT_THROW(Tensor2D().mean(), Error);
+}
+
+}  // namespace
+}  // namespace qnat

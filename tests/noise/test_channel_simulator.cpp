@@ -1,0 +1,201 @@
+#include "noise/channel_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "noise/device_presets.hpp"
+#include "noise/error_inserter.hpp"
+#include "noise/scheduling.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+namespace {
+
+NoiseModel ideal_device(int n) {
+  NoiseModel m("ideal", n);
+  for (int q = 0; q + 1 < n; ++q) m.add_coupling(q, q + 1);
+  return m;
+}
+
+TEST(MomentTracker, SchedulesLayersGreedily) {
+  MomentTracker moments(3);
+  const Gate g0(GateType::H, {0});
+  EXPECT_EQ(moments.start_layer(g0), 0);
+  moments.occupy(g0, 0);
+  const Gate g1(GateType::CX, {0, 1});
+  EXPECT_EQ(moments.start_layer(g1), 1);
+  moments.occupy(g1, 1);
+  // Qubit 2 was idle through both layers.
+  const Gate g2(GateType::H, {2});
+  EXPECT_EQ(moments.start_layer(g2), 0);
+  EXPECT_EQ(moments.idle_layers(2, 2), 2);
+  EXPECT_EQ(moments.final_layer(), 2);
+}
+
+TEST(ChannelSimulator, NoiselessMatchesStateVector) {
+  Circuit c(3, 2);
+  c.h(0);
+  c.ry(1, 0);
+  c.cx(0, 1);
+  c.rx(2, 1);
+  const ParamVector params{0.6, -1.0};
+  const auto exact = channel_mean_expectations(c, params, ideal_device(3));
+  const auto sv = measure_expectations(c, params);
+  for (int q = 0; q < 3; ++q) {
+    EXPECT_NEAR(exact[static_cast<std::size_t>(q)],
+                sv[static_cast<std::size_t>(q)], 1e-10);
+  }
+}
+
+TEST(ChannelSimulator, MatchesTrajectoryAverage) {
+  // The trajectory estimator must converge to the exact channel mean.
+  NoiseModel model = ideal_device(2);
+  model.set_single_qubit_channel(0, PauliChannel::symmetric(0.02));
+  model.set_single_qubit_channel(1, PauliChannel::symmetric(0.01));
+  model.set_two_qubit_channel(0, 1, PauliChannel::symmetric(0.03));
+  model.set_idle_channel(0, PauliChannel{0.0, 0.0, 0.05});
+
+  Circuit c(2, 0);
+  c.ry_const(0, 0.8);
+  c.sx(1);
+  c.cx(0, 1);
+  c.sx(0);
+  c.sx(0);
+
+  ChannelSimOptions options;
+  options.apply_readout = false;
+  const auto exact = channel_mean_expectations(c, {}, model, options);
+
+  Rng rng(77);
+  std::vector<real> mean(2, 0.0);
+  const int trajectories = 60000;
+  for (int t = 0; t < trajectories; ++t) {
+    const Circuit noisy = insert_error_gates(c, model, 1.0, rng);
+    const auto e = measure_expectations(noisy, {});
+    mean[0] += e[0];
+    mean[1] += e[1];
+  }
+  for (auto& m : mean) m /= trajectories;
+  EXPECT_NEAR(exact[0], mean[0], 0.01);
+  EXPECT_NEAR(exact[1], mean[1], 0.01);
+}
+
+TEST(ChannelSimulator, CoherentErrorsMatchTrajectoryPath) {
+  // Coherent over-rotations are deterministic; with no stochastic
+  // channels the exact simulator and a single trajectory must agree.
+  NoiseModel model = ideal_device(2);
+  model.set_coherent_overrotation(0, 0.07);
+  model.set_coherent_zz(0, 1, 0.11);
+
+  Circuit c(2, 0);
+  c.sx(0);
+  c.cx(0, 1);
+  c.sx(1);
+
+  ChannelSimOptions options;
+  options.apply_readout = false;
+  const auto exact = channel_mean_expectations(c, {}, model, options);
+
+  Rng rng(3);
+  const Circuit noisy = insert_error_gates(c, model, 1.0, rng);
+  const auto traj = measure_expectations(noisy, {});
+  EXPECT_NEAR(exact[0], traj[0], 1e-10);
+  EXPECT_NEAR(exact[1], traj[1], 1e-10);
+}
+
+TEST(ChannelSimulator, ReadoutMapApplied) {
+  NoiseModel model = ideal_device(1);
+  model.set_readout_error(0, ReadoutError{0.95, 0.9});
+  Circuit c(1, 0);
+  c.id(0);
+  const auto with_readout = channel_mean_expectations(c, {}, model);
+  // |0>: e = 1 -> slope + intercept = (0.85) + (0.05) = 0.9.
+  EXPECT_NEAR(with_readout[0], 0.9, 1e-12);
+  ChannelSimOptions no_readout;
+  no_readout.apply_readout = false;
+  EXPECT_NEAR(channel_mean_expectations(c, {}, model, no_readout)[0], 1.0,
+              1e-12);
+}
+
+TEST(ChannelSimulator, NoiseScaleInterpolates) {
+  NoiseModel model = ideal_device(1);
+  model.set_single_qubit_channel(0, PauliChannel{0.0, 0.0, 0.1});
+  Circuit c(1, 0);
+  // SX . SX = X: the noiseless circuit maps |0> to |1> (e = -1); the
+  // dephasing between the two SX gates pulls the expectation toward 0.
+  c.sx(0);
+  c.sx(0);
+  ChannelSimOptions zero;
+  zero.apply_readout = false;
+  zero.noise_scale = 0.0;
+  EXPECT_NEAR(channel_mean_expectations(c, {}, model, zero)[0], -1.0, 1e-10);
+  ChannelSimOptions half;
+  half.apply_readout = false;
+  half.noise_scale = 0.5;
+  ChannelSimOptions full;
+  full.apply_readout = false;
+  const real e_half = channel_mean_expectations(c, {}, model, half)[0];
+  const real e_full = channel_mean_expectations(c, {}, model, full)[0];
+  // Noise shrinks |e| monotonically with scale.
+  EXPECT_LT(std::abs(e_full), std::abs(e_half));
+  EXPECT_LT(std::abs(e_half), 1.0);
+}
+
+TEST(ChannelSimulator, WireMapReadsPhysicalCalibration) {
+  // A 2-wire compact circuit mapped onto physical qubits {3, 1} of a
+  // 5-qubit device must see those qubits' channels.
+  NoiseModel model = ideal_device(5);
+  model.set_single_qubit_channel(3, PauliChannel{0.2, 0.0, 0.0});
+  Circuit c(2, 0);
+  c.sx(0);
+  c.sx(0);
+  // SX . SX = X: noiselessly e = -1 on wire 0; qubit 3's bit-flip channel
+  // shrinks the magnitude.
+  ChannelSimOptions options;
+  options.apply_readout = false;
+  options.physical_wires = {3, 1};
+  const real with_noise = channel_mean_expectations(c, {}, model, options)[0];
+  options.physical_wires = {1, 3};  // swap: now wire 0 is clean qubit 1
+  const real clean = channel_mean_expectations(c, {}, model, options)[0];
+  EXPECT_LT(std::abs(with_noise), std::abs(clean));
+  EXPECT_NEAR(clean, -1.0, 1e-10);
+}
+
+TEST(ChannelSimulator, FeasibilityBoundEnforced) {
+  Circuit big(9, 0);
+  big.h(0);
+  EXPECT_FALSE(channel_simulation_feasible(big));
+  EXPECT_THROW(
+      channel_mean_expectations(big, {}, make_device_noise_model("melbourne")),
+      Error);
+}
+
+TEST(ChannelSimulator, IdleNoiseScalesWithDepth) {
+  // Same gate count, different depth: the staircase schedule idles qubit 0
+  // longer in the deep variant, degrading it more.
+  NoiseModel model = ideal_device(3);
+  for (int q = 0; q < 3; ++q) {
+    model.set_idle_channel(q, PauliChannel{0.02, 0.02, 0.02});
+  }
+  ChannelSimOptions options;
+  options.apply_readout = false;
+
+  Circuit shallow(3, 0);
+  shallow.ry_const(0, 1.0);
+  shallow.sx(1);
+  shallow.sx(2);
+  const real e_shallow =
+      channel_mean_expectations(shallow, {}, model, options)[0];
+
+  Circuit deep(3, 0);
+  deep.ry_const(0, 1.0);
+  deep.sx(1);
+  deep.sx(1);
+  deep.sx(1);
+  deep.sx(1);  // qubit 0 idles 3 extra layers
+  const real e_deep = channel_mean_expectations(deep, {}, model, options)[0];
+  EXPECT_LT(std::abs(e_deep), std::abs(e_shallow));
+}
+
+}  // namespace
+}  // namespace qnat

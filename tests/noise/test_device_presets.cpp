@@ -1,0 +1,115 @@
+#include "noise/device_presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(DevicePresets, AllDevicesBuild) {
+  for (const auto& name : available_devices()) {
+    const NoiseModel m = make_device_noise_model(name);
+    EXPECT_EQ(m.device_name(), name);
+    EXPECT_GE(m.num_qubits(), 5);
+    EXPECT_FALSE(m.coupling_map().empty());
+    EXPECT_GT(m.average_single_qubit_error(), 0.0);
+    EXPECT_GT(m.average_readout_error(), 0.0);
+  }
+}
+
+TEST(DevicePresets, UnknownDeviceRejected) {
+  EXPECT_THROW(device_info("gibberish"), Error);
+  EXPECT_THROW(make_device_noise_model("gibberish"), Error);
+}
+
+TEST(DevicePresets, Deterministic) {
+  const NoiseModel a = make_device_noise_model("belem");
+  const NoiseModel b = make_device_noise_model("belem");
+  for (int q = 0; q < a.num_qubits(); ++q) {
+    EXPECT_DOUBLE_EQ(a.single_qubit_channel(GateType::SX, q).total(),
+                     b.single_qubit_channel(GateType::SX, q).total());
+    EXPECT_DOUBLE_EQ(a.readout_error(q).slope(), b.readout_error(q).slope());
+  }
+}
+
+TEST(DevicePresets, YorktownRoughlyFiveTimesSantiago) {
+  // The paper's Fig. 1 / §A.3.1: Yorktown's gate error ≈ 5x Santiago's.
+  const double santiago =
+      make_device_noise_model("santiago").average_single_qubit_error();
+  const double yorktown =
+      make_device_noise_model("yorktown").average_single_qubit_error();
+  EXPECT_GT(yorktown / santiago, 2.5);
+  EXPECT_LT(yorktown / santiago, 10.0);
+}
+
+TEST(DevicePresets, NoiseOrderingMatchesPaper) {
+  // Ordering (cleanest -> noisiest): santiago < belem < yorktown <
+  // melbourne — the pattern behind Table 1's accuracy ordering.
+  const double santiago =
+      make_device_noise_model("santiago").average_single_qubit_error();
+  const double belem =
+      make_device_noise_model("belem").average_single_qubit_error();
+  const double yorktown =
+      make_device_noise_model("yorktown").average_single_qubit_error();
+  const double melbourne =
+      make_device_noise_model("melbourne").average_single_qubit_error();
+  EXPECT_LT(santiago, belem);
+  EXPECT_LT(belem, yorktown);
+  EXPECT_LT(yorktown, melbourne);
+}
+
+TEST(DevicePresets, PaperQuotedCalibrationsPresent) {
+  const NoiseModel yorktown = make_device_noise_model("yorktown");
+  const PauliChannel sx1 = yorktown.single_qubit_channel(GateType::SX, 1);
+  EXPECT_DOUBLE_EQ(sx1.px, 0.00096);
+  EXPECT_DOUBLE_EQ(sx1.py, 0.00096);
+  EXPECT_DOUBLE_EQ(sx1.pz, 0.00096);
+  const NoiseModel santiago = make_device_noise_model("santiago");
+  EXPECT_DOUBLE_EQ(santiago.readout_error(0).p0_given_0, 0.984);
+  EXPECT_DOUBLE_EQ(santiago.readout_error(0).p1_given_1, 0.978);
+}
+
+TEST(DevicePresets, MelbourneHasFifteenQubits) {
+  const DeviceInfo info = device_info("melbourne");
+  EXPECT_EQ(info.num_qubits, 15);
+  const NoiseModel m = make_device_noise_model("melbourne");
+  EXPECT_EQ(m.num_qubits(), 15);
+}
+
+TEST(DevicePresets, CouplingMapsAreConnected) {
+  for (const auto& name : available_devices()) {
+    const NoiseModel m = make_device_noise_model(name);
+    // Union-find style reachability from qubit 0.
+    std::vector<bool> seen(static_cast<std::size_t>(m.num_qubits()), false);
+    std::vector<QubitIndex> stack{0};
+    seen[0] = true;
+    while (!stack.empty()) {
+      const QubitIndex cur = stack.back();
+      stack.pop_back();
+      for (const auto& [a, b] : m.coupling_map()) {
+        const QubitIndex other = a == cur ? b : (b == cur ? a : -1);
+        if (other != -1 && !seen[static_cast<std::size_t>(other)]) {
+          seen[static_cast<std::size_t>(other)] = true;
+          stack.push_back(other);
+        }
+      }
+    }
+    for (const bool s : seen) EXPECT_TRUE(s) << name;
+  }
+}
+
+TEST(DevicePresets, ErrorMagnitudesRealistic) {
+  // NISQ regime: 1e-4..1e-2 single-qubit, readout a few percent (Fig. 1).
+  for (const auto& name : available_devices()) {
+    const NoiseModel m = make_device_noise_model(name);
+    EXPECT_GT(m.average_single_qubit_error(), 1e-5) << name;
+    EXPECT_LT(m.average_single_qubit_error(), 5e-2) << name;
+    EXPECT_GT(m.average_two_qubit_error(), m.average_single_qubit_error())
+        << name;
+    EXPECT_LT(m.average_readout_error(), 0.2) << name;
+  }
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,161 @@
+#include "noise/error_inserter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "noise/device_presets.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+namespace {
+
+NoiseModel heavy_model() {
+  NoiseModel m("heavy", 3);
+  for (int q = 0; q < 3; ++q) {
+    m.set_single_qubit_channel(q, PauliChannel::symmetric(0.1));
+  }
+  m.add_coupling(0, 1);
+  m.add_coupling(1, 2);
+  m.set_two_qubit_channel(0, 1, PauliChannel::symmetric(0.1));
+  m.set_two_qubit_channel(1, 2, PauliChannel::symmetric(0.1));
+  return m;
+}
+
+Circuit sample_circuit() {
+  Circuit c(3, 2);
+  c.sx(0);
+  c.ry(1, 0);
+  c.cx(0, 1);
+  c.rx(2, 1);
+  return c;
+}
+
+TEST(ErrorInserter, PreservesOriginalGatesInOrder) {
+  Rng rng(1);
+  const Circuit original = sample_circuit();
+  InsertionStats stats;
+  const Circuit noisy =
+      insert_error_gates(original, heavy_model(), 1.0, rng, &stats);
+  EXPECT_EQ(stats.original_gates, 4);
+  // Extract non-error gates: every original gate must appear in order.
+  std::vector<GateType> kept;
+  for (const auto& g : noisy.gates()) {
+    if (g.type != GateType::X && g.type != GateType::Y &&
+        g.type != GateType::Z) {
+      kept.push_back(g.type);
+    }
+  }
+  // RY can't be confused with error gates; X could in principle collide
+  // with an original X but this circuit has none.
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept[0], GateType::SX);
+  EXPECT_EQ(kept[1], GateType::RY);
+  EXPECT_EQ(kept[2], GateType::CX);
+  EXPECT_EQ(kept[3], GateType::RX);
+}
+
+TEST(ErrorInserter, InsertionRateMatchesExpectation) {
+  Rng rng(2);
+  const Circuit original = sample_circuit();
+  const NoiseModel model = heavy_model();
+  const double expected = expected_insertions(original, model, 1.0);
+  double total = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    InsertionStats stats;
+    insert_error_gates(original, model, 1.0, rng, &stats);
+    total += stats.inserted_gates;
+  }
+  EXPECT_NEAR(total / trials, expected, 0.1);
+}
+
+TEST(ErrorInserter, NoiseFactorScalesInsertions) {
+  const Circuit original = sample_circuit();
+  const NoiseModel model = heavy_model();
+  EXPECT_NEAR(expected_insertions(original, model, 0.5),
+              0.5 * expected_insertions(original, model, 1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(expected_insertions(original, model, 0.0), 0.0);
+}
+
+TEST(ErrorInserter, ZeroFactorInsertsNothing) {
+  Rng rng(3);
+  InsertionStats stats;
+  const Circuit noisy =
+      insert_error_gates(sample_circuit(), heavy_model(), 0.0, rng, &stats);
+  EXPECT_EQ(stats.inserted_gates, 0);
+  EXPECT_EQ(noisy.size(), sample_circuit().size());
+}
+
+TEST(ErrorInserter, ErrorGatesLandOnOperandQubits) {
+  Rng rng(4);
+  const Circuit original = sample_circuit();
+  for (int t = 0; t < 50; ++t) {
+    const Circuit noisy =
+        insert_error_gates(original, heavy_model(), 1.0, rng);
+    // Walk: error gates directly after a gate must touch its operands.
+    for (std::size_t i = 1; i < noisy.size(); ++i) {
+      const Gate& g = noisy.gate(i);
+      const bool is_error = (g.type == GateType::X || g.type == GateType::Y ||
+                             g.type == GateType::Z) &&
+                            g.params.empty();
+      if (!is_error) continue;
+      // Find the owning original gate (walk back over error gates).
+      std::size_t j = i;
+      while (j > 0) {
+        --j;
+        const Gate& prev = noisy.gate(j);
+        const bool prev_error = prev.type == GateType::X ||
+                                prev.type == GateType::Y ||
+                                prev.type == GateType::Z;
+        if (!prev_error || j == 0) {
+          bool on_operand = false;
+          for (const QubitIndex q : prev.qubits) {
+            if (q == g.qubits[0]) on_operand = true;
+          }
+          EXPECT_TRUE(on_operand);
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(ErrorInserter, OverheadSmallForRealisticDevice) {
+  // Paper: gate insertion overhead typically < 2% at T = 1.
+  Rng rng(5);
+  Circuit c(4, 0);
+  for (int rep = 0; rep < 20; ++rep) {
+    for (int q = 0; q < 4; ++q) c.sx(q);
+    for (int q = 0; q < 3; ++q) c.cx(q, q + 1);
+  }
+  const NoiseModel model = make_device_noise_model("santiago");
+  double overhead = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    InsertionStats stats;
+    insert_error_gates(c, model, 1.0, rng, &stats);
+    overhead += stats.overhead();
+  }
+  EXPECT_LT(overhead / trials, 0.02);
+}
+
+TEST(ErrorInserter, GradientFlowUnaffected) {
+  // Parameter count and references survive insertion.
+  Rng rng(6);
+  const Circuit original = sample_circuit();
+  const Circuit noisy =
+      insert_error_gates(original, heavy_model(), 1.0, rng);
+  EXPECT_EQ(noisy.num_params(), original.num_params());
+  EXPECT_EQ(noisy.num_parameterized_gates(),
+            original.num_parameterized_gates());
+}
+
+TEST(ErrorInserter, CircuitMustFitDevice) {
+  Rng rng(7);
+  Circuit big(6, 0);
+  big.h(5);
+  EXPECT_THROW(insert_error_gates(big, heavy_model(), 1.0, rng), Error);
+}
+
+}  // namespace
+}  // namespace qnat

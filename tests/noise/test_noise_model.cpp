@@ -1,0 +1,99 @@
+#include "noise/noise_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+NoiseModel make_model() {
+  NoiseModel m("testdev", 3);
+  m.set_single_qubit_channel(0, PauliChannel::symmetric(0.001));
+  m.set_single_qubit_channel(1, PauliChannel::symmetric(0.002));
+  m.set_single_qubit_channel(2, PauliChannel::symmetric(0.003));
+  m.add_coupling(0, 1);
+  m.add_coupling(1, 2);
+  m.set_two_qubit_channel(0, 1, PauliChannel::symmetric(0.004));
+  m.set_readout_error(0, ReadoutError::from_flip_probs(0.02, 0.03));
+  return m;
+}
+
+TEST(NoiseModel, DefaultsAndOverrides) {
+  NoiseModel m = make_model();
+  EXPECT_DOUBLE_EQ(m.single_qubit_channel(GateType::SX, 1).total(), 0.006);
+  m.set_gate_channel(GateType::SX, 1, PauliChannel::symmetric(0.01));
+  EXPECT_DOUBLE_EQ(m.single_qubit_channel(GateType::SX, 1).total(), 0.03);
+  // Other gate types keep the default.
+  EXPECT_DOUBLE_EQ(m.single_qubit_channel(GateType::X, 1).total(), 0.006);
+}
+
+TEST(NoiseModel, VirtualGatesAreIdeal) {
+  const NoiseModel m = make_model();
+  EXPECT_DOUBLE_EQ(m.single_qubit_channel(GateType::RZ, 2).total(), 0.0);
+  EXPECT_DOUBLE_EQ(m.single_qubit_channel(GateType::I, 2).total(), 0.0);
+  EXPECT_GT(m.single_qubit_channel(GateType::SX, 2).total(), 0.0);
+}
+
+TEST(NoiseModel, TwoQubitChannelSymmetricLookup) {
+  const NoiseModel m = make_model();
+  EXPECT_DOUBLE_EQ(m.two_qubit_channel(0, 1).total(), 0.012);
+  EXPECT_DOUBLE_EQ(m.two_qubit_channel(1, 0).total(), 0.012);
+}
+
+TEST(NoiseModel, UncharacterizedEdgeUsesWorseOperand) {
+  const NoiseModel m = make_model();
+  // Edge (1,2) has no explicit channel; falls back to qubit 2's default.
+  EXPECT_DOUBLE_EQ(m.two_qubit_channel(1, 2).total(), 0.009);
+}
+
+TEST(NoiseModel, ReadoutDefaultsIdeal) {
+  const NoiseModel m = make_model();
+  EXPECT_DOUBLE_EQ(m.readout_error(1).slope(), 1.0);
+  EXPECT_NEAR(m.readout_error(0).p1_given_0(), 0.02, 1e-12);
+}
+
+TEST(NoiseModel, FlipProbVectors) {
+  const NoiseModel m = make_model();
+  const auto f01 = m.readout_flip_probs_0to1();
+  const auto f10 = m.readout_flip_probs_1to0();
+  ASSERT_EQ(f01.size(), 3u);
+  EXPECT_NEAR(f01[0], 0.02, 1e-12);
+  EXPECT_NEAR(f10[0], 0.03, 1e-12);
+  EXPECT_DOUBLE_EQ(f01[1], 0.0);
+}
+
+TEST(NoiseModel, CouplingQueries) {
+  const NoiseModel m = make_model();
+  EXPECT_TRUE(m.coupled(0, 1));
+  EXPECT_TRUE(m.coupled(1, 0));
+  EXPECT_FALSE(m.coupled(0, 2));
+}
+
+TEST(NoiseModel, AverageErrors) {
+  const NoiseModel m = make_model();
+  EXPECT_NEAR(m.average_single_qubit_error(), (0.003 + 0.006 + 0.009) / 3,
+              1e-12);
+  EXPECT_NEAR(m.average_readout_error(), (0.025 + 0.0 + 0.0) / 3, 1e-12);
+  EXPECT_GT(m.average_two_qubit_error(), 0.0);
+}
+
+TEST(NoiseModel, ScaledModelScalesEverything) {
+  const NoiseModel m = make_model();
+  const NoiseModel s = m.scaled(2.0);
+  EXPECT_NEAR(s.average_single_qubit_error(),
+              2.0 * m.average_single_qubit_error(), 1e-12);
+  EXPECT_NEAR(s.readout_error(0).p1_given_0(), 0.04, 1e-12);
+  EXPECT_EQ(s.device_name(), m.device_name());
+}
+
+TEST(NoiseModel, RangeValidation) {
+  NoiseModel m = make_model();
+  EXPECT_THROW(m.set_single_qubit_channel(5, PauliChannel::ideal()), Error);
+  EXPECT_THROW(m.set_two_qubit_channel(0, 0, PauliChannel::ideal()), Error);
+  EXPECT_THROW(m.add_coupling(0, 0), Error);
+  EXPECT_THROW(m.readout_error(-1), Error);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,134 @@
+#include "noise/pauli_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(PauliChannel, TotalsAndNone) {
+  const PauliChannel c{0.01, 0.02, 0.03};
+  EXPECT_DOUBLE_EQ(c.total(), 0.06);
+  EXPECT_DOUBLE_EQ(c.p_none(), 0.94);
+}
+
+TEST(PauliChannel, IdealNeverSamples) {
+  Rng rng(1);
+  const PauliChannel c = PauliChannel::ideal();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(c.sample(rng).has_value());
+  }
+}
+
+TEST(PauliChannel, SampleFrequenciesMatchProbabilities) {
+  Rng rng(2);
+  const PauliChannel c{0.10, 0.05, 0.20};
+  int nx = 0, ny = 0, nz = 0, none = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const auto g = c.sample(rng);
+    if (!g) {
+      ++none;
+    } else if (*g == GateType::X) {
+      ++nx;
+    } else if (*g == GateType::Y) {
+      ++ny;
+    } else {
+      ++nz;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(nx) / n, 0.10, 0.005);
+  EXPECT_NEAR(static_cast<double>(ny) / n, 0.05, 0.005);
+  EXPECT_NEAR(static_cast<double>(nz) / n, 0.20, 0.005);
+  EXPECT_NEAR(static_cast<double>(none) / n, 0.65, 0.005);
+}
+
+TEST(PauliChannel, ScalingMultipliesProbabilities) {
+  const PauliChannel c{0.01, 0.02, 0.03};
+  const PauliChannel s = c.scaled(1.5);
+  EXPECT_DOUBLE_EQ(s.px, 0.015);
+  EXPECT_DOUBLE_EQ(s.py, 0.03);
+  EXPECT_DOUBLE_EQ(s.pz, 0.045);
+}
+
+TEST(PauliChannel, ScalingClampsAtUnitTotal) {
+  const PauliChannel c{0.3, 0.3, 0.3};
+  const PauliChannel s = c.scaled(5.0);
+  EXPECT_NEAR(s.total(), 1.0, 1e-12);
+  // Ratios preserved under clamping.
+  EXPECT_NEAR(s.px, s.py, 1e-12);
+}
+
+TEST(PauliChannel, ScaleByZeroIsIdeal) {
+  const PauliChannel c{0.1, 0.1, 0.1};
+  EXPECT_DOUBLE_EQ(c.scaled(0.0).total(), 0.0);
+}
+
+TEST(PauliChannel, NegativeFactorRejected) {
+  EXPECT_THROW((PauliChannel{0.1, 0.1, 0.1}).scaled(-1.0), Error);
+}
+
+TEST(PauliChannel, ValidateRejectsBadProbabilities) {
+  EXPECT_THROW((PauliChannel{-0.1, 0.0, 0.0}).validate(), Error);
+  EXPECT_THROW((PauliChannel{0.5, 0.5, 0.5}).validate(), Error);
+  EXPECT_NO_THROW((PauliChannel{0.2, 0.3, 0.5}).validate());
+}
+
+}  // namespace
+}  // namespace qnat
+
+namespace qnat {
+namespace {
+
+TEST(PauliChannelPower, ZeroAndOne) {
+  const PauliChannel c{0.02, 0.03, 0.05};
+  EXPECT_DOUBLE_EQ(c.power(0).total(), 0.0);
+  const PauliChannel same = c.power(1);
+  EXPECT_DOUBLE_EQ(same.px, c.px);
+  EXPECT_DOUBLE_EQ(same.py, c.py);
+  EXPECT_DOUBLE_EQ(same.pz, c.pz);
+}
+
+TEST(PauliChannelPower, MatchesExplicitComposition) {
+  // Compose twice by explicit Pauli-product bookkeeping and compare.
+  const PauliChannel c{0.05, 0.08, 0.11};
+  const double pi = c.p_none();
+  // Two independent applications: P_net = P1 * P2 with Pauli product rules
+  // (X*Y = Z up to phase, etc.). Net probability of X:
+  const double px2 = 2 * pi * c.px + 2 * c.py * c.pz;
+  const double py2 = 2 * pi * c.py + 2 * c.px * c.pz;
+  const double pz2 = 2 * pi * c.pz + 2 * c.px * c.py;
+  const PauliChannel squared = c.power(2);
+  EXPECT_NEAR(squared.px, px2, 1e-12);
+  EXPECT_NEAR(squared.py, py2, 1e-12);
+  EXPECT_NEAR(squared.pz, pz2, 1e-12);
+}
+
+TEST(PauliChannelPower, ConvergesToUniform) {
+  // Repeated application of a mixing channel approaches the uniform Pauli
+  // distribution {1/4, 1/4, 1/4, 1/4}.
+  const PauliChannel c{0.1, 0.12, 0.08};
+  const PauliChannel many = c.power(500);
+  EXPECT_NEAR(many.px, 0.25, 1e-6);
+  EXPECT_NEAR(many.py, 0.25, 1e-6);
+  EXPECT_NEAR(many.pz, 0.25, 1e-6);
+}
+
+TEST(PauliChannelPower, PureDephasingStaysDephasing) {
+  const PauliChannel c{0.0, 0.0, 0.1};
+  const PauliChannel k = c.power(3);
+  EXPECT_DOUBLE_EQ(k.px, 0.0);
+  EXPECT_DOUBLE_EQ(k.py, 0.0);
+  // pz after k applications: (1 - (1-2p)^k) / 2.
+  EXPECT_NEAR(k.pz, (1.0 - std::pow(0.8, 3)) / 2.0, 1e-12);
+}
+
+TEST(PauliChannelPower, RejectsNegativeExponent) {
+  EXPECT_THROW((PauliChannel{0.1, 0.0, 0.0}).power(-1), Error);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,72 @@
+#include "noise/readout_error.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(ReadoutError, IdealIsIdentityMap) {
+  const ReadoutError e = ReadoutError::ideal();
+  EXPECT_DOUBLE_EQ(e.slope(), 1.0);
+  EXPECT_DOUBLE_EQ(e.intercept(), 0.0);
+  EXPECT_DOUBLE_EQ(e.apply_to_expectation(0.37), 0.37);
+}
+
+TEST(ReadoutError, PaperSantiagoExample) {
+  // Paper §3.2: qubit 0 of IBMQ-Santiago, matrix [[0.984, 0.016],
+  // [0.022, 0.978]]. Original P(0)=0.3, P(1)=0.7 maps to P'(0)=0.31.
+  const ReadoutError e{0.984, 0.978};
+  EXPECT_NEAR(e.apply_to_prob0(0.3), 0.3 * 0.984 + 0.7 * 0.022, 1e-12);
+  EXPECT_NEAR(e.apply_to_prob0(0.3), 0.31, 0.005);
+}
+
+TEST(ReadoutError, ExpectationMapConsistentWithProbabilityMap) {
+  const ReadoutError e{0.95, 0.9};
+  for (const real exp_z : {-1.0, -0.4, 0.0, 0.3, 1.0}) {
+    const real p0 = 0.5 * (1.0 + exp_z);
+    const real p0_mapped = e.apply_to_prob0(p0);
+    const real exp_mapped = 2.0 * p0_mapped - 1.0;
+    EXPECT_NEAR(e.apply_to_expectation(exp_z), exp_mapped, 1e-12);
+  }
+}
+
+TEST(ReadoutError, SlopeAndInterceptFormulas) {
+  const ReadoutError e{0.98, 0.94};
+  EXPECT_NEAR(e.slope(), 0.92, 1e-12);
+  EXPECT_NEAR(e.intercept(), 0.04, 1e-12);
+}
+
+TEST(ReadoutError, FromFlipProbs) {
+  const ReadoutError e = ReadoutError::from_flip_probs(0.02, 0.05);
+  EXPECT_DOUBLE_EQ(e.p0_given_0, 0.98);
+  EXPECT_DOUBLE_EQ(e.p1_given_1, 0.95);
+  EXPECT_NEAR(e.p1_given_0(), 0.02, 1e-12);
+  EXPECT_NEAR(e.p0_given_1(), 0.05, 1e-12);
+}
+
+TEST(ReadoutError, ScalingAdjustsFlipProbabilities) {
+  const ReadoutError e = ReadoutError::from_flip_probs(0.02, 0.04);
+  const ReadoutError s = e.scaled(2.0);
+  EXPECT_NEAR(s.p1_given_0(), 0.04, 1e-12);
+  EXPECT_NEAR(s.p0_given_1(), 0.08, 1e-12);
+  const ReadoutError zero = e.scaled(0.0);
+  EXPECT_DOUBLE_EQ(zero.slope(), 1.0);
+}
+
+TEST(ReadoutError, ValidateRejectsOutOfRange) {
+  EXPECT_THROW((ReadoutError{1.2, 0.9}).validate(), Error);
+  EXPECT_THROW((ReadoutError{0.9, -0.1}).validate(), Error);
+  EXPECT_THROW(ReadoutError::from_flip_probs(-0.1, 0.0), Error);
+}
+
+TEST(ReadoutError, ShrinksExpectationRange) {
+  // A noisy readout contracts |e| (|slope| < 1 for realistic matrices).
+  const ReadoutError e{0.97, 0.95};
+  EXPECT_LT(e.apply_to_expectation(1.0), 1.0);
+  EXPECT_GT(e.apply_to_expectation(-1.0), -1.0);
+}
+
+}  // namespace
+}  // namespace qnat

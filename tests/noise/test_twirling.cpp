@@ -1,0 +1,68 @@
+#include "noise/twirling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(Twirling, DepolarizingSplitsEvenly) {
+  const PauliChannel c = depolarizing_to_pauli(0.04);
+  EXPECT_DOUBLE_EQ(c.px, 0.01);
+  EXPECT_DOUBLE_EQ(c.py, 0.01);
+  EXPECT_DOUBLE_EQ(c.pz, 0.01);
+}
+
+TEST(Twirling, AverageErrorConversion) {
+  // 1-qubit: lambda = 2e; 2-qubit: lambda = 4e/3.
+  EXPECT_DOUBLE_EQ(average_error_to_depolarizing(0.001, 2), 0.002);
+  EXPECT_NEAR(average_error_to_depolarizing(0.003, 4), 0.004, 1e-12);
+}
+
+TEST(Twirling, SingleQubitErrorToPauli) {
+  const PauliChannel c = single_qubit_error_to_pauli(0.001);
+  EXPECT_NEAR(c.px, 0.0005, 1e-12);
+  EXPECT_NEAR(c.total(), 0.0015, 1e-12);
+}
+
+TEST(Twirling, TwoQubitPerOperandBudget) {
+  const PauliChannel c = two_qubit_error_to_pauli_per_operand(0.012);
+  // Each operand carries half the budget: total per operand = e/2.
+  EXPECT_NEAR(c.total(), 0.006, 1e-12);
+}
+
+TEST(Twirling, AmplitudeDampingTwirl) {
+  const PauliChannel c = amplitude_damping_twirl(0.1);
+  EXPECT_NEAR(c.px, 0.025, 1e-12);
+  EXPECT_NEAR(c.py, 0.025, 1e-12);
+  // pZ = (2 - gamma - 2 sqrt(1-gamma)) / 4, small but positive.
+  EXPECT_GT(c.pz, 0.0);
+  EXPECT_LT(c.pz, c.px);
+  c.validate();
+}
+
+TEST(Twirling, AmplitudeDampingEdgeCases) {
+  const PauliChannel none = amplitude_damping_twirl(0.0);
+  EXPECT_DOUBLE_EQ(none.total(), 0.0);
+  const PauliChannel full = amplitude_damping_twirl(1.0);
+  EXPECT_NEAR(full.px, 0.25, 1e-12);
+  EXPECT_NEAR(full.pz, 0.25, 1e-12);
+}
+
+TEST(Twirling, Dephasing) {
+  const PauliChannel c = dephasing_to_pauli(0.07);
+  EXPECT_DOUBLE_EQ(c.px, 0.0);
+  EXPECT_DOUBLE_EQ(c.pz, 0.07);
+}
+
+TEST(Twirling, InputValidation) {
+  EXPECT_THROW(depolarizing_to_pauli(-0.1), Error);
+  EXPECT_THROW(depolarizing_to_pauli(1.1), Error);
+  EXPECT_THROW(average_error_to_depolarizing(0.5, 1), Error);
+  EXPECT_THROW(amplitude_damping_twirl(2.0), Error);
+  EXPECT_THROW(dephasing_to_pauli(-0.01), Error);
+}
+
+}  // namespace
+}  // namespace qnat

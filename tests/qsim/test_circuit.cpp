@@ -1,0 +1,85 @@
+#include "qsim/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(Circuit, BuildersAppendExpectedGates) {
+  Circuit c(3, 2);
+  c.h(0);
+  c.rx(1, 0);
+  c.cx(0, 2);
+  c.rz_const(2, 0.5);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.gate(0).type, GateType::H);
+  EXPECT_EQ(c.gate(1).type, GateType::RX);
+  EXPECT_EQ(c.gate(2).qubits, (std::vector<QubitIndex>{0, 2}));
+  EXPECT_TRUE(c.gate(3).params[0].is_constant());
+}
+
+TEST(Circuit, ValidatesQubitRange) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), Error);
+  EXPECT_THROW(c.cx(0, 5), Error);
+}
+
+TEST(Circuit, ValidatesParamRange) {
+  Circuit c(2, 1);
+  EXPECT_NO_THROW(c.rx(0, 0));
+  EXPECT_THROW(c.rx(0, 1), Error);
+  EXPECT_THROW(c.rx(0, -2), Error);
+}
+
+TEST(Circuit, AllocateParamsGrows) {
+  Circuit c(2, 0);
+  const int first = c.allocate_params(3);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(c.num_params(), 3);
+  EXPECT_EQ(c.allocate_params(2), 3);
+  EXPECT_EQ(c.num_params(), 5);
+}
+
+TEST(Circuit, ExtendShiftsParameters) {
+  Circuit a(2, 2);
+  a.rx(0, 0);
+  a.ry(1, 1);
+  Circuit b(2, 4);
+  b.allocate_params(0);
+  b.rz(0, 0);
+  b.extend(a, 2);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.gate(1).params[0].terms[0].id, 2);
+  EXPECT_EQ(b.gate(2).params[0].terms[0].id, 3);
+}
+
+TEST(Circuit, ExtendRequiresMatchingQubits) {
+  Circuit a(2), b(3);
+  EXPECT_THROW(b.extend(a), Error);
+}
+
+TEST(Circuit, CountsParameterizedGates) {
+  Circuit c(2, 1);
+  c.h(0);
+  c.rx(0, 0);
+  c.rz_const(1, 0.1);
+  EXPECT_EQ(c.num_parameterized_gates(), 1);
+}
+
+TEST(Circuit, ToStringListsGates) {
+  Circuit c(2, 1);
+  c.cx(0, 1);
+  c.ry(0, 0);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("cx(q0,q1)"), std::string::npos);
+  EXPECT_NE(s.find("ry(q0; p0)"), std::string::npos);
+}
+
+TEST(Circuit, RequiresPositiveQubits) {
+  EXPECT_THROW(Circuit(0), Error);
+}
+
+}  // namespace
+}  // namespace qnat

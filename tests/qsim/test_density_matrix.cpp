@@ -1,0 +1,127 @@
+#include "qsim/density_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(DensityMatrix, InitialStateIsPureZero) {
+  DensityMatrix rho(2);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.expectation_z(0), 1.0, 1e-12);
+  EXPECT_NEAR(rho.expectation_z(1), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, UnitaryEvolutionMatchesStateVector) {
+  // A mixed-gate circuit must give identical Z expectations on both
+  // simulators when no channels are applied.
+  Circuit c(3, 4);
+  c.h(0);
+  c.ry(1, 0);
+  c.cu3(0, 2, 1, 2, 3);
+  c.cx(1, 2);
+  c.rzz(0, 1, 0);
+  const ParamVector params{0.7, -0.4, 1.1, 0.3};
+
+  const auto sv = measure_expectations(c, params);
+  DensityMatrix rho(3);
+  for (const auto& gate : c.gates()) rho.apply_gate(gate, params);
+  for (int q = 0; q < 3; ++q) {
+    EXPECT_NEAR(rho.expectation_z(q), sv[static_cast<std::size_t>(q)], 1e-10);
+  }
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, PauliChannelIsTracePreserving) {
+  DensityMatrix rho(2);
+  rho.apply_gate(Gate(GateType::H, {0}), {});
+  rho.apply_gate(Gate(GateType::CX, {0, 1}), {});
+  rho.apply_pauli_channel(0, PauliChannel{0.05, 0.03, 0.1});
+  rho.apply_pauli_channel(1, PauliChannel{0.2, 0.0, 0.0});
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+  EXPECT_LT(rho.purity(), 1.0);
+}
+
+TEST(DensityMatrix, BitFlipChannelExactExpectation) {
+  // |0> through a bit-flip channel with probability p: <Z> = 1 - 2p.
+  DensityMatrix rho(1);
+  rho.apply_pauli_channel(0, PauliChannel{0.2, 0.0, 0.0});
+  EXPECT_NEAR(rho.expectation_z(0), 0.6, 1e-12);
+}
+
+TEST(DensityMatrix, DephasingLeavesZBasisUntouched) {
+  DensityMatrix rho(1);
+  rho.apply_gate(Gate(GateType::RY, {0}, {ParamExpr::constant(0.8)}), {});
+  const real before = rho.expectation_z(0);
+  rho.apply_pauli_channel(0, PauliChannel{0.0, 0.0, 0.3});
+  EXPECT_NEAR(rho.expectation_z(0), before, 1e-12);
+  EXPECT_LT(rho.purity(), 1.0);  // coherences decayed
+}
+
+TEST(DensityMatrix, DepolarizingShrinksAllExpectations) {
+  DensityMatrix rho(1);
+  rho.apply_gate(Gate(GateType::RY, {0}, {ParamExpr::constant(0.8)}), {});
+  const real before = rho.expectation_z(0);
+  // Symmetric Pauli channel with p each: <Z> scales by 1 - 2(px + py).
+  rho.apply_pauli_channel(0, PauliChannel::symmetric(0.1));
+  EXPECT_NEAR(rho.expectation_z(0), before * (1.0 - 0.4), 1e-12);
+}
+
+TEST(DensityMatrix, ChannelMeanMatchesTrajectoryLimit) {
+  // The channel-mean expectation equals the average over explicit Pauli
+  // branch circuits.
+  Circuit base(2, 0);
+  base.ry_const(0, 0.9);
+  base.cx(0, 1);
+  const PauliChannel channel{0.1, 0.05, 0.15};
+
+  DensityMatrix rho(2);
+  for (const auto& gate : base.gates()) rho.apply_gate(gate, {});
+  rho.apply_pauli_channel(1, channel);
+
+  // Explicit mixture: identity + X + Y + Z branches on qubit 1.
+  auto branch = [&](GateType type, double p) {
+    StateVector s = run_circuit(base, {});
+    if (type != GateType::I) s.apply_1q(gate_matrix(type, {}), 1);
+    return p * s.expectation_z(1);
+  };
+  const real expected = branch(GateType::I, channel.p_none()) +
+                        branch(GateType::X, channel.px) +
+                        branch(GateType::Y, channel.py) +
+                        branch(GateType::Z, channel.pz);
+  EXPECT_NEAR(rho.expectation_z(1), expected, 1e-12);
+}
+
+TEST(DensityMatrix, FullyMixedPurity) {
+  DensityMatrix rho(1);
+  rho.apply_gate(Gate(GateType::H, {0}), {});
+  rho.apply_pauli_channel(0, PauliChannel{0.0, 0.0, 0.5});  // full dephase
+  EXPECT_NEAR(rho.purity(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.expectation_z(0), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, ExpectationsAllMatchesSingle) {
+  DensityMatrix rho(3);
+  rho.apply_gate(Gate(GateType::RY, {0}, {ParamExpr::constant(0.3)}), {});
+  rho.apply_gate(Gate(GateType::RY, {2}, {ParamExpr::constant(1.2)}), {});
+  rho.apply_pauli_channel(2, PauliChannel::symmetric(0.02));
+  const auto all = rho.expectations_z();
+  for (int q = 0; q < 3; ++q) {
+    EXPECT_NEAR(all[static_cast<std::size_t>(q)], rho.expectation_z(q),
+                1e-12);
+  }
+}
+
+TEST(DensityMatrix, SizeLimits) {
+  EXPECT_THROW(DensityMatrix(0), Error);
+  EXPECT_THROW(DensityMatrix(13), Error);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,83 @@
+#include "qsim/execution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(Execution, RunCircuitBindsParameters) {
+  Circuit c(1, 1);
+  c.ry(0, 0);
+  const auto exp = measure_expectations(c, {0.9});
+  EXPECT_NEAR(exp[0], std::cos(0.9), 1e-12);
+}
+
+TEST(Execution, AffineExpressionsEvaluate) {
+  Circuit c(1, 1);
+  c.append(Gate(GateType::RY, {0}, {ParamExpr::affine(0, 2.0, 0.1)}));
+  const auto exp = measure_expectations(c, {0.4});
+  EXPECT_NEAR(exp[0], std::cos(2.0 * 0.4 + 0.1), 1e-12);
+}
+
+TEST(Execution, ShortParameterVectorRejected) {
+  Circuit c(1, 2);
+  c.ry(0, 1);
+  EXPECT_THROW(measure_expectations(c, {0.1}), Error);
+}
+
+TEST(Execution, ShotExpectationsConvergeToAnalytic) {
+  Circuit c(2, 0);
+  c.ry_const(0, 0.7);
+  c.ry_const(1, 2.1);
+  c.cx(0, 1);
+  const auto exact = measure_expectations(c, {});
+  Rng rng(5);
+  const auto sampled = measure_expectations_shots(c, {}, rng, 60000);
+  EXPECT_NEAR(sampled[0], exact[0], 0.02);
+  EXPECT_NEAR(sampled[1], exact[1], 0.02);
+}
+
+TEST(Execution, ReadoutFlipsBiasShotExpectations) {
+  // Prepare |0>: ideal expectation +1. With P(flip 0->1) = 0.1 the
+  // expectation becomes 0.8.
+  Circuit c(1, 0);
+  c.id(0);
+  Rng rng(6);
+  const auto sampled =
+      measure_expectations_shots(c, {}, rng, 60000, {0.1}, {0.0});
+  EXPECT_NEAR(sampled[0], 0.8, 0.02);
+}
+
+TEST(Execution, ReadoutVectorsMustCoverQubits) {
+  Circuit c(2, 0);
+  c.id(0);
+  Rng rng(6);
+  EXPECT_THROW(measure_expectations_shots(c, {}, rng, 10, {0.1}, {0.1}),
+               Error);
+}
+
+TEST(Execution, InplaceRunMatchesFreshRun) {
+  Circuit c(2, 1);
+  c.h(0);
+  c.ry(1, 0);
+  c.cx(0, 1);
+  const ParamVector params{0.65};
+  const StateVector fresh = run_circuit(c, params);
+  StateVector inplace(2);
+  run_circuit_inplace(c, params, inplace);
+  EXPECT_NEAR(std::abs(fresh.inner(inplace)), 1.0, 1e-12);
+}
+
+TEST(Execution, InplaceRejectsQubitMismatch) {
+  Circuit c(2, 0);
+  c.h(0);
+  StateVector wrong(3);
+  EXPECT_THROW(run_circuit_inplace(c, {}, wrong), Error);
+}
+
+}  // namespace
+}  // namespace qnat

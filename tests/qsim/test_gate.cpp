@@ -1,0 +1,157 @@
+#include "qsim/gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+const std::vector<GateType> kAllGateTypes = {
+    GateType::I,     GateType::X,    GateType::Y,       GateType::Z,
+    GateType::H,     GateType::S,    GateType::Sdg,     GateType::T,
+    GateType::Tdg,   GateType::SX,   GateType::SXdg,    GateType::SH,
+    GateType::RX,    GateType::RY,   GateType::RZ,      GateType::P,
+    GateType::U2,    GateType::U3,   GateType::CX,      GateType::CY,
+    GateType::CZ,    GateType::CH,   GateType::SWAP,    GateType::SqrtSwap,
+    GateType::CRX,   GateType::CRY,  GateType::CRZ,     GateType::CP,
+    GateType::CU3,   GateType::RXX,  GateType::RYY,     GateType::RZZ,
+    GateType::RZX,
+};
+
+std::vector<real> sample_angles(GateType type) {
+  std::vector<real> v;
+  for (int k = 0; k < gate_num_params(type); ++k) {
+    v.push_back(0.3 + 0.45 * k);
+  }
+  return v;
+}
+
+class GateTypeTest : public ::testing::TestWithParam<GateType> {};
+
+TEST_P(GateTypeTest, MatrixIsUnitary) {
+  const GateType type = GetParam();
+  const CMatrix m = gate_matrix(type, sample_angles(type));
+  EXPECT_TRUE(m.is_unitary(1e-10)) << gate_name(type);
+  const auto dim = static_cast<std::size_t>(gate_num_qubits(type) == 1 ? 2 : 4);
+  EXPECT_EQ(m.rows(), dim);
+}
+
+TEST_P(GateTypeTest, DerivativeMatchesFiniteDifference) {
+  const GateType type = GetParam();
+  if (gate_num_params(type) == 0) GTEST_SKIP() << "constant gate";
+  std::vector<QubitIndex> qubits = gate_num_qubits(type) == 1
+                                       ? std::vector<QubitIndex>{0}
+                                       : std::vector<QubitIndex>{0, 1};
+  std::vector<ParamExpr> exprs;
+  const std::vector<real> angles = sample_angles(type);
+  for (const real a : angles) exprs.push_back(ParamExpr::constant(a));
+  const Gate gate(type, qubits, exprs);
+
+  const real h = 1e-6;
+  for (int k = 0; k < gate.num_params(); ++k) {
+    std::vector<real> plus = angles, minus = angles;
+    plus[static_cast<std::size_t>(k)] += h;
+    minus[static_cast<std::size_t>(k)] -= h;
+    const CMatrix numeric =
+        (gate_matrix(type, plus) - gate_matrix(type, minus)) *
+        cplx{1.0 / (2.0 * h), 0.0};
+    const CMatrix analytic = gate.matrix_derivative(angles, k);
+    EXPECT_TRUE(analytic.approx_equal(numeric, 1e-6))
+        << gate_name(type) << " param " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGates, GateTypeTest,
+                         ::testing::ValuesIn(kAllGateTypes),
+                         [](const auto& info) { return gate_name(info.param); });
+
+TEST(Gate, SxSquaredIsX) {
+  const CMatrix sx = gate_matrix(GateType::SX, {});
+  EXPECT_TRUE((sx * sx).approx_equal(gate_matrix(GateType::X, {}), 1e-12));
+}
+
+TEST(Gate, ShSquaredIsH) {
+  const CMatrix sh = gate_matrix(GateType::SH, {});
+  EXPECT_TRUE((sh * sh).approx_equal(gate_matrix(GateType::H, {}), 1e-12));
+}
+
+TEST(Gate, SqrtSwapSquaredIsSwap) {
+  const CMatrix ss = gate_matrix(GateType::SqrtSwap, {});
+  EXPECT_TRUE((ss * ss).approx_equal(gate_matrix(GateType::SWAP, {}), 1e-12));
+}
+
+TEST(Gate, SdgIsSAdjoint) {
+  EXPECT_TRUE(gate_matrix(GateType::Sdg, {})
+                  .approx_equal(gate_matrix(GateType::S, {}).adjoint()));
+  EXPECT_TRUE(gate_matrix(GateType::Tdg, {})
+                  .approx_equal(gate_matrix(GateType::T, {}).adjoint()));
+  EXPECT_TRUE(gate_matrix(GateType::SXdg, {})
+                  .approx_equal(gate_matrix(GateType::SX, {}).adjoint()));
+}
+
+TEST(Gate, CxControlIsHighBit) {
+  const CMatrix cx = gate_matrix(GateType::CX, {});
+  // Control = high bit: |10> -> |11>, |00> -> |00>.
+  EXPECT_EQ(cx(0, 0), cplx(1));
+  EXPECT_EQ(cx(3, 2), cplx(1));
+  EXPECT_EQ(cx(2, 3), cplx(1));
+  EXPECT_EQ(cx(2, 2), cplx(0));
+}
+
+TEST(Gate, U3SpecialCases) {
+  // U3(theta, -pi/2, pi/2) == RX(theta); U3(theta, 0, 0) == RY(theta).
+  const real theta = 0.8;
+  EXPECT_TRUE(gate_matrix(GateType::U3, {theta, -kPi / 2, kPi / 2})
+                  .approx_equal(gate_matrix(GateType::RX, {theta}), 1e-12));
+  EXPECT_TRUE(gate_matrix(GateType::U3, {theta, 0, 0})
+                  .approx_equal(gate_matrix(GateType::RY, {theta}), 1e-12));
+}
+
+TEST(Gate, RzzIsDiagonalPhase) {
+  const CMatrix m = gate_matrix(GateType::RZZ, {0.6});
+  EXPECT_NEAR(std::abs(m(0, 0) - std::exp(cplx(0, -0.3))), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(m(1, 1) - std::exp(cplx(0, 0.3))), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(m(3, 3) - std::exp(cplx(0, -0.3))), 0.0, 1e-12);
+}
+
+TEST(Gate, ConstructorValidatesArity) {
+  EXPECT_THROW(Gate(GateType::CX, {0}), Error);
+  EXPECT_THROW(Gate(GateType::RX, {0}, {}), Error);
+  EXPECT_THROW(Gate(GateType::CX, {1, 1}), Error);
+}
+
+TEST(ParamExpr, EvalConstantAndAffine) {
+  const ParamVector params{2.0, -1.0};
+  EXPECT_DOUBLE_EQ(ParamExpr::constant(0.5).eval(params), 0.5);
+  EXPECT_DOUBLE_EQ(ParamExpr::param(1).eval(params), -1.0);
+  EXPECT_DOUBLE_EQ(ParamExpr::affine(0, 0.5, 1.0).eval(params), 2.0);
+}
+
+TEST(ParamExpr, LinearArithmetic) {
+  const ParamVector params{2.0, 3.0};
+  const ParamExpr sum = ParamExpr::param(0) + ParamExpr::param(1);
+  EXPECT_DOUBLE_EQ(sum.eval(params), 5.0);
+  const ParamExpr halved = sum * 0.5;
+  EXPECT_DOUBLE_EQ(halved.eval(params), 2.5);
+  const ParamExpr diff = ParamExpr::param(0) - ParamExpr::param(1);
+  EXPECT_DOUBLE_EQ(diff.eval(params), -1.0);
+  EXPECT_DOUBLE_EQ(diff.shifted(10.0).eval(params), 9.0);
+}
+
+TEST(ParamExpr, CancellationYieldsConstant) {
+  const ParamExpr zero = ParamExpr::param(0) - ParamExpr::param(0);
+  EXPECT_TRUE(zero.is_constant());
+}
+
+TEST(ParamExpr, MergesDuplicateTerms) {
+  const ParamExpr twice = ParamExpr::param(0) + ParamExpr::param(0);
+  ASSERT_EQ(twice.terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(twice.terms[0].scale, 2.0);
+}
+
+}  // namespace
+}  // namespace qnat

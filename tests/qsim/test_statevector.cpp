@@ -1,0 +1,151 @@
+#include "qsim/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+namespace {
+
+TEST(StateVector, InitializesToZeroState) {
+  StateVector s(3);
+  EXPECT_EQ(s.dim(), 8u);
+  EXPECT_EQ(s.amplitude(0), cplx(1));
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_EQ(s.amplitude(i), cplx(0));
+  EXPECT_DOUBLE_EQ(s.expectation_z(0), 1.0);
+}
+
+TEST(StateVector, XGateFlipsQubit) {
+  StateVector s(2);
+  s.apply_1q(gate_matrix(GateType::X, {}), 0);
+  EXPECT_EQ(s.amplitude(1), cplx(1));
+  EXPECT_DOUBLE_EQ(s.expectation_z(0), -1.0);
+  EXPECT_DOUBLE_EQ(s.expectation_z(1), 1.0);
+}
+
+TEST(StateVector, HadamardCreatesSuperposition) {
+  StateVector s(1);
+  s.apply_1q(gate_matrix(GateType::H, {}), 0);
+  EXPECT_NEAR(std::abs(s.amplitude(0)), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(s.expectation_z(0), 0.0, 1e-12);
+  EXPECT_NEAR(s.prob_one(0), 0.5, 1e-12);
+}
+
+TEST(StateVector, BellStateViaCx) {
+  StateVector s(2);
+  s.apply_1q(gate_matrix(GateType::H, {}), 0);
+  s.apply_2q(gate_matrix(GateType::CX, {}), 0, 1);  // control q0, target q1
+  EXPECT_NEAR(std::abs(s.amplitude(0b00)), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(s.amplitude(0b11)), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(s.amplitude(0b01)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(s.amplitude(0b10)), 0.0, 1e-12);
+}
+
+TEST(StateVector, CxRespectsControlConvention) {
+  // Prepare |q1 q0> = |01> (qubit 0 set). Apply CX with control=q0: flips q1.
+  StateVector s(2);
+  s.apply_1q(gate_matrix(GateType::X, {}), 0);
+  Gate cx(GateType::CX, {0, 1});
+  s.apply_gate(cx, {});
+  EXPECT_NEAR(std::abs(s.amplitude(0b11)), 1.0, 1e-12);
+
+  // Control=q1 (still |0>): no flip of q0 back.
+  StateVector t(2);
+  t.apply_1q(gate_matrix(GateType::X, {}), 0);
+  Gate cx_rev(GateType::CX, {1, 0});
+  t.apply_gate(cx_rev, {});
+  EXPECT_NEAR(std::abs(t.amplitude(0b01)), 1.0, 1e-12);
+}
+
+TEST(StateVector, TwoQubitGateOnNonAdjacentQubits) {
+  StateVector s(3);
+  s.apply_1q(gate_matrix(GateType::X, {}), 0);
+  Gate cx(GateType::CX, {0, 2});
+  s.apply_gate(cx, {});
+  EXPECT_NEAR(std::abs(s.amplitude(0b101)), 1.0, 1e-12);
+}
+
+TEST(StateVector, RotationExpectation) {
+  StateVector s(1);
+  const real theta = 0.77;
+  s.apply_gate(Gate(GateType::RY, {0}, {ParamExpr::constant(theta)}), {});
+  EXPECT_NEAR(s.expectation_z(0), std::cos(theta), 1e-12);
+}
+
+TEST(StateVector, ExpectationsAllMatchesPerQubit) {
+  StateVector s(3);
+  s.apply_gate(Gate(GateType::RY, {0}, {ParamExpr::constant(0.3)}), {});
+  s.apply_gate(Gate(GateType::RY, {1}, {ParamExpr::constant(1.1)}), {});
+  s.apply_gate(Gate(GateType::RY, {2}, {ParamExpr::constant(-0.6)}), {});
+  const auto all = s.expectations_z();
+  for (int q = 0; q < 3; ++q) {
+    EXPECT_NEAR(all[static_cast<std::size_t>(q)], s.expectation_z(q), 1e-12);
+  }
+}
+
+TEST(StateVector, NormPreservedUnderUnitaries) {
+  StateVector s(4);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto q = static_cast<QubitIndex>(rng.index(4));
+    s.apply_gate(
+        Gate(GateType::U3, {q},
+             {ParamExpr::constant(rng.uniform(-3, 3)),
+              ParamExpr::constant(rng.uniform(-3, 3)),
+              ParamExpr::constant(rng.uniform(-3, 3))}),
+        {});
+  }
+  EXPECT_NEAR(s.norm_sq(), 1.0, 1e-10);
+}
+
+TEST(StateVector, AdjointUndoesGate) {
+  StateVector s(2);
+  const Gate g(GateType::CU3, {0, 1},
+               {ParamExpr::constant(0.4), ParamExpr::constant(0.9),
+                ParamExpr::constant(-0.3)});
+  StateVector before = s;
+  s.apply_1q(gate_matrix(GateType::H, {}), 0);
+  before = s;
+  s.apply_gate(g, {});
+  s.apply_gate_adjoint(g, {});
+  EXPECT_NEAR(std::abs(s.inner(before)), 1.0, 1e-12);
+}
+
+TEST(StateVector, InnerProduct) {
+  StateVector a(1), b(1);
+  b.apply_1q(gate_matrix(GateType::X, {}), 0);
+  EXPECT_NEAR(std::abs(a.inner(b)), 0.0, 1e-12);
+  EXPECT_NEAR(a.inner(a).real(), 1.0, 1e-12);
+}
+
+TEST(StateVector, SampleMatchesDistribution) {
+  StateVector s(1);
+  s.apply_gate(Gate(GateType::RY, {0}, {ParamExpr::constant(2.0 * kPi / 3)}),
+               {});
+  // P(1) = sin^2(pi/3) = 0.75.
+  Rng rng(77);
+  const auto samples = s.sample(rng, 40000);
+  int ones = 0;
+  for (const auto b : samples) {
+    if (b & 1u) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / samples.size(), 0.75, 0.01);
+}
+
+TEST(StateVector, NormalizeRestoresUnitNorm) {
+  StateVector s(1);
+  s.set_amplitude(0, cplx(3.0, 0.0));
+  s.set_amplitude(1, cplx(0.0, 4.0));
+  s.normalize();
+  EXPECT_NEAR(s.norm_sq(), 1.0, 1e-12);
+}
+
+TEST(StateVector, RejectsInvalidQubitCounts) {
+  EXPECT_THROW(StateVector(0), Error);
+  EXPECT_THROW(StateVector(25), Error);
+}
+
+}  // namespace
+}  // namespace qnat

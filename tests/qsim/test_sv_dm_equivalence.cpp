@@ -1,0 +1,113 @@
+// Property sweep: for noiseless circuits, the density-matrix simulator
+// must agree with the statevector simulator on every Z expectation, for a
+// range of random circuits (seed-parameterized).
+#include <gtest/gtest.h>
+
+#include "qsim/density_matrix.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat {
+namespace {
+
+class SvDmEquivalence : public ::testing::TestWithParam<int> {};
+
+Circuit random_circuit(int num_qubits, int num_gates, Rng& rng) {
+  Circuit c(num_qubits, 0);
+  for (int g = 0; g < num_gates; ++g) {
+    switch (rng.index(5)) {
+      case 0:
+        c.append(Gate(GateType::RY,
+                      {static_cast<QubitIndex>(rng.index(
+                          static_cast<std::size_t>(num_qubits)))},
+                      {ParamExpr::constant(rng.uniform(-kPi, kPi))}));
+        break;
+      case 1:
+        c.append(Gate(GateType::U3,
+                      {static_cast<QubitIndex>(rng.index(
+                          static_cast<std::size_t>(num_qubits)))},
+                      {ParamExpr::constant(rng.uniform(-kPi, kPi)),
+                       ParamExpr::constant(rng.uniform(-kPi, kPi)),
+                       ParamExpr::constant(rng.uniform(-kPi, kPi))}));
+        break;
+      case 2:
+        c.sx(static_cast<QubitIndex>(
+            rng.index(static_cast<std::size_t>(num_qubits))));
+        break;
+      case 3: {
+        const auto a = static_cast<QubitIndex>(
+            rng.index(static_cast<std::size_t>(num_qubits)));
+        const auto b = static_cast<QubitIndex>(
+            rng.index(static_cast<std::size_t>(num_qubits)));
+        if (a != b) c.cx(a, b);
+        break;
+      }
+      default: {
+        const auto a = static_cast<QubitIndex>(
+            rng.index(static_cast<std::size_t>(num_qubits)));
+        const auto b = static_cast<QubitIndex>(
+            rng.index(static_cast<std::size_t>(num_qubits)));
+        if (a != b) {
+          c.append(Gate(GateType::RZZ, {a, b},
+                        {ParamExpr::constant(rng.uniform(-kPi, kPi))}));
+        }
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+TEST_P(SvDmEquivalence, NoiselessExpectationsAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int nq = 2 + static_cast<int>(rng.index(3));  // 2..4 qubits
+  const Circuit c = random_circuit(nq, 30, rng);
+
+  const auto sv = measure_expectations(c, {});
+  DensityMatrix rho(nq);
+  for (const auto& gate : c.gates()) rho.apply_gate(gate, {});
+  for (int q = 0; q < nq; ++q) {
+    EXPECT_NEAR(sv[static_cast<std::size_t>(q)], rho.expectation_z(q), 1e-10)
+        << "seed " << GetParam() << " qubit " << q;
+  }
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+}
+
+TEST_P(SvDmEquivalence, PauliChannelMatchesBranchAverage) {
+  // Apply one Pauli channel mid-circuit; the density matrix must equal the
+  // explicit 4-branch average of statevector runs.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  const int nq = 2;
+  const Circuit before = random_circuit(nq, 12, rng);
+  const Circuit after = random_circuit(nq, 12, rng);
+  const PauliChannel channel{0.07, 0.11, 0.05};
+  const QubitIndex target = static_cast<QubitIndex>(rng.index(2));
+
+  DensityMatrix rho(nq);
+  for (const auto& g : before.gates()) rho.apply_gate(g, {});
+  rho.apply_pauli_channel(target, channel);
+  for (const auto& g : after.gates()) rho.apply_gate(g, {});
+
+  auto branch = [&](GateType type) {
+    StateVector s = run_circuit(before, {});
+    if (type != GateType::I) s.apply_1q(gate_matrix(type, {}), target);
+    run_circuit_inplace(after, {}, s);
+    return s.expectations_z();
+  };
+  const auto none = branch(GateType::I);
+  const auto bx = branch(GateType::X);
+  const auto by = branch(GateType::Y);
+  const auto bz = branch(GateType::Z);
+  for (int q = 0; q < nq; ++q) {
+    const auto qi = static_cast<std::size_t>(q);
+    const real expected = channel.p_none() * none[qi] + channel.px * bx[qi] +
+                          channel.py * by[qi] + channel.pz * bz[qi];
+    EXPECT_NEAR(rho.expectation_z(q), expected, 1e-10)
+        << "seed " << GetParam() << " qubit " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvDmEquivalence, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace qnat
