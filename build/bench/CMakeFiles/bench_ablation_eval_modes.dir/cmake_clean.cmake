@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eval_modes.dir/ablation_eval_modes.cpp.o"
+  "CMakeFiles/bench_ablation_eval_modes.dir/ablation_eval_modes.cpp.o.d"
+  "CMakeFiles/bench_ablation_eval_modes.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_eval_modes.dir/bench_common.cpp.o.d"
+  "bench_ablation_eval_modes"
+  "bench_ablation_eval_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eval_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_injection_realizations.dir/ablation_injection_realizations.cpp.o"
+  "CMakeFiles/bench_ablation_injection_realizations.dir/ablation_injection_realizations.cpp.o.d"
+  "CMakeFiles/bench_ablation_injection_realizations.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_injection_realizations.dir/bench_common.cpp.o.d"
+  "bench_ablation_injection_realizations"
+  "bench_ablation_injection_realizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_injection_realizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_error_rates.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig1_error_rates.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig1_error_rates.dir/fig1_error_rates.cpp.o"
+  "CMakeFiles/bench_fig1_error_rates.dir/fig1_error_rates.cpp.o.d"
+  "bench_fig1_error_rates"
+  "bench_fig1_error_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_error_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_normalization_snr.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig4_normalization_snr.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig4_normalization_snr.dir/fig4_normalization_snr.cpp.o"
+  "CMakeFiles/bench_fig4_normalization_snr.dir/fig4_normalization_snr.cpp.o.d"
+  "bench_fig4_normalization_snr"
+  "bench_fig4_normalization_snr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_normalization_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

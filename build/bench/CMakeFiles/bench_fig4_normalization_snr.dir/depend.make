@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_normalization_snr.
+# This may be replaced when dependencies are built.

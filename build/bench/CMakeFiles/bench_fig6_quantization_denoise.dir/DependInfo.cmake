@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cpp" "bench/CMakeFiles/bench_fig6_quantization_denoise.dir/bench_common.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_quantization_denoise.dir/bench_common.cpp.o.d"
+  "/root/repo/bench/fig6_quantization_denoise.cpp" "bench/CMakeFiles/bench_fig6_quantization_denoise.dir/fig6_quantization_denoise.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_quantization_denoise.dir/fig6_quantization_denoise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qnat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_grad.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

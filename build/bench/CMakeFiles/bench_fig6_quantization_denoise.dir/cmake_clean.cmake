@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_quantization_denoise.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig6_quantization_denoise.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig6_quantization_denoise.dir/fig6_quantization_denoise.cpp.o"
+  "CMakeFiles/bench_fig6_quantization_denoise.dir/fig6_quantization_denoise.cpp.o.d"
+  "bench_fig6_quantization_denoise"
+  "bench_fig6_quantization_denoise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_quantization_denoise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

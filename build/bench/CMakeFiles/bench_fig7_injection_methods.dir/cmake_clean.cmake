@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_injection_methods.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig7_injection_methods.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig7_injection_methods.dir/fig7_injection_methods.cpp.o"
+  "CMakeFiles/bench_fig7_injection_methods.dir/fig7_injection_methods.cpp.o.d"
+  "bench_fig7_injection_methods"
+  "bench_fig7_injection_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_injection_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_contour.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig8_contour.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig8_contour.dir/fig8_contour.cpp.o"
+  "CMakeFiles/bench_fig8_contour.dir/fig8_contour.cpp.o.d"
+  "bench_fig8_contour"
+  "bench_fig8_contour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

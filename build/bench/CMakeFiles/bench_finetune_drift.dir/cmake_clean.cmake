@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_finetune_drift.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_finetune_drift.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_finetune_drift.dir/finetune_drift.cpp.o"
+  "CMakeFiles/bench_finetune_drift.dir/finetune_drift.cpp.o.d"
+  "bench_finetune_drift"
+  "bench_finetune_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_finetune_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

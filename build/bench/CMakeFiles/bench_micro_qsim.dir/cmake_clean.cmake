@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_qsim.dir/micro_qsim.cpp.o"
+  "CMakeFiles/bench_micro_qsim.dir/micro_qsim.cpp.o.d"
+  "bench_micro_qsim"
+  "bench_micro_qsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_qsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_model_gap.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table11_model_gap.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table11_model_gap.dir/table11_model_gap.cpp.o"
+  "CMakeFiles/bench_table11_model_gap.dir/table11_model_gap.cpp.o.d"
+  "bench_table11_model_gap"
+  "bench_table11_model_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_model_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_class_scaling.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table12_class_scaling.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table12_class_scaling.dir/table12_class_scaling.cpp.o"
+  "CMakeFiles/bench_table12_class_scaling.dir/table12_class_scaling.cpp.o.d"
+  "bench_table12_class_scaling"
+  "bench_table12_class_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_class_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

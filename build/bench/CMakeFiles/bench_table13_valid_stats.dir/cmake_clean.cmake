@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_valid_stats.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table13_valid_stats.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table13_valid_stats.dir/table13_valid_stats.cpp.o"
+  "CMakeFiles/bench_table13_valid_stats.dir/table13_valid_stats.cpp.o.d"
+  "bench_table13_valid_stats"
+  "bench_table13_valid_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_valid_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

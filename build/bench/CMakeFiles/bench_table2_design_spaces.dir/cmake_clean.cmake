@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_design_spaces.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table2_design_spaces.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table2_design_spaces.dir/table2_design_spaces.cpp.o"
+  "CMakeFiles/bench_table2_design_spaces.dir/table2_design_spaces.cpp.o.d"
+  "bench_table2_design_spaces"
+  "bench_table2_design_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_design_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

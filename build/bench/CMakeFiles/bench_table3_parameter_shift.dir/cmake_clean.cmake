@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_parameter_shift.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table3_parameter_shift.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table3_parameter_shift.dir/table3_parameter_shift.cpp.o"
+  "CMakeFiles/bench_table3_parameter_shift.dir/table3_parameter_shift.cpp.o.d"
+  "bench_table3_parameter_shift"
+  "bench_table3_parameter_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_parameter_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_extrapolation.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table4_extrapolation.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table4_extrapolation.dir/table4_extrapolation.cpp.o"
+  "CMakeFiles/bench_table4_extrapolation.dir/table4_extrapolation.cpp.o.d"
+  "bench_table4_extrapolation"
+  "bench_table4_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

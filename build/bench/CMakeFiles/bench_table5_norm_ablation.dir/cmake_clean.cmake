@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_norm_ablation.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table5_norm_ablation.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table5_norm_ablation.dir/table5_norm_ablation.cpp.o"
+  "CMakeFiles/bench_table5_norm_ablation.dir/table5_norm_ablation.cpp.o.d"
+  "bench_table5_norm_ablation"
+  "bench_table5_norm_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_norm_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

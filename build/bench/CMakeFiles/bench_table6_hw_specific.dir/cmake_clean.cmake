@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_hw_specific.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table6_hw_specific.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table6_hw_specific.dir/table6_hw_specific.cpp.o"
+  "CMakeFiles/bench_table6_hw_specific.dir/table6_hw_specific.cpp.o.d"
+  "bench_table6_hw_specific"
+  "bench_table6_hw_specific.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_hw_specific.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_compilation.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table7_compilation.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table7_compilation.dir/table7_compilation.cpp.o"
+  "CMakeFiles/bench_table7_compilation.dir/table7_compilation.cpp.o.d"
+  "bench_table7_compilation"
+  "bench_table7_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_fully_quantum.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table8_fully_quantum.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table8_fully_quantum.dir/table8_fully_quantum.cpp.o"
+  "CMakeFiles/bench_table8_fully_quantum.dir/table8_fully_quantum.cpp.o.d"
+  "bench_table8_fully_quantum"
+  "bench_table8_fully_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_fully_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_10_blocks.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table9_10_blocks.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table9_10_blocks.dir/table9_10_blocks.cpp.o"
+  "CMakeFiles/bench_table9_10_blocks.dir/table9_10_blocks.cpp.o.d"
+  "bench_table9_10_blocks"
+  "bench_table9_10_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_10_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

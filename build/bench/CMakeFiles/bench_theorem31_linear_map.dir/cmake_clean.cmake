@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem31_linear_map.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_theorem31_linear_map.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_theorem31_linear_map.dir/theorem31_linear_map.cpp.o"
+  "CMakeFiles/bench_theorem31_linear_map.dir/theorem31_linear_map.cpp.o.d"
+  "bench_theorem31_linear_map"
+  "bench_theorem31_linear_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem31_linear_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

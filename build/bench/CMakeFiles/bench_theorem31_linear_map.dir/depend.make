@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_theorem31_linear_map.
+# This may be replaced when dependencies are built.

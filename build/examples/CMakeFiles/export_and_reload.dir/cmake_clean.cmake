@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_and_reload.dir/export_and_reload.cpp.o"
+  "CMakeFiles/export_and_reload.dir/export_and_reload.cpp.o.d"
+  "export_and_reload"
+  "export_and_reload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_and_reload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist4_noise_aware.dir/mnist4_noise_aware.cpp.o"
+  "CMakeFiles/mnist4_noise_aware.dir/mnist4_noise_aware.cpp.o.d"
+  "mnist4_noise_aware"
+  "mnist4_noise_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist4_noise_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

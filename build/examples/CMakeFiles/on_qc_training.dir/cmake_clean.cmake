@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/on_qc_training.dir/on_qc_training.cpp.o"
+  "CMakeFiles/on_qc_training.dir/on_qc_training.cpp.o.d"
+  "on_qc_training"
+  "on_qc_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/on_qc_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

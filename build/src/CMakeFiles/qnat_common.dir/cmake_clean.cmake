@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnat_common.dir/common/matrix.cpp.o"
+  "CMakeFiles/qnat_common.dir/common/matrix.cpp.o.d"
+  "CMakeFiles/qnat_common.dir/common/rng.cpp.o"
+  "CMakeFiles/qnat_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/qnat_common.dir/common/table.cpp.o"
+  "CMakeFiles/qnat_common.dir/common/table.cpp.o.d"
+  "libqnat_common.a"
+  "libqnat_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnat_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

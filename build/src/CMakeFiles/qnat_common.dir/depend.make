@@ -1,0 +1,2 @@
+# Empty dependencies file for qnat_common.
+# This may be replaced when dependencies are built.

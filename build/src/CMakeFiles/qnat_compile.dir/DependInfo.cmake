@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compile/basis.cpp" "src/CMakeFiles/qnat_compile.dir/compile/basis.cpp.o" "gcc" "src/CMakeFiles/qnat_compile.dir/compile/basis.cpp.o.d"
+  "/root/repo/src/compile/passes.cpp" "src/CMakeFiles/qnat_compile.dir/compile/passes.cpp.o" "gcc" "src/CMakeFiles/qnat_compile.dir/compile/passes.cpp.o.d"
+  "/root/repo/src/compile/qasm.cpp" "src/CMakeFiles/qnat_compile.dir/compile/qasm.cpp.o" "gcc" "src/CMakeFiles/qnat_compile.dir/compile/qasm.cpp.o.d"
+  "/root/repo/src/compile/routing.cpp" "src/CMakeFiles/qnat_compile.dir/compile/routing.cpp.o" "gcc" "src/CMakeFiles/qnat_compile.dir/compile/routing.cpp.o.d"
+  "/root/repo/src/compile/transpiler.cpp" "src/CMakeFiles/qnat_compile.dir/compile/transpiler.cpp.o" "gcc" "src/CMakeFiles/qnat_compile.dir/compile/transpiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qnat_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnat_compile.dir/compile/basis.cpp.o"
+  "CMakeFiles/qnat_compile.dir/compile/basis.cpp.o.d"
+  "CMakeFiles/qnat_compile.dir/compile/passes.cpp.o"
+  "CMakeFiles/qnat_compile.dir/compile/passes.cpp.o.d"
+  "CMakeFiles/qnat_compile.dir/compile/qasm.cpp.o"
+  "CMakeFiles/qnat_compile.dir/compile/qasm.cpp.o.d"
+  "CMakeFiles/qnat_compile.dir/compile/routing.cpp.o"
+  "CMakeFiles/qnat_compile.dir/compile/routing.cpp.o.d"
+  "CMakeFiles/qnat_compile.dir/compile/transpiler.cpp.o"
+  "CMakeFiles/qnat_compile.dir/compile/transpiler.cpp.o.d"
+  "libqnat_compile.a"
+  "libqnat_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnat_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/design_space.cpp" "src/CMakeFiles/qnat_core.dir/core/design_space.cpp.o" "gcc" "src/CMakeFiles/qnat_core.dir/core/design_space.cpp.o.d"
+  "/root/repo/src/core/encoder.cpp" "src/CMakeFiles/qnat_core.dir/core/encoder.cpp.o" "gcc" "src/CMakeFiles/qnat_core.dir/core/encoder.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/CMakeFiles/qnat_core.dir/core/evaluator.cpp.o" "gcc" "src/CMakeFiles/qnat_core.dir/core/evaluator.cpp.o.d"
+  "/root/repo/src/core/extrapolation.cpp" "src/CMakeFiles/qnat_core.dir/core/extrapolation.cpp.o" "gcc" "src/CMakeFiles/qnat_core.dir/core/extrapolation.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/qnat_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/qnat_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/noise_injector.cpp" "src/CMakeFiles/qnat_core.dir/core/noise_injector.cpp.o" "gcc" "src/CMakeFiles/qnat_core.dir/core/noise_injector.cpp.o.d"
+  "/root/repo/src/core/normalization.cpp" "src/CMakeFiles/qnat_core.dir/core/normalization.cpp.o" "gcc" "src/CMakeFiles/qnat_core.dir/core/normalization.cpp.o.d"
+  "/root/repo/src/core/onqc_trainer.cpp" "src/CMakeFiles/qnat_core.dir/core/onqc_trainer.cpp.o" "gcc" "src/CMakeFiles/qnat_core.dir/core/onqc_trainer.cpp.o.d"
+  "/root/repo/src/core/qnn.cpp" "src/CMakeFiles/qnat_core.dir/core/qnn.cpp.o" "gcc" "src/CMakeFiles/qnat_core.dir/core/qnn.cpp.o.d"
+  "/root/repo/src/core/quantization.cpp" "src/CMakeFiles/qnat_core.dir/core/quantization.cpp.o" "gcc" "src/CMakeFiles/qnat_core.dir/core/quantization.cpp.o.d"
+  "/root/repo/src/core/serialization.cpp" "src/CMakeFiles/qnat_core.dir/core/serialization.cpp.o" "gcc" "src/CMakeFiles/qnat_core.dir/core/serialization.cpp.o.d"
+  "/root/repo/src/core/theorem31.cpp" "src/CMakeFiles/qnat_core.dir/core/theorem31.cpp.o" "gcc" "src/CMakeFiles/qnat_core.dir/core/theorem31.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/CMakeFiles/qnat_core.dir/core/trainer.cpp.o" "gcc" "src/CMakeFiles/qnat_core.dir/core/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qnat_grad.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

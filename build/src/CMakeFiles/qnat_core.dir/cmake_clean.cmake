@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnat_core.dir/core/design_space.cpp.o"
+  "CMakeFiles/qnat_core.dir/core/design_space.cpp.o.d"
+  "CMakeFiles/qnat_core.dir/core/encoder.cpp.o"
+  "CMakeFiles/qnat_core.dir/core/encoder.cpp.o.d"
+  "CMakeFiles/qnat_core.dir/core/evaluator.cpp.o"
+  "CMakeFiles/qnat_core.dir/core/evaluator.cpp.o.d"
+  "CMakeFiles/qnat_core.dir/core/extrapolation.cpp.o"
+  "CMakeFiles/qnat_core.dir/core/extrapolation.cpp.o.d"
+  "CMakeFiles/qnat_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/qnat_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/qnat_core.dir/core/noise_injector.cpp.o"
+  "CMakeFiles/qnat_core.dir/core/noise_injector.cpp.o.d"
+  "CMakeFiles/qnat_core.dir/core/normalization.cpp.o"
+  "CMakeFiles/qnat_core.dir/core/normalization.cpp.o.d"
+  "CMakeFiles/qnat_core.dir/core/onqc_trainer.cpp.o"
+  "CMakeFiles/qnat_core.dir/core/onqc_trainer.cpp.o.d"
+  "CMakeFiles/qnat_core.dir/core/qnn.cpp.o"
+  "CMakeFiles/qnat_core.dir/core/qnn.cpp.o.d"
+  "CMakeFiles/qnat_core.dir/core/quantization.cpp.o"
+  "CMakeFiles/qnat_core.dir/core/quantization.cpp.o.d"
+  "CMakeFiles/qnat_core.dir/core/serialization.cpp.o"
+  "CMakeFiles/qnat_core.dir/core/serialization.cpp.o.d"
+  "CMakeFiles/qnat_core.dir/core/theorem31.cpp.o"
+  "CMakeFiles/qnat_core.dir/core/theorem31.cpp.o.d"
+  "CMakeFiles/qnat_core.dir/core/trainer.cpp.o"
+  "CMakeFiles/qnat_core.dir/core/trainer.cpp.o.d"
+  "libqnat_core.a"
+  "libqnat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/qnat_data.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/qnat_data.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/preprocess.cpp" "src/CMakeFiles/qnat_data.dir/data/preprocess.cpp.o" "gcc" "src/CMakeFiles/qnat_data.dir/data/preprocess.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/qnat_data.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/qnat_data.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/data/tasks.cpp" "src/CMakeFiles/qnat_data.dir/data/tasks.cpp.o" "gcc" "src/CMakeFiles/qnat_data.dir/data/tasks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qnat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnat_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/qnat_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/qnat_data.dir/data/preprocess.cpp.o"
+  "CMakeFiles/qnat_data.dir/data/preprocess.cpp.o.d"
+  "CMakeFiles/qnat_data.dir/data/synthetic.cpp.o"
+  "CMakeFiles/qnat_data.dir/data/synthetic.cpp.o.d"
+  "CMakeFiles/qnat_data.dir/data/tasks.cpp.o"
+  "CMakeFiles/qnat_data.dir/data/tasks.cpp.o.d"
+  "libqnat_data.a"
+  "libqnat_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnat_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

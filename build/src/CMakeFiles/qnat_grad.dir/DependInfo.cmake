@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grad/adjoint.cpp" "src/CMakeFiles/qnat_grad.dir/grad/adjoint.cpp.o" "gcc" "src/CMakeFiles/qnat_grad.dir/grad/adjoint.cpp.o.d"
+  "/root/repo/src/grad/finite_diff.cpp" "src/CMakeFiles/qnat_grad.dir/grad/finite_diff.cpp.o" "gcc" "src/CMakeFiles/qnat_grad.dir/grad/finite_diff.cpp.o.d"
+  "/root/repo/src/grad/parameter_shift.cpp" "src/CMakeFiles/qnat_grad.dir/grad/parameter_shift.cpp.o" "gcc" "src/CMakeFiles/qnat_grad.dir/grad/parameter_shift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qnat_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnat_grad.dir/grad/adjoint.cpp.o"
+  "CMakeFiles/qnat_grad.dir/grad/adjoint.cpp.o.d"
+  "CMakeFiles/qnat_grad.dir/grad/finite_diff.cpp.o"
+  "CMakeFiles/qnat_grad.dir/grad/finite_diff.cpp.o.d"
+  "CMakeFiles/qnat_grad.dir/grad/parameter_shift.cpp.o"
+  "CMakeFiles/qnat_grad.dir/grad/parameter_shift.cpp.o.d"
+  "libqnat_grad.a"
+  "libqnat_grad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnat_grad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qnat_grad.
+# This may be replaced when dependencies are built.

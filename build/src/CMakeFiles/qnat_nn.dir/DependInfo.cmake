@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/losses.cpp" "src/CMakeFiles/qnat_nn.dir/nn/losses.cpp.o" "gcc" "src/CMakeFiles/qnat_nn.dir/nn/losses.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/qnat_nn.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/qnat_nn.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/scheduler.cpp" "src/CMakeFiles/qnat_nn.dir/nn/scheduler.cpp.o" "gcc" "src/CMakeFiles/qnat_nn.dir/nn/scheduler.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/CMakeFiles/qnat_nn.dir/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/qnat_nn.dir/nn/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qnat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnat_nn.dir/nn/losses.cpp.o"
+  "CMakeFiles/qnat_nn.dir/nn/losses.cpp.o.d"
+  "CMakeFiles/qnat_nn.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/qnat_nn.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/qnat_nn.dir/nn/scheduler.cpp.o"
+  "CMakeFiles/qnat_nn.dir/nn/scheduler.cpp.o.d"
+  "CMakeFiles/qnat_nn.dir/nn/tensor.cpp.o"
+  "CMakeFiles/qnat_nn.dir/nn/tensor.cpp.o.d"
+  "libqnat_nn.a"
+  "libqnat_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnat_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqnat_nn.a"
+)

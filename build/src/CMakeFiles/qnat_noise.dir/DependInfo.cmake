@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noise/channel_simulator.cpp" "src/CMakeFiles/qnat_noise.dir/noise/channel_simulator.cpp.o" "gcc" "src/CMakeFiles/qnat_noise.dir/noise/channel_simulator.cpp.o.d"
+  "/root/repo/src/noise/device_presets.cpp" "src/CMakeFiles/qnat_noise.dir/noise/device_presets.cpp.o" "gcc" "src/CMakeFiles/qnat_noise.dir/noise/device_presets.cpp.o.d"
+  "/root/repo/src/noise/error_inserter.cpp" "src/CMakeFiles/qnat_noise.dir/noise/error_inserter.cpp.o" "gcc" "src/CMakeFiles/qnat_noise.dir/noise/error_inserter.cpp.o.d"
+  "/root/repo/src/noise/noise_model.cpp" "src/CMakeFiles/qnat_noise.dir/noise/noise_model.cpp.o" "gcc" "src/CMakeFiles/qnat_noise.dir/noise/noise_model.cpp.o.d"
+  "/root/repo/src/noise/readout_error.cpp" "src/CMakeFiles/qnat_noise.dir/noise/readout_error.cpp.o" "gcc" "src/CMakeFiles/qnat_noise.dir/noise/readout_error.cpp.o.d"
+  "/root/repo/src/noise/twirling.cpp" "src/CMakeFiles/qnat_noise.dir/noise/twirling.cpp.o" "gcc" "src/CMakeFiles/qnat_noise.dir/noise/twirling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qnat_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

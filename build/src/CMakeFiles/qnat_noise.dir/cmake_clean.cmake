@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnat_noise.dir/noise/channel_simulator.cpp.o"
+  "CMakeFiles/qnat_noise.dir/noise/channel_simulator.cpp.o.d"
+  "CMakeFiles/qnat_noise.dir/noise/device_presets.cpp.o"
+  "CMakeFiles/qnat_noise.dir/noise/device_presets.cpp.o.d"
+  "CMakeFiles/qnat_noise.dir/noise/error_inserter.cpp.o"
+  "CMakeFiles/qnat_noise.dir/noise/error_inserter.cpp.o.d"
+  "CMakeFiles/qnat_noise.dir/noise/noise_model.cpp.o"
+  "CMakeFiles/qnat_noise.dir/noise/noise_model.cpp.o.d"
+  "CMakeFiles/qnat_noise.dir/noise/readout_error.cpp.o"
+  "CMakeFiles/qnat_noise.dir/noise/readout_error.cpp.o.d"
+  "CMakeFiles/qnat_noise.dir/noise/twirling.cpp.o"
+  "CMakeFiles/qnat_noise.dir/noise/twirling.cpp.o.d"
+  "libqnat_noise.a"
+  "libqnat_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnat_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

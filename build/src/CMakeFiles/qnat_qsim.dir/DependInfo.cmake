@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qsim/circuit.cpp" "src/CMakeFiles/qnat_qsim.dir/qsim/circuit.cpp.o" "gcc" "src/CMakeFiles/qnat_qsim.dir/qsim/circuit.cpp.o.d"
+  "/root/repo/src/qsim/density_matrix.cpp" "src/CMakeFiles/qnat_qsim.dir/qsim/density_matrix.cpp.o" "gcc" "src/CMakeFiles/qnat_qsim.dir/qsim/density_matrix.cpp.o.d"
+  "/root/repo/src/qsim/execution.cpp" "src/CMakeFiles/qnat_qsim.dir/qsim/execution.cpp.o" "gcc" "src/CMakeFiles/qnat_qsim.dir/qsim/execution.cpp.o.d"
+  "/root/repo/src/qsim/gate.cpp" "src/CMakeFiles/qnat_qsim.dir/qsim/gate.cpp.o" "gcc" "src/CMakeFiles/qnat_qsim.dir/qsim/gate.cpp.o.d"
+  "/root/repo/src/qsim/pauli_channel.cpp" "src/CMakeFiles/qnat_qsim.dir/qsim/pauli_channel.cpp.o" "gcc" "src/CMakeFiles/qnat_qsim.dir/qsim/pauli_channel.cpp.o.d"
+  "/root/repo/src/qsim/statevector.cpp" "src/CMakeFiles/qnat_qsim.dir/qsim/statevector.cpp.o" "gcc" "src/CMakeFiles/qnat_qsim.dir/qsim/statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qnat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

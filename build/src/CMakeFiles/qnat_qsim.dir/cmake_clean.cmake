@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnat_qsim.dir/qsim/circuit.cpp.o"
+  "CMakeFiles/qnat_qsim.dir/qsim/circuit.cpp.o.d"
+  "CMakeFiles/qnat_qsim.dir/qsim/density_matrix.cpp.o"
+  "CMakeFiles/qnat_qsim.dir/qsim/density_matrix.cpp.o.d"
+  "CMakeFiles/qnat_qsim.dir/qsim/execution.cpp.o"
+  "CMakeFiles/qnat_qsim.dir/qsim/execution.cpp.o.d"
+  "CMakeFiles/qnat_qsim.dir/qsim/gate.cpp.o"
+  "CMakeFiles/qnat_qsim.dir/qsim/gate.cpp.o.d"
+  "CMakeFiles/qnat_qsim.dir/qsim/pauli_channel.cpp.o"
+  "CMakeFiles/qnat_qsim.dir/qsim/pauli_channel.cpp.o.d"
+  "CMakeFiles/qnat_qsim.dir/qsim/statevector.cpp.o"
+  "CMakeFiles/qnat_qsim.dir/qsim/statevector.cpp.o.d"
+  "libqnat_qsim.a"
+  "libqnat_qsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnat_qsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compile/test_basis.cpp" "tests/CMakeFiles/test_compile.dir/compile/test_basis.cpp.o" "gcc" "tests/CMakeFiles/test_compile.dir/compile/test_basis.cpp.o.d"
+  "/root/repo/tests/compile/test_passes.cpp" "tests/CMakeFiles/test_compile.dir/compile/test_passes.cpp.o" "gcc" "tests/CMakeFiles/test_compile.dir/compile/test_passes.cpp.o.d"
+  "/root/repo/tests/compile/test_property_sweeps.cpp" "tests/CMakeFiles/test_compile.dir/compile/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/test_compile.dir/compile/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/compile/test_qasm.cpp" "tests/CMakeFiles/test_compile.dir/compile/test_qasm.cpp.o" "gcc" "tests/CMakeFiles/test_compile.dir/compile/test_qasm.cpp.o.d"
+  "/root/repo/tests/compile/test_routing.cpp" "tests/CMakeFiles/test_compile.dir/compile/test_routing.cpp.o" "gcc" "tests/CMakeFiles/test_compile.dir/compile/test_routing.cpp.o.d"
+  "/root/repo/tests/compile/test_transpiler.cpp" "tests/CMakeFiles/test_compile.dir/compile/test_transpiler.cpp.o" "gcc" "tests/CMakeFiles/test_compile.dir/compile/test_transpiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qnat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_grad.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compile.dir/compile/test_basis.cpp.o"
+  "CMakeFiles/test_compile.dir/compile/test_basis.cpp.o.d"
+  "CMakeFiles/test_compile.dir/compile/test_passes.cpp.o"
+  "CMakeFiles/test_compile.dir/compile/test_passes.cpp.o.d"
+  "CMakeFiles/test_compile.dir/compile/test_property_sweeps.cpp.o"
+  "CMakeFiles/test_compile.dir/compile/test_property_sweeps.cpp.o.d"
+  "CMakeFiles/test_compile.dir/compile/test_qasm.cpp.o"
+  "CMakeFiles/test_compile.dir/compile/test_qasm.cpp.o.d"
+  "CMakeFiles/test_compile.dir/compile/test_routing.cpp.o"
+  "CMakeFiles/test_compile.dir/compile/test_routing.cpp.o.d"
+  "CMakeFiles/test_compile.dir/compile/test_transpiler.cpp.o"
+  "CMakeFiles/test_compile.dir/compile/test_transpiler.cpp.o.d"
+  "test_compile"
+  "test_compile.pdb"
+  "test_compile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

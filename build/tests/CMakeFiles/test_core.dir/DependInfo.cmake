@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_design_space.cpp" "tests/CMakeFiles/test_core.dir/core/test_design_space.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_design_space.cpp.o.d"
+  "/root/repo/tests/core/test_encoder.cpp" "tests/CMakeFiles/test_core.dir/core/test_encoder.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_encoder.cpp.o.d"
+  "/root/repo/tests/core/test_evaluator.cpp" "tests/CMakeFiles/test_core.dir/core/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_evaluator.cpp.o.d"
+  "/root/repo/tests/core/test_extrapolation.cpp" "tests/CMakeFiles/test_core.dir/core/test_extrapolation.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_extrapolation.cpp.o.d"
+  "/root/repo/tests/core/test_metrics.cpp" "tests/CMakeFiles/test_core.dir/core/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_metrics.cpp.o.d"
+  "/root/repo/tests/core/test_noise_injector.cpp" "tests/CMakeFiles/test_core.dir/core/test_noise_injector.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_noise_injector.cpp.o.d"
+  "/root/repo/tests/core/test_normalization.cpp" "tests/CMakeFiles/test_core.dir/core/test_normalization.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_normalization.cpp.o.d"
+  "/root/repo/tests/core/test_onqc_trainer.cpp" "tests/CMakeFiles/test_core.dir/core/test_onqc_trainer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_onqc_trainer.cpp.o.d"
+  "/root/repo/tests/core/test_qnn.cpp" "tests/CMakeFiles/test_core.dir/core/test_qnn.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_qnn.cpp.o.d"
+  "/root/repo/tests/core/test_quantization.cpp" "tests/CMakeFiles/test_core.dir/core/test_quantization.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_quantization.cpp.o.d"
+  "/root/repo/tests/core/test_serialization.cpp" "tests/CMakeFiles/test_core.dir/core/test_serialization.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_serialization.cpp.o.d"
+  "/root/repo/tests/core/test_step_plans.cpp" "tests/CMakeFiles/test_core.dir/core/test_step_plans.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_step_plans.cpp.o.d"
+  "/root/repo/tests/core/test_theorem31.cpp" "tests/CMakeFiles/test_core.dir/core/test_theorem31.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_theorem31.cpp.o.d"
+  "/root/repo/tests/core/test_trainer.cpp" "tests/CMakeFiles/test_core.dir/core/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qnat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_grad.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

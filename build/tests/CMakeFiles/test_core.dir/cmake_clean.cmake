@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_design_space.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_design_space.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_encoder.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_encoder.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_evaluator.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_evaluator.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_extrapolation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_extrapolation.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_metrics.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_metrics.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_noise_injector.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_noise_injector.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_normalization.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_normalization.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_onqc_trainer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_onqc_trainer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_qnn.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_qnn.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_quantization.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_quantization.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_serialization.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_serialization.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_step_plans.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_step_plans.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_theorem31.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_theorem31.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_trainer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_trainer.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/data/test_dataset.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_dataset.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_preprocess.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_preprocess.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_synthetic.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_synthetic.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_tasks.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_tasks.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grad.dir/grad/test_adjoint.cpp.o"
+  "CMakeFiles/test_grad.dir/grad/test_adjoint.cpp.o.d"
+  "CMakeFiles/test_grad.dir/grad/test_parameter_shift.cpp.o"
+  "CMakeFiles/test_grad.dir/grad/test_parameter_shift.cpp.o.d"
+  "test_grad"
+  "test_grad.pdb"
+  "test_grad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

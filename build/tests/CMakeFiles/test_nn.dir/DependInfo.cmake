@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_losses.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_losses.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_losses.cpp.o.d"
+  "/root/repo/tests/nn/test_optimizer.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o.d"
+  "/root/repo/tests/nn/test_scheduler.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_scheduler.cpp.o.d"
+  "/root/repo/tests/nn/test_tensor.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qnat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_grad.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_losses.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_losses.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_scheduler.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_tensor.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/noise/test_channel_simulator.cpp" "tests/CMakeFiles/test_noise.dir/noise/test_channel_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_noise.dir/noise/test_channel_simulator.cpp.o.d"
+  "/root/repo/tests/noise/test_device_presets.cpp" "tests/CMakeFiles/test_noise.dir/noise/test_device_presets.cpp.o" "gcc" "tests/CMakeFiles/test_noise.dir/noise/test_device_presets.cpp.o.d"
+  "/root/repo/tests/noise/test_error_inserter.cpp" "tests/CMakeFiles/test_noise.dir/noise/test_error_inserter.cpp.o" "gcc" "tests/CMakeFiles/test_noise.dir/noise/test_error_inserter.cpp.o.d"
+  "/root/repo/tests/noise/test_noise_model.cpp" "tests/CMakeFiles/test_noise.dir/noise/test_noise_model.cpp.o" "gcc" "tests/CMakeFiles/test_noise.dir/noise/test_noise_model.cpp.o.d"
+  "/root/repo/tests/noise/test_pauli_channel.cpp" "tests/CMakeFiles/test_noise.dir/noise/test_pauli_channel.cpp.o" "gcc" "tests/CMakeFiles/test_noise.dir/noise/test_pauli_channel.cpp.o.d"
+  "/root/repo/tests/noise/test_readout_error.cpp" "tests/CMakeFiles/test_noise.dir/noise/test_readout_error.cpp.o" "gcc" "tests/CMakeFiles/test_noise.dir/noise/test_readout_error.cpp.o.d"
+  "/root/repo/tests/noise/test_twirling.cpp" "tests/CMakeFiles/test_noise.dir/noise/test_twirling.cpp.o" "gcc" "tests/CMakeFiles/test_noise.dir/noise/test_twirling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qnat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_grad.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

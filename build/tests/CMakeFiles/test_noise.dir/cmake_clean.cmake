@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise.dir/noise/test_channel_simulator.cpp.o"
+  "CMakeFiles/test_noise.dir/noise/test_channel_simulator.cpp.o.d"
+  "CMakeFiles/test_noise.dir/noise/test_device_presets.cpp.o"
+  "CMakeFiles/test_noise.dir/noise/test_device_presets.cpp.o.d"
+  "CMakeFiles/test_noise.dir/noise/test_error_inserter.cpp.o"
+  "CMakeFiles/test_noise.dir/noise/test_error_inserter.cpp.o.d"
+  "CMakeFiles/test_noise.dir/noise/test_noise_model.cpp.o"
+  "CMakeFiles/test_noise.dir/noise/test_noise_model.cpp.o.d"
+  "CMakeFiles/test_noise.dir/noise/test_pauli_channel.cpp.o"
+  "CMakeFiles/test_noise.dir/noise/test_pauli_channel.cpp.o.d"
+  "CMakeFiles/test_noise.dir/noise/test_readout_error.cpp.o"
+  "CMakeFiles/test_noise.dir/noise/test_readout_error.cpp.o.d"
+  "CMakeFiles/test_noise.dir/noise/test_twirling.cpp.o"
+  "CMakeFiles/test_noise.dir/noise/test_twirling.cpp.o.d"
+  "test_noise"
+  "test_noise.pdb"
+  "test_noise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

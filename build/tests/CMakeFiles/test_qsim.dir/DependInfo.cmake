@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/qsim/test_circuit.cpp" "tests/CMakeFiles/test_qsim.dir/qsim/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/test_qsim.dir/qsim/test_circuit.cpp.o.d"
+  "/root/repo/tests/qsim/test_density_matrix.cpp" "tests/CMakeFiles/test_qsim.dir/qsim/test_density_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_qsim.dir/qsim/test_density_matrix.cpp.o.d"
+  "/root/repo/tests/qsim/test_execution.cpp" "tests/CMakeFiles/test_qsim.dir/qsim/test_execution.cpp.o" "gcc" "tests/CMakeFiles/test_qsim.dir/qsim/test_execution.cpp.o.d"
+  "/root/repo/tests/qsim/test_gate.cpp" "tests/CMakeFiles/test_qsim.dir/qsim/test_gate.cpp.o" "gcc" "tests/CMakeFiles/test_qsim.dir/qsim/test_gate.cpp.o.d"
+  "/root/repo/tests/qsim/test_statevector.cpp" "tests/CMakeFiles/test_qsim.dir/qsim/test_statevector.cpp.o" "gcc" "tests/CMakeFiles/test_qsim.dir/qsim/test_statevector.cpp.o.d"
+  "/root/repo/tests/qsim/test_sv_dm_equivalence.cpp" "tests/CMakeFiles/test_qsim.dir/qsim/test_sv_dm_equivalence.cpp.o" "gcc" "tests/CMakeFiles/test_qsim.dir/qsim/test_sv_dm_equivalence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qnat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_grad.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qnat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

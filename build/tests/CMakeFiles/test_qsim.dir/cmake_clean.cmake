@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qsim.dir/qsim/test_circuit.cpp.o"
+  "CMakeFiles/test_qsim.dir/qsim/test_circuit.cpp.o.d"
+  "CMakeFiles/test_qsim.dir/qsim/test_density_matrix.cpp.o"
+  "CMakeFiles/test_qsim.dir/qsim/test_density_matrix.cpp.o.d"
+  "CMakeFiles/test_qsim.dir/qsim/test_execution.cpp.o"
+  "CMakeFiles/test_qsim.dir/qsim/test_execution.cpp.o.d"
+  "CMakeFiles/test_qsim.dir/qsim/test_gate.cpp.o"
+  "CMakeFiles/test_qsim.dir/qsim/test_gate.cpp.o.d"
+  "CMakeFiles/test_qsim.dir/qsim/test_statevector.cpp.o"
+  "CMakeFiles/test_qsim.dir/qsim/test_statevector.cpp.o.d"
+  "CMakeFiles/test_qsim.dir/qsim/test_sv_dm_equivalence.cpp.o"
+  "CMakeFiles/test_qsim.dir/qsim/test_sv_dm_equivalence.cpp.o.d"
+  "test_qsim"
+  "test_qsim.pdb"
+  "test_qsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
