@@ -1,7 +1,10 @@
 #include "bench_common.hpp"
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+
+#include "common/thread_pool.hpp"
 
 namespace qnat::bench {
 
@@ -26,6 +29,17 @@ RunScale scale_from_env() {
   scale.seed = static_cast<std::uint64_t>(
       env_int("QNAT_SEED", static_cast<int>(scale.seed)));
   return scale;
+}
+
+int configure_threads(int argc, char** argv) {
+  int requested = env_int("QNAT_THREADS", 0);
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      requested = std::atoi(argv[i + 1]);
+    }
+  }
+  if (requested >= 1) set_num_threads(requested);
+  return num_threads();
 }
 
 std::string method_label(Method method) {

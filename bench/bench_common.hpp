@@ -37,6 +37,13 @@ struct RunScale {
 /// QNAT_TRAJ, QNAT_SEED).
 RunScale scale_from_env();
 
+/// Resolves the worker-thread count for a bench run — `--threads N` on the
+/// command line, else the QNAT_THREADS environment variable, else the
+/// global pool's default (QNAT_NUM_THREADS / hardware_concurrency) — and
+/// applies it to the global pool. Returns the resolved count. Results are
+/// bit-identical at any thread count; only wall-clock changes.
+int configure_threads(int argc, char** argv);
+
 /// The paper's incremental method cascade (Table 1 rows).
 enum class Method { Baseline, PostNorm, GateInsert, PostQuant };
 

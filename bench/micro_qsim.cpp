@@ -3,7 +3,9 @@
 // difference gradient cost, error-gate insertion, and transpilation.
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.hpp"
 #include "compile/transpiler.hpp"
+#include "core/evaluator.hpp"
 #include "core/design_space.hpp"
 #include "grad/adjoint.hpp"
 #include "grad/finite_diff.hpp"
@@ -129,5 +131,57 @@ void BM_ShotSampling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ShotSampling);
+
+// --- parallel batch engine: serial vs parallel wall-clock ---
+// Results are bit-identical across Arg values (the thread count); only
+// time/iteration changes. On a single-core container every Arg reports
+// the same time — run on a multi-core host to see the scaling.
+
+Tensor2D random_batch(std::size_t batch, int features) {
+  Tensor2D inputs(batch, static_cast<std::size_t>(features));
+  Rng rng(5);
+  for (auto& v : inputs.data()) v = rng.uniform(0.0, kPi);
+  return inputs;
+}
+
+void BM_NoisyBatchForward(benchmark::State& state) {
+  set_num_threads(static_cast<int>(state.range(0)));
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 2;
+  arch.input_features = 16;
+  arch.num_classes = 4;
+  QnnModel model(arch);
+  Rng rng(3);
+  model.init_weights(rng);
+  const Deployment deployment(model, make_device_noise_model("yorktown"), 2);
+  const Tensor2D inputs = random_batch(16, arch.input_features);
+  QnnForwardOptions pipeline;
+  NoisyEvalOptions eval;
+  eval.mode = NoiseEvalMode::Trajectories;
+  eval.trajectories = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        qnn_forward_noisy(model, deployment, inputs, pipeline, eval));
+  }
+  set_num_threads(0);
+}
+BENCHMARK(BM_NoisyBatchForward)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_ParameterShiftParallel(benchmark::State& state) {
+  set_num_threads(static_cast<int>(state.range(0)));
+  Circuit c(6, 0);
+  append_trainable_layers(c, DesignSpace::U3CU3, 4);
+  const ParamVector p = params_for(c);
+  const std::vector<real> cotangent(6, 1.0);
+  const CircuitExecutor executor = make_ideal_executor();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        parameter_shift_gradient(c, p, cotangent, executor));
+  }
+  set_num_threads(0);
+}
+BENCHMARK(BM_ParameterShiftParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace

@@ -9,6 +9,7 @@
 // pipeline (which folds idle decoherence into the sampled channel set, so
 // matching injected-error rates map to smaller T than the paper's grid).
 // We run all cells at that selection.
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -28,12 +29,17 @@ struct ModelRow {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header(
       "Table 1: main results (method cascade per model/device/task)",
       "every stage adds accuracy on average; norm and injection give the "
       "largest gains; noisier devices start lower");
   const RunScale scale = scale_from_env();
+  const int threads = configure_threads(argc, argv);
+  std::cout << "threads: " << threads
+            << " (override with --threads N or QNAT_THREADS; results are "
+               "bit-identical at any count)\n\n";
+  const auto wall_start = std::chrono::steady_clock::now();
 
   const std::vector<std::string> small_tasks{"mnist4",  "fashion4", "vowel4",
                                              "mnist2",  "fashion2", "cifar2"};
@@ -55,6 +61,7 @@ int main() {
     TextTable table(header);
     std::vector<std::vector<real>> acc(
         4, std::vector<real>(row.tasks.size(), 0.0));
+    const auto row_start = std::chrono::steady_clock::now();
     for (std::size_t t = 0; t < row.tasks.size(); ++t) {
       BenchConfig config;
       config.task = row.tasks[t];
@@ -66,6 +73,10 @@ int main() {
             run_method(config, all_methods()[m], scale).noisy_accuracy;
       }
     }
+    const auto row_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      row_start)
+            .count();
     for (std::size_t m = 0; m < all_methods().size(); ++m) {
       std::vector<std::string> cells{method_label(all_methods()[m])};
       for (std::size_t t = 0; t < row.tasks.size(); ++t) {
@@ -75,7 +86,10 @@ int main() {
       table.add_row(cells);
     }
     cascade_count += static_cast<int>(row.tasks.size());
-    std::cout << table.render() << "\n";
+    std::cout << table.render();
+    std::cout << "[" << row.label << "] wall clock: "
+              << fmt_fixed(static_cast<real>(row_seconds), 1) << " s at "
+              << threads << " thread(s)\n\n";
   }
 
   TextTable avg({"method", "AvgAll"});
@@ -84,5 +98,12 @@ int main() {
                  fmt_fixed(cascade_sum[m] / cascade_count, 2)});
   }
   std::cout << avg.render();
+  const auto total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  std::cout << "\ntotal wall clock: "
+            << fmt_fixed(static_cast<real>(total_seconds), 1) << " s at "
+            << threads << " thread(s)\n";
   return 0;
 }

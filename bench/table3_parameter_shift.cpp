@@ -37,9 +37,9 @@ real train_and_eval(const std::string& device, bool noise_aware,
   const Circuit logical = table3_circuit();
   const TranspileResult compiled = transpile(logical, noise, 2);
 
-  Rng traj_rng(scale.seed * 31 + (noise_aware ? 1 : 0));
+  const std::uint64_t traj_seed = scale.seed * 31 + (noise_aware ? 1 : 0);
   const CircuitExecutor noisy_device = make_noisy_device_executor(
-      noise, compiled.final_layout, 2, scale.trajectories, traj_rng);
+      noise, compiled.final_layout, 2, scale.trajectories, traj_seed);
 
   // The baseline trains classically on the logical circuit; noise-aware
   // training runs parameter shifts through the noisy device on the

@@ -183,6 +183,12 @@ bench/CMakeFiles/bench_micro_qsim.dir/micro_qsim.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /root/repo/src/common/thread_pool.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /root/repo/src/compile/transpiler.hpp /root/repo/src/compile/passes.hpp \
  /root/repo/src/qsim/circuit.hpp /root/repo/src/qsim/gate.hpp \
  /root/repo/src/common/matrix.hpp /root/repo/src/common/types.hpp \
@@ -226,20 +232,17 @@ bench/CMakeFiles/bench_micro_qsim.dir/micro_qsim.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/compile/routing.hpp \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/noise/noise_model.hpp \
+ /usr/include/c++/12/optional /root/repo/src/noise/noise_model.hpp \
  /root/repo/src/noise/pauli_channel.hpp \
  /root/repo/src/qsim/pauli_channel.hpp /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/noise/readout_error.hpp \
- /root/repo/src/core/design_space.hpp /root/repo/src/grad/adjoint.hpp \
- /root/repo/src/qsim/statevector.hpp /root/repo/src/grad/finite_diff.hpp \
- /root/repo/src/grad/parameter_shift.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/span /root/repo/src/noise/readout_error.hpp \
+ /root/repo/src/core/evaluator.hpp /root/repo/src/core/qnn.hpp \
+ /root/repo/src/core/design_space.hpp \
+ /root/repo/src/core/normalization.hpp /root/repo/src/nn/tensor.hpp \
+ /root/repo/src/core/quantization.hpp /root/repo/src/data/dataset.hpp \
+ /root/repo/src/grad/adjoint.hpp /root/repo/src/qsim/statevector.hpp \
+ /root/repo/src/grad/finite_diff.hpp \
+ /root/repo/src/grad/parameter_shift.hpp \
  /root/repo/src/noise/device_presets.hpp \
  /root/repo/src/noise/error_inserter.hpp \
  /root/repo/src/qsim/execution.hpp

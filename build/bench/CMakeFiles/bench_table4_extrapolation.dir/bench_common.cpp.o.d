@@ -218,4 +218,5 @@ bench/CMakeFiles/bench_table4_extrapolation.dir/bench_common.cpp.o: \
  /root/repo/src/core/quantization.hpp /root/repo/src/data/dataset.hpp \
  /root/repo/src/nn/optimizer.hpp /root/repo/src/nn/scheduler.hpp \
  /root/repo/src/data/tasks.hpp /root/repo/src/noise/device_presets.hpp \
- /usr/include/c++/12/iostream
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/iostream /root/repo/src/common/thread_pool.hpp

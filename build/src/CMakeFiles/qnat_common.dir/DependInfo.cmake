@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/matrix.cpp" "src/CMakeFiles/qnat_common.dir/common/matrix.cpp.o" "gcc" "src/CMakeFiles/qnat_common.dir/common/matrix.cpp.o.d"
   "/root/repo/src/common/rng.cpp" "src/CMakeFiles/qnat_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/qnat_common.dir/common/rng.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/CMakeFiles/qnat_common.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/qnat_common.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/qnat_common.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/qnat_common.dir/common/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

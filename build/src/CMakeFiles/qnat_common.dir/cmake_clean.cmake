@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/qnat_common.dir/common/rng.cpp.o.d"
   "CMakeFiles/qnat_common.dir/common/table.cpp.o"
   "CMakeFiles/qnat_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/qnat_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/qnat_common.dir/common/thread_pool.cpp.o.d"
   "libqnat_common.a"
   "libqnat_common.pdb"
 )

@@ -215,7 +215,9 @@ src/CMakeFiles/qnat_core.dir/core/onqc_trainer.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/common/error.hpp /root/repo/src/nn/losses.hpp \
- /root/repo/src/nn/scheduler.hpp /root/repo/src/noise/error_inserter.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/common/error.hpp /root/repo/src/common/thread_pool.hpp \
+ /root/repo/src/nn/losses.hpp /root/repo/src/nn/scheduler.hpp \
+ /root/repo/src/noise/error_inserter.hpp \
  /root/repo/src/qsim/execution.hpp /root/repo/src/qsim/statevector.hpp

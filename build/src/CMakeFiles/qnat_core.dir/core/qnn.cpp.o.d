@@ -203,5 +203,6 @@ src/CMakeFiles/qnat_core.dir/core/qnn.cpp.o: /root/repo/src/core/qnn.cpp \
  /root/repo/src/qsim/gate.hpp /root/repo/src/common/matrix.hpp \
  /root/repo/src/core/normalization.hpp /root/repo/src/nn/tensor.hpp \
  /root/repo/src/core/quantization.hpp /root/repo/src/common/error.hpp \
- /root/repo/src/core/encoder.hpp /root/repo/src/grad/adjoint.hpp \
- /root/repo/src/qsim/statevector.hpp /root/repo/src/qsim/execution.hpp
+ /root/repo/src/common/thread_pool.hpp /root/repo/src/core/encoder.hpp \
+ /root/repo/src/grad/adjoint.hpp /root/repo/src/qsim/statevector.hpp \
+ /root/repo/src/qsim/execution.hpp

@@ -1,7 +1,8 @@
 src/CMakeFiles/qnat_qsim.dir/qsim/statevector.cpp.o: \
  /root/repo/src/qsim/statevector.cpp /usr/include/stdc-predef.h \
- /root/repo/src/qsim/statevector.hpp /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_algobase.h \
+ /root/repo/src/qsim/statevector.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/compare \
+ /usr/include/c++/12/concepts /usr/include/c++/12/type_traits \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -13,14 +14,15 @@ src/CMakeFiles/qnat_qsim.dir/qsim/statevector.cpp.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
  /usr/include/c++/12/pstl/pstl_config.h \
+ /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
+ /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/c++/12/bits/cpp_type_traits.h \
  /usr/include/c++/12/ext/type_traits.h \
  /usr/include/c++/12/ext/numeric_traits.h \
- /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/type_traits \
- /usr/include/c++/12/bits/move.h /usr/include/c++/12/bits/utility.h \
- /usr/include/c++/12/compare /usr/include/c++/12/concepts \
+ /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/bits/move.h \
+ /usr/include/c++/12/bits/utility.h \
  /usr/include/c++/12/bits/stl_iterator_base_types.h \
  /usr/include/c++/12/bits/iterator_concepts.h \
  /usr/include/c++/12/bits/ptr_traits.h \
@@ -33,7 +35,11 @@ src/CMakeFiles/qnat_qsim.dir/qsim/statevector.cpp.o: \
  /usr/include/c++/12/bits/stl_construct.h \
  /usr/include/c++/12/debug/debug.h \
  /usr/include/c++/12/bits/predefined_ops.h \
- /usr/include/c++/12/bits/allocator.h \
+ /usr/include/c++/12/bits/range_access.h /usr/include/c++/12/cstddef \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
+ /usr/include/c++/12/bits/ranges_base.h \
+ /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/allocator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
  /usr/include/c++/12/bits/new_allocator.h \
  /usr/include/c++/12/bits/memoryfwd.h \
@@ -41,14 +47,12 @@ src/CMakeFiles/qnat_qsim.dir/qsim/statevector.cpp.o: \
  /usr/include/c++/12/ext/alloc_traits.h \
  /usr/include/c++/12/bits/alloc_traits.h \
  /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/functional_hash.h \
  /usr/include/c++/12/bits/hash_bytes.h /usr/include/c++/12/bits/refwrap.h \
  /usr/include/c++/12/bits/invoke.h \
  /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/backward/binders.h \
- /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/matrix.hpp \
  /root/repo/src/common/types.hpp /usr/include/c++/12/complex \
  /usr/include/c++/12/cmath /usr/include/math.h \
@@ -68,7 +72,6 @@ src/CMakeFiles/qnat_qsim.dir/qsim/statevector.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
  /usr/include/c++/12/bits/std_abs.h /usr/include/stdlib.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/include/x86_64-linux-gnu/bits/waitflags.h \
  /usr/include/x86_64-linux-gnu/bits/waitstatus.h \
  /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
@@ -151,8 +154,6 @@ src/CMakeFiles/qnat_qsim.dir/qsim/statevector.cpp.o: \
  /usr/include/c++/12/bits/ostream_insert.h \
  /usr/include/c++/12/bits/cxxabi_forced.h \
  /usr/include/c++/12/bits/basic_string.h /usr/include/c++/12/string_view \
- /usr/include/c++/12/bits/ranges_base.h \
- /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
  /usr/include/c++/12/bits/string_view.tcc \
  /usr/include/c++/12/ext/string_conversions.h /usr/include/c++/12/cstdlib \
  /usr/include/c++/12/cstdio /usr/include/stdio.h \
@@ -184,9 +185,8 @@ src/CMakeFiles/qnat_qsim.dir/qsim/statevector.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/qsim/gate.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/qsim/gate.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \

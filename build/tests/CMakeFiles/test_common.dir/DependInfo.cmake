@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common/test_matrix.cpp" "tests/CMakeFiles/test_common.dir/common/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_matrix.cpp.o.d"
   "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
   "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

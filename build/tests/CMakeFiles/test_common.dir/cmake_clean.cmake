@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
   "CMakeFiles/test_common.dir/common/test_table.cpp.o"
   "CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_thread_pool.cpp.o.d"
   "test_common"
   "test_common.pdb"
   "test_common[1]_tests.cmake"

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/grad/test_adjoint.cpp" "tests/CMakeFiles/test_grad.dir/grad/test_adjoint.cpp.o" "gcc" "tests/CMakeFiles/test_grad.dir/grad/test_adjoint.cpp.o.d"
+  "/root/repo/tests/grad/test_gradient_crosscheck.cpp" "tests/CMakeFiles/test_grad.dir/grad/test_gradient_crosscheck.cpp.o" "gcc" "tests/CMakeFiles/test_grad.dir/grad/test_gradient_crosscheck.cpp.o.d"
   "/root/repo/tests/grad/test_parameter_shift.cpp" "tests/CMakeFiles/test_grad.dir/grad/test_parameter_shift.cpp.o" "gcc" "tests/CMakeFiles/test_grad.dir/grad/test_parameter_shift.cpp.o.d"
   )
 

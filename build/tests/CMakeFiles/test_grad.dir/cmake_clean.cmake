@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_grad.dir/grad/test_adjoint.cpp.o"
   "CMakeFiles/test_grad.dir/grad/test_adjoint.cpp.o.d"
+  "CMakeFiles/test_grad.dir/grad/test_gradient_crosscheck.cpp.o"
+  "CMakeFiles/test_grad.dir/grad/test_gradient_crosscheck.cpp.o.d"
   "CMakeFiles/test_grad.dir/grad/test_parameter_shift.cpp.o"
   "CMakeFiles/test_grad.dir/grad/test_parameter_shift.cpp.o.d"
   "test_grad"

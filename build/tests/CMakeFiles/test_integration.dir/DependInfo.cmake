@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_parallel_determinism.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_parallel_determinism.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_parallel_determinism.cpp.o.d"
   "/root/repo/tests/integration/test_pipeline.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_pipeline.cpp.o.d"
   "/root/repo/tests/integration/test_training.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_training.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_training.cpp.o.d"
   )

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_parallel_determinism.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_parallel_determinism.cpp.o.d"
   "CMakeFiles/test_integration.dir/integration/test_pipeline.cpp.o"
   "CMakeFiles/test_integration.dir/integration/test_pipeline.cpp.o.d"
   "CMakeFiles/test_integration.dir/integration/test_training.cpp.o"

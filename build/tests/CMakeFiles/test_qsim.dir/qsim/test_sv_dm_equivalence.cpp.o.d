@@ -294,11 +294,8 @@ tests/CMakeFiles/test_qsim.dir/qsim/test_sv_dm_equivalence.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/qsim/density_matrix.hpp \
- /root/repo/src/qsim/pauli_channel.hpp /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/span /root/repo/src/common/types.hpp \
- /usr/include/c++/12/complex /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -318,6 +315,10 @@ tests/CMakeFiles/test_qsim.dir/qsim/test_sv_dm_equivalence.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/qsim/gate.hpp \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/qsim/density_matrix.hpp \
+ /root/repo/src/qsim/pauli_channel.hpp /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/span /root/repo/src/common/types.hpp \
+ /usr/include/c++/12/complex /root/repo/src/qsim/gate.hpp \
  /root/repo/src/common/matrix.hpp /root/repo/src/qsim/statevector.hpp \
  /root/repo/src/qsim/execution.hpp /root/repo/src/qsim/circuit.hpp

@@ -45,9 +45,8 @@ int main() {
             << parameter_shift_num_evaluations(compiled.circuit)
             << " device evaluations per per-sample gradient\n";
 
-  Rng rng(17);
   const CircuitExecutor noisy_device = make_noisy_device_executor(
-      device, compiled.final_layout, 2, /*trajectories=*/8, rng);
+      device, compiled.final_layout, 2, /*trajectories=*/8, /*seed=*/17);
 
   OnDeviceTrainConfig config;
   config.epochs = 25;

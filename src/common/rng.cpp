@@ -21,6 +21,14 @@ std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
 
+// Stateless splitmix64 finalizer (no counter increment): the avalanche
+// mixer used to fold state words and stream indices into a child seed.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -112,5 +120,17 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 }
 
 Rng Rng::fork() { return Rng(next_u64()); }
+
+Rng Rng::child(std::uint64_t stream) const {
+  // Chain the four state words and the stream index through the splitmix
+  // finalizer; every input bit avalanches into the child seed, so
+  // children of different streams (and of parents in different states)
+  // are decorrelated.
+  std::uint64_t acc = 0x243F6A8885A308D3ULL;  // fractional bits of pi
+  for (const std::uint64_t s : s_) acc = mix64(acc ^ s);
+  acc = mix64(acc ^ stream);
+  acc = mix64(acc + 0x9E3779B97F4A7C15ULL * stream);
+  return Rng(acc);
+}
 
 }  // namespace qnat

@@ -52,7 +52,16 @@ class Rng {
   std::vector<std::size_t> permutation(std::size_t n);
 
   /// Derives an independent child generator (for per-worker streams).
+  /// Advances this generator's state, so successive forks differ.
   Rng fork();
+
+  /// Counter-based child stream: derives an independent generator from
+  /// this generator's *current state* and the stream index, without
+  /// advancing this generator. The parallel engine keys streams by work
+  /// item (`base.child(block).child(sample).child(trajectory)`), so the
+  /// draws each item sees are a pure function of (seed, item index) —
+  /// identical for any thread count and any execution order.
+  Rng child(std::uint64_t stream) const;
 
  private:
   std::uint64_t s_[4];

@@ -1,0 +1,192 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qnat {
+
+namespace {
+
+/// Set while the current thread executes inside a pool worker; nested
+/// parallel regions detect it and run inline.
+thread_local bool t_inside_parallel_region = false;
+
+int auto_num_threads() {
+  if (const char* env = std::getenv("QNAT_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  /// One parallel region. Workers pull disjoint chunks off `next` until
+  /// the range drains; the last participant out signals completion.
+  struct Job {
+    std::size_t n = 0;
+    std::size_t chunk = 1;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> in_flight{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  std::vector<std::thread> workers;
+  std::mutex mutex;
+  std::condition_variable wake;
+  std::condition_variable done;
+  std::shared_ptr<Job> job;     // non-null while a region is running
+  std::uint64_t generation = 0; // bumped per submitted region
+  bool stop = false;
+  std::mutex submit_mutex;      // serializes top-level regions
+
+  void run_chunks(Job& j) {
+    t_inside_parallel_region = true;
+    for (;;) {
+      const std::size_t begin = j.next.fetch_add(j.chunk);
+      if (begin >= j.n) break;
+      const std::size_t end = std::min(begin + j.chunk, j.n);
+      try {
+        (*j.body)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(j.error_mutex);
+        if (!j.error) j.error = std::current_exception();
+        j.next.store(j.n);  // drain remaining work
+      }
+    }
+    t_inside_parallel_region = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> current;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        wake.wait(lock, [&] { return stop || (job && generation != seen); });
+        if (stop) return;
+        seen = generation;
+        current = job;
+        current->in_flight.fetch_add(1);
+      }
+      run_chunks(*current);
+      if (current->in_flight.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : impl_(new Impl), num_threads_(num_threads < 1 ? 1 : num_threads) {
+  for (int t = 1; t < num_threads_; ++t) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->wake.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  // Serial fast paths: one thread, trivially small ranges, or a nested
+  // region (a worker would deadlock waiting on its own pool).
+  if (num_threads_ == 1 || n == 1 || t_inside_parallel_region) {
+    body(0, n);
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
+  auto job = std::make_shared<Impl::Job>();
+  job->n = n;
+  // ~4 chunks per thread for load balance without contention.
+  const std::size_t target =
+      static_cast<std::size_t>(num_threads_) * 4;
+  job->chunk = n < target ? 1 : n / target;
+  job->body = &body;
+  job->in_flight.fetch_add(1);  // the submitting thread participates
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = job;
+    ++impl_->generation;
+  }
+  impl_->wake.notify_all();
+  impl_->run_chunks(*job);
+  if (job->in_flight.fetch_sub(1) > 1) {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done.wait(lock, [&] { return job->in_flight.load() == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_requested_threads = 0;  // 0 = automatic
+
+ThreadPool& locked_global() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const int want =
+      g_requested_threads >= 1 ? g_requested_threads : auto_num_threads();
+  if (!g_pool || g_pool->num_threads() != want) {
+    g_pool = std::make_unique<ThreadPool>(want);
+  }
+  return *g_pool;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() { return locked_global(); }
+
+int num_threads() { return ThreadPool::global().num_threads(); }
+
+void set_num_threads(int n) {
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_requested_threads = n < 1 ? 0 : n;
+  }
+  locked_global();  // rebuild eagerly so the next region uses it
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  ThreadPool::global().parallel_for(n, body);
+}
+
+void parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool::global().parallel_for_chunks(n, body);
+}
+
+}  // namespace qnat

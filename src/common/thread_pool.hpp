@@ -1,0 +1,73 @@
+// Fixed-size worker pool with deterministic parallel-for.
+//
+// The batch engine parallelizes over *independent* work items (samples,
+// trajectories, shifted-parameter evaluations); every item writes its own
+// output slot and any randomness comes from counter-based `Rng::child`
+// streams keyed by the item index, never from a shared generator. Under
+// that discipline the result of a parallel region is a pure function of
+// its inputs — bit-identical for any thread count, including 1.
+//
+// Thread count resolution (first use of the global pool):
+//   1. `set_num_threads(n)` API, if called;
+//   2. `QNAT_NUM_THREADS` environment variable;
+//   3. `std::thread::hardware_concurrency()`.
+//
+// Nested `parallel_for` calls (a worker reaching another parallel region)
+// run inline on the calling worker, so nesting is safe and deadlock-free.
+// Exceptions thrown by the body are captured and the first one is
+// rethrown on the submitting thread after the region drains.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace qnat {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the submitting thread is the
+  /// remaining participant). `num_threads < 1` is clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(i) for every i in [0, n); blocks until all complete.
+  /// Rethrows the first exception a body raised.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Chunked variant: body(begin, end) over disjoint index ranges that
+  /// cover [0, n). Lets the body hoist per-chunk scratch (e.g. one circuit
+  /// copy per chunk instead of per index).
+  void parallel_for_chunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Process-wide pool used by the free functions below.
+  static ThreadPool& global();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int num_threads_;
+};
+
+/// Thread count of the global pool.
+int num_threads();
+
+/// Resizes the global pool. `n < 1` restores the automatic choice
+/// (QNAT_NUM_THREADS, else hardware_concurrency). Not safe to call while
+/// a parallel region is running.
+void set_num_threads(int n);
+
+/// parallel_for / parallel_for_chunks over the global pool.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+void parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace qnat

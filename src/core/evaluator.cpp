@@ -1,6 +1,7 @@
 #include "core/evaluator.hpp"
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/losses.hpp"
 #include "noise/channel_simulator.hpp"
 #include "noise/error_inserter.hpp"
@@ -131,7 +132,11 @@ Tensor2D qnn_forward_noisy(const QnnModel& model, const Deployment& deployment,
                            QnnForwardCache* cache) {
   QNAT_CHECK(eval_options.trajectories > 0, "need at least one trajectory");
   const int nq = model.architecture().num_qubits;
-  Rng rng(eval_options.seed);
+  // Counter-based stream discipline: every (block, sample, trajectory)
+  // derives its own child generator from the seed, so the runner is
+  // thread-safe and the result does not depend on thread count or on the
+  // order the engine visits samples.
+  const Rng stream_base(eval_options.seed);
   const auto& circuits = deployment.compact_circuits();
   const auto& measure = deployment.compact_measure_wires();
 
@@ -162,7 +167,7 @@ Tensor2D qnn_forward_noisy(const QnnModel& model, const Deployment& deployment,
   const std::vector<real> flip01 = scaled_noise.readout_flip_probs_0to1();
   const std::vector<real> flip10 = scaled_noise.readout_flip_probs_1to0();
 
-  const BlockRunner runner = [&](std::size_t b, std::size_t /*sample*/,
+  const BlockRunner runner = [&](std::size_t b, std::size_t sample,
                                  const ParamVector& params) -> std::vector<real> {
     const NoiseEvalMode mode = block_mode(b);
     std::vector<real> out(static_cast<std::size_t>(nq), 0.0);
@@ -180,23 +185,33 @@ Tensor2D qnn_forward_noisy(const QnnModel& model, const Deployment& deployment,
       return out;
     }
 
-    for (int t = 0; t < eval_options.trajectories; ++t) {
+    // Trajectories are independent: each draws from its own child stream
+    // and writes its own slot, then the mean reduces in trajectory order
+    // (bit-identical for any thread count). When the batch already fills
+    // the pool this inner region runs inline on the worker.
+    const Rng sample_base = stream_base.child(b).child(sample);
+    const auto num_traj = static_cast<std::size_t>(eval_options.trajectories);
+    std::vector<std::vector<real>> per_traj(num_traj);
+    if (mode == NoiseEvalMode::Shots) {
+      QNAT_CHECK(eval_options.shots_per_trajectory > 0,
+                 "shot mode requires shots_per_trajectory > 0");
+    }
+    parallel_for(num_traj, [&](std::size_t t) {
+      Rng traj_rng = sample_base.child(t);
       const Circuit noisy =
-          insert_error_gates(circuits[b], scaled_noise, 1.0, rng);
-      std::vector<real> wire_exp;
+          insert_error_gates(circuits[b], scaled_noise, 1.0, traj_rng);
       if (mode == NoiseEvalMode::Shots) {
-        QNAT_CHECK(eval_options.shots_per_trajectory > 0,
-                   "shot mode requires shots_per_trajectory > 0");
-        wire_exp = measure_expectations_shots(
-            noisy, params, rng, eval_options.shots_per_trajectory, flip01,
-            flip10);
+        per_traj[t] = measure_expectations_shots(
+            noisy, params, traj_rng, eval_options.shots_per_trajectory,
+            flip01, flip10);
       } else {
-        wire_exp = measure_expectations(noisy, params);
+        per_traj[t] = measure_expectations(noisy, params);
       }
+    });
+    for (const auto& wire_exp : per_traj) {
       for (int q = 0; q < nq; ++q) {
         const auto qi = static_cast<std::size_t>(q);
-        out[qi] += wire_exp[static_cast<std::size_t>(
-            measure[b][qi])];
+        out[qi] += wire_exp[static_cast<std::size_t>(measure[b][qi])];
       }
     }
     for (auto& m : out) m /= eval_options.trajectories;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace qnat {
 
@@ -61,32 +62,45 @@ StepPlans NoiseInjector::step_plans(const QnnModel& model,
 
   switch (config_.method) {
     case InjectionMethod::GateInsertion: {
-      // Pre-size the storage so plan pointers stay valid.
+      // Realizations sample independently from per-realization child
+      // streams (forking once so successive steps draw fresh noise), then
+      // splice into `storage` in realization order so plan pointers and
+      // results are identical at any thread count.
+      const Rng base = rng.fork();
+      std::vector<std::vector<BlockExecutionPlan>> plan_sets(realizations);
+      std::vector<std::vector<Circuit>> realized(realizations);
+      parallel_for(realizations, [&](std::size_t s) {
+        Rng realization_rng = base.child(s);
+        plan_sets[s] = deployment_->injected_plans(
+            config_.noise_factor, config_.readout, realization_rng,
+            realized[s]);
+      });
       storage.clear();
       storage.reserve(realizations * num_blocks);
       StepPlans plans;
       for (std::size_t s = 0; s < realizations; ++s) {
-        std::vector<Circuit> step_storage;
-        std::vector<BlockExecutionPlan> plan_set =
-            deployment_->injected_plans(config_.noise_factor, config_.readout,
-                                        rng, step_storage);
         for (std::size_t b = 0; b < num_blocks; ++b) {
-          storage.push_back(std::move(step_storage[b]));
-          plan_set[b].circuit = &storage.back();
+          storage.push_back(std::move(realized[s][b]));
+          plan_sets[s][b].circuit = &storage.back();
         }
-        plans.per_sample.push_back(std::move(plan_set));
+        plans.per_sample.push_back(std::move(plan_sets[s]));
       }
       return plans;
     }
     case InjectionMethod::AnglePerturbation: {
+      const Rng base = rng.fork();
+      std::vector<std::vector<Circuit>> realized(realizations);
+      parallel_for(realizations, [&](std::size_t s) {
+        Rng realization_rng = base.child(s);
+        realized[s] = perturb_angles(model, config_.angle_std,
+                                     realization_rng);
+      });
       storage.clear();
       storage.reserve(realizations * num_blocks);
       StepPlans plans;
       for (std::size_t s = 0; s < realizations; ++s) {
-        std::vector<Circuit> perturbed =
-            perturb_angles(model, config_.angle_std, rng);
         const std::size_t first = storage.size();
-        for (auto& c : perturbed) storage.push_back(std::move(c));
+        for (auto& c : realized[s]) storage.push_back(std::move(c));
         std::vector<BlockExecutionPlan> plan_set = make_logical_plans(model);
         for (std::size_t b = 0; b < num_blocks; ++b) {
           plan_set[b].circuit = &storage[first + b];

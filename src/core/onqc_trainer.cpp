@@ -1,8 +1,10 @@
 #include "core/onqc_trainer.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/losses.hpp"
 #include "nn/scheduler.hpp"
 #include "noise/error_inserter.hpp"
@@ -57,15 +59,19 @@ OnDeviceTrainResult train_on_device(const Circuit& circuit, int num_inputs,
 
   OnDeviceTrainResult result;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    real loss = 0.0;
-    ParamVector grad(num_weights, 0.0);
-    for (std::size_t r = 0; r < train.size(); ++r) {
+    // Per-sample forward + parameter-shift sweeps are independent; fan
+    // them out into per-sample slots and reduce serially in sample order
+    // so the epoch gradient is bit-identical at any thread count. (The
+    // shift-level parallelism inside parameter_shift_gradient runs inline
+    // once the samples already fill the pool.)
+    std::vector<real> sample_loss(train.size(), 0.0);
+    std::vector<ParamVector> sample_grad(train.size());
+    parallel_for(train.size(), [&](std::size_t r) {
       const ParamVector params = bind_sample(train, r, weights);
       const auto expectations = executor(circuit, params);
-      ++result.device_evaluations;
       const Tensor2D logits = logits_row(expectations, train.num_classes);
       const std::vector<int> label{train.labels[r]};
-      loss += cross_entropy_loss(logits, label);
+      sample_loss[r] = cross_entropy_loss(logits, label);
       const Tensor2D grad_logits = cross_entropy_grad(logits, label);
       std::vector<real> cotangent(
           static_cast<std::size_t>(circuit.num_qubits()), 0.0);
@@ -73,11 +79,18 @@ OnDeviceTrainResult train_on_device(const Circuit& circuit, int num_inputs,
         cotangent[static_cast<std::size_t>(c)] =
             grad_logits(0, static_cast<std::size_t>(c));
       }
-      const ParamVector g =
+      sample_grad[r] =
           parameter_shift_gradient(circuit, params, cotangent, executor);
-      result.device_evaluations += parameter_shift_num_evaluations(circuit);
+    });
+    result.device_evaluations +=
+        static_cast<long>(train.size()) *
+        (1 + parameter_shift_num_evaluations(circuit));
+    real loss = 0.0;
+    ParamVector grad(num_weights, 0.0);
+    for (std::size_t r = 0; r < train.size(); ++r) {
+      loss += sample_loss[r];
       for (std::size_t w = 0; w < num_weights; ++w) {
-        grad[w] += g[static_cast<std::size_t>(num_inputs) + w];
+        grad[w] += sample_grad[r][static_cast<std::size_t>(num_inputs) + w];
       }
     }
     const auto n = static_cast<real>(train.size());
@@ -90,16 +103,29 @@ OnDeviceTrainResult train_on_device(const Circuit& circuit, int num_inputs,
 
 CircuitExecutor make_noisy_device_executor(
     const NoiseModel& noise, const std::vector<QubitIndex>& final_layout,
-    int num_logical, int trajectories, Rng& rng) {
+    int num_logical, int trajectories, std::uint64_t seed) {
   QNAT_CHECK(trajectories > 0, "need at least one trajectory");
   QNAT_CHECK(static_cast<int>(final_layout.size()) >= num_logical,
              "layout must cover every logical qubit");
-  return [&noise, final_layout, num_logical, trajectories, &rng](
+  return [&noise, final_layout, num_logical, trajectories, seed](
              const Circuit& circuit,
              const ParamVector& params) -> std::vector<real> {
+    // Stateless noise derivation: the call's trajectories are a pure
+    // function of (seed, circuit, params), so concurrent calls from the
+    // parameter-shift engine never race on a shared generator and results
+    // are independent of evaluation order.
+    std::uint64_t param_hash = circuit.fingerprint();
+    for (const real p : params) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &p, sizeof(bits));
+      param_hash = (param_hash ^ bits) * 0x9E3779B97F4A7C15ULL;
+      param_hash ^= param_hash >> 29;
+    }
+    const Rng call_base = Rng(seed).child(param_hash);
     std::vector<real> mean(static_cast<std::size_t>(num_logical), 0.0);
     for (int t = 0; t < trajectories; ++t) {
-      const Circuit noisy = insert_error_gates(circuit, noise, 1.0, rng);
+      Rng traj_rng = call_base.child(static_cast<std::uint64_t>(t));
+      const Circuit noisy = insert_error_gates(circuit, noise, 1.0, traj_rng);
       const auto wires = measure_expectations(noisy, params);
       for (int q = 0; q < num_logical; ++q) {
         mean[static_cast<std::size_t>(q)] += wires[static_cast<std::size_t>(

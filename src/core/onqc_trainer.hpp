@@ -62,10 +62,15 @@ real on_device_accuracy(const Circuit& circuit, int num_inputs,
 /// under `trajectories` freshly-sampled Pauli/idle/coherent realizations
 /// of `noise`, averages, applies each measured wire's readout map, and
 /// returns expectations in *logical* order via `final_layout` (entry q =
-/// the wire carrying logical qubit q). `noise` and `rng` must outlive the
-/// executor.
+/// the wire carrying logical qubit q). `noise` must outlive the executor.
+///
+/// The executor is stateless and thread-safe: each call derives its noise
+/// realizations from (seed, Circuit::fingerprint, params), so it honors
+/// the CircuitExecutor purity contract — identical calls see identical
+/// trajectories and the parameter-shift engine may fan calls out across
+/// threads with thread-count-invariant results.
 CircuitExecutor make_noisy_device_executor(
     const NoiseModel& noise, const std::vector<QubitIndex>& final_layout,
-    int num_logical, int trajectories, Rng& rng);
+    int num_logical, int trajectories, std::uint64_t seed);
 
 }  // namespace qnat

@@ -1,6 +1,7 @@
 #include "core/qnn.hpp"
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "core/encoder.hpp"
 #include "grad/adjoint.hpp"
 #include "qsim/execution.hpp"
@@ -221,12 +222,15 @@ Tensor2D qnn_forward_with_runner(const QnnModel& model,
     const auto& block = model.blocks()[b];
     cc.inputs.push_back(current);
 
+    // Samples are independent: every row writes its own slot and the
+    // runner is required to be thread-safe, so the batch fans out over
+    // the worker pool with bit-identical results at any thread count.
     Tensor2D raw(batch, static_cast<std::size_t>(nq));
-    for (std::size_t r = 0; r < batch; ++r) {
+    parallel_for(batch, [&](std::size_t r) {
       const ParamVector params = bind_params(
           current, r, model.weights(), block.weight_offset, block.num_weights);
       raw.set_row(r, runner(b, r, params));
-    }
+    });
     cc.raw.push_back(raw);
 
     const bool is_last = b + 1 == model.blocks().size();
@@ -346,8 +350,12 @@ ParamVector qnn_backward(const QnnModel& model, const Tensor2D& grad_logits,
     }
 
     // Adjoint sweep per sample: weights gradient + encoder-input gradient.
+    // The sweeps run in parallel into per-sample buffers; the weight
+    // gradient is then reduced serially in sample order, so the floating-
+    // point sum is bit-identical to the serial loop at any thread count.
     Tensor2D grad_inputs(batch, static_cast<std::size_t>(block.num_inputs));
-    for (std::size_t r = 0; r < batch; ++r) {
+    std::vector<ParamVector> sample_weight_grad(batch);
+    parallel_for(batch, [&](std::size_t r) {
       const auto& plan = plans.for_sample(r)[b];
       const int circuit_qubits = plan.circuit->num_qubits();
       std::vector<real> cotangent(static_cast<std::size_t>(circuit_qubits),
@@ -366,9 +374,14 @@ ParamVector qnn_backward(const QnnModel& model, const Tensor2D& grad_logits,
         grad_inputs(r, static_cast<std::size_t>(i)) =
             adjoint.gradient[static_cast<std::size_t>(i)];
       }
+      sample_weight_grad[r].assign(
+          adjoint.gradient.begin() + block.num_inputs,
+          adjoint.gradient.begin() + block.num_inputs + block.num_weights);
+    });
+    for (std::size_t r = 0; r < batch; ++r) {
       for (int w = 0; w < block.num_weights; ++w) {
         weight_grad[static_cast<std::size_t>(block.weight_offset + w)] +=
-            adjoint.gradient[static_cast<std::size_t>(block.num_inputs + w)];
+            sample_weight_grad[r][static_cast<std::size_t>(w)];
       }
     }
 

@@ -179,6 +179,12 @@ Tensor2D qnn_forward(const QnnModel& model, const Tensor2D& batch_inputs,
 /// the (already readout-mapped) per-logical-qubit measurement outcomes.
 /// The noisy evaluator supplies a trajectory-averaging runner so ideal and
 /// noisy inference share the exact same classical pipeline.
+///
+/// Thread-safety contract: the forward engine invokes the runner
+/// concurrently across samples of a batch, so the runner must be safe to
+/// call from multiple threads and — for thread-count-invariant results —
+/// must derive any randomness from its (block, sample) arguments via
+/// counter-based `Rng::child` streams rather than a shared generator.
 using BlockRunner = std::function<std::vector<real>(
     std::size_t block_index, std::size_t sample_index,
     const ParamVector& params)>;

@@ -39,8 +39,12 @@ TrainResult train_qnn(QnnModel& model, const Dataset& train,
 
   TrainResult result;
   long step = 0;
-  Rng injection_rng = rng.fork();
-  Rng perturb_rng = rng.fork();
+  // Counter-based per-step streams: step s's noise realization and
+  // perturbation draws depend only on (seed, s), not on how many draws
+  // earlier steps consumed — so injection noise stays reproducible under
+  // the parallel batch engine and across batch-size changes.
+  const Rng injection_base = rng.fork();
+  const Rng perturb_base = rng.fork();
 
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     real epoch_loss = 0.0;
@@ -49,6 +53,9 @@ TrainResult train_qnn(QnnModel& model, const Dataset& train,
       if (indices.size() < 2) continue;  // batch-norm needs >= 2 samples
       const Dataset batch = train.subset(indices);
 
+      Rng injection_rng =
+          injection_base.child(static_cast<std::uint64_t>(step));
+      Rng perturb_rng = perturb_base.child(static_cast<std::uint64_t>(step));
       std::vector<Circuit> storage;
       const StepPlans plans =
           injector.step_plans(model, indices.size(), injection_rng, storage);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "qsim/execution.hpp"
 
 namespace qnat {
@@ -54,25 +55,52 @@ ParamVector parameter_shift_gradient(const Circuit& circuit,
     *out_expectations = executor(circuit, params);
   }
 
-  // Shifted evaluation of a single gate occurrence: clone the circuit and
-  // add `shift` to the offset of that gate's angle expression.
-  Circuit shifted = circuit;
-  auto eval_shifted = [&](std::size_t gate_index, int slot,
-                          real shift) -> real {
-    // Mutate, evaluate, restore on the working copy.
-    Gate& g = shifted.mutable_gate(gate_index);
-    ParamExpr& expr = g.params[static_cast<std::size_t>(slot)];
-    const real saved = expr.offset;
-    expr.offset += shift;
-    const real value = project(executor(shifted, params), cotangent);
-    expr.offset = saved;
-    return value;
+  // Collect every shifted evaluation as an independent task, fan the
+  // tasks out over the worker pool (one working copy of the circuit per
+  // chunk), then combine the values serially in task order. The executor
+  // must be safe to call concurrently (see header); results are
+  // bit-identical at any thread count.
+  struct ShiftTask {
+    std::size_t gate_index;
+    int slot;
+    real shift;
   };
+  std::vector<ShiftTask> tasks;
+  const auto& gates = circuit.gates();
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    const Gate& gate = gates[gi];
+    for (int k = 0; k < gate.num_params(); ++k) {
+      if (gate.params[static_cast<std::size_t>(k)].is_constant()) continue;
+      if (is_controlled_param_gate(gate.type)) {
+        tasks.push_back({gi, k, kPi / 2});
+        tasks.push_back({gi, k, -kPi / 2});
+        tasks.push_back({gi, k, 3 * kPi / 2});
+        tasks.push_back({gi, k, -3 * kPi / 2});
+      } else {
+        tasks.push_back({gi, k, kPi / 2});
+        tasks.push_back({gi, k, -kPi / 2});
+      }
+    }
+  }
+
+  std::vector<real> values(tasks.size(), 0.0);
+  parallel_for_chunks(tasks.size(), [&](std::size_t begin, std::size_t end) {
+    // Mutate, evaluate, restore on a per-chunk working copy.
+    Circuit shifted = circuit;
+    for (std::size_t t = begin; t < end; ++t) {
+      Gate& g = shifted.mutable_gate(tasks[t].gate_index);
+      ParamExpr& expr = g.params[static_cast<std::size_t>(tasks[t].slot)];
+      const real saved = expr.offset;
+      expr.offset += tasks[t].shift;
+      values[t] = project(executor(shifted, params), cotangent);
+      expr.offset = saved;
+    }
+  });
 
   const real c_plus = (std::sqrt(2.0) + 1.0) / (4.0 * std::sqrt(2.0));
   const real c_minus = (std::sqrt(2.0) - 1.0) / (4.0 * std::sqrt(2.0));
 
-  const auto& gates = circuit.gates();
+  std::size_t t = 0;
   for (std::size_t gi = 0; gi < gates.size(); ++gi) {
     const Gate& gate = gates[gi];
     for (int k = 0; k < gate.num_params(); ++k) {
@@ -80,15 +108,12 @@ ParamVector parameter_shift_gradient(const Circuit& circuit,
       if (expr.is_constant()) continue;
       real dangle = 0.0;
       if (is_controlled_param_gate(gate.type)) {
-        const real f1p = eval_shifted(gi, k, kPi / 2);
-        const real f1m = eval_shifted(gi, k, -kPi / 2);
-        const real f2p = eval_shifted(gi, k, 3 * kPi / 2);
-        const real f2m = eval_shifted(gi, k, -3 * kPi / 2);
-        dangle = c_plus * (f1p - f1m) - c_minus * (f2p - f2m);
+        dangle = c_plus * (values[t] - values[t + 1]) -
+                 c_minus * (values[t + 2] - values[t + 3]);
+        t += 4;
       } else {
-        const real fp = eval_shifted(gi, k, kPi / 2);
-        const real fm = eval_shifted(gi, k, -kPi / 2);
-        dangle = 0.5 * (fp - fm);
+        dangle = 0.5 * (values[t] - values[t + 1]);
+        t += 2;
       }
       for (const auto& term : expr.terms) {
         grad[static_cast<std::size_t>(term.id)] += term.scale * dangle;

@@ -29,6 +29,13 @@ namespace qnat {
 
 /// Runs a circuit under a parameter binding and returns per-qubit Z
 /// expectations. The executor abstracts "the device".
+///
+/// Thread-safety contract: the gradient engine evaluates shifted circuits
+/// concurrently, so an executor must be safe to call from multiple
+/// threads, and — for thread-count-invariant results — must be a pure
+/// function of (circuit, params): any randomness is derived from those
+/// inputs (e.g. seeded by Circuit::fingerprint), never drawn from a
+/// shared mutable generator.
 using CircuitExecutor = std::function<std::vector<real>(
     const Circuit& circuit, const ParamVector& params)>;
 

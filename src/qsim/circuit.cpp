@@ -1,5 +1,6 @@
 #include "qsim/circuit.hpp"
 
+#include <cstring>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -42,6 +43,44 @@ int Circuit::allocate_params(int count) {
   const int first = num_params_;
   num_params_ += count;
   return first;
+}
+
+namespace {
+
+// splitmix64 finalizer as a running-hash combiner.
+std::uint64_t hash_mix(std::uint64_t acc, std::uint64_t v) {
+  std::uint64_t z = acc ^ (v + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_real(std::uint64_t acc, real v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return hash_mix(acc, bits);
+}
+
+}  // namespace
+
+std::uint64_t Circuit::fingerprint() const {
+  std::uint64_t acc = hash_mix(static_cast<std::uint64_t>(num_qubits_),
+                               static_cast<std::uint64_t>(num_params_));
+  for (const auto& g : gates_) {
+    acc = hash_mix(acc, static_cast<std::uint64_t>(g.type));
+    for (const QubitIndex q : g.qubits) {
+      acc = hash_mix(acc, static_cast<std::uint64_t>(q));
+    }
+    for (const auto& expr : g.params) {
+      acc = hash_real(acc, expr.offset);
+      for (const auto& term : expr.terms) {
+        acc = hash_mix(acc, static_cast<std::uint64_t>(term.id));
+        acc = hash_real(acc, term.scale);
+      }
+    }
+  }
+  return acc;
 }
 
 int Circuit::num_parameterized_gates() const {

@@ -7,6 +7,7 @@
 // transpiler, and the noise-injection pass.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -110,6 +111,13 @@ class Circuit {
   /// Total number of gates whose matrix depends on at least one free
   /// parameter.
   int num_parameterized_gates() const;
+
+  /// 64-bit structural hash of the gate list (types, qubits, parameter
+  /// expressions). Two circuits differing in any gate, angle offset, or
+  /// parameter binding hash differently with overwhelming probability.
+  /// Used to derive deterministic per-call noise streams for stateless
+  /// executors (see make_noisy_device_executor).
+  std::uint64_t fingerprint() const;
 
   /// Multi-line textual dump, one gate per line.
   std::string to_string() const;

@@ -42,21 +42,29 @@ void StateVector::apply_2q(const CMatrix& m, QubitIndex a, QubitIndex b) {
              "invalid qubit pair");
   const std::size_t sa = std::size_t{1} << a;  // high bit of matrix index
   const std::size_t sb = std::size_t{1} << b;  // low bit of matrix index
-  const std::size_t n = amps_.size();
-  // Iterate basis states with bits a and b both zero.
-  const std::size_t mask = sa | sb;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (i & mask) continue;
+  // Iterate only the 2^(n-2) basis states with bits a and b both zero:
+  // expand a dense counter by inserting a zero bit at the lower stride,
+  // then at the higher one.
+  const std::size_t lo = sa < sb ? sa : sb;
+  const std::size_t hi = sa < sb ? sb : sa;
+  const std::size_t quarter = amps_.size() >> 2;
+  const cplx m00 = m(0, 0), m01 = m(0, 1), m02 = m(0, 2), m03 = m(0, 3);
+  const cplx m10 = m(1, 0), m11 = m(1, 1), m12 = m(1, 2), m13 = m(1, 3);
+  const cplx m20 = m(2, 0), m21 = m(2, 1), m22 = m(2, 2), m23 = m(2, 3);
+  const cplx m30 = m(3, 0), m31 = m(3, 1), m32 = m(3, 2), m33 = m(3, 3);
+  for (std::size_t k = 0; k < quarter; ++k) {
+    std::size_t i = (k & (lo - 1)) | ((k & ~(lo - 1)) << 1);
+    i = (i & (hi - 1)) | ((i & ~(hi - 1)) << 1);
     const std::size_t i00 = i;
     const std::size_t i01 = i | sb;
     const std::size_t i10 = i | sa;
     const std::size_t i11 = i | sa | sb;
     const cplx a00 = amps_[i00], a01 = amps_[i01], a10 = amps_[i10],
                a11 = amps_[i11];
-    amps_[i00] = m(0, 0) * a00 + m(0, 1) * a01 + m(0, 2) * a10 + m(0, 3) * a11;
-    amps_[i01] = m(1, 0) * a00 + m(1, 1) * a01 + m(1, 2) * a10 + m(1, 3) * a11;
-    amps_[i10] = m(2, 0) * a00 + m(2, 1) * a01 + m(2, 2) * a10 + m(2, 3) * a11;
-    amps_[i11] = m(3, 0) * a00 + m(3, 1) * a01 + m(3, 2) * a10 + m(3, 3) * a11;
+    amps_[i00] = m00 * a00 + m01 * a01 + m02 * a10 + m03 * a11;
+    amps_[i01] = m10 * a00 + m11 * a01 + m12 * a10 + m13 * a11;
+    amps_[i10] = m20 * a00 + m21 * a01 + m22 * a10 + m23 * a11;
+    amps_[i11] = m30 * a00 + m31 * a01 + m32 * a10 + m33 * a11;
   }
 }
 
@@ -151,13 +159,19 @@ std::vector<std::size_t> StateVector::sample(Rng& rng, int shots) const {
   std::vector<std::size_t> out;
   out.reserve(static_cast<std::size_t>(shots));
   for (int s = 0; s < shots; ++s) {
-    const double r = rng.uniform() * acc;
-    const auto it =
-        std::lower_bound(cumulative.begin(), cumulative.end(), r);
-    out.push_back(static_cast<std::size_t>(
-        std::distance(cumulative.begin(), it)));
+    out.push_back(sample_index(cumulative, rng.uniform() * acc));
   }
   return out;
+}
+
+std::size_t StateVector::sample_index(std::span<const double> cumulative,
+                                      double r) {
+  const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), r);
+  auto idx = static_cast<std::size_t>(std::distance(cumulative.begin(), it));
+  // A draw of exactly the total mass (or fp rounding past it) walks off
+  // the table; clamp to the last basis state.
+  if (idx >= cumulative.size()) idx = cumulative.size() - 1;
+  return idx;
 }
 
 }  // namespace qnat

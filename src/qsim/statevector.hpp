@@ -8,6 +8,7 @@
 // measurement layer.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/matrix.hpp"
@@ -74,6 +75,14 @@ class StateVector {
   /// Samples `shots` full-register measurement outcomes; returns basis
   /// indices. Uses a cumulative-probability table (fine for <= ~20 qubits).
   std::vector<std::size_t> sample(Rng& rng, int shots) const;
+
+  /// Maps one uniform draw scaled by the total mass onto the cumulative
+  /// table: the index of the first entry >= r, clamped into range so a
+  /// draw of exactly the total mass (or fp rounding past it) can never
+  /// yield an out-of-range index. Exposed for the sampling edge-case
+  /// tests.
+  static std::size_t sample_index(std::span<const double> cumulative,
+                                  double r);
 
  private:
   int num_qubits_;

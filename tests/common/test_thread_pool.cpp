@@ -1,0 +1,152 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qnat {
+namespace {
+
+/// Restores the automatic global thread count when a test ends, so a
+/// failing test can't leak its thread-count choice into later tests.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_num_threads(0); }
+};
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1237;  // deliberately not a multiple of anything
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ChunksAreDisjointAndCoverRange) {
+  ThreadPool pool(3);
+  const std::size_t n = 101;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  std::atomic<int> chunks{0};
+  pool.parallel_for_chunks(n, [&](std::size_t begin, std::size_t end) {
+    EXPECT_LT(begin, end);
+    EXPECT_LE(end, n);
+    chunks.fetch_add(1);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_GE(chunks.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  pool.parallel_for_chunks(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.parallel_for(64, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, ExceptionPropagatesToSubmitter) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool survives and accepts further work.
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(32 * 16);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(32, [&](std::size_t outer) {
+    // Inner regions must execute inline on the worker; a re-submit to the
+    // same pool would deadlock.
+    parallel_for(16, [&](std::size_t inner) {
+      hits[outer * 16 + inner].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPool, SequentialRegionsReuseWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(200, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+    EXPECT_EQ(sum.load(), 199L * 200L / 2);
+  }
+}
+
+TEST(ThreadPool, SetNumThreadsResizesGlobalPool) {
+  ThreadCountGuard guard;
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(0);  // restore automatic choice
+  EXPECT_GE(num_threads(), 1);
+}
+
+TEST(ThreadPool, PerSlotWritesAreBitIdenticalAcrossThreadCounts) {
+  // The determinism discipline the batch engine relies on: each index
+  // computes its value from an Rng::child stream keyed by the index and
+  // writes its own slot; a serial reduction then gives bit-identical
+  // results at any thread count.
+  ThreadCountGuard guard;
+  const Rng base(20260806);
+  const std::size_t n = 500;
+  auto run = [&](int threads) {
+    set_num_threads(threads);
+    std::vector<double> slots(n, 0.0);
+    parallel_for(n, [&](std::size_t i) {
+      Rng rng = base.child(i);
+      double acc = 0.0;
+      for (int k = 0; k < 20; ++k) acc += std::sin(rng.uniform(-kPi, kPi));
+      slots[i] = acc;
+    });
+    double total = 0.0;
+    for (const double s : slots) total += s;  // fixed reduction order
+    return std::make_pair(slots, total);
+  };
+  const auto serial = run(1);
+  const auto two = run(2);
+  const auto many = run(8);
+  EXPECT_EQ(serial.first, two.first);
+  EXPECT_EQ(serial.first, many.first);
+  EXPECT_EQ(serial.second, two.second);
+  EXPECT_EQ(serial.second, many.second);
+}
+
+}  // namespace
+}  // namespace qnat

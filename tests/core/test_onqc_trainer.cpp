@@ -61,9 +61,8 @@ TEST(OnDeviceTrainer, NoisyExecutorTrainingIsNoiseAware) {
   const Circuit logical = table3_circuit();
   const TranspileResult compiled = transpile(logical, noise, 2);
 
-  Rng rng(9);
   const CircuitExecutor device = make_noisy_device_executor(
-      noise, compiled.final_layout, 2, 8, rng);
+      noise, compiled.final_layout, 2, 8, /*seed=*/9);
 
   ParamVector weights(4);
   OnDeviceTrainConfig config;
@@ -103,9 +102,8 @@ TEST(OnDeviceTrainer, NoisyExecutorMapsLogicalOrder) {
   c.x(0);
   c.cx(0, 2);  // forces routing
   const TranspileResult compiled = transpile(c, noise, 2);
-  Rng rng(4);
   const CircuitExecutor device = make_noisy_device_executor(
-      noise, compiled.final_layout, 3, 1, rng);
+      noise, compiled.final_layout, 3, 1, /*seed=*/4);
   const auto e = device(compiled.circuit, {});
   EXPECT_NEAR(e[0], -1.0, 1e-9);  // logical q0 flipped
   EXPECT_NEAR(e[2], -1.0, 1e-9);  // logical q2 flipped by CX

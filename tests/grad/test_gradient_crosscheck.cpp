@@ -1,0 +1,209 @@
+// Gradient cross-check matrix: the three differentiation engines
+// (adjoint sweep, parameter-shift rule, central finite differences) must
+// agree PAIRWISE on random circuits spanning the full parameterized gate
+// set — and the QNN backward pass must match finite differences through
+// the batched normalization and quantization-loss head.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grad/adjoint.hpp"
+#include "grad/finite_diff.hpp"
+#include "grad/parameter_shift.hpp"
+#include "core/qnn.hpp"
+#include "data/tasks.hpp"
+#include "nn/losses.hpp"
+
+namespace qnat {
+namespace {
+
+/// Random circuit over every parameterized gate family, each parameter
+/// slot used at least once (some shared across gates via reuse).
+Circuit random_param_circuit(int num_qubits, int num_params, int num_gates,
+                             Rng& rng) {
+  Circuit c(num_qubits, num_params);
+  const auto q = [&] {
+    return static_cast<QubitIndex>(
+        rng.index(static_cast<std::size_t>(num_qubits)));
+  };
+  const auto p = [&] {
+    return static_cast<ParamIndex>(
+        rng.index(static_cast<std::size_t>(num_params)));
+  };
+  for (int g = 0; g < num_gates; ++g) {
+    switch (rng.index(9)) {
+      case 0:
+        c.rx(q(), p());
+        break;
+      case 1:
+        c.ry(q(), p());
+        break;
+      case 2:
+        c.rz(q(), p());
+        break;
+      case 3: {
+        const QubitIndex a = q();
+        const QubitIndex b = q();
+        if (a != b) {
+          c.append(Gate(GateType::CRY, {a, b}, {ParamExpr::param(p())}));
+        }
+        break;
+      }
+      case 4: {
+        const QubitIndex a = q();
+        const QubitIndex b = q();
+        if (a != b) {
+          c.append(Gate(GateType::CRZ, {a, b}, {ParamExpr::param(p())}));
+        }
+        break;
+      }
+      case 5: {
+        const QubitIndex a = q();
+        const QubitIndex b = q();
+        if (a != b) c.rzz(a, b, p());
+        break;
+      }
+      case 6:
+        c.h(q());
+        break;
+      case 7: {
+        const QubitIndex a = q();
+        const QubitIndex b = q();
+        if (a != b) c.cx(a, b);
+        break;
+      }
+      default:
+        // Affine parameter expression: gradient must pick up the scale.
+        c.append(Gate(GateType::RY, {q()},
+                      {ParamExpr::affine(p(), rng.uniform(0.5, 1.5),
+                                         rng.uniform(-0.3, 0.3))}));
+        break;
+    }
+  }
+  return c;
+}
+
+class GradientCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(GradientCrossCheck, AdjointParameterShiftFiniteDiffAgreePairwise) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 29);
+  const int nq = 2 + static_cast<int>(rng.index(2));  // 2..3 qubits
+  const int np = 4;
+  const Circuit c = random_param_circuit(nq, np, 18, rng);
+
+  ParamVector params(np);
+  for (auto& v : params) v = rng.uniform(-kPi, kPi);
+  std::vector<real> cotangent(static_cast<std::size_t>(nq));
+  for (auto& w : cotangent) w = rng.uniform(-1.0, 1.0);
+
+  const AdjointResult adjoint = adjoint_vjp(c, params, cotangent);
+  const ParamVector shift =
+      parameter_shift_gradient(c, params, cotangent, make_ideal_executor());
+  const ParamVector fd = finite_diff_gradient(c, params, cotangent,
+                                              make_ideal_executor());
+
+  ASSERT_EQ(adjoint.gradient.size(), static_cast<std::size_t>(np));
+  ASSERT_EQ(shift.size(), static_cast<std::size_t>(np));
+  ASSERT_EQ(fd.size(), static_cast<std::size_t>(np));
+  for (int i = 0; i < np; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    EXPECT_NEAR(adjoint.gradient[ui], shift[ui], 1e-9)
+        << "adjoint vs shift, param " << i << ", seed " << GetParam();
+    EXPECT_NEAR(adjoint.gradient[ui], fd[ui], 2e-5)
+        << "adjoint vs fd, param " << i << ", seed " << GetParam();
+    EXPECT_NEAR(shift[ui], fd[ui], 2e-5)
+        << "shift vs fd, param " << i << ", seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GradientCrossCheck, ::testing::Range(0, 12));
+
+QnnModel small_model(std::uint64_t seed) {
+  QnnArchitecture arch;
+  arch.num_qubits = 2;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 1;
+  arch.input_features = 2;
+  arch.num_classes = 2;
+  QnnModel model(arch);
+  Rng rng(seed);
+  model.init_weights(rng);
+  return model;
+}
+
+TEST(GradientCrossCheck, QnnBackwardMatchesFiniteDiffThroughNormalization) {
+  // The full batched chain rule — head, inter-block normalization (exact
+  // batch-statistics Jacobian), encoder re-injection — against central
+  // finite differences of the cross-entropy loss.
+  const TaskBundle task = make_task("twofeature2", 8, 17);
+  QnnModel model = small_model(3);
+  QnnForwardOptions options;
+  options.normalize = true;
+  const StepPlans plans = StepPlans::shared(make_logical_plans(model));
+
+  const auto loss_at = [&](const QnnModel& m) {
+    const Tensor2D logits =
+        qnn_forward(m, task.train.features, plans, options);
+    return cross_entropy_loss(logits, task.train.labels);
+  };
+
+  QnnForwardCache cache;
+  const Tensor2D logits =
+      qnn_forward(model, task.train.features, plans, options, &cache);
+  const Tensor2D grad_logits = cross_entropy_grad(logits, task.train.labels);
+  const ParamVector grad =
+      qnn_backward(model, grad_logits, cache, plans, options);
+
+  const real h = 1e-5;
+  for (std::size_t w = 0; w < model.weights().size(); ++w) {
+    QnnModel probe = model;
+    probe.weights()[w] = model.weights()[w] + h;
+    const real up = loss_at(probe);
+    probe.weights()[w] = model.weights()[w] - h;
+    const real down = loss_at(probe);
+    EXPECT_NEAR(grad[w], (up - down) / (2 * h), 5e-5) << "weight " << w;
+  }
+}
+
+TEST(GradientCrossCheck, QuantLossGradientMatchesFiniteDiff) {
+  // The centroid-attraction term mean||y - Q(y)||^2 is differentiable
+  // almost everywhere (Q is locally constant), so its gradient — isolated
+  // as backward(qlw=1) - backward(qlw=0) — must match finite differences
+  // of cache.quant_loss.
+  const TaskBundle task = make_task("twofeature2", 8, 23);
+  QnnModel model = small_model(41);
+  QnnForwardOptions options;
+  options.normalize = true;
+  options.quantize = true;
+  options.quant.levels = 4;
+  const StepPlans plans = StepPlans::shared(make_logical_plans(model));
+
+  const auto quant_loss_at = [&](const QnnModel& m) {
+    QnnForwardCache cache;
+    qnn_forward(m, task.train.features, plans, options, &cache);
+    return cache.quant_loss;
+  };
+
+  QnnForwardCache cache;
+  const Tensor2D logits =
+      qnn_forward(model, task.train.features, plans, options, &cache);
+  const Tensor2D grad_logits = cross_entropy_grad(logits, task.train.labels);
+  const ParamVector with_term =
+      qnn_backward(model, grad_logits, cache, plans, options, 1.0);
+  const ParamVector without_term =
+      qnn_backward(model, grad_logits, cache, plans, options, 0.0);
+
+  const real h = 1e-6;  // small enough that Q(y +- dy) never crosses a bin
+  for (std::size_t w = 0; w < model.weights().size(); ++w) {
+    QnnModel probe = model;
+    probe.weights()[w] = model.weights()[w] + h;
+    const real up = quant_loss_at(probe);
+    probe.weights()[w] = model.weights()[w] - h;
+    const real down = quant_loss_at(probe);
+    EXPECT_NEAR(with_term[w] - without_term[w], (up - down) / (2 * h), 5e-4)
+        << "weight " << w;
+  }
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,232 @@
+// The parallel batch engine's determinism contract: every training and
+// evaluation entry point must produce BIT-IDENTICAL results for any
+// thread count, because all parallel regions (a) draw randomness from
+// counter-based Rng::child streams keyed by the work-item index, (b)
+// write per-item output slots, and (c) reduce serially in item order.
+// These tests run the same seeded workloads at 1, 2 and
+// hardware_concurrency threads and compare exactly (EXPECT_EQ on
+// doubles, no tolerance).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/onqc_trainer.hpp"
+#include "core/trainer.hpp"
+#include "data/tasks.hpp"
+#include "grad/parameter_shift.hpp"
+#include "nn/losses.hpp"
+#include "noise/device_presets.hpp"
+
+namespace qnat {
+namespace {
+
+std::vector<int> thread_counts() {
+  std::vector<int> counts{1, 2};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 2) counts.push_back(hw);
+  counts.push_back(5);  // odd count: uneven chunking
+  return counts;
+}
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_num_threads(0); }
+};
+
+QnnArchitecture small_arch() {
+  QnnArchitecture arch;
+  arch.num_qubits = 2;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 1;
+  arch.input_features = 2;
+  arch.num_classes = 2;
+  return arch;
+}
+
+TEST(ParallelDeterminism, NoiseAwareTrainingIsThreadCountInvariant) {
+  ThreadCountGuard guard;
+  const TaskBundle task = make_task("twofeature2", 24, 11);
+  const NoiseModel noise = make_device_noise_model("yorktown");
+
+  struct Run {
+    std::vector<real> epoch_loss;
+    ParamVector weights;
+    real accuracy;
+  };
+  auto run = [&](int threads) {
+    set_num_threads(threads);
+    QnnModel model(small_arch());
+    const Deployment deployment(model, noise, 2);
+    TrainerConfig config;
+    config.epochs = 3;
+    config.batch_size = 8;
+    config.seed = 77;
+    config.injection.method = InjectionMethod::GateInsertion;
+    config.injection.noise_factor = 0.5;
+    const TrainResult result = train_qnn(model, task.train, config,
+                                         &deployment);
+    return Run{result.epoch_loss, model.weights(),
+               result.final_train_accuracy};
+  };
+
+  const Run serial = run(1);
+  for (const int threads : thread_counts()) {
+    const Run r = run(threads);
+    EXPECT_EQ(serial.epoch_loss, r.epoch_loss) << threads << " threads";
+    EXPECT_EQ(serial.weights, r.weights) << threads << " threads";
+    EXPECT_EQ(serial.accuracy, r.accuracy) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, NoisyEvaluationIsThreadCountInvariant) {
+  ThreadCountGuard guard;
+  const TaskBundle task = make_task("twofeature2", 16, 3);
+  QnnModel model(small_arch());
+  Rng init(5);
+  model.init_weights(init);
+  const Deployment deployment(model, make_device_noise_model("lima"), 2);
+  QnnForwardOptions pipeline;
+  pipeline.normalize = true;
+
+  for (const NoiseEvalMode mode :
+       {NoiseEvalMode::Trajectories, NoiseEvalMode::Shots}) {
+    NoisyEvalOptions eval;
+    eval.mode = mode;
+    eval.trajectories = 6;
+    eval.shots_per_trajectory = mode == NoiseEvalMode::Shots ? 64 : 0;
+    eval.seed = 991;
+
+    auto run = [&](int threads) {
+      set_num_threads(threads);
+      const Tensor2D logits = qnn_forward_noisy(model, deployment,
+                                                task.test.features, pipeline,
+                                                eval);
+      return logits.data();
+    };
+    const auto serial = run(1);
+    for (const int threads : thread_counts()) {
+      EXPECT_EQ(serial, run(threads))
+          << threads << " threads, mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, BatchedBackwardIsThreadCountInvariant) {
+  ThreadCountGuard guard;
+  const TaskBundle task = make_task("twofeature2", 12, 9);
+  QnnModel model(small_arch());
+  Rng init(21);
+  model.init_weights(init);
+  QnnForwardOptions options;
+  options.normalize = true;
+  options.quantize = true;
+  options.quant.levels = 4;
+  const StepPlans plans = StepPlans::shared(make_logical_plans(model));
+
+  auto run = [&](int threads) {
+    set_num_threads(threads);
+    QnnForwardCache cache;
+    const Tensor2D logits = qnn_forward(model, task.train.features, plans,
+                                        options, &cache);
+    const Tensor2D grad_logits = cross_entropy_grad(logits,
+                                                    task.train.labels);
+    const ParamVector grad = qnn_backward(model, grad_logits, cache, plans,
+                                          options, 0.1);
+    return std::make_pair(logits.data(), grad);
+  };
+  const auto serial = run(1);
+  for (const int threads : thread_counts()) {
+    const auto r = run(threads);
+    EXPECT_EQ(serial.first, r.first) << threads << " threads";
+    EXPECT_EQ(serial.second, r.second) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, ParameterShiftThroughNoisyDeviceIsInvariant) {
+  ThreadCountGuard guard;
+  const NoiseModel noise = make_device_noise_model("lima");
+  Circuit c(2, 4);
+  c.ry(0, 0);
+  c.ry(1, 1);
+  c.cx(0, 1);
+  c.append(Gate(GateType::CRY, {0, 1}, {ParamExpr::param(2)}));
+  c.ry(0, 3);
+  const TranspileResult compiled = transpile(c, noise, 2);
+  const CircuitExecutor device = make_noisy_device_executor(
+      noise, compiled.final_layout, 2, 4, /*seed=*/123);
+  const ParamVector params{0.4, -0.9, 1.3, 0.2};
+  // One cotangent entry per physical wire of the compiled circuit, with
+  // weight on the wires carrying the logical qubits.
+  std::vector<real> cotangent(
+      static_cast<std::size_t>(compiled.circuit.num_qubits()), 0.0);
+  cotangent[static_cast<std::size_t>(compiled.final_layout[0])] = 1.0;
+  cotangent[static_cast<std::size_t>(compiled.final_layout[1])] = -0.5;
+
+  auto run = [&](int threads) {
+    set_num_threads(threads);
+    return parameter_shift_gradient(compiled.circuit, params, cotangent,
+                                    device);
+  };
+  const ParamVector serial = run(1);
+  for (const int threads : thread_counts()) {
+    EXPECT_EQ(serial, run(threads)) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, OnDeviceTrainingIsThreadCountInvariant) {
+  ThreadCountGuard guard;
+  const TaskBundle task = make_task("twofeature2", 10, 13);
+  const NoiseModel noise = make_device_noise_model("lima");
+  Circuit c(2, 6);
+  c.ry(0, 0);
+  c.ry(1, 1);
+  c.cx(0, 1);
+  c.ry(0, 2);
+  c.ry(1, 3);
+  c.cx(1, 0);
+  c.ry(0, 4);
+  c.ry(1, 5);
+  const TranspileResult compiled = transpile(c, noise, 2);
+  const CircuitExecutor device = make_noisy_device_executor(
+      noise, compiled.final_layout, 2, 3, /*seed=*/9);
+
+  auto run = [&](int threads) {
+    set_num_threads(threads);
+    ParamVector weights(4);
+    OnDeviceTrainConfig config;
+    config.epochs = 2;
+    const OnDeviceTrainResult result = train_on_device(
+        compiled.circuit, 2, task.train, device, weights, config);
+    return std::make_pair(result.epoch_loss, weights);
+  };
+  const auto serial = run(1);
+  for (const int threads : thread_counts()) {
+    const auto r = run(threads);
+    EXPECT_EQ(serial.first, r.first) << threads << " threads";
+    EXPECT_EQ(serial.second, r.second) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, StatelessExecutorIsCallOrderInvariant) {
+  // The noisy device executor must be a pure function of (circuit,
+  // params): calling it repeatedly or interleaved with other bindings
+  // returns identical expectations.
+  const NoiseModel noise = make_device_noise_model("lima");
+  Circuit c(2, 2);
+  c.ry(0, 0);
+  c.cx(0, 1);
+  c.ry(1, 1);
+  const TranspileResult compiled = transpile(c, noise, 2);
+  const CircuitExecutor device = make_noisy_device_executor(
+      noise, compiled.final_layout, 2, 5, /*seed=*/31);
+  const auto first = device(compiled.circuit, {0.3, 0.7});
+  const auto other = device(compiled.circuit, {-1.1, 0.2});
+  const auto again = device(compiled.circuit, {0.3, 0.7});
+  EXPECT_EQ(first, again);
+  EXPECT_NE(first, other);
+}
+
+}  // namespace
+}  // namespace qnat

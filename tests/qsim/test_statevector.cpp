@@ -147,5 +147,98 @@ TEST(StateVector, RejectsInvalidQubitCounts) {
   EXPECT_THROW(StateVector(25), Error);
 }
 
+TEST(StateVector, SampleIndexMapsDrawsOntoCumulativeTable) {
+  const std::vector<double> cumulative{0.2, 0.5, 0.5, 1.0};
+  EXPECT_EQ(StateVector::sample_index(cumulative, 0.0), 0u);
+  EXPECT_EQ(StateVector::sample_index(cumulative, 0.1), 0u);
+  EXPECT_EQ(StateVector::sample_index(cumulative, 0.2), 0u);
+  EXPECT_EQ(StateVector::sample_index(cumulative, 0.21), 1u);
+  // Entry 2 carries zero mass (cumulative does not increase), so draws in
+  // (0.5, 1.0] land on entry 3.
+  EXPECT_EQ(StateVector::sample_index(cumulative, 0.6), 3u);
+  EXPECT_EQ(StateVector::sample_index(cumulative, 1.0), 3u);
+}
+
+TEST(StateVector, SampleIndexClampsDrawsPastTotalMass) {
+  // Regression: the total probability mass accumulates floating-point
+  // rounding, so a uniform draw scaled by it can exceed the last
+  // cumulative entry. lower_bound then returns end(); the index must be
+  // clamped into range instead of reading one past the table.
+  const std::vector<double> cumulative{0.25, 0.999999999999};
+  EXPECT_EQ(StateVector::sample_index(cumulative, 0.999999999999), 1u);
+  EXPECT_EQ(StateVector::sample_index(cumulative, 1.0), 1u);
+  EXPECT_EQ(StateVector::sample_index(cumulative, 1.0 + 1e-9), 1u);
+  EXPECT_EQ(StateVector::sample_index(cumulative, 2.0), 1u);
+}
+
+TEST(StateVector, SampleAlwaysReturnsInRangeIndices) {
+  StateVector s(3);
+  s.apply_1q(gate_matrix(GateType::H, {}), 0);
+  s.apply_1q(gate_matrix(GateType::H, {}), 1);
+  s.apply_1q(gate_matrix(GateType::H, {}), 2);
+  Rng rng(123);
+  for (const auto b : s.sample(rng, 20000)) EXPECT_LT(b, s.dim());
+}
+
+/// Reference two-qubit apply: dense scan over the full index space,
+/// processing each 4-amplitude group once — the straightforward (and
+/// slower) formulation the optimized zero-bit-insertion loop replaced.
+void dense_apply_2q(std::vector<cplx>& amps, const CMatrix& m, QubitIndex a,
+                    QubitIndex b) {
+  const std::size_t sa = std::size_t{1} << a;  // high bit of matrix index
+  const std::size_t sb = std::size_t{1} << b;
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    if ((i & sa) != 0 || (i & sb) != 0) continue;
+    const std::size_t idx[4] = {i, i | sb, i | sa, i | sa | sb};
+    cplx in[4];
+    for (int r = 0; r < 4; ++r) in[r] = amps[idx[r]];
+    for (int r = 0; r < 4; ++r) {
+      cplx acc(0.0, 0.0);
+      for (int c = 0; c < 4; ++c) {
+        acc += m(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) *
+               in[c];
+      }
+      amps[idx[r]] = acc;
+    }
+  }
+}
+
+TEST(StateVector, Apply2qMatchesDenseReferenceForAllQubitPairs) {
+  // Exhaustive 3-qubit check of the optimized apply_2q enumeration
+  // against the dense reference: every ordered qubit pair, random
+  // non-unitary 4x4 matrices, random dense states.
+  Rng rng(20260806);
+  const int nq = 3;
+  for (int a = 0; a < nq; ++a) {
+    for (int b = 0; b < nq; ++b) {
+      if (a == b) continue;
+      for (int trial = 0; trial < 4; ++trial) {
+        CMatrix m(4, 4);
+        for (std::size_t r = 0; r < 4; ++r) {
+          for (std::size_t c = 0; c < 4; ++c) {
+            m(r, c) = cplx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+          }
+        }
+        StateVector s(nq);
+        for (std::size_t i = 0; i < s.dim(); ++i) {
+          s.set_amplitude(i,
+                          cplx(rng.uniform(-1.0, 1.0),
+                               rng.uniform(-1.0, 1.0)));
+        }
+        std::vector<cplx> reference(s.amplitudes());
+        dense_apply_2q(reference, m, static_cast<QubitIndex>(a),
+                       static_cast<QubitIndex>(b));
+        s.apply_2q(m, static_cast<QubitIndex>(a),
+                   static_cast<QubitIndex>(b));
+        for (std::size_t i = 0; i < s.dim(); ++i) {
+          EXPECT_NEAR(std::abs(s.amplitude(i) - reference[i]), 0.0, 1e-12)
+              << "pair (" << a << "," << b << ") trial " << trial
+              << " index " << i;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qnat

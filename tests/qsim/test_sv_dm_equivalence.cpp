@@ -3,6 +3,8 @@
 // range of random circuits (seed-parameterized).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "qsim/density_matrix.hpp"
 #include "qsim/execution.hpp"
 
@@ -108,6 +110,90 @@ TEST_P(SvDmEquivalence, PauliChannelMatchesBranchAverage) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SvDmEquivalence, ::testing::Range(0, 12));
+
+// Randomized channel fuzz: circuits with several random Pauli channels at
+// random positions. The exact density-matrix evolution is the infinite-
+// trajectory limit of stochastic statevector sampling, so a seeded
+// trajectory average must land within Monte-Carlo error of it. Trajectory
+// randomness comes from counter-based Rng::child streams (one per
+// trajectory), exercising the same derivation discipline the parallel
+// batch engine relies on.
+class SvDmChannelFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SvDmChannelFuzz, TrajectoryAverageMatchesExactChannel) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863 + 7);
+  const int nq = 2 + static_cast<int>(rng.index(2));  // 2..3 qubits
+  const int num_channels = 2 + static_cast<int>(rng.index(3));  // 2..4
+
+  // Alternating random unitary segments and random Pauli channels.
+  struct Stage {
+    Circuit segment;
+    PauliChannel channel;
+    QubitIndex target;
+  };
+  std::vector<Stage> stages;
+  for (int s = 0; s < num_channels; ++s) {
+    Stage stage;
+    stage.segment = random_circuit(nq, 6, rng);
+    stage.channel = PauliChannel{rng.uniform(0.0, 0.12),
+                                 rng.uniform(0.0, 0.12),
+                                 rng.uniform(0.0, 0.12)};
+    stage.target = static_cast<QubitIndex>(
+        rng.index(static_cast<std::size_t>(nq)));
+    stages.push_back(std::move(stage));
+  }
+  const Circuit tail = random_circuit(nq, 6, rng);
+
+  // Exact: density-matrix evolution through every channel.
+  DensityMatrix rho(nq);
+  for (const auto& stage : stages) {
+    for (const auto& g : stage.segment.gates()) rho.apply_gate(g, {});
+    rho.apply_pauli_channel(stage.target, stage.channel);
+  }
+  for (const auto& g : tail.gates()) rho.apply_gate(g, {});
+
+  // Stochastic: per-trajectory sampled Pauli insertions on the
+  // statevector, averaged.
+  const int trajectories = 3000;
+  const Rng base = rng.fork();
+  std::vector<double> mean(static_cast<std::size_t>(nq), 0.0);
+  for (int t = 0; t < trajectories; ++t) {
+    Rng traj_rng = base.child(static_cast<std::uint64_t>(t));
+    StateVector psi(nq);
+    for (const auto& stage : stages) {
+      for (const auto& g : stage.segment.gates()) psi.apply_gate(g, {});
+      const double u = traj_rng.uniform();
+      GateType pauli = GateType::I;
+      if (u < stage.channel.px) {
+        pauli = GateType::X;
+      } else if (u < stage.channel.px + stage.channel.py) {
+        pauli = GateType::Y;
+      } else if (u < stage.channel.px + stage.channel.py +
+                         stage.channel.pz) {
+        pauli = GateType::Z;
+      }
+      if (pauli != GateType::I) {
+        psi.apply_1q(gate_matrix(pauli, {}), stage.target);
+      }
+    }
+    for (const auto& g : tail.gates()) psi.apply_gate(g, {});
+    const auto e = psi.expectations_z();
+    for (int q = 0; q < nq; ++q) {
+      mean[static_cast<std::size_t>(q)] += e[static_cast<std::size_t>(q)];
+    }
+  }
+
+  // 4-sigma Monte-Carlo band (|Z| <= 1, so sigma <= 1/sqrt(T)); seeds are
+  // fixed, so a pass is reproducible, not probabilistic.
+  const double tol = 4.0 / std::sqrt(static_cast<double>(trajectories));
+  for (int q = 0; q < nq; ++q) {
+    EXPECT_NEAR(mean[static_cast<std::size_t>(q)] / trajectories,
+                rho.expectation_z(q), tol)
+        << "seed " << GetParam() << " qubit " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvDmChannelFuzz, ::testing::Range(0, 50));
 
 }  // namespace
 }  // namespace qnat
