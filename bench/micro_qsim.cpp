@@ -13,6 +13,7 @@
 #include "noise/device_presets.hpp"
 #include "noise/error_inserter.hpp"
 #include "qsim/execution.hpp"
+#include "qsim/program.hpp"
 
 namespace {
 
@@ -97,6 +98,85 @@ void BM_FiniteDiffGradient(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FiniteDiffGradient);
+
+// --- gate fusion + specialized kernels: fused vs unfused deep circuit ---
+// A 10-qubit, 50-layer IBM-basis-style circuit (RZ·SX·RZ per qubit, CX
+// ring per layer). The fused program merges each RZ·SX·RZ triple into one
+// 2x2 op and runs CX through the permutation kernel; the acceptance bar
+// is >= 1.5x single-thread over the unfused program. "Dense" is the raw
+// unclassified apply_1q/apply_2q path for reference.
+
+Circuit deep_device_circuit(int num_qubits, int layers) {
+  Circuit c(num_qubits, 0);
+  Rng rng(13);
+  for (int l = 0; l < layers; ++l) {
+    for (QubitIndex q = 0; q < num_qubits; ++q) {
+      c.append(Gate(GateType::RZ, {q},
+                    {ParamExpr::constant(rng.uniform(-kPi, kPi))}));
+      c.sx(q);
+      c.append(Gate(GateType::RZ, {q},
+                    {ParamExpr::constant(rng.uniform(-kPi, kPi))}));
+    }
+    for (QubitIndex q = 0; q + 1 < num_qubits; q += 2) c.cx(q, q + 1);
+    for (QubitIndex q = 1; q + 1 < num_qubits; q += 2) c.cx(q, q + 1);
+  }
+  return c;
+}
+
+void BM_DeepCircuitDense(benchmark::State& state) {
+  const Circuit c = deep_device_circuit(static_cast<int>(state.range(0)), 50);
+  for (auto _ : state) {
+    StateVector sv(c.num_qubits());
+    for (const auto& gate : c.gates()) {
+      const CMatrix m = gate.matrix(gate.eval_params({}));
+      if (gate.num_qubits() == 1) {
+        sv.apply_1q(m, gate.qubits[0]);
+      } else {
+        sv.apply_2q(m, gate.qubits[0], gate.qubits[1]);
+      }
+    }
+    benchmark::DoNotOptimize(sv.amplitude(0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(c.size()));
+}
+BENCHMARK(BM_DeepCircuitDense)->Arg(10);
+
+void BM_DeepCircuitUnfused(benchmark::State& state) {
+  const Circuit c = deep_device_circuit(static_cast<int>(state.range(0)), 50);
+  const CompiledProgram program =
+      compile_program(c, FusionOptions{.fuse = false});
+  for (auto _ : state) {
+    StateVector sv(c.num_qubits());
+    program.run(sv, {});
+    benchmark::DoNotOptimize(sv.amplitude(0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(c.size()));
+}
+BENCHMARK(BM_DeepCircuitUnfused)->Arg(10);
+
+void BM_DeepCircuitFused(benchmark::State& state) {
+  const Circuit c = deep_device_circuit(static_cast<int>(state.range(0)), 50);
+  const CompiledProgram program = compile_program(c);
+  for (auto _ : state) {
+    StateVector sv(c.num_qubits());
+    program.run(sv, {});
+    benchmark::DoNotOptimize(sv.amplitude(0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(c.size()));
+}
+BENCHMARK(BM_DeepCircuitFused)->Arg(10);
+
+void BM_DeepCircuitCompile(benchmark::State& state) {
+  // Compile cost (amortized away by the program cache in real runs).
+  const Circuit c = deep_device_circuit(static_cast<int>(state.range(0)), 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compile_program(c));
+  }
+}
+BENCHMARK(BM_DeepCircuitCompile)->Arg(10);
 
 void BM_ErrorInsertion(benchmark::State& state) {
   const NoiseModel model = make_device_noise_model("yorktown");

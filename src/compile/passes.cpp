@@ -43,6 +43,22 @@ bool same_operands(const Gate& a, const Gate& b) {
   return a.qubits == b.qubits;
 }
 
+/// Rotation families with U(a)·U(b) = U(a+b) on identical operands, so
+/// adjacent pairs merge by adding their angle expressions.
+bool additive_rotation(GateType type) {
+  switch (type) {
+    case GateType::RX:
+    case GateType::RY:
+    case GateType::RZ:
+    case GateType::RZZ:
+    case GateType::CRZ:
+    case GateType::CP:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Index of the next gate after `i` acting on any operand of gates_[i], or
 /// nullopt when gates_[i] has no later neighbor.
 std::optional<std::size_t> next_on_same_qubits(const std::vector<Gate>& gates,
@@ -73,9 +89,9 @@ Circuit merge_rotations(const Circuit& circuit, PassStats* stats) {
   std::vector<Gate> gates = circuit.gates();
   std::vector<bool> keep(gates.size(), true);
   for (std::size_t i = 0; i < gates.size(); ++i) {
-    if (!keep[i] || gates[i].type != GateType::RZ) continue;
+    if (!keep[i] || !additive_rotation(gates[i].type)) continue;
     const auto j = next_on_same_qubits(gates, i);
-    if (!j || gates[*j].type != GateType::RZ ||
+    if (!j || gates[*j].type != gates[i].type ||
         !same_operands(gates[i], gates[*j])) {
       continue;
     }

@@ -1,7 +1,8 @@
 // Peephole optimization passes over basis-gate circuits.
 //
 // Mirrors the cheap always-on cleanups of a production transpiler:
-//  - merge adjacent RZ rotations on the same qubit (linear expressions add),
+//  - merge adjacent same-axis rotations (RX/RY/RZ/RZZ/CRZ/CP) on the same
+//    operands — the linear angle expressions add,
 //  - cancel adjacent self-inverse pairs (X·X, CX·CX, H·H, CZ·CZ, ...),
 //  - drop RZ gates with constant angle ≡ 0 (mod 2π) and identity gates.
 // Passes run to a fixpoint. "Adjacent" means no intervening gate touches

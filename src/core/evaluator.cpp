@@ -200,12 +200,16 @@ Tensor2D qnn_forward_noisy(const QnnModel& model, const Deployment& deployment,
       Rng traj_rng = sample_base.child(t);
       const Circuit noisy =
           insert_error_gates(circuits[b], scaled_noise, 1.0, traj_rng);
+      // Each trajectory is a one-off circuit (fresh error gates); compile
+      // it fused but uncached so trajectories never churn the shared
+      // program cache that the hot (repeated) circuits live in.
+      const CompiledProgram program = compile_program(noisy);
       if (mode == NoiseEvalMode::Shots) {
         per_traj[t] = measure_expectations_shots(
-            noisy, params, traj_rng, eval_options.shots_per_trajectory,
+            program, params, traj_rng, eval_options.shots_per_trajectory,
             flip01, flip10);
       } else {
-        per_traj[t] = measure_expectations(noisy, params);
+        per_traj[t] = measure_expectations(program, params);
       }
     });
     for (const auto& wire_exp : per_traj) {

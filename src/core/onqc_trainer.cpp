@@ -126,7 +126,9 @@ CircuitExecutor make_noisy_device_executor(
     for (int t = 0; t < trajectories; ++t) {
       Rng traj_rng = call_base.child(static_cast<std::uint64_t>(t));
       const Circuit noisy = insert_error_gates(circuit, noise, 1.0, traj_rng);
-      const auto wires = measure_expectations(noisy, params);
+      // One-off noisy circuit: fused but uncached (see evaluator.cpp).
+      const auto wires =
+          measure_expectations(compile_program(noisy), params);
       for (int q = 0; q < num_logical; ++q) {
         mean[static_cast<std::size_t>(q)] += wires[static_cast<std::size_t>(
             final_layout[static_cast<std::size_t>(q)])];

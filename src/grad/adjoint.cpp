@@ -74,7 +74,11 @@ AdjointResult adjoint_vjp(const Circuit& circuit, const ParamVector& params,
   AdjointResult result;
   result.gradient.assign(static_cast<std::size_t>(circuit.num_params()), 0.0);
 
-  // Forward pass.
+  // Forward pass runs the fused compiled program (memoized on the circuit
+  // fingerprint); the backward sweep below must walk the *original*
+  // parameterized gate list, since each gate is undone and differentiated
+  // individually. Fusion never merges parameterized gates (they are
+  // fusion barriers), so both views agree at every parameterized cut.
   StateVector ket = run_circuit(circuit, params);
   result.expectations = ket.expectations_z();
 

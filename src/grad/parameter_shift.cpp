@@ -37,7 +37,11 @@ real project(const std::vector<real>& expectations,
 
 CircuitExecutor make_ideal_executor() {
   return [](const Circuit& circuit, const ParamVector& params) {
-    return measure_expectations(circuit, params);
+    // Executes through the memoized compiled program: the shift loop
+    // evaluates the same 2P+1 shifted circuits every training step, so
+    // after the first step every evaluation is a cache hit running fused
+    // specialized kernels.
+    return measure_expectations(*shared_program(circuit), params);
   };
 }
 

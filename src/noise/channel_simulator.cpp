@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "noise/scheduling.hpp"
 #include "qsim/density_matrix.hpp"
+#include "qsim/program.hpp"
 
 namespace qnat {
 
@@ -33,6 +34,15 @@ std::vector<real> channel_mean_expectations(const Circuit& circuit,
   DensityMatrix rho(circuit.num_qubits());
   MomentTracker moments(circuit.num_qubits());
 
+  // Precompiled kernel ops aligned 1:1 with the gate list (fusion is off —
+  // a noise channel interleaves after every source gate, so gates cannot
+  // merge). Memoized on the circuit fingerprint, so repeated evaluations
+  // of the same compact block (one per batch sample) reuse the program.
+  const std::shared_ptr<const CompiledProgram> program =
+      shared_program(circuit, FusionOptions{.fuse = false});
+  QNAT_CHECK(program->ops().size() == circuit.size(),
+             "unfused program must align with the gate list");
+
   auto apply_idle = [&](QubitIndex wire, int layers) {
     if (layers <= 0) return;
     const PauliChannel idle =
@@ -42,14 +52,15 @@ std::vector<real> channel_mean_expectations(const Circuit& circuit,
     rho.apply_pauli_channel(wire, idle.power(layers));
   };
 
-  for (const auto& gate : circuit.gates()) {
+  for (std::size_t gi = 0; gi < circuit.size(); ++gi) {
+    const Gate& gate = circuit.gate(gi);
     const int layer = moments.start_layer(gate);
     for (const QubitIndex q : gate.qubits) {
       apply_idle(q, moments.idle_layers(q, layer));
     }
     moments.occupy(gate, layer);
 
-    rho.apply_gate(gate, params);
+    rho.apply_op(program->ops()[gi], params);
     const PauliChannel channel =
         gate.num_qubits() == 1
             ? model.single_qubit_channel(gate.type, physical(gate.qubits[0]))

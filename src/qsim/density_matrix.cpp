@@ -13,15 +13,27 @@ DensityMatrix::DensityMatrix(int num_qubits)
 void DensityMatrix::reset() { vec_.reset(); }
 
 void DensityMatrix::apply_gate(const Gate& gate, const ParamVector& params) {
-  const CMatrix m = gate.matrix(gate.eval_params(params));
-  const CMatrix mc = m.conjugate();
-  if (gate.num_qubits() == 1) {
-    vec_.apply_1q(m, gate.qubits[0]);
-    vec_.apply_1q(mc, gate.qubits[0] + num_qubits_);
+  apply_op(compile_gate_op(gate), params);
+}
+
+void DensityMatrix::apply_op(const CompiledOp& op, const ParamVector& params) {
+  KernelClass kernel = op.kernel;
+  CMatrix m;
+  if (op.parameterized) {
+    m = op.gate.matrix(op.gate.eval_params(params));
+    kernel = op.num_qubits == 1 ? classify_1q(m) : classify_2q(m);
   } else {
-    vec_.apply_2q(m, gate.qubits[0], gate.qubits[1]);
-    vec_.apply_2q(mc, gate.qubits[0] + num_qubits_,
-                  gate.qubits[1] + num_qubits_);
+    if (op.kernel == KernelClass::Identity) return;
+    m = op.matrix;
+  }
+  const CMatrix mc = m.conjugate();
+  if (op.num_qubits == 1) {
+    apply_classified_1q(vec_, kernel, m, op.q0);
+    apply_classified_1q(vec_, kernel, mc, op.q0 + num_qubits_);
+  } else {
+    apply_classified_2q(vec_, kernel, m, op.q0, op.q1);
+    apply_classified_2q(vec_, kernel, mc, op.q0 + num_qubits_,
+                        op.q1 + num_qubits_);
   }
 }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include "qsim/pauli_channel.hpp"
+#include "qsim/program.hpp"
 #include "qsim/statevector.hpp"
 
 namespace qnat {
@@ -30,8 +31,17 @@ class DensityMatrix {
 
   void reset();
 
-  /// Applies a unitary gate: rho -> U rho U†.
+  /// Applies a unitary gate: rho -> U rho U†. Internally routed through
+  /// the compiled-op kernels (see apply_op).
   void apply_gate(const Gate& gate, const ParamVector& params);
+
+  /// Applies one compiled op: the op's matrix on the row qubits and its
+  /// conjugate on the column qubits, each through the specialized kernel
+  /// of the op's class (conjugation preserves zero structure, so the
+  /// class carries over). The exact channel simulator precompiles a
+  /// circuit into unfused ops and drives this per gate, interleaving
+  /// noise channels between ops.
+  void apply_op(const CompiledOp& op, const ParamVector& params);
 
   /// Applies a Pauli channel on qubit q exactly:
   /// rho -> (1-px-py-pz) rho + px X rho X + py Y rho Y + pz Z rho Z.

@@ -4,34 +4,16 @@
 
 namespace qnat {
 
-StateVector run_circuit(const Circuit& circuit, const ParamVector& params) {
-  StateVector state(circuit.num_qubits());
-  run_circuit_inplace(circuit, params, state);
-  return state;
-}
+namespace {
 
-void run_circuit_inplace(const Circuit& circuit, const ParamVector& params,
-                         StateVector& state) {
-  QNAT_CHECK(state.num_qubits() == circuit.num_qubits(),
-             "state / circuit qubit count mismatch");
-  QNAT_CHECK(static_cast<int>(params.size()) >= circuit.num_params(),
-             "parameter vector too short for circuit");
-  for (const auto& gate : circuit.gates()) {
-    state.apply_gate(gate, params);
-  }
-}
-
-std::vector<real> measure_expectations(const Circuit& circuit,
-                                       const ParamVector& params) {
-  return run_circuit(circuit, params).expectations_z();
-}
-
-std::vector<real> measure_expectations_shots(
-    const Circuit& circuit, const ParamVector& params, Rng& rng, int shots,
+/// Shot-sampled expectations of a prepared final state, with optional
+/// per-shot readout bit flips (the shared backend of both
+/// measure_expectations_shots overloads).
+std::vector<real> expectations_from_shots(
+    const StateVector& state, Rng& rng, int shots,
     const std::vector<real>& bit_flip_prob_0to1,
     const std::vector<real>& bit_flip_prob_1to0) {
-  const StateVector state = run_circuit(circuit, params);
-  const int nq = circuit.num_qubits();
+  const int nq = state.num_qubits();
   const bool noisy_readout = !bit_flip_prob_0to1.empty();
   if (noisy_readout) {
     QNAT_CHECK(bit_flip_prob_0to1.size() == static_cast<std::size_t>(nq) &&
@@ -57,6 +39,58 @@ std::vector<real> measure_expectations_shots(
     out[static_cast<std::size_t>(q)] = 2.0 * p_plus - 1.0;
   }
   return out;
+}
+
+}  // namespace
+
+StateVector run_circuit(const Circuit& circuit, const ParamVector& params) {
+  StateVector state(circuit.num_qubits());
+  run_circuit_inplace(circuit, params, state);
+  return state;
+}
+
+void run_circuit_inplace(const Circuit& circuit, const ParamVector& params,
+                         StateVector& state) {
+  QNAT_CHECK(state.num_qubits() == circuit.num_qubits(),
+             "state / circuit qubit count mismatch");
+  QNAT_CHECK(static_cast<int>(params.size()) >= circuit.num_params(),
+             "parameter vector too short for circuit");
+  shared_program(circuit)->run(state, params);
+}
+
+StateVector run_program(const CompiledProgram& program,
+                        const ParamVector& params) {
+  StateVector state(program.num_qubits());
+  program.run(state, params);
+  return state;
+}
+
+std::vector<real> measure_expectations(const Circuit& circuit,
+                                       const ParamVector& params) {
+  return run_circuit(circuit, params).expectations_z();
+}
+
+std::vector<real> measure_expectations(const CompiledProgram& program,
+                                       const ParamVector& params) {
+  return run_program(program, params).expectations_z();
+}
+
+std::vector<real> measure_expectations_shots(
+    const Circuit& circuit, const ParamVector& params, Rng& rng, int shots,
+    const std::vector<real>& bit_flip_prob_0to1,
+    const std::vector<real>& bit_flip_prob_1to0) {
+  QNAT_CHECK(shots > 0, "sample requires positive shot count");
+  return expectations_from_shots(run_circuit(circuit, params), rng, shots,
+                                 bit_flip_prob_0to1, bit_flip_prob_1to0);
+}
+
+std::vector<real> measure_expectations_shots(
+    const CompiledProgram& program, const ParamVector& params, Rng& rng,
+    int shots, const std::vector<real>& bit_flip_prob_0to1,
+    const std::vector<real>& bit_flip_prob_1to0) {
+  QNAT_CHECK(shots > 0, "sample requires positive shot count");
+  return expectations_from_shots(run_program(program, params), rng, shots,
+                                 bit_flip_prob_0to1, bit_flip_prob_1to0);
 }
 
 }  // namespace qnat

@@ -1,9 +1,17 @@
 // Circuit execution helpers: run a parameter binding through a circuit and
 // read out Pauli-Z expectations, analytically or from finite shots.
+//
+// All circuit-taking entry points execute through the fused compiled
+// program of the circuit (memoized via shared_program, so repeated runs of
+// the same circuit — batch samples, trajectories of a cached plan,
+// parameter-shift evaluations — compile once). Callers holding a one-off
+// circuit (e.g. a freshly noise-injected trajectory) can compile uncached
+// with compile_program and use the program overloads directly.
 #pragma once
 
 #include "common/rng.hpp"
 #include "qsim/circuit.hpp"
+#include "qsim/program.hpp"
 #include "qsim/statevector.hpp"
 
 namespace qnat {
@@ -15,8 +23,16 @@ StateVector run_circuit(const Circuit& circuit, const ParamVector& params);
 void run_circuit_inplace(const Circuit& circuit, const ParamVector& params,
                          StateVector& state);
 
+/// Evolves |0...0> through a compiled program.
+StateVector run_program(const CompiledProgram& program,
+                        const ParamVector& params);
+
 /// Analytic Z expectations of the final state, one per qubit.
 std::vector<real> measure_expectations(const Circuit& circuit,
+                                       const ParamVector& params);
+
+/// Analytic Z expectations through a compiled program.
+std::vector<real> measure_expectations(const CompiledProgram& program,
                                        const ParamVector& params);
 
 /// Finite-shot estimate of per-qubit Z expectations: samples `shots`
@@ -27,6 +43,12 @@ std::vector<real> measure_expectations(const Circuit& circuit,
 std::vector<real> measure_expectations_shots(
     const Circuit& circuit, const ParamVector& params, Rng& rng, int shots,
     const std::vector<real>& bit_flip_prob_0to1 = {},
+    const std::vector<real>& bit_flip_prob_1to0 = {});
+
+/// Finite-shot expectations through a compiled program.
+std::vector<real> measure_expectations_shots(
+    const CompiledProgram& program, const ParamVector& params, Rng& rng,
+    int shots, const std::vector<real>& bit_flip_prob_0to1 = {},
     const std::vector<real>& bit_flip_prob_1to0 = {});
 
 }  // namespace qnat

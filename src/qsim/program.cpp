@@ -1,0 +1,303 @@
+#include "qsim/program.hpp"
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "qsim/statevector.hpp"
+
+namespace qnat {
+
+namespace {
+
+bool is_zero(cplx c) { return c.real() == 0.0 && c.imag() == 0.0; }
+bool is_one(cplx c) { return c.real() == 1.0 && c.imag() == 0.0; }
+
+}  // namespace
+
+const char* kernel_class_name(KernelClass k) {
+  switch (k) {
+    case KernelClass::Identity: return "identity";
+    case KernelClass::Diag1Q: return "diag1q";
+    case KernelClass::AntiDiag1Q: return "antidiag1q";
+    case KernelClass::Generic1Q: return "generic1q";
+    case KernelClass::Diag2Q: return "diag2q";
+    case KernelClass::CtrlAnti1Q: return "ctrlanti1q";
+    case KernelClass::Ctrl1Q: return "ctrl1q";
+    case KernelClass::Swap: return "swap";
+    case KernelClass::Generic2Q: return "generic2q";
+  }
+  return "?";
+}
+
+KernelClass classify_1q(const CMatrix& m) {
+  if (is_zero(m(0, 1)) && is_zero(m(1, 0))) {
+    if (is_one(m(0, 0)) && is_one(m(1, 1))) return KernelClass::Identity;
+    return KernelClass::Diag1Q;
+  }
+  if (is_zero(m(0, 0)) && is_zero(m(1, 1))) return KernelClass::AntiDiag1Q;
+  return KernelClass::Generic1Q;
+}
+
+KernelClass classify_2q(const CMatrix& m) {
+  bool off_diag_zero = true;
+  for (std::size_t r = 0; r < 4 && off_diag_zero; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      if (r != c && !is_zero(m(r, c))) {
+        off_diag_zero = false;
+        break;
+      }
+    }
+  }
+  if (off_diag_zero) {
+    if (is_one(m(0, 0)) && is_one(m(1, 1)) && is_one(m(2, 2)) &&
+        is_one(m(3, 3))) {
+      return KernelClass::Identity;
+    }
+    return KernelClass::Diag2Q;
+  }
+
+  // SWAP permutation: exact 1s at (0,0), (1,2), (2,1), (3,3).
+  if (is_one(m(0, 0)) && is_one(m(1, 2)) && is_one(m(2, 1)) &&
+      is_one(m(3, 3)) && is_zero(m(0, 1)) && is_zero(m(0, 2)) &&
+      is_zero(m(0, 3)) && is_zero(m(1, 0)) && is_zero(m(1, 1)) &&
+      is_zero(m(1, 3)) && is_zero(m(2, 0)) && is_zero(m(2, 2)) &&
+      is_zero(m(2, 3)) && is_zero(m(3, 0)) && is_zero(m(3, 1)) &&
+      is_zero(m(3, 2))) {
+    return KernelClass::Swap;
+  }
+
+  // Controlled structure: identity on the control-0 block, zero
+  // off-blocks, arbitrary 2x2 on the control-1 block.
+  const bool controlled =
+      is_one(m(0, 0)) && is_one(m(1, 1)) && is_zero(m(0, 1)) &&
+      is_zero(m(1, 0)) && is_zero(m(0, 2)) && is_zero(m(0, 3)) &&
+      is_zero(m(1, 2)) && is_zero(m(1, 3)) && is_zero(m(2, 0)) &&
+      is_zero(m(2, 1)) && is_zero(m(3, 0)) && is_zero(m(3, 1));
+  if (controlled) {
+    if (is_zero(m(2, 2)) && is_zero(m(3, 3))) return KernelClass::CtrlAnti1Q;
+    return KernelClass::Ctrl1Q;
+  }
+  return KernelClass::Generic2Q;
+}
+
+void apply_classified_1q(StateVector& state, KernelClass kernel,
+                         const CMatrix& m, QubitIndex q) {
+  switch (kernel) {
+    case KernelClass::Identity:
+      return;
+    case KernelClass::Diag1Q:
+      state.apply_diag_1q(m(0, 0), m(1, 1), q);
+      return;
+    case KernelClass::AntiDiag1Q:
+      state.apply_antidiag_1q(m(0, 1), m(1, 0), q);
+      return;
+    default:
+      state.apply_1q(m, q);
+      return;
+  }
+}
+
+void apply_classified_2q(StateVector& state, KernelClass kernel,
+                         const CMatrix& m, QubitIndex a, QubitIndex b) {
+  switch (kernel) {
+    case KernelClass::Identity:
+      return;
+    case KernelClass::Diag2Q:
+      state.apply_diag_2q(m(0, 0), m(1, 1), m(2, 2), m(3, 3), a, b);
+      return;
+    case KernelClass::CtrlAnti1Q:
+      state.apply_controlled_antidiag_1q(m(2, 3), m(3, 2), a, b);
+      return;
+    case KernelClass::Ctrl1Q:
+      state.apply_controlled_1q(m(2, 2), m(2, 3), m(3, 2), m(3, 3), a, b);
+      return;
+    case KernelClass::Swap:
+      state.apply_swap(a, b);
+      return;
+    default:
+      state.apply_2q(m, a, b);
+      return;
+  }
+}
+
+void apply_matrix_1q(StateVector& state, const CMatrix& m, QubitIndex q) {
+  apply_classified_1q(state, classify_1q(m), m, q);
+}
+
+void apply_matrix_2q(StateVector& state, const CMatrix& m, QubitIndex a,
+                     QubitIndex b) {
+  apply_classified_2q(state, classify_2q(m), m, a, b);
+}
+
+CompiledOp compile_gate_op(const Gate& gate) {
+  CompiledOp op;
+  op.num_qubits = gate.num_qubits();
+  op.q0 = gate.qubits[0];
+  op.q1 = op.num_qubits == 2 ? gate.qubits[1] : QubitIndex{0};
+  if (gate.is_parameterized()) {
+    op.parameterized = true;
+    op.gate = gate;
+    // The concrete class is derived per binding from the evaluated matrix.
+    op.kernel = op.num_qubits == 1 ? KernelClass::Generic1Q
+                                   : KernelClass::Generic2Q;
+    return op;
+  }
+  op.matrix = gate.matrix(gate.eval_params({}));
+  op.kernel =
+      op.num_qubits == 1 ? classify_1q(op.matrix) : classify_2q(op.matrix);
+  return op;
+}
+
+void apply_op(StateVector& state, const CompiledOp& op,
+              const ParamVector& params) {
+  if (!op.parameterized) {
+    if (op.kernel == KernelClass::Identity) return;
+    if (op.num_qubits == 1) {
+      apply_classified_1q(state, op.kernel, op.matrix, op.q0);
+    } else {
+      apply_classified_2q(state, op.kernel, op.matrix, op.q0, op.q1);
+    }
+    return;
+  }
+  const CMatrix m = op.gate.matrix(op.gate.eval_params(params));
+  if (op.num_qubits == 1) {
+    apply_matrix_1q(state, m, op.q0);
+  } else {
+    apply_matrix_2q(state, m, op.q0, op.q1);
+  }
+}
+
+void CompiledProgram::run(StateVector& state, const ParamVector& params) const {
+  QNAT_CHECK(state.num_qubits() == num_qubits_,
+             "state / program qubit count mismatch");
+  QNAT_CHECK(static_cast<int>(params.size()) >= num_params_,
+             "parameter vector too short for program");
+  for (const CompiledOp& op : ops_) {
+    apply_op(state, op, params);
+  }
+}
+
+CompiledProgram compile_program(const Circuit& circuit,
+                                const FusionOptions& options) {
+  ProgramStats stats;
+  std::vector<CompiledOp> ops;
+  ops.reserve(circuit.size());
+
+  // Per-qubit accumulator of pending constant single-qubit matrices. A new
+  // constant 1q gate left-multiplies the pending product; any gate that
+  // touches the qubit and cannot join the run (two-qubit or parameterized)
+  // flushes it first, preserving gate order on every qubit.
+  const auto nq = static_cast<std::size_t>(circuit.num_qubits());
+  std::vector<std::optional<CMatrix>> pending(nq);
+  std::vector<int> pending_count(nq, 0);
+
+  auto flush = [&](QubitIndex q) {
+    auto& slot = pending[static_cast<std::size_t>(q)];
+    if (!slot.has_value()) return;
+    CompiledOp op;
+    op.num_qubits = 1;
+    op.q0 = q;
+    op.matrix = std::move(*slot);
+    op.kernel = classify_1q(op.matrix);
+    op.fused_gates = pending_count[static_cast<std::size_t>(q)];
+    stats.fused_away += op.fused_gates - 1;
+    slot.reset();
+    pending_count[static_cast<std::size_t>(q)] = 0;
+    if (op.kernel == KernelClass::Identity) {
+      ++stats.identity_removed;
+      return;
+    }
+    ops.push_back(std::move(op));
+  };
+
+  for (const Gate& gate : circuit.gates()) {
+    ++stats.source_gates;
+    if (!options.fuse) {
+      ops.push_back(compile_gate_op(gate));
+      continue;
+    }
+    if (gate.num_qubits() == 1 && !gate.is_parameterized()) {
+      auto& slot = pending[static_cast<std::size_t>(gate.qubits[0])];
+      const CMatrix m = gate.matrix(gate.eval_params({}));
+      slot = slot.has_value() ? m * *slot : m;
+      ++pending_count[static_cast<std::size_t>(gate.qubits[0])];
+      continue;
+    }
+    for (const QubitIndex q : gate.qubits) flush(q);
+    CompiledOp op = compile_gate_op(gate);
+    if (!op.parameterized && op.kernel == KernelClass::Identity) {
+      ++stats.identity_removed;
+      continue;
+    }
+    ops.push_back(std::move(op));
+  }
+  if (options.fuse) {
+    for (QubitIndex q = 0; q < circuit.num_qubits(); ++q) flush(q);
+  }
+
+  stats.ops = static_cast<int>(ops.size());
+  return CompiledProgram(circuit.num_qubits(), circuit.num_params(),
+                         circuit.fingerprint(), std::move(ops), stats);
+}
+
+namespace {
+
+struct ProgramCache {
+  std::mutex mu;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const CompiledProgram>> map;
+};
+
+ProgramCache& program_cache() {
+  static ProgramCache* cache = new ProgramCache();
+  return *cache;
+}
+
+/// Bound on cached programs. One-off circuits (fresh noise-injected
+/// trajectories) insert entries that are never hit again; clearing
+/// wholesale when full keeps memory bounded while hot circuits simply
+/// re-compile on their next use.
+constexpr std::size_t kMaxCachedPrograms = 4096;
+
+std::uint64_t cache_key(const Circuit& circuit, const FusionOptions& options) {
+  // Fingerprint collisions across distinct circuits are vanishingly
+  // unlikely (64-bit structural hash; see Circuit::fingerprint).
+  return circuit.fingerprint() ^
+         (options.fuse ? 0x0ULL : 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledProgram> shared_program(
+    const Circuit& circuit, const FusionOptions& options) {
+  ProgramCache& cache = program_cache();
+  const std::uint64_t key = cache_key(circuit, options);
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    const auto it = cache.map.find(key);
+    if (it != cache.map.end()) return it->second;
+  }
+  // Compile outside the lock; a concurrent duplicate compile is harmless
+  // (deterministic result) and the first inserted entry wins.
+  auto program = std::make_shared<const CompiledProgram>(
+      compile_program(circuit, options));
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (cache.map.size() >= kMaxCachedPrograms) cache.map.clear();
+  return cache.map.emplace(key, std::move(program)).first->second;
+}
+
+std::size_t program_cache_size() {
+  ProgramCache& cache = program_cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.map.size();
+}
+
+void clear_program_cache() {
+  ProgramCache& cache = program_cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.map.clear();
+}
+
+}  // namespace qnat

@@ -1,0 +1,168 @@
+// Compiled circuit programs: gate fusion + specialized simulator kernels.
+//
+// `compile_program` lowers a `Circuit` into a linear sequence of
+// `CompiledOp`s. Runs of adjacent *constant* single-qubit gates on the
+// same qubit are fused into one 2x2 unitary, and every op is classified
+// into a kernel class (diagonal, anti-diagonal, controlled-phase,
+// permutation/X-like, generic 1q/2q) with a specialized StateVector /
+// DensityMatrix apply routine that skips the structural zeros of the
+// matrix instead of running the dense 2x2/4x4 path.
+//
+// Parameterized gates are fusion barriers: they are emitted as standalone
+// ops that re-evaluate their matrix for every parameter binding, so the
+// compiled program preserves the original parameterized gate structure —
+// the adjoint differentiator and the parameter-shift rule keep walking
+// the source circuit while the forward executions run fused.
+//
+// `shared_program` memoizes compiled programs in a process-wide bounded
+// cache keyed on `Circuit::fingerprint()` (plus the fusion options), so
+// the batch engine, evaluator trajectories and parameter-shift loops
+// compile each distinct circuit once and reuse the program across
+// samples, shots and training steps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "qsim/circuit.hpp"
+
+namespace qnat {
+
+class StateVector;
+
+/// Kernel classes, ordered roughly by specialization win. Classification
+/// of constant matrices is structural (exact zero tests — gate matrices
+/// and products of structured matrices produce exact zeros); classification
+/// of parameterized ops happens per binding from the evaluated matrix.
+enum class KernelClass : std::uint8_t {
+  /// Structurally the identity; skipped at execution (fused X·X, I, ...).
+  Identity,
+  /// 2x2 diagonal: Z, S, T, RZ, P and fused runs thereof.
+  Diag1Q,
+  /// 2x2 anti-diagonal: X, Y and diagonal-conjugated variants.
+  AntiDiag1Q,
+  /// Dense 2x2 fallback: H, SX, RX, RY, U2, U3, mixed fused runs.
+  Generic1Q,
+  /// 4x4 diagonal — the controlled-phase family: CZ, CP, CRZ, RZZ.
+  Diag2Q,
+  /// Controlled anti-diagonal (permutation/X-like): CX, CY.
+  CtrlAnti1Q,
+  /// Generic controlled 2x2: CH, CRX, CRY, CU3.
+  Ctrl1Q,
+  /// Two-qubit swap permutation.
+  Swap,
+  /// Dense 4x4 fallback: SqrtSwap, RXX, RYY, RZX.
+  Generic2Q,
+};
+
+/// Short mnemonic for logging/tests, e.g. "diag1q".
+const char* kernel_class_name(KernelClass k);
+
+/// One executable unit of a compiled program: either a constant op with a
+/// baked (possibly fused) matrix, or a parameterized op carrying its
+/// source gate for per-binding matrix evaluation.
+struct CompiledOp {
+  KernelClass kernel = KernelClass::Generic1Q;
+  bool parameterized = false;
+  int num_qubits = 1;
+  QubitIndex q0 = 0;  ///< High matrix bit; control for Ctrl* kernels.
+  QubitIndex q1 = 0;  ///< Low matrix bit; target for Ctrl* kernels.
+  /// Constant ops: the matrix, baked at compile time.
+  CMatrix matrix;
+  /// Parameterized ops: the source gate, re-evaluated per binding.
+  Gate gate;
+  /// Source gates covered by this op (> 1 for fused runs).
+  int fused_gates = 1;
+};
+
+struct FusionOptions {
+  /// Fuse runs of adjacent constant single-qubit gates into one 2x2 op
+  /// and drop structural identities. Disable for consumers that need ops
+  /// aligned 1:1 with source gates (the exact channel simulator
+  /// interleaves a noise channel after every source gate).
+  bool fuse = true;
+};
+
+struct ProgramStats {
+  int source_gates = 0;
+  int ops = 0;
+  /// Source gates absorbed into an already-counted fused op.
+  int fused_away = 0;
+  /// Ops dropped because the (fused) matrix was structurally identity.
+  int identity_removed = 0;
+};
+
+class CompiledProgram {
+ public:
+  CompiledProgram() = default;
+  CompiledProgram(int num_qubits, int num_params, std::uint64_t fingerprint,
+                  std::vector<CompiledOp> ops, ProgramStats stats)
+      : num_qubits_(num_qubits),
+        num_params_(num_params),
+        fingerprint_(fingerprint),
+        ops_(std::move(ops)),
+        stats_(stats) {}
+
+  int num_qubits() const { return num_qubits_; }
+  int num_params() const { return num_params_; }
+  /// Fingerprint of the source circuit (the cache key component).
+  std::uint64_t source_fingerprint() const { return fingerprint_; }
+  const std::vector<CompiledOp>& ops() const { return ops_; }
+  const ProgramStats& stats() const { return stats_; }
+
+  /// Executes every op on `state` under the given parameter binding.
+  void run(StateVector& state, const ParamVector& params) const;
+
+ private:
+  int num_qubits_ = 0;
+  int num_params_ = 0;
+  std::uint64_t fingerprint_ = 0;
+  std::vector<CompiledOp> ops_;
+  ProgramStats stats_;
+};
+
+/// Lowers a circuit into a compiled program. With `options.fuse == false`
+/// the result has exactly one op per source gate, in source order.
+CompiledProgram compile_program(const Circuit& circuit,
+                                const FusionOptions& options = {});
+
+/// Classifies one gate as a standalone op (no fusion).
+CompiledOp compile_gate_op(const Gate& gate);
+
+/// Applies one op to a statevector (evaluating parameterized matrices
+/// from `params`).
+void apply_op(StateVector& state, const CompiledOp& op,
+              const ParamVector& params);
+
+/// Structural classification of a concrete 2x2 / 4x4 matrix.
+KernelClass classify_1q(const CMatrix& m);
+KernelClass classify_2q(const CMatrix& m);
+
+/// Classifies `m` and dispatches it through the specialized kernels.
+void apply_matrix_1q(StateVector& state, const CMatrix& m, QubitIndex q);
+void apply_matrix_2q(StateVector& state, const CMatrix& m, QubitIndex a,
+                     QubitIndex b);
+
+/// Dispatches a concrete matrix through a *precomputed* kernel class
+/// (entries are read from `m`; the class must match its structure).
+void apply_classified_1q(StateVector& state, KernelClass kernel,
+                         const CMatrix& m, QubitIndex q);
+void apply_classified_2q(StateVector& state, KernelClass kernel,
+                         const CMatrix& m, QubitIndex a, QubitIndex b);
+
+/// Process-wide memoized compile keyed on (Circuit::fingerprint, options).
+/// Thread-safe; the cache is bounded (cleared wholesale when full), so
+/// one-off circuits (e.g. freshly noise-injected trajectories) cannot grow
+/// it without bound. Deterministic: a cache hit returns a program
+/// bit-identical to a fresh compile.
+std::shared_ptr<const CompiledProgram> shared_program(
+    const Circuit& circuit, const FusionOptions& options = {});
+
+/// Number of currently cached programs (tests/diagnostics).
+std::size_t program_cache_size();
+
+/// Drops every cached program.
+void clear_program_cache();
+
+}  // namespace qnat

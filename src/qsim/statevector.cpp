@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "qsim/program.hpp"
 
 namespace qnat {
 
@@ -68,12 +69,120 @@ void StateVector::apply_2q(const CMatrix& m, QubitIndex a, QubitIndex b) {
   }
 }
 
+void StateVector::apply_diag_1q(cplx d0, cplx d1, QubitIndex q) {
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  const std::size_t stride = std::size_t{1} << q;
+  const std::size_t n = amps_.size();
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      amps_[i] *= d0;
+      amps_[i + stride] *= d1;
+    }
+  }
+}
+
+void StateVector::apply_antidiag_1q(cplx top, cplx bottom, QubitIndex q) {
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  const std::size_t stride = std::size_t{1} << q;
+  const std::size_t n = amps_.size();
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      const cplx a0 = amps_[i];
+      amps_[i] = top * amps_[i + stride];
+      amps_[i + stride] = bottom * a0;
+    }
+  }
+}
+
+namespace {
+
+/// Expands a dense counter k over 2^(n-2) values into the basis index with
+/// zero bits inserted at strides `lo` < `hi` (same enumeration apply_2q
+/// uses).
+inline std::size_t expand_two_zero_bits(std::size_t k, std::size_t lo,
+                                        std::size_t hi) {
+  std::size_t i = (k & (lo - 1)) | ((k & ~(lo - 1)) << 1);
+  return (i & (hi - 1)) | ((i & ~(hi - 1)) << 1);
+}
+
+}  // namespace
+
+void StateVector::apply_diag_2q(cplx d0, cplx d1, cplx d2, cplx d3,
+                                QubitIndex a, QubitIndex b) {
+  QNAT_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
+             "invalid qubit pair");
+  const std::size_t sa = std::size_t{1} << a;
+  const std::size_t sb = std::size_t{1} << b;
+  const std::size_t lo = sa < sb ? sa : sb;
+  const std::size_t hi = sa < sb ? sb : sa;
+  const std::size_t quarter = amps_.size() >> 2;
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi);
+    amps_[i] *= d0;
+    amps_[i | sb] *= d1;
+    amps_[i | sa] *= d2;
+    amps_[i | sa | sb] *= d3;
+  }
+}
+
+void StateVector::apply_controlled_1q(cplx m00, cplx m01, cplx m10, cplx m11,
+                                      QubitIndex control, QubitIndex target) {
+  QNAT_CHECK(control >= 0 && control < num_qubits_ && target >= 0 &&
+                 target < num_qubits_ && control != target,
+             "invalid qubit pair");
+  const std::size_t sc = std::size_t{1} << control;
+  const std::size_t st = std::size_t{1} << target;
+  const std::size_t lo = sc < st ? sc : st;
+  const std::size_t hi = sc < st ? st : sc;
+  const std::size_t quarter = amps_.size() >> 2;
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | sc;
+    const cplx a0 = amps_[i];
+    const cplx a1 = amps_[i | st];
+    amps_[i] = m00 * a0 + m01 * a1;
+    amps_[i | st] = m10 * a0 + m11 * a1;
+  }
+}
+
+void StateVector::apply_controlled_antidiag_1q(cplx top, cplx bottom,
+                                               QubitIndex control,
+                                               QubitIndex target) {
+  QNAT_CHECK(control >= 0 && control < num_qubits_ && target >= 0 &&
+                 target < num_qubits_ && control != target,
+             "invalid qubit pair");
+  const std::size_t sc = std::size_t{1} << control;
+  const std::size_t st = std::size_t{1} << target;
+  const std::size_t lo = sc < st ? sc : st;
+  const std::size_t hi = sc < st ? st : sc;
+  const std::size_t quarter = amps_.size() >> 2;
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | sc;
+    const cplx a0 = amps_[i];
+    amps_[i] = top * amps_[i | st];
+    amps_[i | st] = bottom * a0;
+  }
+}
+
+void StateVector::apply_swap(QubitIndex a, QubitIndex b) {
+  QNAT_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
+             "invalid qubit pair");
+  const std::size_t sa = std::size_t{1} << a;
+  const std::size_t sb = std::size_t{1} << b;
+  const std::size_t lo = sa < sb ? sa : sb;
+  const std::size_t hi = sa < sb ? sb : sa;
+  const std::size_t quarter = amps_.size() >> 2;
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi);
+    std::swap(amps_[i | sa], amps_[i | sb]);
+  }
+}
+
 void StateVector::apply_gate(const Gate& gate, const ParamVector& params) {
   const CMatrix m = gate.matrix(gate.eval_params(params));
   if (gate.num_qubits() == 1) {
-    apply_1q(m, gate.qubits[0]);
+    apply_matrix_1q(*this, m, gate.qubits[0]);
   } else {
-    apply_2q(m, gate.qubits[0], gate.qubits[1]);
+    apply_matrix_2q(*this, m, gate.qubits[0], gate.qubits[1]);
   }
 }
 
@@ -81,9 +190,9 @@ void StateVector::apply_gate_adjoint(const Gate& gate,
                                      const ParamVector& params) {
   const CMatrix m = gate.matrix(gate.eval_params(params)).adjoint();
   if (gate.num_qubits() == 1) {
-    apply_1q(m, gate.qubits[0]);
+    apply_matrix_1q(*this, m, gate.qubits[0]);
   } else {
-    apply_2q(m, gate.qubits[0], gate.qubits[1]);
+    apply_matrix_2q(*this, m, gate.qubits[0], gate.qubits[1]);
   }
 }
 

@@ -42,6 +42,33 @@ class StateVector {
   /// high bit of the matrix index (matching the Gate convention).
   void apply_2q(const CMatrix& m, QubitIndex a, QubitIndex b);
 
+  // --- specialized kernels (compiled-program fast path, see program.hpp)
+  // Each routine applies only the structurally non-zero entries of its
+  // matrix class; callers (the program layer) are responsible for passing
+  // entries matching the classification.
+
+  /// Diagonal 2x2: amplitudes with bit q clear scale by d0, set by d1.
+  void apply_diag_1q(cplx d0, cplx d1, QubitIndex q);
+
+  /// Anti-diagonal 2x2 with top = m(0,1), bottom = m(1,0).
+  void apply_antidiag_1q(cplx top, cplx bottom, QubitIndex q);
+
+  /// Diagonal 4x4 on (a = high matrix bit, b = low matrix bit); dk is the
+  /// diagonal entry at matrix index k = (bit_a << 1) | bit_b.
+  void apply_diag_2q(cplx d0, cplx d1, cplx d2, cplx d3, QubitIndex a,
+                     QubitIndex b);
+
+  /// Arbitrary 2x2 on `target`, applied only where `control` is |1>.
+  void apply_controlled_1q(cplx m00, cplx m01, cplx m10, cplx m11,
+                           QubitIndex control, QubitIndex target);
+
+  /// Anti-diagonal 2x2 on `target` where `control` is |1> (CX/CY-like).
+  void apply_controlled_antidiag_1q(cplx top, cplx bottom,
+                                    QubitIndex control, QubitIndex target);
+
+  /// Swaps the amplitudes of qubits a and b (the SWAP permutation).
+  void apply_swap(QubitIndex a, QubitIndex b);
+
   /// Applies a gate with a concrete parameter binding.
   void apply_gate(const Gate& gate, const ParamVector& params);
 

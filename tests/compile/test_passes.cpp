@@ -27,6 +27,44 @@ TEST(Passes, MergesAdjacentRz) {
   expect_equivalent(c, merged, {0.4, 0.9});
 }
 
+TEST(Passes, MergesEveryAdditiveRotationFamily) {
+  // RX/RY/RZ/RZZ/CRZ/CP all satisfy U(a)U(b) = U(a+b) on identical
+  // operands; each adjacent same-type pair merges into one gate.
+  Circuit c(2, 2);
+  c.rx(0, 0);
+  c.rx(0, 1);
+  c.ry(1, 0);
+  c.ry(1, 1);
+  c.append(Gate(GateType::RZZ, {0, 1}, {ParamExpr::param(0)}));
+  c.append(Gate(GateType::RZZ, {0, 1}, {ParamExpr::param(1)}));
+  c.append(Gate(GateType::CRZ, {0, 1}, {ParamExpr::param(0)}));
+  c.append(Gate(GateType::CRZ, {0, 1}, {ParamExpr::param(1)}));
+  c.append(Gate(GateType::CP, {1, 0}, {ParamExpr::param(0)}));
+  c.append(Gate(GateType::CP, {1, 0}, {ParamExpr::param(1)}));
+  PassStats stats;
+  const Circuit merged = merge_rotations(c, &stats);
+  EXPECT_EQ(merged.size(), 5u);
+  EXPECT_EQ(stats.merged_rotations, 5);
+  expect_equivalent(c, merged, {0.7, -1.3});
+}
+
+TEST(Passes, DoesNotMergeDifferentRotationAxes) {
+  Circuit c(1, 2);
+  c.rx(0, 0);
+  c.ry(0, 1);  // same qubit, different axis: must not merge
+  const Circuit merged = merge_rotations(c);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(Passes, DoesNotMergeSwappedOperands) {
+  // CRZ(a; q0→q1) then CRZ(b; q1→q0): same qubit set, different roles.
+  Circuit c(2, 2);
+  c.append(Gate(GateType::CRZ, {0, 1}, {ParamExpr::param(0)}));
+  c.append(Gate(GateType::CRZ, {1, 0}, {ParamExpr::param(1)}));
+  const Circuit merged = merge_rotations(c);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
 TEST(Passes, DoesNotMergeAcrossBlockingGate) {
   Circuit c(1, 2);
   c.rz(0, 0);

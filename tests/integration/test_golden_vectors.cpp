@@ -1,0 +1,171 @@
+// Golden regression vectors for the end-to-end evaluation pipelines.
+//
+// Each test recomputes a fixed-seed workload — the MNIST-4 QNN forward
+// pass (ideal and exact-channel noisy) and a Table-1-style evaluation
+// sweep — and compares every expectation value against a serialized
+// vector checked into tests/golden/. Any change to the simulator kernels,
+// the fusion pass, the noise channels or the evaluation pipeline that
+// moves an output by more than 1e-9 fails here, pinning today's numerics
+// as the reference.
+//
+// The tolerance is 1e-9 (not exact): values pass through libm
+// transcendentals whose last-ulp behavior may differ between libm
+// versions, while genuine regressions move results by far more.
+//
+// Regenerating after an *intentional* numeric change:
+//   QNAT_UPDATE_GOLDEN=1 ./test_golden   # rewrites tests/golden/*.txt
+// then re-run without the variable and commit the updated vectors.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "data/tasks.hpp"
+#include "noise/device_presets.hpp"
+
+namespace qnat {
+namespace {
+
+#ifndef QNAT_GOLDEN_DIR
+#error "QNAT_GOLDEN_DIR must point at tests/golden"
+#endif
+
+std::string golden_path(const std::string& name) {
+  return std::string(QNAT_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+bool update_mode() { return std::getenv("QNAT_UPDATE_GOLDEN") != nullptr; }
+
+void write_golden(const std::string& name, const std::vector<real>& values) {
+  std::ofstream out(golden_path(name));
+  ASSERT_TRUE(out) << "cannot write " << golden_path(name);
+  out << values.size() << "\n";
+  for (const real v : values) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << buf << "\n";
+  }
+}
+
+std::vector<real> read_golden(const std::string& name) {
+  std::ifstream in(golden_path(name));
+  EXPECT_TRUE(in) << "missing golden vector " << golden_path(name)
+                  << " (run with QNAT_UPDATE_GOLDEN=1 to create)";
+  if (!in) return {};
+  std::size_t count = 0;
+  in >> count;
+  std::vector<real> values(count, 0.0);
+  for (std::size_t i = 0; i < count; ++i) in >> values[i];
+  EXPECT_TRUE(in) << "truncated golden vector " << golden_path(name);
+  return values;
+}
+
+/// Writes in update mode; otherwise compares against the stored vector.
+void check_golden(const std::string& name, const std::vector<real>& values) {
+  if (update_mode()) {
+    write_golden(name, values);
+    return;
+  }
+  const std::vector<real> expected = read_golden(name);
+  ASSERT_EQ(values.size(), expected.size())
+      << name << ": shape drifted — regenerate deliberately or fix the "
+      << "pipeline";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(values[i], expected[i], 1e-9)
+        << name << "[" << i << "] drifted";
+  }
+}
+
+void append(std::vector<real>& sink, const Tensor2D& t) {
+  sink.insert(sink.end(), t.data().begin(), t.data().end());
+}
+
+QnnModel mnist4_model() {
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 2;
+  arch.input_features = 16;
+  arch.num_classes = 4;
+  QnnModel model(arch);
+  Rng rng(20220712);
+  model.init_weights(rng);
+  return model;
+}
+
+TEST(GoldenVectors, Mnist4QnnForward) {
+  // Fixed-seed MNIST-4 bundle; first 6 test samples through the ideal
+  // pipeline and the exact-channel noisy pipeline on the santiago preset.
+  const TaskBundle task = make_task("mnist4", 12, 7);
+  const QnnModel model = mnist4_model();
+  ASSERT_GE(task.test.size(), 6u);
+  Tensor2D inputs(6, 16);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t f = 0; f < 16; ++f) {
+      inputs(r, f) = task.test.features(r, f);
+    }
+  }
+  QnnForwardOptions pipeline;
+  pipeline.normalize = true;
+
+  std::vector<real> values;
+  append(values, qnn_forward_ideal(model, inputs, pipeline));
+
+  const Deployment deployment(model, make_device_noise_model("santiago"), 2);
+  NoisyEvalOptions eval;
+  eval.mode = NoiseEvalMode::ExactChannel;
+  append(values,
+         qnn_forward_noisy(model, deployment, inputs, pipeline, eval));
+
+  check_golden("mnist4_qnn_forward", values);
+}
+
+TEST(GoldenVectors, Table1EvalPipeline) {
+  // Table-1-style evaluation sweep: accuracies and per-sample logits for
+  // the same fixed-seed model on two device presets, exact-channel and
+  // seeded-trajectory modes, at two noise scales.
+  const TaskBundle task = make_task("mnist4", 10, 11);
+  const QnnModel model = mnist4_model();
+  ASSERT_GE(task.test.size(), 4u);
+  QnnForwardOptions pipeline;
+  pipeline.normalize = true;
+
+  std::vector<real> values;
+  values.push_back(ideal_accuracy(model, task.test, pipeline));
+
+  for (const char* device : {"santiago", "lima"}) {
+    const Deployment deployment(model, make_device_noise_model(device), 2);
+
+    NoisyEvalOptions exact;
+    exact.mode = NoiseEvalMode::ExactChannel;
+    values.push_back(
+        noisy_accuracy(model, deployment, task.test, pipeline, exact));
+
+    NoisyEvalOptions scaled = exact;
+    scaled.noise_scale = 0.5;
+    values.push_back(
+        noisy_accuracy(model, deployment, task.test, pipeline, scaled));
+
+    NoisyEvalOptions traj;
+    traj.mode = NoiseEvalMode::Trajectories;
+    traj.trajectories = 8;
+    traj.seed = 991;
+    Tensor2D inputs(4, 16);
+    for (std::size_t r = 0; r < 4; ++r) {
+      for (std::size_t f = 0; f < 16; ++f) {
+        inputs(r, f) = task.test.features(r, f);
+      }
+    }
+    append(values,
+           qnn_forward_noisy(model, deployment, inputs, pipeline, traj));
+  }
+
+  check_golden("table1_eval_pipeline", values);
+}
+
+}  // namespace
+}  // namespace qnat

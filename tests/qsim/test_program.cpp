@@ -1,0 +1,267 @@
+// Unit tests for the compiled-program layer: kernel classification,
+// single-qubit run fusion, fusion barriers, unfused 1:1 alignment, and the
+// process-wide program cache.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qsim/execution.hpp"
+#include "qsim/program.hpp"
+
+namespace qnat {
+namespace {
+
+CMatrix matrix_of(GateType type, std::vector<real> values = {}) {
+  return gate_matrix(type, values);
+}
+
+TEST(KernelClassify1Q, StructuralClasses) {
+  EXPECT_EQ(classify_1q(matrix_of(GateType::I)), KernelClass::Identity);
+  EXPECT_EQ(classify_1q(matrix_of(GateType::Z)), KernelClass::Diag1Q);
+  EXPECT_EQ(classify_1q(matrix_of(GateType::S)), KernelClass::Diag1Q);
+  EXPECT_EQ(classify_1q(matrix_of(GateType::T)), KernelClass::Diag1Q);
+  EXPECT_EQ(classify_1q(matrix_of(GateType::RZ, {0.37})),
+            KernelClass::Diag1Q);
+  EXPECT_EQ(classify_1q(matrix_of(GateType::P, {0.81})), KernelClass::Diag1Q);
+  EXPECT_EQ(classify_1q(matrix_of(GateType::X)), KernelClass::AntiDiag1Q);
+  EXPECT_EQ(classify_1q(matrix_of(GateType::Y)), KernelClass::AntiDiag1Q);
+  EXPECT_EQ(classify_1q(matrix_of(GateType::H)), KernelClass::Generic1Q);
+  EXPECT_EQ(classify_1q(matrix_of(GateType::SX)), KernelClass::Generic1Q);
+  EXPECT_EQ(classify_1q(matrix_of(GateType::RX, {1.1})),
+            KernelClass::Generic1Q);
+}
+
+TEST(KernelClassify1Q, RotationEdgeAngles) {
+  // RZ(0) is structurally the identity only if the matrix is exactly
+  // diag(e^{-i0}, e^{i0}) = I; trig of 0.0 is exact in IEEE.
+  EXPECT_EQ(classify_1q(matrix_of(GateType::RZ, {0.0})),
+            KernelClass::Identity);
+  // cos(pi/2) is *not* exactly zero in double precision, so RX(pi) stays
+  // generic — classification is structural, never tolerance-based.
+  EXPECT_EQ(classify_1q(matrix_of(GateType::RX, {kPi})),
+            KernelClass::Generic1Q);
+}
+
+TEST(KernelClassify2Q, StructuralClasses) {
+  EXPECT_EQ(classify_2q(matrix_of(GateType::CZ)), KernelClass::Diag2Q);
+  EXPECT_EQ(classify_2q(matrix_of(GateType::CP, {0.53})),
+            KernelClass::Diag2Q);
+  EXPECT_EQ(classify_2q(matrix_of(GateType::CRZ, {0.91})),
+            KernelClass::Diag2Q);
+  EXPECT_EQ(classify_2q(matrix_of(GateType::RZZ, {1.3})),
+            KernelClass::Diag2Q);
+  EXPECT_EQ(classify_2q(matrix_of(GateType::CX)), KernelClass::CtrlAnti1Q);
+  EXPECT_EQ(classify_2q(matrix_of(GateType::CY)), KernelClass::CtrlAnti1Q);
+  EXPECT_EQ(classify_2q(matrix_of(GateType::CH)), KernelClass::Ctrl1Q);
+  EXPECT_EQ(classify_2q(matrix_of(GateType::CRX, {0.7})),
+            KernelClass::Ctrl1Q);
+  EXPECT_EQ(classify_2q(matrix_of(GateType::CU3, {0.4, 0.2, 0.9})),
+            KernelClass::Ctrl1Q);
+  EXPECT_EQ(classify_2q(matrix_of(GateType::SWAP)), KernelClass::Swap);
+  EXPECT_EQ(classify_2q(matrix_of(GateType::SqrtSwap)),
+            KernelClass::Generic2Q);
+  EXPECT_EQ(classify_2q(matrix_of(GateType::RXX, {0.6})),
+            KernelClass::Generic2Q);
+}
+
+TEST(KernelClassName, CoversEveryClass) {
+  EXPECT_STREQ(kernel_class_name(KernelClass::Identity), "identity");
+  EXPECT_STREQ(kernel_class_name(KernelClass::Diag1Q), "diag1q");
+  EXPECT_STREQ(kernel_class_name(KernelClass::AntiDiag1Q), "antidiag1q");
+  EXPECT_STREQ(kernel_class_name(KernelClass::Generic1Q), "generic1q");
+  EXPECT_STREQ(kernel_class_name(KernelClass::Diag2Q), "diag2q");
+  EXPECT_STREQ(kernel_class_name(KernelClass::CtrlAnti1Q), "ctrlanti1q");
+  EXPECT_STREQ(kernel_class_name(KernelClass::Ctrl1Q), "ctrl1q");
+  EXPECT_STREQ(kernel_class_name(KernelClass::Swap), "swap");
+  EXPECT_STREQ(kernel_class_name(KernelClass::Generic2Q), "generic2q");
+}
+
+TEST(ProgramFusion, ConstantRunCollapsesToOneOp) {
+  Circuit c(1, 0);
+  c.h(0);
+  c.s(0);
+  c.t(0);
+  c.h(0);
+  const CompiledProgram program = compile_program(c);
+  ASSERT_EQ(program.ops().size(), 1u);
+  EXPECT_EQ(program.ops()[0].fused_gates, 4);
+  EXPECT_FALSE(program.ops()[0].parameterized);
+  EXPECT_EQ(program.stats().source_gates, 4);
+  EXPECT_EQ(program.stats().ops, 1);
+  EXPECT_EQ(program.stats().fused_away, 3);
+}
+
+TEST(ProgramFusion, SelfInversePairFusesToNothing) {
+  Circuit c(2, 0);
+  c.x(0);
+  c.x(0);
+  c.h(1);
+  const CompiledProgram program = compile_program(c);
+  // X·X = I drops out entirely; only H survives.
+  ASSERT_EQ(program.ops().size(), 1u);
+  EXPECT_EQ(program.ops()[0].kernel, KernelClass::Generic1Q);
+  EXPECT_EQ(program.ops()[0].q0, 1);
+  EXPECT_EQ(program.stats().identity_removed, 1);
+}
+
+TEST(ProgramFusion, ParameterizedGateIsABarrier) {
+  Circuit c(1, 1);
+  c.h(0);
+  c.rz(0, 0);
+  c.h(0);
+  const CompiledProgram program = compile_program(c);
+  // H | RZ(p0) | H — the parameterized gate blocks fusion across it.
+  ASSERT_EQ(program.ops().size(), 3u);
+  EXPECT_FALSE(program.ops()[0].parameterized);
+  EXPECT_TRUE(program.ops()[1].parameterized);
+  EXPECT_EQ(program.ops()[1].gate.type, GateType::RZ);
+  EXPECT_FALSE(program.ops()[2].parameterized);
+}
+
+TEST(ProgramFusion, ConstantAngleRotationFuses) {
+  // A rotation whose expression is constant is a constant matrix: it can
+  // join a fused run even though its gate type is "parameterized".
+  Circuit c(1, 0);
+  c.h(0);
+  c.append(Gate(GateType::RZ, {0}, {ParamExpr::constant(0.3)}));
+  c.h(0);
+  const CompiledProgram program = compile_program(c);
+  ASSERT_EQ(program.ops().size(), 1u);
+  EXPECT_EQ(program.ops()[0].fused_gates, 3);
+}
+
+TEST(ProgramFusion, TwoQubitGateFlushesPendingOperands) {
+  Circuit c(2, 0);
+  c.s(0);  // pending on q0
+  c.t(1);  // pending on q1
+  c.cx(0, 1);
+  const CompiledProgram program = compile_program(c);
+  // Both pending 1q runs must be emitted before the CX.
+  ASSERT_EQ(program.ops().size(), 3u);
+  EXPECT_EQ(program.ops()[2].kernel, KernelClass::CtrlAnti1Q);
+  EXPECT_EQ(program.ops()[2].q0, 0);
+  EXPECT_EQ(program.ops()[2].q1, 1);
+}
+
+TEST(ProgramFusion, UnfusedModeAlignsOneOpPerGate) {
+  Circuit c(2, 1);
+  c.h(0);
+  c.id(1);  // identity must stay (alignment contract)
+  c.rz(0, 0);
+  c.cx(0, 1);
+  c.x(0);
+  c.x(0);
+  const CompiledProgram program =
+      compile_program(c, FusionOptions{.fuse = false});
+  ASSERT_EQ(program.ops().size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(program.ops()[i].fused_gates, 1) << "op " << i;
+    EXPECT_EQ(program.ops()[i].num_qubits, c.gate(i).num_qubits());
+  }
+  EXPECT_EQ(program.ops()[1].kernel, KernelClass::Identity);
+}
+
+TEST(ProgramExecute, FusedMatchesGateByGate) {
+  Circuit c(3, 2);
+  c.h(0);
+  c.t(0);
+  c.rx(1, 0);
+  c.cx(0, 1);
+  c.s(2);
+  c.append(Gate(GateType::RZZ, {1, 2}, {ParamExpr::param(1)}));
+  c.x(2);
+  c.y(2);
+  const ParamVector params{0.83, -1.21};
+
+  StateVector dense(3);
+  for (const auto& gate : c.gates()) {
+    const CMatrix m = gate.matrix(gate.eval_params(params));
+    if (gate.num_qubits() == 1) {
+      dense.apply_1q(m, gate.qubits[0]);
+    } else {
+      dense.apply_2q(m, gate.qubits[0], gate.qubits[1]);
+    }
+  }
+
+  StateVector fused(3);
+  compile_program(c).run(fused, params);
+  for (std::size_t i = 0; i < dense.dim(); ++i) {
+    EXPECT_NEAR(std::abs(fused.amplitude(i) - dense.amplitude(i)), 0.0,
+                1e-12);
+  }
+}
+
+TEST(ProgramCache, SharedProgramMemoizes) {
+  clear_program_cache();
+  Circuit c(2, 1);
+  c.h(0);
+  c.rz(0, 0);
+  c.cx(0, 1);
+
+  const auto p1 = shared_program(c);
+  const auto p2 = shared_program(c);
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(program_cache_size(), 1u);
+
+  // The unfused variant is a distinct cache entry.
+  const auto p3 = shared_program(c, FusionOptions{.fuse = false});
+  EXPECT_NE(p1.get(), p3.get());
+  EXPECT_EQ(program_cache_size(), 2u);
+
+  // A different circuit (different fingerprint) misses.
+  Circuit d = c;
+  d.x(1);
+  const auto p4 = shared_program(d);
+  EXPECT_NE(p1.get(), p4.get());
+  EXPECT_EQ(program_cache_size(), 3u);
+
+  clear_program_cache();
+  EXPECT_EQ(program_cache_size(), 0u);
+}
+
+TEST(ProgramCache, ShiftedParameterOffsetIsADistinctEntry) {
+  // The parameter-shift engine pokes expr.offset on a working copy; the
+  // shifted circuit must map to its own cache slot, not alias the base.
+  clear_program_cache();
+  Circuit c(1, 1);
+  c.rz(0, 0);
+  const auto base = shared_program(c);
+  Circuit shifted = c;
+  shifted.mutable_gate(0).params[0].offset += kPi / 2;
+  const auto other = shared_program(shifted);
+  EXPECT_NE(base.get(), other.get());
+  EXPECT_EQ(program_cache_size(), 2u);
+  clear_program_cache();
+}
+
+TEST(ProgramCache, HitSurvivesCacheClear) {
+  // shared_ptr ownership: clearing the cache must not invalidate programs
+  // still held by callers.
+  clear_program_cache();
+  Circuit c(1, 0);
+  c.h(0);
+  const auto p = shared_program(c);
+  clear_program_cache();
+  StateVector s(1);
+  p->run(s, {});
+  EXPECT_NEAR(std::abs(s.amplitude(0)), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(ProgramExecute, ExecutionEntryPointsAgree) {
+  Circuit c(2, 1);
+  c.h(0);
+  c.ry(1, 0);
+  c.cx(0, 1);
+  const ParamVector params{0.42};
+  const auto via_circuit = measure_expectations(c, params);
+  const auto via_program =
+      measure_expectations(compile_program(c), params);
+  ASSERT_EQ(via_circuit.size(), via_program.size());
+  for (std::size_t q = 0; q < via_circuit.size(); ++q) {
+    // Same compiled path on both sides: bit-identical.
+    EXPECT_EQ(via_circuit[q], via_program[q]);
+  }
+}
+
+}  // namespace
+}  // namespace qnat

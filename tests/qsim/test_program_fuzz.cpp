@@ -1,0 +1,257 @@
+// Differential fuzz suite for the compiled-program layer.
+//
+// Over a thousand random circuits (full mixed gate set, 2–10 qubits,
+// constant and bound parameters, with and without Pauli channels) the
+// fused and unfused compiled programs must agree with a raw dense
+// reference — plain apply_1q/apply_2q on the evaluated gate matrices for
+// the statevector, and an exact channel-branch enumeration of dense runs
+// for the density matrix — to 1e-12.
+//
+// The reference paths deliberately bypass classification and fusion: any
+// kernel dispatching to the wrong specialized routine, any wrong fused
+// product, and any broken zero-structure assumption shows up as an
+// amplitude or expectation mismatch here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "qsim/density_matrix.hpp"
+#include "qsim/execution.hpp"
+#include "qsim/program.hpp"
+
+namespace qnat {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+const std::vector<GateType>& all_gate_types() {
+  static const std::vector<GateType> kTypes = {
+      GateType::I,    GateType::X,    GateType::Y,        GateType::Z,
+      GateType::H,    GateType::S,    GateType::Sdg,      GateType::T,
+      GateType::Tdg,  GateType::SX,   GateType::SXdg,     GateType::SH,
+      GateType::RX,   GateType::RY,   GateType::RZ,       GateType::P,
+      GateType::U2,   GateType::U3,   GateType::CX,       GateType::CY,
+      GateType::CZ,   GateType::CH,   GateType::SWAP,     GateType::SqrtSwap,
+      GateType::CRX,  GateType::CRY,  GateType::CRZ,      GateType::CP,
+      GateType::CU3,  GateType::RXX,  GateType::RYY,      GateType::RZZ,
+      GateType::RZX,
+  };
+  return kTypes;
+}
+
+/// Random parameter expression: constant, direct reference, or affine,
+/// so fuzz circuits exercise constant folding *and* fusion barriers.
+ParamExpr random_expr(int num_params, Rng& rng) {
+  if (num_params == 0 || rng.uniform() < 0.4) {
+    return ParamExpr::constant(rng.uniform(-kPi, kPi));
+  }
+  const auto id = static_cast<ParamIndex>(
+      rng.index(static_cast<std::size_t>(num_params)));
+  if (rng.uniform() < 0.5) return ParamExpr::param(id);
+  return ParamExpr::affine(id, rng.uniform(-1.0, 1.0),
+                           rng.uniform(-0.5, 0.5));
+}
+
+Circuit random_circuit(int num_qubits, int num_params, int num_gates,
+                       Rng& rng) {
+  Circuit c(num_qubits, num_params);
+  const auto& types = all_gate_types();
+  int appended = 0;
+  while (appended < num_gates) {
+    const GateType type = types[rng.index(types.size())];
+    std::vector<QubitIndex> qubits;
+    qubits.push_back(static_cast<QubitIndex>(
+        rng.index(static_cast<std::size_t>(num_qubits))));
+    if (gate_num_qubits(type) == 2) {
+      const auto b = static_cast<QubitIndex>(
+          rng.index(static_cast<std::size_t>(num_qubits)));
+      if (b == qubits[0]) continue;  // redraw
+      qubits.push_back(b);
+    }
+    std::vector<ParamExpr> params;
+    for (int k = 0; k < gate_num_params(type); ++k) {
+      params.push_back(random_expr(num_params, rng));
+    }
+    c.append(Gate(type, std::move(qubits), std::move(params)));
+    ++appended;
+  }
+  return c;
+}
+
+ParamVector random_binding(int num_params, Rng& rng) {
+  ParamVector params(static_cast<std::size_t>(num_params));
+  for (auto& p : params) p = rng.uniform(-kPi, kPi);
+  return params;
+}
+
+/// Raw dense reference: evaluated gate matrices through the unclassified
+/// stride enumerators, no fusion, no kernel dispatch.
+void apply_dense(StateVector& state, const Circuit& circuit,
+                 const ParamVector& params) {
+  for (const auto& gate : circuit.gates()) {
+    const CMatrix m = gate.matrix(gate.eval_params(params));
+    if (gate.num_qubits() == 1) {
+      state.apply_1q(m, gate.qubits[0]);
+    } else {
+      state.apply_2q(m, gate.qubits[0], gate.qubits[1]);
+    }
+  }
+}
+
+void expect_states_close(const StateVector& actual,
+                         const StateVector& expected, const char* label,
+                         std::uint64_t seed) {
+  ASSERT_EQ(actual.dim(), expected.dim());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < actual.dim(); ++i) {
+    worst = std::max(worst,
+                     std::abs(actual.amplitude(i) - expected.amplitude(i)));
+  }
+  EXPECT_LE(worst, kTol) << label << " diverged from dense reference, seed "
+                         << seed;
+}
+
+// ---------------------------------------------------------------------------
+// Statevector: fused and unfused programs vs the dense reference.
+// 56 parameterized cases x 16 circuits = 896 random circuits.
+// ---------------------------------------------------------------------------
+
+class ProgramFuzzSV : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProgramFuzzSV, FusedAndUnfusedMatchDenseReference) {
+  const auto case_seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(case_seed * 6364136223846793005ULL + 1442695040888963407ULL);
+  for (int rep = 0; rep < 16; ++rep) {
+    const int nq = 2 + static_cast<int>(rng.index(9));  // 2..10 qubits
+    const int np = static_cast<int>(rng.index(5));      // 0..4 parameters
+    const int gates = 8 + static_cast<int>(rng.index(53));  // 8..60 gates
+    const Circuit c = random_circuit(nq, np, gates, rng);
+    const ParamVector params = random_binding(np, rng);
+
+    StateVector dense(nq);
+    apply_dense(dense, c, params);
+
+    StateVector fused(nq);
+    compile_program(c).run(fused, params);
+    expect_states_close(fused, dense, "fused", case_seed);
+
+    StateVector unfused(nq);
+    compile_program(c, FusionOptions{.fuse = false}).run(unfused, params);
+    expect_states_close(unfused, dense, "unfused", case_seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgramFuzzSV, ::testing::Range(0, 56));
+
+// ---------------------------------------------------------------------------
+// Density matrix: compiled ops (fused and unfused) interleaved with Pauli
+// channels vs an exact branch enumeration of dense statevector runs.
+// 32 parameterized cases x 8 circuits = 256 random circuits.
+// ---------------------------------------------------------------------------
+
+struct NoisyStage {
+  Circuit segment;
+  PauliChannel channel{0.0, 0.0, 0.0};
+  QubitIndex target = 0;
+  bool has_channel = false;
+};
+
+/// Expectations of the exact mixed state by enumerating every channel
+/// branch (I/X/Y/Z per channel, ≤ 4^3 branches) as a dense pure-state run.
+std::vector<real> branch_enumeration_reference(
+    const std::vector<NoisyStage>& stages, const ParamVector& params,
+    int num_qubits) {
+  std::vector<int> channel_stages;
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    if (stages[s].has_channel) channel_stages.push_back(static_cast<int>(s));
+  }
+  const std::size_t branches =
+      std::size_t{1} << (2 * channel_stages.size());  // 4^k
+  std::vector<real> mean(static_cast<std::size_t>(num_qubits), 0.0);
+  for (std::size_t branch = 0; branch < branches; ++branch) {
+    double weight = 1.0;
+    StateVector psi(num_qubits);
+    std::size_t code = branch;
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      apply_dense(psi, stages[s].segment, params);
+      if (!stages[s].has_channel) continue;
+      const int pauli = static_cast<int>(code & 3u);
+      code >>= 2;
+      const PauliChannel& ch = stages[s].channel;
+      const double p[4] = {ch.p_none(), ch.px, ch.py, ch.pz};
+      weight *= p[pauli];
+      if (weight == 0.0) break;
+      static const GateType kPaulis[4] = {GateType::I, GateType::X,
+                                          GateType::Y, GateType::Z};
+      if (pauli != 0) {
+        psi.apply_1q(gate_matrix(kPaulis[pauli], {}), stages[s].target);
+      }
+    }
+    if (weight == 0.0) continue;
+    const auto e = psi.expectations_z();
+    for (int q = 0; q < num_qubits; ++q) {
+      mean[static_cast<std::size_t>(q)] +=
+          weight * e[static_cast<std::size_t>(q)];
+    }
+  }
+  return mean;
+}
+
+class ProgramFuzzDM : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProgramFuzzDM, CompiledOpsMatchBranchEnumeration) {
+  const auto case_seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(case_seed * 2862933555777941757ULL + 3037000493ULL);
+  for (int rep = 0; rep < 8; ++rep) {
+    const int nq = 2 + static_cast<int>(rng.index(4));  // 2..5 qubits
+    const int np = static_cast<int>(rng.index(3));      // 0..2 parameters
+    const int num_stages = 1 + static_cast<int>(rng.index(3));  // 1..3
+    const ParamVector params = random_binding(np, rng);
+
+    std::vector<NoisyStage> stages;
+    for (int s = 0; s < num_stages; ++s) {
+      NoisyStage stage;
+      stage.segment =
+          random_circuit(nq, np, 4 + static_cast<int>(rng.index(9)), rng);
+      // Roughly one circuit in four runs noiseless end to end.
+      stage.has_channel = rng.uniform() < 0.75;
+      if (stage.has_channel) {
+        stage.channel = PauliChannel{rng.uniform(0.0, 0.15),
+                                     rng.uniform(0.0, 0.15),
+                                     rng.uniform(0.0, 0.15)};
+        stage.target = static_cast<QubitIndex>(
+            rng.index(static_cast<std::size_t>(nq)));
+      }
+      stages.push_back(std::move(stage));
+    }
+
+    const std::vector<real> reference =
+        branch_enumeration_reference(stages, params, nq);
+
+    // Fused and unfused segment programs, channels at stage boundaries.
+    for (const bool fuse : {true, false}) {
+      DensityMatrix rho(nq);
+      for (const auto& stage : stages) {
+        const CompiledProgram program =
+            compile_program(stage.segment, FusionOptions{.fuse = fuse});
+        for (const auto& op : program.ops()) rho.apply_op(op, params);
+        if (stage.has_channel) {
+          rho.apply_pauli_channel(stage.target, stage.channel);
+        }
+      }
+      EXPECT_NEAR(rho.trace(), 1.0, kTol);
+      for (int q = 0; q < nq; ++q) {
+        EXPECT_NEAR(rho.expectation_z(q),
+                    reference[static_cast<std::size_t>(q)], kTol)
+            << (fuse ? "fused" : "unfused") << " DM, seed " << case_seed
+            << " qubit " << q;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgramFuzzDM, ::testing::Range(0, 32));
+
+}  // namespace
+}  // namespace qnat
