@@ -4,7 +4,9 @@
 #include <cstring>
 #include <iostream>
 
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "qsim/program.hpp"
 
 namespace qnat::bench {
 
@@ -14,6 +16,18 @@ int env_int(const char* name, int fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
   return std::atoi(value);
+}
+
+metrics::ObservabilityOptions g_observability;
+std::string g_run_label;
+
+void write_observability_at_exit() {
+  metrics::RunManifest manifest;
+  manifest.label = g_run_label;
+  manifest.seed = scale_from_env().seed;
+  manifest.threads = num_threads();
+  manifest.fused = default_fusion();
+  metrics::write_observability(g_observability, manifest);
 }
 
 }  // namespace
@@ -40,6 +54,14 @@ int configure_threads(int argc, char** argv) {
   }
   if (requested >= 1) set_num_threads(requested);
   return num_threads();
+}
+
+int configure_run(const std::string& label, int argc, char** argv) {
+  const int threads = configure_threads(argc, argv);
+  g_run_label = label;
+  g_observability = metrics::observability_from_args(argc, argv);
+  if (g_observability.any()) std::atexit(write_observability_at_exit);
+  return threads;
 }
 
 std::string method_label(Method method) {

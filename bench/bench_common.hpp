@@ -44,6 +44,14 @@ RunScale scale_from_env();
 /// bit-identical at any thread count; only wall-clock changes.
 int configure_threads(int argc, char** argv);
 
+/// Full bench-run setup: configure_threads plus the observability flags
+/// (`--metrics-out <file>` / `--trace-out <file>`, see
+/// metrics::observability_from_args). When an output is requested, an
+/// atexit hook dumps it together with a run manifest (label, seed,
+/// threads, fusion default, git describe) when the bench finishes.
+/// Returns the resolved thread count.
+int configure_run(const std::string& label, int argc, char** argv);
+
 /// The paper's incremental method cascade (Table 1 rows).
 enum class Method { Baseline, PostNorm, GateInsert, PostQuant };
 

@@ -3,6 +3,7 @@
 // difference gradient cost, error-gate insertion, and transpilation.
 #include <benchmark/benchmark.h>
 
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "compile/transpiler.hpp"
 #include "core/evaluator.hpp"
@@ -168,6 +169,24 @@ void BM_DeepCircuitFused(benchmark::State& state) {
                           static_cast<long>(c.size()));
 }
 BENCHMARK(BM_DeepCircuitFused)->Arg(10);
+
+void BM_DeepCircuitFusedMetricsOn(benchmark::State& state) {
+  // Same workload as BM_DeepCircuitFused but with metrics recording
+  // enabled — the <3% instrumentation-overhead budget is the ratio of
+  // this benchmark to the plain fused one (asserted in CI bench-smoke).
+  const Circuit c = deep_device_circuit(static_cast<int>(state.range(0)), 50);
+  const CompiledProgram program = compile_program(c);
+  metrics::set_enabled(true);
+  for (auto _ : state) {
+    StateVector sv(c.num_qubits());
+    program.run(sv, {});
+    benchmark::DoNotOptimize(sv.amplitude(0));
+  }
+  metrics::set_enabled(false);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(c.size()));
+}
+BENCHMARK(BM_DeepCircuitFusedMetricsOn)->Arg(10);
 
 void BM_DeepCircuitCompile(benchmark::State& state) {
   // Compile cost (amortized away by the program cache in real runs).

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       "every stage adds accuracy on average; norm and injection give the "
       "largest gains; noisier devices start lower");
   const RunScale scale = scale_from_env();
-  const int threads = configure_threads(argc, argv);
+  const int threads = configure_run("table1_main", argc, argv);
   std::cout << "threads: " << threads
             << " (override with --threads N or QNAT_THREADS; results are "
                "bit-identical at any count)\n\n";

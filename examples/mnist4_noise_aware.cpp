@@ -4,10 +4,13 @@
 // the paper's Table 1 story on one task.
 #include <iostream>
 
+#include "common/metrics.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/trainer.hpp"
 #include "data/tasks.hpp"
 #include "noise/device_presets.hpp"
+#include "qsim/program.hpp"
 
 using namespace qnat;
 
@@ -22,7 +25,9 @@ struct Stage {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const metrics::ObservabilityOptions observability =
+      metrics::observability_from_args(argc, argv);
   const TaskBundle task = make_task("mnist4", /*samples_per_class=*/50);
   const NoiseModel device = make_device_noise_model("belem");
 
@@ -69,5 +74,11 @@ int main() {
   std::cout << table.render();
   std::cout << "Each stage should claw back on-device accuracy; the\n"
                "noise-free column shows the (small) clean-accuracy cost.\n";
+
+  metrics::RunManifest manifest;
+  manifest.label = "mnist4_noise_aware";
+  manifest.threads = num_threads();
+  manifest.fused = default_fusion();
+  metrics::write_observability(observability, manifest);
   return 0;
 }

@@ -1,20 +1,27 @@
 // Quickstart: build a 2-block QNN, train it noise-aware for MNIST-2, and
 // compare noise-free vs on-device accuracy.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--metrics-out metrics.json] [--trace-out trace.json]
 //
 // Walks through the library's core objects: task loading, architecture,
 // deployment (transpile onto a noisy device), noise-aware training, and
-// evaluation.
+// evaluation. With --metrics-out the run dumps a structured metrics
+// snapshot (plus run manifest); --trace-out writes a chrome://tracing
+// phase timeline.
 #include <iostream>
 
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
 #include "core/trainer.hpp"
 #include "data/tasks.hpp"
 #include "noise/device_presets.hpp"
+#include "qsim/program.hpp"
 
 using namespace qnat;
 
-int main() {
+int main(int argc, char** argv) {
+  const metrics::ObservabilityOptions observability =
+      metrics::observability_from_args(argc, argv);
   // 1. Load a task: synthetic MNIST-2 (digits 3 vs 6), preprocessed to a
   //    16-dimensional feature vector exactly as in the paper.
   const TaskBundle task = make_task("mnist2", /*samples_per_class=*/60);
@@ -63,5 +70,13 @@ int main() {
             << noisy_accuracy(model, deployment, task.test, pipeline,
                               eval_options)
             << "\n";
+
+  // 6. Optional observability dump: metrics snapshot + phase trace.
+  metrics::RunManifest manifest;
+  manifest.label = "quickstart";
+  manifest.seed = config.seed;
+  manifest.threads = num_threads();
+  manifest.fused = default_fusion();
+  metrics::write_observability(observability, manifest);
   return 0;
 }

@@ -1,0 +1,787 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/trace.hpp"
+
+#ifndef QNAT_GIT_DESCRIBE
+#define QNAT_GIT_DESCRIBE "unknown"
+#endif
+
+namespace qnat::metrics {
+
+namespace {
+
+// Fixed instrument capacities: shards are fixed-size atomic arrays so
+// they can grow no registration-time reallocation a concurrent reader
+// could race with. Capacities are generous — exceeding one is a
+// programming error reported via QNAT_CHECK.
+constexpr std::uint32_t kMaxCounters = 256;
+constexpr std::uint32_t kMaxGauges = 64;
+constexpr std::uint32_t kMaxHistograms = 64;
+
+std::atomic<bool> g_enabled{false};
+
+/// One thread's private slice of every instrument. Written only by the
+/// owning thread; read (relaxed) by aggregators, hence the atomics.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<double>, kMaxGauges> gauges{};
+  std::array<std::array<std::atomic<std::uint64_t>, kHistogramBuckets>,
+             kMaxHistograms>
+      hist_counts{};
+  std::array<std::atomic<double>, kMaxHistograms> hist_sums{};
+};
+
+struct Meta {
+  std::string name;
+  Stability stability = Stability::Deterministic;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Shard*> shards;
+
+  // Totals flushed from shards of exited threads.
+  std::array<std::uint64_t, kMaxCounters> retired_counters{};
+  std::array<double, kMaxGauges> retired_gauges{};
+  std::array<std::array<std::uint64_t, kHistogramBuckets>, kMaxHistograms>
+      retired_hist_counts{};
+  std::array<double, kMaxHistograms> retired_hist_sums{};
+
+  std::vector<Meta> counter_meta, gauge_meta, hist_meta;
+  std::unordered_map<std::string, std::uint32_t> counter_ids, gauge_ids,
+      hist_ids;
+};
+
+/// Leaked singleton so thread_local shard destructors can always reach it.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+/// Registers the calling thread's shard on first use and flushes it into
+/// the retired totals on thread exit, so counts survive pool rebuilds.
+struct ShardOwner {
+  Shard* shard;
+
+  ShardOwner() : shard(new Shard()) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.shards.push_back(shard);
+  }
+
+  ~ShardOwner() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (std::uint32_t i = 0; i < kMaxCounters; ++i) {
+      r.retired_counters[i] +=
+          shard->counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::uint32_t i = 0; i < kMaxGauges; ++i) {
+      r.retired_gauges[i] += shard->gauges[i].load(std::memory_order_relaxed);
+    }
+    for (std::uint32_t i = 0; i < kMaxHistograms; ++i) {
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        r.retired_hist_counts[i][static_cast<std::size_t>(b)] +=
+            shard->hist_counts[i][static_cast<std::size_t>(b)].load(
+                std::memory_order_relaxed);
+      }
+      r.retired_hist_sums[i] +=
+          shard->hist_sums[i].load(std::memory_order_relaxed);
+    }
+    r.shards.erase(std::find(r.shards.begin(), r.shards.end(), shard));
+    delete shard;
+  }
+};
+
+Shard& tls_shard() {
+  thread_local ShardOwner owner;
+  return *owner.shard;
+}
+
+std::uint32_t register_instrument(
+    std::unordered_map<std::string, std::uint32_t>& ids,
+    std::vector<Meta>& meta, std::uint32_t capacity, std::string_view name,
+    Stability stability, const char* kind) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = ids.find(std::string(name));
+  if (it != ids.end()) {
+    QNAT_CHECK(meta[it->second].stability == stability,
+               "metric re-registered with a different stability: " +
+                   std::string(name));
+    return it->second;
+  }
+  QNAT_CHECK(meta.size() < capacity,
+             std::string(kind) + " capacity exhausted registering " +
+                 std::string(name));
+  const auto id = static_cast<std::uint32_t>(meta.size());
+  meta.push_back(Meta{std::string(name), stability});
+  ids.emplace(std::string(name), id);
+  return id;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+// --- Counter ---
+
+Counter counter(std::string_view name, Stability stability) {
+  Registry& r = registry();
+  return Counter(register_instrument(r.counter_ids, r.counter_meta,
+                                     kMaxCounters, name, stability,
+                                     "counter"));
+}
+
+void Counter::add(std::uint64_t delta) {
+  if (!enabled()) return;
+  tls_shard().counters[id_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t total = r.retired_counters[id_];
+  for (const Shard* shard : r.shards) {
+    total += shard->counters[id_].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// --- Gauge ---
+
+Gauge gauge(std::string_view name, Stability stability) {
+  Registry& r = registry();
+  return Gauge(register_instrument(r.gauge_ids, r.gauge_meta, kMaxGauges,
+                                   name, stability, "gauge"));
+}
+
+void Gauge::add(double delta) {
+  if (!enabled()) return;
+  tls_shard().gauges[id_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Gauge::set(double value) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  double current = r.retired_gauges[id_];
+  for (const Shard* shard : r.shards) {
+    current += shard->gauges[id_].load(std::memory_order_relaxed);
+  }
+  r.retired_gauges[id_] += value - current;
+}
+
+double Gauge::value() const {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  double total = r.retired_gauges[id_];
+  for (const Shard* shard : r.shards) {
+    total += shard->gauges[id_].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// --- Histogram ---
+
+int histogram_bucket(double value) {
+  if (!(value > kHistogramBase)) return 0;
+  // Clamp in the double domain: value / base can overflow to infinity
+  // (and the int cast of a huge double is UB), so compare before casting.
+  const double b = 1.0 + std::floor(std::log2(value / kHistogramBase));
+  if (!(b < kHistogramBuckets - 1)) return kHistogramBuckets - 1;
+  return static_cast<int>(b);
+}
+
+Histogram histogram(std::string_view name, Stability stability) {
+  Registry& r = registry();
+  return Histogram(register_instrument(r.hist_ids, r.hist_meta,
+                                       kMaxHistograms, name, stability,
+                                       "histogram"));
+}
+
+void Histogram::observe(double value) {
+  if (!enabled()) return;
+  Shard& shard = tls_shard();
+  shard.hist_counts[id_][static_cast<std::size_t>(histogram_bucket(value))]
+      .fetch_add(1, std::memory_order_relaxed);
+  shard.hist_sums[id_].fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets()) total += c;
+  return total;
+}
+
+double Histogram::sum() const {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  double total = r.retired_hist_sums[id_];
+  for (const Shard* shard : r.shards) {
+    total += shard->hist_sums[id_].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::uint64_t> out(kHistogramBuckets, 0);
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    out[bi] = r.retired_hist_counts[id_][bi];
+    for (const Shard* shard : r.shards) {
+      out[bi] += shard->hist_counts[id_][bi].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+ScopedTimer::ScopedTimer(Histogram histogram) : histogram_(histogram) {
+  if (!enabled()) return;
+  active_ = true;
+  start_ns_ = now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!active_ || !enabled()) return;
+  histogram_.observe(static_cast<double>(now_ns() - start_ns_) * 1e-9);
+}
+
+// --- snapshots ---
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Snapshot snap;
+
+  for (std::uint32_t i = 0; i < r.counter_meta.size(); ++i) {
+    Snapshot::CounterEntry e;
+    e.name = r.counter_meta[i].name;
+    e.deterministic = r.counter_meta[i].stability == Stability::Deterministic;
+    e.value = r.retired_counters[i];
+    for (const Shard* shard : r.shards) {
+      e.value += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.push_back(std::move(e));
+  }
+  for (std::uint32_t i = 0; i < r.gauge_meta.size(); ++i) {
+    Snapshot::GaugeEntry e;
+    e.name = r.gauge_meta[i].name;
+    e.deterministic = r.gauge_meta[i].stability == Stability::Deterministic;
+    e.value = r.retired_gauges[i];
+    for (const Shard* shard : r.shards) {
+      e.value += shard->gauges[i].load(std::memory_order_relaxed);
+    }
+    snap.gauges.push_back(std::move(e));
+  }
+  for (std::uint32_t i = 0; i < r.hist_meta.size(); ++i) {
+    Snapshot::HistogramEntry e;
+    e.name = r.hist_meta[i].name;
+    e.deterministic = r.hist_meta[i].stability == Stability::Deterministic;
+    e.buckets.assign(kHistogramBuckets, 0);
+    e.sum = r.retired_hist_sums[i];
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      const auto bi = static_cast<std::size_t>(b);
+      e.buckets[bi] = r.retired_hist_counts[i][bi];
+      for (const Shard* shard : r.shards) {
+        e.buckets[bi] +=
+            shard->hist_counts[i][bi].load(std::memory_order_relaxed);
+      }
+      e.count += e.buckets[bi];
+    }
+    for (const Shard* shard : r.shards) {
+      e.sum += shard->hist_sums[i].load(std::memory_order_relaxed);
+    }
+    snap.histograms.push_back(std::move(e));
+  }
+
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+const Snapshot::CounterEntry* Snapshot::find_counter(
+    std::string_view name) const {
+  for (const auto& e : counters) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const Snapshot::GaugeEntry* Snapshot::find_gauge(std::string_view name) const {
+  for (const auto& e : gauges) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+const Snapshot::HistogramEntry* Snapshot::find_histogram(
+    std::string_view name) const {
+  for (const auto& e : histograms) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.retired_counters.fill(0);
+  r.retired_gauges.fill(0.0);
+  for (auto& h : r.retired_hist_counts) h.fill(0);
+  r.retired_hist_sums.fill(0.0);
+  for (Shard* shard : r.shards) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& g : shard->gauges) g.store(0.0, std::memory_order_relaxed);
+    for (auto& h : shard->hist_counts) {
+      for (auto& b : h) b.store(0, std::memory_order_relaxed);
+    }
+    for (auto& s : shard->hist_sums) s.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string deterministic_fingerprint() {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  for (const auto& e : snap.counters) {
+    if (e.deterministic) os << "counter " << e.name << " " << e.value << "\n";
+  }
+  for (const auto& e : snap.gauges) {
+    if (e.deterministic) {
+      os << "gauge " << e.name << " " << format_double(e.value) << "\n";
+    }
+  }
+  for (const auto& e : snap.histograms) {
+    if (e.deterministic) {
+      os << "histogram " << e.name << " " << e.count << "\n";
+    }
+  }
+  return os.str();
+}
+
+// --- JSON export ---
+
+const char* build_version() { return QNAT_GIT_DESCRIBE; }
+
+namespace {
+
+void append_json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+const char* stability_label(bool deterministic) {
+  return deterministic ? "deterministic" : "per_run";
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap, const RunManifest& manifest) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"" << kSchemaVersion << "\",\n";
+
+  os << "  \"manifest\": {\"label\": ";
+  append_json_string(os, manifest.label);
+  os << ", \"seed\": " << manifest.seed
+     << ", \"threads\": " << manifest.threads
+     << ", \"fused\": " << (manifest.fused ? "true" : "false")
+     << ", \"git\": ";
+  append_json_string(os,
+                     manifest.git.empty() ? build_version() : manifest.git);
+  os << "},\n";
+
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    const auto& e = snap.counters[i];
+    if (i > 0) os << ",";
+    os << "\n    ";
+    append_json_string(os, e.name);
+    os << ": {\"value\": " << e.value << ", \"stability\": \""
+       << stability_label(e.deterministic) << "\"}";
+  }
+  os << (snap.counters.empty() ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    const auto& e = snap.gauges[i];
+    if (i > 0) os << ",";
+    os << "\n    ";
+    append_json_string(os, e.name);
+    os << ": {\"value\": " << format_double(e.value) << ", \"stability\": \""
+       << stability_label(e.deterministic) << "\"}";
+  }
+  os << (snap.gauges.empty() ? "" : "\n  ") << "},\n";
+
+  os << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& e = snap.histograms[i];
+    if (i > 0) os << ",";
+    os << "\n    ";
+    append_json_string(os, e.name);
+    os << ": {\"count\": " << e.count
+       << ", \"sum\": " << format_double(e.sum)
+       << ", \"bucket_base\": " << format_double(kHistogramBase)
+       << ", \"buckets\": [";
+    for (std::size_t b = 0; b < e.buckets.size(); ++b) {
+      if (b > 0) os << ",";
+      os << e.buckets[b];
+    }
+    os << "], \"stability\": \"" << stability_label(e.deterministic) << "\"}";
+  }
+  os << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+// --- minimal JSON parser (only what from_json needs) ---
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw_number;  ///< verbatim token for exact u64 round-trips
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  std::uint64_t as_u64() const {
+    QNAT_CHECK(kind == Kind::Number, "JSON: expected number");
+    return std::strtoull(raw_number.c_str(), nullptr, 10);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    QNAT_CHECK(pos_ == text_.size(), "JSON: trailing garbage");
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    QNAT_CHECK(pos_ < text_.size(), "JSON: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    QNAT_CHECK(peek() == c, std::string("JSON: expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::String;
+      v.string = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      v.kind = JsonValue::Kind::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = JsonValue::Kind::Bool;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      QNAT_CHECK(pos_ < text_.size(), "JSON: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      QNAT_CHECK(pos_ < text_.size(), "JSON: unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          QNAT_CHECK(pos_ + 4 <= text_.size(), "JSON: bad \\u escape");
+          const unsigned long code = std::strtoul(
+              std::string(text_.substr(pos_, 4)).c_str(), nullptr, 16);
+          pos_ += 4;
+          // Snapshot names are ASCII; only latin-1 escapes round-trip.
+          QNAT_CHECK(code < 0x100, "JSON: non-latin1 \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          QNAT_CHECK(false, "JSON: unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    auto is_num_char = [](char c) {
+      return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+             c == 'e' || c == 'E';
+    };
+    while (pos_ < text_.size() && is_num_char(text_[pos_])) ++pos_;
+    QNAT_CHECK(pos_ > start, "JSON: expected value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.raw_number = std::string(text_.substr(start, pos_ - start));
+    v.number = std::strtod(v.raw_number.c_str(), nullptr);
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      QNAT_CHECK(c == ',', "JSON: expected ',' or ']'");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      QNAT_CHECK(c == ',', "JSON: expected ',' or '}'");
+    }
+  }
+};
+
+bool parse_stability(const JsonValue& entry) {
+  const JsonValue* s = entry.find("stability");
+  QNAT_CHECK(s != nullptr && s->kind == JsonValue::Kind::String,
+             "metrics JSON: entry missing stability");
+  return s->string == "deterministic";
+}
+
+}  // namespace
+
+Snapshot from_json(const std::string& json, RunManifest* manifest) {
+  const JsonValue root = JsonParser(json).parse();
+  QNAT_CHECK(root.kind == JsonValue::Kind::Object,
+             "metrics JSON: root must be an object");
+  const JsonValue* schema = root.find("schema");
+  QNAT_CHECK(schema != nullptr && schema->string == kSchemaVersion,
+             "metrics JSON: schema version mismatch");
+
+  if (manifest != nullptr) {
+    const JsonValue* m = root.find("manifest");
+    QNAT_CHECK(m != nullptr && m->kind == JsonValue::Kind::Object,
+               "metrics JSON: missing manifest");
+    manifest->label = m->find("label") ? m->find("label")->string : "";
+    manifest->seed = m->find("seed") ? m->find("seed")->as_u64() : 0;
+    manifest->threads =
+        m->find("threads")
+            ? static_cast<int>(m->find("threads")->as_u64())
+            : 1;
+    manifest->fused = m->find("fused") ? m->find("fused")->boolean : true;
+    manifest->git = m->find("git") ? m->find("git")->string : "";
+  }
+
+  Snapshot snap;
+  const JsonValue* counters = root.find("counters");
+  QNAT_CHECK(counters != nullptr, "metrics JSON: missing counters");
+  for (const auto& [name, entry] : counters->object) {
+    Snapshot::CounterEntry e;
+    e.name = name;
+    QNAT_CHECK(entry.find("value") != nullptr,
+               "metrics JSON: counter missing value");
+    e.value = entry.find("value")->as_u64();
+    e.deterministic = parse_stability(entry);
+    snap.counters.push_back(std::move(e));
+  }
+
+  const JsonValue* gauges = root.find("gauges");
+  QNAT_CHECK(gauges != nullptr, "metrics JSON: missing gauges");
+  for (const auto& [name, entry] : gauges->object) {
+    Snapshot::GaugeEntry e;
+    e.name = name;
+    QNAT_CHECK(entry.find("value") != nullptr,
+               "metrics JSON: gauge missing value");
+    e.value = entry.find("value")->number;
+    e.deterministic = parse_stability(entry);
+    snap.gauges.push_back(std::move(e));
+  }
+
+  const JsonValue* histograms = root.find("histograms");
+  QNAT_CHECK(histograms != nullptr, "metrics JSON: missing histograms");
+  for (const auto& [name, entry] : histograms->object) {
+    Snapshot::HistogramEntry e;
+    e.name = name;
+    QNAT_CHECK(entry.find("count") != nullptr &&
+                   entry.find("sum") != nullptr &&
+                   entry.find("buckets") != nullptr,
+               "metrics JSON: malformed histogram entry");
+    e.count = entry.find("count")->as_u64();
+    e.sum = entry.find("sum")->number;
+    for (const JsonValue& b : entry.find("buckets")->array) {
+      e.buckets.push_back(b.as_u64());
+    }
+    e.deterministic = parse_stability(entry);
+    snap.histograms.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void write_snapshot(const std::string& path, const RunManifest& manifest) {
+  std::ofstream out(path);
+  QNAT_CHECK(out.good(), "cannot open metrics output file: " + path);
+  out << to_json(snapshot(), manifest);
+  QNAT_CHECK(out.good(), "failed writing metrics output file: " + path);
+}
+
+// --- CLI plumbing ---
+
+ObservabilityOptions observability_from_args(int argc, char** argv) {
+  ObservabilityOptions options;
+  if (const char* env = std::getenv("QNAT_METRICS_OUT")) {
+    options.metrics_out = env;
+  }
+  if (const char* env = std::getenv("QNAT_TRACE_OUT")) {
+    options.trace_out = env;
+  }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      options.metrics_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      options.trace_out = argv[i + 1];
+    }
+  }
+  if (!options.metrics_out.empty()) set_enabled(true);
+  if (!options.trace_out.empty()) trace::set_enabled(true);
+  return options;
+}
+
+void write_observability(const ObservabilityOptions& options,
+                         const RunManifest& manifest) {
+  if (!options.metrics_out.empty()) {
+    write_snapshot(options.metrics_out, manifest);
+  }
+  if (!options.trace_out.empty()) {
+    trace::write_chrome_trace(options.trace_out);
+  }
+}
+
+}  // namespace qnat::metrics

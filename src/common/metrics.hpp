@@ -1,0 +1,218 @@
+// Low-overhead structured metrics for the whole sim/train/eval stack.
+//
+// A process-wide registry of named instruments — monotonic counters,
+// additive gauges and log-scale histograms — written from arbitrary
+// threads without locks on the hot path: every thread owns a private
+// shard of relaxed atomics and readers aggregate the shards (plus the
+// retired totals of exited threads) on demand. Recording is gated by a
+// registry-level enable flag read with a single relaxed atomic load, so
+// compiled-in instrumentation is near-free when metrics are off.
+//
+// Naming convention: `module.subsystem.name`, e.g.
+// `qsim.kernel.diag1q`, `noise.inserter.error_gates`,
+// `train.step_seconds`. Handles are cheap value types; hot call sites
+// hoist the lookup into a function-local static:
+//
+//   static metrics::Counter c = metrics::counter("qsim.program.executions");
+//   c.inc();
+//
+// Stability contract: metrics registered `Deterministic` must be a pure
+// function of (seed, workload) — identical across runs AND thread
+// counts; anything touched by scheduling, caching races or wall-clock
+// time is `PerRun`. `deterministic_fingerprint()` canonicalizes the
+// deterministic subset for bit-exact comparison in tests. For
+// histograms only the observation *count* is deterministic (bucket
+// assignment of a timer depends on wall time).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qnat::metrics {
+
+/// Reproducibility class of a metric (see header comment).
+enum class Stability : std::uint8_t {
+  Deterministic,
+  PerRun,
+};
+
+/// Globally enables/disables recording. Reads/writes a relaxed atomic;
+/// instruments recorded while disabled are dropped (registration still
+/// happens, so the metric appears in snapshots with its prior value).
+void set_enabled(bool on);
+bool enabled();
+
+/// Monotonic counter. add() is lock-free (one relaxed fetch_add on the
+/// calling thread's shard); value() aggregates all shards.
+class Counter {
+ public:
+  void add(std::uint64_t delta);
+  void inc() { add(1); }
+  std::uint64_t value() const;
+
+ private:
+  friend Counter counter(std::string_view, Stability);
+  explicit Counter(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Looks up (or registers) a counter. Re-registering an existing name
+/// returns the same instrument; the stability must match.
+Counter counter(std::string_view name,
+                Stability stability = Stability::Deterministic);
+
+/// Additive gauge (double). add() is lock-free; set() is a locked
+/// read-modify-write intended for administrative use, not hot paths.
+class Gauge {
+ public:
+  void add(double delta);
+  void set(double value);
+  double value() const;
+
+ private:
+  friend Gauge gauge(std::string_view, Stability);
+  explicit Gauge(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_;
+};
+
+Gauge gauge(std::string_view name,
+            Stability stability = Stability::Deterministic);
+
+/// Histogram with fixed log2-scale buckets starting at 1e-9 (1 ns when
+/// observing seconds): bucket i >= 1 covers [base*2^(i-1), base*2^i),
+/// bucket 0 absorbs everything <= base and the last bucket absorbs
+/// overflow.
+constexpr int kHistogramBuckets = 40;
+constexpr double kHistogramBase = 1e-9;
+
+/// Maps a value to its bucket index (exposed for tests).
+int histogram_bucket(double value);
+
+class Histogram {
+ public:
+  void observe(double value);
+  std::uint64_t count() const;
+  double sum() const;
+  std::vector<std::uint64_t> buckets() const;
+
+ private:
+  friend Histogram histogram(std::string_view, Stability);
+  friend class ScopedTimer;
+  explicit Histogram(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_;
+};
+
+Histogram histogram(std::string_view name,
+                    Stability stability = Stability::PerRun);
+
+/// RAII wall-clock timer: observes elapsed seconds into a histogram on
+/// destruction. Start/stop cost is skipped entirely while metrics are
+/// disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram histogram);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram histogram_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+// --- snapshots ---
+
+struct Snapshot {
+  struct CounterEntry {
+    std::string name;
+    std::uint64_t value = 0;
+    bool deterministic = true;
+  };
+  struct GaugeEntry {
+    std::string name;
+    double value = 0.0;
+    bool deterministic = true;
+  };
+  struct HistogramEntry {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<std::uint64_t> buckets;
+    bool deterministic = false;
+  };
+
+  // Each section sorted by name.
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistogramEntry> histograms;
+
+  const CounterEntry* find_counter(std::string_view name) const;
+  const GaugeEntry* find_gauge(std::string_view name) const;
+  const HistogramEntry* find_histogram(std::string_view name) const;
+};
+
+/// Aggregated values of every registered metric.
+Snapshot snapshot();
+
+/// Zeroes every instrument (live shards and retired totals). Metrics
+/// stay registered. Intended for tests and run boundaries.
+void reset();
+
+/// Canonical `kind name value` lines (sorted) of every Deterministic
+/// metric — counters and gauges by value, histograms by observation
+/// count. Two runs of the same seeded workload must produce byte-equal
+/// fingerprints at any thread count.
+std::string deterministic_fingerprint();
+
+// --- run manifest + JSON export ---
+
+/// Provenance emitted alongside every metrics dump.
+struct RunManifest {
+  std::string label;        ///< binary / experiment name
+  std::uint64_t seed = 0;   ///< master seed of the run
+  int threads = 1;          ///< worker-pool width
+  bool fused = true;        ///< program-compile fusion default
+  std::string git;          ///< git describe (defaults to build_version())
+};
+
+/// `git describe` of the source tree, baked in at configure time
+/// ("unknown" outside a git checkout; stale until the next CMake run).
+const char* build_version();
+
+/// Schema identifier written into every snapshot JSON.
+inline constexpr const char* kSchemaVersion = "qnat.metrics.v1";
+
+/// Serializes a snapshot (plus manifest) to the stable JSON schema:
+/// top-level keys {"schema", "manifest", "counters", "gauges",
+/// "histograms"}; see tests/golden/metrics_schema.json.
+std::string to_json(const Snapshot& snap, const RunManifest& manifest);
+
+/// Parses a snapshot JSON produced by to_json (exact value round-trip).
+/// Throws qnat::Error on malformed input or schema mismatch. Fills
+/// `manifest` when non-null.
+Snapshot from_json(const std::string& json, RunManifest* manifest = nullptr);
+
+/// Snapshots the registry and writes to_json(...) to `path`.
+void write_snapshot(const std::string& path, const RunManifest& manifest);
+
+// --- CLI plumbing shared by benches and examples ---
+
+struct ObservabilityOptions {
+  std::string metrics_out;  ///< --metrics-out <file> / QNAT_METRICS_OUT
+  std::string trace_out;    ///< --trace-out <file> / QNAT_TRACE_OUT
+  bool any() const { return !metrics_out.empty() || !trace_out.empty(); }
+};
+
+/// Parses the flags/environment above and enables the metrics and/or
+/// trace subsystems for every requested output.
+ObservabilityOptions observability_from_args(int argc, char** argv);
+
+/// Writes the requested metrics snapshot and chrome trace (no-op for
+/// empty paths).
+void write_observability(const ObservabilityOptions& options,
+                         const RunManifest& manifest);
+
+}  // namespace qnat::metrics

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -10,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
+
 namespace qnat {
 
 namespace {
@@ -17,6 +20,32 @@ namespace {
 /// Set while the current thread executes inside a pool worker; nested
 /// parallel regions detect it and run inline.
 thread_local bool t_inside_parallel_region = false;
+
+/// Regions are deterministic (counted at submission, including the
+/// serial/inline fast paths); chunk counts and queue-wait times depend
+/// on chunk sizing and scheduling, so they are PerRun.
+metrics::Counter& pool_regions() {
+  static metrics::Counter c = metrics::counter("common.pool.regions");
+  return c;
+}
+
+metrics::Counter& pool_chunks() {
+  static metrics::Counter c =
+      metrics::counter("common.pool.chunks", metrics::Stability::PerRun);
+  return c;
+}
+
+metrics::Histogram& pool_wait() {
+  static metrics::Histogram h = metrics::histogram("common.pool.wait_seconds");
+  return h;
+}
+
+std::uint64_t pool_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 int auto_num_threads() {
   if (const char* env = std::getenv("QNAT_NUM_THREADS")) {
@@ -40,6 +69,7 @@ struct ThreadPool::Impl {
     std::atomic<int> in_flight{0};
     std::exception_ptr error;
     std::mutex error_mutex;
+    std::uint64_t submit_ns = 0;  ///< queue-wait reference (metrics only)
   };
 
   std::vector<std::thread> workers;
@@ -53,9 +83,14 @@ struct ThreadPool::Impl {
 
   void run_chunks(Job& j) {
     t_inside_parallel_region = true;
+    if (metrics::enabled() && j.submit_ns != 0) {
+      pool_wait().observe(static_cast<double>(pool_now_ns() - j.submit_ns) *
+                          1e-9);
+    }
     for (;;) {
       const std::size_t begin = j.next.fetch_add(j.chunk);
       if (begin >= j.n) break;
+      pool_chunks().inc();
       const std::size_t end = std::min(begin + j.chunk, j.n);
       try {
         (*j.body)(begin, end);
@@ -109,15 +144,18 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::parallel_for_chunks(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  pool_regions().inc();
   // Serial fast paths: one thread, trivially small ranges, or a nested
   // region (a worker would deadlock waiting on its own pool).
   if (num_threads_ == 1 || n == 1 || t_inside_parallel_region) {
+    pool_chunks().inc();
     body(0, n);
     return;
   }
   std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
   auto job = std::make_shared<Impl::Job>();
   job->n = n;
+  if (metrics::enabled()) job->submit_ns = pool_now_ns();
   // ~4 chunks per thread for load balance without contention.
   const std::size_t target =
       static_cast<std::size_t>(num_threads_) * 4;

@@ -1,0 +1,168 @@
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qnat::trace {
+
+namespace {
+
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 16;
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<std::uint32_t> g_next_tid{0};
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Process-start epoch so exported timestamps are small and positive.
+std::uint64_t epoch_ns() {
+  static const std::uint64_t epoch = steady_ns();
+  return epoch;
+}
+
+/// Per-thread event buffer. The owning thread appends under the shard
+/// mutex (uncontended unless an exporter is concurrently draining), so
+/// export never races a push.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::uint32_t depth = 0;  ///< owner-thread only
+  std::uint32_t tid = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> buffers;  ///< leaked with the registry
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+ThreadBuffer& tls_buffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto* b = new ThreadBuffer();
+    b->tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void append_json_escaped(std::ostringstream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') os << '\\';
+    os << *s;
+  }
+}
+
+}  // namespace
+
+void set_enabled(bool on) {
+  if (on) epoch_ns();  // pin the epoch before the first event
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+Scope::Scope(const char* name) : name_(name) {
+  if (!enabled()) return;
+  active_ = true;
+  ++tls_buffer().depth;
+  start_ns_ = steady_ns();
+}
+
+Scope::~Scope() {
+  if (!active_) return;
+  const std::uint64_t end = steady_ns();
+  ThreadBuffer& buffer = tls_buffer();
+  --buffer.depth;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back(Event{name_, start_ns_ - epoch_ns(),
+                                end - start_ns_, buffer.depth, buffer.tid});
+}
+
+std::size_t event_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t total = 0;
+  for (ThreadBuffer* b : r.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(b->mu);
+    total += b->events.size();
+  }
+  return total;
+}
+
+std::uint64_t dropped_events() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (ThreadBuffer* b : r.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(b->mu);
+    b->events.clear();
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::string chrome_trace_json() {
+  std::vector<Event> events;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (ThreadBuffer* b : r.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(b->mu);
+      events.insert(events.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.start_ns < b.start_ns;
+  });
+
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (i > 0) os << ",";
+    os << "\n  {\"name\": \"";
+    append_json_escaped(os, e.name);
+    // chrome://tracing wants microseconds; keep sub-µs as fractions.
+    os << "\", \"ph\": \"X\", \"ts\": " << static_cast<double>(e.start_ns) / 1e3
+       << ", \"dur\": " << static_cast<double>(e.duration_ns) / 1e3
+       << ", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"args\": {\"depth\": " << e.depth << "}}";
+  }
+  os << (events.empty() ? "" : "\n") << "]}\n";
+  return os.str();
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  QNAT_CHECK(out.good(), "cannot open trace output file: " + path);
+  out << chrome_trace_json();
+  QNAT_CHECK(out.good(), "failed writing trace output file: " + path);
+}
+
+}  // namespace qnat::trace

@@ -1,0 +1,71 @@
+// RAII phase tracing with chrome://tracing export.
+//
+// `QNAT_TRACE_SCOPE("grad.adjoint")` records a complete ("X") event
+// {name, start, duration, depth, thread} into the calling thread's
+// buffer when tracing is enabled, and is a single relaxed atomic load
+// when it is not. Scopes nest: the depth of each event is the number of
+// enclosing live scopes on the same thread, so the exported stream
+// reconstructs the phase tree. Buffers are bounded (events past the cap
+// are counted as dropped, not stored). Names must be string literals —
+// only the pointer is stored.
+//
+// Export via `chrome_trace_json()` / `write_chrome_trace(path)` yields
+// a chrome://tracing / Perfetto-compatible `{"traceEvents": [...]}`
+// document; timestamps are microseconds since process start.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qnat::trace {
+
+/// Enables/disables event recording (relaxed atomic; default off).
+void set_enabled(bool on);
+bool enabled();
+
+/// One recorded phase (complete event).
+struct Event {
+  const char* name;          ///< string literal supplied to the scope
+  std::uint64_t start_ns;    ///< since process start
+  std::uint64_t duration_ns;
+  std::uint32_t depth;       ///< nesting level on the recording thread
+  std::uint32_t tid;         ///< stable per-thread ordinal
+};
+
+/// RAII phase marker. `name` must outlive the scope (use a literal).
+class Scope {
+ public:
+  explicit Scope(const char* name);
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Number of buffered events across all threads (for tests).
+std::size_t event_count();
+
+/// Events discarded because a per-thread buffer filled up.
+std::uint64_t dropped_events();
+
+/// Discards all buffered events and resets the dropped counter.
+void reset();
+
+/// Serializes buffered events as a chrome://tracing JSON document.
+std::string chrome_trace_json();
+
+/// Writes chrome_trace_json() to `path` (throws qnat::Error on failure).
+void write_chrome_trace(const std::string& path);
+
+}  // namespace qnat::trace
+
+#define QNAT_TRACE_CONCAT_INNER(a, b) a##b
+#define QNAT_TRACE_CONCAT(a, b) QNAT_TRACE_CONCAT_INNER(a, b)
+
+/// Traces the enclosing block as a phase named `name` (string literal).
+#define QNAT_TRACE_SCOPE(name) \
+  ::qnat::trace::Scope QNAT_TRACE_CONCAT(qnat_trace_scope_, __LINE__)(name)

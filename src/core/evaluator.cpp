@@ -1,7 +1,9 @@
 #include "core/evaluator.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "nn/losses.hpp"
 #include "noise/channel_simulator.hpp"
 #include "noise/error_inserter.hpp"
@@ -131,6 +133,7 @@ Tensor2D qnn_forward_noisy(const QnnModel& model, const Deployment& deployment,
                            const NoisyEvalOptions& eval_options,
                            QnnForwardCache* cache) {
   QNAT_CHECK(eval_options.trajectories > 0, "need at least one trajectory");
+  QNAT_TRACE_SCOPE("eval.forward_noisy");
   const int nq = model.architecture().num_qubits;
   // Counter-based stream discipline: every (block, sample, trajectory)
   // derives its own child generator from the seed, so the runner is
@@ -167,12 +170,16 @@ Tensor2D qnn_forward_noisy(const QnnModel& model, const Deployment& deployment,
   const std::vector<real> flip01 = scaled_noise.readout_flip_probs_0to1();
   const std::vector<real> flip10 = scaled_noise.readout_flip_probs_1to0();
 
+  static metrics::Counter exact_blocks = metrics::counter("eval.exact_blocks");
+  static metrics::Counter trajectories = metrics::counter("eval.trajectories");
+
   const BlockRunner runner = [&](std::size_t b, std::size_t sample,
                                  const ParamVector& params) -> std::vector<real> {
     const NoiseEvalMode mode = block_mode(b);
     std::vector<real> out(static_cast<std::size_t>(nq), 0.0);
 
     if (mode == NoiseEvalMode::ExactChannel) {
+      exact_blocks.inc();
       ChannelSimOptions sim;
       sim.apply_readout = true;
       sim.noise_scale = eval_options.noise_scale;
@@ -191,6 +198,7 @@ Tensor2D qnn_forward_noisy(const QnnModel& model, const Deployment& deployment,
     // the pool this inner region runs inline on the worker.
     const Rng sample_base = stream_base.child(b).child(sample);
     const auto num_traj = static_cast<std::size_t>(eval_options.trajectories);
+    trajectories.add(num_traj);
     std::vector<std::vector<real>> per_traj(num_traj);
     if (mode == NoiseEvalMode::Shots) {
       QNAT_CHECK(eval_options.shots_per_trajectory > 0,

@@ -1,7 +1,9 @@
 #include "core/qnn.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "core/encoder.hpp"
 #include "grad/adjoint.hpp"
 #include "qsim/execution.hpp"
@@ -213,6 +215,12 @@ Tensor2D qnn_forward_with_runner(const QnnModel& model,
   const std::size_t batch = batch_inputs.rows();
   const int nq = arch.num_qubits;
 
+  QNAT_TRACE_SCOPE("qnn.forward");
+  static metrics::Counter forward_batches =
+      metrics::counter("qnn.forward_batches");
+  static metrics::Counter block_samples = metrics::counter("qnn.block_samples");
+  forward_batches.inc();
+
   QnnForwardCache local;
   QnnForwardCache& cc = cache != nullptr ? *cache : local;
   cc = QnnForwardCache{};
@@ -225,6 +233,7 @@ Tensor2D qnn_forward_with_runner(const QnnModel& model,
     // Samples are independent: every row writes its own slot and the
     // runner is required to be thread-safe, so the batch fans out over
     // the worker pool with bit-identical results at any thread count.
+    block_samples.add(batch);
     Tensor2D raw(batch, static_cast<std::size_t>(nq));
     parallel_for(batch, [&](std::size_t r) {
       const ParamVector params = bind_params(
@@ -292,6 +301,10 @@ ParamVector qnn_backward(const QnnModel& model, const Tensor2D& grad_logits,
                          const QnnForwardCache& cache, const StepPlans& plans,
                          const QnnForwardOptions& options,
                          real quant_loss_weight) {
+  QNAT_TRACE_SCOPE("qnn.backward");
+  static metrics::Counter backward_batches =
+      metrics::counter("qnn.backward_batches");
+  backward_batches.inc();
   const auto& arch = model.architecture();
   const int nq = arch.num_qubits;
   const std::size_t batch = grad_logits.rows();

@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "nn/losses.hpp"
 
 namespace qnat {
@@ -46,11 +48,24 @@ TrainResult train_qnn(QnnModel& model, const Dataset& train,
   const Rng injection_base = rng.fork();
   const Rng perturb_base = rng.fork();
 
+  static metrics::Counter step_counter = metrics::counter("train.steps");
+  static metrics::Counter epoch_counter = metrics::counter("train.epochs");
+  static metrics::Histogram step_timer =
+      metrics::histogram("train.step_seconds");
+  static metrics::Histogram epoch_timer =
+      metrics::histogram("train.epoch_seconds");
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    QNAT_TRACE_SCOPE("train.epoch");
+    metrics::ScopedTimer epoch_scope(epoch_timer);
+    epoch_counter.inc();
     real epoch_loss = 0.0;
     std::size_t batches = 0;
     for (const auto& indices : batcher.epoch_batches()) {
       if (indices.size() < 2) continue;  // batch-norm needs >= 2 samples
+      QNAT_TRACE_SCOPE("train.step");
+      metrics::ScopedTimer step_scope(step_timer);
+      step_counter.inc();
       const Dataset batch = train.subset(indices);
 
       Rng injection_rng =

@@ -1,6 +1,8 @@
 #include "grad/adjoint.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "qsim/execution.hpp"
 
 namespace qnat {
@@ -71,6 +73,10 @@ AdjointResult adjoint_vjp(const Circuit& circuit, const ParamVector& params,
   QNAT_CHECK(cotangent.size() ==
                  static_cast<std::size_t>(circuit.num_qubits()),
              "cotangent must have one entry per qubit");
+  QNAT_TRACE_SCOPE("grad.adjoint");
+  static metrics::Counter invocations =
+      metrics::counter("grad.adjoint.invocations");
+  invocations.inc();
   AdjointResult result;
   result.gradient.assign(static_cast<std::size_t>(circuit.num_params()), 0.0);
 

@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "qsim/execution.hpp"
 
 namespace qnat {
@@ -53,6 +55,10 @@ ParamVector parameter_shift_gradient(const Circuit& circuit,
   QNAT_CHECK(cotangent.size() ==
                  static_cast<std::size_t>(circuit.num_qubits()),
              "cotangent must have one entry per qubit");
+  QNAT_TRACE_SCOPE("grad.parameter_shift");
+  static metrics::Counter invocations =
+      metrics::counter("grad.shift.invocations");
+  invocations.inc();
   ParamVector grad(static_cast<std::size_t>(circuit.num_params()), 0.0);
 
   if (out_expectations != nullptr) {
@@ -86,6 +92,10 @@ ParamVector parameter_shift_gradient(const Circuit& circuit,
       }
     }
   }
+
+  static metrics::Counter shift_circuits =
+      metrics::counter("grad.shift.circuits");
+  shift_circuits.add(tasks.size());
 
   std::vector<real> values(tasks.size(), 0.0);
   parallel_for_chunks(tasks.size(), [&](std::size_t begin, std::size_t end) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace qnat {
 
@@ -17,6 +18,8 @@ void Adam::step(ParamVector& params, const ParamVector& gradient,
                 real lr_scale) {
   QNAT_CHECK(params.size() == m_.size() && gradient.size() == m_.size(),
              "optimizer state size mismatch");
+  static metrics::Counter updates = metrics::counter("nn.optimizer.updates");
+  updates.inc();
   ++step_count_;
   const real lr = config_.learning_rate * lr_scale;
   const real bias1 = 1.0 - std::pow(config_.beta1, static_cast<real>(step_count_));

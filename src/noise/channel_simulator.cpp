@@ -1,6 +1,8 @@
 #include "noise/channel_simulator.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "noise/scheduling.hpp"
 #include "qsim/density_matrix.hpp"
 #include "qsim/program.hpp"
@@ -19,6 +21,10 @@ std::vector<real> channel_mean_expectations(const Circuit& circuit,
                                             const ChannelSimOptions& options) {
   QNAT_CHECK(channel_simulation_feasible(circuit),
              "circuit too large for exact channel simulation");
+  QNAT_TRACE_SCOPE("noise.channel_sim");
+  static metrics::Counter simulations =
+      metrics::counter("noise.channel.simulations");
+  simulations.inc();
   auto physical = [&](QubitIndex wire) -> QubitIndex {
     if (options.physical_wires.empty()) return wire;
     return options.physical_wires[static_cast<std::size_t>(wire)];

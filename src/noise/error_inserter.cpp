@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "noise/scheduling.hpp"
 
 namespace qnat {
@@ -94,6 +95,15 @@ Circuit insert_error_gates(const Circuit& circuit, const NoiseModel& model,
   for (QubitIndex q = 0; q < circuit.num_qubits(); ++q) {
     sample_idle(q, final_layer - moments.next_free(q));
   }
+
+  static metrics::Counter circuits = metrics::counter("noise.inserter.circuits");
+  static metrics::Counter error_gates =
+      metrics::counter("noise.inserter.error_gates");
+  static metrics::Counter coherent_gates =
+      metrics::counter("noise.inserter.coherent_gates");
+  circuits.inc();
+  error_gates.add(static_cast<std::uint64_t>(local.inserted_gates));
+  coherent_gates.add(static_cast<std::uint64_t>(local.coherent_gates));
 
   if (stats != nullptr) *stats = local;
   return out;

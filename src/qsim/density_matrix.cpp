@@ -1,6 +1,7 @@
 #include "qsim/density_matrix.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace qnat {
 
@@ -17,6 +18,8 @@ void DensityMatrix::apply_gate(const Gate& gate, const ParamVector& params) {
 }
 
 void DensityMatrix::apply_op(const CompiledOp& op, const ParamVector& params) {
+  static metrics::Counter dm_ops = metrics::counter("qsim.dm.ops");
+  dm_ops.inc();
   KernelClass kernel = op.kernel;
   CMatrix m;
   if (op.parameterized) {
@@ -39,6 +42,8 @@ void DensityMatrix::apply_op(const CompiledOp& op, const ParamVector& params) {
 
 void DensityMatrix::apply_pauli_channel(QubitIndex q,
                                         const PauliChannel& channel) {
+  static metrics::Counter channel_ops = metrics::counter("qsim.dm.channel_ops");
+  channel_ops.inc();
   channel.validate();
   const double total = channel.total();
   if (total <= 0.0) return;

@@ -1,6 +1,7 @@
 #include "qsim/execution.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace qnat {
 
@@ -20,6 +21,7 @@ std::vector<real> expectations_from_shots(
                    bit_flip_prob_1to0.size() == static_cast<std::size_t>(nq),
                "readout flip probabilities must cover every qubit");
   }
+  static metrics::Counter readout_flips = metrics::counter("noise.readout.flips");
   std::vector<long> plus_counts(static_cast<std::size_t>(nq), 0);
   for (std::size_t basis : state.sample(rng, shots)) {
     for (int q = 0; q < nq; ++q) {
@@ -27,7 +29,10 @@ std::vector<real> expectations_from_shots(
       if (noisy_readout) {
         const real flip = one ? bit_flip_prob_1to0[static_cast<std::size_t>(q)]
                               : bit_flip_prob_0to1[static_cast<std::size_t>(q)];
-        if (rng.bernoulli(flip)) one = !one;
+        if (rng.bernoulli(flip)) {
+          one = !one;
+          readout_flips.inc();
+        }
       }
       if (!one) ++plus_counts[static_cast<std::size_t>(q)];
     }

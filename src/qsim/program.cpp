@@ -1,10 +1,12 @@
 #include "qsim/program.hpp"
 
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "qsim/statevector.hpp"
 
 namespace qnat {
@@ -14,7 +16,40 @@ namespace {
 bool is_zero(cplx c) { return c.real() == 0.0 && c.imag() == 0.0; }
 bool is_one(cplx c) { return c.real() == 1.0 && c.imag() == 0.0; }
 
+std::atomic<bool> g_default_fusion{true};
+
+/// Per-kernel-class dispatch counters, indexed by KernelClass value.
+/// Every apply_op dispatch increments exactly one of these, so their sum
+/// equals compiled-op count x executions (the conservation invariant
+/// checked by metrics_invariants_test).
+metrics::Counter& kernel_counter(KernelClass k) {
+  static metrics::Counter counters[] = {
+      metrics::counter("qsim.kernel.identity"),
+      metrics::counter("qsim.kernel.diag1q"),
+      metrics::counter("qsim.kernel.antidiag1q"),
+      metrics::counter("qsim.kernel.generic1q"),
+      metrics::counter("qsim.kernel.diag2q"),
+      metrics::counter("qsim.kernel.ctrlanti1q"),
+      metrics::counter("qsim.kernel.ctrl1q"),
+      metrics::counter("qsim.kernel.swap"),
+      metrics::counter("qsim.kernel.generic2q"),
+  };
+  return counters[static_cast<std::size_t>(k)];
+}
+
 }  // namespace
+
+void set_default_fusion(bool fuse) {
+  g_default_fusion.store(fuse, std::memory_order_relaxed);
+}
+
+bool default_fusion() {
+  return g_default_fusion.load(std::memory_order_relaxed);
+}
+
+FusionOptions FusionOptions::defaults() {
+  return FusionOptions{default_fusion()};
+}
 
 const char* kernel_class_name(KernelClass k) {
   switch (k) {
@@ -153,6 +188,7 @@ CompiledOp compile_gate_op(const Gate& gate) {
 void apply_op(StateVector& state, const CompiledOp& op,
               const ParamVector& params) {
   if (!op.parameterized) {
+    kernel_counter(op.kernel).inc();
     if (op.kernel == KernelClass::Identity) return;
     if (op.num_qubits == 1) {
       apply_classified_1q(state, op.kernel, op.matrix, op.q0);
@@ -163,9 +199,13 @@ void apply_op(StateVector& state, const CompiledOp& op,
   }
   const CMatrix m = op.gate.matrix(op.gate.eval_params(params));
   if (op.num_qubits == 1) {
-    apply_matrix_1q(state, m, op.q0);
+    const KernelClass kernel = classify_1q(m);
+    kernel_counter(kernel).inc();
+    apply_classified_1q(state, kernel, m, op.q0);
   } else {
-    apply_matrix_2q(state, m, op.q0, op.q1);
+    const KernelClass kernel = classify_2q(m);
+    kernel_counter(kernel).inc();
+    apply_classified_2q(state, kernel, m, op.q0, op.q1);
   }
 }
 
@@ -174,6 +214,12 @@ void CompiledProgram::run(StateVector& state, const ParamVector& params) const {
              "state / program qubit count mismatch");
   QNAT_CHECK(static_cast<int>(params.size()) >= num_params_,
              "parameter vector too short for program");
+  static metrics::Counter executions =
+      metrics::counter("qsim.program.executions");
+  static metrics::Counter op_dispatches =
+      metrics::counter("qsim.program.op_dispatches");
+  executions.inc();
+  op_dispatches.add(ops_.size());
   for (const CompiledOp& op : ops_) {
     apply_op(state, op, params);
   }
@@ -272,19 +318,35 @@ std::uint64_t cache_key(const Circuit& circuit, const FusionOptions& options) {
 
 std::shared_ptr<const CompiledProgram> shared_program(
     const Circuit& circuit, const FusionOptions& options) {
+  // Cache traffic is PerRun: concurrent first uses of the same circuit
+  // can each miss (duplicate compiles are harmless), so hit/miss splits
+  // depend on scheduling and thread count.
+  static metrics::Counter cache_hits =
+      metrics::counter("qsim.program.cache_hits", metrics::Stability::PerRun);
+  static metrics::Counter cache_misses = metrics::counter(
+      "qsim.program.cache_misses", metrics::Stability::PerRun);
+  static metrics::Counter cache_evictions = metrics::counter(
+      "qsim.program.cache_evictions", metrics::Stability::PerRun);
   ProgramCache& cache = program_cache();
   const std::uint64_t key = cache_key(circuit, options);
   {
     std::lock_guard<std::mutex> lock(cache.mu);
     const auto it = cache.map.find(key);
-    if (it != cache.map.end()) return it->second;
+    if (it != cache.map.end()) {
+      cache_hits.inc();
+      return it->second;
+    }
   }
+  cache_misses.inc();
   // Compile outside the lock; a concurrent duplicate compile is harmless
   // (deterministic result) and the first inserted entry wins.
   auto program = std::make_shared<const CompiledProgram>(
       compile_program(circuit, options));
   std::lock_guard<std::mutex> lock(cache.mu);
-  if (cache.map.size() >= kMaxCachedPrograms) cache.map.clear();
+  if (cache.map.size() >= kMaxCachedPrograms) {
+    cache_evictions.add(cache.map.size());
+    cache.map.clear();
+  }
   return cache.map.emplace(key, std::move(program)).first->second;
 }
 

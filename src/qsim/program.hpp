@@ -82,7 +82,17 @@ struct FusionOptions {
   /// aligned 1:1 with source gates (the exact channel simulator
   /// interleaves a noise channel after every source gate).
   bool fuse = true;
+
+  /// Options carrying the process-wide default (see set_default_fusion).
+  static FusionOptions defaults();
 };
+
+/// Process-wide fusion default consumed by FusionOptions::defaults() —
+/// i.e. by every compile that does not pass options explicitly — and
+/// recorded in metrics run manifests. Thread-safe (relaxed atomic);
+/// intended for experiment setup, not mid-run toggling.
+void set_default_fusion(bool fuse);
+bool default_fusion();
 
 struct ProgramStats {
   int source_gates = 0;
@@ -124,8 +134,9 @@ class CompiledProgram {
 
 /// Lowers a circuit into a compiled program. With `options.fuse == false`
 /// the result has exactly one op per source gate, in source order.
-CompiledProgram compile_program(const Circuit& circuit,
-                                const FusionOptions& options = {});
+CompiledProgram compile_program(
+    const Circuit& circuit,
+    const FusionOptions& options = FusionOptions::defaults());
 
 /// Classifies one gate as a standalone op (no fusion).
 CompiledOp compile_gate_op(const Gate& gate);
@@ -157,7 +168,8 @@ void apply_classified_2q(StateVector& state, KernelClass kernel,
 /// it without bound. Deterministic: a cache hit returns a program
 /// bit-identical to a fresh compile.
 std::shared_ptr<const CompiledProgram> shared_program(
-    const Circuit& circuit, const FusionOptions& options = {});
+    const Circuit& circuit,
+    const FusionOptions& options = FusionOptions::defaults());
 
 /// Number of currently cached programs (tests/diagnostics).
 std::size_t program_cache_size();

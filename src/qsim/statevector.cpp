@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "qsim/program.hpp"
 
 namespace qnat {
@@ -259,12 +260,15 @@ void StateVector::scale(cplx factor) {
 
 std::vector<std::size_t> StateVector::sample(Rng& rng, int shots) const {
   QNAT_CHECK(shots > 0, "sample requires positive shot count");
+  static metrics::Counter shots_drawn = metrics::counter("qsim.sv.shots_drawn");
+  shots_drawn.add(static_cast<std::uint64_t>(shots));
   std::vector<double> cumulative(amps_.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < amps_.size(); ++i) {
     acc += std::norm(amps_[i]);
     cumulative[i] = acc;
   }
+  QNAT_CHECK(acc > 0.0, "sample from a state with no probability mass");
   std::vector<std::size_t> out;
   out.reserve(static_cast<std::size_t>(shots));
   for (int s = 0; s < shots; ++s) {
@@ -275,11 +279,18 @@ std::vector<std::size_t> StateVector::sample(Rng& rng, int shots) const {
 
 std::size_t StateVector::sample_index(std::span<const double> cumulative,
                                       double r) {
+  QNAT_CHECK(r >= 0.0, "sample draw must be a non-negative probability mass");
   const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), r);
   auto idx = static_cast<std::size_t>(std::distance(cumulative.begin(), it));
   // A draw of exactly the total mass (or fp rounding past it) walks off
-  // the table; clamp to the last basis state.
-  if (idx >= cumulative.size()) idx = cumulative.size() - 1;
+  // the table; clamp to the last basis state — loudly counted, so a
+  // clamp rate above the expected fp-edge trickle is visible.
+  if (idx >= cumulative.size()) {
+    static metrics::Gauge clamp_events =
+        metrics::gauge("qsim.sv.sample_clamp_events");
+    clamp_events.add(1.0);
+    idx = cumulative.size() - 1;
+  }
   return idx;
 }
 

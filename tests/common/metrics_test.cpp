@@ -1,0 +1,354 @@
+// Unit tests for the metrics registry and the phase tracer: instrument
+// semantics, shard aggregation under thread churn, the enable flag, and
+// the JSON snapshot round-trip against the checked-in schema.
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/trace.hpp"
+
+namespace qnat {
+namespace {
+
+/// Every test runs with a zeroed registry and metrics on, and leaves the
+/// global flag off so unrelated tests in this binary stay uninstrumented.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::reset();
+    metrics::set_enabled(true);
+  }
+  void TearDown() override {
+    metrics::set_enabled(false);
+    metrics::reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterAccumulatesMonotonically) {
+  metrics::Counter c = metrics::counter("test.counter.basic");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  // Re-registering the same name yields the same instrument.
+  metrics::Counter again = metrics::counter("test.counter.basic");
+  again.inc();
+  EXPECT_EQ(c.value(), 43u);
+}
+
+TEST_F(MetricsTest, RegisteringSameNameWithDifferentStabilityThrows) {
+  metrics::counter("test.counter.stability", metrics::Stability::PerRun);
+  EXPECT_THROW(
+      metrics::counter("test.counter.stability",
+                       metrics::Stability::Deterministic),
+      Error);
+}
+
+TEST_F(MetricsTest, GaugeAddAndSet) {
+  metrics::Gauge g = metrics::gauge("test.gauge.basic");
+  g.add(2.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.set(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.add(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 11.0);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAndSum) {
+  metrics::Histogram h = metrics::histogram("test.hist.basic");
+  EXPECT_EQ(h.count(), 0u);
+  h.observe(1e-9);   // at the base -> bucket 0
+  h.observe(3e-9);   // (2e-9, 4e-9] -> bucket 2
+  h.observe(1.0);    // well inside the range
+  h.observe(1e12);   // far past the top -> clamped to the last bucket
+  h.observe(-1.0);   // negative values underflow into bucket 0
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1e-9 + 3e-9 + 1.0 + 1e12 + -1.0);
+
+  const std::vector<std::uint64_t> buckets = h.buckets();
+  ASSERT_EQ(static_cast<int>(buckets.size()), metrics::kHistogramBuckets);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[static_cast<std::size_t>(metrics::kHistogramBuckets - 1)],
+            1u);
+}
+
+TEST_F(MetricsTest, HistogramBucketMapping) {
+  EXPECT_EQ(metrics::histogram_bucket(0.0), 0);
+  EXPECT_EQ(metrics::histogram_bucket(1e-9), 0);
+  EXPECT_EQ(metrics::histogram_bucket(1.5e-9), 1);
+  EXPECT_EQ(metrics::histogram_bucket(2e-9), 2);  // lower edge of bucket 2
+  EXPECT_EQ(metrics::histogram_bucket(4.1e-9), 3);
+  EXPECT_EQ(metrics::histogram_bucket(1e300), metrics::kHistogramBuckets - 1);
+  // Buckets are monotone in the value.
+  int prev = 0;
+  for (double v = 1e-9; v < 1e3; v *= 3.0) {
+    const int b = metrics::histogram_bucket(v);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST_F(MetricsTest, DisabledRecordingIsDropped) {
+  metrics::Counter c = metrics::counter("test.counter.disabled");
+  metrics::Gauge g = metrics::gauge("test.gauge.disabled");
+  metrics::Histogram h = metrics::histogram("test.hist.disabled");
+  metrics::set_enabled(false);
+  c.add(100);
+  g.add(1.0);
+  h.observe(0.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+
+  metrics::set_enabled(true);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+
+  // The disabled instruments still appear in snapshots.
+  const metrics::Snapshot snap = metrics::snapshot();
+  ASSERT_NE(snap.find_gauge("test.gauge.disabled"), nullptr);
+  ASSERT_NE(snap.find_histogram("test.hist.disabled"), nullptr);
+}
+
+TEST_F(MetricsTest, SixteenThreadHammerAggregatesExactly) {
+  metrics::Counter c = metrics::counter("test.counter.hammer");
+  metrics::Gauge g = metrics::gauge("test.gauge.hammer");
+  metrics::Histogram h = metrics::histogram("test.hist.hammer");
+  constexpr int kThreads = 16;
+  constexpr int kIters = 5000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        g.add(0.25);
+        h.observe(static_cast<double>(t) * 1e-6 + 1e-9);
+        // Interleave reads with writes: aggregation must be race-free
+        // against concurrent shard updates and thread registration.
+        if (i % 1024 == 0) {
+          (void)c.value();
+          (void)metrics::snapshot();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Exited threads flushed their shards into the retired totals.
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(g.value(), kThreads * kIters * 0.25);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST_F(MetricsTest, ScopedTimerObservesOnDestruction) {
+  metrics::Histogram h = metrics::histogram("test.hist.timer");
+  {
+    metrics::ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST_F(MetricsTest, ResetZeroesValuesButKeepsRegistration) {
+  metrics::Counter c = metrics::counter("test.counter.reset");
+  c.add(7);
+  metrics::reset();
+  EXPECT_EQ(c.value(), 0u);
+  const metrics::Snapshot snap = metrics::snapshot();
+  const auto* entry = snap.find_counter("test.counter.reset");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->value, 0u);
+}
+
+TEST_F(MetricsTest, FingerprintCoversOnlyDeterministicMetrics) {
+  metrics::Counter det = metrics::counter("test.fp.deterministic");
+  metrics::Counter per_run =
+      metrics::counter("test.fp.per_run", metrics::Stability::PerRun);
+  det.add(3);
+  per_run.add(99);
+  const std::string fp = metrics::deterministic_fingerprint();
+  EXPECT_NE(fp.find("counter test.fp.deterministic 3"), std::string::npos);
+  EXPECT_EQ(fp.find("test.fp.per_run"), std::string::npos);
+
+  // Changing only the PerRun metric leaves the fingerprint untouched.
+  per_run.add(1);
+  EXPECT_EQ(fp, metrics::deterministic_fingerprint());
+  det.inc();
+  EXPECT_NE(fp, metrics::deterministic_fingerprint());
+}
+
+TEST_F(MetricsTest, JsonSnapshotRoundTrip) {
+  metrics::Counter c = metrics::counter("test.json.counter");
+  metrics::Gauge g =
+      metrics::gauge("test.json.gauge", metrics::Stability::PerRun);
+  metrics::Histogram h = metrics::histogram("test.json.hist");
+  c.add(1234567890123456789ull);  // exercises exact u64 round-trip
+  g.add(0.1);                     // not exactly representable
+  h.observe(2.5e-9);
+  h.observe(7.0);
+
+  metrics::RunManifest manifest;
+  manifest.label = "unit \"quoted\" label";
+  manifest.seed = 2022;
+  manifest.threads = 4;
+  manifest.fused = false;
+  manifest.git = "testtag-1-gabc";
+
+  const metrics::Snapshot snap = metrics::snapshot();
+  const std::string json = metrics::to_json(snap, manifest);
+
+  metrics::RunManifest parsed_manifest;
+  const metrics::Snapshot parsed = metrics::from_json(json, &parsed_manifest);
+
+  EXPECT_EQ(parsed_manifest.label, manifest.label);
+  EXPECT_EQ(parsed_manifest.seed, manifest.seed);
+  EXPECT_EQ(parsed_manifest.threads, manifest.threads);
+  EXPECT_EQ(parsed_manifest.fused, manifest.fused);
+  EXPECT_EQ(parsed_manifest.git, manifest.git);
+
+  ASSERT_EQ(parsed.counters.size(), snap.counters.size());
+  ASSERT_EQ(parsed.gauges.size(), snap.gauges.size());
+  ASSERT_EQ(parsed.histograms.size(), snap.histograms.size());
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    EXPECT_EQ(parsed.counters[i].name, snap.counters[i].name);
+    EXPECT_EQ(parsed.counters[i].value, snap.counters[i].value);
+    EXPECT_EQ(parsed.counters[i].deterministic, snap.counters[i].deterministic);
+  }
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    EXPECT_EQ(parsed.gauges[i].name, snap.gauges[i].name);
+    EXPECT_EQ(parsed.gauges[i].value, snap.gauges[i].value);  // bit-exact
+    EXPECT_EQ(parsed.gauges[i].deterministic, snap.gauges[i].deterministic);
+  }
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    EXPECT_EQ(parsed.histograms[i].name, snap.histograms[i].name);
+    EXPECT_EQ(parsed.histograms[i].count, snap.histograms[i].count);
+    EXPECT_EQ(parsed.histograms[i].sum, snap.histograms[i].sum);
+    EXPECT_EQ(parsed.histograms[i].buckets, snap.histograms[i].buckets);
+  }
+}
+
+TEST_F(MetricsTest, JsonRejectsMalformedAndWrongSchema) {
+  EXPECT_THROW(metrics::from_json("not json"), Error);
+  EXPECT_THROW(metrics::from_json("{\"schema\": \"other.v9\"}"), Error);
+  EXPECT_THROW(
+      metrics::from_json("{\"schema\": \"qnat.metrics.v1\"}"),  // no sections
+      Error);
+}
+
+TEST_F(MetricsTest, JsonMatchesCheckedInSchema) {
+  // Mirror of the CI metrics-smoke validation: every required key of
+  // tests/golden/metrics_schema.json must appear in an emitted snapshot.
+  std::ifstream schema_file(std::string(QNAT_GOLDEN_DIR) +
+                            "/metrics_schema.json");
+  ASSERT_TRUE(schema_file.good()) << "missing tests/golden/metrics_schema.json";
+  std::stringstream schema;
+  schema << schema_file.rdbuf();
+  const std::string schema_text = schema.str();
+  EXPECT_NE(schema_text.find("\"qnat.metrics.v1\""), std::string::npos)
+      << "schema file must describe the current schema version";
+
+  metrics::counter("test.schema.counter").inc();
+  metrics::gauge("test.schema.gauge").add(1.0);
+  metrics::histogram("test.schema.hist").observe(0.5);
+  metrics::RunManifest manifest;
+  manifest.label = "schema-check";
+  const std::string json = metrics::to_json(metrics::snapshot(), manifest);
+  for (const char* key :
+       {"\"schema\"", "\"manifest\"", "\"counters\"", "\"gauges\"",
+        "\"histograms\"", "\"label\"", "\"seed\"", "\"threads\"", "\"fused\"",
+        "\"git\"", "\"value\"", "\"stability\"", "\"count\"", "\"sum\"",
+        "\"bucket_base\"", "\"buckets\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing key " << key;
+  }
+  // Parses cleanly under the strict reader.
+  EXPECT_NO_THROW(metrics::from_json(json));
+}
+
+TEST_F(MetricsTest, BuildVersionIsNonEmpty) {
+  ASSERT_NE(metrics::build_version(), nullptr);
+  EXPECT_NE(std::string(metrics::build_version()), "");
+}
+
+// --- trace ---
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::reset();
+    trace::set_enabled(true);
+  }
+  void TearDown() override {
+    trace::set_enabled(false);
+    trace::reset();
+  }
+};
+
+TEST_F(TraceTest, ScopesRecordNestedEvents) {
+  {
+    QNAT_TRACE_SCOPE("outer");
+    {
+      QNAT_TRACE_SCOPE("inner");
+    }
+  }
+  EXPECT_EQ(trace::event_count(), 2u);
+  const std::string json = trace::chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  // The inner scope nests one level deeper than the outer one.
+  EXPECT_NE(json.find("\"depth\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": 1"), std::string::npos);
+}
+
+TEST_F(TraceTest, DisabledScopesRecordNothing) {
+  trace::set_enabled(false);
+  {
+    QNAT_TRACE_SCOPE("ignored");
+  }
+  EXPECT_EQ(trace::event_count(), 0u);
+  EXPECT_EQ(trace::chrome_trace_json().find("ignored"), std::string::npos);
+}
+
+TEST_F(TraceTest, ResetDiscardsEvents) {
+  {
+    QNAT_TRACE_SCOPE("gone");
+  }
+  ASSERT_GT(trace::event_count(), 0u);
+  trace::reset();
+  EXPECT_EQ(trace::event_count(), 0u);
+  EXPECT_EQ(trace::dropped_events(), 0u);
+}
+
+TEST_F(TraceTest, ConcurrentScopesAreRaceFree) {
+  constexpr int kThreads = 16;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        QNAT_TRACE_SCOPE("hammer");
+        // Exporting concurrently with recording must be safe.
+        if (i % 64 == 0) (void)trace::chrome_trace_json();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(trace::event_count(),
+            static_cast<std::size_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace qnat

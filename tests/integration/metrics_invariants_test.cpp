@@ -1,0 +1,288 @@
+// Cross-module invariants of the metrics registry over real pipelines:
+// (a) the deterministic fingerprint is bit-identical across thread
+// counts for both the MNIST-4 training loop and the Table-1-style noisy
+// evaluation, fused and unfused; (b) conservation laws connect counters
+// from different layers — every compiled-op dispatch lands in exactly
+// one specialized-kernel counter, program executions multiply through
+// to op dispatches, and the parameter-shift engine evaluates exactly
+// two shifted circuits per (non-controlled) parameter per batch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "core/evaluator.hpp"
+#include "core/trainer.hpp"
+#include "data/tasks.hpp"
+#include "grad/parameter_shift.hpp"
+#include "noise/device_presets.hpp"
+#include "qsim/execution.hpp"
+#include "qsim/program.hpp"
+
+namespace qnat {
+namespace {
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_num_threads(0); }
+};
+
+class MetricsInvariantsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::reset();
+    metrics::set_enabled(true);
+  }
+  void TearDown() override {
+    metrics::set_enabled(false);
+    metrics::reset();
+    set_default_fusion(true);
+    set_num_threads(0);
+  }
+};
+
+std::uint64_t counter_value(const metrics::Snapshot& snap,
+                            std::string_view name) {
+  const auto* entry = snap.find_counter(name);
+  return entry ? entry->value : 0;
+}
+
+/// Total dispatches across all `qsim.kernel.*` class counters.
+std::uint64_t kernel_dispatch_total(const metrics::Snapshot& snap) {
+  std::uint64_t total = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name.rfind("qsim.kernel.", 0) == 0) total += c.value;
+  }
+  return total;
+}
+
+QnnArchitecture mnist4_arch() {
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 1;
+  arch.layers_per_block = 1;
+  arch.input_features = 16;
+  arch.num_classes = 4;
+  return arch;
+}
+
+TEST_F(MetricsInvariantsTest, TrainStepFingerprintIsThreadCountInvariant) {
+  // Fixed-seed MNIST-4 noise-aware training: the deterministic metric
+  // subset (kernel dispatches, inserter gate counts, shift circuits,
+  // optimizer updates, pool regions, ...) must be byte-equal at 1 and 4
+  // threads. PerRun metrics (cache traffic, chunk counts, timers) are
+  // excluded by construction and free to differ.
+  ThreadCountGuard guard;
+  const TaskBundle task = make_task("mnist4", 4, 11);
+  const NoiseModel noise = make_device_noise_model("yorktown");
+
+  auto run = [&](int threads) {
+    set_num_threads(threads);
+    clear_program_cache();
+    metrics::reset();
+    QnnModel model(mnist4_arch());
+    const Deployment deployment(model, noise, 2);
+    TrainerConfig config;
+    config.epochs = 1;
+    config.batch_size = 8;
+    config.seed = 77;
+    config.injection.method = InjectionMethod::GateInsertion;
+    config.injection.noise_factor = 0.5;
+    train_qnn(model, task.train, config, &deployment);
+    return metrics::deterministic_fingerprint();
+  };
+
+  const std::string serial = run(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run(4)) << "deterministic metrics drifted with threads";
+
+  // Cross-module conservation over the whole training run: every op
+  // dispatched by a compiled program was counted by exactly one kernel-
+  // class counter, and some training actually happened.
+  const metrics::Snapshot snap = metrics::snapshot();
+  EXPECT_EQ(kernel_dispatch_total(snap),
+            counter_value(snap, "qsim.program.op_dispatches"));
+  EXPECT_GE(counter_value(snap, "train.steps"), 1u);
+  EXPECT_EQ(counter_value(snap, "train.epochs"), 1u);
+  EXPECT_EQ(counter_value(snap, "nn.optimizer.updates"),
+            counter_value(snap, "train.steps"));
+  EXPECT_GE(counter_value(snap, "noise.inserter.circuits"), 1u);
+}
+
+TEST_F(MetricsInvariantsTest, EvalFingerprintInvariantAcrossThreadsAndFusion) {
+  // Table-1-style noisy evaluation. For each fusion default the
+  // fingerprint must match across thread counts; across fusion settings
+  // the logits must match bit-exactly while the fused program dispatches
+  // no more kernels than the unfused one.
+  ThreadCountGuard guard;
+  const TaskBundle task = make_task("mnist4", 3, 5);
+  QnnModel model(mnist4_arch());
+  Rng init(5);
+  model.init_weights(init);
+  const Deployment deployment(model, make_device_noise_model("lima"), 2);
+  QnnForwardOptions pipeline;
+  pipeline.normalize = true;
+  NoisyEvalOptions eval;
+  eval.mode = NoiseEvalMode::Trajectories;
+  eval.trajectories = 4;
+  eval.seed = 991;
+
+  struct Run {
+    std::string fingerprint;
+    std::vector<real> logits;
+    std::uint64_t kernel_dispatches;
+  };
+  auto run = [&](int threads, bool fused) {
+    set_num_threads(threads);
+    set_default_fusion(fused);
+    clear_program_cache();
+    metrics::reset();
+    const Tensor2D logits = qnn_forward_noisy(model, deployment,
+                                              task.test.features, pipeline,
+                                              eval);
+    return Run{metrics::deterministic_fingerprint(), logits.data(),
+               kernel_dispatch_total(metrics::snapshot())};
+  };
+
+  const Run fused1 = run(1, true);
+  const Run fused4 = run(4, true);
+  const Run unfused1 = run(1, false);
+  const Run unfused4 = run(4, false);
+
+  EXPECT_EQ(fused1.fingerprint, fused4.fingerprint);
+  EXPECT_EQ(unfused1.fingerprint, unfused4.fingerprint);
+  // Fusion changes how many kernels run, not what they compute — but
+  // pre-multiplying gate matrices reorders floating point, so fused and
+  // unfused agree only to rounding (thread counts agree bit-exactly).
+  ASSERT_EQ(fused1.logits.size(), unfused1.logits.size());
+  for (std::size_t i = 0; i < fused1.logits.size(); ++i) {
+    EXPECT_NEAR(fused1.logits[i], unfused1.logits[i], 1e-9) << "index " << i;
+  }
+  EXPECT_EQ(fused1.logits, fused4.logits);
+  EXPECT_EQ(unfused1.logits, unfused4.logits);
+  EXPECT_LT(fused1.kernel_dispatches, unfused1.kernel_dispatches);
+}
+
+TEST_F(MetricsInvariantsTest, KernelDispatchConservationPerExecution) {
+  // Direct form of the conservation law: running a compiled program E
+  // times dispatches exactly E * ops() kernels, each counted once.
+  Circuit c(3, 4);
+  c.h(0);
+  c.t(0);
+  c.rz(0, 0);
+  c.sx(1);
+  c.cx(0, 1);
+  c.cz(1, 2);
+  c.append(Gate(GateType::CRY, {0, 2}, {ParamExpr::param(1)}));
+  c.swap(1, 2);
+  c.append(Gate(GateType::RZZ, {0, 1}, {ParamExpr::param(2)}));
+  c.ry(2, 3);
+  const ParamVector params{0.4, -0.9, 1.3, 0.2};
+
+  for (const bool fuse : {true, false}) {
+    const CompiledProgram program = compile_program(c, FusionOptions{fuse});
+    metrics::reset();
+    const std::uint64_t executions = 7;
+    for (std::uint64_t e = 0; e < executions; ++e) {
+      StateVector sv(c.num_qubits());
+      program.run(sv, params);
+    }
+    const metrics::Snapshot snap = metrics::snapshot();
+    const std::uint64_t expected = executions * program.ops().size();
+    EXPECT_EQ(counter_value(snap, "qsim.program.executions"), executions);
+    EXPECT_EQ(counter_value(snap, "qsim.program.op_dispatches"), expected);
+    EXPECT_EQ(kernel_dispatch_total(snap), expected) << "fuse=" << fuse;
+  }
+}
+
+TEST_F(MetricsInvariantsTest, ParameterShiftCircuitCountConservation) {
+  // Non-controlled rotation gates cost two shifted evaluations per
+  // parameter, so B batched gradient calls over a P-parameter circuit
+  // must record exactly 2 * P * B shift circuits and B invocations.
+  ThreadCountGuard guard;
+  Circuit c(2, 3);
+  c.ry(0, 0);
+  c.cx(0, 1);
+  c.rz(1, 1);
+  c.ry(1, 2);
+  const ParamVector params{0.3, -0.7, 1.1};
+  const std::vector<real> cotangent{1.0, -0.5};
+  const CircuitExecutor executor = make_ideal_executor();
+
+  metrics::reset();
+  const std::uint64_t batches = 5;
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    parameter_shift_gradient(c, params, cotangent, executor);
+  }
+  const metrics::Snapshot snap = metrics::snapshot();
+  EXPECT_EQ(counter_value(snap, "grad.shift.invocations"), batches);
+  EXPECT_EQ(counter_value(snap, "grad.shift.circuits"),
+            2 * static_cast<std::uint64_t>(c.num_params()) * batches);
+
+  // Controlled-rotation parameters use the four-term rule instead.
+  Circuit ctrl(2, 1);
+  ctrl.append(Gate(GateType::CRY, {0, 1}, {ParamExpr::param(0)}));
+  metrics::reset();
+  parameter_shift_gradient(ctrl, {0.4}, cotangent, executor);
+  EXPECT_EQ(counter_value(metrics::snapshot(), "grad.shift.circuits"), 4u);
+}
+
+TEST_F(MetricsInvariantsTest, ShotAccountingAndClampGauge) {
+  // StateVector::sample accounts every drawn shot; the evaluator's shot
+  // path multiplies through blocks x samples x trajectories; the
+  // cumulative-table clamp edge case is counted by a gauge.
+  StateVector sv(2);
+  sv.apply_1q(gate_matrix(GateType::H, {}), 0);
+  Rng rng(3);
+  metrics::reset();
+  const auto outcomes = sv.sample(rng, 100);
+  EXPECT_EQ(outcomes.size(), 100u);
+  EXPECT_EQ(counter_value(metrics::snapshot(), "qsim.sv.shots_drawn"), 100u);
+
+  // Evaluator shot path: every (block, sample, trajectory) draws
+  // shots_per_trajectory shots.
+  const TaskBundle task = make_task("twofeature2", 4, 3);
+  QnnModel model([] {
+    QnnArchitecture arch;
+    arch.num_qubits = 2;
+    arch.num_blocks = 2;
+    arch.layers_per_block = 1;
+    arch.input_features = 2;
+    arch.num_classes = 2;
+    return arch;
+  }());
+  Rng init(5);
+  model.init_weights(init);
+  const Deployment deployment(model, make_device_noise_model("lima"), 2);
+  QnnForwardOptions pipeline;
+  NoisyEvalOptions eval;
+  eval.mode = NoiseEvalMode::Shots;
+  eval.trajectories = 3;
+  eval.shots_per_trajectory = 16;
+  eval.seed = 7;
+  metrics::reset();
+  qnn_forward_noisy(model, deployment, task.test.features, pipeline, eval);
+  const metrics::Snapshot snap = metrics::snapshot();
+  const std::uint64_t samples = task.test.features.rows();
+  const std::uint64_t blocks = 2;
+  EXPECT_EQ(counter_value(snap, "eval.trajectories"), blocks * samples * 3);
+  EXPECT_EQ(counter_value(snap, "qsim.sv.shots_drawn"),
+            blocks * samples * 3 * 16);
+
+  // Clamp edge: a draw at (or fp-past) the total mass maps to the last
+  // basis state and bumps the gauge; negative draws are rejected.
+  metrics::reset();
+  const std::vector<double> cumulative{0.25, 0.5, 0.75, 1.0};
+  EXPECT_EQ(StateVector::sample_index(cumulative, 1.0 + 1e-12), 3u);
+  const metrics::Snapshot after = metrics::snapshot();
+  const auto* clamp = after.find_gauge("qsim.sv.sample_clamp_events");
+  ASSERT_NE(clamp, nullptr);
+  EXPECT_EQ(clamp->value, 1.0);
+  EXPECT_THROW(StateVector::sample_index(cumulative, -0.5), Error);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "common/error.hpp"
 
 namespace qnat {
@@ -59,6 +62,92 @@ TEST(ReadoutError, ValidateRejectsOutOfRange) {
   EXPECT_THROW((ReadoutError{1.2, 0.9}).validate(), Error);
   EXPECT_THROW((ReadoutError{0.9, -0.1}).validate(), Error);
   EXPECT_THROW(ReadoutError::from_flip_probs(-0.1, 0.0), Error);
+}
+
+// --- multi-qubit confusion matrices ---
+// The simulator applies readout error independently per qubit, which is
+// equivalent to acting on the joint outcome distribution with the
+// Kronecker product of the per-qubit 2x2 confusion matrices. These
+// tests build that product by hand and check the per-qubit maps
+// (apply_to_prob0, slope/intercept) reproduce its marginals exactly.
+
+/// P(observe bit b | true bit t) under `e`.
+double confusion(const ReadoutError& e, int t, int b) {
+  if (t == 0) return b == 0 ? e.p0_given_0 : e.p1_given_0();
+  return b == 1 ? e.p1_given_1 : e.p0_given_1();
+}
+
+/// Applies per-qubit confusion matrices to a joint distribution over
+/// basis states (qubit 0 = least-significant bit).
+std::vector<double> apply_confusion(const std::vector<ReadoutError>& errs,
+                                    const std::vector<double>& p) {
+  std::vector<double> out(p.size(), 0.0);
+  for (std::size_t t = 0; t < p.size(); ++t) {
+    for (std::size_t b = 0; b < p.size(); ++b) {
+      double w = p[t];
+      for (std::size_t q = 0; q < errs.size(); ++q) {
+        w *= confusion(errs[q], (t >> q) & 1, (b >> q) & 1);
+      }
+      out[b] += w;
+    }
+  }
+  return out;
+}
+
+TEST(ReadoutError, TwoQubitConfusionHandComputed) {
+  // Deterministic |01> (qubit 0 reads 1, qubit 1 reads 0) through
+  // q0 = [[0.98, 0.02], [0.05, 0.95]], q1 = [[0.96, 0.04], [0.10, 0.90]]:
+  //   P(00) = 0.05*0.96 = 0.048    P(01) = 0.95*0.96 = 0.912
+  //   P(10) = 0.05*0.04 = 0.002    P(11) = 0.95*0.04 = 0.038
+  const std::vector<ReadoutError> errs{{0.98, 0.95}, {0.96, 0.90}};
+  const std::vector<double> mapped =
+      apply_confusion(errs, {0.0, 1.0, 0.0, 0.0});
+  EXPECT_NEAR(mapped[0], 0.048, 1e-15);
+  EXPECT_NEAR(mapped[1], 0.912, 1e-15);
+  EXPECT_NEAR(mapped[2], 0.002, 1e-15);
+  EXPECT_NEAR(mapped[3], 0.038, 1e-15);
+  EXPECT_NEAR(mapped[0] + mapped[1] + mapped[2] + mapped[3], 1.0, 1e-15);
+}
+
+TEST(ReadoutError, TwoQubitMarginalsMatchPerQubitMap) {
+  const std::vector<ReadoutError> errs{{0.98, 0.95}, {0.96, 0.90}};
+  const std::vector<double> p{0.5, 0.2, 0.2, 0.1};
+  const std::vector<double> mapped = apply_confusion(errs, p);
+
+  // Marginal P(qubit 0 observes 0) = P(00) + P(10).
+  const double q0_true0 = p[0] + p[2];
+  const double q0_obs0 = mapped[0] + mapped[2];
+  EXPECT_NEAR(q0_obs0, errs[0].apply_to_prob0(q0_true0), 1e-15);
+
+  const double q1_true0 = p[0] + p[1];
+  const double q1_obs0 = mapped[0] + mapped[1];
+  EXPECT_NEAR(q1_obs0, errs[1].apply_to_prob0(q1_true0), 1e-15);
+}
+
+TEST(ReadoutError, ThreeQubitExpectationsMapAffinely) {
+  // Per-qubit Z expectations of an arbitrary 3-qubit distribution map
+  // through the joint confusion matrix exactly as e' = slope*e +
+  // intercept — the Theorem 3.1 structure that makes readout injection
+  // differentiable.
+  const std::vector<ReadoutError> errs{{0.98, 0.95}, {0.96, 0.90},
+                                       {0.99, 0.97}};
+  const std::vector<double> p{0.20, 0.05, 0.15, 0.10,
+                              0.25, 0.05, 0.12, 0.08};
+  const std::vector<double> mapped = apply_confusion(errs, p);
+
+  for (std::size_t q = 0; q < errs.size(); ++q) {
+    double e_true = 0.0;
+    double e_obs = 0.0;
+    for (std::size_t s = 0; s < p.size(); ++s) {
+      const double sign = ((s >> q) & 1) ? -1.0 : 1.0;
+      e_true += sign * p[s];
+      e_obs += sign * mapped[s];
+    }
+    EXPECT_NEAR(e_obs, errs[q].slope() * e_true + errs[q].intercept(), 1e-15)
+        << "qubit " << q;
+    EXPECT_NEAR(e_obs, errs[q].apply_to_expectation(e_true), 1e-15)
+        << "qubit " << q;
+  }
 }
 
 TEST(ReadoutError, ShrinksExpectationRange) {

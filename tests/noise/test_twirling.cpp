@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
+#include <vector>
+
 #include "common/error.hpp"
+#include "common/matrix.hpp"
 
 namespace qnat {
 namespace {
@@ -54,6 +59,102 @@ TEST(Twirling, Dephasing) {
   const PauliChannel c = dephasing_to_pauli(0.07);
   EXPECT_DOUBLE_EQ(c.px, 0.0);
   EXPECT_DOUBLE_EQ(c.pz, 0.07);
+}
+
+// --- Pauli-transfer equivalence ---
+// Twirling a channel over the Pauli group keeps exactly the diagonal of
+// its Pauli-transfer matrix: R_aa = tr(sigma_a E((I + sigma_a)/2)) -
+// tr(sigma_a E(I/2)). These tests compute that diagonal from the
+// original channel's Kraus operators and check the twirled Pauli
+// channel's eigenvalues (lambda_x = 1 - 2(py + pz), cyclically) match.
+
+std::array<CMatrix, 3> pauli_matrices() {
+  const cplx i(0.0, 1.0);
+  return {CMatrix(2, 2, {0, 1, 1, 0}),    // X
+          CMatrix(2, 2, {0, -i, i, 0}),   // Y
+          CMatrix(2, 2, {1, 0, 0, -1})};  // Z
+}
+
+/// Linear part of the channel's Pauli-transfer diagonal, computed from
+/// Kraus operators (the affine part — e.g. amplitude damping's pull
+/// toward |0> — cancels in the difference and is not representable by a
+/// unital Pauli channel anyway).
+std::array<double, 3> ptm_diagonal(const std::vector<CMatrix>& kraus) {
+  const auto paulis = pauli_matrices();
+  auto evolve = [&](const CMatrix& rho) {
+    CMatrix out = CMatrix::zeros(2, 2);
+    for (const auto& k : kraus) out = out + k * rho * k.adjoint();
+    return out;
+  };
+  std::array<double, 3> diag{};
+  for (int a = 0; a < 3; ++a) {
+    const CMatrix plus = (CMatrix::identity(2) + paulis[a]) * cplx(0.5);
+    const CMatrix mixed = CMatrix::identity(2) * cplx(0.5);
+    diag[a] = (paulis[a] * evolve(plus)).trace().real() -
+              (paulis[a] * evolve(mixed)).trace().real();
+  }
+  return diag;
+}
+
+std::array<double, 3> pauli_channel_eigenvalues(const PauliChannel& c) {
+  return {1.0 - 2.0 * (c.py + c.pz), 1.0 - 2.0 * (c.px + c.pz),
+          1.0 - 2.0 * (c.px + c.py)};
+}
+
+TEST(Twirling, AmplitudeDampingTwirlMatchesPauliTransferDiagonal) {
+  for (const double gamma : {0.1, 0.37, 0.8}) {
+    const std::vector<CMatrix> kraus{
+        CMatrix(2, 2, {1, 0, 0, std::sqrt(1.0 - gamma)}),
+        CMatrix(2, 2, {0, std::sqrt(gamma), 0, 0})};
+    const auto exact = ptm_diagonal(kraus);
+    // Hand-derived: R_xx = R_yy = sqrt(1-gamma), R_zz = 1-gamma.
+    EXPECT_NEAR(exact[0], std::sqrt(1.0 - gamma), 1e-12);
+    EXPECT_NEAR(exact[2], 1.0 - gamma, 1e-12);
+
+    const auto twirled =
+        pauli_channel_eigenvalues(amplitude_damping_twirl(gamma));
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_NEAR(twirled[a], exact[a], 1e-12) << "gamma " << gamma
+                                               << " axis " << a;
+    }
+  }
+}
+
+TEST(Twirling, DepolarizingMatchesPauliTransferDiagonal) {
+  const double lambda = 0.12;
+  // Depolarizing Kraus: sqrt(1 - 3*lambda/4) I, sqrt(lambda/4) {X, Y, Z}.
+  const auto paulis = pauli_matrices();
+  std::vector<CMatrix> kraus{CMatrix::identity(2) *
+                             cplx(std::sqrt(1.0 - 0.75 * lambda))};
+  for (const auto& p : paulis) kraus.push_back(p * cplx(std::sqrt(lambda / 4)));
+  const auto exact = ptm_diagonal(kraus);
+  const auto twirled = pauli_channel_eigenvalues(depolarizing_to_pauli(lambda));
+  for (int a = 0; a < 3; ++a) {
+    EXPECT_NEAR(exact[a], 1.0 - lambda, 1e-12);
+    EXPECT_NEAR(twirled[a], exact[a], 1e-12);
+  }
+}
+
+TEST(Twirling, DephasingMatchesPauliTransferDiagonal) {
+  const double p = 0.07;
+  const auto paulis = pauli_matrices();
+  const std::vector<CMatrix> kraus{CMatrix::identity(2) *
+                                       cplx(std::sqrt(1.0 - p)),
+                                   paulis[2] * cplx(std::sqrt(p))};
+  const auto exact = ptm_diagonal(kraus);
+  const auto twirled = pauli_channel_eigenvalues(dephasing_to_pauli(p));
+  EXPECT_NEAR(exact[0], 1.0 - 2.0 * p, 1e-12);
+  EXPECT_NEAR(exact[2], 1.0, 1e-12);
+  for (int a = 0; a < 3; ++a) EXPECT_NEAR(twirled[a], exact[a], 1e-12);
+}
+
+TEST(Twirling, PowerRaisesTransferEigenvalues) {
+  const PauliChannel c = amplitude_damping_twirl(0.2);
+  const auto once = pauli_channel_eigenvalues(c);
+  const auto thrice = pauli_channel_eigenvalues(c.power(3));
+  for (int a = 0; a < 3; ++a) {
+    EXPECT_NEAR(thrice[a], once[a] * once[a] * once[a], 1e-12);
+  }
 }
 
 TEST(Twirling, InputValidation) {
