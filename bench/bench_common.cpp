@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "common/metrics.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "qsim/program.hpp"
 
@@ -22,15 +23,20 @@ metrics::ObservabilityOptions g_observability;
 std::string g_run_label;
 
 void write_observability_at_exit() {
-  metrics::RunManifest manifest;
-  manifest.label = g_run_label;
-  manifest.seed = scale_from_env().seed;
-  manifest.threads = num_threads();
-  manifest.fused = default_fusion();
-  metrics::write_observability(g_observability, manifest);
+  metrics::write_observability(g_observability, current_manifest(g_run_label));
 }
 
 }  // namespace
+
+metrics::RunManifest current_manifest(const std::string& label) {
+  metrics::RunManifest manifest;
+  manifest.label = label;
+  manifest.seed = scale_from_env().seed;
+  manifest.threads = num_threads();
+  manifest.fused = default_fusion();
+  manifest.simd = simd::enabled();
+  return manifest;
+}
 
 RunScale scale_from_env() {
   RunScale scale;
@@ -58,6 +64,13 @@ int configure_threads(int argc, char** argv) {
 
 int configure_run(const std::string& label, int argc, char** argv) {
   const int threads = configure_threads(argc, argv);
+  // --simd on|off overrides the QNAT_SIMD / cpuid default; "on" is still
+  // a no-op on hardware without AVX2+FMA.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--simd") == 0) {
+      simd::set_enabled(std::strcmp(argv[i + 1], "off") != 0);
+    }
+  }
   g_run_label = label;
   g_observability = metrics::observability_from_args(argc, argv);
   if (g_observability.any()) std::atexit(write_observability_at_exit);

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "core/trainer.hpp"
 #include "data/tasks.hpp"
@@ -44,13 +45,25 @@ RunScale scale_from_env();
 /// bit-identical at any thread count; only wall-clock changes.
 int configure_threads(int argc, char** argv);
 
-/// Full bench-run setup: configure_threads plus the observability flags
+/// Full bench-run setup: configure_threads, the `--simd on|off` backend
+/// knob (overrides QNAT_SIMD / the cpuid default; "on" stays a no-op
+/// without AVX2+FMA hardware), plus the observability flags
 /// (`--metrics-out <file>` / `--trace-out <file>`, see
 /// metrics::observability_from_args). When an output is requested, an
 /// atexit hook dumps it together with a run manifest (label, seed,
-/// threads, fusion default, git describe) when the bench finishes.
-/// Returns the resolved thread count.
+/// threads, fusion default, simd backend, git describe) when the bench
+/// finishes. Returns the resolved thread count.
 int configure_run(const std::string& label, int argc, char** argv);
+
+/// The provenance block describing the process-wide run configuration —
+/// the same fields a metrics snapshot's manifest carries: label, master
+/// seed (QNAT_SEED), worker-thread count, fusion default, whether the
+/// SIMD backend is active, and the configure-time `git describe`. Used
+/// both by the atexit observability dump and by bench binaries that
+/// embed the manifest into their own report (bench_micro_qsim writes it
+/// into the google-benchmark JSON context as `qnat_*` keys, so
+/// BENCH_simd.json records which backend produced its timings).
+metrics::RunManifest current_manifest(const std::string& label);
 
 /// The paper's incremental method cascade (Table 1 rows).
 enum class Method { Baseline, PostNorm, GateInsert, PostQuant };

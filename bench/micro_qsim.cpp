@@ -3,7 +3,11 @@
 // difference gradient cost, error-gate insertion, and transpilation.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "bench_common.hpp"
 #include "common/metrics.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "compile/transpiler.hpp"
 #include "core/evaluator.hpp"
@@ -170,6 +174,47 @@ void BM_DeepCircuitFused(benchmark::State& state) {
 }
 BENCHMARK(BM_DeepCircuitFused)->Arg(10);
 
+// --- SIMD backend: the same fused deep circuit, scalar vs AVX2 ---
+// Single-thread apples-to-apples pair for BENCH_simd.json; the
+// acceptance bar is >= 2x (SIMD over scalar) on AVX2 hardware. The
+// label records which backend actually ran, so CI can skip the ratio
+// assert on machines where the SIMD leg silently fell back to scalar.
+
+void BM_DeepCircuitFusedScalar(benchmark::State& state) {
+  const Circuit c = deep_device_circuit(static_cast<int>(state.range(0)), 50);
+  const CompiledProgram program = compile_program(c);
+  const bool prev = simd::enabled();
+  simd::set_enabled(false);
+  for (auto _ : state) {
+    StateVector sv(c.num_qubits());
+    program.run(sv, {});
+    benchmark::DoNotOptimize(sv.amplitude(0));
+  }
+  simd::set_enabled(prev);
+  state.SetLabel("scalar");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(c.size()));
+}
+BENCHMARK(BM_DeepCircuitFusedScalar)->Arg(10);
+
+void BM_DeepCircuitFusedSimd(benchmark::State& state) {
+  const Circuit c = deep_device_circuit(static_cast<int>(state.range(0)), 50);
+  const CompiledProgram program = compile_program(c);
+  const bool prev = simd::enabled();
+  simd::set_enabled(true);
+  const bool ran_simd = simd::enabled();
+  for (auto _ : state) {
+    StateVector sv(c.num_qubits());
+    program.run(sv, {});
+    benchmark::DoNotOptimize(sv.amplitude(0));
+  }
+  simd::set_enabled(prev);
+  state.SetLabel(ran_simd ? "avx2" : "scalar");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(c.size()));
+}
+BENCHMARK(BM_DeepCircuitFusedSimd)->Arg(10);
+
 void BM_DeepCircuitFusedMetricsOn(benchmark::State& state) {
   // Same workload as BM_DeepCircuitFused but with metrics recording
   // enabled — the <3% instrumentation-overhead budget is the ratio of
@@ -284,3 +329,26 @@ void BM_ParameterShiftParallel(benchmark::State& state) {
 BENCHMARK(BM_ParameterShiftParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
+
+// Custom main (instead of benchmark::benchmark_main): applies the shared
+// bench knobs (--threads N, --simd on|off, --metrics-out / --trace-out)
+// via configure_run and embeds the run manifest into the
+// google-benchmark JSON context as qnat_* keys, so BENCH_micro_qsim.json
+// and BENCH_simd.json carry the same provenance block as a metrics
+// snapshot (CI's bench gates assert on it).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  qnat::bench::configure_run("micro_qsim", argc, argv);
+  const qnat::metrics::RunManifest manifest =
+      qnat::bench::current_manifest("micro_qsim");
+  benchmark::AddCustomContext("qnat_label", manifest.label);
+  benchmark::AddCustomContext("qnat_seed", std::to_string(manifest.seed));
+  benchmark::AddCustomContext("qnat_threads",
+                              std::to_string(manifest.threads));
+  benchmark::AddCustomContext("qnat_fused", manifest.fused ? "true" : "false");
+  benchmark::AddCustomContext("qnat_simd", manifest.simd ? "avx2" : "scalar");
+  benchmark::AddCustomContext("qnat_git", qnat::metrics::build_version());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "common/metrics.hpp"
+#include "common/simd.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "core/trainer.hpp"
@@ -79,6 +80,7 @@ int main(int argc, char** argv) {
   manifest.label = "mnist4_noise_aware";
   manifest.threads = num_threads();
   manifest.fused = default_fusion();
+  manifest.simd = simd::enabled();
   metrics::write_observability(observability, manifest);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "common/metrics.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "core/trainer.hpp"
 #include "data/tasks.hpp"
@@ -77,6 +78,7 @@ int main(int argc, char** argv) {
   manifest.seed = config.seed;
   manifest.threads = num_threads();
   manifest.fused = default_fusion();
+  manifest.simd = simd::enabled();
   metrics::write_observability(observability, manifest);
   return 0;
 }

@@ -442,6 +442,7 @@ std::string to_json(const Snapshot& snap, const RunManifest& manifest) {
   os << ", \"seed\": " << manifest.seed
      << ", \"threads\": " << manifest.threads
      << ", \"fused\": " << (manifest.fused ? "true" : "false")
+     << ", \"simd\": " << (manifest.simd ? "true" : "false")
      << ", \"git\": ";
   append_json_string(os,
                      manifest.git.empty() ? build_version() : manifest.git);
@@ -697,6 +698,7 @@ Snapshot from_json(const std::string& json, RunManifest* manifest) {
             ? static_cast<int>(m->find("threads")->as_u64())
             : 1;
     manifest->fused = m->find("fused") ? m->find("fused")->boolean : true;
+    manifest->simd = m->find("simd") ? m->find("simd")->boolean : false;
     manifest->git = m->find("git") ? m->find("git")->string : "";
   }
 

@@ -175,6 +175,7 @@ struct RunManifest {
   std::uint64_t seed = 0;   ///< master seed of the run
   int threads = 1;          ///< worker-pool width
   bool fused = true;        ///< program-compile fusion default
+  bool simd = false;        ///< SIMD kernel backend active (simd::enabled())
   std::string git;          ///< git describe (defaults to build_version())
 };
 

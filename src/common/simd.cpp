@@ -1,0 +1,430 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define QNAT_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define QNAT_SIMD_AVX2 0
+#endif
+
+namespace qnat::simd {
+
+namespace {
+
+/// Backend state: -1 unresolved, 0 scalar, 1 AVX2. Resolved lazily from
+/// cpuid + the QNAT_SIMD environment variable on first query.
+std::atomic<int> g_state{-1};
+
+int resolve_state() {
+  bool want = runtime_supported();
+  if (const char* env = std::getenv("QNAT_SIMD")) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "false") == 0 || std::strcmp(env, "scalar") == 0) {
+      want = false;
+    }
+    // Any other value ("on", "auto", ...) keeps the cpuid default; the
+    // backend can never be forced on without hardware support.
+  }
+  return want ? 1 : 0;
+}
+
+}  // namespace
+
+bool compiled() { return QNAT_SIMD_AVX2 != 0; }
+
+bool runtime_supported() {
+#if QNAT_SIMD_AVX2
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool enabled() {
+  int s = g_state.load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = resolve_state();
+    g_state.store(s, std::memory_order_relaxed);
+  }
+  return s == 1;
+}
+
+void set_enabled(bool on) {
+  g_state.store(on && runtime_supported() ? 1 : 0, std::memory_order_relaxed);
+}
+
+#if QNAT_SIMD_AVX2
+
+// --- AVX2 kernel bodies ----------------------------------------------
+// Every function carries target("avx2,fma") so the TU builds without
+// -mavx2; the runtime gate above keeps them unreachable on older CPUs.
+
+#define QNAT_AVX2 __attribute__((target("avx2,fma"), always_inline)) inline
+
+namespace {
+
+/// Broadcast complex constant, split into re/im lane vectors.
+struct CK {
+  __m256d re, im;
+};
+
+QNAT_AVX2 CK ck(cplx c) {
+  return {_mm256_set1_pd(c.real()), _mm256_set1_pd(c.imag())};
+}
+
+QNAT_AVX2 __m256d cload(const cplx* p) {
+  return _mm256_loadu_pd(reinterpret_cast<const double*>(p));
+}
+
+QNAT_AVX2 void cstore(cplx* p, __m256d v) {
+  _mm256_storeu_pd(reinterpret_cast<double*>(p), v);
+}
+
+/// Two complex products c * a_j (j = 0, 1): even lanes ar*cr - ai*ci,
+/// odd lanes ai*cr + ar*ci (one FMA-contracted complex multiply).
+QNAT_AVX2 __m256d cmul(CK c, __m256d a) {
+  const __m256d a_sw = _mm256_permute_pd(a, 0x5);  // [ai, ar] per complex
+  return _mm256_fmaddsub_pd(a, c.re, _mm256_mul_pd(a_sw, c.im));
+}
+
+/// Elementwise conj(a_j) * b_j.
+QNAT_AVX2 __m256d cconjmul(__m256d a, __m256d b) {
+  const __m256d a_re = _mm256_movedup_pd(a);       // [ar, ar]
+  const __m256d a_im = _mm256_permute_pd(a, 0xF);  // [ai, ai]
+  const __m256d b_sw = _mm256_permute_pd(b, 0x5);  // [bi, br]
+  // even: ar*br + ai*bi, odd: ar*bi - ai*br
+  return _mm256_fmsubadd_pd(a_re, b, _mm256_mul_pd(a_im, b_sw));
+}
+
+/// Folds the two complex lanes of an accumulator into one cplx.
+QNAT_AVX2 cplx creduce(__m256d acc) {
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  alignas(16) double out[2];
+  _mm_store_pd(out, _mm_add_pd(lo, hi));
+  return {out[0], out[1]};
+}
+
+QNAT_AVX2 double hsum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+/// Gathers the pair halves of two adjacent pair-groups (stride == 1):
+/// from v0 = [c_i, c_{i+1}], v1 = [c_{i+2}, c_{i+3}] produces
+/// a0 = [c_i, c_{i+2}] (the two "low" pair members) and
+/// a1 = [c_{i+1}, c_{i+3}].
+QNAT_AVX2 __m256d gather_lo(__m256d v0, __m256d v1) {
+  return _mm256_permute2f128_pd(v0, v1, 0x20);
+}
+QNAT_AVX2 __m256d gather_hi(__m256d v0, __m256d v1) {
+  return _mm256_permute2f128_pd(v0, v1, 0x31);
+}
+
+/// Same enumeration as StateVector::apply_2q: expands a dense counter k
+/// into the basis index with zero bits inserted at strides lo < hi.
+inline std::size_t expand2(std::size_t k, std::size_t lo, std::size_t hi) {
+  std::size_t i = (k & (lo - 1)) | ((k & ~(lo - 1)) << 1);
+  return (i & (hi - 1)) | ((i & ~(hi - 1)) << 1);
+}
+
+}  // namespace
+
+__attribute__((target("avx2,fma"))) void apply_1q(cplx* amps, std::size_t n,
+                                                  std::size_t stride,
+                                                  cplx m00, cplx m01,
+                                                  cplx m10, cplx m11) {
+  const CK k00 = ck(m00), k01 = ck(m01), k10 = ck(m10), k11 = ck(m11);
+  if (stride >= 2) {
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+      for (std::size_t i = base; i < base + stride; i += 2) {
+        const __m256d a0 = cload(amps + i);
+        const __m256d a1 = cload(amps + i + stride);
+        cstore(amps + i, _mm256_add_pd(cmul(k00, a0), cmul(k01, a1)));
+        cstore(amps + i + stride,
+               _mm256_add_pd(cmul(k10, a0), cmul(k11, a1)));
+      }
+    }
+    return;
+  }
+  // stride == 1: pair members interleave within a vector; shuffle two
+  // groups of (a0, a1) together per iteration.
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v0 = cload(amps + i);
+    const __m256d v1 = cload(amps + i + 2);
+    const __m256d a0 = gather_lo(v0, v1);
+    const __m256d a1 = gather_hi(v0, v1);
+    const __m256d r0 = _mm256_add_pd(cmul(k00, a0), cmul(k01, a1));
+    const __m256d r1 = _mm256_add_pd(cmul(k10, a0), cmul(k11, a1));
+    cstore(amps + i, gather_lo(r0, r1));
+    cstore(amps + i + 2, gather_hi(r0, r1));
+  }
+  for (; i < n; i += 2) {
+    const cplx a0 = amps[i];
+    const cplx a1 = amps[i + 1];
+    amps[i] = m00 * a0 + m01 * a1;
+    amps[i + 1] = m10 * a0 + m11 * a1;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void apply_diag_1q(cplx* amps,
+                                                       std::size_t n,
+                                                       std::size_t stride,
+                                                       cplx d0, cplx d1) {
+  if (stride >= 2) {
+    const CK k0 = ck(d0), k1 = ck(d1);
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+      for (std::size_t i = base; i < base + stride; i += 2) {
+        cstore(amps + i, cmul(k0, cload(amps + i)));
+        cstore(amps + i + stride, cmul(k1, cload(amps + i + stride)));
+      }
+    }
+    return;
+  }
+  // stride == 1: alternate d0/d1 per complex within one vector.
+  const CK mixed = {_mm256_setr_pd(d0.real(), d0.real(), d1.real(), d1.real()),
+                    _mm256_setr_pd(d0.imag(), d0.imag(), d1.imag(), d1.imag())};
+  for (std::size_t i = 0; i < n; i += 2) {
+    cstore(amps + i, cmul(mixed, cload(amps + i)));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void apply_antidiag_1q(cplx* amps,
+                                                           std::size_t n,
+                                                           std::size_t stride,
+                                                           cplx top,
+                                                           cplx bottom) {
+  if (stride >= 2) {
+    const CK kt = ck(top), kb = ck(bottom);
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+      for (std::size_t i = base; i < base + stride; i += 2) {
+        const __m256d a0 = cload(amps + i);
+        const __m256d a1 = cload(amps + i + stride);
+        cstore(amps + i, cmul(kt, a1));
+        cstore(amps + i + stride, cmul(kb, a0));
+      }
+    }
+    return;
+  }
+  // stride == 1: swap the 128-bit complex lanes, then scale lane 0 by
+  // top and lane 1 by bottom.
+  const CK mixed = {
+      _mm256_setr_pd(top.real(), top.real(), bottom.real(), bottom.real()),
+      _mm256_setr_pd(top.imag(), top.imag(), bottom.imag(), bottom.imag())};
+  for (std::size_t i = 0; i < n; i += 2) {
+    const __m256d v = cload(amps + i);
+    cstore(amps + i, cmul(mixed, _mm256_permute2f128_pd(v, v, 0x01)));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void apply_2q(cplx* amps,
+                                                  std::size_t quarter,
+                                                  std::size_t lo,
+                                                  std::size_t hi,
+                                                  std::size_t sa,
+                                                  std::size_t sb,
+                                                  const cplx* m) {
+  CK k[16];
+  for (int e = 0; e < 16; ++e) k[e] = ck(m[e]);
+  for (std::size_t g = 0; g < quarter; g += 2) {
+    const std::size_t i = expand2(g, lo, hi);
+    cplx* p00 = amps + i;
+    cplx* p01 = amps + (i | sb);
+    cplx* p10 = amps + (i | sa);
+    cplx* p11 = amps + (i | sa | sb);
+    const __m256d a00 = cload(p00), a01 = cload(p01), a10 = cload(p10),
+                  a11 = cload(p11);
+    cstore(p00, _mm256_add_pd(
+                    _mm256_add_pd(cmul(k[0], a00), cmul(k[1], a01)),
+                    _mm256_add_pd(cmul(k[2], a10), cmul(k[3], a11))));
+    cstore(p01, _mm256_add_pd(
+                    _mm256_add_pd(cmul(k[4], a00), cmul(k[5], a01)),
+                    _mm256_add_pd(cmul(k[6], a10), cmul(k[7], a11))));
+    cstore(p10, _mm256_add_pd(
+                    _mm256_add_pd(cmul(k[8], a00), cmul(k[9], a01)),
+                    _mm256_add_pd(cmul(k[10], a10), cmul(k[11], a11))));
+    cstore(p11, _mm256_add_pd(
+                    _mm256_add_pd(cmul(k[12], a00), cmul(k[13], a01)),
+                    _mm256_add_pd(cmul(k[14], a10), cmul(k[15], a11))));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void apply_diag_2q(
+    cplx* amps, std::size_t quarter, std::size_t lo, std::size_t hi,
+    std::size_t sa, std::size_t sb, cplx d0, cplx d1, cplx d2, cplx d3) {
+  const CK k0 = ck(d0), k1 = ck(d1), k2 = ck(d2), k3 = ck(d3);
+  for (std::size_t g = 0; g < quarter; g += 2) {
+    const std::size_t i = expand2(g, lo, hi);
+    cplx* p00 = amps + i;
+    cplx* p01 = amps + (i | sb);
+    cplx* p10 = amps + (i | sa);
+    cplx* p11 = amps + (i | sa | sb);
+    cstore(p00, cmul(k0, cload(p00)));
+    cstore(p01, cmul(k1, cload(p01)));
+    cstore(p10, cmul(k2, cload(p10)));
+    cstore(p11, cmul(k3, cload(p11)));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void apply_controlled_1q(
+    cplx* amps, std::size_t quarter, std::size_t lo, std::size_t hi,
+    std::size_t sc, std::size_t st, cplx m00, cplx m01, cplx m10, cplx m11) {
+  const CK k00 = ck(m00), k01 = ck(m01), k10 = ck(m10), k11 = ck(m11);
+  for (std::size_t g = 0; g < quarter; g += 2) {
+    const std::size_t i = expand2(g, lo, hi) | sc;
+    cplx* p0 = amps + i;
+    cplx* p1 = amps + (i | st);
+    const __m256d a0 = cload(p0);
+    const __m256d a1 = cload(p1);
+    cstore(p0, _mm256_add_pd(cmul(k00, a0), cmul(k01, a1)));
+    cstore(p1, _mm256_add_pd(cmul(k10, a0), cmul(k11, a1)));
+  }
+}
+
+__attribute__((target("avx2,fma"))) void apply_controlled_antidiag_1q(
+    cplx* amps, std::size_t quarter, std::size_t lo, std::size_t hi,
+    std::size_t sc, std::size_t st, cplx top, cplx bottom) {
+  const CK kt = ck(top), kb = ck(bottom);
+  for (std::size_t g = 0; g < quarter; g += 2) {
+    const std::size_t i = expand2(g, lo, hi) | sc;
+    cplx* p0 = amps + i;
+    cplx* p1 = amps + (i | st);
+    const __m256d a0 = cload(p0);
+    const __m256d a1 = cload(p1);
+    cstore(p0, cmul(kt, a1));
+    cstore(p1, cmul(kb, a0));
+  }
+}
+
+__attribute__((target("avx2,fma"))) double norm_sq(const cplx* amps,
+                                                   std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < n; i += 2) {
+    const __m256d v = cload(amps + i);
+    acc = _mm256_fmadd_pd(v, v, acc);
+  }
+  return hsum(acc);
+}
+
+__attribute__((target("avx2,fma"))) cplx inner(const cplx* a, const cplx* b,
+                                               std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < n; i += 2) {
+    acc = _mm256_add_pd(acc, cconjmul(cload(a + i), cload(b + i)));
+  }
+  return creduce(acc);
+}
+
+__attribute__((target("avx2,fma"))) void add_scaled(cplx* a, const cplx* b,
+                                                    std::size_t n,
+                                                    cplx factor) {
+  const CK f = ck(factor);
+  for (std::size_t i = 0; i < n; i += 2) {
+    cstore(a + i, _mm256_add_pd(cload(a + i), cmul(f, cload(b + i))));
+  }
+}
+
+__attribute__((target("avx2,fma"))) cplx derivative_inner_1q(
+    const cplx* bra, const cplx* ket, std::size_t n, std::size_t stride,
+    cplx d00, cplx d01, cplx d10, cplx d11) {
+  const CK k00 = ck(d00), k01 = ck(d01), k10 = ck(d10), k11 = ck(d11);
+  __m256d acc = _mm256_setzero_pd();
+  if (stride >= 2) {
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+      for (std::size_t i = base; i < base + stride; i += 2) {
+        const __m256d q0 = cload(ket + i);
+        const __m256d q1 = cload(ket + i + stride);
+        const __m256d r0 = _mm256_add_pd(cmul(k00, q0), cmul(k01, q1));
+        const __m256d r1 = _mm256_add_pd(cmul(k10, q0), cmul(k11, q1));
+        acc = _mm256_add_pd(acc, cconjmul(cload(bra + i), r0));
+        acc = _mm256_add_pd(acc, cconjmul(cload(bra + i + stride), r1));
+      }
+    }
+    return creduce(acc);
+  }
+  cplx tail{0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d kv0 = cload(ket + i);
+    const __m256d kv1 = cload(ket + i + 2);
+    const __m256d q0 = gather_lo(kv0, kv1);
+    const __m256d q1 = gather_hi(kv0, kv1);
+    const __m256d bv0 = cload(bra + i);
+    const __m256d bv1 = cload(bra + i + 2);
+    const __m256d b0 = gather_lo(bv0, bv1);
+    const __m256d b1 = gather_hi(bv0, bv1);
+    const __m256d r0 = _mm256_add_pd(cmul(k00, q0), cmul(k01, q1));
+    const __m256d r1 = _mm256_add_pd(cmul(k10, q0), cmul(k11, q1));
+    acc = _mm256_add_pd(acc, cconjmul(b0, r0));
+    acc = _mm256_add_pd(acc, cconjmul(b1, r1));
+  }
+  for (; i < n; i += 2) {
+    const cplx q0 = ket[i];
+    const cplx q1 = ket[i + 1];
+    tail += std::conj(bra[i]) * (d00 * q0 + d01 * q1);
+    tail += std::conj(bra[i + 1]) * (d10 * q0 + d11 * q1);
+  }
+  return creduce(acc) + tail;
+}
+
+__attribute__((target("avx2,fma"))) cplx derivative_inner_2q(
+    const cplx* bra, const cplx* ket, std::size_t quarter, std::size_t lo,
+    std::size_t hi, std::size_t sa, std::size_t sb, const cplx* d) {
+  CK k[16];
+  for (int e = 0; e < 16; ++e) k[e] = ck(d[e]);
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t g = 0; g < quarter; g += 2) {
+    const std::size_t i = expand2(g, lo, hi);
+    const std::size_t idx[4] = {i, i | sb, i | sa, i | sa | sb};
+    const __m256d q0 = cload(ket + idx[0]);
+    const __m256d q1 = cload(ket + idx[1]);
+    const __m256d q2 = cload(ket + idx[2]);
+    const __m256d q3 = cload(ket + idx[3]);
+    for (int r = 0; r < 4; ++r) {
+      const __m256d row = _mm256_add_pd(
+          _mm256_add_pd(cmul(k[4 * r + 0], q0), cmul(k[4 * r + 1], q1)),
+          _mm256_add_pd(cmul(k[4 * r + 2], q2), cmul(k[4 * r + 3], q3)));
+      acc = _mm256_add_pd(acc, cconjmul(cload(bra + idx[r]), row));
+    }
+  }
+  return creduce(acc);
+}
+
+#else  // !QNAT_SIMD_AVX2
+
+// Unreachable stubs: enabled() is permanently false on non-x86 builds,
+// so no call site ever dispatches here.
+void apply_1q(cplx*, std::size_t, std::size_t, cplx, cplx, cplx, cplx) {}
+void apply_diag_1q(cplx*, std::size_t, std::size_t, cplx, cplx) {}
+void apply_antidiag_1q(cplx*, std::size_t, std::size_t, cplx, cplx) {}
+void apply_2q(cplx*, std::size_t, std::size_t, std::size_t, std::size_t,
+              std::size_t, const cplx*) {}
+void apply_diag_2q(cplx*, std::size_t, std::size_t, std::size_t, std::size_t,
+                   std::size_t, cplx, cplx, cplx, cplx) {}
+void apply_controlled_1q(cplx*, std::size_t, std::size_t, std::size_t,
+                         std::size_t, std::size_t, cplx, cplx, cplx, cplx) {}
+void apply_controlled_antidiag_1q(cplx*, std::size_t, std::size_t,
+                                  std::size_t, std::size_t, std::size_t, cplx,
+                                  cplx) {}
+double norm_sq(const cplx*, std::size_t) { return 0.0; }
+cplx inner(const cplx*, const cplx*, std::size_t) { return {}; }
+void add_scaled(cplx*, const cplx*, std::size_t, cplx) {}
+cplx derivative_inner_1q(const cplx*, const cplx*, std::size_t, std::size_t,
+                         cplx, cplx, cplx, cplx) {
+  return {};
+}
+cplx derivative_inner_2q(const cplx*, const cplx*, std::size_t, std::size_t,
+                         std::size_t, std::size_t, std::size_t, const cplx*) {
+  return {};
+}
+
+#endif  // QNAT_SIMD_AVX2
+
+}  // namespace qnat::simd

@@ -1,0 +1,129 @@
+// SIMD backend for the statevector kernels.
+//
+// AVX2/FMA implementations of the hot amplitude loops — dense/diagonal/
+// anti-diagonal/controlled 1q and 2q matrix application, norms, inner
+// products, scaled accumulation and the adjoint differentiator's
+// <bra|dU|ket> contraction — operating directly on the interleaved
+// (re, im) complex layout of `std::vector<cplx>`.
+//
+// Dispatch is two-level:
+//  * compile time: the AVX2 bodies are emitted with
+//    `__attribute__((target("avx2,fma")))` on x86-64 GCC/Clang, so no
+//    special -m flags are required to build them (a -mavx2 -mfma build
+//    works identically); on other targets the kernels compile to
+//    unreachable stubs and `compiled()` is false.
+//  * run time: `enabled()` is true only when the CPU reports AVX2+FMA
+//    (cpuid) and the backend has not been switched off via
+//    `set_enabled(false)` or the QNAT_SIMD=off environment variable.
+//    Callers guard every kernel call with `enabled()` and fall back to
+//    the portable scalar loops in qsim/statevector.cpp.
+//
+// Numerical contract (documented, tested in simd_kernels_test):
+// each kernel evaluates the *same per-amplitude arithmetic* as its
+// scalar counterpart — identical matrix-entry-times-amplitude terms,
+// summed in the same left-to-right order — but uses FMA contraction
+// inside each complex multiply and, for reductions (norm_sq, inner,
+// derivative_inner), accumulates in vector lanes that are folded once
+// at the end. Results therefore agree with the scalar path to rounding
+// (differential tests use 1e-12), not bit-for-bit; within one backend
+// selection results are fully deterministic.
+//
+// Two-qubit index enumeration matches StateVector::apply_2q: a dense
+// counter k over 2^(n-2) values expands to the basis index with zero
+// bits inserted at the two qubit strides. For `lo = min(stride_a,
+// stride_b) >= 2` consecutive even k map to adjacent basis indices, so
+// the kernels load two complexes per vector ("stride >= 2 fast path").
+// Single-qubit kernels additionally handle stride == 1 with a 128-bit
+// lane shuffle ("low-stride shuffle path"); two-qubit kernels with
+// lo == 1 stay on the scalar fallback (callers must check
+// `two_qubit_fast_path`).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace qnat::simd {
+
+/// True when the AVX2 kernel bodies were compiled into this binary.
+bool compiled();
+
+/// True when the running CPU supports AVX2 and FMA.
+bool runtime_supported();
+
+/// True when the SIMD backend is active: compiled, supported by the CPU
+/// and not switched off (QNAT_SIMD=off / set_enabled(false)). Kernel
+/// call sites read this per dispatch (one relaxed atomic load).
+bool enabled();
+
+/// Switches the backend at run time. Enabling on a CPU without AVX2+FMA
+/// is a no-op (enabled() stays false). Intended for experiment setup and
+/// the differential test suites, not for toggling mid-kernel.
+void set_enabled(bool on);
+
+/// Whether the 2q kernels can run the vector path for this qubit pair:
+/// both strides must be >= 2 (neither qubit may be qubit 0).
+inline bool two_qubit_fast_path(std::size_t lo) { return lo >= 2; }
+
+// --- kernels ---------------------------------------------------------
+// All kernels require n >= 2 amplitudes and must only be called while
+// enabled(). `amps` is the interleaved complex amplitude array.
+
+/// Dense 2x2 on pairs (i, i+stride); handles any power-of-two stride
+/// (stride 1 via the shuffle path).
+void apply_1q(cplx* amps, std::size_t n, std::size_t stride, cplx m00,
+              cplx m01, cplx m10, cplx m11);
+
+/// Diagonal 2x2.
+void apply_diag_1q(cplx* amps, std::size_t n, std::size_t stride, cplx d0,
+                   cplx d1);
+
+/// Anti-diagonal 2x2 (top = m01, bottom = m10).
+void apply_antidiag_1q(cplx* amps, std::size_t n, std::size_t stride,
+                       cplx top, cplx bottom);
+
+/// Dense 4x4 over the expand-two-zero-bits enumeration (see header
+/// comment). `m` is the 16-entry row-major matrix; requires
+/// two_qubit_fast_path(lo) and quarter >= 2.
+void apply_2q(cplx* amps, std::size_t quarter, std::size_t lo,
+              std::size_t hi, std::size_t sa, std::size_t sb, const cplx* m);
+
+/// Diagonal 4x4; same enumeration contract as apply_2q.
+void apply_diag_2q(cplx* amps, std::size_t quarter, std::size_t lo,
+                   std::size_t hi, std::size_t sa, std::size_t sb, cplx d0,
+                   cplx d1, cplx d2, cplx d3);
+
+/// Arbitrary 2x2 on `target` where `control` is |1>; sc/st are the
+/// control/target strides. Same enumeration contract as apply_2q.
+void apply_controlled_1q(cplx* amps, std::size_t quarter, std::size_t lo,
+                         std::size_t hi, std::size_t sc, std::size_t st,
+                         cplx m00, cplx m01, cplx m10, cplx m11);
+
+/// Anti-diagonal 2x2 on `target` where `control` is |1>.
+void apply_controlled_antidiag_1q(cplx* amps, std::size_t quarter,
+                                  std::size_t lo, std::size_t hi,
+                                  std::size_t sc, std::size_t st, cplx top,
+                                  cplx bottom);
+
+/// Sum of |a_i|^2.
+double norm_sq(const cplx* amps, std::size_t n);
+
+/// Sum of conj(a_i) * b_i.
+cplx inner(const cplx* a, const cplx* b, std::size_t n);
+
+/// a_i += factor * b_i.
+void add_scaled(cplx* a, const cplx* b, std::size_t n, cplx factor);
+
+/// Sum over pairs of conj(bra) * (d . ket) for a 2x2 derivative matrix
+/// (need not be unitary); handles any stride like apply_1q.
+cplx derivative_inner_1q(const cplx* bra, const cplx* ket, std::size_t n,
+                         std::size_t stride, cplx d00, cplx d01, cplx d10,
+                         cplx d11);
+
+/// 4x4 variant over the expand enumeration; requires
+/// two_qubit_fast_path(lo) and quarter >= 2. `d` is 16-entry row-major.
+cplx derivative_inner_2q(const cplx* bra, const cplx* ket,
+                         std::size_t quarter, std::size_t lo, std::size_t hi,
+                         std::size_t sa, std::size_t sb, const cplx* d);
+
+}  // namespace qnat::simd

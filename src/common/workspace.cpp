@@ -1,0 +1,99 @@
+#include "common/workspace.hpp"
+
+#include <utility>
+
+#include "common/metrics.hpp"
+
+namespace qnat::ws {
+
+namespace {
+
+// The gauge is PerRun: pool residency depends on which thread ran which
+// trajectory, so the value is scheduling-dependent by construction.
+metrics::Gauge bytes_gauge() {
+  static metrics::Gauge g =
+      metrics::gauge("qsim.workspace.bytes", metrics::Stability::PerRun);
+  return g;
+}
+
+template <typename T>
+struct FreeList {
+  std::vector<std::vector<T>> buffers;
+
+  ~FreeList() {
+    double held = 0.0;
+    for (const auto& b : buffers) {
+      held += static_cast<double>(b.capacity() * sizeof(T));
+    }
+    if (held > 0.0) bytes_gauge().add(-held);
+  }
+
+  std::vector<T> acquire(std::size_t n) {
+    if (!buffers.empty()) {
+      std::vector<T> v = std::move(buffers.back());
+      buffers.pop_back();
+      bytes_gauge().add(-static_cast<double>(v.capacity() * sizeof(T)));
+      v.resize(n);
+      return v;
+    }
+    std::vector<T> v;
+    v.resize(n);
+    return v;
+  }
+
+  void release(std::vector<T>&& v) {
+    if (v.capacity() == 0) return;
+    bytes_gauge().add(static_cast<double>(v.capacity() * sizeof(T)));
+    buffers.push_back(std::move(v));
+  }
+};
+
+struct ThreadPoolState {
+  FreeList<cplx> amps;
+  FreeList<double> reals;
+  CumTable cumtable;
+
+  ~ThreadPoolState() {
+    if (cumtable.accounted_bytes > 0) {
+      bytes_gauge().add(-static_cast<double>(cumtable.accounted_bytes));
+    }
+  }
+};
+
+ThreadPoolState& local() {
+  thread_local ThreadPoolState state;
+  return state;
+}
+
+}  // namespace
+
+std::vector<cplx> acquire_amps(std::size_t n) {
+  return local().amps.acquire(n);
+}
+
+std::vector<double> acquire_reals(std::size_t n) {
+  return local().reals.acquire(n);
+}
+
+void release_amps(std::vector<cplx>&& v) {
+  local().amps.release(std::move(v));
+}
+
+void release_reals(std::vector<double>&& v) {
+  local().reals.release(std::move(v));
+}
+
+CumTable& cumtable_slot() { return local().cumtable; }
+
+void account_cumtable(CumTable& slot) {
+  const std::size_t bytes = slot.cumulative.capacity() * sizeof(double);
+  if (bytes != slot.accounted_bytes) {
+    bytes_gauge().add(static_cast<double>(bytes) -
+                      static_cast<double>(slot.accounted_bytes));
+    slot.accounted_bytes = bytes;
+  }
+}
+
+double pooled_bytes() { return bytes_gauge().value(); }
+
+}  // namespace qnat::ws

@@ -1,0 +1,71 @@
+// Thread-local buffer pool for the simulator/gradient hot paths.
+//
+// Every trajectory, parameter-shift evaluation and adjoint sweep needs
+// one or more 2^n-amplitude arrays that live only for the duration of
+// the call. Allocating them per call puts `operator new` on the hot
+// path; this pool hands out recycled `std::vector` storage instead, so
+// the training/eval steady state performs zero heap allocations.
+//
+// Ownership rules (see DESIGN.md):
+//  * Buffers are pooled per *thread* (`thread_local` free lists); a
+//    buffer must be released on the thread that acquired it. All
+//    current users acquire and release within one function scope, which
+//    the RAII leases in qsim (ScopedState / ScopedDensity) enforce.
+//  * Acquired vectors are sized to the request but their *contents are
+//    unspecified* — callers must overwrite before reading.
+//  * The pool never shrinks; a thread's buffers are freed when the
+//    thread exits (the worker pool keeps threads alive across steps, so
+//    in steady state nothing is freed either).
+//
+// Accounting: the PerRun gauge `qsim.workspace.bytes` tracks the bytes
+// resting in the free lists (released minus acquired capacity, plus the
+// cached cumulative-sampling table). While buffers are leased the gauge
+// dips; between steps — when every lease is back — it reads the pool's
+// total footprint. A training loop therefore shows a constant gauge
+// from step 1 onward iff the steady state allocates nothing new, which
+// tests/integration/test_workspace_steady_state.cpp asserts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qnat::ws {
+
+/// Hands out a vector with size() == n (unspecified contents). Reuses
+/// pooled storage when a buffer of sufficient capacity is available.
+std::vector<cplx> acquire_amps(std::size_t n);
+std::vector<double> acquire_reals(std::size_t n);
+
+/// Returns a buffer to the calling thread's pool. Must be called on the
+/// thread that acquired it; passing a foreign vector is allowed (it
+/// simply joins this thread's pool).
+void release_amps(std::vector<cplx>&& v);
+void release_reals(std::vector<double>&& v);
+
+/// Cached cumulative-probability table for StateVector::sample, one
+/// slot per thread. `state_id`/`generation` identify the state the
+/// table was built from (see StateVector); `valid` is false until the
+/// first build on this thread.
+struct CumTable {
+  std::uint64_t state_id = 0;
+  std::uint64_t generation = 0;
+  bool valid = false;
+  double total_mass = 0.0;
+  std::vector<double> cumulative;
+  std::size_t accounted_bytes = 0;  ///< capacity already in the gauge
+};
+
+CumTable& cumtable_slot();
+
+/// Folds any capacity growth of `slot.cumulative` into the
+/// `qsim.workspace.bytes` gauge. Call after (re)building the table.
+void account_cumtable(CumTable& slot);
+
+/// Current `qsim.workspace.bytes` reading (all threads aggregated);
+/// convenience for tests.
+double pooled_bytes();
+
+}  // namespace qnat::ws

@@ -2,65 +2,115 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "common/simd.hpp"
 #include "common/trace.hpp"
+#include "common/workspace.hpp"
 #include "qsim/execution.hpp"
 
 namespace qnat {
 
 namespace {
 
+metrics::Counter simd_derivative_dispatches() {
+  static metrics::Counter c = metrics::counter(
+      "qsim.simd.dispatch_derivative", metrics::Stability::PerRun);
+  return c;
+}
+
 /// Applies O = Σ_q w_q Z_q to `state` (diagonal in the computational
-/// basis), writing into `out`.
-StateVector apply_observable(const StateVector& state,
-                             std::span<const real> weights) {
-  StateVector out = state;
+/// basis), writing into `out` (a |0...0>-initialized lease of the same
+/// width). The diagonal coefficient c(i) = Σ_q ±w_q is read from two
+/// precomputed half-register tables — L over the low ceil(n/2) qubits,
+/// H over the rest — built incrementally in O(sqrt(dim)): setting bit t
+/// on top of pattern j flips w_t's sign, so T[j | 2^t] = T[j] - 2 w_t.
+void apply_observable(const StateVector& state, std::span<const real> weights,
+                      StateVector& out) {
   const int nq = state.num_qubits();
-  for (std::size_t i = 0; i < state.dim(); ++i) {
-    real c = 0.0;
-    for (int q = 0; q < nq; ++q) {
-      c += (i & (std::size_t{1} << q)) ? -weights[static_cast<std::size_t>(q)]
-                                       : weights[static_cast<std::size_t>(q)];
-    }
-    out.set_amplitude(i, c * state.amplitude(i));
+  const int low_bits = (nq + 1) / 2;
+  const std::size_t low_size = std::size_t{1} << low_bits;
+  const std::size_t high_size = std::size_t{1} << (nq - low_bits);
+  std::vector<double> tables = ws::acquire_reals(low_size + high_size);
+  double* low = tables.data();
+  double* high = tables.data() + low_size;
+  double base = 0.0;
+  for (int q = 0; q < low_bits; ++q) base += weights[static_cast<std::size_t>(q)];
+  low[0] = base;
+  for (int t = 0; t < low_bits; ++t) {
+    const std::size_t bit = std::size_t{1} << t;
+    const double twice = 2.0 * weights[static_cast<std::size_t>(t)];
+    for (std::size_t j = 0; j < bit; ++j) low[j | bit] = low[j] - twice;
   }
-  return out;
+  base = 0.0;
+  for (int q = low_bits; q < nq; ++q) base += weights[static_cast<std::size_t>(q)];
+  high[0] = base;
+  for (int t = 0; t < nq - low_bits; ++t) {
+    const std::size_t bit = std::size_t{1} << t;
+    const double twice = 2.0 * weights[static_cast<std::size_t>(low_bits + t)];
+    for (std::size_t j = 0; j < bit; ++j) high[j | bit] = high[j] - twice;
+  }
+  const std::size_t low_mask = low_size - 1;
+  const cplx* in = state.amplitudes().data();
+  cplx* dst = out.mutable_amplitudes();
+  for (std::size_t i = 0; i < state.dim(); ++i) {
+    dst[i] = (low[i & low_mask] + high[i >> low_bits]) * in[i];
+  }
+  ws::release_reals(std::move(tables));
 }
 
 /// Computes <bra| dU |ket> for a 1- or 2-qubit derivative matrix without
 /// materializing dU|ket> — the adjoint sweep's hot path.
 cplx derivative_inner(const StateVector& bra, const StateVector& ket,
                       const Gate& gate, const CMatrix& d) {
+  const cplx* bp = bra.amplitudes().data();
+  const cplx* kp = ket.amplitudes().data();
   cplx acc{0.0, 0.0};
   if (gate.num_qubits() == 1) {
     const std::size_t stride = std::size_t{1} << gate.qubits[0];
     const cplx d00 = d(0, 0), d01 = d(0, 1), d10 = d(1, 0), d11 = d(1, 1);
     const std::size_t n = ket.dim();
+    if (simd::enabled()) {
+      simd_derivative_dispatches().inc();
+      return simd::derivative_inner_1q(bp, kp, n, stride, d00, d01, d10, d11);
+    }
     for (std::size_t base = 0; base < n; base += 2 * stride) {
       for (std::size_t i = base; i < base + stride; ++i) {
-        const cplx k0 = ket.amplitude(i);
-        const cplx k1 = ket.amplitude(i + stride);
-        acc += std::conj(bra.amplitude(i)) * (d00 * k0 + d01 * k1);
-        acc += std::conj(bra.amplitude(i + stride)) * (d10 * k0 + d11 * k1);
+        const cplx k0 = kp[i];
+        const cplx k1 = kp[i + stride];
+        acc += std::conj(bp[i]) * (d00 * k0 + d01 * k1);
+        acc += std::conj(bp[i + stride]) * (d10 * k0 + d11 * k1);
       }
     }
     return acc;
   }
   const std::size_t sa = std::size_t{1} << gate.qubits[0];
   const std::size_t sb = std::size_t{1} << gate.qubits[1];
-  const std::size_t mask = sa | sb;
-  const std::size_t n = ket.dim();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (i & mask) continue;
+  const std::size_t lo = sa < sb ? sa : sb;
+  const std::size_t hi = sa < sb ? sb : sa;
+  const std::size_t quarter = ket.dim() >> 2;
+  if (simd::enabled() && simd::two_qubit_fast_path(lo)) {
+    simd_derivative_dispatches().inc();
+    cplx flat[16];
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) {
+        flat[4 * r + c] =
+            d(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+      }
+    }
+    return simd::derivative_inner_2q(bp, kp, quarter, lo, hi, sa, sb, flat);
+  }
+  for (std::size_t k = 0; k < quarter; ++k) {
+    std::size_t i = (k & (lo - 1)) | ((k & ~(lo - 1)) << 1);
+    i = (i & (hi - 1)) | ((i & ~(hi - 1)) << 1);
     const std::size_t idx[4] = {i, i | sb, i | sa, i | sa | sb};
-    cplx k[4];
-    for (int j = 0; j < 4; ++j) k[j] = ket.amplitude(idx[j]);
+    cplx kv[4];
+    for (int j = 0; j < 4; ++j) kv[j] = kp[idx[j]];
     for (int r = 0; r < 4; ++r) {
       cplx row{0.0, 0.0};
       for (int col = 0; col < 4; ++col) {
         row += d(static_cast<std::size_t>(r), static_cast<std::size_t>(col)) *
-               k[col];
+               kv[col];
       }
-      acc += std::conj(bra.amplitude(idx[static_cast<std::size_t>(r)])) * row;
+      acc += std::conj(bp[idx[static_cast<std::size_t>(r)]]) * row;
     }
   }
   return acc;
@@ -85,13 +135,17 @@ AdjointResult adjoint_vjp(const Circuit& circuit, const ParamVector& params,
   // parameterized gate list, since each gate is undone and differentiated
   // individually. Fusion never merges parameterized gates (they are
   // fusion barriers), so both views agree at every parameterized cut.
-  StateVector ket = run_circuit(circuit, params);
+  ScopedState ket_lease(circuit.num_qubits());
+  StateVector& ket = ket_lease.get();
+  run_circuit_inplace(circuit, params, ket);
   result.expectations = ket.expectations_z();
 
   if (circuit.num_params() == 0) return result;
 
   // bra = O |psi>; L = <psi|O|psi> = <bra|ket> (real).
-  StateVector bra = apply_observable(ket, cotangent);
+  ScopedState bra_lease(circuit.num_qubits());
+  StateVector& bra = bra_lease.get();
+  apply_observable(ket, cotangent, bra);
 
   // Backward sweep: after processing gate k, ket is the state *before*
   // gate k and bra is O-propagated to the same cut.

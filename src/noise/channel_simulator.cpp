@@ -37,7 +37,8 @@ std::vector<real> channel_mean_expectations(const Circuit& circuit,
                    static_cast<std::size_t>(circuit.num_qubits()),
                "wire map must cover every circuit wire");
   }
-  DensityMatrix rho(circuit.num_qubits());
+  ScopedDensity rho_lease(circuit.num_qubits());
+  DensityMatrix& rho = rho_lease.get();
   MomentTracker moments(circuit.num_qubits());
 
   // Precompiled kernel ops aligned 1:1 with the gate list (fusion is off —

@@ -11,6 +11,12 @@ DensityMatrix::DensityMatrix(int num_qubits)
              "density matrix supports 1..12 qubits");
 }
 
+DensityMatrix::DensityMatrix(int num_qubits, std::vector<cplx>&& storage)
+    : num_qubits_(num_qubits), vec_(2 * num_qubits, std::move(storage)) {
+  QNAT_CHECK(num_qubits > 0 && num_qubits <= 12,
+             "density matrix supports 1..12 qubits");
+}
+
 void DensityMatrix::reset() { vec_.reset(); }
 
 void DensityMatrix::apply_gate(const Gate& gate, const ParamVector& params) {

@@ -27,6 +27,17 @@ class DensityMatrix {
   /// Initializes |0...0><0...0|.
   explicit DensityMatrix(int num_qubits);
 
+  /// Initializes |0...0><0...0| in adopted storage (a 2n-qubit amplitude
+  /// buffer, resized as needed) — the workspace-pool fast path; see
+  /// ScopedDensity.
+  DensityMatrix(int num_qubits, std::vector<cplx>&& storage);
+
+  /// Releases the vectorized-rho storage for return to the workspace
+  /// pool. The density matrix is dead afterwards.
+  std::vector<cplx> take_storage() && {
+    return std::move(vec_).take_storage();
+  }
+
   int num_qubits() const { return num_qubits_; }
 
   void reset();
@@ -62,6 +73,26 @@ class DensityMatrix {
  private:
   int num_qubits_;
   StateVector vec_;  // 2n-qubit vectorized density matrix
+};
+
+/// RAII lease of a workspace-pooled DensityMatrix (the 4^n vectorized-rho
+/// buffer is recycled like a statevector's). Same thread-affinity rule as
+/// ScopedState.
+class ScopedDensity {
+ public:
+  explicit ScopedDensity(int num_qubits)
+      : dm_(num_qubits,
+            ws::acquire_amps(std::size_t{1} << (2 * num_qubits))) {}
+  ~ScopedDensity() { ws::release_amps(std::move(dm_).take_storage()); }
+  ScopedDensity(const ScopedDensity&) = delete;
+  ScopedDensity& operator=(const ScopedDensity&) = delete;
+
+  DensityMatrix& operator*() { return dm_; }
+  DensityMatrix* operator->() { return &dm_; }
+  DensityMatrix& get() { return dm_; }
+
+ private:
+  DensityMatrix dm_;
 };
 
 }  // namespace qnat

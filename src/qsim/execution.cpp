@@ -72,12 +72,16 @@ StateVector run_program(const CompiledProgram& program,
 
 std::vector<real> measure_expectations(const Circuit& circuit,
                                        const ParamVector& params) {
-  return run_circuit(circuit, params).expectations_z();
+  ScopedState state(circuit.num_qubits());
+  run_circuit_inplace(circuit, params, state.get());
+  return state->expectations_z();
 }
 
 std::vector<real> measure_expectations(const CompiledProgram& program,
                                        const ParamVector& params) {
-  return run_program(program, params).expectations_z();
+  ScopedState state(program.num_qubits());
+  program.run(state.get(), params);
+  return state->expectations_z();
 }
 
 std::vector<real> measure_expectations_shots(
@@ -85,8 +89,10 @@ std::vector<real> measure_expectations_shots(
     const std::vector<real>& bit_flip_prob_0to1,
     const std::vector<real>& bit_flip_prob_1to0) {
   QNAT_CHECK(shots > 0, "sample requires positive shot count");
-  return expectations_from_shots(run_circuit(circuit, params), rng, shots,
-                                 bit_flip_prob_0to1, bit_flip_prob_1to0);
+  ScopedState state(circuit.num_qubits());
+  run_circuit_inplace(circuit, params, state.get());
+  return expectations_from_shots(state.get(), rng, shots, bit_flip_prob_0to1,
+                                 bit_flip_prob_1to0);
 }
 
 std::vector<real> measure_expectations_shots(
@@ -94,8 +100,10 @@ std::vector<real> measure_expectations_shots(
     int shots, const std::vector<real>& bit_flip_prob_0to1,
     const std::vector<real>& bit_flip_prob_1to0) {
   QNAT_CHECK(shots > 0, "sample requires positive shot count");
-  return expectations_from_shots(run_program(program, params), rng, shots,
-                                 bit_flip_prob_0to1, bit_flip_prob_1to0);
+  ScopedState state(program.num_qubits());
+  program.run(state.get(), params);
+  return expectations_from_shots(state.get(), rng, shots, bit_flip_prob_0to1,
+                                 bit_flip_prob_1to0);
 }
 
 }  // namespace qnat

@@ -1,23 +1,93 @@
 #include "qsim/statevector.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "common/simd.hpp"
 #include "qsim/program.hpp"
 
 namespace qnat {
 
+namespace {
+
+std::uint64_t fresh_state_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// SIMD dispatch counters are PerRun: how many kernels take the vector
+// path depends on the backend toggle, which must not perturb the
+// deterministic fingerprint (SIMD on and off fingerprints are compared
+// for equality in the invariants suite).
+metrics::Counter simd_1q_dispatches() {
+  static metrics::Counter c =
+      metrics::counter("qsim.simd.dispatch_1q", metrics::Stability::PerRun);
+  return c;
+}
+
+metrics::Counter simd_2q_dispatches() {
+  static metrics::Counter c =
+      metrics::counter("qsim.simd.dispatch_2q", metrics::Stability::PerRun);
+  return c;
+}
+
+metrics::Counter simd_reduce_dispatches() {
+  static metrics::Counter c = metrics::counter("qsim.simd.dispatch_reduce",
+                                               metrics::Stability::PerRun);
+  return c;
+}
+
+/// Expands a dense counter k over 2^(n-2) values into the basis index with
+/// zero bits inserted at strides `lo` < `hi` (same enumeration apply_2q
+/// uses).
+inline std::size_t expand_two_zero_bits(std::size_t k, std::size_t lo,
+                                        std::size_t hi) {
+  std::size_t i = (k & (lo - 1)) | ((k & ~(lo - 1)) << 1);
+  return (i & (hi - 1)) | ((i & ~(hi - 1)) << 1);
+}
+
+}  // namespace
+
 StateVector::StateVector(int num_qubits)
     : num_qubits_(num_qubits),
-      amps_(std::size_t{1} << num_qubits, cplx{0.0, 0.0}) {
+      amps_(std::size_t{1} << num_qubits, cplx{0.0, 0.0}),
+      state_id_(fresh_state_id()) {
   QNAT_CHECK(num_qubits > 0 && num_qubits <= 24,
              "statevector supports 1..24 qubits");
   amps_[0] = cplx{1.0, 0.0};
 }
 
+StateVector::StateVector(int num_qubits, std::vector<cplx>&& storage)
+    : num_qubits_(num_qubits),
+      amps_(std::move(storage)),
+      state_id_(fresh_state_id()) {
+  QNAT_CHECK(num_qubits > 0 && num_qubits <= 24,
+             "statevector supports 1..24 qubits");
+  amps_.resize(std::size_t{1} << num_qubits);
+  std::fill(amps_.begin(), amps_.end(), cplx{0.0, 0.0});
+  amps_[0] = cplx{1.0, 0.0};
+}
+
+StateVector::StateVector(const StateVector& other)
+    : num_qubits_(other.num_qubits_),
+      amps_(other.amps_),
+      state_id_(fresh_state_id()) {}
+
+StateVector& StateVector::operator=(const StateVector& other) {
+  if (this != &other) {
+    num_qubits_ = other.num_qubits_;
+    amps_ = other.amps_;
+    generation_ = 0;
+    state_id_ = fresh_state_id();
+  }
+  return *this;
+}
+
 void StateVector::reset() {
+  ++generation_;
   std::fill(amps_.begin(), amps_.end(), cplx{0.0, 0.0});
   amps_[0] = cplx{1.0, 0.0};
 }
@@ -25,9 +95,15 @@ void StateVector::reset() {
 void StateVector::apply_1q(const CMatrix& m, QubitIndex q) {
   QNAT_CHECK(m.rows() == 2 && m.cols() == 2, "apply_1q requires 2x2 matrix");
   QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  ++generation_;
   const std::size_t stride = std::size_t{1} << q;
   const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
   const std::size_t n = amps_.size();
+  if (simd::enabled()) {
+    simd::apply_1q(amps_.data(), n, stride, m00, m01, m10, m11);
+    simd_1q_dispatches().inc();
+    return;
+  }
   for (std::size_t base = 0; base < n; base += 2 * stride) {
     for (std::size_t i = base; i < base + stride; ++i) {
       const cplx a0 = amps_[i];
@@ -42,6 +118,7 @@ void StateVector::apply_2q(const CMatrix& m, QubitIndex a, QubitIndex b) {
   QNAT_CHECK(m.rows() == 4 && m.cols() == 4, "apply_2q requires 4x4 matrix");
   QNAT_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
              "invalid qubit pair");
+  ++generation_;
   const std::size_t sa = std::size_t{1} << a;  // high bit of matrix index
   const std::size_t sb = std::size_t{1} << b;  // low bit of matrix index
   // Iterate only the 2^(n-2) basis states with bits a and b both zero:
@@ -50,13 +127,21 @@ void StateVector::apply_2q(const CMatrix& m, QubitIndex a, QubitIndex b) {
   const std::size_t lo = sa < sb ? sa : sb;
   const std::size_t hi = sa < sb ? sb : sa;
   const std::size_t quarter = amps_.size() >> 2;
+  if (simd::enabled() && simd::two_qubit_fast_path(lo)) {
+    cplx flat[16];
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) flat[4 * r + c] = m(r, c);
+    }
+    simd::apply_2q(amps_.data(), quarter, lo, hi, sa, sb, flat);
+    simd_2q_dispatches().inc();
+    return;
+  }
   const cplx m00 = m(0, 0), m01 = m(0, 1), m02 = m(0, 2), m03 = m(0, 3);
   const cplx m10 = m(1, 0), m11 = m(1, 1), m12 = m(1, 2), m13 = m(1, 3);
   const cplx m20 = m(2, 0), m21 = m(2, 1), m22 = m(2, 2), m23 = m(2, 3);
   const cplx m30 = m(3, 0), m31 = m(3, 1), m32 = m(3, 2), m33 = m(3, 3);
   for (std::size_t k = 0; k < quarter; ++k) {
-    std::size_t i = (k & (lo - 1)) | ((k & ~(lo - 1)) << 1);
-    i = (i & (hi - 1)) | ((i & ~(hi - 1)) << 1);
+    const std::size_t i = expand_two_zero_bits(k, lo, hi);
     const std::size_t i00 = i;
     const std::size_t i01 = i | sb;
     const std::size_t i10 = i | sa;
@@ -72,8 +157,14 @@ void StateVector::apply_2q(const CMatrix& m, QubitIndex a, QubitIndex b) {
 
 void StateVector::apply_diag_1q(cplx d0, cplx d1, QubitIndex q) {
   QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  ++generation_;
   const std::size_t stride = std::size_t{1} << q;
   const std::size_t n = amps_.size();
+  if (simd::enabled()) {
+    simd::apply_diag_1q(amps_.data(), n, stride, d0, d1);
+    simd_1q_dispatches().inc();
+    return;
+  }
   for (std::size_t base = 0; base < n; base += 2 * stride) {
     for (std::size_t i = base; i < base + stride; ++i) {
       amps_[i] *= d0;
@@ -84,8 +175,14 @@ void StateVector::apply_diag_1q(cplx d0, cplx d1, QubitIndex q) {
 
 void StateVector::apply_antidiag_1q(cplx top, cplx bottom, QubitIndex q) {
   QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  ++generation_;
   const std::size_t stride = std::size_t{1} << q;
   const std::size_t n = amps_.size();
+  if (simd::enabled()) {
+    simd::apply_antidiag_1q(amps_.data(), n, stride, top, bottom);
+    simd_1q_dispatches().inc();
+    return;
+  }
   for (std::size_t base = 0; base < n; base += 2 * stride) {
     for (std::size_t i = base; i < base + stride; ++i) {
       const cplx a0 = amps_[i];
@@ -95,28 +192,22 @@ void StateVector::apply_antidiag_1q(cplx top, cplx bottom, QubitIndex q) {
   }
 }
 
-namespace {
-
-/// Expands a dense counter k over 2^(n-2) values into the basis index with
-/// zero bits inserted at strides `lo` < `hi` (same enumeration apply_2q
-/// uses).
-inline std::size_t expand_two_zero_bits(std::size_t k, std::size_t lo,
-                                        std::size_t hi) {
-  std::size_t i = (k & (lo - 1)) | ((k & ~(lo - 1)) << 1);
-  return (i & (hi - 1)) | ((i & ~(hi - 1)) << 1);
-}
-
-}  // namespace
-
 void StateVector::apply_diag_2q(cplx d0, cplx d1, cplx d2, cplx d3,
                                 QubitIndex a, QubitIndex b) {
   QNAT_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
              "invalid qubit pair");
+  ++generation_;
   const std::size_t sa = std::size_t{1} << a;
   const std::size_t sb = std::size_t{1} << b;
   const std::size_t lo = sa < sb ? sa : sb;
   const std::size_t hi = sa < sb ? sb : sa;
   const std::size_t quarter = amps_.size() >> 2;
+  if (simd::enabled() && simd::two_qubit_fast_path(lo)) {
+    simd::apply_diag_2q(amps_.data(), quarter, lo, hi, sa, sb, d0, d1, d2,
+                        d3);
+    simd_2q_dispatches().inc();
+    return;
+  }
   for (std::size_t k = 0; k < quarter; ++k) {
     const std::size_t i = expand_two_zero_bits(k, lo, hi);
     amps_[i] *= d0;
@@ -131,11 +222,18 @@ void StateVector::apply_controlled_1q(cplx m00, cplx m01, cplx m10, cplx m11,
   QNAT_CHECK(control >= 0 && control < num_qubits_ && target >= 0 &&
                  target < num_qubits_ && control != target,
              "invalid qubit pair");
+  ++generation_;
   const std::size_t sc = std::size_t{1} << control;
   const std::size_t st = std::size_t{1} << target;
   const std::size_t lo = sc < st ? sc : st;
   const std::size_t hi = sc < st ? st : sc;
   const std::size_t quarter = amps_.size() >> 2;
+  if (simd::enabled() && simd::two_qubit_fast_path(lo)) {
+    simd::apply_controlled_1q(amps_.data(), quarter, lo, hi, sc, st, m00, m01,
+                              m10, m11);
+    simd_2q_dispatches().inc();
+    return;
+  }
   for (std::size_t k = 0; k < quarter; ++k) {
     const std::size_t i = expand_two_zero_bits(k, lo, hi) | sc;
     const cplx a0 = amps_[i];
@@ -151,11 +249,18 @@ void StateVector::apply_controlled_antidiag_1q(cplx top, cplx bottom,
   QNAT_CHECK(control >= 0 && control < num_qubits_ && target >= 0 &&
                  target < num_qubits_ && control != target,
              "invalid qubit pair");
+  ++generation_;
   const std::size_t sc = std::size_t{1} << control;
   const std::size_t st = std::size_t{1} << target;
   const std::size_t lo = sc < st ? sc : st;
   const std::size_t hi = sc < st ? st : sc;
   const std::size_t quarter = amps_.size() >> 2;
+  if (simd::enabled() && simd::two_qubit_fast_path(lo)) {
+    simd::apply_controlled_antidiag_1q(amps_.data(), quarter, lo, hi, sc, st,
+                                       top, bottom);
+    simd_2q_dispatches().inc();
+    return;
+  }
   for (std::size_t k = 0; k < quarter; ++k) {
     const std::size_t i = expand_two_zero_bits(k, lo, hi) | sc;
     const cplx a0 = amps_[i];
@@ -167,6 +272,7 @@ void StateVector::apply_controlled_antidiag_1q(cplx top, cplx bottom,
 void StateVector::apply_swap(QubitIndex a, QubitIndex b) {
   QNAT_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ && a != b,
              "invalid qubit pair");
+  ++generation_;
   const std::size_t sa = std::size_t{1} << a;
   const std::size_t sb = std::size_t{1} << b;
   const std::size_t lo = sa < sb ? sa : sb;
@@ -209,15 +315,26 @@ real StateVector::expectation_z(QubitIndex q) const {
 }
 
 std::vector<real> StateVector::expectations_z() const {
+  // One probability pass, then a halving fold: after processing qubit q
+  // (the current high bit), probs[j] holds the probability of the low
+  // basis pattern j summed over all higher qubits, so each subsequent
+  // qubit costs half the previous one. Total work ~2 * 2^n adds.
   std::vector<real> out(static_cast<std::size_t>(num_qubits_), 0.0);
-  for (std::size_t i = 0; i < amps_.size(); ++i) {
-    const real p = std::norm(amps_[i]);
-    if (p == 0.0) continue;
-    for (int q = 0; q < num_qubits_; ++q) {
-      out[static_cast<std::size_t>(q)] +=
-          (i & (std::size_t{1} << q)) ? -p : p;
+  const std::size_t n = amps_.size();
+  std::vector<double> probs = ws::acquire_reals(n);
+  for (std::size_t i = 0; i < n; ++i) probs[i] = std::norm(amps_[i]);
+  std::size_t len = n;
+  for (int q = num_qubits_ - 1; q >= 0; --q) {
+    const std::size_t half = len >> 1;
+    double diff = 0.0;
+    for (std::size_t j = 0; j < half; ++j) {
+      diff += probs[j] - probs[j + half];
+      probs[j] += probs[j + half];
     }
+    out[static_cast<std::size_t>(q)] = diff;
+    len = half;
   }
+  ws::release_reals(std::move(probs));
   return out;
 }
 
@@ -226,6 +343,10 @@ real StateVector::prob_one(QubitIndex q) const {
 }
 
 real StateVector::norm_sq() const {
+  if (simd::enabled()) {
+    simd_reduce_dispatches().inc();
+    return simd::norm_sq(amps_.data(), amps_.size());
+  }
   real s = 0.0;
   for (const auto& a : amps_) s += std::norm(a);
   return s;
@@ -234,12 +355,17 @@ real StateVector::norm_sq() const {
 void StateVector::normalize() {
   const real n = std::sqrt(norm_sq());
   QNAT_CHECK(n > 0.0, "cannot normalize the zero state");
+  ++generation_;
   for (auto& a : amps_) a /= n;
 }
 
 cplx StateVector::inner(const StateVector& other) const {
   QNAT_CHECK(num_qubits_ == other.num_qubits_,
              "inner product dimension mismatch");
+  if (simd::enabled()) {
+    simd_reduce_dispatches().inc();
+    return simd::inner(amps_.data(), other.amps_.data(), amps_.size());
+  }
   cplx s{0.0, 0.0};
   for (std::size_t i = 0; i < amps_.size(); ++i) {
     s += std::conj(amps_[i]) * other.amps_[i];
@@ -249,12 +375,19 @@ cplx StateVector::inner(const StateVector& other) const {
 
 void StateVector::add_scaled(const StateVector& other, cplx factor) {
   QNAT_CHECK(num_qubits_ == other.num_qubits_, "dimension mismatch");
+  ++generation_;
+  if (simd::enabled()) {
+    simd_reduce_dispatches().inc();
+    simd::add_scaled(amps_.data(), other.amps_.data(), amps_.size(), factor);
+    return;
+  }
   for (std::size_t i = 0; i < amps_.size(); ++i) {
     amps_[i] += factor * other.amps_[i];
   }
 }
 
 void StateVector::scale(cplx factor) {
+  ++generation_;
   for (auto& a : amps_) a *= factor;
 }
 
@@ -262,17 +395,35 @@ std::vector<std::size_t> StateVector::sample(Rng& rng, int shots) const {
   QNAT_CHECK(shots > 0, "sample requires positive shot count");
   static metrics::Counter shots_drawn = metrics::counter("qsim.sv.shots_drawn");
   shots_drawn.add(static_cast<std::uint64_t>(shots));
-  std::vector<double> cumulative(amps_.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < amps_.size(); ++i) {
-    acc += std::norm(amps_[i]);
-    cumulative[i] = acc;
+  // The cumulative table is cached per thread keyed by the state's
+  // version stamp: evaluator trajectories draw shots from the same
+  // post-circuit state many times, and only the first call pays the
+  // O(2^n) build. Rebuild frequency is PerRun (which thread sampled
+  // which state is scheduling-dependent).
+  ws::CumTable& slot = ws::cumtable_slot();
+  if (!slot.valid || slot.state_id != state_id_ ||
+      slot.generation != generation_) {
+    static metrics::Counter builds = metrics::counter(
+        "qsim.sv.cumtable_builds", metrics::Stability::PerRun);
+    builds.inc();
+    slot.cumulative.resize(amps_.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+      acc += std::norm(amps_[i]);
+      slot.cumulative[i] = acc;
+    }
+    slot.total_mass = acc;
+    slot.state_id = state_id_;
+    slot.generation = generation_;
+    slot.valid = true;
+    ws::account_cumtable(slot);
   }
-  QNAT_CHECK(acc > 0.0, "sample from a state with no probability mass");
+  QNAT_CHECK(slot.total_mass > 0.0,
+             "sample from a state with no probability mass");
   std::vector<std::size_t> out;
   out.reserve(static_cast<std::size_t>(shots));
   for (int s = 0; s < shots; ++s) {
-    out.push_back(sample_index(cumulative, rng.uniform() * acc));
+    out.push_back(sample_index(slot.cumulative, rng.uniform() * slot.total_mass));
   }
   return out;
 }

@@ -6,14 +6,24 @@
 // *derivative* matrices, which are not unitary. Pauli-Z expectations,
 // basis-state probabilities and finite-shot sampling support the QNN
 // measurement layer.
+//
+// Every mutating kernel dispatches to the AVX2 backend (common/simd.hpp)
+// when it is enabled, with the scalar loops below as the portable
+// fallback; the two paths agree to rounding (see the numerical contract
+// in simd.hpp). States carry a (state_id, generation) version stamp —
+// the id is globally unique per logical state, the generation counts
+// mutations — which keys the cached cumulative table used by sample().
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "common/workspace.hpp"
 #include "qsim/gate.hpp"
 
 namespace qnat {
@@ -22,6 +32,23 @@ class StateVector {
  public:
   /// Initializes |0...0>.
   explicit StateVector(int num_qubits);
+
+  /// Initializes |0...0> in adopted storage (resized as needed) instead
+  /// of allocating — the workspace-pool fast path; see ScopedState.
+  StateVector(int num_qubits, std::vector<cplx>&& storage);
+
+  /// Copies duplicate the amplitudes but get a fresh state_id: the copy
+  /// is a distinct logical state, and sharing the id would let the
+  /// cached sampling table of one alias serve stale data for the other.
+  StateVector(const StateVector& other);
+  StateVector& operator=(const StateVector& other);
+  /// Moves transfer the identity (the moved-from state is dead).
+  StateVector(StateVector&&) noexcept = default;
+  StateVector& operator=(StateVector&&) noexcept = default;
+
+  /// Releases the amplitude storage (for returning it to the workspace
+  /// pool). The state is dead afterwards.
+  std::vector<cplx> take_storage() && { return std::move(amps_); }
 
   int num_qubits() const { return num_qubits_; }
   std::size_t dim() const { return amps_.size(); }
@@ -32,8 +59,22 @@ class StateVector {
   const std::vector<cplx>& amplitudes() const { return amps_; }
   cplx amplitude(std::size_t basis_index) const { return amps_[basis_index]; }
   void set_amplitude(std::size_t basis_index, cplx value) {
+    ++generation_;
     amps_[basis_index] = value;
   }
+
+  /// Direct mutable access to the amplitude array; counts as one
+  /// mutation regardless of how much the caller writes.
+  cplx* mutable_amplitudes() {
+    ++generation_;
+    return amps_.data();
+  }
+
+  /// Version stamp: `state_id` is unique per logical state (copies get
+  /// fresh ids), `generation` increments on every mutation. Together
+  /// they key derived-data caches (the sampling table).
+  std::uint64_t state_id() const { return state_id_; }
+  std::uint64_t generation() const { return generation_; }
 
   /// Applies an arbitrary 2x2 matrix to qubit `q`.
   void apply_1q(const CMatrix& m, QubitIndex q);
@@ -78,7 +119,8 @@ class StateVector {
   /// <psi| Z_q |psi> in [-1, 1].
   real expectation_z(QubitIndex q) const;
 
-  /// Z expectations on all qubits.
+  /// Z expectations on all qubits, via a single halving fold over the
+  /// probability vector: O(2^(n+1)) instead of O(n 2^n).
   std::vector<real> expectations_z() const;
 
   /// Probability of measuring qubit q as |1>.
@@ -100,7 +142,10 @@ class StateVector {
   void scale(cplx factor);
 
   /// Samples `shots` full-register measurement outcomes; returns basis
-  /// indices. Uses a cumulative-probability table (fine for <= ~20 qubits).
+  /// indices. The cumulative-probability table is cached in the
+  /// calling thread's workspace keyed by (state_id, generation), so
+  /// repeated sampling of one state (evaluator trajectories) builds it
+  /// once; `qsim.sv.cumtable_builds` counts rebuilds.
   std::vector<std::size_t> sample(Rng& rng, int shots) const;
 
   /// Maps one uniform draw scaled by the total mass onto the cumulative
@@ -114,6 +159,30 @@ class StateVector {
  private:
   int num_qubits_;
   std::vector<cplx> amps_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t state_id_;
+};
+
+/// RAII lease of a workspace-pooled StateVector: constructs |0...0> in
+/// recycled storage and returns the buffer to the calling thread's pool
+/// on destruction. Must be destroyed on the thread that created it
+/// (both ends run in one function scope in all current users).
+class ScopedState {
+ public:
+  explicit ScopedState(int num_qubits)
+      : state_(num_qubits,
+               ws::acquire_amps(std::size_t{1} << num_qubits)) {}
+  ~ScopedState() { ws::release_amps(std::move(state_).take_storage()); }
+  ScopedState(const ScopedState&) = delete;
+  ScopedState& operator=(const ScopedState&) = delete;
+
+  StateVector& operator*() { return state_; }
+  StateVector* operator->() { return &state_; }
+  StateVector& get() { return state_; }
+  const StateVector& get() const { return state_; }
+
+ private:
+  StateVector state_;
 };
 
 }  // namespace qnat

@@ -14,6 +14,7 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "core/evaluator.hpp"
 #include "core/trainer.hpp"
@@ -164,6 +165,79 @@ TEST_F(MetricsInvariantsTest, EvalFingerprintInvariantAcrossThreadsAndFusion) {
   EXPECT_EQ(fused1.logits, fused4.logits);
   EXPECT_EQ(unfused1.logits, unfused4.logits);
   EXPECT_LT(fused1.kernel_dispatches, unfused1.kernel_dispatches);
+}
+
+TEST_F(MetricsInvariantsTest, FingerprintAndLogitsInvariantAcrossSimdBackends) {
+  // The SIMD backend is a pure execution-speed choice: the deterministic
+  // metric subset must be byte-identical with the backend on and off
+  // (all qsim.simd.* dispatch counters are PerRun precisely so this
+  // holds), training fingerprints included, and evaluation logits must
+  // agree to the backends' 1e-12 differential bound.
+  if (!simd::runtime_supported()) {
+    GTEST_SKIP() << "no AVX2+FMA at runtime; backends cannot diverge";
+  }
+  struct SimdGuard {
+    bool prev = simd::enabled();
+    ~SimdGuard() { simd::set_enabled(prev); }
+  } simd_guard;
+  ThreadCountGuard thread_guard;
+  set_num_threads(1);
+
+  const TaskBundle task = make_task("mnist4", 4, 11);
+  const NoiseModel noise = make_device_noise_model("yorktown");
+
+  struct Run {
+    std::string fingerprint;
+    std::vector<real> logits;
+    std::uint64_t simd_dispatches;
+  };
+  auto run = [&](bool use_simd) {
+    simd::set_enabled(use_simd);
+    clear_program_cache();
+    metrics::reset();
+    QnnModel model(mnist4_arch());
+    const Deployment deployment(model, noise, 2);
+    TrainerConfig config;
+    config.epochs = 1;
+    config.batch_size = 8;
+    config.seed = 77;
+    config.injection.method = InjectionMethod::GateInsertion;
+    config.injection.noise_factor = 0.5;
+    train_qnn(model, task.train, config, &deployment);
+
+    QnnForwardOptions pipeline;
+    pipeline.normalize = true;
+    NoisyEvalOptions eval;
+    eval.mode = NoiseEvalMode::Trajectories;
+    eval.trajectories = 4;
+    eval.seed = 991;
+    const Tensor2D logits = qnn_forward_noisy(model, deployment,
+                                              task.test.features, pipeline,
+                                              eval);
+
+    const metrics::Snapshot snap = metrics::snapshot();
+    std::uint64_t simd_total = 0;
+    for (const auto& c : snap.counters) {
+      if (c.name.rfind("qsim.simd.", 0) == 0) simd_total += c.value;
+    }
+    return Run{metrics::deterministic_fingerprint(), logits.data(),
+               simd_total};
+  };
+
+  const Run scalar = run(false);
+  const Run vectorized = run(true);
+
+  EXPECT_FALSE(scalar.fingerprint.empty());
+  EXPECT_EQ(scalar.fingerprint, vectorized.fingerprint)
+      << "deterministic metrics drifted with the SIMD backend";
+  EXPECT_EQ(scalar.simd_dispatches, 0u);
+  EXPECT_GT(vectorized.simd_dispatches, 0u)
+      << "SIMD enabled but no kernel ever dispatched to it";
+  ASSERT_EQ(scalar.logits.size(), vectorized.logits.size());
+  for (std::size_t i = 0; i < scalar.logits.size(); ++i) {
+    EXPECT_NEAR(scalar.logits[i], vectorized.logits[i], 1e-12)
+        << "logit " << i << " diverges between backends";
+  }
 }
 
 TEST_F(MetricsInvariantsTest, KernelDispatchConservationPerExecution) {

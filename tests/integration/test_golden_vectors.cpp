@@ -20,9 +20,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "core/evaluator.hpp"
 #include "data/tasks.hpp"
 #include "noise/device_presets.hpp"
@@ -84,6 +86,29 @@ void append(std::vector<real>& sink, const Tensor2D& t) {
   sink.insert(sink.end(), t.data().begin(), t.data().end());
 }
 
+/// Runs the workload on the scalar backend and checks it against the
+/// stored golden vector (1e-9, libm drift); then, on AVX2 hardware,
+/// reruns it with the SIMD backend and requires agreement with the
+/// scalar pass to 1e-12 (the backends' documented differential bound).
+void check_golden_both_backends(
+    const std::string& name,
+    const std::function<std::vector<real>()>& compute) {
+  const bool prev = simd::enabled();
+  simd::set_enabled(false);
+  const std::vector<real> scalar = compute();
+  check_golden(name, scalar);
+  if (simd::runtime_supported()) {
+    simd::set_enabled(true);
+    const std::vector<real> vectorized = compute();
+    ASSERT_EQ(vectorized.size(), scalar.size()) << name;
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+      EXPECT_NEAR(vectorized[i], scalar[i], 1e-12)
+          << name << "[" << i << "] diverges between SIMD and scalar";
+    }
+  }
+  simd::set_enabled(prev);
+}
+
 QnnModel mnist4_model() {
   QnnArchitecture arch;
   arch.num_qubits = 4;
@@ -112,16 +137,18 @@ TEST(GoldenVectors, Mnist4QnnForward) {
   QnnForwardOptions pipeline;
   pipeline.normalize = true;
 
-  std::vector<real> values;
-  append(values, qnn_forward_ideal(model, inputs, pipeline));
+  check_golden_both_backends("mnist4_qnn_forward", [&] {
+    std::vector<real> values;
+    append(values, qnn_forward_ideal(model, inputs, pipeline));
 
-  const Deployment deployment(model, make_device_noise_model("santiago"), 2);
-  NoisyEvalOptions eval;
-  eval.mode = NoiseEvalMode::ExactChannel;
-  append(values,
-         qnn_forward_noisy(model, deployment, inputs, pipeline, eval));
-
-  check_golden("mnist4_qnn_forward", values);
+    const Deployment deployment(model, make_device_noise_model("santiago"),
+                                2);
+    NoisyEvalOptions eval;
+    eval.mode = NoiseEvalMode::ExactChannel;
+    append(values,
+           qnn_forward_noisy(model, deployment, inputs, pipeline, eval));
+    return values;
+  });
 }
 
 TEST(GoldenVectors, Table1EvalPipeline) {
@@ -134,37 +161,39 @@ TEST(GoldenVectors, Table1EvalPipeline) {
   QnnForwardOptions pipeline;
   pipeline.normalize = true;
 
-  std::vector<real> values;
-  values.push_back(ideal_accuracy(model, task.test, pipeline));
+  check_golden_both_backends("table1_eval_pipeline", [&] {
+    std::vector<real> values;
+    values.push_back(ideal_accuracy(model, task.test, pipeline));
 
-  for (const char* device : {"santiago", "lima"}) {
-    const Deployment deployment(model, make_device_noise_model(device), 2);
+    for (const char* device : {"santiago", "lima"}) {
+      const Deployment deployment(model, make_device_noise_model(device), 2);
 
-    NoisyEvalOptions exact;
-    exact.mode = NoiseEvalMode::ExactChannel;
-    values.push_back(
-        noisy_accuracy(model, deployment, task.test, pipeline, exact));
+      NoisyEvalOptions exact;
+      exact.mode = NoiseEvalMode::ExactChannel;
+      values.push_back(
+          noisy_accuracy(model, deployment, task.test, pipeline, exact));
 
-    NoisyEvalOptions scaled = exact;
-    scaled.noise_scale = 0.5;
-    values.push_back(
-        noisy_accuracy(model, deployment, task.test, pipeline, scaled));
+      NoisyEvalOptions scaled = exact;
+      scaled.noise_scale = 0.5;
+      values.push_back(
+          noisy_accuracy(model, deployment, task.test, pipeline, scaled));
 
-    NoisyEvalOptions traj;
-    traj.mode = NoiseEvalMode::Trajectories;
-    traj.trajectories = 8;
-    traj.seed = 991;
-    Tensor2D inputs(4, 16);
-    for (std::size_t r = 0; r < 4; ++r) {
-      for (std::size_t f = 0; f < 16; ++f) {
-        inputs(r, f) = task.test.features(r, f);
+      NoisyEvalOptions traj;
+      traj.mode = NoiseEvalMode::Trajectories;
+      traj.trajectories = 8;
+      traj.seed = 991;
+      Tensor2D inputs(4, 16);
+      for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t f = 0; f < 16; ++f) {
+          inputs(r, f) = task.test.features(r, f);
+        }
       }
+      append(values,
+             qnn_forward_noisy(model, deployment, inputs, pipeline, traj));
     }
-    append(values,
-           qnn_forward_noisy(model, deployment, inputs, pipeline, traj));
-  }
 
-  check_golden("table1_eval_pipeline", values);
+    return values;
+  });
 }
 
 }  // namespace

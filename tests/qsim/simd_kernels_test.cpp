@@ -1,0 +1,375 @@
+// Differential fuzz of the AVX2 SIMD backend against the scalar kernels.
+//
+// Every kernel class (dense/diag/antidiag 1q, dense/diag/controlled/
+// controlled-antidiag 2q, reductions, derivative contractions) is run
+// on random non-unitary matrices and random unnormalized states at
+// strides 1 / 2 / 4 / large, once with the backend off and once with it
+// on; results must agree to 1e-12. The whole suite skips on hardware
+// without AVX2+FMA (where enabled() can never become true).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "grad/adjoint.hpp"
+#include "qsim/circuit.hpp"
+#include "qsim/statevector.hpp"
+
+namespace qnat {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+/// Restores the backend selection a test toggled.
+class SimdGuard {
+ public:
+  SimdGuard() : prev_(simd::enabled()) {}
+  ~SimdGuard() { simd::set_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+class SimdKernelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!simd::runtime_supported()) {
+      GTEST_SKIP() << "CPU lacks AVX2+FMA; SIMD backend cannot activate";
+    }
+  }
+};
+
+cplx random_cplx(Rng& rng) {
+  return {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+}
+
+/// Random non-unit-norm state (the kernels must not assume unit norm),
+/// scaled by 1/sqrt(dim) so that full-state reductions (norm, inner
+/// products, derivative contractions) stay O(1): the 1e-12 differential
+/// bound is an absolute tolerance calibrated for physically-scaled
+/// states, and O(dim)-magnitude reductions would sit below one ulp of
+/// the result.
+StateVector random_state(int nq, Rng& rng) {
+  StateVector sv(nq);
+  cplx* amps = sv.mutable_amplitudes();
+  const double scale = 1.0 / std::sqrt(static_cast<double>(sv.dim()));
+  for (std::size_t i = 0; i < sv.dim(); ++i) {
+    amps[i] = scale * random_cplx(rng);
+  }
+  return sv;
+}
+
+/// Random dense matrix — deliberately non-unitary (derivative matrices
+/// applied by the adjoint sweep are not unitary either).
+CMatrix random_matrix(std::size_t dim, Rng& rng) {
+  CMatrix m(dim, dim);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) m(r, c) = random_cplx(rng);
+  }
+  return m;
+}
+
+void expect_states_close(const StateVector& a, const StateVector& b) {
+  ASSERT_EQ(a.dim(), b.dim());
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    EXPECT_NEAR(a.amplitude(i).real(), b.amplitude(i).real(), kTol) << i;
+    EXPECT_NEAR(a.amplitude(i).imag(), b.amplitude(i).imag(), kTol) << i;
+  }
+}
+
+/// Applies `mutate` to copies of `input` with the backend off and on,
+/// and requires elementwise agreement to 1e-12.
+template <typename Fn>
+void differential(const StateVector& input, Fn&& mutate) {
+  SimdGuard guard;
+  StateVector scalar = input;
+  simd::set_enabled(false);
+  mutate(scalar);
+  StateVector vectorized = input;
+  simd::set_enabled(true);
+  ASSERT_TRUE(simd::enabled());
+  mutate(vectorized);
+  expect_states_close(scalar, vectorized);
+}
+
+// Qubit counts chosen so single-qubit strides cover 1, 2, 4 and a
+// large-stride / large-state case (12 qubits = 4096 amplitudes).
+const int kQubitCounts[] = {1, 2, 3, 5, 12};
+
+TEST_F(SimdKernelsTest, Dense1qAllStrides) {
+  Rng rng(101);
+  for (const int nq : kQubitCounts) {
+    const StateVector input = random_state(nq, rng);
+    for (QubitIndex q = 0; q < nq; ++q) {
+      const CMatrix m = random_matrix(2, rng);
+      differential(input, [&](StateVector& sv) { sv.apply_1q(m, q); });
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, Diag1qAllStrides) {
+  Rng rng(102);
+  for (const int nq : kQubitCounts) {
+    const StateVector input = random_state(nq, rng);
+    for (QubitIndex q = 0; q < nq; ++q) {
+      const cplx d0 = random_cplx(rng), d1 = random_cplx(rng);
+      differential(input,
+                   [&](StateVector& sv) { sv.apply_diag_1q(d0, d1, q); });
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, Antidiag1qAllStrides) {
+  Rng rng(103);
+  for (const int nq : kQubitCounts) {
+    const StateVector input = random_state(nq, rng);
+    for (QubitIndex q = 0; q < nq; ++q) {
+      const cplx top = random_cplx(rng), bottom = random_cplx(rng);
+      differential(input, [&](StateVector& sv) {
+        sv.apply_antidiag_1q(top, bottom, q);
+      });
+    }
+  }
+}
+
+/// Qubit pairs covering lo == 1 (which must take the scalar fallback
+/// even with the backend on), lo == 2, lo == 4 and large strides, in
+/// both qubit orders.
+std::vector<std::pair<QubitIndex, QubitIndex>> qubit_pairs(int nq) {
+  std::vector<std::pair<QubitIndex, QubitIndex>> pairs;
+  for (QubitIndex a = 0; a < nq; ++a) {
+    for (QubitIndex b = 0; b < nq; ++b) {
+      if (a == b) continue;
+      if (nq > 6 && a > 3 && a != nq - 1) continue;  // thin out large cases
+      if (nq > 6 && b > 3 && b != nq - 1) continue;
+      pairs.emplace_back(a, b);
+    }
+  }
+  return pairs;
+}
+
+TEST_F(SimdKernelsTest, Dense2qAllStridePairs) {
+  Rng rng(104);
+  for (const int nq : {2, 3, 5, 12}) {
+    const StateVector input = random_state(nq, rng);
+    for (const auto& [a, b] : qubit_pairs(nq)) {
+      const CMatrix m = random_matrix(4, rng);
+      differential(input, [&](StateVector& sv) { sv.apply_2q(m, a, b); });
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, Diag2qAllStridePairs) {
+  Rng rng(105);
+  for (const int nq : {2, 3, 5, 12}) {
+    const StateVector input = random_state(nq, rng);
+    for (const auto& [a, b] : qubit_pairs(nq)) {
+      const cplx d0 = random_cplx(rng), d1 = random_cplx(rng),
+                 d2 = random_cplx(rng), d3 = random_cplx(rng);
+      differential(input, [&](StateVector& sv) {
+        sv.apply_diag_2q(d0, d1, d2, d3, a, b);
+      });
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, Controlled1qAllStridePairs) {
+  Rng rng(106);
+  for (const int nq : {2, 3, 5, 12}) {
+    const StateVector input = random_state(nq, rng);
+    for (const auto& [c, t] : qubit_pairs(nq)) {
+      const cplx m00 = random_cplx(rng), m01 = random_cplx(rng),
+                 m10 = random_cplx(rng), m11 = random_cplx(rng);
+      differential(input, [&](StateVector& sv) {
+        sv.apply_controlled_1q(m00, m01, m10, m11, c, t);
+      });
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, ControlledAntidiag1qAllStridePairs) {
+  Rng rng(107);
+  for (const int nq : {2, 3, 5, 12}) {
+    const StateVector input = random_state(nq, rng);
+    for (const auto& [c, t] : qubit_pairs(nq)) {
+      const cplx top = random_cplx(rng), bottom = random_cplx(rng);
+      differential(input, [&](StateVector& sv) {
+        sv.apply_controlled_antidiag_1q(top, bottom, c, t);
+      });
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, Reductions) {
+  SimdGuard guard;
+  Rng rng(108);
+  for (const int nq : kQubitCounts) {
+    const StateVector a = random_state(nq, rng);
+    const StateVector b = random_state(nq, rng);
+    const cplx factor = random_cplx(rng);
+
+    simd::set_enabled(false);
+    const double norm_scalar = a.norm_sq();
+    const cplx inner_scalar = a.inner(b);
+    StateVector acc_scalar = a;
+    acc_scalar.add_scaled(b, factor);
+
+    simd::set_enabled(true);
+    ASSERT_TRUE(simd::enabled());
+    EXPECT_NEAR(a.norm_sq(), norm_scalar, kTol);
+    const cplx inner_simd = a.inner(b);
+    EXPECT_NEAR(inner_simd.real(), inner_scalar.real(), kTol);
+    EXPECT_NEAR(inner_simd.imag(), inner_scalar.imag(), kTol);
+    StateVector acc_simd = a;
+    acc_simd.add_scaled(b, factor);
+    expect_states_close(acc_scalar, acc_simd);
+  }
+}
+
+TEST_F(SimdKernelsTest, DerivativeContractionDirect) {
+  // The adjoint's <bra| dU |ket> kernels against a straightforward
+  // scalar evaluation, for non-unitary d at every stride class.
+  SimdGuard guard;
+  simd::set_enabled(true);
+  ASSERT_TRUE(simd::enabled());
+  Rng rng(109);
+  for (const int nq : kQubitCounts) {
+    const StateVector bra = random_state(nq, rng);
+    const StateVector ket = random_state(nq, rng);
+    const cplx* bp = bra.amplitudes().data();
+    const cplx* kp = ket.amplitudes().data();
+    const std::size_t n = ket.dim();
+    for (QubitIndex q = 0; q < nq; ++q) {
+      const std::size_t stride = std::size_t{1} << q;
+      const CMatrix d = random_matrix(2, rng);
+      cplx expected{0.0, 0.0};
+      for (std::size_t base = 0; base < n; base += 2 * stride) {
+        for (std::size_t i = base; i < base + stride; ++i) {
+          expected += std::conj(bp[i]) * (d(0, 0) * kp[i] +
+                                          d(0, 1) * kp[i + stride]);
+          expected += std::conj(bp[i + stride]) *
+                      (d(1, 0) * kp[i] + d(1, 1) * kp[i + stride]);
+        }
+      }
+      const cplx got = simd::derivative_inner_1q(
+          bp, kp, n, stride, d(0, 0), d(0, 1), d(1, 0), d(1, 1));
+      EXPECT_NEAR(got.real(), expected.real(), kTol) << "nq=" << nq;
+      EXPECT_NEAR(got.imag(), expected.imag(), kTol) << "nq=" << nq;
+    }
+  }
+  for (const int nq : {3, 5, 12}) {
+    const StateVector bra = random_state(nq, rng);
+    const StateVector ket = random_state(nq, rng);
+    const cplx* bp = bra.amplitudes().data();
+    const cplx* kp = ket.amplitudes().data();
+    for (const auto& [a, b] : qubit_pairs(nq)) {
+      const std::size_t sa = std::size_t{1} << a;
+      const std::size_t sb = std::size_t{1} << b;
+      const std::size_t lo = sa < sb ? sa : sb;
+      const std::size_t hi = sa < sb ? sb : sa;
+      if (!simd::two_qubit_fast_path(lo)) continue;
+      const CMatrix d = random_matrix(4, rng);
+      cplx flat[16];
+      cplx expected{0.0, 0.0};
+      for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+          flat[4 * r + c] = d(static_cast<std::size_t>(r),
+                              static_cast<std::size_t>(c));
+        }
+      }
+      const std::size_t mask = sa | sb;
+      for (std::size_t i = 0; i < ket.dim(); ++i) {
+        if (i & mask) continue;
+        const std::size_t idx[4] = {i, i | sb, i | sa, i | sa | sb};
+        for (int r = 0; r < 4; ++r) {
+          cplx row{0.0, 0.0};
+          for (int c = 0; c < 4; ++c) row += flat[4 * r + c] * kp[idx[c]];
+          expected += std::conj(bp[idx[r]]) * row;
+        }
+      }
+      const cplx got = simd::derivative_inner_2q(bp, kp, ket.dim() >> 2, lo,
+                                                 hi, sa, sb, flat);
+      EXPECT_NEAR(got.real(), expected.real(), kTol);
+      EXPECT_NEAR(got.imag(), expected.imag(), kTol);
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, AdjointGradientsAgreeAcrossBackends) {
+  // End-to-end: the full adjoint VJP (forward run, observable
+  // application, backward sweep, derivative contractions) with the
+  // backend off vs on.
+  SimdGuard guard;
+  // 3 layers x (5 qubits x 2 rotations + CRY + RZZ) = 36 parameters.
+  constexpr int kNumParams = 36;
+  Circuit circuit(5, kNumParams);
+  Rng rng(110);
+  int next_param = 0;
+  auto angle = [&] { return ParamExpr::param(next_param++); };
+  for (int layer = 0; layer < 3; ++layer) {
+    for (QubitIndex q = 0; q < 5; ++q) {
+      circuit.append(Gate(GateType::RY, {q}, {angle()}));
+      circuit.append(Gate(GateType::RZ, {q}, {angle()}));
+    }
+    for (QubitIndex q = 0; q + 1 < 5; ++q) circuit.cx(q, q + 1);
+    circuit.append(Gate(GateType::CRY, {0, 4}, {angle()}));
+    circuit.append(Gate(GateType::RZZ, {1, 3}, {angle()}));
+  }
+  ASSERT_EQ(next_param, kNumParams);
+  ParamVector params(static_cast<std::size_t>(kNumParams));
+  for (auto& p : params) p = rng.uniform(-kPi, kPi);
+  const std::vector<real> cotangent{0.7, -1.1, 0.3, 0.9, -0.4};
+
+  simd::set_enabled(false);
+  const AdjointResult scalar = adjoint_vjp(circuit, params, cotangent);
+  simd::set_enabled(true);
+  ASSERT_TRUE(simd::enabled());
+  const AdjointResult vectorized = adjoint_vjp(circuit, params, cotangent);
+
+  ASSERT_EQ(scalar.gradient.size(), vectorized.gradient.size());
+  for (std::size_t i = 0; i < scalar.gradient.size(); ++i) {
+    EXPECT_NEAR(scalar.gradient[i], vectorized.gradient[i], kTol) << i;
+  }
+  ASSERT_EQ(scalar.expectations.size(), vectorized.expectations.size());
+  for (std::size_t i = 0; i < scalar.expectations.size(); ++i) {
+    EXPECT_NEAR(scalar.expectations[i], vectorized.expectations[i], kTol);
+  }
+}
+
+TEST_F(SimdKernelsTest, GateSequenceCompoundsWithinTolerance) {
+  // Rounding differences must not compound past 1e-12 over a deep
+  // random gate sequence (the realistic usage pattern).
+  SimdGuard guard;
+  Rng rng(111);
+  const int nq = 6;
+  Circuit c(nq, 0);
+  for (int layer = 0; layer < 20; ++layer) {
+    for (QubitIndex q = 0; q < nq; ++q) {
+      c.append(Gate(GateType::RX, {q},
+                    {ParamExpr::constant(rng.uniform(-kPi, kPi))}));
+      c.append(Gate(GateType::RZ, {q},
+                    {ParamExpr::constant(rng.uniform(-kPi, kPi))}));
+    }
+    for (QubitIndex q = 0; q + 1 < nq; q += 2) c.cx(q, q + 1);
+    for (QubitIndex q = 1; q + 1 < nq; q += 2) c.cz(q, q + 1);
+    c.swap(0, nq - 1);
+  }
+
+  auto run = [&] {
+    StateVector sv(nq);
+    for (const auto& gate : c.gates()) sv.apply_gate(gate, {});
+    return sv;
+  };
+  simd::set_enabled(false);
+  const StateVector scalar = run();
+  simd::set_enabled(true);
+  ASSERT_TRUE(simd::enabled());
+  const StateVector vectorized = run();
+  expect_states_close(scalar, vectorized);
+}
+
+}  // namespace
+}  // namespace qnat
