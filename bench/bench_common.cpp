@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -62,7 +63,52 @@ int configure_threads(int argc, char** argv) {
   return num_threads();
 }
 
-int configure_run(const std::string& label, int argc, char** argv) {
+const std::vector<Knob>& shared_knobs() {
+  static const std::vector<Knob> knobs = {
+      {"--threads", "N", "QNAT_THREADS",
+       "worker-pool width (results are bit-identical at any count)"},
+      {"--simd", "on|off", "QNAT_SIMD",
+       "AVX2+FMA statevector kernels ('on' is a no-op without the ISA)"},
+      {"--metrics-out", "FILE", "QNAT_METRICS_OUT",
+       "write a metrics snapshot JSON (enables metrics recording)"},
+      {"--trace-out", "FILE", "QNAT_TRACE_OUT",
+       "write a chrome://tracing phase trace (enables tracing)"},
+  };
+  return knobs;
+}
+
+void print_knob_help(const std::string& label,
+                     const std::vector<Knob>& extra) {
+  std::cout << "usage: " << label << " [flags]\n\n";
+  std::vector<Knob> knobs = shared_knobs();
+  knobs.insert(knobs.end(), extra.begin(), extra.end());
+  std::size_t flag_width = 0, env_width = 0;
+  for (const Knob& knob : knobs) {
+    const std::size_t f =
+        std::strlen(knob.flag) + (knob.arg[0] ? std::strlen(knob.arg) + 1 : 0);
+    flag_width = std::max(flag_width, f);
+    env_width = std::max(env_width, std::strlen(knob.env));
+  }
+  for (const Knob& knob : knobs) {
+    std::string flag = knob.flag;
+    if (knob.arg[0]) flag += std::string(" ") + knob.arg;
+    std::cout << "  " << flag << std::string(flag_width - flag.size() + 2, ' ')
+              << knob.env << std::string(env_width - std::strlen(knob.env) + 2, ' ')
+              << knob.what << "\n";
+  }
+  std::cout << "\nScale knobs (environment only): QNAT_SAMPLES, QNAT_EPOCHS, "
+               "QNAT_TRAJ, QNAT_SEED.\n";
+}
+
+int configure_run(const std::string& label, int argc, char** argv,
+                  const std::vector<Knob>& extra) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      print_knob_help(label, extra);
+      std::exit(0);
+    }
+  }
   const int threads = configure_threads(argc, argv);
   // --simd on|off overrides the QNAT_SIMD / cpuid default; "on" is still
   // a no-op on hardware without AVX2+FMA.

@@ -45,15 +45,37 @@ RunScale scale_from_env();
 /// bit-identical at any thread count; only wall-clock changes.
 int configure_threads(int argc, char** argv);
 
+/// One shared command-line knob as printed by `--help`. This list is
+/// the single source of truth for flag documentation: the README's
+/// "Shared bench knobs" table is a rendering of exactly these rows, and
+/// bench binaries with extra flags (bench_serve_load's `--serve-*`
+/// family) append their own Knob rows so `--help` stays complete.
+struct Knob {
+  const char* flag;  ///< e.g. "--threads"
+  const char* arg;   ///< e.g. "N" ("" for valueless flags)
+  const char* env;   ///< equivalent environment variable ("" if none)
+  const char* what;  ///< one-line description
+};
+
+/// The flags every bench binary understands via configure_run.
+const std::vector<Knob>& shared_knobs();
+
+/// Prints the `--help` text for `label`: the shared knobs plus any
+/// bench-specific `extra` rows, one aligned line each.
+void print_knob_help(const std::string& label,
+                     const std::vector<Knob>& extra = {});
+
 /// Full bench-run setup: configure_threads, the `--simd on|off` backend
 /// knob (overrides QNAT_SIMD / the cpuid default; "on" stays a no-op
 /// without AVX2+FMA hardware), plus the observability flags
 /// (`--metrics-out <file>` / `--trace-out <file>`, see
-/// metrics::observability_from_args). When an output is requested, an
-/// atexit hook dumps it together with a run manifest (label, seed,
-/// threads, fusion default, simd backend, git describe) when the bench
-/// finishes. Returns the resolved thread count.
-int configure_run(const std::string& label, int argc, char** argv);
+/// metrics::observability_from_args). `--help` prints the knob table
+/// (shared + `extra`) and exits. When an output is requested, an atexit
+/// hook dumps it together with a run manifest (label, seed, threads,
+/// fusion default, simd backend, git describe) when the bench finishes.
+/// Returns the resolved thread count.
+int configure_run(const std::string& label, int argc, char** argv,
+                  const std::vector<Knob>& extra = {});
 
 /// The provenance block describing the process-wide run configuration —
 /// the same fields a metrics snapshot's manifest carries: label, master

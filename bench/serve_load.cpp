@@ -1,0 +1,359 @@
+// Load-test harness for the inference serving runtime.
+//
+// Two phases against a registered MNIST-4 model:
+//
+//   1. Throughput: the single-request baseline is a closed-loop client
+//      with one request in flight at a time — submit, wait for the
+//      response, repeat — against a server with batching disabled
+//      (max_batch 1, no straggler wait, so the baseline never pays the
+//      batcher's coalescing delay). The batched run drives the same
+//      request set as a saturating burst at the configured cap
+//      (default 32). Request payloads are materialized before the
+//      clock starts and moved into submit() — payload construction is
+//      client work, not serving cost. Each mode runs `--serve-reps`
+//      times and reports the best rep: external interference only ever
+//      slows a run down, so best-of-N is the robust estimator of what
+//      the server can actually sustain.
+//   2. Latency (open-loop Poisson arrivals): requests arrive at a fixed
+//      rate regardless of completions — the arrival process does not
+//      slow down when the server does, so queueing delay is measured
+//      honestly. p50/p95/p99 come from the serve.latency_seconds
+//      histogram via metrics::percentiles.
+//
+// Emits BENCH_serve.json (schema qnat.serve_bench.v1) with the run
+// manifest, both phases' numbers, and the rejection/deadline counters.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "serve/replay.hpp"
+#include "serve/scheduler.hpp"
+
+using namespace qnat;
+using namespace qnat::serve;
+
+namespace {
+
+struct ServeKnobs {
+  int requests = 2048;     // burst size per throughput run
+  int max_batch = 32;      // batched-phase micro-batch cap
+  int reps = 5;            // throughput reps per mode (best-of)
+  double rate = 500.0;     // open-loop arrival rate, requests/s
+  double duration = 3.0;   // open-loop phase length, seconds
+  int queue_depth = 4096;  // bounded ring depth
+  std::string out = "BENCH_serve.json";
+};
+
+const std::vector<bench::Knob>& serve_knobs_help() {
+  static const std::vector<bench::Knob> knobs = {
+      {"--serve-requests", "N", "QNAT_SERVE_REQUESTS",
+       "burst size for the throughput phase (default 2048)"},
+      {"--serve-batch", "N", "QNAT_SERVE_BATCH",
+       "micro-batch cap for the batched run (default 32)"},
+      {"--serve-reps", "N", "QNAT_SERVE_REPS",
+       "throughput reps per mode, best rep reported (default 5)"},
+      {"--serve-rate", "RPS", "QNAT_SERVE_RATE",
+       "open-loop Poisson arrival rate for the latency phase (default 500)"},
+      {"--serve-duration", "SECONDS", "QNAT_SERVE_DURATION",
+       "open-loop phase length (default 3)"},
+      {"--serve-queue", "N", "QNAT_SERVE_QUEUE",
+       "bounded request-queue depth; overload beyond it is rejected"},
+      {"--serve-out", "FILE", "QNAT_SERVE_OUT",
+       "report path (default BENCH_serve.json)"},
+  };
+  return knobs;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::atof(value) : fallback;
+}
+
+ServeKnobs parse_serve_knobs(int argc, char** argv) {
+  ServeKnobs knobs;
+  knobs.requests = static_cast<int>(
+      env_double("QNAT_SERVE_REQUESTS", knobs.requests));
+  knobs.max_batch =
+      static_cast<int>(env_double("QNAT_SERVE_BATCH", knobs.max_batch));
+  knobs.reps = static_cast<int>(env_double("QNAT_SERVE_REPS", knobs.reps));
+  knobs.rate = env_double("QNAT_SERVE_RATE", knobs.rate);
+  knobs.duration = env_double("QNAT_SERVE_DURATION", knobs.duration);
+  knobs.queue_depth =
+      static_cast<int>(env_double("QNAT_SERVE_QUEUE", knobs.queue_depth));
+  if (const char* out = std::getenv("QNAT_SERVE_OUT")) knobs.out = out;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = argv[i + 1];
+    if (flag == "--serve-requests") knobs.requests = std::atoi(value);
+    if (flag == "--serve-batch") knobs.max_batch = std::atoi(value);
+    if (flag == "--serve-reps") knobs.reps = std::atoi(value);
+    if (flag == "--serve-rate") knobs.rate = std::atof(value);
+    if (flag == "--serve-duration") knobs.duration = std::atof(value);
+    if (flag == "--serve-queue") knobs.queue_depth = std::atoi(value);
+    if (flag == "--serve-out") knobs.out = value;
+  }
+  return knobs;
+}
+
+std::vector<std::vector<real>> request_pool(std::size_t count,
+                                            std::size_t features,
+                                            std::uint64_t seed) {
+  std::vector<std::vector<real>> pool(count);
+  Rng rng(seed);
+  for (auto& request : pool) {
+    request.resize(features);
+    for (auto& v : request) v = rng.gaussian(0.0, 1.0);
+  }
+  return pool;
+}
+
+/// Single-request baseline: closed loop with one request in flight at
+/// a time against a batching-disabled server (max_batch 1, no
+/// straggler wait — the baseline must not pay the batcher's coalescing
+/// delay). Best of `knobs.reps` reps, in requests per second.
+double single_request_run(const ModelRegistry& registry,
+                          const ServeKnobs& knobs,
+                          const std::vector<std::vector<real>>& pool) {
+  SchedulerConfig config;
+  config.max_batch = 1;
+  config.max_wait_us = 0;
+  config.queue_depth = static_cast<std::size_t>(knobs.queue_depth);
+  double best = 0.0;
+  for (int rep = 0; rep < knobs.reps; ++rep) {
+    InferenceServer server(registry, config,
+                           InferenceServer::Dispatch::Background);
+    std::vector<std::vector<real>> requests = pool;  // built off the clock
+    std::size_t ok = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (auto& request : requests) {
+      if (server.submit("mnist4", std::move(request)).get().status ==
+          RequestStatus::Ok) {
+        ++ok;
+      }
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    server.stop();
+    best = std::max(best, static_cast<double>(ok) / elapsed);
+  }
+  return best;
+}
+
+/// Batched throughput: the same request set as a saturating closed-loop
+/// burst (submit everything, then wait for every future) at the
+/// configured micro-batch cap. Best of `knobs.reps` reps, in requests
+/// per second.
+double batched_run(const ModelRegistry& registry, const ServeKnobs& knobs,
+                   const std::vector<std::vector<real>>& pool) {
+  SchedulerConfig config;
+  config.max_batch = knobs.max_batch;
+  config.max_wait_us = 50;
+  config.queue_depth = static_cast<std::size_t>(knobs.queue_depth);
+  double best = 0.0;
+  for (int rep = 0; rep < knobs.reps; ++rep) {
+    InferenceServer server(registry, config,
+                           InferenceServer::Dispatch::Background);
+    std::vector<std::vector<real>> requests = pool;  // built off the clock
+    std::vector<ResponseTicket> futures;
+    futures.reserve(requests.size());
+    std::size_t ok = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (auto& request : requests) {
+      futures.push_back(server.submit("mnist4", std::move(request)));
+    }
+    for (auto& future : futures) {
+      if (future.get().status == RequestStatus::Ok) ++ok;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    server.stop();
+    if (ok != requests.size()) {
+      std::cerr << "warning: " << requests.size() - ok
+                << " burst requests did not complete Ok (queue too small?)\n";
+    }
+    best = std::max(best, static_cast<double>(ok) / elapsed);
+  }
+  return best;
+}
+
+struct LatencyReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t batches = 0;
+  double mean_batch = 0.0;
+  metrics::HistogramPercentiles percentiles;  // seconds
+};
+
+/// Open-loop Poisson arrivals: exponential inter-arrival gaps at
+/// `knobs.rate`, submissions never wait for completions.
+LatencyReport latency_run(const ModelRegistry& registry,
+                          const ServeKnobs& knobs,
+                          const std::vector<std::vector<real>>& pool) {
+  SchedulerConfig config;
+  config.max_batch = knobs.max_batch;
+  config.max_wait_us = 200;
+  config.queue_depth = static_cast<std::size_t>(knobs.queue_depth);
+  InferenceServer server(registry, config,
+                         InferenceServer::Dispatch::Background);
+
+  metrics::reset();
+  Rng arrivals(4242);
+  std::vector<ResponseTicket> futures;
+  const auto start = std::chrono::steady_clock::now();
+  double next_arrival = 0.0;  // seconds since start
+  while (true) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (elapsed >= knobs.duration) break;
+    if (elapsed < next_arrival) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(next_arrival - elapsed));
+    }
+    futures.push_back(
+        server.submit("mnist4", pool[futures.size() % pool.size()]));
+    // Exponential gap with mean 1/rate = Poisson arrival process.
+    next_arrival += -std::log(1.0 - arrivals.uniform()) / knobs.rate;
+  }
+  for (auto& future : futures) future.wait();
+  server.stop();
+
+  LatencyReport report;
+  const auto stats = server.stats();
+  report.submitted = stats.submitted;
+  report.completed = stats.completed;
+  report.rejected = stats.rejected;
+  report.deadline_exceeded = stats.deadline_exceeded;
+  report.batches = stats.batches;
+  const metrics::Snapshot snap = metrics::snapshot();
+  if (const auto* latency = snap.find_histogram("serve.latency_seconds")) {
+    report.percentiles = metrics::percentiles(*latency);
+  }
+  if (const auto* batch = snap.find_histogram("serve.batch_size")) {
+    if (batch->count > 0) {
+      report.mean_batch = batch->sum / static_cast<double>(batch->count);
+    }
+  }
+  return report;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads =
+      bench::configure_run("bench_serve_load", argc, argv, serve_knobs_help());
+  const ServeKnobs knobs = parse_serve_knobs(argc, argv);
+  bench::print_header(
+      "Serving load test: dynamic micro-batching vs single-request",
+      "batched throughput >= 3x single-request at cap " +
+          std::to_string(knobs.max_batch) + "; p99 reported from histograms");
+
+  // MNIST-4 model served with profiled normalization (the paper's
+  // deployment pipeline); the standard U3CU3 block (one U3 layer + one
+  // CU3 ring per block). Weights are seeded, not trained — load cost
+  // and batching behavior do not depend on accuracy.
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 1;
+  arch.input_features = 16;
+  arch.num_classes = 4;
+  QnnModel model(arch);
+  Rng init(bench::scale_from_env().seed);
+  model.init_weights(init);
+
+  Tensor2D profile(32, 16);
+  Rng profile_rng(7);
+  for (auto& v : profile.data()) v = profile_rng.gaussian(0.0, 1.0);
+
+  ModelRegistry registry;
+  registry.add("mnist4", model, {}, &profile);
+
+  const auto pool = request_pool(static_cast<std::size_t>(knobs.requests), 16,
+                                 bench::scale_from_env().seed + 1);
+
+  // Phase 1: throughput, single-request closed loop vs batched burst
+  // (best of knobs.reps each; see file header for methodology).
+  const double single_rps = single_request_run(registry, knobs, pool);
+  const double batched_rps = batched_run(registry, knobs, pool);
+  const double speedup = batched_rps / single_rps;
+  std::printf("throughput  single: %9.0f req/s\n", single_rps);
+  std::printf("throughput  batched(%d): %7.0f req/s   (%.2fx)\n",
+              knobs.max_batch, batched_rps, speedup);
+
+  // Phase 2: open-loop Poisson latency at the configured rate, with
+  // metrics recording on — the percentiles come from the
+  // serve.latency_seconds histogram.
+  metrics::set_enabled(true);
+  const LatencyReport latency = latency_run(registry, knobs, pool);
+  std::printf("latency @ %.0f req/s over %.1fs: %llu requests, "
+              "%llu rejected, %llu expired\n",
+              knobs.rate, knobs.duration,
+              static_cast<unsigned long long>(latency.submitted),
+              static_cast<unsigned long long>(latency.rejected),
+              static_cast<unsigned long long>(latency.deadline_exceeded));
+  std::printf("  p50 %.3f ms   p95 %.3f ms   p99 %.3f ms   "
+              "mean batch %.1f\n",
+              latency.percentiles.p50 * 1e3, latency.percentiles.p95 * 1e3,
+              latency.percentiles.p99 * 1e3, latency.mean_batch);
+
+  const metrics::RunManifest manifest =
+      bench::current_manifest("bench_serve_load");
+  std::ostringstream json;
+  json.precision(6);
+  json << std::fixed;
+  json << "{\n";
+  json << "  \"schema\": \"qnat.serve_bench.v1\",\n";
+  json << "  \"manifest\": {\"label\": \"" << json_escape(manifest.label)
+       << "\", \"seed\": " << manifest.seed
+       << ", \"threads\": " << manifest.threads << ", \"simd\": "
+       << (manifest.simd ? "true" : "false") << ", \"git\": \""
+       << json_escape(manifest.git.empty() ? metrics::build_version()
+                                           : manifest.git)
+       << "\"},\n";
+  json << "  \"config\": {\"requests\": " << knobs.requests
+       << ", \"max_batch\": " << knobs.max_batch
+       << ", \"reps\": " << knobs.reps
+       << ", \"rate_rps\": " << knobs.rate
+       << ", \"duration_s\": " << knobs.duration
+       << ", \"queue_depth\": " << knobs.queue_depth << "},\n";
+  json << "  \"throughput\": {\"single_rps\": " << single_rps
+       << ", \"batched_rps\": " << batched_rps
+       << ", \"speedup\": " << speedup << "},\n";
+  json << "  \"latency\": {\"submitted\": " << latency.submitted
+       << ", \"completed\": " << latency.completed
+       << ", \"rejected\": " << latency.rejected
+       << ", \"deadline_exceeded\": " << latency.deadline_exceeded
+       << ", \"batches\": " << latency.batches
+       << ", \"mean_batch_size\": " << latency.mean_batch
+       << ", \"p50_ms\": " << latency.percentiles.p50 * 1e3
+       << ", \"p95_ms\": " << latency.percentiles.p95 * 1e3
+       << ", \"p99_ms\": " << latency.percentiles.p99 * 1e3 << "}\n";
+  json << "}\n";
+
+  std::ofstream out(knobs.out);
+  out << json.str();
+  std::cout << "\nwrote " << knobs.out << " (threads=" << threads << ")\n";
+  return 0;
+}

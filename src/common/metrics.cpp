@@ -263,6 +263,50 @@ std::vector<std::uint64_t> Histogram::buckets() const {
   return out;
 }
 
+double histogram_quantile(const std::vector<std::uint64_t>& buckets,
+                          double q) {
+  QNAT_CHECK(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the q-th observation, 1-based: ceil(q * total).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    if (cumulative + buckets[b] < rank) {
+      cumulative += buckets[b];
+      continue;
+    }
+    // Bucket b holds the target observation. Value range of bucket b:
+    // [0, base] for b == 0, else [base*2^(b-1), base*2^b).
+    const double lo =
+        b == 0 ? 0.0 : kHistogramBase * std::ldexp(1.0, static_cast<int>(b) - 1);
+    const double hi = kHistogramBase * std::ldexp(1.0, static_cast<int>(b));
+    const double fraction = (static_cast<double>(rank - cumulative) - 0.5) /
+                            static_cast<double>(buckets[b]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, fraction));
+  }
+  return 0.0;  // unreachable: rank <= total
+}
+
+HistogramPercentiles percentiles(const std::vector<std::uint64_t>& buckets) {
+  HistogramPercentiles p;
+  p.p50 = histogram_quantile(buckets, 0.50);
+  p.p95 = histogram_quantile(buckets, 0.95);
+  p.p99 = histogram_quantile(buckets, 0.99);
+  return p;
+}
+
+HistogramPercentiles percentiles(const Snapshot::HistogramEntry& entry) {
+  return percentiles(entry.buckets);
+}
+
+double Histogram::percentile(double q) const {
+  return histogram_quantile(buckets(), q);
+}
+
 ScopedTimer::ScopedTimer(Histogram histogram) : histogram_(histogram) {
   if (!enabled()) return;
   active_ = true;

@@ -96,6 +96,8 @@ class Histogram {
   std::uint64_t count() const;
   double sum() const;
   std::vector<std::uint64_t> buckets() const;
+  /// histogram_quantile over the current aggregated buckets.
+  double percentile(double q) const;
 
  private:
   friend Histogram histogram(std::string_view, Stability);
@@ -106,6 +108,25 @@ class Histogram {
 
 Histogram histogram(std::string_view name,
                     Stability stability = Stability::PerRun);
+
+/// Estimated q-quantile (0 < q <= 1) of a log-bucket count vector:
+/// walks the cumulative counts to the bucket holding the q-th
+/// observation and interpolates linearly inside its [lo, hi) value
+/// range. Returns 0.0 for an empty histogram. Error is bounded by the
+/// bucket width (a factor of 2 in the value domain) — adequate for
+/// latency reporting, where the exponent matters, not the mantissa.
+double histogram_quantile(const std::vector<std::uint64_t>& buckets, double q);
+
+/// The serving/latency reporting triple. Wall-clock histograms are
+/// PerRun by the stability contract, so percentiles extracted from them
+/// are too — never fingerprint them.
+struct HistogramPercentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+HistogramPercentiles percentiles(const std::vector<std::uint64_t>& buckets);
 
 /// RAII wall-clock timer: observes elapsed seconds into a histogram on
 /// destruction. Start/stop cost is skipped entirely while metrics are
@@ -156,6 +177,9 @@ struct Snapshot {
 
 /// Aggregated values of every registered metric.
 Snapshot snapshot();
+
+/// Percentiles of a snapshotted histogram entry.
+HistogramPercentiles percentiles(const Snapshot::HistogramEntry& entry);
 
 /// Zeroes every instrument (live shards and retired totals). Metrics
 /// stay registered. Intended for tests and run boundaries.

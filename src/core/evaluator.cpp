@@ -174,9 +174,9 @@ Tensor2D qnn_forward_noisy(const QnnModel& model, const Deployment& deployment,
   static metrics::Counter trajectories = metrics::counter("eval.trajectories");
 
   const BlockRunner runner = [&](std::size_t b, std::size_t sample,
-                                 const ParamVector& params) -> std::vector<real> {
+                                 const ParamVector& params, real* out) {
     const NoiseEvalMode mode = block_mode(b);
-    std::vector<real> out(static_cast<std::size_t>(nq), 0.0);
+    std::fill(out, out + nq, 0.0);
 
     if (mode == NoiseEvalMode::ExactChannel) {
       exact_blocks.inc();
@@ -186,10 +186,10 @@ Tensor2D qnn_forward_noisy(const QnnModel& model, const Deployment& deployment,
       const std::vector<real> wires = channel_mean_expectations(
           circuits[b], params, deployment.compact_noise(), sim);
       for (int q = 0; q < nq; ++q) {
-        out[static_cast<std::size_t>(q)] = wires[static_cast<std::size_t>(
+        out[q] = wires[static_cast<std::size_t>(
             measure[b][static_cast<std::size_t>(q)])];
       }
-      return out;
+      return;
     }
 
     // Trajectories are independent: each draws from its own child stream
@@ -223,20 +223,19 @@ Tensor2D qnn_forward_noisy(const QnnModel& model, const Deployment& deployment,
     for (const auto& wire_exp : per_traj) {
       for (int q = 0; q < nq; ++q) {
         const auto qi = static_cast<std::size_t>(q);
-        out[qi] += wire_exp[static_cast<std::size_t>(measure[b][qi])];
+        out[q] += wire_exp[static_cast<std::size_t>(measure[b][qi])];
       }
     }
-    for (auto& m : out) m /= eval_options.trajectories;
+    for (int q = 0; q < nq; ++q) out[q] /= eval_options.trajectories;
     if (mode != NoiseEvalMode::Shots) {
       // Exact affine readout map on the averaged expectations.
       for (int q = 0; q < nq; ++q) {
         const auto qi = static_cast<std::size_t>(q);
         const ReadoutError e =
             scaled_noise.readout_error(measure[b][qi]);
-        out[qi] = e.slope() * out[qi] + e.intercept();
+        out[q] = e.slope() * out[q] + e.intercept();
       }
     }
-    return out;
   };
   return qnn_forward_with_runner(model, inputs, runner, pipeline, cache);
 }

@@ -185,9 +185,13 @@ Tensor2D qnn_forward(const QnnModel& model, const Tensor2D& batch_inputs,
 /// call from multiple threads and — for thread-count-invariant results —
 /// must derive any randomness from its (block, sample) arguments via
 /// counter-based `Rng::child` streams rather than a shared generator.
-using BlockRunner = std::function<std::vector<real>(
+/// Writes the block's post-readout logical expectations into `out`
+/// (`num_qubits` slots, one per logical qubit). The out-parameter shape
+/// keeps the per-sample hot path free of a heap round-trip per block —
+/// the forward engine points `out` straight at the output tensor row.
+using BlockRunner = std::function<void(
     std::size_t block_index, std::size_t sample_index,
-    const ParamVector& params)>;
+    const ParamVector& params, real* out)>;
 
 /// Forward pass through an arbitrary runner (no backward support).
 Tensor2D qnn_forward_with_runner(const QnnModel& model,

@@ -9,37 +9,20 @@ namespace qnat {
 
 namespace {
 
+constexpr const char* kCheckpointMagic = "#qnat-checkpoint";
+constexpr const char* kLegacyMagic = "qnatmodel";
+
 std::string expect_key(std::istream& is, const std::string& key) {
   std::string k, v;
   QNAT_CHECK(static_cast<bool>(is >> k >> v),
-             "model text truncated while reading '" + key + "'");
+             "checkpoint truncated while reading '" + key + "'");
   QNAT_CHECK(k == key, "expected key '" + key + "', found '" + k + "'");
   return v;
 }
 
-}  // namespace
-
-std::string serialize_model(const QnnModel& model) {
-  const QnnArchitecture& arch = model.architecture();
-  std::ostringstream os;
-  os.precision(17);
-  os << "qnatmodel 1\n";
-  os << "qubits " << arch.num_qubits << "\n";
-  os << "blocks " << arch.num_blocks << "\n";
-  os << "layers " << arch.layers_per_block << "\n";
-  os << "space " << design_space_name(arch.space) << "\n";
-  os << "features " << arch.input_features << "\n";
-  os << "classes " << arch.num_classes << "\n";
-  os << "weights " << model.num_weights() << "\n";
-  for (const real w : model.weights()) os << w << "\n";
-  return os.str();
-}
-
-QnnModel deserialize_model(const std::string& text) {
-  std::istringstream is(text);
-  const std::string version = expect_key(is, "qnatmodel");
-  QNAT_CHECK(version == "1", "unsupported model version " + version);
-
+/// Shared body of both format versions: the architecture keys and the
+/// weight list. `expect_end` additionally requires the v2 sentinel.
+QnnModel read_body(std::istream& is, bool expect_end) {
   QnnArchitecture arch;
   arch.num_qubits = std::stoi(expect_key(is, "qubits"));
   arch.num_blocks = std::stoi(expect_key(is, "blocks"));
@@ -57,9 +40,74 @@ QnnModel deserialize_model(const std::string& text) {
   for (int w = 0; w < num_weights; ++w) {
     QNAT_CHECK(static_cast<bool>(
                    is >> model.weights()[static_cast<std::size_t>(w)]),
-               "model text truncated in weight list");
+               "checkpoint truncated in weight list");
+  }
+  if (expect_end) {
+    std::string sentinel;
+    QNAT_CHECK(static_cast<bool>(is >> sentinel) && sentinel == "end",
+               "checkpoint missing 'end' sentinel (file truncated?)");
   }
   return model;
+}
+
+}  // namespace
+
+std::string serialize_model(const QnnModel& model) {
+  const QnnArchitecture& arch = model.architecture();
+  std::ostringstream os;
+  os.precision(17);
+  os << kCheckpointMagic << " v" << kCheckpointVersion << "\n";
+  os << "qubits " << arch.num_qubits << "\n";
+  os << "blocks " << arch.num_blocks << "\n";
+  os << "layers " << arch.layers_per_block << "\n";
+  os << "space " << design_space_name(arch.space) << "\n";
+  os << "features " << arch.input_features << "\n";
+  os << "classes " << arch.num_classes << "\n";
+  os << "weights " << model.num_weights() << "\n";
+  for (const real w : model.weights()) os << w << "\n";
+  os << "end\n";
+  return os.str();
+}
+
+QnnModel deserialize_model(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  QNAT_CHECK(static_cast<bool>(is >> magic), "empty checkpoint");
+
+  if (magic == kCheckpointMagic) {
+    std::string version;
+    QNAT_CHECK(static_cast<bool>(is >> version) && version.size() >= 2 &&
+                   version[0] == 'v',
+               "malformed checkpoint version field '" + version + "'");
+    int parsed = 0;
+    try {
+      parsed = std::stoi(version.substr(1));
+    } catch (...) {
+      QNAT_CHECK(false,
+                 "malformed checkpoint version field '" + version + "'");
+    }
+    QNAT_CHECK(parsed <= kCheckpointVersion,
+               "checkpoint format v" + std::to_string(parsed) +
+                   " was produced by a newer build; this build reads up to v" +
+                   std::to_string(kCheckpointVersion));
+    QNAT_CHECK(parsed == kCheckpointVersion,
+               "unsupported checkpoint format v" + std::to_string(parsed));
+    return read_body(is, /*expect_end=*/true);
+  }
+
+  if (magic == kLegacyMagic) {
+    std::string version;
+    QNAT_CHECK(static_cast<bool>(is >> version),
+               "checkpoint truncated in legacy version field");
+    QNAT_CHECK(version == "1", "unsupported legacy model version " + version);
+    return read_body(is, /*expect_end=*/false);
+  }
+
+  QNAT_CHECK(false, "not a QuantumNAT checkpoint (expected '" +
+                        std::string(kCheckpointMagic) + "' or legacy '" +
+                        std::string(kLegacyMagic) + "' magic, found '" +
+                        magic + "')");
+  return QnnModel(QnnArchitecture{});  // unreachable
 }
 
 void save_model(const QnnModel& model, const std::string& path) {

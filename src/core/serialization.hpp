@@ -4,10 +4,12 @@
 // architecture fields plus the weight vector), so trained models can be
 // checkpointed, shipped, or re-deployed on a different device without
 // retraining — the workflow behind the paper's Table 6 (one model, many
-// deployment targets).
+// deployment targets) and the input side of the serving registry
+// (serve/registry.hpp).
 //
-// Format (versioned, one key per line):
-//   qnatmodel 1
+// Format v2 (magic-headed, versioned, one key per line, closed by an
+// `end` sentinel so truncation fails loudly instead of mid-read):
+//   #qnat-checkpoint v2
 //   qubits 4
 //   blocks 2
 //   layers 2
@@ -16,6 +18,13 @@
 //   classes 2
 //   weights 48
 //   <one weight per line, full precision>
+//   end
+//
+// The legacy v1 format (first line `qnatmodel 1`, no sentinel) is still
+// readable; a file with neither magic is rejected up front with a
+// "not a checkpoint" error, and a version newer than this build reads
+// produces a clear "produced by a newer version" error instead of an
+// obscure key mismatch partway through the file.
 #pragma once
 
 #include <string>
@@ -24,11 +33,15 @@
 
 namespace qnat {
 
-/// Serializes architecture + weights to the text format above.
+/// Current checkpoint format version (`#qnat-checkpoint v2`).
+inline constexpr int kCheckpointVersion = 2;
+
+/// Serializes architecture + weights to the current (v2) format.
 std::string serialize_model(const QnnModel& model);
 
-/// Rebuilds a model from `serialize_model` output. Throws qnat::Error on
-/// malformed input or version mismatch.
+/// Rebuilds a model from v2 or legacy v1 checkpoint text. Throws
+/// qnat::Error on bad magic, unsupported version, truncation or
+/// malformed fields.
 QnnModel deserialize_model(const std::string& text);
 
 /// Convenience file wrappers.

@@ -99,4 +99,32 @@ std::string Circuit::to_string() const {
   return os.str();
 }
 
+Circuit bind_params(const Circuit& circuit, ParamIndex first,
+                    const std::vector<real>& values) {
+  QNAT_CHECK(first >= 0 &&
+                 static_cast<std::size_t>(first) + values.size() <=
+                     static_cast<std::size_t>(circuit.num_params()),
+             "bind_params range exceeds the circuit's parameter count");
+  const ParamIndex last = first + static_cast<ParamIndex>(values.size());
+  Circuit bound(circuit.num_qubits(), circuit.num_params());
+  for (const Gate& gate : circuit.gates()) {
+    Gate g = gate;
+    for (ParamExpr& expr : g.params) {
+      ParamExpr folded;
+      folded.offset = expr.offset;
+      for (const ParamExpr::Term& term : expr.terms) {
+        if (term.id >= first && term.id < last) {
+          folded.offset +=
+              term.scale * values[static_cast<std::size_t>(term.id - first)];
+        } else {
+          folded.terms.push_back(term);
+        }
+      }
+      expr = std::move(folded);
+    }
+    bound.append(std::move(g));
+  }
+  return bound;
+}
+
 }  // namespace qnat

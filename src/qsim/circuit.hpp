@@ -128,4 +128,16 @@ class Circuit {
   std::vector<Gate> gates_;
 };
 
+/// Partial evaluation: a copy of `circuit` with parameter slots
+/// [first, first + values.size()) pinned to the given constants. Every
+/// gate-angle linear expression folds `scale * values[id - first]` into
+/// its offset and drops those terms, so gates whose angles referenced
+/// only pinned slots become true constant gates — program compilation
+/// then bakes their matrices once and fuses adjacent constant runs.
+/// Unpinned slots keep their ids and the result declares the same
+/// num_params(), so callers may keep passing full parameter vectors
+/// (the pinned entries are simply ignored).
+Circuit bind_params(const Circuit& circuit, ParamIndex first,
+                    const std::vector<real>& values);
+
 }  // namespace qnat

@@ -84,6 +84,14 @@ std::vector<real> measure_expectations(const CompiledProgram& program,
   return state->expectations_z();
 }
 
+void measure_expectations_into(const CompiledProgram& program,
+                               const ParamVector& params,
+                               std::vector<real>& out) {
+  ScopedState state(program.num_qubits());
+  program.run(state.get(), params);
+  state->expectations_z_into(out);
+}
+
 std::vector<real> measure_expectations_shots(
     const Circuit& circuit, const ParamVector& params, Rng& rng, int shots,
     const std::vector<real>& bit_flip_prob_0to1,

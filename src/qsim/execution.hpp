@@ -35,6 +35,13 @@ std::vector<real> measure_expectations(const Circuit& circuit,
 std::vector<real> measure_expectations(const CompiledProgram& program,
                                        const ParamVector& params);
 
+/// Allocation-free variant for per-sample hot loops: resizes `out` to
+/// the program's qubit count and overwrites it (a reused buffer never
+/// reallocates after warm-up).
+void measure_expectations_into(const CompiledProgram& program,
+                               const ParamVector& params,
+                               std::vector<real>& out);
+
 /// Finite-shot estimate of per-qubit Z expectations: samples `shots`
 /// register readouts and averages (+1 for bit 0, -1 for bit 1). With
 /// `bit_flip_prob_0to1` / `bit_flip_prob_1to0` per qubit (may be empty for

@@ -315,11 +315,17 @@ real StateVector::expectation_z(QubitIndex q) const {
 }
 
 std::vector<real> StateVector::expectations_z() const {
+  std::vector<real> out;
+  expectations_z_into(out);
+  return out;
+}
+
+void StateVector::expectations_z_into(std::vector<real>& out) const {
   // One probability pass, then a halving fold: after processing qubit q
   // (the current high bit), probs[j] holds the probability of the low
   // basis pattern j summed over all higher qubits, so each subsequent
   // qubit costs half the previous one. Total work ~2 * 2^n adds.
-  std::vector<real> out(static_cast<std::size_t>(num_qubits_), 0.0);
+  out.assign(static_cast<std::size_t>(num_qubits_), 0.0);
   const std::size_t n = amps_.size();
   std::vector<double> probs = ws::acquire_reals(n);
   for (std::size_t i = 0; i < n; ++i) probs[i] = std::norm(amps_[i]);
@@ -335,7 +341,6 @@ std::vector<real> StateVector::expectations_z() const {
     len = half;
   }
   ws::release_reals(std::move(probs));
-  return out;
 }
 
 real StateVector::prob_one(QubitIndex q) const {

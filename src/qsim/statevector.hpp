@@ -123,6 +123,11 @@ class StateVector {
   /// probability vector: O(2^(n+1)) instead of O(n 2^n).
   std::vector<real> expectations_z() const;
 
+  /// Same fold, writing into a caller-owned buffer (resized to the
+  /// qubit count). A reused buffer makes repeated measurement
+  /// allocation-free — the serving hot path depends on this.
+  void expectations_z_into(std::vector<real>& out) const;
+
   /// Probability of measuring qubit q as |1>.
   real prob_one(QubitIndex q) const;
 

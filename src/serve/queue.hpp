@@ -1,0 +1,118 @@
+// Bounded lock-free MPSC request queue (serving hot path).
+//
+// A fixed-capacity ring of sequence-numbered cells (Vyukov's bounded
+// queue): producers claim a cell with one CAS on the tail and publish it
+// by bumping the cell's sequence with release ordering; the consumer
+// acquires the cell's sequence before reading the value. `try_push`
+// fails immediately when the ring is full — that failure IS the
+// backpressure signal: the scheduler rejects the request instead of
+// queueing unboundedly, so memory stays bounded by `capacity` no matter
+// how overdriven the server is.
+//
+// The implementation is safe for multiple producers and multiple
+// consumers; the serving scheduler uses it MPSC (many client threads,
+// one dispatcher).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qnat::serve {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  /// `capacity` is rounded up to the next power of two (>= 2).
+  explicit BoundedMpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Number of enqueued items (approximate under concurrency, exact when
+  /// quiescent). Never exceeds capacity().
+  std::size_t size() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail > head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  /// Enqueues `value`; returns false (value untouched) when full.
+  bool try_push(T& value) {
+    Cell* cell;
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    while (true) {
+      cell = &cells_[static_cast<std::size_t>(pos) & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::int64_t diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // ring full — backpressure
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeues into `out`; returns false when empty.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    while (true) {
+      cell = &cells_[static_cast<std::size_t>(pos) & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::int64_t diff = static_cast<std::int64_t>(seq) -
+                                static_cast<std::int64_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace qnat::serve

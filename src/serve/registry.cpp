@@ -1,0 +1,220 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "core/normalization.hpp"
+#include "core/serialization.hpp"
+#include "noise/device_presets.hpp"
+#include "qsim/execution.hpp"
+
+namespace qnat::serve {
+
+std::string ServableModel::spec() const {
+  return name_ + "@" + std::to_string(version_);
+}
+
+ServableModel::ServableModel(std::string name, int version, QnnModel model,
+                             ServingOptions options,
+                             const Tensor2D* profiling_inputs)
+    : name_(std::move(name)),
+      version_(version),
+      model_(std::move(model)),
+      options_(std::move(options)),
+      shot_rng_base_(options_.seed) {
+  QNAT_TRACE_SCOPE("serve.load_model");
+
+  // Execution plans: logical circuits, or the transpiled compact
+  // circuits of the device preset (readout confusion as an affine map).
+  std::vector<BlockExecutionPlan> plans;
+  if (options_.noise_preset.empty()) {
+    plans = make_logical_plans(model_);
+  } else {
+    deployment_ = std::make_unique<Deployment>(
+        model_, make_device_noise_model(options_.noise_preset),
+        options_.optimization_level);
+    plans = deployment_->compiled_plans(/*readout_map=*/true);
+  }
+
+  // Pin one compiled program per block. The shared_ptr keeps the
+  // program alive across process-wide cache evictions, and every worker
+  // thread executes the same instance — compile happens exactly once
+  // per model load, never on a request.
+  //
+  // With bind_weights (the default), the checkpoint's weights — fixed
+  // for the lifetime of this model version — are constant-folded into
+  // the circuit before compiling. Each block's parameter layout is
+  // [inputs | block weights] with the weights last, so the fold turns
+  // every weight-only gate into a constant the compiler bakes (and
+  // fuses) once at load; requests then evaluate only the gates that
+  // actually depend on their features.
+  QNAT_CHECK(plans.size() == model_.blocks().size(),
+             "one execution plan per block expected");
+  for (std::size_t b = 0; b < plans.size(); ++b) {
+    const auto& plan = plans[b];
+    BlockBinding binding;
+    if (options_.bind_weights) {
+      const auto& block = model_.blocks()[b];
+      const auto first_weight =
+          model_.weights().begin() + block.weight_offset;
+      const std::vector<real> weights(first_weight,
+                                      first_weight + block.num_weights);
+      binding.program = shared_program(bind_params(
+          *plan.circuit, plan.circuit->num_params() - block.num_weights,
+          weights));
+    } else {
+      binding.program = shared_program(*plan.circuit);
+    }
+    binding.measure_wires = plan.measure_wires;
+    binding.readout_slope = plan.readout_slope;
+    binding.readout_intercept = plan.readout_intercept;
+    bindings_.push_back(std::move(binding));
+  }
+
+  // Pin normalization statistics from the profiling batch (appendix
+  // A.3.7): serving must never fall back to batch statistics, or a
+  // request's answer would depend on its batch-mates.
+  if (options_.normalize) {
+    QNAT_CHECK(profiling_inputs != nullptr && profiling_inputs->rows() >= 2,
+               "serving with normalization requires a profiling batch of at "
+               "least 2 rows to pin statistics (model '" +
+                   name_ + "')");
+    QnnForwardOptions profile_options;
+    profile_options.normalize = true;  // batch statistics, this once
+    QnnForwardCache cache;
+    qnn_forward(model_, *profiling_inputs, plans, profile_options, &cache);
+    for (std::size_t b = 0; b < cache.normalized.size(); ++b) {
+      profiled_mean_.push_back(cache.raw[b].col_mean());
+      profiled_std_.push_back(cache.raw[b].col_std(kNormEpsilon));
+    }
+  }
+
+  pipeline_.normalize = options_.normalize;
+  pipeline_.quantize = options_.quantize;
+  pipeline_.quant = options_.quant;
+  if (options_.normalize) {
+    pipeline_.profiled_mean = &profiled_mean_;
+    pipeline_.profiled_std = &profiled_std_;
+  }
+}
+
+Tensor2D ServableModel::run_batch(
+    const Tensor2D& inputs, const std::vector<std::uint64_t>& request_ids) const {
+  QNAT_CHECK(inputs.rows() == request_ids.size(),
+             "run_batch needs one request id per row");
+  QNAT_TRACE_SCOPE("serve.run_batch");
+  const int nq = model_.architecture().num_qubits;
+  const BlockRunner runner = [&](std::size_t b, std::size_t r,
+                                 const ParamVector& params, real* out) {
+    const BlockBinding& binding = bindings_[b];
+    // Per-thread expectation buffer: the analytic serving path runs
+    // once per sample per block and must stay allocation-free.
+    thread_local std::vector<real> z;
+    if (options_.shots > 0) {
+      // Shot stream keyed by (request id, block) — a pure function of
+      // the request, identical under any batch grouping or thread count.
+      Rng rng = shot_rng_base_.child(request_ids[r]).child(b);
+      z = measure_expectations_shots(*binding.program, params, rng,
+                                     options_.shots);
+    } else {
+      measure_expectations_into(*binding.program, params, z);
+    }
+    for (int q = 0; q < nq; ++q) {
+      const auto qi = static_cast<std::size_t>(q);
+      const real e = z[static_cast<std::size_t>(binding.measure_wires[qi])];
+      out[q] = binding.readout_slope[qi] * e + binding.readout_intercept[qi];
+    }
+  };
+  return qnn_forward_with_runner(model_, inputs, runner, pipeline_, nullptr);
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::add(
+    const std::string& name, const QnnModel& model,
+    const ServingOptions& options, const Tensor2D* profiling_inputs) {
+  QNAT_CHECK(!name.empty() && name.find('@') == std::string::npos &&
+                 name.find_first_of(" \t\n") == std::string::npos,
+             "model name must be non-empty and free of '@' and whitespace: '" +
+                 name + "'");
+  static metrics::Counter loads =
+      metrics::counter("serve.registry.loads", metrics::Stability::PerRun);
+  loads.inc();
+
+  int version = 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.lower_bound({name, std::numeric_limits<int>::max()});
+    if (it != entries_.begin()) {
+      const auto prev = std::prev(it);
+      if (prev->first.first == name) version = prev->first.second + 1;
+    }
+  }
+  // Build outside the lock — transpile + compile + profiling can be slow.
+  std::shared_ptr<const ServableModel> entry(new ServableModel(
+      name, version, model, options, profiling_inputs));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[{name, version}] = entry;
+  }
+  return entry;
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::load_file(
+    const std::string& name, const std::string& path,
+    const ServingOptions& options, const Tensor2D* profiling_inputs) {
+  return add(name, load_model(path), options, profiling_inputs);
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::find(
+    std::string_view spec) const {
+  std::string name(spec);
+  int version = 0;  // 0 = latest
+  if (const auto at = spec.rfind('@'); at != std::string_view::npos) {
+    name = std::string(spec.substr(0, at));
+    const std::string_view v = spec.substr(at + 1);
+    const auto [ptr, ec] =
+        std::from_chars(v.data(), v.data() + v.size(), version);
+    if (ec != std::errc{} || ptr != v.data() + v.size() || version < 1) {
+      return nullptr;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (version > 0) {
+    const auto it = entries_.find({name, version});
+    return it == entries_.end() ? nullptr : it->second;
+  }
+  // Latest: the greatest version under this name.
+  const auto it = entries_.lower_bound({name, std::numeric_limits<int>::max()});
+  if (it == entries_.begin()) return nullptr;
+  const auto prev = std::prev(it);
+  return prev->first.first == name ? prev->second : nullptr;
+}
+
+std::size_t ModelRegistry::remove(const std::string& name, int version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t removed = 0;
+  for (auto it = entries_.lower_bound({name, 0}); it != entries_.end();) {
+    if (it->first.first != name) break;
+    if (version == 0 || it->first.second == version) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<std::string> ModelRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> specs;
+  for (const auto& [key, entry] : entries_) {
+    specs.push_back(key.first + "@" + std::to_string(key.second));
+  }
+  return specs;
+}
+
+}  // namespace qnat::serve

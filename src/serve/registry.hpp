@@ -1,0 +1,170 @@
+// Model registry for the inference serving runtime.
+//
+// A `ServableModel` is a named, versioned checkpoint pinned with
+// everything its requests need at steady state, built once at load time
+// and immutable afterwards (safe to share across scheduler and worker
+// threads without locks):
+//   - the QNN weights (via `core/serialization` checkpoints or an
+//     in-memory model),
+//   - per-block execution bindings — measurement wires, readout affine
+//     map, and the *pinned* compiled program (`shared_program` compiled
+//     once at load; holding the shared_ptr keeps the program alive even
+//     if the process-wide cache evicts it, so no request ever pays a
+//     recompile),
+//   - profiled normalization statistics (appendix A.3.7), which make
+//     every request's output a pure function of its own features —
+//     batch statistics would couple a request's answer to whatever the
+//     scheduler happened to coalesce it with,
+//   - quantization levels and the optional device noise preset
+//     (transpiled circuits + readout confusion map).
+//
+// Randomness (finite-shot sampling) is keyed by *request id* through
+// counter-based `Rng::child` streams, never by batch position, so
+// outputs are identical no matter how the dynamic batcher groups
+// requests — the property the deterministic replay mode relies on.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/qnn.hpp"
+#include "core/quantization.hpp"
+#include "qsim/program.hpp"
+
+namespace qnat::serve {
+
+/// Per-model inference configuration, fixed at load time.
+struct ServingOptions {
+  /// Post-measurement normalization with statistics profiled at load
+  /// time (requires `profiling_inputs`). Serving never uses batch
+  /// statistics: micro-batches have scheduler-dependent composition and
+  /// can be singletons.
+  bool normalize = true;
+  /// Post-measurement quantization (paper §3.3).
+  bool quantize = false;
+  QuantConfig quant;
+  /// Device noise preset name ("" = ideal logical circuits). With a
+  /// preset, requests run the transpiled compact circuits and the
+  /// readout confusion map as an affine expectation map.
+  std::string noise_preset;
+  int optimization_level = 2;
+  /// Constant-fold the checkpoint's (immutable) weights into the pinned
+  /// compiled programs at load time: weight-only gates bake their
+  /// matrices once and fuse, so each request evaluates only the
+  /// input-dependent gates. Off preserves fully-parametric programs
+  /// (diagnostics / differential testing).
+  bool bind_weights = true;
+  /// Finite-shot readout: > 0 samples this many shots per block with an
+  /// RNG stream derived from the *request id* (`seed_rng.child(id)
+  /// .child(block)`), so results do not depend on batch composition.
+  /// 0 = analytic expectations.
+  int shots = 0;
+  /// Master seed of the per-request shot streams.
+  std::uint64_t seed = 20260806;
+};
+
+/// Immutable, thread-shareable serving state of one checkpoint version.
+class ServableModel {
+ public:
+  const std::string& name() const { return name_; }
+  int version() const { return version_; }
+  /// "name@version" — the canonical registry key.
+  std::string spec() const;
+  const QnnModel& model() const { return model_; }
+  const ServingOptions& options() const { return options_; }
+  int num_features() const { return model_.architecture().input_features; }
+  int num_classes() const { return model_.architecture().num_classes; }
+
+  /// Runs a coalesced micro-batch. `request_ids[r]` keys row r's shot
+  /// stream; outputs are row-wise pure (independent of batch grouping).
+  Tensor2D run_batch(const Tensor2D& inputs,
+                     const std::vector<std::uint64_t>& request_ids) const;
+
+  /// Profiled per-processed-block normalization statistics (empty when
+  /// `normalize` is off).
+  const std::vector<std::vector<real>>& profiled_mean() const {
+    return profiled_mean_;
+  }
+  const std::vector<std::vector<real>>& profiled_std() const {
+    return profiled_std_;
+  }
+
+  /// The pinned compiled program of block `b` (tests/diagnostics).
+  const std::shared_ptr<const CompiledProgram>& block_program(
+      std::size_t b) const {
+    return bindings_[b].program;
+  }
+
+ private:
+  friend class ModelRegistry;
+  ServableModel(std::string name, int version, QnnModel model,
+                ServingOptions options, const Tensor2D* profiling_inputs);
+
+  /// One block's steady-state execution state.
+  struct BlockBinding {
+    std::shared_ptr<const CompiledProgram> program;
+    std::vector<QubitIndex> measure_wires;
+    std::vector<real> readout_slope;
+    std::vector<real> readout_intercept;
+  };
+
+  std::string name_;
+  int version_ = 1;
+  QnnModel model_;
+  ServingOptions options_;
+  /// Present only with a noise preset; owns the compact circuits the
+  /// bindings' programs were compiled from.
+  std::unique_ptr<Deployment> deployment_;
+  std::vector<BlockBinding> bindings_;
+  std::vector<std::vector<real>> profiled_mean_;
+  std::vector<std::vector<real>> profiled_std_;
+  QnnForwardOptions pipeline_;
+  Rng shot_rng_base_;
+};
+
+/// Thread-safe name -> versioned ServableModel map. Loads are cold-path
+/// (mutex-guarded); lookups return shared_ptrs so an unloaded model
+/// finishes its in-flight requests safely.
+class ModelRegistry {
+ public:
+  /// Registers an in-memory model under `name` with the next free
+  /// version; returns the pinned entry. `profiling_inputs` (required
+  /// when options.normalize) is a representative batch (>= 2 rows) used
+  /// to pin normalization statistics at load time.
+  std::shared_ptr<const ServableModel> add(
+      const std::string& name, const QnnModel& model,
+      const ServingOptions& options = {},
+      const Tensor2D* profiling_inputs = nullptr);
+
+  /// Loads a checkpoint file via core/serialization and registers it.
+  std::shared_ptr<const ServableModel> load_file(
+      const std::string& name, const std::string& path,
+      const ServingOptions& options = {},
+      const Tensor2D* profiling_inputs = nullptr);
+
+  /// Resolves "name" (latest version) or "name@N" (exact). Returns null
+  /// when absent.
+  std::shared_ptr<const ServableModel> find(std::string_view spec) const;
+
+  /// Removes one version (or every version with `version == 0`).
+  /// Returns the number of entries removed; in-flight holders of the
+  /// shared_ptr keep the model alive until their requests complete.
+  std::size_t remove(const std::string& name, int version = 0);
+
+  /// Canonical "name@version" specs, sorted.
+  std::vector<std::string> list() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, int>,
+           std::shared_ptr<const ServableModel>>
+      entries_;
+};
+
+}  // namespace qnat::serve

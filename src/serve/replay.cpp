@@ -1,0 +1,130 @@
+#include "serve/replay.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qnat::serve {
+
+namespace {
+
+std::string format_real(real v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", static_cast<double>(v));
+  return buf;
+}
+
+constexpr const char* kTraceMagic = "#qnat-trace";
+constexpr int kTraceVersion = 1;
+
+}  // namespace
+
+std::string RequestTrace::serialize() const {
+  std::ostringstream os;
+  os << kTraceMagic << " v" << kTraceVersion << "\n";
+  os << "requests " << records.size() << "\n";
+  for (const TraceRecord& record : records) {
+    os << "req " << record.id << " " << record.arrival_us << " "
+       << record.model << " " << record.features.size();
+    for (const real f : record.features) os << " " << format_real(f);
+    os << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+RequestTrace RequestTrace::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic, version;
+  QNAT_CHECK(static_cast<bool>(is >> magic >> version) && magic == kTraceMagic,
+             "not a request trace (expected '" + std::string(kTraceMagic) +
+                 "' magic, found '" + magic + "')");
+  QNAT_CHECK(version == "v" + std::to_string(kTraceVersion),
+             "unsupported request-trace version '" + version +
+                 "' (this build reads v" + std::to_string(kTraceVersion) +
+                 ")");
+  std::string key;
+  std::size_t count = 0;
+  QNAT_CHECK(static_cast<bool>(is >> key >> count) && key == "requests",
+             "request trace truncated before 'requests' count");
+  RequestTrace trace;
+  for (std::size_t i = 0; i < count; ++i) {
+    TraceRecord record;
+    std::size_t num_features = 0;
+    QNAT_CHECK(static_cast<bool>(is >> key >> record.id >> record.arrival_us >>
+                                 record.model >> num_features) &&
+                   key == "req",
+               "request trace truncated in record " + std::to_string(i));
+    record.features.resize(num_features);
+    for (std::size_t f = 0; f < num_features; ++f) {
+      QNAT_CHECK(static_cast<bool>(is >> record.features[f]),
+                 "request trace truncated in features of record " +
+                     std::to_string(i));
+    }
+    trace.records.push_back(std::move(record));
+  }
+  QNAT_CHECK(static_cast<bool>(is >> key) && key == "end",
+             "request trace missing 'end' sentinel (file truncated?)");
+  return trace;
+}
+
+void RequestTrace::save(const std::string& path) const {
+  std::ofstream out(path);
+  QNAT_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << serialize();
+  QNAT_CHECK(out.good(), "failed writing request trace to '" + path + "'");
+}
+
+RequestTrace RequestTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  QNAT_CHECK(in.good(), "cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return deserialize(buffer.str());
+}
+
+std::string ReplayResult::output_fingerprint() const {
+  std::ostringstream os;
+  for (const Response& response : responses) {
+    os << response.id << " " << status_name(response.status);
+    for (const real logit : response.logits) os << " " << format_real(logit);
+    os << "\n";
+  }
+  return os.str();
+}
+
+ReplayResult replay_trace(const ModelRegistry& registry,
+                          const SchedulerConfig& config,
+                          const RequestTrace& trace) {
+  SchedulerConfig replay_config = config;
+  replay_config.record_trace = false;
+  replay_config.default_deadline_us = 0;  // wall time must not shape results
+  InferenceServer server(registry, replay_config,
+                         InferenceServer::Dispatch::Inline);
+
+  std::vector<ResponseTicket> tickets;
+  tickets.reserve(trace.records.size());
+  for (const TraceRecord& record : trace.records) {
+    // Keep submission deterministic under the bounded queue: when the
+    // ring is full, drain it inline before submitting more — no request
+    // is ever rejected during replay, and batch boundaries stay a pure
+    // function of trace order.
+    if (server.queue_size() >= server.config().queue_depth) server.drain();
+    tickets.push_back(server.submit_with_id(record.id, record.model,
+                                            record.features,
+                                            /*deadline_us=*/-1));
+  }
+  server.drain();
+
+  ReplayResult result;
+  result.responses.reserve(tickets.size());
+  for (auto& ticket : tickets) result.responses.push_back(ticket.get());
+  std::sort(result.responses.begin(), result.responses.end(),
+            [](const Response& a, const Response& b) { return a.id < b.id; });
+  return result;
+}
+
+}  // namespace qnat::serve

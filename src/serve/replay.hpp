@@ -1,0 +1,75 @@
+// Deterministic request-trace recording and replay.
+//
+// A `RequestTrace` is the request-level analogue of the seed: the
+// ordered list of (request id, model spec, arrival offset, features)
+// the server saw. Replaying a trace through an Inline-dispatch server
+// reproduces byte-identical outputs — batch boundaries become a pure
+// function of trace order and `max_batch`, per-request randomness is
+// keyed by the recorded request ids (`Rng::child(id)`), and profiled
+// normalization keeps every output independent of batch composition —
+// at any worker-pool width. The canonical `output_fingerprint()` makes
+// "byte-identical" checkable the same way the metrics invariants suite
+// checks `deterministic_fingerprint()`.
+//
+// Traces serialize to a line-oriented text format (magic-headed and
+// versioned like core/serialization checkpoints):
+//
+//   #qnat-trace v1
+//   requests 2
+//   req <id> <arrival_us> <model_spec> <n> <f0> ... <f{n-1}>
+//   ...
+//   end
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+
+namespace qnat::serve {
+
+struct TraceRecord {
+  std::uint64_t id = 0;
+  /// Arrival offset relative to the start of the run, microseconds.
+  std::uint64_t arrival_us = 0;
+  std::string model;  ///< registry spec ("name" or "name@version")
+  std::vector<real> features;
+};
+
+class RequestTrace {
+ public:
+  std::vector<TraceRecord> records;
+
+  bool empty() const { return records.empty(); }
+  std::size_t size() const { return records.size(); }
+
+  std::string serialize() const;
+  /// Throws qnat::Error on bad magic, unsupported version or truncation.
+  static RequestTrace deserialize(const std::string& text);
+
+  void save(const std::string& path) const;
+  static RequestTrace load(const std::string& path);
+};
+
+struct ReplayResult {
+  /// One response per trace record, sorted by request id.
+  std::vector<Response> responses;
+
+  /// Canonical text of every (id, status, logits) tuple at full
+  /// precision. Two replays of the same trace + registry seed must
+  /// produce byte-equal fingerprints at any thread count and any
+  /// max_batch/max_wait setting.
+  std::string output_fingerprint() const;
+};
+
+/// Replays `trace` through an Inline-dispatch server over `registry`.
+/// Submission follows trace order; when the bounded queue fills, a
+/// dispatch round runs inline (still deterministic — everything happens
+/// on the calling thread). Arrival offsets are ignored: replay is
+/// about *what* was asked, not when.
+ReplayResult replay_trace(const ModelRegistry& registry,
+                          const SchedulerConfig& config,
+                          const RequestTrace& trace);
+
+}  // namespace qnat::serve

@@ -1,0 +1,482 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <climits>
+#endif
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "serve/replay.hpp"
+
+namespace qnat::serve {
+
+namespace detail {
+
+/// The single per-request allocation: queue entry, request payload, and
+/// completion state in one record. Refcounted intrusively — one
+/// reference belongs to the client's ResponseTicket, one to the server
+/// (held by the ring until dispatch, dropped by finish()); whichever
+/// side lets go last frees it.
+struct Pending {
+  std::uint64_t id = 0;
+  std::shared_ptr<const ServableModel> model;
+  std::vector<real> features;
+  std::int64_t submit_ns = 0;
+  std::int64_t deadline_ns = 0;  // absolute; 0 = none
+  Response response;
+  /// 0 until `response` is published (release store; waiters futex on
+  /// this word).
+  std::atomic<std::uint32_t> ready{0};
+  /// Number of threads blocked on `ready` — lets the finisher skip the
+  /// wake syscall on the (burst-collection) common case of nobody
+  /// waiting.
+  std::atomic<std::uint32_t> waiters{0};
+  std::atomic<std::uint32_t> refs{2};
+};
+
+void unref(Pending* pending) {
+  if (pending->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    delete pending;
+  }
+}
+
+namespace {
+
+// Blocking-RPC wait: go to sleep immediately. std::atomic::wait spins
+// and sched_yield()s before parking, which actively delays the
+// dispatcher on machines where client and dispatcher share a core — a
+// submit-then-get client has nothing useful to do with the CPU, so the
+// fastest thing it can do is hand it over. On Linux that is one
+// FUTEX_WAIT on the ready word (the kernel re-checks the word under its
+// own lock, so a wake elided against a not-yet-visible waiter still
+// returns EAGAIN instead of sleeping through the publish).
+void wait_ready(Pending* pending) {
+#ifdef __linux__
+  pending->waiters.fetch_add(1, std::memory_order_seq_cst);
+  while (pending->ready.load(std::memory_order_acquire) == 0) {
+    syscall(SYS_futex,
+            reinterpret_cast<std::uint32_t*>(&pending->ready),
+            FUTEX_WAIT_PRIVATE, 0u, nullptr, nullptr, 0);
+  }
+  pending->waiters.fetch_sub(1, std::memory_order_relaxed);
+#else
+  pending->ready.wait(0, std::memory_order_acquire);
+#endif
+}
+
+// Publish-side wake. The seq_cst store keeps the waiter-count read
+// from overtaking the publish (the Dekker pairing with wait_ready's
+// fetch_add); with no waiter registered the publish costs no syscall.
+void publish_ready(Pending* pending) {
+#ifdef __linux__
+  pending->ready.store(1, std::memory_order_seq_cst);
+  if (pending->waiters.load(std::memory_order_seq_cst) != 0) {
+    syscall(SYS_futex,
+            reinterpret_cast<std::uint32_t*>(&pending->ready),
+            FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
+  }
+#else
+  pending->ready.store(1, std::memory_order_seq_cst);
+  pending->ready.notify_all();
+#endif
+}
+
+}  // namespace
+
+}  // namespace detail
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Submission counts are a pure function of the workload; everything
+// downstream of queue timing (batch composition, rejections, latency)
+// is PerRun by the stability contract — scheduling must never leak into
+// the deterministic fingerprint.
+metrics::Counter requests_counter() {
+  static metrics::Counter c = metrics::counter("serve.requests");
+  return c;
+}
+metrics::Counter rejected_counter() {
+  static metrics::Counter c =
+      metrics::counter("serve.rejected", metrics::Stability::PerRun);
+  return c;
+}
+metrics::Counter expired_counter() {
+  static metrics::Counter c =
+      metrics::counter("serve.deadline_exceeded", metrics::Stability::PerRun);
+  return c;
+}
+metrics::Counter completed_counter() {
+  static metrics::Counter c =
+      metrics::counter("serve.completed", metrics::Stability::PerRun);
+  return c;
+}
+metrics::Counter batches_counter() {
+  static metrics::Counter c =
+      metrics::counter("serve.batches", metrics::Stability::PerRun);
+  return c;
+}
+metrics::Histogram batch_size_histogram() {
+  static metrics::Histogram h =
+      metrics::histogram("serve.batch_size", metrics::Stability::PerRun);
+  return h;
+}
+metrics::Histogram latency_histogram() {
+  static metrics::Histogram h =
+      metrics::histogram("serve.latency_seconds", metrics::Stability::PerRun);
+  return h;
+}
+metrics::Histogram queue_wait_histogram() {
+  static metrics::Histogram h = metrics::histogram(
+      "serve.queue_wait_seconds", metrics::Stability::PerRun);
+  return h;
+}
+
+}  // namespace
+
+void LogitVector::assign(const real* values, std::size_t count) {
+  QNAT_CHECK(count <= kCapacity,
+             "model produces more logits than LogitVector::kCapacity; "
+             "raise the capacity to serve this model");
+  std::copy(values, values + count, values_.begin());
+  size_ = count;
+}
+
+bool operator==(const LogitVector& a, const LogitVector& b) {
+  return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+}
+
+std::ostream& operator<<(std::ostream& os, const LogitVector& logits) {
+  os << "[";
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << logits[i];
+  }
+  return os << "]";
+}
+
+ResponseTicket& ResponseTicket::operator=(ResponseTicket&& other) noexcept {
+  if (this != &other) {
+    if (state_ != nullptr) detail::unref(state_);
+    state_ = other.state_;
+    other.state_ = nullptr;
+  }
+  return *this;
+}
+
+ResponseTicket::~ResponseTicket() {
+  if (state_ != nullptr) detail::unref(state_);
+}
+
+bool ResponseTicket::ready() const {
+  QNAT_CHECK(state_ != nullptr, "ready() on an empty ResponseTicket");
+  return state_->ready.load(std::memory_order_acquire) != 0;
+}
+
+void ResponseTicket::wait() const {
+  QNAT_CHECK(state_ != nullptr, "wait() on an empty ResponseTicket");
+  if (state_->ready.load(std::memory_order_acquire) == 0) {
+    detail::wait_ready(state_);
+  }
+}
+
+Response ResponseTicket::get() {
+  QNAT_CHECK(state_ != nullptr, "get() on an empty ResponseTicket");
+  if (state_->ready.load(std::memory_order_acquire) == 0) {
+    detail::wait_ready(state_);
+  }
+  Response response = std::move(state_->response);
+  detail::unref(state_);
+  state_ = nullptr;
+  return response;
+}
+
+const char* status_name(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::Ok: return "ok";
+    case RequestStatus::Rejected: return "rejected";
+    case RequestStatus::DeadlineExceeded: return "deadline_exceeded";
+    case RequestStatus::ModelNotFound: return "model_not_found";
+    case RequestStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
+InferenceServer::InferenceServer(const ModelRegistry& registry,
+                                 SchedulerConfig config, Dispatch dispatch)
+    : registry_(registry),
+      config_(config),
+      dispatch_(dispatch),
+      queue_(config.queue_depth),
+      start_ns_(now_ns()) {
+  QNAT_CHECK(config_.max_batch >= 1, "max_batch must be at least 1");
+  QNAT_CHECK(config_.queue_depth >= 1, "queue_depth must be at least 1");
+  if (config_.record_trace) trace_ = std::make_unique<RequestTrace>();
+  if (dispatch_ == Dispatch::Background) {
+    dispatcher_ = std::thread([this] { run_loop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() {
+  stop();
+  // Inline mode: fail anything still queued so tickets never hang.
+  detail::Pending* pending = nullptr;
+  while (queue_.try_pop(pending)) {
+    Response response;
+    response.id = pending->id;
+    response.status = RequestStatus::Failed;
+    finish(pending, std::move(response));
+  }
+}
+
+void InferenceServer::stop() {
+  if (dispatch_ != Dispatch::Background) return;
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    if (dispatcher_.joinable()) dispatcher_.join();
+    return;
+  }
+  wake_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+ResponseTicket InferenceServer::submit(const std::string& model_spec,
+                                       std::vector<real> features,
+                                       std::int64_t deadline_us) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  return enqueue(id, model_spec, std::move(features), deadline_us);
+}
+
+ResponseTicket InferenceServer::submit_with_id(std::uint64_t id,
+                                               const std::string& model_spec,
+                                               std::vector<real> features,
+                                               std::int64_t deadline_us) {
+  return enqueue(id, model_spec, std::move(features), deadline_us);
+}
+
+ResponseTicket InferenceServer::enqueue(std::uint64_t id,
+                                        const std::string& model_spec,
+                                        std::vector<real> features,
+                                        std::int64_t deadline_us) {
+  requests_counter().inc();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  auto* pending = new detail::Pending;  // refs == 2: ticket + server
+  pending->id = id;
+  pending->features = std::move(features);
+  pending->submit_ns = now_ns();
+  std::int64_t deadline = deadline_us != 0 ? deadline_us
+                                           : config_.default_deadline_us;
+  if (deadline > 0) pending->deadline_ns = pending->submit_ns + deadline * 1000;
+  ResponseTicket ticket(pending);
+
+  pending->model = registry_.find(model_spec);
+  if (pending->model == nullptr) {
+    Response response;
+    response.id = id;
+    response.status = RequestStatus::ModelNotFound;
+    finish(pending, std::move(response));
+    return ticket;
+  }
+
+  if (config_.record_trace) {
+    TraceRecord record;
+    record.id = id;
+    record.arrival_us =
+        static_cast<std::uint64_t>((pending->submit_ns - start_ns_) / 1000);
+    record.model = model_spec;
+    record.features = pending->features;
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace_->records.push_back(std::move(record));
+  }
+
+  if (!queue_.try_push(pending)) {
+    // Backpressure: the bounded ring is full — reject now, with the
+    // queue (not the heap) as the only memory the burst ever occupied.
+    rejected_counter().inc();
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.id = id;
+    response.status = RequestStatus::Rejected;
+    finish(pending, std::move(response));
+    return ticket;
+  }
+  // The server's reference now rides in the ring until a dispatcher
+  // pops it.
+  if (dispatch_ == Dispatch::Background &&
+      dispatcher_idle_.load(std::memory_order_seq_cst)) {
+    // Only pay the notify when the dispatcher is actually parked; while
+    // it is draining the ring the push above is enough for it to see
+    // the request on its next pass.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_cv_.notify_one();
+  }
+  return ticket;
+}
+
+void InferenceServer::finish(detail::Pending* pending, Response response) {
+  if (response.status == RequestStatus::Ok) {
+    completed_counter().inc();
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  response.latency_ns = now_ns() - pending->submit_ns;
+  latency_histogram().observe(static_cast<double>(response.latency_ns) * 1e-9);
+  pending->response = std::move(response);
+  detail::publish_ready(pending);
+  // Drop the server's reference last: the record must stay alive for
+  // the wake above even if the client consumed the response already.
+  detail::unref(pending);
+}
+
+bool InferenceServer::dispatch_round(bool wait_for_stragglers) {
+  std::vector<detail::Pending*> batch;
+  detail::Pending* popped = nullptr;
+  std::int64_t wait_deadline = 0;
+  while (static_cast<int>(batch.size()) < config_.max_batch) {
+    if (queue_.try_pop(popped)) {
+      batch.push_back(popped);
+      continue;
+    }
+    if (batch.empty()) return false;
+    if (!wait_for_stragglers || config_.max_wait_us <= 0) break;
+    if (wait_deadline == 0) {
+      wait_deadline = now_ns() + config_.max_wait_us * 1000;
+    } else if (now_ns() >= wait_deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(5));
+  }
+
+  // Coalesce by model, preserving first-appearance order (a mixed pull
+  // yields one micro-batch per model).
+  while (!batch.empty()) {
+    const ServableModel* key = batch.front()->model.get();
+    std::shared_ptr<const ServableModel> model = batch.front()->model;
+    std::vector<detail::Pending*> group;
+    std::vector<detail::Pending*> rest;
+    for (detail::Pending* p : batch) {
+      (p->model.get() == key ? group : rest).push_back(p);
+    }
+    batch = std::move(rest);
+    execute_group(model, std::move(group));
+  }
+  return true;
+}
+
+void InferenceServer::execute_group(
+    const std::shared_ptr<const ServableModel>& model,
+    std::vector<detail::Pending*> group) {
+  QNAT_TRACE_SCOPE("serve.batch");
+
+  // Deadline and input-width triage before any simulation cycles.
+  const std::int64_t exec_start = now_ns();
+  std::vector<detail::Pending*> runnable;
+  for (detail::Pending* p : group) {
+    if (p->deadline_ns > 0 && exec_start > p->deadline_ns) {
+      expired_counter().inc();
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      Response response;
+      response.id = p->id;
+      response.status = RequestStatus::DeadlineExceeded;
+      finish(p, std::move(response));
+    } else if (p->features.size() !=
+               static_cast<std::size_t>(model->num_features())) {
+      Response response;
+      response.id = p->id;
+      response.status = RequestStatus::Failed;
+      finish(p, std::move(response));
+    } else {
+      queue_wait_histogram().observe(
+          static_cast<double>(exec_start - p->submit_ns) * 1e-9);
+      runnable.push_back(p);
+    }
+  }
+  if (runnable.empty()) return;
+
+  batches_counter().inc();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_size_histogram().observe(static_cast<double>(runnable.size()));
+
+  Tensor2D inputs(runnable.size(),
+                  static_cast<std::size_t>(model->num_features()));
+  std::vector<std::uint64_t> ids(runnable.size());
+  for (std::size_t r = 0; r < runnable.size(); ++r) {
+    inputs.set_row(r, runnable[r]->features);
+    ids[r] = runnable[r]->id;
+  }
+
+  try {
+    const Tensor2D logits = model->run_batch(inputs, ids);
+    const std::size_t cols = logits.cols();
+    for (std::size_t r = 0; r < runnable.size(); ++r) {
+      Response response;
+      response.id = runnable[r]->id;
+      response.status = RequestStatus::Ok;
+      response.logits.assign(logits.data().data() + r * cols, cols);
+      response.predicted_class = static_cast<int>(
+          std::max_element(response.logits.begin(), response.logits.end()) -
+          response.logits.begin());
+      finish(runnable[r], std::move(response));
+    }
+  } catch (const std::exception&) {
+    for (detail::Pending* p : runnable) {
+      Response response;
+      response.id = p->id;
+      response.status = RequestStatus::Failed;
+      finish(p, std::move(response));
+    }
+  }
+}
+
+void InferenceServer::drain() {
+  QNAT_CHECK(dispatch_ == Dispatch::Inline,
+             "drain() is only valid on an Inline-dispatch server");
+  while (dispatch_round(/*wait_for_stragglers=*/false)) {
+  }
+}
+
+void InferenceServer::run_loop() {
+  while (true) {
+    if (dispatch_round(/*wait_for_stragglers=*/true)) continue;
+    if (stopping_.load(std::memory_order_acquire)) return;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    dispatcher_idle_.store(true, std::memory_order_seq_cst);
+    // Re-check under the lock: a producer that pushed before seeing the
+    // idle flag must not be missed. The bounded wait caps the cost of
+    // the remaining benign race at one wait period.
+    if (queue_.size() == 0 && !stopping_.load(std::memory_order_acquire)) {
+      wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    dispatcher_idle_.store(false, std::memory_order_seq_cst);
+  }
+}
+
+InferenceServer::Stats InferenceServer::stats() const {
+  Stats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded = expired_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+RequestTrace InferenceServer::recorded_trace() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return trace_ != nullptr ? *trace_ : RequestTrace{};
+}
+
+}  // namespace qnat::serve

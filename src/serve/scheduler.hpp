@@ -1,0 +1,249 @@
+// Dynamic micro-batching inference scheduler.
+//
+// Requests from any number of client threads land in a bounded lock-free
+// MPSC ring (`serve/queue.hpp`); a single dispatcher coalesces them into
+// micro-batches under a max-batch / max-wait policy — take everything
+// queued up to `max_batch`, and if the batch is short, wait up to
+// `max_wait_us` for stragglers before executing — then runs each batch
+// through `ServableModel::run_batch`, which fans the samples out over
+// the process-wide worker pool. Backpressure is immediate: a full ring
+// rejects the request (`serve.rejected`) instead of queueing without
+// bound, and per-request deadlines expire requests that waited too long
+// before any simulation cycles are spent on them.
+//
+// Two dispatch modes share the identical batching/execution code path:
+//   - Background (production): a dispatcher thread drains the ring as
+//     requests arrive; batch composition depends on wall-clock timing.
+//   - Inline (deterministic replay): no thread is spawned; the caller
+//     drains the ring explicitly, so batch boundaries are a pure
+//     function of submission order and `max_batch`. Combined with
+//     request-id-keyed RNG streams and profiled normalization this makes
+//     a recorded trace + seed reproduce byte-identical outputs at any
+//     worker-pool width (see serve/replay.hpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "serve/registry.hpp"
+
+namespace qnat::serve {
+
+namespace detail {
+struct Pending;
+}  // namespace detail
+
+enum class RequestStatus : std::uint8_t {
+  Ok,
+  /// Bounded queue was full at submission (backpressure).
+  Rejected,
+  /// Deadline passed before the request reached execution.
+  DeadlineExceeded,
+  /// No registered model matches the request's spec.
+  ModelNotFound,
+  /// The model raised while executing the batch.
+  Failed,
+};
+
+const char* status_name(RequestStatus status);
+
+/// Fixed-capacity inline logits container. Responses travel through the
+/// scheduler by value on the per-request hot path; inline storage keeps
+/// that traffic allocation-free (a heap vector here is one malloc/free
+/// per request on both the batched and the single-request path).
+class LogitVector {
+ public:
+  static constexpr std::size_t kCapacity = 16;
+
+  LogitVector() = default;
+  /// Copies `count` values in; `count` must be <= kCapacity (the
+  /// registry serves models with at most kCapacity classes).
+  void assign(const real* values, std::size_t count);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  real operator[](std::size_t i) const { return values_[i]; }
+  real& operator[](std::size_t i) { return values_[i]; }
+  const real* begin() const { return values_.data(); }
+  const real* end() const { return values_.data() + size_; }
+
+  friend bool operator==(const LogitVector& a, const LogitVector& b);
+
+ private:
+  std::array<real, kCapacity> values_{};
+  std::size_t size_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const LogitVector& logits);
+
+struct Response {
+  std::uint64_t id = 0;
+  RequestStatus status = RequestStatus::Ok;
+  LogitVector logits;
+  /// argmax of logits (-1 unless status == Ok).
+  int predicted_class = -1;
+  /// submit-to-completion wall time.
+  std::int64_t latency_ns = 0;
+};
+
+/// Completion handle for one submitted request — a single-allocation
+/// stand-in for std::future<Response>. The shared state is the same
+/// intrusively refcounted record the scheduler queues (no separate
+/// promise allocation), and completion is signalled through a C++20
+/// atomic wait: a ticket that is already complete costs `get()` one
+/// relaxed load instead of a mutex round-trip, which matters when a
+/// burst client collects thousands of mostly-finished tickets.
+class ResponseTicket {
+ public:
+  ResponseTicket() = default;
+  ResponseTicket(ResponseTicket&& other) noexcept : state_(other.state_) {
+    other.state_ = nullptr;
+  }
+  ResponseTicket& operator=(ResponseTicket&& other) noexcept;
+  ResponseTicket(const ResponseTicket&) = delete;
+  ResponseTicket& operator=(const ResponseTicket&) = delete;
+  ~ResponseTicket();
+
+  bool valid() const { return state_ != nullptr; }
+  /// Non-blocking: has the response been produced yet?
+  bool ready() const;
+  /// Blocks until the response has been produced.
+  void wait() const;
+  /// Blocks, then moves the response out (single-shot; the ticket is
+  /// empty afterwards).
+  Response get();
+
+ private:
+  friend class InferenceServer;
+  explicit ResponseTicket(detail::Pending* state) : state_(state) {}
+  detail::Pending* state_ = nullptr;
+};
+
+struct SchedulerConfig {
+  /// Micro-batch size cap. 1 degenerates to single-request-at-a-time
+  /// (the baseline the load harness compares against).
+  int max_batch = 32;
+  /// How long a short batch waits for stragglers before executing.
+  /// Ignored in inline dispatch (replay), where waiting cannot change
+  /// what is already queued.
+  std::int64_t max_wait_us = 200;
+  /// Bounded request-queue depth; submissions beyond it are rejected.
+  std::size_t queue_depth = 1024;
+  /// Deadline applied to requests submitted without one (0 = none).
+  std::int64_t default_deadline_us = 0;
+  /// Record every accepted request into a replayable trace
+  /// (see RequestTrace).
+  bool record_trace = false;
+};
+
+class RequestTrace;
+
+class InferenceServer {
+ public:
+  enum class Dispatch {
+    /// Spawn a dispatcher thread draining the queue continuously.
+    Background,
+    /// No thread; the owner calls drain() (deterministic replay).
+    Inline,
+  };
+
+  InferenceServer(const ModelRegistry& registry, SchedulerConfig config,
+                  Dispatch dispatch = Dispatch::Background);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  const SchedulerConfig& config() const { return config_; }
+
+  /// Submits one request; the ticket resolves when the request
+  /// completes, is rejected (immediately, on a full queue), or expires.
+  /// `deadline_us` overrides the config default (< 0 = no deadline).
+  ResponseTicket submit(const std::string& model_spec,
+                        std::vector<real> features,
+                        std::int64_t deadline_us = 0);
+
+  /// Replay-path submission with a caller-chosen request id (the id keys
+  /// the model's shot RNG stream, so replays must reuse recorded ids).
+  ResponseTicket submit_with_id(std::uint64_t id,
+                                const std::string& model_spec,
+                                std::vector<real> features,
+                                std::int64_t deadline_us = 0);
+
+  /// Inline dispatch: executes queued requests until the ring is empty.
+  /// Batch boundaries are deterministic (chunks of `max_batch` in
+  /// submission order). Must not be called in Background mode.
+  void drain();
+
+  /// Stops the dispatcher after the ring empties and joins it
+  /// (idempotent; Background mode only — destructor calls it too).
+  void stop();
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t batches = 0;
+  };
+  Stats stats() const;
+
+  /// Current ring occupancy (bounded by config().queue_depth's power-of-
+  /// two round-up; tests assert the memory bound through this).
+  std::size_t queue_size() const { return queue_.size(); }
+  std::size_t queue_capacity() const { return queue_.capacity(); }
+
+  /// The trace recorded so far (config.record_trace). Arrival offsets
+  /// are relative to server construction.
+  RequestTrace recorded_trace() const;
+
+ private:
+  ResponseTicket enqueue(std::uint64_t id, const std::string& model_spec,
+                         std::vector<real> features,
+                         std::int64_t deadline_us);
+  /// Pops and executes one micro-batch; returns false if the ring was
+  /// empty. `wait_for_stragglers` enables the max-wait policy
+  /// (Background mode only).
+  bool dispatch_round(bool wait_for_stragglers);
+  void execute_group(const std::shared_ptr<const ServableModel>& model,
+                     std::vector<detail::Pending*> group);
+  /// Publishes the response, wakes any waiter, and drops the server's
+  /// reference (`pending` must not be touched afterwards).
+  void finish(detail::Pending* pending, Response response);
+  void run_loop();
+
+  const ModelRegistry& registry_;
+  SchedulerConfig config_;
+  Dispatch dispatch_;
+  BoundedMpscQueue<detail::Pending*> queue_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> submitted_{0}, completed_{0}, rejected_{0},
+      expired_{0}, batches_{0};
+  std::int64_t start_ns_ = 0;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  /// True only while the dispatcher is parked on wake_cv_. Producers
+  /// skip the notify (a futex syscall on the submit hot path) whenever
+  /// the dispatcher is awake; the dispatcher re-checks the ring under
+  /// the lock before sleeping, and its bounded wait makes even a lost
+  /// race cost at most one wait period.
+  std::atomic<bool> dispatcher_idle_{false};
+
+  mutable std::mutex trace_mu_;
+  std::unique_ptr<RequestTrace> trace_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace qnat::serve

@@ -97,6 +97,81 @@ TEST_F(MetricsTest, HistogramBucketMapping) {
   }
 }
 
+TEST_F(MetricsTest, HistogramQuantileWalksBucketsExactly) {
+  // Synthetic bucket vector with known mass: 10 observations in bucket 1
+  // ([1e-9, 2e-9)) and 10 in bucket 4 ([8e-9, 16e-9)).
+  std::vector<std::uint64_t> buckets(metrics::kHistogramBuckets, 0);
+  buckets[1] = 10;
+  buckets[4] = 10;
+
+  // rank(0.5) = 10 -> last observation of bucket 1, interpolated at
+  // (10 - 0.5)/10 = 0.95 of [1e-9, 2e-9).
+  EXPECT_DOUBLE_EQ(metrics::histogram_quantile(buckets, 0.5), 1.95e-9);
+  // rank(0.55) = 11 -> first observation of bucket 4, at 0.05 of
+  // [8e-9, 16e-9).
+  EXPECT_DOUBLE_EQ(metrics::histogram_quantile(buckets, 0.55), 8.4e-9);
+  // q = 1 -> the top of the occupied range, clamped inside bucket 4.
+  EXPECT_DOUBLE_EQ(metrics::histogram_quantile(buckets, 1.0), 15.6e-9);
+
+  EXPECT_EQ(metrics::histogram_quantile(
+                std::vector<std::uint64_t>(metrics::kHistogramBuckets, 0),
+                0.5),
+            0.0);
+  EXPECT_THROW(metrics::histogram_quantile(buckets, 0.0), Error);
+  EXPECT_THROW(metrics::histogram_quantile(buckets, 1.5), Error);
+}
+
+TEST_F(MetricsTest, PercentilesBoundedByBucketResolution) {
+  // Real observations: every percentile estimate must land in the same
+  // factor-of-2 bucket as the true order statistic, and the triple must
+  // be monotone.
+  metrics::Histogram h = metrics::histogram("test.hist.pct");
+  for (int i = 1; i <= 100; ++i) h.observe(i * 1e-3);  // 1ms .. 100ms
+
+  const metrics::HistogramPercentiles p = metrics::percentiles(h.buckets());
+  EXPECT_LE(p.p50, p.p95);
+  EXPECT_LE(p.p95, p.p99);
+  // Bucket edges are 1e-9 * 2^k: the true p50 = 50ms lives in the
+  // [33.6ms, 67.1ms) bucket and p99 = 99ms in [67.1ms, 134.2ms).
+  EXPECT_GE(p.p50, 1e-9 * (1 << 25));
+  EXPECT_LT(p.p50, 1e-9 * (1 << 26));
+  EXPECT_GE(p.p99, 1e-9 * (1 << 26));
+  EXPECT_LT(p.p99, 1e-9 * (1 << 27));
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), p.p50);
+
+  // The snapshot-entry overload sees the same aggregated buckets.
+  const metrics::Snapshot snap = metrics::snapshot();
+  const auto* entry = snap.find_histogram("test.hist.pct");
+  ASSERT_NE(entry, nullptr);
+  const metrics::HistogramPercentiles from_snap = metrics::percentiles(*entry);
+  EXPECT_DOUBLE_EQ(from_snap.p50, p.p50);
+  EXPECT_DOUBLE_EQ(from_snap.p95, p.p95);
+  EXPECT_DOUBLE_EQ(from_snap.p99, p.p99);
+}
+
+TEST_F(MetricsTest, LatencyHistogramsArePerRunByContract) {
+  // The stability contract behind the serving metrics: wall-clock
+  // latency histograms must be PerRun (the default), so nothing about
+  // their buckets or percentiles ever reaches the deterministic
+  // fingerprint; a Deterministic histogram contributes only its
+  // observation *count*.
+  metrics::Histogram latency = metrics::histogram("test.hist.latency");
+  latency.observe(0.010);
+  latency.observe(0.020);
+  metrics::Histogram det = metrics::histogram(
+      "test.hist.det", metrics::Stability::Deterministic);
+  det.observe(0.5);
+
+  const metrics::Snapshot snap = metrics::snapshot();
+  EXPECT_FALSE(snap.find_histogram("test.hist.latency")->deterministic);
+  EXPECT_TRUE(snap.find_histogram("test.hist.det")->deterministic);
+
+  const std::string fingerprint = metrics::deterministic_fingerprint();
+  EXPECT_EQ(fingerprint.find("test.hist.latency"), std::string::npos)
+      << "PerRun latency histogram leaked into the fingerprint";
+  EXPECT_NE(fingerprint.find("test.hist.det"), std::string::npos);
+}
+
 TEST_F(MetricsTest, DisabledRecordingIsDropped) {
   metrics::Counter c = metrics::counter("test.counter.disabled");
   metrics::Gauge g = metrics::gauge("test.gauge.disabled");

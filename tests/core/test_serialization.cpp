@@ -75,6 +75,58 @@ TEST(Serialization, RejectsCorruptedInput) {
   EXPECT_THROW(deserialize_model(text), Error);
 }
 
+TEST(Serialization, EmitsVersionedMagicHeader) {
+  const std::string text = serialize_model(trained_like_model());
+  EXPECT_EQ(text.rfind("#qnat-checkpoint v2\n", 0), 0u);
+  // Closed by the sentinel so truncation is detectable.
+  EXPECT_NE(text.find("\nend\n"), std::string::npos);
+}
+
+TEST(Serialization, ReadsLegacyV1Checkpoints) {
+  // A v1 file as written by earlier builds: same keys, `qnatmodel 1`
+  // first line, no `end` sentinel.
+  const QnnModel model = trained_like_model();
+  std::string legacy = serialize_model(model);
+  legacy.replace(0, std::string("#qnat-checkpoint v2").size(), "qnatmodel 1");
+  legacy.erase(legacy.rfind("end\n"));
+  const QnnModel back = deserialize_model(legacy);
+  EXPECT_EQ(back.weights(), model.weights());
+  EXPECT_EQ(back.architecture().num_classes, 4);
+}
+
+TEST(Serialization, BadMagicErrorIsClear) {
+  try {
+    deserialize_model("pytorch-pickle blob\n");
+    FAIL() << "expected qnat::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("not a QuantumNAT checkpoint"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialization, FutureVersionErrorIsClear) {
+  try {
+    deserialize_model("#qnat-checkpoint v3\nqubits 4\n");
+    FAIL() << "expected qnat::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("newer"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialization, MissingEndSentinelIsTruncation) {
+  std::string text = serialize_model(trained_like_model());
+  text.erase(text.rfind("end\n"));
+  try {
+    deserialize_model(text);
+    FAIL() << "expected qnat::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("end"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Serialization, FileRoundTrip) {
   const QnnModel model = trained_like_model();
   const std::string path = "/tmp/qnat_test_model.txt";

@@ -1,0 +1,137 @@
+// Golden checkpoint round trip — the export_and_reload example promoted
+// to a gated test: train, save, reload, and require bit-identical
+// predictions; plus checked-in golden checkpoints (current v2 and legacy
+// v1) whose logits must keep matching exactly across refactors.
+//
+//   QNAT_UPDATE_GOLDEN=1 ./test_integration   # rewrites the goldens
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/evaluator.hpp"
+#include "core/serialization.hpp"
+#include "core/trainer.hpp"
+#include "data/tasks.hpp"
+
+#ifndef QNAT_GOLDEN_DIR
+#error "QNAT_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace qnat {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(QNAT_GOLDEN_DIR) + "/" + name;
+}
+
+bool update_mode() { return std::getenv("QNAT_UPDATE_GOLDEN") != nullptr; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+QnnModel deterministic_trained_model() {
+  const TaskBundle task = make_task("fashion2", /*samples_per_class=*/20, 13);
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 2;
+  arch.input_features = 16;
+  arch.num_classes = 2;
+  QnnModel model(arch);
+  TrainerConfig config;
+  config.epochs = 2;
+  config.batch_size = 16;
+  config.seed = 55;
+  train_qnn(model, task.train, config);
+  return model;
+}
+
+std::string logits_text(const QnnModel& model) {
+  const TaskBundle task = make_task("fashion2", /*samples_per_class=*/20, 13);
+  QnnForwardOptions pipeline;
+  const Tensor2D logits = qnn_forward_ideal(model, task.test.features,
+                                            pipeline);
+  std::ostringstream os;
+  os.precision(17);
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      os << (c ? " " : "") << logits(r, c);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+TEST(CheckpointRoundTrip, TrainSaveReloadPreservesPredictions) {
+  const QnnModel model = deterministic_trained_model();
+  const std::string path = "/tmp/qnat_checkpoint_roundtrip.txt";
+  save_model(model, path);
+  const QnnModel reloaded = load_model(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(reloaded.weights(), model.weights());
+  EXPECT_EQ(logits_text(reloaded), logits_text(model));
+
+  const TaskBundle task = make_task("fashion2", 20, 13);
+  QnnForwardOptions pipeline;
+  EXPECT_EQ(ideal_accuracy(model, task.test, pipeline),
+            ideal_accuracy(reloaded, task.test, pipeline));
+}
+
+TEST(CheckpointRoundTrip, GoldenV2CheckpointReproducesGoldenLogits) {
+  // The checked-in artifact pair: a v2 checkpoint of the deterministic
+  // trained model, and the exact logits it must produce. Any change to
+  // serialization, the forward pass, or the trainer that breaks either
+  // shows up as a diff here, not in production reloads.
+  const std::string checkpoint_path = golden_path("checkpoint_v2.txt");
+  const std::string logits_path = golden_path("checkpoint_v2_logits.txt");
+
+  if (update_mode()) {
+    const QnnModel model = deterministic_trained_model();
+    save_model(model, checkpoint_path);
+    std::ofstream out(logits_path);
+    out << logits_text(model);
+    GTEST_SKIP() << "golden checkpoint regenerated";
+  }
+
+  const std::string checkpoint_text = read_file(checkpoint_path);
+  ASSERT_FALSE(checkpoint_text.empty())
+      << checkpoint_path << " missing (run with QNAT_UPDATE_GOLDEN=1)";
+  EXPECT_EQ(checkpoint_text.rfind("#qnat-checkpoint v2\n", 0), 0u);
+
+  const QnnModel reloaded = deserialize_model(checkpoint_text);
+  const std::string expected = read_file(logits_path);
+  ASSERT_FALSE(expected.empty()) << logits_path << " missing";
+  EXPECT_EQ(logits_text(reloaded), expected)
+      << "reloaded golden checkpoint no longer reproduces its logits";
+}
+
+TEST(CheckpointRoundTrip, LegacyV1CheckpointStillLoads) {
+  // Forward compatibility promise: v1 files written by earlier builds
+  // keep loading. The golden v1 artifact is derived from the v2 one
+  // (same keys, old header, no sentinel) so the pair can never drift.
+  const std::string checkpoint_text =
+      read_file(golden_path("checkpoint_v2.txt"));
+  if (checkpoint_text.empty()) {
+    GTEST_SKIP() << "golden v2 checkpoint absent";
+  }
+  std::string legacy = checkpoint_text;
+  legacy.replace(0, std::string("#qnat-checkpoint v2").size(), "qnatmodel 1");
+  legacy.erase(legacy.rfind("end\n"));
+
+  const QnnModel from_legacy = deserialize_model(legacy);
+  const QnnModel from_v2 = deserialize_model(checkpoint_text);
+  EXPECT_EQ(from_legacy.weights(), from_v2.weights());
+  EXPECT_EQ(logits_text(from_legacy), logits_text(from_v2));
+}
+
+}  // namespace
+}  // namespace qnat

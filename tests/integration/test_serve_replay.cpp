@@ -1,0 +1,204 @@
+// Deterministic serving replay, end to end: a recorded trace + registry
+// seed reproduces byte-identical outputs (same output_fingerprint AND
+// same metrics deterministic_fingerprint) across worker-pool widths —
+// the same discipline metrics_invariants_test applies to training — and
+// across micro-batch sizes, analytic and finite-shot alike.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "qsim/program.hpp"
+#include "serve/replay.hpp"
+
+namespace qnat::serve {
+namespace {
+
+class ServeReplayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::reset();
+    metrics::set_enabled(true);
+
+    QnnArchitecture arch;
+    arch.num_qubits = 4;
+    arch.num_blocks = 2;
+    arch.layers_per_block = 1;
+    arch.input_features = 16;
+    arch.num_classes = 4;
+    QnnModel model(arch);
+    Rng rng(33);
+    model.init_weights(rng);
+
+    Tensor2D profile(16, 16);
+    Rng profile_rng(4);
+    for (auto& v : profile.data()) v = profile_rng.gaussian(0.0, 1.0);
+
+    registry_.add("mnist4", model, {}, &profile);
+    ServingOptions shots;
+    shots.shots = 64;
+    shots.seed = 909;
+    registry_.add("mnist4-shots", model, shots, &profile);
+  }
+  void TearDown() override {
+    metrics::set_enabled(false);
+    metrics::reset();
+    set_num_threads(0);
+  }
+
+  RequestTrace make_trace(const std::string& model_spec,
+                          std::size_t requests) const {
+    RequestTrace trace;
+    for (std::size_t r = 0; r < requests; ++r) {
+      TraceRecord record;
+      record.id = 1000 + r;
+      record.arrival_us = r * 100;
+      record.model = model_spec;
+      record.features.resize(16);
+      Rng rng(5000 + r);
+      for (auto& v : record.features) v = rng.gaussian(0.0, 1.0);
+      trace.records.push_back(std::move(record));
+    }
+    return trace;
+  }
+
+  ModelRegistry registry_;
+};
+
+TEST_F(ServeReplayTest, TraceSerializationRoundTrips) {
+  const RequestTrace trace = make_trace("mnist4", 5);
+  const RequestTrace back = RequestTrace::deserialize(trace.serialize());
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t r = 0; r < trace.size(); ++r) {
+    EXPECT_EQ(back.records[r].id, trace.records[r].id);
+    EXPECT_EQ(back.records[r].arrival_us, trace.records[r].arrival_us);
+    EXPECT_EQ(back.records[r].model, trace.records[r].model);
+    EXPECT_EQ(back.records[r].features, trace.records[r].features);
+  }
+
+  EXPECT_THROW(RequestTrace::deserialize("not a trace\n"), Error);
+  EXPECT_THROW(RequestTrace::deserialize("#qnat-trace v9\nrequests 0\nend\n"),
+               Error);
+  std::string truncated = trace.serialize();
+  truncated.erase(truncated.rfind("end\n"));
+  EXPECT_THROW(RequestTrace::deserialize(truncated), Error);
+}
+
+TEST_F(ServeReplayTest, ReplayIsThreadCountInvariant) {
+  // Same trace, same registry seed, 1 vs 4 worker threads: both the
+  // output fingerprint (every id/status/logit at full precision) and the
+  // deterministic metrics fingerprint must be byte-equal. Request-id-
+  // keyed shot streams make even the sampling path batching-safe.
+  const RequestTrace trace = make_trace("mnist4-shots", 12);
+  SchedulerConfig config;
+  config.max_batch = 5;
+
+  auto run = [&](int threads) {
+    set_num_threads(threads);
+    clear_program_cache();
+    metrics::reset();
+    const ReplayResult result = replay_trace(registry_, config, trace);
+    return std::pair<std::string, std::string>(
+        result.output_fingerprint(), metrics::deterministic_fingerprint());
+  };
+
+  const auto [outputs1, metrics1] = run(1);
+  const auto [outputs4, metrics4] = run(4);
+  EXPECT_FALSE(outputs1.empty());
+  EXPECT_EQ(outputs1, outputs4) << "serving outputs drifted with threads";
+  EXPECT_EQ(metrics1, metrics4)
+      << "deterministic metrics drifted with threads";
+  // Every replayed request succeeded.
+  for (const Response& response : replay_trace(registry_, config, trace)
+                                      .responses) {
+    EXPECT_EQ(response.status, RequestStatus::Ok);
+  }
+}
+
+TEST_F(ServeReplayTest, OutputsInvariantAcrossBatchSizes) {
+  // max_batch shapes scheduling, never answers: 1, 3 and 32 must give
+  // byte-equal output fingerprints (per-request purity), analytic and
+  // finite-shot alike.
+  for (const char* spec : {"mnist4", "mnist4-shots"}) {
+    const RequestTrace trace = make_trace(spec, 10);
+    std::string reference;
+    for (const int max_batch : {1, 3, 32}) {
+      SchedulerConfig config;
+      config.max_batch = max_batch;
+      const std::string fingerprint =
+          replay_trace(registry_, config, trace).output_fingerprint();
+      if (reference.empty()) {
+        reference = fingerprint;
+      } else {
+        EXPECT_EQ(fingerprint, reference)
+            << spec << " outputs depend on max_batch=" << max_batch;
+      }
+    }
+  }
+}
+
+TEST_F(ServeReplayTest, ReplayMatchesLiveBackgroundServer) {
+  // Record a trace against a live Background server (wall-clock
+  // batching, arbitrary coalescing), then replay it inline: every
+  // request's logits must match bit-exactly — the recorded trace plus
+  // the registry seed fully determine the outputs.
+  SchedulerConfig live_config;
+  live_config.max_batch = 4;
+  live_config.record_trace = true;
+  std::vector<Response> live;
+  RequestTrace trace;
+  {
+    InferenceServer server(registry_, live_config,
+                           InferenceServer::Dispatch::Background);
+    std::vector<ResponseTicket> futures;
+    const RequestTrace wanted = make_trace("mnist4-shots", 8);
+    for (const TraceRecord& record : wanted.records) {
+      futures.push_back(
+          server.submit_with_id(record.id, record.model, record.features));
+    }
+    for (auto& f : futures) live.push_back(f.get());
+    trace = server.recorded_trace();
+    server.stop();
+  }
+  ASSERT_EQ(trace.size(), 8u);
+
+  SchedulerConfig replay_config;
+  replay_config.max_batch = 32;  // different batching than live
+  const ReplayResult replayed = replay_trace(registry_, replay_config, trace);
+  ASSERT_EQ(replayed.responses.size(), live.size());
+  for (std::size_t r = 0; r < live.size(); ++r) {
+    ASSERT_EQ(live[r].status, RequestStatus::Ok);
+    // replayed.responses is sorted by id; live ids were submitted in
+    // trace order from one thread, so indices line up.
+    EXPECT_EQ(replayed.responses[r].id, live[r].id);
+    EXPECT_EQ(replayed.responses[r].logits, live[r].logits)
+        << "request " << live[r].id << " not reproduced";
+  }
+}
+
+TEST_F(ServeReplayTest, ReplayDrainsInlineWhenQueueFills) {
+  // More requests than the ring holds: replay drains inline instead of
+  // rejecting, so every request completes and the result stays
+  // deterministic.
+  const RequestTrace trace = make_trace("mnist4", 20);
+  SchedulerConfig config;
+  config.max_batch = 4;
+  config.queue_depth = 4;
+  const ReplayResult result = replay_trace(registry_, config, trace);
+  ASSERT_EQ(result.responses.size(), 20u);
+  for (const Response& response : result.responses) {
+    EXPECT_EQ(response.status, RequestStatus::Ok);
+  }
+  SchedulerConfig wide;
+  wide.max_batch = 4;
+  const ReplayResult unconstrained = replay_trace(registry_, wide, trace);
+  EXPECT_EQ(result.output_fingerprint(),
+            unconstrained.output_fingerprint());
+}
+
+}  // namespace
+}  // namespace qnat::serve

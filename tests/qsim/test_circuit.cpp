@@ -81,5 +81,48 @@ TEST(Circuit, RequiresPositiveQubits) {
   EXPECT_THROW(Circuit(0), Error);
 }
 
+TEST(Circuit, BindParamsFoldsPinnedSlotsExactly) {
+  Circuit c(2, 4);
+  c.rx(0, 0);  // slot 0: stays free
+  c.ry(1, 2);  // slot 2: pinned
+  c.append(Gate(GateType::RZ, {0}, {ParamExpr::affine(3, 0.5, 0.25)}));
+  ParamExpr mixed;  // 1.0*p1 + 2.0*p2 + 0.5 — keeps p1, folds p2
+  mixed.terms.push_back({1, 1.0});
+  mixed.terms.push_back({2, 2.0});
+  mixed.offset = 0.5;
+  c.append(Gate(GateType::P, {1}, {mixed}));
+
+  const Circuit bound = bind_params(c, 2, {0.3, -0.8});
+  EXPECT_EQ(bound.num_params(), c.num_params());
+  ASSERT_EQ(bound.size(), c.size());
+  EXPECT_FALSE(bound.gate(0).params[0].is_constant());
+  EXPECT_TRUE(bound.gate(1).params[0].is_constant());
+  EXPECT_DOUBLE_EQ(bound.gate(1).params[0].offset, 0.3);
+  EXPECT_TRUE(bound.gate(2).params[0].is_constant());
+  EXPECT_DOUBLE_EQ(bound.gate(2).params[0].offset, 0.5 * -0.8 + 0.25);
+  ASSERT_EQ(bound.gate(3).params[0].terms.size(), 1u);
+  EXPECT_EQ(bound.gate(3).params[0].terms[0].id, 1);
+  EXPECT_DOUBLE_EQ(bound.gate(3).params[0].offset, 0.5 + 2.0 * 0.3);
+  EXPECT_EQ(bound.num_parameterized_gates(), 2);
+
+  // With the full parameter vector (pinned entries matching the bound
+  // constants), every angle evaluates identically.
+  const ParamVector params{0.7, -0.2, 0.3, -0.8};
+  for (std::size_t g = 0; g < c.size(); ++g) {
+    for (std::size_t p = 0; p < c.gate(g).params.size(); ++p) {
+      EXPECT_DOUBLE_EQ(bound.gate(g).params[p].eval(params),
+                       c.gate(g).params[p].eval(params));
+    }
+  }
+}
+
+TEST(Circuit, BindParamsRejectsOutOfRangeSlots) {
+  Circuit c(2, 2);
+  c.rx(0, 0);
+  EXPECT_THROW(bind_params(c, 1, {0.0, 0.0}), Error);
+  EXPECT_THROW(bind_params(c, -1, {0.0}), Error);
+  EXPECT_NO_THROW(bind_params(c, 0, {0.1, 0.2}));
+}
+
 }  // namespace
 }  // namespace qnat

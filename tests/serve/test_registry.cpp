@@ -1,0 +1,285 @@
+// ModelRegistry / ServableModel: versioning and spec resolution, pinned
+// compiled programs, checkpoint loading, and the serving purity
+// contract — a request's output never depends on which batch-mates the
+// scheduler happened to coalesce it with (profiled normalization +
+// request-id-keyed shot streams).
+#include "serve/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/serialization.hpp"
+
+namespace qnat::serve {
+namespace {
+
+QnnArchitecture small_arch() {
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 1;
+  arch.input_features = 16;
+  arch.num_classes = 4;
+  return arch;
+}
+
+QnnModel seeded_model(std::uint64_t seed) {
+  QnnModel model(small_arch());
+  Rng rng(seed);
+  model.init_weights(rng);
+  return model;
+}
+
+Tensor2D random_inputs(std::size_t rows, std::size_t cols,
+                       std::uint64_t seed) {
+  Tensor2D t(rows, cols);
+  Rng rng(seed);
+  for (auto& v : t.data()) v = rng.gaussian(0.0, 1.0);
+  return t;
+}
+
+std::vector<std::uint64_t> iota_ids(std::uint64_t first, std::size_t n) {
+  std::vector<std::uint64_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = first + i;
+  return ids;
+}
+
+TEST(ModelRegistry, AddAssignsMonotonicVersionsPerName) {
+  ModelRegistry registry;
+  const Tensor2D profile = random_inputs(8, 16, 1);
+  const auto a1 = registry.add("mnist4", seeded_model(1), {}, &profile);
+  const auto a2 = registry.add("mnist4", seeded_model(2), {}, &profile);
+  const auto b1 = registry.add("other", seeded_model(3), {}, &profile);
+  EXPECT_EQ(a1->spec(), "mnist4@1");
+  EXPECT_EQ(a2->spec(), "mnist4@2");
+  EXPECT_EQ(b1->spec(), "other@1");
+  EXPECT_EQ(registry.list(),
+            (std::vector<std::string>{"mnist4@1", "mnist4@2", "other@1"}));
+}
+
+TEST(ModelRegistry, FindResolvesLatestAndExactSpecs) {
+  ModelRegistry registry;
+  const Tensor2D profile = random_inputs(8, 16, 1);
+  registry.add("m", seeded_model(1), {}, &profile);
+  registry.add("m", seeded_model(2), {}, &profile);
+
+  ASSERT_NE(registry.find("m"), nullptr);
+  EXPECT_EQ(registry.find("m")->version(), 2);  // bare name = latest
+  ASSERT_NE(registry.find("m@1"), nullptr);
+  EXPECT_EQ(registry.find("m@1")->version(), 1);
+  EXPECT_EQ(registry.find("m@3"), nullptr);
+  EXPECT_EQ(registry.find("absent"), nullptr);
+  EXPECT_EQ(registry.find("m@zero"), nullptr);
+  EXPECT_EQ(registry.find("m@0"), nullptr);
+}
+
+TEST(ModelRegistry, RemoveDropsVersionsButInFlightHoldersSurvive) {
+  ModelRegistry registry;
+  const Tensor2D profile = random_inputs(8, 16, 1);
+  registry.add("m", seeded_model(1), {}, &profile);
+  const auto held = registry.add("m", seeded_model(2), {}, &profile);
+
+  EXPECT_EQ(registry.remove("m", 1), 1u);
+  EXPECT_EQ(registry.find("m@1"), nullptr);
+  EXPECT_EQ(registry.remove("m"), 1u);  // version 0 = everything
+  EXPECT_EQ(registry.find("m"), nullptr);
+
+  // The shared_ptr held by an in-flight request still works.
+  const Tensor2D inputs = random_inputs(3, 16, 7);
+  const Tensor2D out = held->run_batch(inputs, iota_ids(1, 3));
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 4u);
+}
+
+TEST(ModelRegistry, RejectsInvalidNamesAndMissingProfile) {
+  ModelRegistry registry;
+  const Tensor2D profile = random_inputs(8, 16, 1);
+  EXPECT_THROW(registry.add("", seeded_model(1), {}, &profile), Error);
+  EXPECT_THROW(registry.add("a@b", seeded_model(1), {}, &profile), Error);
+  EXPECT_THROW(registry.add("a b", seeded_model(1), {}, &profile), Error);
+  // Normalization without a profiling batch cannot pin statistics.
+  EXPECT_THROW(registry.add("m", seeded_model(1), {}, nullptr), Error);
+  const Tensor2D one_row = random_inputs(1, 16, 1);
+  EXPECT_THROW(registry.add("m", seeded_model(1), {}, &one_row), Error);
+  // With normalization off no profile is needed.
+  ServingOptions raw;
+  raw.normalize = false;
+  EXPECT_NE(registry.add("m", seeded_model(1), raw, nullptr), nullptr);
+}
+
+TEST(ServableModel, PinsOneCompiledProgramPerBlock) {
+  ModelRegistry registry;
+  const Tensor2D profile = random_inputs(8, 16, 1);
+  const auto model = registry.add("m", seeded_model(4), {}, &profile);
+  ASSERT_NE(model, nullptr);
+  for (std::size_t b = 0; b < 2; ++b) {
+    const auto& program = model->block_program(b);
+    ASSERT_NE(program, nullptr) << "block " << b;
+    EXPECT_GT(program->ops().size(), 0u);
+  }
+  // Profiled statistics cover every processed block.
+  EXPECT_FALSE(model->profiled_mean().empty());
+  EXPECT_EQ(model->profiled_mean().size(), model->profiled_std().size());
+}
+
+TEST(ServableModel, WeightBindingMatchesUnboundOutputs) {
+  ModelRegistry registry;
+  const Tensor2D profile = random_inputs(8, 16, 11);
+  ServingOptions unbound_opts;
+  unbound_opts.bind_weights = false;
+  const auto bound =
+      registry.add("bound", seeded_model(5), {}, &profile);  // default: on
+  const auto unbound =
+      registry.add("unbound", seeded_model(5), unbound_opts, &profile);
+
+  // The bound programs carry fewer parameterized ops: every weight-only
+  // gate baked its matrix at load time.
+  for (std::size_t b = 0; b < 2; ++b) {
+    const auto parametric = [](const auto& program) {
+      std::size_t n = 0;
+      for (const auto& op : program->ops()) n += op.parameterized ? 1 : 0;
+      return n;
+    };
+    EXPECT_LT(parametric(bound->block_program(b)),
+              parametric(unbound->block_program(b)))
+        << "block " << b;
+  }
+
+  // Numerically the fold is exact; only constant-run fusion reorders
+  // floating-point work, so outputs agree to tight tolerance.
+  const Tensor2D inputs = random_inputs(4, 16, 13);
+  const Tensor2D a = bound->run_batch(inputs, iota_ids(1, 4));
+  const Tensor2D b = unbound->run_batch(inputs, iota_ids(1, 4));
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_NEAR(a(r, c), b(r, c), 1e-9) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(ServableModel, WeightBindingMatchesUnboundUnderNoisePreset) {
+  ModelRegistry registry;
+  const Tensor2D profile = random_inputs(8, 16, 11);
+  ServingOptions bound_opts;
+  bound_opts.noise_preset = "santiago";
+  ServingOptions unbound_opts = bound_opts;
+  unbound_opts.bind_weights = false;
+  const auto bound = registry.add("b", seeded_model(6), bound_opts, &profile);
+  const auto unbound =
+      registry.add("u", seeded_model(6), unbound_opts, &profile);
+
+  const Tensor2D inputs = random_inputs(3, 16, 17);
+  const Tensor2D a = bound->run_batch(inputs, iota_ids(1, 3));
+  const Tensor2D b = unbound->run_batch(inputs, iota_ids(1, 3));
+  ASSERT_EQ(a.rows(), b.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_NEAR(a(r, c), b(r, c), 1e-9) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(ServableModel, LoadFileRoundTripsThroughCheckpoints) {
+  const QnnModel model = seeded_model(9);
+  const std::string path = "/tmp/qnat_serve_registry_ckpt.txt";
+  save_model(model, path);
+  ModelRegistry registry;
+  const Tensor2D profile = random_inputs(8, 16, 1);
+  const auto served = registry.load_file("ckpt", path, {}, &profile);
+  std::remove(path.c_str());
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served->model().weights(), model.weights());
+  EXPECT_EQ(served->num_features(), 16);
+  EXPECT_EQ(served->num_classes(), 4);
+}
+
+TEST(ServableModel, OutputsIndependentOfBatchComposition) {
+  // The core serving purity contract: row r of a coalesced batch equals
+  // the same request served alone (and in any other grouping), because
+  // normalization uses load-time profiled statistics, never batch stats.
+  ModelRegistry registry;
+  const Tensor2D profile = random_inputs(16, 16, 2);
+  const auto model = registry.add("m", seeded_model(11), {}, &profile);
+
+  const Tensor2D inputs = random_inputs(6, 16, 33);
+  const auto ids = iota_ids(100, 6);
+  const Tensor2D batched = model->run_batch(inputs, ids);
+
+  for (std::size_t r = 0; r < inputs.rows(); ++r) {
+    Tensor2D single(1, inputs.cols());
+    single.set_row(0, inputs.row(r));
+    const Tensor2D alone = model->run_batch(single, {ids[r]});
+    for (std::size_t c = 0; c < batched.cols(); ++c) {
+      EXPECT_EQ(alone(0, c), batched(r, c))
+          << "row " << r << " differs when served alone";
+    }
+  }
+}
+
+TEST(ServableModel, ShotStreamsKeyedByRequestIdNotBatchPosition) {
+  // Finite-shot serving stays batching-invariant: the same (request id,
+  // features) pair yields bit-identical outputs at any batch position,
+  // while different ids genuinely resample.
+  ModelRegistry registry;
+  const Tensor2D profile = random_inputs(16, 16, 2);
+  ServingOptions options;
+  options.shots = 128;
+  options.seed = 77;
+  const auto model = registry.add("m", seeded_model(11), options, &profile);
+
+  const Tensor2D inputs = random_inputs(4, 16, 5);
+  const auto ids = iota_ids(1, 4);
+  const Tensor2D forward = model->run_batch(inputs, ids);
+
+  // Reversed batch order, same ids: rows must match exactly.
+  Tensor2D reversed(4, 16);
+  std::vector<std::uint64_t> reversed_ids(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    reversed.set_row(r, inputs.row(3 - r));
+    reversed_ids[r] = ids[3 - r];
+  }
+  const Tensor2D backward = model->run_batch(reversed, reversed_ids);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < forward.cols(); ++c) {
+      EXPECT_EQ(forward(r, c), backward(3 - r, c));
+    }
+  }
+
+  // A different request id draws a different shot stream.
+  Tensor2D single(1, 16);
+  single.set_row(0, inputs.row(0));
+  const Tensor2D same_id = model->run_batch(single, {ids[0]});
+  const Tensor2D other_id = model->run_batch(single, {ids[0] + 1000});
+  bool any_diff = false;
+  for (std::size_t c = 0; c < same_id.cols(); ++c) {
+    EXPECT_EQ(same_id(0, c), forward(0, c));
+    any_diff = any_diff || same_id(0, c) != other_id(0, c);
+  }
+  EXPECT_TRUE(any_diff) << "distinct ids should resample shots";
+}
+
+TEST(ServableModel, NoisePresetBindsTranspiledPrograms) {
+  ModelRegistry registry;
+  const Tensor2D profile = random_inputs(8, 16, 2);
+  ServingOptions noisy;
+  noisy.noise_preset = "lima";
+  const auto ideal = registry.add("ideal", seeded_model(6), {}, &profile);
+  const auto device = registry.add("lima", seeded_model(6), noisy, &profile);
+
+  const Tensor2D inputs = random_inputs(3, 16, 9);
+  const Tensor2D a = ideal->run_batch(inputs, iota_ids(1, 3));
+  const Tensor2D b = device->run_batch(inputs, iota_ids(1, 3));
+  ASSERT_EQ(a.rows(), b.rows());
+  // The readout-confusion affine map must actually change the outputs.
+  EXPECT_NE(a.data(), b.data());
+}
+
+}  // namespace
+}  // namespace qnat::serve
