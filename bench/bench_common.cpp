@@ -8,6 +8,7 @@
 #include "common/metrics.hpp"
 #include "common/simd.hpp"
 #include "common/thread_pool.hpp"
+#include "qsim/backend/backend.hpp"
 #include "qsim/program.hpp"
 
 namespace qnat::bench {
@@ -36,6 +37,7 @@ metrics::RunManifest current_manifest(const std::string& label) {
   manifest.threads = num_threads();
   manifest.fused = default_fusion();
   manifest.simd = simd::enabled();
+  manifest.backend = std::string(backend::active().name());
   return manifest;
 }
 
@@ -67,8 +69,12 @@ const std::vector<Knob>& shared_knobs() {
   static const std::vector<Knob> knobs = {
       {"--threads", "N", "QNAT_THREADS",
        "worker-pool width (results are bit-identical at any count)"},
+      {"--backend", "NAME", "QNAT_BACKEND",
+       "execution backend (see backend::available_backends; e.g. scalar, "
+       "avx2)"},
       {"--simd", "on|off", "QNAT_SIMD",
-       "AVX2+FMA statevector kernels ('on' is a no-op without the ISA)"},
+       "deprecated alias for --backend: 'off' selects scalar, 'on' the "
+       "best vectorized backend (no-op without the ISA)"},
       {"--metrics-out", "FILE", "QNAT_METRICS_OUT",
        "write a metrics snapshot JSON (enables metrics recording)"},
       {"--trace-out", "FILE", "QNAT_TRACE_OUT",
@@ -110,11 +116,26 @@ int configure_run(const std::string& label, int argc, char** argv,
     }
   }
   const int threads = configure_threads(argc, argv);
-  // --simd on|off overrides the QNAT_SIMD / cpuid default; "on" is still
-  // a no-op on hardware without AVX2+FMA.
+  // Backend selection. --simd on|off is the deprecated alias (kept for
+  // scripts): it resolves through the same registry, then --backend NAME
+  // overrides it. An unknown or unavailable name is a configuration
+  // error, not a silent fallback.
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--simd") == 0) {
       simd::set_enabled(std::strcmp(argv[i + 1], "off") != 0);
+    }
+  }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--backend") == 0) {
+      if (!backend::set_active(argv[i + 1])) {
+        std::cerr << label << ": unknown or unavailable backend '"
+                  << argv[i + 1] << "'; available:";
+        for (const std::string& name : backend::available_backends()) {
+          std::cerr << ' ' << name;
+        }
+        std::cerr << "\n";
+        std::exit(2);
+      }
     }
   }
   g_run_label = label;

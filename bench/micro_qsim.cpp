@@ -7,7 +7,6 @@
 
 #include "bench_common.hpp"
 #include "common/metrics.hpp"
-#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "compile/transpiler.hpp"
 #include "core/evaluator.hpp"
@@ -17,6 +16,7 @@
 #include "grad/parameter_shift.hpp"
 #include "noise/device_presets.hpp"
 #include "noise/error_inserter.hpp"
+#include "qsim/backend/backend.hpp"
 #include "qsim/execution.hpp"
 #include "qsim/program.hpp"
 
@@ -174,44 +174,48 @@ void BM_DeepCircuitFused(benchmark::State& state) {
 }
 BENCHMARK(BM_DeepCircuitFused)->Arg(10);
 
-// --- SIMD backend: the same fused deep circuit, scalar vs AVX2 ---
+// --- execution backends: the same fused deep circuit per backend ---
 // Single-thread apples-to-apples pair for BENCH_simd.json; the
-// acceptance bar is >= 2x (SIMD over scalar) on AVX2 hardware. The
-// label records which backend actually ran, so CI can skip the ratio
-// assert on machines where the SIMD leg silently fell back to scalar.
+// acceptance bar is >= 2x (vectorized over scalar) on AVX2 hardware.
+// The label records which backend actually ran, so CI can skip the
+// ratio assert on machines where the vectorized leg fell back to
+// scalar because no vectorized backend is available.
 
-void BM_DeepCircuitFusedScalar(benchmark::State& state) {
+/// Name of the best vectorized backend runnable here, or "scalar".
+std::string best_vectorized_backend() {
+  using qnat::backend::BackendRegistry;
+  for (const std::string& name : qnat::backend::available_backends()) {
+    const auto* b = BackendRegistry::instance().find(name);
+    if (b != nullptr && b->caps().vectorized) return name;
+  }
+  return "scalar";
+}
+
+void run_fused_deep_circuit_on(benchmark::State& state,
+                               const std::string& backend_name) {
   const Circuit c = deep_device_circuit(static_cast<int>(state.range(0)), 50);
   const CompiledProgram program = compile_program(c);
-  const bool prev = simd::enabled();
-  simd::set_enabled(false);
+  const std::string prev(qnat::backend::active().name());
+  qnat::backend::set_active(backend_name);
+  const std::string ran(qnat::backend::active().name());
   for (auto _ : state) {
     StateVector sv(c.num_qubits());
     program.run(sv, {});
     benchmark::DoNotOptimize(sv.amplitude(0));
   }
-  simd::set_enabled(prev);
-  state.SetLabel("scalar");
+  qnat::backend::set_active(prev);
+  state.SetLabel(ran);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<long>(c.size()));
+}
+
+void BM_DeepCircuitFusedScalar(benchmark::State& state) {
+  run_fused_deep_circuit_on(state, "scalar");
 }
 BENCHMARK(BM_DeepCircuitFusedScalar)->Arg(10);
 
 void BM_DeepCircuitFusedSimd(benchmark::State& state) {
-  const Circuit c = deep_device_circuit(static_cast<int>(state.range(0)), 50);
-  const CompiledProgram program = compile_program(c);
-  const bool prev = simd::enabled();
-  simd::set_enabled(true);
-  const bool ran_simd = simd::enabled();
-  for (auto _ : state) {
-    StateVector sv(c.num_qubits());
-    program.run(sv, {});
-    benchmark::DoNotOptimize(sv.amplitude(0));
-  }
-  simd::set_enabled(prev);
-  state.SetLabel(ran_simd ? "avx2" : "scalar");
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<long>(c.size()));
+  run_fused_deep_circuit_on(state, best_vectorized_backend());
 }
 BENCHMARK(BM_DeepCircuitFusedSimd)->Arg(10);
 
@@ -331,7 +335,7 @@ BENCHMARK(BM_ParameterShiftParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 }  // namespace
 
 // Custom main (instead of benchmark::benchmark_main): applies the shared
-// bench knobs (--threads N, --simd on|off, --metrics-out / --trace-out)
+// bench knobs (--threads N, --backend NAME, --metrics-out / --trace-out)
 // via configure_run and embeds the run manifest into the
 // google-benchmark JSON context as qnat_* keys, so BENCH_micro_qsim.json
 // and BENCH_simd.json carry the same provenance block as a metrics
@@ -347,6 +351,7 @@ int main(int argc, char** argv) {
                               std::to_string(manifest.threads));
   benchmark::AddCustomContext("qnat_fused", manifest.fused ? "true" : "false");
   benchmark::AddCustomContext("qnat_simd", manifest.simd ? "avx2" : "scalar");
+  benchmark::AddCustomContext("qnat_backend", manifest.backend);
   benchmark::AddCustomContext("qnat_git", qnat::metrics::build_version());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -20,11 +20,18 @@
 //      honestly. p50/p95/p99 come from the serve.latency_seconds
 //      histogram via metrics::percentiles.
 //
+// With --serve-artifact-dir DIR a warmup phase runs first: one cold
+// ModelRegistry::add (transpile+fuse+bind, writes the QNATSRV bundle)
+// against one warm add on a fresh registry that loads the bundle and
+// skips compilation; the speedup and the serve.artifact.* counters go
+// into the report's "warmup" section.
+//
 // Emits BENCH_serve.json (schema qnat.serve_bench.v1) with the run
-// manifest, both phases' numbers, and the rejection/deadline counters.
+// manifest, the phases' numbers, and the rejection/deadline counters.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -34,6 +41,7 @@
 
 #include "bench_common.hpp"
 #include "common/rng.hpp"
+#include "qsim/program.hpp"
 #include "serve/replay.hpp"
 #include "serve/scheduler.hpp"
 
@@ -50,6 +58,7 @@ struct ServeKnobs {
   double duration = 3.0;   // open-loop phase length, seconds
   int queue_depth = 4096;  // bounded ring depth
   std::string out = "BENCH_serve.json";
+  std::string artifact_dir;  // "" disables the warmup phase
 };
 
 const std::vector<bench::Knob>& serve_knobs_help() {
@@ -68,6 +77,8 @@ const std::vector<bench::Knob>& serve_knobs_help() {
        "bounded request-queue depth; overload beyond it is rejected"},
       {"--serve-out", "FILE", "QNAT_SERVE_OUT",
        "report path (default BENCH_serve.json)"},
+      {"--serve-artifact-dir", "DIR", "QNAT_SERVE_ARTIFACT_DIR",
+       "compiled-artifact cache dir; enables the cold vs warm warmup phase"},
   };
   return knobs;
 }
@@ -89,6 +100,9 @@ ServeKnobs parse_serve_knobs(int argc, char** argv) {
   knobs.queue_depth =
       static_cast<int>(env_double("QNAT_SERVE_QUEUE", knobs.queue_depth));
   if (const char* out = std::getenv("QNAT_SERVE_OUT")) knobs.out = out;
+  if (const char* dir = std::getenv("QNAT_SERVE_ARTIFACT_DIR")) {
+    knobs.artifact_dir = dir;
+  }
   for (int i = 1; i + 1 < argc; ++i) {
     const std::string flag = argv[i];
     const char* value = argv[i + 1];
@@ -99,6 +113,7 @@ ServeKnobs parse_serve_knobs(int argc, char** argv) {
     if (flag == "--serve-duration") knobs.duration = std::atof(value);
     if (flag == "--serve-queue") knobs.queue_depth = std::atoi(value);
     if (flag == "--serve-out") knobs.out = value;
+    if (flag == "--serve-artifact-dir") knobs.artifact_dir = value;
   }
   return knobs;
 }
@@ -249,6 +264,82 @@ LatencyReport latency_run(const ModelRegistry& registry,
   return report;
 }
 
+struct WarmupReport {
+  bool enabled = false;
+  double cold_ms = 0.0;  // transpile+fuse+bind+profile, artifact written
+  double warm_ms = 0.0;  // bundle loaded, compilation skipped
+  double speedup = 0.0;
+  std::uint64_t artifact_hits = 0;
+  std::uint64_t artifact_misses = 0;
+  std::uint64_t artifact_writes = 0;
+  std::uint64_t artifact_rejected = 0;
+};
+
+std::uint64_t counter_value(const metrics::Snapshot& snap,
+                            const std::string& name) {
+  const auto* entry = snap.find_counter(name);
+  return entry ? entry->value : 0;
+}
+
+/// Cold-start vs artifact-cache warm start. Both adds run on a fresh
+/// ModelRegistry with an empty process program cache, so the only
+/// difference is the QNATSRV bundle on disk: the first add compiles
+/// and writes it, the second loads it and skips transpile+fuse+bind.
+/// The dir is deliberately left as-is — when a previous run already
+/// wrote the bundle, the "cold" add hits too, and the recorded
+/// serve.artifact.* counters (misses/writes vs hits) say which case
+/// this run measured, so CI can assert cache persistence across
+/// processes.
+WarmupReport warmup_run(const QnnModel& model, const Tensor2D& profile,
+                        const ServeKnobs& knobs) {
+  WarmupReport report;
+  if (knobs.artifact_dir.empty()) return report;
+  report.enabled = true;
+
+  ServingOptions options;
+  options.artifact_dir = knobs.artifact_dir;
+  std::filesystem::create_directories(knobs.artifact_dir);
+
+  const bool metrics_were_on = metrics::enabled();
+  metrics::set_enabled(true);
+
+  const auto timed_add = [&] {
+    clear_program_cache();
+    ModelRegistry registry;
+    const auto start = std::chrono::steady_clock::now();
+    registry.add("mnist4", model, options, &profile);
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  metrics::reset();
+  report.cold_ms = timed_add();
+  {
+    const metrics::Snapshot snap = metrics::snapshot();
+    report.artifact_misses = counter_value(snap, "serve.artifact.misses");
+    report.artifact_writes = counter_value(snap, "serve.artifact.writes");
+  }
+
+  metrics::reset();
+  report.warm_ms = timed_add();
+  {
+    const metrics::Snapshot snap = metrics::snapshot();
+    report.artifact_hits = counter_value(snap, "serve.artifact.hits");
+    report.artifact_rejected = counter_value(snap, "serve.artifact.rejected");
+    if (report.artifact_hits == 0) {
+      std::cerr << "warning: warm add missed the artifact cache ("
+                << counter_value(snap, "serve.artifact.rejected")
+                << " rejected)\n";
+    }
+  }
+
+  metrics::reset();
+  metrics::set_enabled(metrics_were_on);
+  report.speedup = report.warm_ms > 0.0 ? report.cold_ms / report.warm_ms : 0.0;
+  return report;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   for (const char c : s) {
@@ -286,6 +377,18 @@ int main(int argc, char** argv) {
   Tensor2D profile(32, 16);
   Rng profile_rng(7);
   for (auto& v : profile.data()) v = profile_rng.gaussian(0.0, 1.0);
+
+  // Warmup phase first (when enabled): it clears the process program
+  // cache around each timed add, so it must not run after the main
+  // registry has warmed anything up.
+  const WarmupReport warmup = warmup_run(model, profile, knobs);
+  if (warmup.enabled) {
+    std::printf("warmup  cold: %8.1f ms   warm: %8.1f ms   (%.1fx, "
+                "%llu artifact hit%s)\n",
+                warmup.cold_ms, warmup.warm_ms, warmup.speedup,
+                static_cast<unsigned long long>(warmup.artifact_hits),
+                warmup.artifact_hits == 1 ? "" : "s");
+  }
 
   ModelRegistry registry;
   registry.add("mnist4", model, {}, &profile);
@@ -328,7 +431,9 @@ int main(int argc, char** argv) {
   json << "  \"manifest\": {\"label\": \"" << json_escape(manifest.label)
        << "\", \"seed\": " << manifest.seed
        << ", \"threads\": " << manifest.threads << ", \"simd\": "
-       << (manifest.simd ? "true" : "false") << ", \"git\": \""
+       << (manifest.simd ? "true" : "false") << ", \"backend\": \""
+       << json_escape(manifest.backend.empty() ? "scalar" : manifest.backend)
+       << "\", \"git\": \""
        << json_escape(manifest.git.empty() ? metrics::build_version()
                                            : manifest.git)
        << "\"},\n";
@@ -337,7 +442,18 @@ int main(int argc, char** argv) {
        << ", \"reps\": " << knobs.reps
        << ", \"rate_rps\": " << knobs.rate
        << ", \"duration_s\": " << knobs.duration
-       << ", \"queue_depth\": " << knobs.queue_depth << "},\n";
+       << ", \"queue_depth\": " << knobs.queue_depth
+       << ", \"artifact_dir\": \"" << json_escape(knobs.artifact_dir)
+       << "\"},\n";
+  json << "  \"warmup\": {\"enabled\": "
+       << (warmup.enabled ? "true" : "false")
+       << ", \"cold_ms\": " << warmup.cold_ms
+       << ", \"warm_ms\": " << warmup.warm_ms
+       << ", \"speedup\": " << warmup.speedup
+       << ", \"artifact_hits\": " << warmup.artifact_hits
+       << ", \"artifact_misses\": " << warmup.artifact_misses
+       << ", \"artifact_writes\": " << warmup.artifact_writes
+       << ", \"artifact_rejected\": " << warmup.artifact_rejected << "},\n";
   json << "  \"throughput\": {\"single_rps\": " << single_rps
        << ", \"batched_rps\": " << batched_rps
        << ", \"speedup\": " << speedup << "},\n";

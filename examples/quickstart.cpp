@@ -12,6 +12,7 @@
 
 #include "common/metrics.hpp"
 #include "common/simd.hpp"
+#include "qsim/backend/backend.hpp"
 #include "common/thread_pool.hpp"
 #include "core/trainer.hpp"
 #include "data/tasks.hpp"
@@ -79,6 +80,7 @@ int main(int argc, char** argv) {
   manifest.threads = num_threads();
   manifest.fused = default_fusion();
   manifest.simd = simd::enabled();
+  manifest.backend = std::string(backend::active().name());
   metrics::write_observability(observability, manifest);
   return 0;
 }

@@ -487,7 +487,10 @@ std::string to_json(const Snapshot& snap, const RunManifest& manifest) {
      << ", \"threads\": " << manifest.threads
      << ", \"fused\": " << (manifest.fused ? "true" : "false")
      << ", \"simd\": " << (manifest.simd ? "true" : "false")
-     << ", \"git\": ";
+     << ", \"backend\": ";
+  append_json_string(os, manifest.backend.empty() ? "scalar"
+                                                  : manifest.backend);
+  os << ", \"git\": ";
   append_json_string(os,
                      manifest.git.empty() ? build_version() : manifest.git);
   os << "},\n";
@@ -743,6 +746,8 @@ Snapshot from_json(const std::string& json, RunManifest* manifest) {
             : 1;
     manifest->fused = m->find("fused") ? m->find("fused")->boolean : true;
     manifest->simd = m->find("simd") ? m->find("simd")->boolean : false;
+    manifest->backend =
+        m->find("backend") ? m->find("backend")->string : "";
     manifest->git = m->find("git") ? m->find("git")->string : "";
   }
 

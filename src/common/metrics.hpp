@@ -200,6 +200,7 @@ struct RunManifest {
   int threads = 1;          ///< worker-pool width
   bool fused = true;        ///< program-compile fusion default
   bool simd = false;        ///< SIMD kernel backend active (simd::enabled())
+  std::string backend;      ///< execution backend name (backend::active())
   std::string git;          ///< git describe (defaults to build_version())
 };
 

@@ -13,26 +13,10 @@
 
 namespace qnat::simd {
 
-namespace {
-
-/// Backend state: -1 unresolved, 0 scalar, 1 AVX2. Resolved lazily from
-/// cpuid + the QNAT_SIMD environment variable on first query.
-std::atomic<int> g_state{-1};
-
-int resolve_state() {
-  bool want = runtime_supported();
-  if (const char* env = std::getenv("QNAT_SIMD")) {
-    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
-        std::strcmp(env, "false") == 0 || std::strcmp(env, "scalar") == 0) {
-      want = false;
-    }
-    // Any other value ("on", "auto", ...) keeps the cpuid default; the
-    // backend can never be forced on without hardware support.
-  }
-  return want ? 1 : 0;
-}
-
-}  // namespace
+// enabled() / set_enabled() are declared in simd.hpp but defined in
+// qsim/backend/backend.cpp: they are legacy shims over the backend
+// registry, and the registry lives above this layer. This TU keeps only
+// the ISA probes and the kernel bodies.
 
 bool compiled() { return QNAT_SIMD_AVX2 != 0; }
 
@@ -42,19 +26,6 @@ bool runtime_supported() {
 #else
   return false;
 #endif
-}
-
-bool enabled() {
-  int s = g_state.load(std::memory_order_relaxed);
-  if (s < 0) {
-    s = resolve_state();
-    g_state.store(s, std::memory_order_relaxed);
-  }
-  return s == 1;
-}
-
-void set_enabled(bool on) {
-  g_state.store(on && runtime_supported() ? 1 : 0, std::memory_order_relaxed);
 }
 
 #if QNAT_SIMD_AVX2

@@ -12,11 +12,14 @@
 //    special -m flags are required to build them (a -mavx2 -mfma build
 //    works identically); on other targets the kernels compile to
 //    unreachable stubs and `compiled()` is false.
-//  * run time: `enabled()` is true only when the CPU reports AVX2+FMA
-//    (cpuid) and the backend has not been switched off via
-//    `set_enabled(false)` or the QNAT_SIMD=off environment variable.
-//    Callers guard every kernel call with `enabled()` and fall back to
-//    the portable scalar loops in qsim/statevector.cpp.
+//  * run time: selection lives in the backend registry
+//    (qsim/backend/backend.hpp) — these kernels are the table of the
+//    registered "avx2" backend, which is only available when the CPU
+//    reports AVX2+FMA (cpuid). `enabled()` / `set_enabled()` below are
+//    legacy shims over the registry (QNAT_SIMD=off still maps to the
+//    scalar backend); call sites dispatch through
+//    `backend::active().kernels()` with the scalar reference kernels
+//    (qsim/backend/scalar_kernels.hpp) as the fallback.
 //
 // Numerical contract (documented, tested in simd_kernels_test):
 // each kernel evaluates the *same per-amplitude arithmetic* as its
@@ -51,14 +54,17 @@ bool compiled();
 /// True when the running CPU supports AVX2 and FMA.
 bool runtime_supported();
 
-/// True when the SIMD backend is active: compiled, supported by the CPU
-/// and not switched off (QNAT_SIMD=off / set_enabled(false)). Kernel
-/// call sites read this per dispatch (one relaxed atomic load).
+/// True when the active execution backend is vectorized. Legacy shim
+/// over the backend registry (defined in qsim/backend/backend.cpp, so
+/// only usable from code linking qnat_qsim — which is every consumer of
+/// these kernels).
 bool enabled();
 
-/// Switches the backend at run time. Enabling on a CPU without AVX2+FMA
-/// is a no-op (enabled() stays false). Intended for experiment setup and
-/// the differential test suites, not for toggling mid-kernel.
+/// Legacy switch, shimmed onto the registry: `false` selects the
+/// "scalar" backend, `true` the best available vectorized backend (a
+/// no-op on CPUs without AVX2+FMA, as before). Prefer
+/// backend::set_active(name). Intended for experiment setup and the
+/// differential test suites, not for toggling mid-kernel.
 void set_enabled(bool on);
 
 /// Whether the 2q kernels can run the vector path for this qubit pair:

@@ -2,9 +2,10 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
-#include "common/simd.hpp"
 #include "common/trace.hpp"
 #include "common/workspace.hpp"
+#include "qsim/backend/backend.hpp"
+#include "qsim/backend/scalar_kernels.hpp"
 #include "qsim/execution.hpp"
 
 namespace qnat {
@@ -63,57 +64,34 @@ cplx derivative_inner(const StateVector& bra, const StateVector& ket,
                       const Gate& gate, const CMatrix& d) {
   const cplx* bp = bra.amplitudes().data();
   const cplx* kp = ket.amplitudes().data();
-  cplx acc{0.0, 0.0};
+  const backend::Backend& be = backend::active();
   if (gate.num_qubits() == 1) {
     const std::size_t stride = std::size_t{1} << gate.qubits[0];
     const cplx d00 = d(0, 0), d01 = d(0, 1), d10 = d(1, 0), d11 = d(1, 1);
     const std::size_t n = ket.dim();
-    if (simd::enabled()) {
-      simd_derivative_dispatches().inc();
-      return simd::derivative_inner_1q(bp, kp, n, stride, d00, d01, d10, d11);
-    }
-    for (std::size_t base = 0; base < n; base += 2 * stride) {
-      for (std::size_t i = base; i < base + stride; ++i) {
-        const cplx k0 = kp[i];
-        const cplx k1 = kp[i + stride];
-        acc += std::conj(bp[i]) * (d00 * k0 + d01 * k1);
-        acc += std::conj(bp[i + stride]) * (d10 * k0 + d11 * k1);
-      }
-    }
-    return acc;
+    const bool vec = be.caps().vectorized;
+    if (vec) simd_derivative_dispatches().inc();
+    const backend::KernelTable& kt =
+        vec ? be.kernels() : backend::scalar_kernels();
+    return kt.derivative_inner_1q(bp, kp, n, stride, d00, d01, d10, d11);
   }
   const std::size_t sa = std::size_t{1} << gate.qubits[0];
   const std::size_t sb = std::size_t{1} << gate.qubits[1];
   const std::size_t lo = sa < sb ? sa : sb;
   const std::size_t hi = sa < sb ? sb : sa;
   const std::size_t quarter = ket.dim() >> 2;
-  if (simd::enabled() && simd::two_qubit_fast_path(lo)) {
-    simd_derivative_dispatches().inc();
-    cplx flat[16];
-    for (int r = 0; r < 4; ++r) {
-      for (int c = 0; c < 4; ++c) {
-        flat[4 * r + c] =
-            d(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
-      }
-    }
-    return simd::derivative_inner_2q(bp, kp, quarter, lo, hi, sa, sb, flat);
-  }
-  for (std::size_t k = 0; k < quarter; ++k) {
-    std::size_t i = (k & (lo - 1)) | ((k & ~(lo - 1)) << 1);
-    i = (i & (hi - 1)) | ((i & ~(hi - 1)) << 1);
-    const std::size_t idx[4] = {i, i | sb, i | sa, i | sa | sb};
-    cplx kv[4];
-    for (int j = 0; j < 4; ++j) kv[j] = kp[idx[j]];
-    for (int r = 0; r < 4; ++r) {
-      cplx row{0.0, 0.0};
-      for (int col = 0; col < 4; ++col) {
-        row += d(static_cast<std::size_t>(r), static_cast<std::size_t>(col)) *
-               kv[col];
-      }
-      acc += std::conj(bp[idx[static_cast<std::size_t>(r)]]) * row;
+  cplx flat[16];
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      flat[4 * r + c] =
+          d(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
     }
   }
-  return acc;
+  const bool vec = be.caps().vectorized && lo >= be.caps().min_fast_2q_lo;
+  if (vec) simd_derivative_dispatches().inc();
+  const backend::KernelTable& kt =
+      vec ? be.kernels() : backend::scalar_kernels();
+  return kt.derivative_inner_2q(bp, kp, quarter, lo, hi, sa, sb, flat);
 }
 
 }  // namespace

@@ -1,0 +1,227 @@
+#include "qsim/backend/backend.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/simd.hpp"
+#include "qsim/backend/scalar_kernels.hpp"
+#include "qsim/program.hpp"
+
+namespace qnat::backend {
+
+namespace {
+
+KernelTable make_scalar_table() {
+  KernelTable t;
+  t.apply_1q = &scalar::apply_1q;
+  t.apply_diag_1q = &scalar::apply_diag_1q;
+  t.apply_antidiag_1q = &scalar::apply_antidiag_1q;
+  t.apply_2q = &scalar::apply_2q;
+  t.apply_diag_2q = &scalar::apply_diag_2q;
+  t.apply_controlled_1q = &scalar::apply_controlled_1q;
+  t.apply_controlled_antidiag_1q = &scalar::apply_controlled_antidiag_1q;
+  t.apply_swap = &scalar::apply_swap;
+  t.norm_sq = &scalar::norm_sq;
+  t.inner = &scalar::inner;
+  t.add_scaled = &scalar::add_scaled;
+  t.derivative_inner_1q = &scalar::derivative_inner_1q;
+  t.derivative_inner_2q = &scalar::derivative_inner_2q;
+  return t;
+}
+
+KernelTable make_avx2_table() {
+  KernelTable t;
+  t.apply_1q = &simd::apply_1q;
+  t.apply_diag_1q = &simd::apply_diag_1q;
+  t.apply_antidiag_1q = &simd::apply_antidiag_1q;
+  t.apply_2q = &simd::apply_2q;
+  t.apply_diag_2q = &simd::apply_diag_2q;
+  t.apply_controlled_1q = &simd::apply_controlled_1q;
+  t.apply_controlled_antidiag_1q = &simd::apply_controlled_antidiag_1q;
+  // No vectorized swap kernel: the permutation is pure loads/stores and
+  // memory-bound either way, so both backends share the scalar routine.
+  t.apply_swap = &scalar::apply_swap;
+  t.norm_sq = &simd::norm_sq;
+  t.inner = &simd::inner;
+  t.add_scaled = &simd::add_scaled;
+  t.derivative_inner_1q = &simd::derivative_inner_1q;
+  t.derivative_inner_2q = &simd::derivative_inner_2q;
+  return t;
+}
+
+class ScalarBackend final : public Backend {
+ public:
+  const char* name() const override { return "scalar"; }
+  Capabilities caps() const override { return Capabilities{}; }
+  bool available() const override { return true; }
+  const KernelTable& kernels() const override { return scalar_kernels(); }
+};
+
+class Avx2Backend final : public Backend {
+ public:
+  const char* name() const override { return "avx2"; }
+  Capabilities caps() const override {
+    return Capabilities{/*vectorized=*/true, /*min_fast_2q_lo=*/2,
+                        /*isa=*/"avx2"};
+  }
+  bool available() const override {
+    return simd::compiled() && simd::runtime_supported();
+  }
+  const KernelTable& kernels() const override {
+    static const KernelTable table = make_avx2_table();
+    return table;
+  }
+  bool supports_op(const CompiledOp& op) const override {
+    if (!Backend::supports_op(op)) return false;
+    if (op.kernel == KernelClass::Swap) return false;  // shared scalar swap
+    if (op.num_qubits == 2) {
+      // The 2q fast path needs lo = min stride >= 2: neither qubit may
+      // be qubit 0 (callers route such pairs to the scalar reference).
+      return op.q0 != 0 && op.q1 != 0;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+bool Backend::supports_op(const CompiledOp& op) const {
+  // Identity ops are skipped at execution; no kernel of any backend runs.
+  return op.kernel != KernelClass::Identity;
+}
+
+void Backend::execute(const CompiledProgram& program, StateVector& state,
+                      const ParamVector& params) const {
+  for (const CompiledOp& op : program.ops()) apply_op(state, op, params);
+}
+
+BackendRegistry::BackendRegistry() {
+  backends_.push_back(std::make_unique<ScalarBackend>());
+  backends_.push_back(std::make_unique<Avx2Backend>());
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry* registry = new BackendRegistry();
+  return *registry;
+}
+
+void BackendRegistry::register_backend(std::unique_ptr<Backend> b) {
+  QNAT_CHECK(b != nullptr, "cannot register a null backend");
+  QNAT_CHECK(find(b->name()) == nullptr,
+             std::string("backend name already registered: ") + b->name());
+  backends_.push_back(std::move(b));
+}
+
+const Backend* BackendRegistry::find(std::string_view name) const {
+  for (const auto& b : backends_) {
+    if (name == b->name()) return b.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> BackendRegistry::registered_names() const {
+  std::vector<std::string> names;
+  for (const auto& b : backends_) names.emplace_back(b->name());
+  return names;
+}
+
+std::vector<std::string> BackendRegistry::available_names() const {
+  std::vector<std::string> names;
+  for (const auto& b : backends_) {
+    if (b->available()) names.emplace_back(b->name());
+  }
+  return names;
+}
+
+const Backend* BackendRegistry::resolve_default() const {
+  // 1. Explicit selection by name.
+  if (const char* env = std::getenv("QNAT_BACKEND")) {
+    if (const Backend* b = find(env); b != nullptr && b->available()) {
+      return b;
+    }
+    if (*env != '\0') {
+      std::fprintf(stderr,
+                   "qnat: QNAT_BACKEND='%s' is unknown or unavailable on "
+                   "this machine; falling back to the default selection\n",
+                   env);
+    }
+  }
+  // 2. Legacy QNAT_SIMD switch: any "off" spelling forces scalar. Other
+  // values ("on", "auto", ...) keep the best-available default — the
+  // vector backend can never be forced on without hardware support.
+  if (const char* env = std::getenv("QNAT_SIMD")) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "false") == 0 || std::strcmp(env, "scalar") == 0) {
+      return find("scalar");
+    }
+  }
+  // 3. Best available: the last registered vectorized backend the
+  // machine can run, else the scalar reference.
+  const Backend* best = find("scalar");
+  for (const auto& b : backends_) {
+    if (b->available() && b->caps().vectorized) best = b.get();
+  }
+  return best;
+}
+
+const Backend& BackendRegistry::active() const {
+  const Backend* a = active_.load(std::memory_order_relaxed);
+  if (a == nullptr) {
+    a = resolve_default();
+    active_.store(a, std::memory_order_relaxed);
+  }
+  return *a;
+}
+
+bool BackendRegistry::set_active(std::string_view name) {
+  const Backend* b = find(name);
+  if (b == nullptr || !b->available()) return false;
+  active_.store(b, std::memory_order_relaxed);
+  return true;
+}
+
+const Backend& active() { return BackendRegistry::instance().active(); }
+
+bool set_active(std::string_view name) {
+  return BackendRegistry::instance().set_active(name);
+}
+
+std::vector<std::string> available_backends() {
+  return BackendRegistry::instance().available_names();
+}
+
+const KernelTable& scalar_kernels() {
+  static const KernelTable table = make_scalar_table();
+  return table;
+}
+
+}  // namespace qnat::backend
+
+namespace qnat::simd {
+
+// Legacy shims: the historical boolean SIMD toggle now maps onto the
+// backend registry (declared in common/simd.hpp, defined here so the
+// common layer does not depend on qsim). enabled() == "the active
+// backend is vectorized"; set_enabled(true) selects the best available
+// vectorized backend and stays a no-op on hardware without one.
+
+bool enabled() { return backend::active().caps().vectorized; }
+
+void set_enabled(bool on) {
+  if (!on) {
+    backend::set_active("scalar");
+    return;
+  }
+  const auto& registry = backend::BackendRegistry::instance();
+  for (const std::string& name : registry.available_names()) {
+    const backend::Backend* b = registry.find(name);
+    if (b != nullptr && b->caps().vectorized) {
+      backend::set_active(name);
+      return;
+    }
+  }
+}
+
+}  // namespace qnat::simd

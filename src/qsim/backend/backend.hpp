@@ -1,0 +1,184 @@
+// Pluggable execution backends for the statevector simulator.
+//
+// A `Backend` bundles everything one kernel implementation needs to run a
+// compiled program: a capability descriptor (is it vectorized, which ISA,
+// what two-qubit strides its fast path accepts), a table of kernel
+// function pointers mirroring the scalar reference signatures, a
+// `supports_op` capability query (will this op take the backend's
+// accelerated path, or fall back to the scalar reference kernels?), and a
+// whole-program `execute` hook. `ScalarBackend` (the portable reference)
+// and `Avx2Backend` (the AVX2+FMA kernels from common/simd) register
+// themselves in the process-wide `BackendRegistry`; call sites dispatch
+// through `backend::active()` instead of branching on cpuid/QNAT_SIMD
+// inline.
+//
+// Selection, first query wins (then sticky until set_active):
+//   1. QNAT_BACKEND=<name> — explicit backend by registry name; an
+//      unknown or unavailable name falls through with a stderr warning.
+//   2. QNAT_SIMD=off|0|false|scalar — legacy switch, forces "scalar".
+//   3. The best available backend (avx2 on AVX2+FMA hardware, else
+//      scalar).
+//
+// Numerical contract: every backend must agree with `ScalarBackend` to
+// 1e-12 per output and produce the identical deterministic metrics
+// fingerprint — enforced for every registered backend by
+// tests/qsim/backend_conformance_test.cpp over a corpus covering every
+// kernel class. Fallback routing (e.g. the AVX2 2q kernels' lo >= 2
+// stride requirement) is expressed through `Capabilities` so call sites
+// stay branch-free on backend internals.
+//
+// Thread safety: registration happens during static init (built-ins) or
+// single-threaded setup (register_backend); `active()` / `set_active()`
+// are relaxed-atomic and safe to call concurrently with execution. Like
+// the old simd::set_enabled, switching backends mid-kernel is not
+// supported — switch between runs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qnat {
+class StateVector;
+struct CompiledOp;
+class CompiledProgram;
+}  // namespace qnat
+
+namespace qnat::backend {
+
+/// Static capability flags negotiated at dispatch time.
+struct Capabilities {
+  /// True when the kernel table holds vectorized implementations (and the
+  /// qsim.simd.dispatch_* PerRun counters should tick per dispatch).
+  bool vectorized = false;
+  /// Minimum value of lo = min(stride_a, stride_b) the 2q kernels accept;
+  /// pairs below it must run the scalar reference kernels (the AVX2 2q
+  /// fast path needs lo >= 2, i.e. neither qubit may be qubit 0).
+  std::size_t min_fast_2q_lo = 1;
+  /// Short ISA label for manifests/diagnostics ("generic", "avx2", ...).
+  const char* isa = "generic";
+};
+
+/// Per-backend kernel function pointers. Signatures mirror the scalar
+/// reference kernels in backend/scalar_kernels.hpp (which themselves
+/// mirror common/simd.hpp); see qsim/statevector.cpp for the index
+/// enumeration contracts.
+struct KernelTable {
+  void (*apply_1q)(cplx* amps, std::size_t n, std::size_t stride, cplx m00,
+                   cplx m01, cplx m10, cplx m11) = nullptr;
+  void (*apply_diag_1q)(cplx* amps, std::size_t n, std::size_t stride,
+                        cplx d0, cplx d1) = nullptr;
+  void (*apply_antidiag_1q)(cplx* amps, std::size_t n, std::size_t stride,
+                            cplx top, cplx bottom) = nullptr;
+  void (*apply_2q)(cplx* amps, std::size_t quarter, std::size_t lo,
+                   std::size_t hi, std::size_t sa, std::size_t sb,
+                   const cplx* m) = nullptr;
+  void (*apply_diag_2q)(cplx* amps, std::size_t quarter, std::size_t lo,
+                        std::size_t hi, std::size_t sa, std::size_t sb,
+                        cplx d0, cplx d1, cplx d2, cplx d3) = nullptr;
+  void (*apply_controlled_1q)(cplx* amps, std::size_t quarter, std::size_t lo,
+                              std::size_t hi, std::size_t sc, std::size_t st,
+                              cplx m00, cplx m01, cplx m10,
+                              cplx m11) = nullptr;
+  void (*apply_controlled_antidiag_1q)(cplx* amps, std::size_t quarter,
+                                       std::size_t lo, std::size_t hi,
+                                       std::size_t sc, std::size_t st,
+                                       cplx top, cplx bottom) = nullptr;
+  void (*apply_swap)(cplx* amps, std::size_t quarter, std::size_t lo,
+                     std::size_t hi, std::size_t sa,
+                     std::size_t sb) = nullptr;
+  double (*norm_sq)(const cplx* amps, std::size_t n) = nullptr;
+  cplx (*inner)(const cplx* a, const cplx* b, std::size_t n) = nullptr;
+  void (*add_scaled)(cplx* a, const cplx* b, std::size_t n,
+                     cplx factor) = nullptr;
+  cplx (*derivative_inner_1q)(const cplx* bra, const cplx* ket, std::size_t n,
+                              std::size_t stride, cplx d00, cplx d01,
+                              cplx d10, cplx d11) = nullptr;
+  cplx (*derivative_inner_2q)(const cplx* bra, const cplx* ket,
+                              std::size_t quarter, std::size_t lo,
+                              std::size_t hi, std::size_t sa, std::size_t sb,
+                              const cplx* d) = nullptr;
+};
+
+/// One registered kernel implementation.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Registry name ("scalar", "avx2", ...), unique per process.
+  virtual const char* name() const = 0;
+  virtual Capabilities caps() const = 0;
+  /// True when this backend can run on the current machine (e.g. cpuid
+  /// reports the required ISA). Unavailable backends are never selected.
+  virtual bool available() const = 0;
+  virtual const KernelTable& kernels() const = 0;
+
+  /// Capability negotiation: true when `op` would dispatch through this
+  /// backend's own kernel table rather than the scalar reference
+  /// fallback. Execution is always correct either way — this is a query
+  /// for tests, planners and diagnostics, not a precondition.
+  virtual bool supports_op(const CompiledOp& op) const;
+
+  /// Runs every op of `program` on `state` under `params`. The default
+  /// walks the op list through apply_op (which dispatches per-kernel via
+  /// the active backend); override for backends with whole-program
+  /// execution strategies.
+  virtual void execute(const CompiledProgram& program, StateVector& state,
+                       const ParamVector& params) const;
+};
+
+/// Process-wide name -> Backend map with one active selection.
+class BackendRegistry {
+ public:
+  /// The singleton, with "scalar" and "avx2" pre-registered.
+  static BackendRegistry& instance();
+
+  /// Registers an additional backend (tests, experimental ISAs). Names
+  /// must be unique; call during single-threaded setup.
+  void register_backend(std::unique_ptr<Backend> b);
+
+  /// Looks up a backend by name (null when unknown).
+  const Backend* find(std::string_view name) const;
+
+  /// Every registered backend name, registration order.
+  std::vector<std::string> registered_names() const;
+
+  /// Registered backends whose available() is true, registration order.
+  std::vector<std::string> available_names() const;
+
+  /// The active backend, resolved lazily from QNAT_BACKEND / QNAT_SIMD /
+  /// best-available on first use.
+  const Backend& active() const;
+
+  /// Selects by name. Returns false (selection unchanged) when the name
+  /// is unknown or the backend is unavailable on this machine.
+  bool set_active(std::string_view name);
+
+ private:
+  BackendRegistry();
+
+  const Backend* resolve_default() const;
+
+  std::vector<std::unique_ptr<Backend>> backends_;
+  mutable std::atomic<const Backend*> active_{nullptr};
+};
+
+/// The active backend (shorthand for BackendRegistry::instance().active()).
+const Backend& active();
+
+/// Selects the active backend by name; false when unknown/unavailable.
+bool set_active(std::string_view name);
+
+/// Names of the backends runnable on this machine.
+std::vector<std::string> available_backends();
+
+/// The portable reference kernel table (the scalar fallback every call
+/// site routes to when the active backend's capabilities exclude an op).
+const KernelTable& scalar_kernels();
+
+}  // namespace qnat::backend

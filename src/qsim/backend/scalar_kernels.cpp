@@ -1,0 +1,152 @@
+#include "qsim/backend/scalar_kernels.hpp"
+
+#include <complex>
+
+namespace qnat::backend::scalar {
+
+void apply_1q(cplx* amps, std::size_t n, std::size_t stride, cplx m00,
+              cplx m01, cplx m10, cplx m11) {
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      const cplx a0 = amps[i];
+      const cplx a1 = amps[i + stride];
+      amps[i] = m00 * a0 + m01 * a1;
+      amps[i + stride] = m10 * a0 + m11 * a1;
+    }
+  }
+}
+
+void apply_diag_1q(cplx* amps, std::size_t n, std::size_t stride, cplx d0,
+                   cplx d1) {
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      amps[i] *= d0;
+      amps[i + stride] *= d1;
+    }
+  }
+}
+
+void apply_antidiag_1q(cplx* amps, std::size_t n, std::size_t stride,
+                       cplx top, cplx bottom) {
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      const cplx a0 = amps[i];
+      amps[i] = top * amps[i + stride];
+      amps[i + stride] = bottom * a0;
+    }
+  }
+}
+
+void apply_2q(cplx* amps, std::size_t quarter, std::size_t lo, std::size_t hi,
+              std::size_t sa, std::size_t sb, const cplx* m) {
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi);
+    const std::size_t i00 = i;
+    const std::size_t i01 = i | sb;
+    const std::size_t i10 = i | sa;
+    const std::size_t i11 = i | sa | sb;
+    const cplx a00 = amps[i00], a01 = amps[i01], a10 = amps[i10],
+               a11 = amps[i11];
+    amps[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+    amps[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+    amps[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+    amps[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+  }
+}
+
+void apply_diag_2q(cplx* amps, std::size_t quarter, std::size_t lo,
+                   std::size_t hi, std::size_t sa, std::size_t sb, cplx d0,
+                   cplx d1, cplx d2, cplx d3) {
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi);
+    amps[i] *= d0;
+    amps[i | sb] *= d1;
+    amps[i | sa] *= d2;
+    amps[i | sa | sb] *= d3;
+  }
+}
+
+void apply_controlled_1q(cplx* amps, std::size_t quarter, std::size_t lo,
+                         std::size_t hi, std::size_t sc, std::size_t st,
+                         cplx m00, cplx m01, cplx m10, cplx m11) {
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | sc;
+    const cplx a0 = amps[i];
+    const cplx a1 = amps[i | st];
+    amps[i] = m00 * a0 + m01 * a1;
+    amps[i | st] = m10 * a0 + m11 * a1;
+  }
+}
+
+void apply_controlled_antidiag_1q(cplx* amps, std::size_t quarter,
+                                  std::size_t lo, std::size_t hi,
+                                  std::size_t sc, std::size_t st, cplx top,
+                                  cplx bottom) {
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | sc;
+    const cplx a0 = amps[i];
+    amps[i] = top * amps[i | st];
+    amps[i | st] = bottom * a0;
+  }
+}
+
+void apply_swap(cplx* amps, std::size_t quarter, std::size_t lo,
+                std::size_t hi, std::size_t sa, std::size_t sb) {
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi);
+    const cplx tmp = amps[i | sa];
+    amps[i | sa] = amps[i | sb];
+    amps[i | sb] = tmp;
+  }
+}
+
+double norm_sq(const cplx* amps, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += std::norm(amps[i]);
+  return s;
+}
+
+cplx inner(const cplx* a, const cplx* b, std::size_t n) {
+  cplx s{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+void add_scaled(cplx* a, const cplx* b, std::size_t n, cplx factor) {
+  for (std::size_t i = 0; i < n; ++i) a[i] += factor * b[i];
+}
+
+cplx derivative_inner_1q(const cplx* bra, const cplx* ket, std::size_t n,
+                         std::size_t stride, cplx d00, cplx d01, cplx d10,
+                         cplx d11) {
+  cplx acc{0.0, 0.0};
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      const cplx k0 = ket[i];
+      const cplx k1 = ket[i + stride];
+      acc += std::conj(bra[i]) * (d00 * k0 + d01 * k1);
+      acc += std::conj(bra[i + stride]) * (d10 * k0 + d11 * k1);
+    }
+  }
+  return acc;
+}
+
+cplx derivative_inner_2q(const cplx* bra, const cplx* ket,
+                         std::size_t quarter, std::size_t lo, std::size_t hi,
+                         std::size_t sa, std::size_t sb, const cplx* d) {
+  cplx acc{0.0, 0.0};
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi);
+    const std::size_t idx[4] = {i, i | sb, i | sa, i | sa | sb};
+    cplx kv[4];
+    for (int j = 0; j < 4; ++j) kv[j] = ket[idx[j]];
+    for (int r = 0; r < 4; ++r) {
+      cplx row{0.0, 0.0};
+      for (int col = 0; col < 4; ++col) row += d[4 * r + col] * kv[col];
+      acc += std::conj(bra[idx[r]]) * row;
+    }
+  }
+  return acc;
+}
+
+}  // namespace qnat::backend::scalar

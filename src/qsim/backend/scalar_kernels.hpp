@@ -1,0 +1,75 @@
+// Portable scalar reference kernels for the statevector simulator.
+//
+// These are the loops that used to live inline in qsim/statevector.cpp
+// and grad/adjoint.cpp, lifted out as free functions so (a) the
+// ScalarBackend kernel table can point at them, and (b) every other
+// backend's call sites can fall back to them for ops outside the
+// backend's capabilities (e.g. two-qubit pairs with lo == 1 on AVX2).
+// They define the numerical reference every registered backend is held
+// to (1e-12 differential bound, backend_conformance_test).
+//
+// Index enumeration contracts match common/simd.hpp: 1q kernels walk
+// pairs (i, i+stride); 2q kernels expand a dense counter k over
+// `quarter` values to the basis index with zero bits inserted at strides
+// lo < hi, then address the four sub-states via sa (high matrix bit) and
+// sb (low matrix bit).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace qnat::backend::scalar {
+
+void apply_1q(cplx* amps, std::size_t n, std::size_t stride, cplx m00,
+              cplx m01, cplx m10, cplx m11);
+
+void apply_diag_1q(cplx* amps, std::size_t n, std::size_t stride, cplx d0,
+                   cplx d1);
+
+void apply_antidiag_1q(cplx* amps, std::size_t n, std::size_t stride,
+                       cplx top, cplx bottom);
+
+void apply_2q(cplx* amps, std::size_t quarter, std::size_t lo, std::size_t hi,
+              std::size_t sa, std::size_t sb, const cplx* m);
+
+void apply_diag_2q(cplx* amps, std::size_t quarter, std::size_t lo,
+                   std::size_t hi, std::size_t sa, std::size_t sb, cplx d0,
+                   cplx d1, cplx d2, cplx d3);
+
+void apply_controlled_1q(cplx* amps, std::size_t quarter, std::size_t lo,
+                         std::size_t hi, std::size_t sc, std::size_t st,
+                         cplx m00, cplx m01, cplx m10, cplx m11);
+
+void apply_controlled_antidiag_1q(cplx* amps, std::size_t quarter,
+                                  std::size_t lo, std::size_t hi,
+                                  std::size_t sc, std::size_t st, cplx top,
+                                  cplx bottom);
+
+/// Swaps the |01> and |10> sub-amplitudes of every expanded group.
+void apply_swap(cplx* amps, std::size_t quarter, std::size_t lo,
+                std::size_t hi, std::size_t sa, std::size_t sb);
+
+double norm_sq(const cplx* amps, std::size_t n);
+
+cplx inner(const cplx* a, const cplx* b, std::size_t n);
+
+void add_scaled(cplx* a, const cplx* b, std::size_t n, cplx factor);
+
+cplx derivative_inner_1q(const cplx* bra, const cplx* ket, std::size_t n,
+                         std::size_t stride, cplx d00, cplx d01, cplx d10,
+                         cplx d11);
+
+cplx derivative_inner_2q(const cplx* bra, const cplx* ket,
+                         std::size_t quarter, std::size_t lo, std::size_t hi,
+                         std::size_t sa, std::size_t sb, const cplx* d);
+
+/// The 2q zero-bit expansion shared by the kernels above (exposed for
+/// call sites that enumerate groups themselves, e.g. apply_swap users).
+inline std::size_t expand_two_zero_bits(std::size_t k, std::size_t lo,
+                                        std::size_t hi) {
+  std::size_t i = (k & (lo - 1)) | ((k & ~(lo - 1)) << 1);
+  return (i & (hi - 1)) | ((i & ~(hi - 1)) << 1);
+}
+
+}  // namespace qnat::backend::scalar

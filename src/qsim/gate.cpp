@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -239,6 +240,25 @@ std::string gate_name(GateType type) {
     case GateType::RZX: return "rzx";
   }
   return "?";
+}
+
+GateType gate_type_from_name(const std::string& name) {
+  // The enum is dense from I to RZX; build the reverse map once from
+  // gate_name so the two directions cannot drift apart.
+  static const std::vector<std::pair<std::string, GateType>> table = [] {
+    std::vector<std::pair<std::string, GateType>> t;
+    for (int i = static_cast<int>(GateType::I);
+         i <= static_cast<int>(GateType::RZX); ++i) {
+      const GateType type = static_cast<GateType>(i);
+      t.emplace_back(gate_name(type), type);
+    }
+    return t;
+  }();
+  for (const auto& [n, type] : table) {
+    if (n == name) return type;
+  }
+  QNAT_CHECK(false, "unknown gate name: " + name);
+  return GateType::I;
 }
 
 Gate::Gate(GateType t, std::vector<QubitIndex> qs, std::vector<ParamExpr> ps)

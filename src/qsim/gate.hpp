@@ -73,6 +73,10 @@ int gate_num_params(GateType type);
 /// Short lowercase mnemonic, e.g. "cu3".
 std::string gate_name(GateType type);
 
+/// Reverse lookup of gate_name (used by the QNATPROG artifact loader).
+/// Throws qnat::Error for names no gate type produces.
+GateType gate_type_from_name(const std::string& name);
+
 /// Linear parameter expression: value = Σ_k terms[k].scale *
 /// params[terms[k].id] + offset. An empty term list is a constant.
 struct ParamExpr {

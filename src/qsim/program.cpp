@@ -1,12 +1,17 @@
 #include "qsim/program.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
 #include <optional>
+#include <sstream>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "qsim/backend/backend.hpp"
 #include "qsim/statevector.hpp"
 
 namespace qnat {
@@ -220,9 +225,10 @@ void CompiledProgram::run(StateVector& state, const ParamVector& params) const {
       metrics::counter("qsim.program.op_dispatches");
   executions.inc();
   op_dispatches.add(ops_.size());
-  for (const CompiledOp& op : ops_) {
-    apply_op(state, op, params);
-  }
+  // Whole-program execution is handed to the active backend; the default
+  // Backend::execute walks the op list through apply_op (preserving the
+  // per-kernel-class counter conservation invariant).
+  backend::active().execute(*this, state, params);
 }
 
 CompiledProgram compile_program(const Circuit& circuit,
@@ -304,8 +310,9 @@ ProgramCache& program_cache() {
 /// Bound on cached programs. One-off circuits (fresh noise-injected
 /// trajectories) insert entries that are never hit again; clearing
 /// wholesale when full keeps memory bounded while hot circuits simply
-/// re-compile on their next use.
-constexpr std::size_t kMaxCachedPrograms = 4096;
+/// re-compile on their next use. Tunable so eviction is testable with a
+/// small corpus.
+std::atomic<std::size_t> g_program_cache_capacity{4096};
 
 std::uint64_t cache_key(const Circuit& circuit, const FusionOptions& options) {
   // Fingerprint collisions across distinct circuits are vanishingly
@@ -343,7 +350,7 @@ std::shared_ptr<const CompiledProgram> shared_program(
   auto program = std::make_shared<const CompiledProgram>(
       compile_program(circuit, options));
   std::lock_guard<std::mutex> lock(cache.mu);
-  if (cache.map.size() >= kMaxCachedPrograms) {
+  if (cache.map.size() >= program_cache_capacity()) {
     cache_evictions.add(cache.map.size());
     cache.map.clear();
   }
@@ -360,6 +367,323 @@ void clear_program_cache() {
   ProgramCache& cache = program_cache();
   std::lock_guard<std::mutex> lock(cache.mu);
   cache.map.clear();
+}
+
+void set_program_cache_capacity(std::size_t capacity) {
+  g_program_cache_capacity.store(capacity == 0 ? 1 : capacity,
+                                 std::memory_order_relaxed);
+}
+
+std::size_t program_cache_capacity() {
+  return g_program_cache_capacity.load(std::memory_order_relaxed);
+}
+
+// --- QNATPROG v1 serialization ---
+
+namespace {
+
+constexpr const char* kProgramMagic = "#qnat-program";
+constexpr const char* kProgramVersion = "v1";
+
+/// FNV-1a 64-bit over the canonical artifact body.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void put_hex64(std::ostream& os, std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  os << buf;
+}
+
+void put_real(std::ostream& os, real v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+void put_matrix(std::ostream& os, const CMatrix& m) {
+  os << "m";
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << ' ';
+      put_real(os, m(r, c).real());
+      os << ' ';
+      put_real(os, m(r, c).imag());
+    }
+  }
+  os << '\n';
+}
+
+/// Canonical body: everything checksummed, i.e. the artifact minus the
+/// trailing checksum/end lines. The deserializer re-serializes what it
+/// parsed and compares hashes, so any non-canonical edit fails loudly.
+std::string serialize_program_body(const CompiledProgram& program) {
+  std::ostringstream os;
+  os << kProgramMagic << ' ' << kProgramVersion << '\n';
+  os << "qubits " << program.num_qubits() << '\n';
+  os << "params " << program.num_params() << '\n';
+  os << "fingerprint ";
+  put_hex64(os, program.source_fingerprint());
+  os << '\n';
+  const ProgramStats& stats = program.stats();
+  os << "source_gates " << stats.source_gates << '\n';
+  os << "fused_away " << stats.fused_away << '\n';
+  os << "identity_removed " << stats.identity_removed << '\n';
+  os << "ops " << program.ops().size() << '\n';
+  for (const CompiledOp& op : program.ops()) {
+    os << "op " << kernel_class_name(op.kernel) << ' ' << op.num_qubits
+       << ' ' << op.q0 << ' ' << op.q1 << ' ' << op.fused_gates << ' '
+       << (op.parameterized ? "param" : "const") << '\n';
+    if (!op.parameterized) {
+      put_matrix(os, op.matrix);
+      continue;
+    }
+    os << "gate " << gate_name(op.gate.type);
+    for (const QubitIndex q : op.gate.qubits) os << ' ' << q;
+    os << '\n';
+    for (const ParamExpr& expr : op.gate.params) {
+      os << "expr " << expr.terms.size();
+      for (const ParamExpr::Term& term : expr.terms) {
+        os << ' ' << term.id << ' ';
+        put_real(os, term.scale);
+      }
+      os << ' ';
+      put_real(os, expr.offset);
+      os << '\n';
+    }
+  }
+  return std::move(os).str();
+}
+
+std::string next_tok(std::istream& is, const char* what) {
+  std::string t;
+  QNAT_CHECK(static_cast<bool>(is >> t),
+             std::string("program artifact: truncated before ") + what);
+  return t;
+}
+
+void expect_tok(std::istream& is, const char* want) {
+  const std::string t = next_tok(is, want);
+  QNAT_CHECK(t == want, std::string("program artifact: expected '") + want +
+                            "', got '" + t + "'");
+}
+
+long long read_int(std::istream& is, const char* what, long long lo,
+                   long long hi) {
+  long long v = 0;
+  QNAT_CHECK(static_cast<bool>(is >> v),
+             std::string("program artifact: truncated/bad ") + what);
+  QNAT_CHECK(v >= lo && v <= hi,
+             std::string("program artifact: ") + what + " out of range");
+  return v;
+}
+
+real read_real(std::istream& is, const char* what) {
+  real v = 0.0;
+  QNAT_CHECK(static_cast<bool>(is >> v),
+             std::string("program artifact: truncated/bad ") + what);
+  return v;
+}
+
+std::uint64_t parse_hex64(const std::string& tok, const char* what) {
+  QNAT_CHECK(!tok.empty() && tok.size() <= 16,
+             std::string("program artifact: bad ") + what);
+  std::uint64_t v = 0;
+  for (const char c : tok) {
+    int d = -1;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    QNAT_CHECK(d >= 0, std::string("program artifact: bad ") + what);
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  return v;
+}
+
+KernelClass kernel_class_from_name(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(KernelClass::Generic2Q); ++i) {
+    const auto k = static_cast<KernelClass>(i);
+    if (name == kernel_class_name(k)) return k;
+  }
+  QNAT_CHECK(false, "program artifact: unknown kernel class '" + name + "'");
+  return KernelClass::Identity;
+}
+
+}  // namespace
+
+std::string serialize_program(const CompiledProgram& program) {
+  std::string body = serialize_program_body(program);
+  std::ostringstream os;
+  os << "checksum ";
+  put_hex64(os, fnv1a(body));
+  os << "\nend\n";
+  body += std::move(os).str();
+  return body;
+}
+
+CompiledProgram deserialize_program(const std::string& text) {
+  std::istringstream is(text);
+  // Magic line first: a non-artifact file must be recognizable as such
+  // before any structural error is reported.
+  std::string magic_line;
+  QNAT_CHECK(static_cast<bool>(std::getline(is, magic_line)),
+             "program artifact: empty input");
+  if (!magic_line.empty() && magic_line.back() == '\r') magic_line.pop_back();
+  const std::string expected_magic =
+      std::string(kProgramMagic) + ' ' + kProgramVersion;
+  QNAT_CHECK(magic_line.rfind(kProgramMagic, 0) == 0,
+             "program artifact: bad magic (not a QNATPROG file)");
+  QNAT_CHECK(magic_line == expected_magic,
+             "program artifact: unsupported version '" + magic_line +
+                 "' (expected " + expected_magic + ")");
+
+  expect_tok(is, "qubits");
+  const int num_qubits =
+      static_cast<int>(read_int(is, "qubits", 1, 24));
+  expect_tok(is, "params");
+  const int num_params =
+      static_cast<int>(read_int(is, "params", 0, 1 << 20));
+  expect_tok(is, "fingerprint");
+  const std::uint64_t fingerprint =
+      parse_hex64(next_tok(is, "fingerprint"), "fingerprint");
+  ProgramStats stats;
+  expect_tok(is, "source_gates");
+  stats.source_gates =
+      static_cast<int>(read_int(is, "source_gates", 0, 1 << 30));
+  expect_tok(is, "fused_away");
+  stats.fused_away = static_cast<int>(read_int(is, "fused_away", 0, 1 << 30));
+  expect_tok(is, "identity_removed");
+  stats.identity_removed =
+      static_cast<int>(read_int(is, "identity_removed", 0, 1 << 30));
+  expect_tok(is, "ops");
+  const long long num_ops = read_int(is, "ops", 0, 1 << 22);
+
+  std::vector<CompiledOp> ops;
+  ops.reserve(static_cast<std::size_t>(num_ops));
+  for (long long oi = 0; oi < num_ops; ++oi) {
+    expect_tok(is, "op");
+    CompiledOp op;
+    op.kernel = kernel_class_from_name(next_tok(is, "kernel class"));
+    op.num_qubits = static_cast<int>(read_int(is, "op qubit count", 1, 2));
+    op.q0 = static_cast<QubitIndex>(
+        read_int(is, "op q0", 0, num_qubits - 1));
+    op.q1 = static_cast<QubitIndex>(
+        read_int(is, "op q1", 0, num_qubits - 1));
+    QNAT_CHECK(op.num_qubits == 1 || op.q0 != op.q1,
+               "program artifact: two-qubit op on identical qubits");
+    QNAT_CHECK(op.num_qubits == 2 || op.q1 == 0,
+               "program artifact: one-qubit op with nonzero q1");
+    op.fused_gates =
+        static_cast<int>(read_int(is, "fused gate count", 1, 1 << 30));
+    const std::string mode = next_tok(is, "op mode");
+    if (mode == "const") {
+      op.parameterized = false;
+      expect_tok(is, "m");
+      const std::size_t n = op.num_qubits == 1 ? 2 : 4;
+      op.matrix = CMatrix(n, n);
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+          const real re = read_real(is, "matrix entry");
+          const real im = read_real(is, "matrix entry");
+          op.matrix(r, c) = cplx(re, im);
+        }
+      }
+      // The kernel class drives which matrix entries the apply routines
+      // read; a mismatch with the stored matrix structure would execute
+      // the wrong unitary, so re-classify and insist on agreement.
+      const KernelClass derived = op.num_qubits == 1
+                                      ? classify_1q(op.matrix)
+                                      : classify_2q(op.matrix);
+      QNAT_CHECK(derived == op.kernel,
+                 std::string("program artifact: kernel class '") +
+                     kernel_class_name(op.kernel) +
+                     "' does not match matrix structure ('" +
+                     kernel_class_name(derived) + "')");
+    } else if (mode == "param") {
+      op.parameterized = true;
+      expect_tok(is, "gate");
+      const GateType type = gate_type_from_name(next_tok(is, "gate name"));
+      const int gate_nq = gate_num_qubits(type);
+      QNAT_CHECK(gate_nq == op.num_qubits,
+                 "program artifact: gate arity does not match op arity");
+      std::vector<QubitIndex> qubits;
+      for (int q = 0; q < gate_nq; ++q) {
+        qubits.push_back(static_cast<QubitIndex>(
+            read_int(is, "gate qubit", 0, num_qubits - 1)));
+      }
+      QNAT_CHECK(qubits[0] == op.q0 &&
+                     (gate_nq == 1 || qubits[1] == op.q1),
+                 "program artifact: gate qubits do not match op qubits");
+      std::vector<ParamExpr> exprs;
+      for (int p = 0; p < gate_num_params(type); ++p) {
+        expect_tok(is, "expr");
+        ParamExpr expr;
+        const long long nterms = read_int(is, "expr term count", 0, 64);
+        for (long long t = 0; t < nterms; ++t) {
+          ParamExpr::Term term;
+          term.id = static_cast<ParamIndex>(
+              read_int(is, "expr param id", 0, num_params - 1));
+          term.scale = read_real(is, "expr scale");
+          expr.terms.push_back(term);
+        }
+        expr.offset = read_real(is, "expr offset");
+        exprs.push_back(std::move(expr));
+      }
+      op.gate = Gate(type, std::move(qubits), std::move(exprs));
+      QNAT_CHECK(op.gate.is_parameterized(),
+                 "program artifact: param op with no free parameters");
+      const KernelClass expected = op.num_qubits == 1
+                                       ? KernelClass::Generic1Q
+                                       : KernelClass::Generic2Q;
+      QNAT_CHECK(op.kernel == expected,
+                 "program artifact: parameterized op must use the generic "
+                 "kernel class");
+    } else {
+      QNAT_CHECK(false,
+                 "program artifact: unknown op mode '" + mode + "'");
+    }
+    ops.push_back(std::move(op));
+  }
+
+  expect_tok(is, "checksum");
+  const std::uint64_t stored_checksum =
+      parse_hex64(next_tok(is, "checksum"), "checksum");
+  expect_tok(is, "end");
+  std::string trailing;
+  QNAT_CHECK(!(is >> trailing),
+             "program artifact: trailing data after end sentinel");
+
+  stats.ops = static_cast<int>(ops.size());
+  CompiledProgram program(num_qubits, num_params, fingerprint,
+                          std::move(ops), stats);
+  const std::uint64_t computed = fnv1a(serialize_program_body(program));
+  QNAT_CHECK(computed == stored_checksum,
+             "program artifact: checksum mismatch (corrupt or "
+             "non-canonical file)");
+  return program;
+}
+
+void save_program(const CompiledProgram& program, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  QNAT_CHECK(out.good(), "cannot open program artifact for writing: " + path);
+  out << serialize_program(program);
+  out.flush();
+  QNAT_CHECK(out.good(), "failed writing program artifact: " + path);
+}
+
+CompiledProgram load_program(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QNAT_CHECK(in.good(), "cannot open program artifact: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  QNAT_CHECK(!in.bad(), "failed reading program artifact: " + path);
+  return deserialize_program(std::move(buffer).str());
 }
 
 }  // namespace qnat

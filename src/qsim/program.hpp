@@ -177,4 +177,37 @@ std::size_t program_cache_size();
 /// Drops every cached program.
 void clear_program_cache();
 
+/// Caps the memoization cache. When the cache holds `capacity` programs the
+/// next insert clears it wholesale (same policy as before, now tunable for
+/// eviction tests). Clamped to >= 1; default 4096.
+void set_program_cache_capacity(std::size_t capacity);
+std::size_t program_cache_capacity();
+
+// --- QNATPROG v1: versioned on-disk compiled-program artifacts ---
+//
+// Text format, canonical by construction (%.17g doubles, fixed key order):
+//
+//   #qnat-program v1
+//   qubits <n>
+//   params <p>
+//   fingerprint <hex64>
+//   source_gates <n>  fused_away <n>  identity_removed <n>   (3 lines)
+//   ops <count>
+//   op <kernel> <nq> <q0> <q1> <fused_gates> const|param      (per op)
+//     const -> m + 8 (2x2) or 32 (4x4) doubles, row-major re/im
+//     param -> gate <name> <qubits...> + per gate parameter:
+//              expr <nterms> {<id> <scale>}... <offset>
+//   checksum <hex64>    (FNV-1a over everything above, canonical form)
+//   end
+//
+// `deserialize_program` fails loudly (qnat::Error) on wrong magic,
+// unsupported versions, truncation, checksum mismatch, out-of-range
+// qubits/params, and kernel classes that do not match the stored matrix
+// structure; it never returns a partially-parsed program. Round-trip
+// identity holds: serialize(deserialize(s)) == s for canonical s.
+std::string serialize_program(const CompiledProgram& program);
+CompiledProgram deserialize_program(const std::string& text);
+void save_program(const CompiledProgram& program, const std::string& path);
+CompiledProgram load_program(const std::string& path);
+
 }  // namespace qnat

@@ -6,7 +6,8 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
-#include "common/simd.hpp"
+#include "qsim/backend/backend.hpp"
+#include "qsim/backend/scalar_kernels.hpp"
 #include "qsim/program.hpp"
 
 namespace qnat {
@@ -18,10 +19,12 @@ std::uint64_t fresh_state_id() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
-// SIMD dispatch counters are PerRun: how many kernels take the vector
-// path depends on the backend toggle, which must not perturb the
-// deterministic fingerprint (SIMD on and off fingerprints are compared
-// for equality in the invariants suite).
+// Vector-path dispatch counters are PerRun: how many kernels take a
+// vectorized backend's path depends on the backend selection, which must
+// not perturb the deterministic fingerprint (per-backend fingerprints
+// are compared for equality in the invariants and conformance suites).
+// They only tick when a vectorized kernel actually ran — the scalar
+// backend (and scalar fallbacks within a vectorized backend) count 0.
 metrics::Counter simd_1q_dispatches() {
   static metrics::Counter c =
       metrics::counter("qsim.simd.dispatch_1q", metrics::Stability::PerRun);
@@ -40,13 +43,22 @@ metrics::Counter simd_reduce_dispatches() {
   return c;
 }
 
-/// Expands a dense counter k over 2^(n-2) values into the basis index with
-/// zero bits inserted at strides `lo` < `hi` (same enumeration apply_2q
-/// uses).
-inline std::size_t expand_two_zero_bits(std::size_t k, std::size_t lo,
-                                        std::size_t hi) {
-  std::size_t i = (k & (lo - 1)) | ((k & ~(lo - 1)) << 1);
-  return (i & (hi - 1)) | ((i & ~(hi - 1)) << 1);
+/// Kernel table for a 1q dispatch: the active backend's own kernels when
+/// it is vectorized, else the scalar reference table. `vec` doubles as
+/// the counter gate.
+inline const backend::KernelTable& table_1q(const backend::Backend& be,
+                                            bool& vec) {
+  vec = be.caps().vectorized;
+  return vec ? be.kernels() : backend::scalar_kernels();
+}
+
+/// Same for a 2q dispatch, additionally honoring the backend's minimum
+/// fast-path stride (AVX2 needs lo >= 2; below it the scalar reference
+/// runs and the dispatch counters stay untouched).
+inline const backend::KernelTable& table_2q(const backend::Backend& be,
+                                            std::size_t lo, bool& vec) {
+  vec = be.caps().vectorized && lo >= be.caps().min_fast_2q_lo;
+  return vec ? be.kernels() : backend::scalar_kernels();
 }
 
 }  // namespace
@@ -99,19 +111,10 @@ void StateVector::apply_1q(const CMatrix& m, QubitIndex q) {
   const std::size_t stride = std::size_t{1} << q;
   const cplx m00 = m(0, 0), m01 = m(0, 1), m10 = m(1, 0), m11 = m(1, 1);
   const std::size_t n = amps_.size();
-  if (simd::enabled()) {
-    simd::apply_1q(amps_.data(), n, stride, m00, m01, m10, m11);
-    simd_1q_dispatches().inc();
-    return;
-  }
-  for (std::size_t base = 0; base < n; base += 2 * stride) {
-    for (std::size_t i = base; i < base + stride; ++i) {
-      const cplx a0 = amps_[i];
-      const cplx a1 = amps_[i + stride];
-      amps_[i] = m00 * a0 + m01 * a1;
-      amps_[i + stride] = m10 * a0 + m11 * a1;
-    }
-  }
+  bool vec = false;
+  const backend::KernelTable& kt = table_1q(backend::active(), vec);
+  kt.apply_1q(amps_.data(), n, stride, m00, m01, m10, m11);
+  if (vec) simd_1q_dispatches().inc();
 }
 
 void StateVector::apply_2q(const CMatrix& m, QubitIndex a, QubitIndex b) {
@@ -127,32 +130,14 @@ void StateVector::apply_2q(const CMatrix& m, QubitIndex a, QubitIndex b) {
   const std::size_t lo = sa < sb ? sa : sb;
   const std::size_t hi = sa < sb ? sb : sa;
   const std::size_t quarter = amps_.size() >> 2;
-  if (simd::enabled() && simd::two_qubit_fast_path(lo)) {
-    cplx flat[16];
-    for (int r = 0; r < 4; ++r) {
-      for (int c = 0; c < 4; ++c) flat[4 * r + c] = m(r, c);
-    }
-    simd::apply_2q(amps_.data(), quarter, lo, hi, sa, sb, flat);
-    simd_2q_dispatches().inc();
-    return;
+  cplx flat[16];
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) flat[4 * r + c] = m(r, c);
   }
-  const cplx m00 = m(0, 0), m01 = m(0, 1), m02 = m(0, 2), m03 = m(0, 3);
-  const cplx m10 = m(1, 0), m11 = m(1, 1), m12 = m(1, 2), m13 = m(1, 3);
-  const cplx m20 = m(2, 0), m21 = m(2, 1), m22 = m(2, 2), m23 = m(2, 3);
-  const cplx m30 = m(3, 0), m31 = m(3, 1), m32 = m(3, 2), m33 = m(3, 3);
-  for (std::size_t k = 0; k < quarter; ++k) {
-    const std::size_t i = expand_two_zero_bits(k, lo, hi);
-    const std::size_t i00 = i;
-    const std::size_t i01 = i | sb;
-    const std::size_t i10 = i | sa;
-    const std::size_t i11 = i | sa | sb;
-    const cplx a00 = amps_[i00], a01 = amps_[i01], a10 = amps_[i10],
-               a11 = amps_[i11];
-    amps_[i00] = m00 * a00 + m01 * a01 + m02 * a10 + m03 * a11;
-    amps_[i01] = m10 * a00 + m11 * a01 + m12 * a10 + m13 * a11;
-    amps_[i10] = m20 * a00 + m21 * a01 + m22 * a10 + m23 * a11;
-    amps_[i11] = m30 * a00 + m31 * a01 + m32 * a10 + m33 * a11;
-  }
+  bool vec = false;
+  const backend::KernelTable& kt = table_2q(backend::active(), lo, vec);
+  kt.apply_2q(amps_.data(), quarter, lo, hi, sa, sb, flat);
+  if (vec) simd_2q_dispatches().inc();
 }
 
 void StateVector::apply_diag_1q(cplx d0, cplx d1, QubitIndex q) {
@@ -160,17 +145,10 @@ void StateVector::apply_diag_1q(cplx d0, cplx d1, QubitIndex q) {
   ++generation_;
   const std::size_t stride = std::size_t{1} << q;
   const std::size_t n = amps_.size();
-  if (simd::enabled()) {
-    simd::apply_diag_1q(amps_.data(), n, stride, d0, d1);
-    simd_1q_dispatches().inc();
-    return;
-  }
-  for (std::size_t base = 0; base < n; base += 2 * stride) {
-    for (std::size_t i = base; i < base + stride; ++i) {
-      amps_[i] *= d0;
-      amps_[i + stride] *= d1;
-    }
-  }
+  bool vec = false;
+  const backend::KernelTable& kt = table_1q(backend::active(), vec);
+  kt.apply_diag_1q(amps_.data(), n, stride, d0, d1);
+  if (vec) simd_1q_dispatches().inc();
 }
 
 void StateVector::apply_antidiag_1q(cplx top, cplx bottom, QubitIndex q) {
@@ -178,18 +156,10 @@ void StateVector::apply_antidiag_1q(cplx top, cplx bottom, QubitIndex q) {
   ++generation_;
   const std::size_t stride = std::size_t{1} << q;
   const std::size_t n = amps_.size();
-  if (simd::enabled()) {
-    simd::apply_antidiag_1q(amps_.data(), n, stride, top, bottom);
-    simd_1q_dispatches().inc();
-    return;
-  }
-  for (std::size_t base = 0; base < n; base += 2 * stride) {
-    for (std::size_t i = base; i < base + stride; ++i) {
-      const cplx a0 = amps_[i];
-      amps_[i] = top * amps_[i + stride];
-      amps_[i + stride] = bottom * a0;
-    }
-  }
+  bool vec = false;
+  const backend::KernelTable& kt = table_1q(backend::active(), vec);
+  kt.apply_antidiag_1q(amps_.data(), n, stride, top, bottom);
+  if (vec) simd_1q_dispatches().inc();
 }
 
 void StateVector::apply_diag_2q(cplx d0, cplx d1, cplx d2, cplx d3,
@@ -202,19 +172,10 @@ void StateVector::apply_diag_2q(cplx d0, cplx d1, cplx d2, cplx d3,
   const std::size_t lo = sa < sb ? sa : sb;
   const std::size_t hi = sa < sb ? sb : sa;
   const std::size_t quarter = amps_.size() >> 2;
-  if (simd::enabled() && simd::two_qubit_fast_path(lo)) {
-    simd::apply_diag_2q(amps_.data(), quarter, lo, hi, sa, sb, d0, d1, d2,
-                        d3);
-    simd_2q_dispatches().inc();
-    return;
-  }
-  for (std::size_t k = 0; k < quarter; ++k) {
-    const std::size_t i = expand_two_zero_bits(k, lo, hi);
-    amps_[i] *= d0;
-    amps_[i | sb] *= d1;
-    amps_[i | sa] *= d2;
-    amps_[i | sa | sb] *= d3;
-  }
+  bool vec = false;
+  const backend::KernelTable& kt = table_2q(backend::active(), lo, vec);
+  kt.apply_diag_2q(amps_.data(), quarter, lo, hi, sa, sb, d0, d1, d2, d3);
+  if (vec) simd_2q_dispatches().inc();
 }
 
 void StateVector::apply_controlled_1q(cplx m00, cplx m01, cplx m10, cplx m11,
@@ -228,19 +189,11 @@ void StateVector::apply_controlled_1q(cplx m00, cplx m01, cplx m10, cplx m11,
   const std::size_t lo = sc < st ? sc : st;
   const std::size_t hi = sc < st ? st : sc;
   const std::size_t quarter = amps_.size() >> 2;
-  if (simd::enabled() && simd::two_qubit_fast_path(lo)) {
-    simd::apply_controlled_1q(amps_.data(), quarter, lo, hi, sc, st, m00, m01,
-                              m10, m11);
-    simd_2q_dispatches().inc();
-    return;
-  }
-  for (std::size_t k = 0; k < quarter; ++k) {
-    const std::size_t i = expand_two_zero_bits(k, lo, hi) | sc;
-    const cplx a0 = amps_[i];
-    const cplx a1 = amps_[i | st];
-    amps_[i] = m00 * a0 + m01 * a1;
-    amps_[i | st] = m10 * a0 + m11 * a1;
-  }
+  bool vec = false;
+  const backend::KernelTable& kt = table_2q(backend::active(), lo, vec);
+  kt.apply_controlled_1q(amps_.data(), quarter, lo, hi, sc, st, m00, m01, m10,
+                         m11);
+  if (vec) simd_2q_dispatches().inc();
 }
 
 void StateVector::apply_controlled_antidiag_1q(cplx top, cplx bottom,
@@ -255,18 +208,11 @@ void StateVector::apply_controlled_antidiag_1q(cplx top, cplx bottom,
   const std::size_t lo = sc < st ? sc : st;
   const std::size_t hi = sc < st ? st : sc;
   const std::size_t quarter = amps_.size() >> 2;
-  if (simd::enabled() && simd::two_qubit_fast_path(lo)) {
-    simd::apply_controlled_antidiag_1q(amps_.data(), quarter, lo, hi, sc, st,
-                                       top, bottom);
-    simd_2q_dispatches().inc();
-    return;
-  }
-  for (std::size_t k = 0; k < quarter; ++k) {
-    const std::size_t i = expand_two_zero_bits(k, lo, hi) | sc;
-    const cplx a0 = amps_[i];
-    amps_[i] = top * amps_[i | st];
-    amps_[i | st] = bottom * a0;
-  }
+  bool vec = false;
+  const backend::KernelTable& kt = table_2q(backend::active(), lo, vec);
+  kt.apply_controlled_antidiag_1q(amps_.data(), quarter, lo, hi, sc, st, top,
+                                  bottom);
+  if (vec) simd_2q_dispatches().inc();
 }
 
 void StateVector::apply_swap(QubitIndex a, QubitIndex b) {
@@ -278,10 +224,10 @@ void StateVector::apply_swap(QubitIndex a, QubitIndex b) {
   const std::size_t lo = sa < sb ? sa : sb;
   const std::size_t hi = sa < sb ? sb : sa;
   const std::size_t quarter = amps_.size() >> 2;
-  for (std::size_t k = 0; k < quarter; ++k) {
-    const std::size_t i = expand_two_zero_bits(k, lo, hi);
-    std::swap(amps_[i | sa], amps_[i | sb]);
-  }
+  // Every backend's table routes swap to the shared scalar permutation
+  // (memory-bound either way), so no dispatch counter ticks here.
+  backend::active().kernels().apply_swap(amps_.data(), quarter, lo, hi, sa,
+                                         sb);
 }
 
 void StateVector::apply_gate(const Gate& gate, const ParamVector& params) {
@@ -348,13 +294,10 @@ real StateVector::prob_one(QubitIndex q) const {
 }
 
 real StateVector::norm_sq() const {
-  if (simd::enabled()) {
-    simd_reduce_dispatches().inc();
-    return simd::norm_sq(amps_.data(), amps_.size());
-  }
-  real s = 0.0;
-  for (const auto& a : amps_) s += std::norm(a);
-  return s;
+  bool vec = false;
+  const backend::KernelTable& kt = table_1q(backend::active(), vec);
+  if (vec) simd_reduce_dispatches().inc();
+  return kt.norm_sq(amps_.data(), amps_.size());
 }
 
 void StateVector::normalize() {
@@ -367,28 +310,19 @@ void StateVector::normalize() {
 cplx StateVector::inner(const StateVector& other) const {
   QNAT_CHECK(num_qubits_ == other.num_qubits_,
              "inner product dimension mismatch");
-  if (simd::enabled()) {
-    simd_reduce_dispatches().inc();
-    return simd::inner(amps_.data(), other.amps_.data(), amps_.size());
-  }
-  cplx s{0.0, 0.0};
-  for (std::size_t i = 0; i < amps_.size(); ++i) {
-    s += std::conj(amps_[i]) * other.amps_[i];
-  }
-  return s;
+  bool vec = false;
+  const backend::KernelTable& kt = table_1q(backend::active(), vec);
+  if (vec) simd_reduce_dispatches().inc();
+  return kt.inner(amps_.data(), other.amps_.data(), amps_.size());
 }
 
 void StateVector::add_scaled(const StateVector& other, cplx factor) {
   QNAT_CHECK(num_qubits_ == other.num_qubits_, "dimension mismatch");
   ++generation_;
-  if (simd::enabled()) {
-    simd_reduce_dispatches().inc();
-    simd::add_scaled(amps_.data(), other.amps_.data(), amps_.size(), factor);
-    return;
-  }
-  for (std::size_t i = 0; i < amps_.size(); ++i) {
-    amps_[i] += factor * other.amps_[i];
-  }
+  bool vec = false;
+  const backend::KernelTable& kt = table_1q(backend::active(), vec);
+  if (vec) simd_reduce_dispatches().inc();
+  kt.add_scaled(amps_.data(), other.amps_.data(), amps_.size(), factor);
 }
 
 void StateVector::scale(cplx factor) {

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdio>
+#include <fstream>
 #include <limits>
+#include <sstream>
+#include <string_view>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
@@ -14,8 +18,140 @@
 
 namespace qnat::serve {
 
+namespace {
+
+constexpr const char* kArtifactMagic = "#qnat-servable";
+constexpr const char* kArtifactVersion = "v1";
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void put_real(std::ostream& os, real v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+void put_real_vector(std::ostream& os, const char* key,
+                     const std::vector<real>& values) {
+  os << key << ' ' << values.size();
+  for (const real v : values) {
+    os << ' ';
+    put_real(os, v);
+  }
+  os << '\n';
+}
+
+std::uint64_t fingerprint_model(const QnnModel& model) {
+  return fnv1a(serialize_model(model));
+}
+
+/// Canonical text of everything besides the weights that shapes the
+/// steady state — options fields plus the profiling batch (its values
+/// pin the normalization statistics). `artifact_dir` is deliberately
+/// excluded: it locates the cache, it is not part of what is cached.
+std::uint64_t fingerprint_options(const ServingOptions& options,
+                                  const Tensor2D* profiling_inputs) {
+  std::ostringstream os;
+  os << "normalize " << options.normalize << '\n';
+  os << "quantize " << options.quantize << '\n';
+  os << "quant " << options.quant.levels << ' ';
+  put_real(os, options.quant.clip_min);
+  os << ' ';
+  put_real(os, options.quant.clip_max);
+  os << '\n';
+  os << "noise_preset " << options.noise_preset << '\n';
+  os << "optimization_level " << options.optimization_level << '\n';
+  os << "bind_weights " << options.bind_weights << '\n';
+  os << "shots " << options.shots << '\n';
+  os << "seed " << options.seed << '\n';
+  if (profiling_inputs == nullptr) {
+    os << "profiling none\n";
+  } else {
+    os << "profiling " << profiling_inputs->rows() << ' '
+       << profiling_inputs->cols();
+    for (const real v : profiling_inputs->data()) {
+      os << ' ';
+      put_real(os, v);
+    }
+    os << '\n';
+  }
+  return fnv1a(std::move(os).str());
+}
+
+std::string next_tok(std::istream& is, const char* what) {
+  std::string t;
+  QNAT_CHECK(static_cast<bool>(is >> t),
+             std::string("serve artifact: truncated before ") + what);
+  return t;
+}
+
+void expect_tok(std::istream& is, const char* want) {
+  const std::string t = next_tok(is, want);
+  QNAT_CHECK(t == want, std::string("serve artifact: expected '") + want +
+                            "', got '" + t + "'");
+}
+
+long long read_int(std::istream& is, const char* what, long long lo,
+                   long long hi) {
+  long long v = 0;
+  QNAT_CHECK(static_cast<bool>(is >> v),
+             std::string("serve artifact: truncated/bad ") + what);
+  QNAT_CHECK(v >= lo && v <= hi,
+             std::string("serve artifact: ") + what + " out of range");
+  return v;
+}
+
+std::uint64_t parse_hex64(const std::string& tok, const char* what) {
+  QNAT_CHECK(!tok.empty() && tok.size() <= 16,
+             std::string("serve artifact: bad ") + what);
+  std::uint64_t v = 0;
+  for (const char c : tok) {
+    int d = -1;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    QNAT_CHECK(d >= 0, std::string("serve artifact: bad ") + what);
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  return v;
+}
+
+std::vector<real> read_real_vector(std::istream& is, const char* what) {
+  const long long n = read_int(is, what, 0, 1 << 20);
+  std::vector<real> values(static_cast<std::size_t>(n));
+  for (auto& v : values) {
+    QNAT_CHECK(static_cast<bool>(is >> v),
+               std::string("serve artifact: truncated/bad ") + what);
+  }
+  return values;
+}
+
+}  // namespace
+
 std::string ServableModel::spec() const {
   return name_ + "@" + std::to_string(version_);
+}
+
+std::uint64_t ServableModel::artifact_key(const QnnModel& model,
+                                          const ServingOptions& options,
+                                          const Tensor2D* profiling_inputs) {
+  const std::uint64_t mf = fingerprint_model(model);
+  const std::uint64_t of = fingerprint_options(options, profiling_inputs);
+  // boost::hash_combine-style mix of the two 64-bit fingerprints.
+  return mf ^ (of + 0x9E3779B97F4A7C15ULL + (mf << 6) + (mf >> 2));
 }
 
 ServableModel::ServableModel(std::string name, int version, QnnModel model,
@@ -93,6 +229,120 @@ ServableModel::ServableModel(std::string name, int version, QnnModel model,
     }
   }
 
+  model_fingerprint_ = fingerprint_model(model_);
+  options_fingerprint_ = fingerprint_options(options_, profiling_inputs);
+  finalize_pipeline();
+}
+
+ServableModel::ServableModel(std::string name, int version, QnnModel model,
+                             ServingOptions options,
+                             const Tensor2D* profiling_inputs,
+                             const std::string& artifact_text)
+    : name_(std::move(name)),
+      version_(version),
+      model_(std::move(model)),
+      options_(std::move(options)),
+      shot_rng_base_(options_.seed) {
+  QNAT_TRACE_SCOPE("serve.load_model_warm");
+
+  std::istringstream is(artifact_text);
+  std::string magic_line;
+  QNAT_CHECK(static_cast<bool>(std::getline(is, magic_line)),
+             "serve artifact: empty input");
+  if (!magic_line.empty() && magic_line.back() == '\r') magic_line.pop_back();
+  const std::string expected_magic =
+      std::string(kArtifactMagic) + ' ' + kArtifactVersion;
+  QNAT_CHECK(magic_line.rfind(kArtifactMagic, 0) == 0,
+             "serve artifact: bad magic (not a QNATSRV file)");
+  QNAT_CHECK(magic_line == expected_magic,
+             "serve artifact: unsupported version '" + magic_line +
+                 "' (expected " + expected_magic + ")");
+
+  // Provenance gate: a bundle built from a different checkpoint, serving
+  // configuration, or profiling batch must never be warm-loaded, even if
+  // it parses — 64-bit fingerprint collisions on the *filename* alone
+  // would otherwise serve stale state.
+  model_fingerprint_ = fingerprint_model(model_);
+  options_fingerprint_ = fingerprint_options(options_, profiling_inputs);
+  expect_tok(is, "model_fingerprint");
+  QNAT_CHECK(parse_hex64(next_tok(is, "model_fingerprint"),
+                         "model_fingerprint") == model_fingerprint_,
+             "serve artifact: built from a different model checkpoint");
+  expect_tok(is, "options_fingerprint");
+  QNAT_CHECK(parse_hex64(next_tok(is, "options_fingerprint"),
+                         "options_fingerprint") == options_fingerprint_,
+             "serve artifact: built under different serving options or "
+             "profiling batch");
+
+  expect_tok(is, "blocks");
+  const long long num_blocks =
+      read_int(is, "block count", 0, 1 << 16);
+  QNAT_CHECK(num_blocks == static_cast<long long>(model_.blocks().size()),
+             "serve artifact: block count does not match model");
+  for (long long b = 0; b < num_blocks; ++b) {
+    expect_tok(is, "block");
+    QNAT_CHECK(read_int(is, "block index", 0, num_blocks - 1) == b,
+               "serve artifact: blocks out of order");
+    BlockBinding binding;
+    expect_tok(is, "wires");
+    const long long num_wires = read_int(is, "wire count", 1, 64);
+    for (long long w = 0; w < num_wires; ++w) {
+      binding.measure_wires.push_back(
+          static_cast<QubitIndex>(read_int(is, "measure wire", 0, 63)));
+    }
+    expect_tok(is, "slope");
+    binding.readout_slope = read_real_vector(is, "readout slope");
+    expect_tok(is, "intercept");
+    binding.readout_intercept = read_real_vector(is, "readout intercept");
+    QNAT_CHECK(binding.readout_slope.size() == binding.measure_wires.size() &&
+                   binding.readout_intercept.size() ==
+                       binding.measure_wires.size(),
+               "serve artifact: readout map / wire length mismatch");
+    // Blocks without profiled statistics (the unprocessed last block) go
+    // straight to their program section.
+    std::string section = next_tok(is, "mean or program");
+    if (section == "mean") {
+      QNAT_CHECK(options_.normalize,
+                 "serve artifact: profiled statistics without normalize");
+      profiled_mean_.push_back(read_real_vector(is, "profiled mean"));
+      expect_tok(is, "std");
+      profiled_std_.push_back(read_real_vector(is, "profiled std"));
+      section = next_tok(is, "program");
+    }
+    QNAT_CHECK(section == "program",
+               "serve artifact: expected 'program', got '" + section + "'");
+    const long long program_bytes =
+        read_int(is, "program byte count", 1, 1 << 26);
+    QNAT_CHECK(is.get() == '\n',
+               "serve artifact: malformed program byte header");
+    std::string program_text(static_cast<std::size_t>(program_bytes), '\0');
+    is.read(program_text.data(), program_bytes);
+    QNAT_CHECK(is.gcount() == program_bytes,
+               "serve artifact: truncated embedded program");
+    // The embedded QNATPROG artifact carries its own checksum; a corrupt
+    // program fails here, before any state is published.
+    binding.program = std::make_shared<const CompiledProgram>(
+        deserialize_program(program_text));
+    bindings_.push_back(std::move(binding));
+  }
+  expect_tok(is, "checksum");
+  (void)parse_hex64(next_tok(is, "checksum"), "checksum");
+  expect_tok(is, "end");
+  std::string trailing;
+  QNAT_CHECK(!(is >> trailing),
+             "serve artifact: trailing data after end sentinel");
+
+  finalize_pipeline();
+  // Canonical round-trip gate: re-serializing the parsed state must
+  // reproduce the bundle byte-for-byte (QNATPROG and %.17g formatting are
+  // canonical), so any corruption the field parsers tolerated — edited
+  // digits, a wrong checksum line — is caught here.
+  QNAT_CHECK(serialize_artifact() == artifact_text,
+             "serve artifact: checksum/canonical form mismatch (corrupt "
+             "bundle)");
+}
+
+void ServableModel::finalize_pipeline() {
   pipeline_.normalize = options_.normalize;
   pipeline_.quantize = options_.quantize;
   pipeline_.quant = options_.quant;
@@ -100,6 +350,37 @@ ServableModel::ServableModel(std::string name, int version, QnnModel model,
     pipeline_.profiled_mean = &profiled_mean_;
     pipeline_.profiled_std = &profiled_std_;
   }
+}
+
+std::string ServableModel::serialize_artifact() const {
+  std::ostringstream os;
+  os << kArtifactMagic << ' ' << kArtifactVersion << '\n';
+  os << "model_fingerprint " << hex64(model_fingerprint_) << '\n';
+  os << "options_fingerprint " << hex64(options_fingerprint_) << '\n';
+  os << "blocks " << bindings_.size() << '\n';
+  for (std::size_t b = 0; b < bindings_.size(); ++b) {
+    const BlockBinding& binding = bindings_[b];
+    os << "block " << b << '\n';
+    os << "wires " << binding.measure_wires.size();
+    for (const QubitIndex w : binding.measure_wires) os << ' ' << w;
+    os << '\n';
+    put_real_vector(os, "slope", binding.readout_slope);
+    put_real_vector(os, "intercept", binding.readout_intercept);
+    // Profiled statistics exist only for *processed* blocks (the last
+    // block is post-processed only with apply_to_last), so their presence
+    // is per block, not just per model.
+    if (options_.normalize && b < profiled_mean_.size()) {
+      put_real_vector(os, "mean", profiled_mean_[b]);
+      put_real_vector(os, "std", profiled_std_[b]);
+    }
+    const std::string program_text = serialize_program(*binding.program);
+    os << "program " << program_text.size() << '\n' << program_text;
+  }
+  std::string body = std::move(os).str();
+  std::ostringstream tail;
+  tail << "checksum " << hex64(fnv1a(body)) << "\nend\n";
+  body += std::move(tail).str();
+  return body;
 }
 
 Tensor2D ServableModel::run_batch(
@@ -141,6 +422,14 @@ std::shared_ptr<const ServableModel> ModelRegistry::add(
                  name + "'");
   static metrics::Counter loads =
       metrics::counter("serve.registry.loads", metrics::Stability::PerRun);
+  static metrics::Counter artifact_hits =
+      metrics::counter("serve.artifact.hits", metrics::Stability::PerRun);
+  static metrics::Counter artifact_misses =
+      metrics::counter("serve.artifact.misses", metrics::Stability::PerRun);
+  static metrics::Counter artifact_writes =
+      metrics::counter("serve.artifact.writes", metrics::Stability::PerRun);
+  static metrics::Counter artifact_rejected = metrics::counter(
+      "serve.artifact.rejected", metrics::Stability::PerRun);
   loads.inc();
 
   int version = 1;
@@ -153,8 +442,52 @@ std::shared_ptr<const ServableModel> ModelRegistry::add(
     }
   }
   // Build outside the lock — transpile + compile + profiling can be slow.
-  std::shared_ptr<const ServableModel> entry(new ServableModel(
-      name, version, model, options, profiling_inputs));
+  // With an artifact directory, a matching bundle short-circuits all of
+  // that: the warm constructor only parses and verifies.
+  std::shared_ptr<const ServableModel> entry;
+  std::string artifact_path;
+  if (!options.artifact_dir.empty()) {
+    artifact_path =
+        options.artifact_dir + "/servable_" +
+        hex64(ServableModel::artifact_key(model, options, profiling_inputs)) +
+        ".txt";
+    std::ifstream in(artifact_path, std::ios::binary);
+    if (in.good()) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      try {
+        entry.reset(new ServableModel(name, version, model, options,
+                                      profiling_inputs,
+                                      std::move(buffer).str()));
+        artifact_hits.inc();
+      } catch (const std::exception& e) {
+        // Fail loudly, then rebuild: a bad cache entry must never block a
+        // load or be served silently.
+        artifact_rejected.inc();
+        std::fprintf(stderr, "[qnat] rejected serve artifact %s: %s\n",
+                     artifact_path.c_str(), e.what());
+      }
+    } else {
+      artifact_misses.inc();
+    }
+  }
+  if (!entry) {
+    entry.reset(new ServableModel(
+        name, version, model, options, profiling_inputs));
+    if (!artifact_path.empty()) {
+      std::ofstream out(artifact_path, std::ios::binary | std::ios::trunc);
+      if (out.good()) {
+        out << entry->serialize_artifact();
+        out.flush();
+      }
+      if (out.good()) {
+        artifact_writes.inc();
+      } else {
+        std::fprintf(stderr, "[qnat] failed writing serve artifact %s\n",
+                     artifact_path.c_str());
+      }
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     entries_[{name, version}] = entry;

@@ -67,6 +67,14 @@ struct ServingOptions {
   int shots = 0;
   /// Master seed of the per-request shot streams.
   std::uint64_t seed = 20260806;
+  /// Directory of compiled-artifact bundles ("" = caching disabled). On
+  /// `ModelRegistry::add`, a matching `servable_<key>.txt` bundle (key =
+  /// model x options x profiling-batch fingerprint) is loaded *warm* —
+  /// transpile, fusion, weight binding and profiling are all skipped and
+  /// the pinned programs come from embedded QNATPROG artifacts. A miss
+  /// builds fresh and writes the bundle; a corrupt or mismatching bundle
+  /// is rejected loudly (serve.artifact.rejected) and rebuilt.
+  std::string artifact_dir;
 };
 
 /// Immutable, thread-shareable serving state of one checkpoint version.
@@ -101,10 +109,32 @@ class ServableModel {
     return bindings_[b].program;
   }
 
+  /// QNATSRV v1 bundle of this model's steady-state execution state:
+  /// fingerprint header, per-block readout bindings + profiled statistics,
+  /// and the pinned programs embedded as QNATPROG artifacts. Feeding it
+  /// back through the registry's artifact cache rebuilds this model
+  /// without transpile/fuse/bind/profiling.
+  std::string serialize_artifact() const;
+
+  /// Cache key of a (model, options, profiling batch) triple — the
+  /// artifact filename component used by the registry.
+  static std::uint64_t artifact_key(const QnnModel& model,
+                                    const ServingOptions& options,
+                                    const Tensor2D* profiling_inputs);
+
  private:
   friend class ModelRegistry;
   ServableModel(std::string name, int version, QnnModel model,
                 ServingOptions options, const Tensor2D* profiling_inputs);
+  /// Warm constructor: rebuilds steady state from a QNATSRV v1 bundle,
+  /// skipping plan construction, compilation, weight binding and
+  /// profiling. Throws qnat::Error when the bundle is corrupt or was
+  /// built from a different model/options/profiling batch.
+  ServableModel(std::string name, int version, QnnModel model,
+                ServingOptions options, const Tensor2D* profiling_inputs,
+                const std::string& artifact_text);
+  /// Shared tail of both constructors (pipeline wiring).
+  void finalize_pipeline();
 
   /// One block's steady-state execution state.
   struct BlockBinding {
@@ -126,6 +156,10 @@ class ServableModel {
   std::vector<std::vector<real>> profiled_std_;
   QnnForwardOptions pipeline_;
   Rng shot_rng_base_;
+  /// Provenance fingerprints pinned at load (either path); stored in the
+  /// artifact header and re-verified on warm loads.
+  std::uint64_t model_fingerprint_ = 0;
+  std::uint64_t options_fingerprint_ = 0;
 };
 
 /// Thread-safe name -> versioned ServableModel map. Loads are cold-path

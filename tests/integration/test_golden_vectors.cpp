@@ -24,10 +24,10 @@
 #include <string>
 #include <vector>
 
-#include "common/simd.hpp"
 #include "core/evaluator.hpp"
 #include "data/tasks.hpp"
 #include "noise/device_presets.hpp"
+#include "qsim/backend/backend.hpp"
 
 namespace qnat {
 namespace {
@@ -86,27 +86,30 @@ void append(std::vector<real>& sink, const Tensor2D& t) {
   sink.insert(sink.end(), t.data().begin(), t.data().end());
 }
 
-/// Runs the workload on the scalar backend and checks it against the
-/// stored golden vector (1e-9, libm drift); then, on AVX2 hardware,
-/// reruns it with the SIMD backend and requires agreement with the
-/// scalar pass to 1e-12 (the backends' documented differential bound).
+/// Runs the workload on the scalar reference backend and checks it
+/// against the stored golden vector (1e-9, libm drift); then reruns it
+/// on every other registered-and-available backend and requires
+/// agreement with the scalar pass to 1e-12 (the conformance harness's
+/// differential bound).
 void check_golden_both_backends(
     const std::string& name,
     const std::function<std::vector<real>()>& compute) {
-  const bool prev = simd::enabled();
-  simd::set_enabled(false);
+  const std::string prev(backend::active().name());
+  ASSERT_TRUE(backend::set_active("scalar"));
   const std::vector<real> scalar = compute();
   check_golden(name, scalar);
-  if (simd::runtime_supported()) {
-    simd::set_enabled(true);
+  for (const std::string& backend_name : backend::available_backends()) {
+    if (backend_name == "scalar") continue;
+    ASSERT_TRUE(backend::set_active(backend_name)) << backend_name;
     const std::vector<real> vectorized = compute();
     ASSERT_EQ(vectorized.size(), scalar.size()) << name;
     for (std::size_t i = 0; i < scalar.size(); ++i) {
       EXPECT_NEAR(vectorized[i], scalar[i], 1e-12)
-          << name << "[" << i << "] diverges between SIMD and scalar";
+          << name << "[" << i << "] diverges between " << backend_name
+          << " and scalar";
     }
   }
-  simd::set_enabled(prev);
+  backend::set_active(prev);
 }
 
 QnnModel mnist4_model() {

@@ -1,0 +1,338 @@
+// Backend conformance harness: every registered execution backend must be
+// observationally identical to the scalar reference backend.
+//
+// A generated circuit corpus covers every kernel class (dense / diagonal /
+// anti-diagonal / controlled / swap, one- and two-qubit, constant and
+// parameterized), qubit-0 two-qubit pairs (the AVX2 lo==1 scalar
+// fallback), reversed qubit orders, and a deep seeded random mix. For
+// each registered backend the harness asserts:
+//   - statevector amplitudes agree with the scalar reference to 1e-12,
+//     fused and unfused;
+//   - density-matrix evolution (which routes rho as a 2n-qubit
+//     statevector through the same kernels) agrees to 1e-12;
+//   - the deterministic metrics fingerprint — executions, op dispatches,
+//     per-kernel-class counters — is bit-identical across backends;
+//   - QNATPROG artifact round-trips reproduce the execution exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "qsim/backend/backend.hpp"
+#include "qsim/density_matrix.hpp"
+#include "qsim/pauli_channel.hpp"
+#include "qsim/program.hpp"
+#include "qsim/statevector.hpp"
+
+namespace qnat {
+namespace {
+
+/// Restores the previously active backend on scope exit, so a failing
+/// assertion cannot leak a non-default backend into later tests.
+class BackendGuard {
+ public:
+  BackendGuard() : prev_(backend::active().name()) {}
+  ~BackendGuard() { backend::set_active(prev_); }
+
+ private:
+  std::string prev_;
+};
+
+struct Case {
+  std::string name;
+  Circuit circuit;
+  ParamVector params;
+};
+
+void add_param_expr_gates(Circuit& c) {
+  // Affine parameter expressions (the transpiler's output shape), not
+  // just direct slot references.
+  c.append(Gate(GateType::RY, {0}, {ParamExpr::affine(0, 0.5, 0.25)}));
+  c.append(Gate(GateType::CRZ, {1, 0},
+                {ParamExpr::affine(1, -1.0, kPi / 3)}));
+  c.append(Gate(GateType::RZX, {0, 2}, {ParamExpr::param(2)}));
+}
+
+/// Every kernel class with two-qubit pairs touching qubit 0 — the pairs
+/// the AVX2 backend must decline (supports_op == false) and execute
+/// through the scalar fallback table.
+Circuit kernel_classes_low() {
+  Circuit c(3);
+  c.id(0);                                                   // identity
+  c.z(0); c.s(1); c.t(2); c.rz_const(0, 0.37);               // diag1q
+  c.x(0); c.y(1);                                            // antidiag1q
+  c.h(0); c.sx(1); c.rx_const(2, 1.1); c.sh(0);              // generic1q
+  c.cz(0, 1);                                                // diag2q
+  c.append(Gate(GateType::RZZ, {0, 2}, {ParamExpr::constant(0.81)}));
+  c.cx(0, 1); c.cy(2, 0);                                    // ctrlanti1q
+  c.append(Gate(GateType::CH, {0, 1}));                      // ctrl1q
+  c.append(Gate(GateType::CRX, {1, 0}, {ParamExpr::constant(0.7)}));
+  c.swap(0, 2);                                              // swap
+  c.sqrtswap(1, 0);                                          // generic2q
+  c.append(Gate(GateType::RXX, {2, 0}, {ParamExpr::constant(0.53)}));
+  return c;
+}
+
+/// Same class coverage on qubits >= 1 of a wider register, so two-qubit
+/// strides satisfy lo >= 2 and the AVX2 fast paths actually run.
+Circuit kernel_classes_high() {
+  Circuit c(5);
+  c.z(1); c.s(2); c.rz_const(3, -0.61);
+  c.x(4); c.y(1);
+  c.h(2); c.sx(3); c.ry_const(4, 0.93);
+  c.cz(1, 3);
+  c.append(Gate(GateType::RZZ, {2, 4}, {ParamExpr::constant(1.17)}));
+  c.cx(1, 2); c.cy(4, 3);
+  c.append(Gate(GateType::CU3, {3, 1},
+                {ParamExpr::constant(0.4), ParamExpr::constant(0.2),
+                 ParamExpr::constant(0.9)}));
+  c.swap(1, 4);
+  c.sqrtswap(2, 3);
+  c.append(Gate(GateType::RYY, {4, 2}, {ParamExpr::constant(-0.71)}));
+  return c;
+}
+
+Circuit parameterized_mix() {
+  Circuit c(4, 6);
+  c.rx(0, 0);
+  c.ry(1, 1);
+  c.rz(2, 2);
+  c.u3(3, 3, 4, 5);
+  c.cu3(0, 2, 0, 1, 2);
+  c.rzz(1, 3, 3);
+  c.rxx(2, 0, 4);
+  c.rzx(3, 1, 5);
+  add_param_expr_gates(c);
+  return c;
+}
+
+/// Deep seeded random circuit: every gate family, both qubit orders,
+/// qubit-0 and high-qubit pairs interleaved.
+Circuit random_deep(std::uint64_t seed, int num_qubits, int num_gates) {
+  Circuit c(num_qubits, 4);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> angle(-kPi, kPi);
+  std::uniform_int_distribution<int> qubit(0, num_qubits - 1);
+  std::uniform_int_distribution<int> pick(0, 13);
+  for (int i = 0; i < num_gates; ++i) {
+    const QubitIndex a = qubit(rng);
+    QubitIndex b = qubit(rng);
+    while (b == a) b = qubit(rng);
+    switch (pick(rng)) {
+      case 0: c.h(a); break;
+      case 1: c.x(a); break;
+      case 2: c.s(a); break;
+      case 3: c.rz_const(a, angle(rng)); break;
+      case 4: c.rx_const(a, angle(rng)); break;
+      case 5: c.ry_const(a, angle(rng)); break;
+      case 6: c.cx(a, b); break;
+      case 7: c.cz(a, b); break;
+      case 8: c.swap(a, b); break;
+      case 9: c.sqrtswap(a, b); break;
+      case 10:
+        c.append(Gate(GateType::RZZ, {a, b},
+                      {ParamExpr::constant(angle(rng))}));
+        break;
+      case 11:
+        c.append(Gate(GateType::CRY, {a, b},
+                      {ParamExpr::constant(angle(rng))}));
+        break;
+      case 12: c.rx(a, i % 4); break;
+      default:
+        c.append(Gate(GateType::RXX, {a, b}, {ParamExpr::param(i % 4)}));
+        break;
+    }
+  }
+  return c;
+}
+
+std::vector<Case> conformance_corpus() {
+  std::vector<Case> corpus;
+  corpus.push_back({"kernel_classes_low", kernel_classes_low(), {}});
+  corpus.push_back({"kernel_classes_high", kernel_classes_high(), {}});
+  corpus.push_back(
+      {"parameterized_mix", parameterized_mix(),
+       {0.31, -1.07, 2.4, 0.18, -0.92, 1.63}});
+  corpus.push_back({"random_deep_6q", random_deep(20260807, 6, 96),
+                    {0.42, -0.87, 1.91, -2.3}});
+  corpus.push_back({"random_deep_2q", random_deep(7, 2, 48),
+                    {1.2, 0.4, -0.6, 2.2}});
+  return corpus;
+}
+
+std::vector<cplx> run_sv(const CompiledProgram& program,
+                         const ParamVector& params) {
+  StateVector state(program.num_qubits());
+  program.run(state, params);
+  return state.amplitudes();
+}
+
+void expect_amplitudes_close(const std::vector<cplx>& ref,
+                             const std::vector<cplx>& got, double tol,
+                             const std::string& label) {
+  ASSERT_EQ(ref.size(), got.size()) << label;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    worst = std::max(worst, std::abs(ref[i] - got[i]));
+  }
+  EXPECT_LE(worst, tol) << label;
+}
+
+TEST(BackendConformance, RegistryListsScalarAndSelectionWorks) {
+  BackendGuard guard;
+  auto& registry = backend::BackendRegistry::instance();
+  const auto names = registry.registered_names();
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_EQ(names[0], "scalar");
+  EXPECT_EQ(names[1], "avx2");
+  ASSERT_NE(registry.find("scalar"), nullptr);
+  EXPECT_TRUE(registry.find("scalar")->available());
+  EXPECT_FALSE(registry.find("scalar")->caps().vectorized);
+
+  ASSERT_TRUE(backend::set_active("scalar"));
+  EXPECT_STREQ(backend::active().name(), "scalar");
+  const std::string before = backend::active().name();
+  EXPECT_FALSE(backend::set_active("no-such-backend"));
+  EXPECT_EQ(backend::active().name(), before);  // unchanged on failure
+  // Every advertised available backend is selectable.
+  for (const std::string& name : backend::available_backends()) {
+    EXPECT_TRUE(backend::set_active(name)) << name;
+    EXPECT_EQ(backend::active().name(), name);
+  }
+}
+
+TEST(BackendConformance, SupportsOpCapabilityNegotiation) {
+  auto& registry = backend::BackendRegistry::instance();
+  const backend::Backend* scalar = registry.find("scalar");
+  const backend::Backend* avx2 = registry.find("avx2");
+  ASSERT_NE(scalar, nullptr);
+  ASSERT_NE(avx2, nullptr);
+  const CompiledProgram program = compile_program(kernel_classes_low());
+  for (const CompiledOp& op : program.ops()) {
+    // The scalar reference executes everything (Identity ops are skips).
+    EXPECT_TRUE(scalar->supports_op(op) ||
+                op.kernel == KernelClass::Identity);
+    if (op.kernel == KernelClass::Swap ||
+        (op.num_qubits == 2 && (op.q0 == 0 || op.q1 == 0))) {
+      EXPECT_FALSE(avx2->supports_op(op))
+          << "avx2 must decline swap and qubit-0 pairs, op on q" << op.q0
+          << "," << op.q1;
+    }
+  }
+}
+
+TEST(BackendConformance, StatevectorAgreesWithScalarReference) {
+  BackendGuard guard;
+  for (const Case& test_case : conformance_corpus()) {
+    for (const bool fuse : {true, false}) {
+      const CompiledProgram program =
+          compile_program(test_case.circuit, FusionOptions{fuse});
+      ASSERT_TRUE(backend::set_active("scalar"));
+      const std::vector<cplx> reference = run_sv(program, test_case.params);
+      for (const std::string& name : backend::available_backends()) {
+        if (name == "scalar") continue;
+        ASSERT_TRUE(backend::set_active(name));
+        expect_amplitudes_close(
+            reference, run_sv(program, test_case.params), 1e-12,
+            test_case.name + (fuse ? "/fused" : "/unfused") + "@" + name);
+      }
+    }
+  }
+}
+
+TEST(BackendConformance, DensityMatrixAgreesWithScalarReference) {
+  BackendGuard guard;
+  for (const Case& test_case : conformance_corpus()) {
+    // Unfused ops, one per source gate, with a Pauli channel interleaved
+    // after every gate — the exact channel simulator's access pattern.
+    const CompiledProgram program =
+        compile_program(test_case.circuit, FusionOptions{false});
+    const PauliChannel channel{0.01, 0.005, 0.02};
+    auto evolve = [&]() {
+      DensityMatrix rho(test_case.circuit.num_qubits());
+      for (const CompiledOp& op : program.ops()) {
+        rho.apply_op(op, test_case.params);
+        rho.apply_pauli_channel(op.q0, channel);
+      }
+      return rho.expectations_z();
+    };
+    ASSERT_TRUE(backend::set_active("scalar"));
+    const std::vector<real> reference = evolve();
+    for (const std::string& name : backend::available_backends()) {
+      if (name == "scalar") continue;
+      ASSERT_TRUE(backend::set_active(name));
+      const std::vector<real> got = evolve();
+      ASSERT_EQ(reference.size(), got.size());
+      for (std::size_t q = 0; q < reference.size(); ++q) {
+        EXPECT_NEAR(reference[q], got[q], 1e-12)
+            << test_case.name << "@" << name << " qubit " << q;
+      }
+    }
+  }
+}
+
+TEST(BackendConformance, DeterministicMetricsFingerprintInvariant) {
+  BackendGuard guard;
+  const std::vector<Case> corpus = conformance_corpus();
+  auto fingerprint_run = [&corpus]() {
+    metrics::reset();
+    for (const Case& test_case : corpus) {
+      for (const bool fuse : {true, false}) {
+        const CompiledProgram program =
+            compile_program(test_case.circuit, FusionOptions{fuse});
+        StateVector state(program.num_qubits());
+        program.run(state, test_case.params);
+      }
+    }
+    return metrics::deterministic_fingerprint();
+  };
+  metrics::set_enabled(true);
+  ASSERT_TRUE(backend::set_active("scalar"));
+  const std::string reference = fingerprint_run();
+  for (const std::string& name : backend::available_backends()) {
+    if (name == "scalar") continue;
+    ASSERT_TRUE(backend::set_active(name));
+    EXPECT_EQ(fingerprint_run(), reference)
+        << "deterministic metrics fingerprint diverged on " << name;
+  }
+  metrics::set_enabled(false);
+  metrics::reset();
+}
+
+TEST(BackendConformance, ArtifactRoundTripExecutesIdentically) {
+  BackendGuard guard;
+  for (const Case& test_case : conformance_corpus()) {
+    for (const bool fuse : {true, false}) {
+      const CompiledProgram program =
+          compile_program(test_case.circuit, FusionOptions{fuse});
+      const std::string text = serialize_program(program);
+      const CompiledProgram reloaded = deserialize_program(text);
+      // Canonical round-trip identity: serialize(deserialize(s)) == s.
+      EXPECT_EQ(serialize_program(reloaded), text) << test_case.name;
+      EXPECT_EQ(reloaded.source_fingerprint(), program.source_fingerprint());
+      EXPECT_EQ(reloaded.ops().size(), program.ops().size());
+      for (const std::string& name : backend::available_backends()) {
+        ASSERT_TRUE(backend::set_active(name));
+        const std::vector<cplx> direct = run_sv(program, test_case.params);
+        const std::vector<cplx> via_artifact =
+            run_sv(reloaded, test_case.params);
+        ASSERT_EQ(direct.size(), via_artifact.size());
+        for (std::size_t i = 0; i < direct.size(); ++i) {
+          // Matrices and expressions round-trip bit-exactly (%.17g), so
+          // execution must too — no tolerance.
+          EXPECT_EQ(direct[i], via_artifact[i])
+              << test_case.name << "@" << name << " amp " << i;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,180 @@
+// Property tests for the compiled-program cache and the QNATPROG v1
+// artifact format: bounded eviction under a tiny capacity, fuse-salt /
+// fingerprint keying, and loud (exception, never a crash) rejection of
+// corrupt, truncated, version-bumped or wrong-magic artifacts.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+#include "qsim/program.hpp"
+
+namespace qnat {
+namespace {
+
+Circuit distinct_circuit(int index) {
+  Circuit c(3);
+  c.h(0);
+  // A distinct constant angle per circuit gives a distinct structural
+  // fingerprint (the cache key component).
+  c.rz_const(1, 0.001 * index + 0.1);
+  c.cx(1, 2);
+  return c;
+}
+
+Circuit sample_circuit() {
+  Circuit c(3, 2);
+  c.h(0);
+  c.rx(1, 0);
+  c.append(Gate(GateType::CRZ, {0, 2},
+                {ParamExpr::affine(1, 0.5, 0.25)}));
+  c.cx(0, 1);
+  c.swap(1, 2);
+  c.rz_const(2, 0.7);
+  return c;
+}
+
+/// Restores the default capacity and clears the cache around each test.
+class CacheGuard : public ::testing::Test {
+ protected:
+  void SetUp() override { clear_program_cache(); }
+  void TearDown() override {
+    set_program_cache_capacity(4096);
+    clear_program_cache();
+  }
+};
+
+using ProgramCacheProperties = CacheGuard;
+using ProgramArtifactRejection = CacheGuard;
+
+TEST_F(ProgramCacheProperties, EvictionKeepsSizeBounded) {
+  constexpr std::size_t kCapacity = 8;
+  set_program_cache_capacity(kCapacity);
+  EXPECT_EQ(program_cache_capacity(), kCapacity);
+  for (int i = 0; i < 100; ++i) {
+    shared_program(distinct_circuit(i));
+    // Invariant at every step, not just at the end: the wholesale-clear
+    // policy may empty the cache but can never overfill it.
+    ASSERT_LE(program_cache_size(), kCapacity) << "after insert " << i;
+  }
+}
+
+TEST_F(ProgramCacheProperties, ZeroCapacityClampsToOne) {
+  set_program_cache_capacity(0);
+  EXPECT_EQ(program_cache_capacity(), 1u);
+  for (int i = 0; i < 10; ++i) {
+    shared_program(distinct_circuit(i));
+    ASSERT_LE(program_cache_size(), 1u);
+  }
+}
+
+TEST_F(ProgramCacheProperties, FuseOptionSaltsTheKey) {
+  // A run of constant 1q gates on the same qubit, so fusion actually
+  // shrinks the op list and the two programs are distinguishable.
+  Circuit c(2);
+  c.h(0);
+  c.z(0);
+  c.rz_const(0, 0.3);
+  c.cx(0, 1);
+  const auto fused = shared_program(c, FusionOptions{true});
+  const auto unfused = shared_program(c, FusionOptions{false});
+  // Same fingerprint, different options: two distinct entries, and the
+  // fused program must not be served for the unfused request.
+  EXPECT_EQ(program_cache_size(), 2u);
+  EXPECT_NE(fused.get(), unfused.get());
+  EXPECT_EQ(unfused->ops().size(), c.size());
+  EXPECT_LT(fused->ops().size(), c.size());
+  // Both keys hit on re-request (pointer-identical programs).
+  EXPECT_EQ(shared_program(c, FusionOptions{true}).get(), fused.get());
+  EXPECT_EQ(shared_program(c, FusionOptions{false}).get(), unfused.get());
+}
+
+TEST_F(ProgramCacheProperties, DistinctCircuitsGetDistinctFingerprints) {
+  std::set<std::uint64_t> fingerprints;
+  for (int i = 0; i < 64; ++i) {
+    fingerprints.insert(distinct_circuit(i).fingerprint());
+  }
+  EXPECT_EQ(fingerprints.size(), 64u);
+}
+
+TEST_F(ProgramArtifactRejection, WrongMagicFailsLoudly) {
+  EXPECT_THROW(deserialize_program(""), Error);
+  EXPECT_THROW(deserialize_program("#qnat-model v1\nqubits 3\n"), Error);
+  EXPECT_THROW(deserialize_program("not an artifact at all"), Error);
+}
+
+TEST_F(ProgramArtifactRejection, NewerVersionIsRejectedNotGuessed) {
+  std::string text = serialize_program(compile_program(sample_circuit()));
+  const std::string::size_type v = text.find("v1");
+  ASSERT_NE(v, std::string::npos);
+  text.replace(v, 2, "v2");
+  EXPECT_THROW(deserialize_program(text), Error);
+}
+
+TEST_F(ProgramArtifactRejection, EveryTruncationThrows) {
+  const std::string text =
+      serialize_program(compile_program(sample_circuit()));
+  ASSERT_GT(text.size(), 100u);
+  // Every proper prefix must throw, never crash or return a partial
+  // program. The final byte is the newline after the "end" sentinel;
+  // dropping only it is semantically complete, so the sweep stops there.
+  for (std::size_t len = 0; len + 1 < text.size(); ++len) {
+    EXPECT_THROW(deserialize_program(text.substr(0, len)), Error)
+        << "prefix of length " << len << " parsed successfully";
+  }
+}
+
+TEST_F(ProgramArtifactRejection, BitCorruptionTripsTheChecksum) {
+  const std::string text =
+      serialize_program(compile_program(sample_circuit()));
+  // Corrupt one mantissa digit inside a matrix line: the field parsers
+  // accept it, so only the checksum can catch it.
+  const std::string::size_type m = text.find("\nm ");
+  ASSERT_NE(m, std::string::npos);
+  std::string::size_type digit = text.find("7071", m);  // 1/sqrt(2) of H
+  ASSERT_NE(digit, std::string::npos);
+  std::string corrupted = text;
+  corrupted[digit] = '8';
+  EXPECT_THROW(deserialize_program(corrupted), Error);
+
+  // Corrupting the checksum line itself must also fail.
+  const std::string::size_type ck = text.find("checksum ");
+  ASSERT_NE(ck, std::string::npos);
+  std::string bad_checksum = text;
+  const std::string::size_type hex_pos = ck + std::string("checksum ").size();
+  bad_checksum[hex_pos] = text[hex_pos] == '0' ? '1' : '0';
+  EXPECT_THROW(deserialize_program(bad_checksum), Error);
+}
+
+TEST_F(ProgramArtifactRejection, StructuralLiesAreRejected) {
+  const std::string text =
+      serialize_program(compile_program(sample_circuit()));
+  // A kernel class that does not match the stored matrix structure would
+  // execute the wrong unitary; the loader re-classifies and refuses.
+  const std::string::size_type k = text.find("op generic1q");
+  ASSERT_NE(k, std::string::npos);
+  std::string lied = text;
+  lied.replace(k, std::string("op generic1q").size(), "op diag1q");
+  EXPECT_THROW(deserialize_program(lied), Error);
+
+  // Trailing garbage after the end sentinel is rejected too.
+  EXPECT_THROW(deserialize_program(text + "extra"), Error);
+}
+
+TEST_F(ProgramArtifactRejection, ValidArtifactStillLoads) {
+  // Sanity inverse of the rejection suite: the untampered text loads and
+  // round-trips byte-identically.
+  const CompiledProgram program = compile_program(sample_circuit());
+  const std::string text = serialize_program(program);
+  const CompiledProgram reloaded = deserialize_program(text);
+  EXPECT_EQ(serialize_program(reloaded), text);
+  EXPECT_EQ(reloaded.num_qubits(), program.num_qubits());
+  EXPECT_EQ(reloaded.num_params(), program.num_params());
+  EXPECT_EQ(reloaded.stats().ops, program.stats().ops);
+  EXPECT_EQ(reloaded.stats().source_gates, program.stats().source_gates);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,216 @@
+// ModelRegistry compiled-artifact cache: a cold load writes a QNATSRV
+// bundle; a warm load on a fresh registry (and a cold process-wide
+// program cache) rebuilds the identical servable model without a single
+// transpile/fuse/bind — verified through the qsim.program.* counters —
+// and corrupt or mismatching bundles are rejected loudly and rebuilt.
+#include "serve/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "qsim/program.hpp"
+
+namespace qnat::serve {
+namespace {
+
+QnnArchitecture small_arch() {
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 1;
+  arch.input_features = 16;
+  arch.num_classes = 4;
+  return arch;
+}
+
+QnnModel seeded_model(std::uint64_t seed) {
+  QnnModel model(small_arch());
+  Rng rng(seed);
+  model.init_weights(rng);
+  return model;
+}
+
+Tensor2D random_inputs(std::size_t rows, std::size_t cols,
+                       std::uint64_t seed) {
+  Tensor2D t(rows, cols);
+  Rng rng(seed);
+  for (auto& v : t.data()) v = rng.gaussian(0.0, 1.0);
+  return t;
+}
+
+std::uint64_t counter_value(const metrics::Snapshot& snap,
+                            std::string_view name) {
+  const auto* entry = snap.find_counter(name);
+  return entry ? entry->value : 0;
+}
+
+class ArtifactCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/qnat_serve_artifact_cache_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    metrics::set_enabled(true);
+    metrics::reset();
+  }
+  void TearDown() override {
+    metrics::set_enabled(false);
+    metrics::reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  ServingOptions cached_options() const {
+    ServingOptions options;
+    options.artifact_dir = dir_;
+    return options;
+  }
+
+  std::vector<std::filesystem::path> bundle_files() const {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      files.push_back(entry.path());
+    }
+    return files;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ArtifactCacheTest, ColdLoadWritesWarmLoadSkipsCompilation) {
+  const QnnModel model = seeded_model(11);
+  const Tensor2D profile = random_inputs(8, 16, 1);
+  const Tensor2D inputs = random_inputs(5, 16, 2);
+  const std::vector<std::uint64_t> ids{100, 101, 102, 103, 104};
+
+  ModelRegistry cold_registry;
+  const auto cold =
+      cold_registry.add("m", model, cached_options(), &profile);
+  {
+    const metrics::Snapshot snap = metrics::snapshot();
+    EXPECT_EQ(counter_value(snap, "serve.artifact.misses"), 1u);
+    EXPECT_EQ(counter_value(snap, "serve.artifact.writes"), 1u);
+    EXPECT_EQ(counter_value(snap, "serve.artifact.hits"), 0u);
+    EXPECT_EQ(counter_value(snap, "serve.artifact.rejected"), 0u);
+  }
+  ASSERT_EQ(bundle_files().size(), 1u);
+  const Tensor2D out_cold = cold->run_batch(inputs, ids);
+
+  // Fresh registry, empty process-wide program cache: the warm path must
+  // not compile anything — zero shared_program traffic of either kind.
+  metrics::reset();
+  clear_program_cache();
+  ModelRegistry warm_registry;
+  const auto warm =
+      warm_registry.add("m", model, cached_options(), &profile);
+  {
+    const metrics::Snapshot snap = metrics::snapshot();
+    EXPECT_EQ(counter_value(snap, "serve.artifact.hits"), 1u);
+    EXPECT_EQ(counter_value(snap, "serve.artifact.misses"), 0u);
+    EXPECT_EQ(counter_value(snap, "serve.artifact.writes"), 0u);
+    EXPECT_EQ(counter_value(snap, "serve.artifact.rejected"), 0u);
+    EXPECT_EQ(counter_value(snap, "qsim.program.cache_misses"), 0u)
+        << "warm load must skip transpile+fuse+bind entirely";
+    EXPECT_EQ(counter_value(snap, "qsim.program.cache_hits"), 0u);
+  }
+  EXPECT_EQ(program_cache_size(), 0u)
+      << "warm programs are pinned outside the process cache";
+
+  // Byte-identical serving state: profiled statistics and outputs match
+  // the cold build exactly, not approximately.
+  EXPECT_EQ(warm->profiled_mean(), cold->profiled_mean());
+  EXPECT_EQ(warm->profiled_std(), cold->profiled_std());
+  const Tensor2D out_warm = warm->run_batch(inputs, ids);
+  ASSERT_EQ(out_warm.rows(), out_cold.rows());
+  ASSERT_EQ(out_warm.cols(), out_cold.cols());
+  for (std::size_t i = 0; i < out_warm.data().size(); ++i) {
+    EXPECT_EQ(out_warm.data()[i], out_cold.data()[i]) << "output " << i;
+  }
+  // The warm model re-serializes to the very bundle it was loaded from.
+  EXPECT_EQ(warm->serialize_artifact(), cold->serialize_artifact());
+}
+
+TEST_F(ArtifactCacheTest, CorruptBundleIsRejectedLoudlyAndRebuilt) {
+  const QnnModel model = seeded_model(12);
+  const Tensor2D profile = random_inputs(8, 16, 3);
+  ModelRegistry cold_registry;
+  const auto cold =
+      cold_registry.add("m", model, cached_options(), &profile);
+  auto files = bundle_files();
+  ASSERT_EQ(files.size(), 1u);
+
+  // Flip one byte in the middle of the bundle.
+  std::string text;
+  {
+    std::ifstream in(files[0], std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(text.size(), 200u);
+  text[text.size() / 2] = text[text.size() / 2] == 'a' ? 'b' : 'a';
+  {
+    std::ofstream out(files[0], std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+
+  metrics::reset();
+  ModelRegistry reload_registry;
+  const auto rebuilt =
+      reload_registry.add("m", model, cached_options(), &profile);
+  const metrics::Snapshot snap = metrics::snapshot();
+  EXPECT_EQ(counter_value(snap, "serve.artifact.rejected"), 1u);
+  EXPECT_EQ(counter_value(snap, "serve.artifact.hits"), 0u);
+  EXPECT_EQ(counter_value(snap, "serve.artifact.writes"), 1u)
+      << "a rejected bundle is rebuilt fresh and rewritten";
+  // The rebuilt model serves the same state as the original cold build.
+  EXPECT_EQ(rebuilt->serialize_artifact(), cold->serialize_artifact());
+}
+
+TEST_F(ArtifactCacheTest, DifferentModelOrOptionsNeverFalselyHit) {
+  const Tensor2D profile = random_inputs(8, 16, 4);
+  ModelRegistry registry;
+  registry.add("m", seeded_model(20), cached_options(), &profile);
+
+  // Different weights -> different key -> miss + second bundle.
+  metrics::reset();
+  registry.add("m", seeded_model(21), cached_options(), &profile);
+  EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.hits"), 0u);
+  EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.misses"), 1u);
+  EXPECT_EQ(bundle_files().size(), 2u);
+
+  // Different serving options (same model) -> different key too.
+  metrics::reset();
+  ServingOptions quantized = cached_options();
+  quantized.quantize = true;
+  registry.add("m", seeded_model(20), quantized, &profile);
+  EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.hits"), 0u);
+  EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.misses"), 1u);
+  EXPECT_EQ(bundle_files().size(), 3u);
+
+  // Identical triple -> hit, nothing new written.
+  metrics::reset();
+  registry.add("m", seeded_model(20), cached_options(), &profile);
+  EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.hits"), 1u);
+  EXPECT_EQ(bundle_files().size(), 3u);
+}
+
+TEST_F(ArtifactCacheTest, EmptyArtifactDirDisablesCaching) {
+  const QnnModel model = seeded_model(30);
+  const Tensor2D profile = random_inputs(8, 16, 5);
+  ModelRegistry registry;
+  registry.add("m", model, ServingOptions{}, &profile);
+  const metrics::Snapshot snap = metrics::snapshot();
+  EXPECT_EQ(counter_value(snap, "serve.artifact.hits"), 0u);
+  EXPECT_EQ(counter_value(snap, "serve.artifact.misses"), 0u);
+  EXPECT_EQ(counter_value(snap, "serve.artifact.writes"), 0u);
+  EXPECT_EQ(bundle_files().size(), 0u);
+}
+
+}  // namespace
+}  // namespace qnat::serve
