@@ -219,6 +219,26 @@ void BM_DeepCircuitFusedSimd(benchmark::State& state) {
 }
 BENCHMARK(BM_DeepCircuitFusedSimd)->Arg(10);
 
+// Reduced-precision legs of the same workload. The f32 backends convert
+// the f64 state at the program boundary and execute every kernel in
+// float32; the acceptance bar in CI bench-smoke is >= 1.5x over the f64
+// AVX2 leg for avx2-f32 (when its label reports it actually ran).
+
+void BM_DeepCircuitFusedF32(benchmark::State& state) {
+  run_fused_deep_circuit_on(state, "f32");
+}
+BENCHMARK(BM_DeepCircuitFusedF32)->Arg(10);
+
+void BM_DeepCircuitFusedAvx2F32(benchmark::State& state) {
+  const auto* b =
+      qnat::backend::BackendRegistry::instance().find("avx2-f32");
+  // Fall back (and label the run) "f32" where AVX2 is unavailable so CI
+  // can skip the throughput assert there, mirroring the Simd leg.
+  run_fused_deep_circuit_on(
+      state, (b != nullptr && b->available()) ? "avx2-f32" : "f32");
+}
+BENCHMARK(BM_DeepCircuitFusedAvx2F32)->Arg(10);
+
 void BM_DeepCircuitFusedMetricsOn(benchmark::State& state) {
   // Same workload as BM_DeepCircuitFused but with metrics recording
   // enabled — the <3% instrumentation-overhead budget is the ratio of

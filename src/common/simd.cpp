@@ -368,6 +368,445 @@ __attribute__((target("avx2,fma"))) cplx derivative_inner_2q(
   return creduce(acc);
 }
 
+// --- f32 kernel bodies (4 complex<float> per __m256) -----------------
+// Same structure as the f64 kernels: broadcast matrix entries split into
+// re/im lane vectors, fmaddsub-contracted complex multiplies. Strides of
+// 4 or more load whole pair/quad blocks directly; strides 1 and 2 stay
+// vectorized by resolving the partner inside each 4-complex vector with
+// in-vector permutes and per-slot coefficient vectors (ckf4), so every
+// power-of-two stride takes an 8-lane path. The only scalar fallback
+// left is the degenerate n < 4 single-qubit state.
+
+namespace {
+
+struct CKf {
+  __m256 re, im;
+};
+
+QNAT_AVX2 CKf ckf(cplx32 c) {
+  return {_mm256_set1_ps(c.real()), _mm256_set1_ps(c.imag())};
+}
+
+QNAT_AVX2 __m256 cload_f(const cplx32* p) {
+  return _mm256_loadu_ps(reinterpret_cast<const float*>(p));
+}
+
+QNAT_AVX2 void cstore_f(cplx32* p, __m256 v) {
+  _mm256_storeu_ps(reinterpret_cast<float*>(p), v);
+}
+
+/// Four complex products c * a_j: even lanes ar*cr - ai*ci, odd lanes
+/// ai*cr + ar*ci.
+QNAT_AVX2 __m256 cmul_f(CKf c, __m256 a) {
+  const __m256 a_sw = _mm256_permute_ps(a, 0xB1);  // [ai, ar] per complex
+  return _mm256_fmaddsub_ps(a, c.re, _mm256_mul_ps(a_sw, c.im));
+}
+
+/// Per-slot coefficients: complex slot j of the vector multiplies by cj.
+/// cmul_f works unchanged because each slot's re/im is duplicated across
+/// the slot's two float positions.
+QNAT_AVX2 CKf ckf4(cplx32 c0, cplx32 c1, cplx32 c2, cplx32 c3) {
+  return {_mm256_setr_ps(c0.real(), c0.real(), c1.real(), c1.real(),
+                         c2.real(), c2.real(), c3.real(), c3.real()),
+          _mm256_setr_ps(c0.imag(), c0.imag(), c1.imag(), c1.imag(),
+                         c2.imag(), c2.imag(), c3.imag(), c3.imag())};
+}
+
+/// Swap adjacent complex slots (0<->1, 2<->3): the stride-1 partner.
+QNAT_AVX2 __m256 cswap1(__m256 v) { return _mm256_permute_ps(v, 0x4E); }
+
+/// Swap complex slot pairs across the 128-bit lanes ((0,1)<->(2,3)):
+/// the stride-2 partner.
+QNAT_AVX2 __m256 cswap2(__m256 v) {
+  return _mm256_permute2f128_ps(v, v, 1);
+}
+
+// Broadcast complex slot j to all four slots (for the in-register 4x4).
+QNAT_AVX2 __m256 cbcast0(__m256 v) {
+  const __m256 t = _mm256_permute_ps(v, 0x44);
+  return _mm256_permute2f128_ps(t, t, 0x00);
+}
+QNAT_AVX2 __m256 cbcast1(__m256 v) {
+  const __m256 t = _mm256_permute_ps(v, 0xEE);
+  return _mm256_permute2f128_ps(t, t, 0x00);
+}
+QNAT_AVX2 __m256 cbcast2(__m256 v) {
+  const __m256 t = _mm256_permute_ps(v, 0x44);
+  return _mm256_permute2f128_ps(t, t, 0x11);
+}
+QNAT_AVX2 __m256 cbcast3(__m256 v) {
+  const __m256 t = _mm256_permute_ps(v, 0xEE);
+  return _mm256_permute2f128_ps(t, t, 0x11);
+}
+
+/// Low-lo (lo < 4) vector path shared by the controlled 2x2 kernels:
+/// whichever of the control/target strides is below the vector width is
+/// resolved inside each 4-complex vector — the pair partner with an
+/// in-vector permute, the control mask with unit/zero coefficients on
+/// the untouched slots.
+QNAT_AVX2 void c1q_lowlo_f32(cplx32* amps, std::size_t n, std::size_t sc,
+                             std::size_t st, cplx32 m00, cplx32 m01,
+                             cplx32 m10, cplx32 m11) {
+  const cplx32 one(1.0f, 0.0f), zero(0.0f, 0.0f);
+  if (sc < 4 && st < 4) {
+    // {sc, st} == {1, 2}: control mask and pair partner both live
+    // inside one 4-complex block.
+    const bool t1 = st == 1;
+    const CKf ks = t1 ? ckf4(one, one, m00, m11) : ckf4(one, m00, one, m11);
+    const CKf kp =
+        t1 ? ckf4(zero, zero, m01, m10) : ckf4(zero, m01, zero, m10);
+    for (std::size_t b = 0; b < n; b += 4) {
+      const __m256 v = cload_f(amps + b);
+      const __m256 p = t1 ? cswap1(v) : cswap2(v);
+      cstore_f(amps + b, _mm256_add_ps(cmul_f(ks, v), cmul_f(kp, p)));
+    }
+    return;
+  }
+  if (sc < 4) {
+    // Control on qubit 0/1, target stride >= 4: partner blocks are
+    // slot-aligned at +st; control-clear slots pass through.
+    const bool c1 = sc == 1;
+    const CKf ksa = c1 ? ckf4(one, m00, one, m00) : ckf4(one, one, m00, m00);
+    const CKf kpa =
+        c1 ? ckf4(zero, m01, zero, m01) : ckf4(zero, zero, m01, m01);
+    const CKf ksb = c1 ? ckf4(one, m11, one, m11) : ckf4(one, one, m11, m11);
+    const CKf kpb =
+        c1 ? ckf4(zero, m10, zero, m10) : ckf4(zero, zero, m10, m10);
+    for (std::size_t base = 0; base < n; base += 2 * st) {
+      for (std::size_t b = base; b < base + st; b += 4) {
+        const __m256 va = cload_f(amps + b);
+        const __m256 vb = cload_f(amps + b + st);
+        cstore_f(amps + b, _mm256_add_ps(cmul_f(ksa, va), cmul_f(kpa, vb)));
+        cstore_f(amps + b + st,
+                 _mm256_add_ps(cmul_f(ksb, vb), cmul_f(kpb, va)));
+      }
+    }
+    return;
+  }
+  // Target on qubit 0/1, control stride >= 4: only the control-set half
+  // is touched; the pair partner sits inside each vector.
+  const bool t1 = st == 1;
+  const CKf ks = t1 ? ckf4(m00, m11, m00, m11) : ckf4(m00, m00, m11, m11);
+  const CKf kp = t1 ? ckf4(m01, m10, m01, m10) : ckf4(m01, m01, m10, m10);
+  for (std::size_t base = sc; base < n; base += 2 * sc) {
+    for (std::size_t b = base; b < base + sc; b += 4) {
+      const __m256 v = cload_f(amps + b);
+      const __m256 p = t1 ? cswap1(v) : cswap2(v);
+      cstore_f(amps + b, _mm256_add_ps(cmul_f(ks, v), cmul_f(kp, p)));
+    }
+  }
+}
+
+}  // namespace
+
+__attribute__((target("avx2,fma"))) void apply_1q_f32(
+    cplx32* amps, std::size_t n, std::size_t stride, cplx32 m00, cplx32 m01,
+    cplx32 m10, cplx32 m11) {
+  if (stride >= 4) {
+    const CKf k00 = ckf(m00), k01 = ckf(m01), k10 = ckf(m10), k11 = ckf(m11);
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+      for (std::size_t i = base; i < base + stride; i += 4) {
+        const __m256 a0 = cload_f(amps + i);
+        const __m256 a1 = cload_f(amps + i + stride);
+        cstore_f(amps + i, _mm256_add_ps(cmul_f(k00, a0), cmul_f(k01, a1)));
+        cstore_f(amps + i + stride,
+                 _mm256_add_ps(cmul_f(k10, a0), cmul_f(k11, a1)));
+      }
+    }
+    return;
+  }
+  if (n >= 4) {
+    // Stride 1 or 2: the pair partner lives inside each 4-complex
+    // vector; reach it with an in-vector permute.
+    const bool s1 = stride == 1;
+    const CKf ks = s1 ? ckf4(m00, m11, m00, m11) : ckf4(m00, m00, m11, m11);
+    const CKf kp = s1 ? ckf4(m01, m10, m01, m10) : ckf4(m01, m01, m10, m10);
+    for (std::size_t i = 0; i < n; i += 4) {
+      const __m256 v = cload_f(amps + i);
+      const __m256 p = s1 ? cswap1(v) : cswap2(v);
+      cstore_f(amps + i, _mm256_add_ps(cmul_f(ks, v), cmul_f(kp, p)));
+    }
+    return;
+  }
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      const cplx32 a0 = amps[i];
+      const cplx32 a1 = amps[i + stride];
+      amps[i] = m00 * a0 + m01 * a1;
+      amps[i + stride] = m10 * a0 + m11 * a1;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void apply_diag_1q_f32(
+    cplx32* amps, std::size_t n, std::size_t stride, cplx32 d0, cplx32 d1) {
+  if (stride >= 4) {
+    const CKf k0 = ckf(d0), k1 = ckf(d1);
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+      for (std::size_t i = base; i < base + stride; i += 4) {
+        cstore_f(amps + i, cmul_f(k0, cload_f(amps + i)));
+        cstore_f(amps + i + stride, cmul_f(k1, cload_f(amps + i + stride)));
+      }
+    }
+    return;
+  }
+  if (n >= 4) {
+    const CKf kd =
+        stride == 1 ? ckf4(d0, d1, d0, d1) : ckf4(d0, d0, d1, d1);
+    for (std::size_t i = 0; i < n; i += 4) {
+      cstore_f(amps + i, cmul_f(kd, cload_f(amps + i)));
+    }
+    return;
+  }
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      amps[i] *= d0;
+      amps[i + stride] *= d1;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void apply_antidiag_1q_f32(
+    cplx32* amps, std::size_t n, std::size_t stride, cplx32 top,
+    cplx32 bottom) {
+  if (stride >= 4) {
+    const CKf kt = ckf(top), kb = ckf(bottom);
+    for (std::size_t base = 0; base < n; base += 2 * stride) {
+      for (std::size_t i = base; i < base + stride; i += 4) {
+        const __m256 a0 = cload_f(amps + i);
+        const __m256 a1 = cload_f(amps + i + stride);
+        cstore_f(amps + i, cmul_f(kt, a1));
+        cstore_f(amps + i + stride, cmul_f(kb, a0));
+      }
+    }
+    return;
+  }
+  if (n >= 4) {
+    const bool s1 = stride == 1;
+    const CKf kp = s1 ? ckf4(top, bottom, top, bottom)
+                      : ckf4(top, top, bottom, bottom);
+    for (std::size_t i = 0; i < n; i += 4) {
+      const __m256 v = cload_f(amps + i);
+      cstore_f(amps + i, cmul_f(kp, s1 ? cswap1(v) : cswap2(v)));
+    }
+    return;
+  }
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      const cplx32 a0 = amps[i];
+      amps[i] = top * amps[i + stride];
+      amps[i + stride] = bottom * a0;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void apply_2q_f32(
+    cplx32* amps, std::size_t quarter, std::size_t lo, std::size_t hi,
+    std::size_t sa, std::size_t sb, const cplx32* m) {
+  if (lo >= 4) {
+    CKf k[16];
+    for (int e = 0; e < 16; ++e) k[e] = ckf(m[e]);
+    for (std::size_t g = 0; g < quarter; g += 4) {
+      const std::size_t i = expand2(g, lo, hi);
+      cplx32* p00 = amps + i;
+      cplx32* p01 = amps + (i | sb);
+      cplx32* p10 = amps + (i | sa);
+      cplx32* p11 = amps + (i | sa | sb);
+      const __m256 a00 = cload_f(p00), a01 = cload_f(p01),
+                   a10 = cload_f(p10), a11 = cload_f(p11);
+      cstore_f(p00, _mm256_add_ps(
+                        _mm256_add_ps(cmul_f(k[0], a00), cmul_f(k[1], a01)),
+                        _mm256_add_ps(cmul_f(k[2], a10), cmul_f(k[3], a11))));
+      cstore_f(p01, _mm256_add_ps(
+                        _mm256_add_ps(cmul_f(k[4], a00), cmul_f(k[5], a01)),
+                        _mm256_add_ps(cmul_f(k[6], a10), cmul_f(k[7], a11))));
+      cstore_f(p10,
+               _mm256_add_ps(
+                   _mm256_add_ps(cmul_f(k[8], a00), cmul_f(k[9], a01)),
+                   _mm256_add_ps(cmul_f(k[10], a10), cmul_f(k[11], a11))));
+      cstore_f(p11,
+               _mm256_add_ps(
+                   _mm256_add_ps(cmul_f(k[12], a00), cmul_f(k[13], a01)),
+                   _mm256_add_ps(cmul_f(k[14], a10), cmul_f(k[15], a11))));
+    }
+    return;
+  }
+  const std::size_t n = 4 * quarter;
+  if (hi == 2) {
+    // lo == 1: each 4x4 block is exactly one vector — a full
+    // in-register matrix-vector product via per-slot broadcasts. Slot s
+    // within the block holds matrix row rs[s] (rows permute when the
+    // low matrix bit has the larger stride).
+    const int rs1 = sb == 1 ? 1 : 2;
+    const int rs[4] = {0, rs1, 3 - rs1, 3};
+    CKf k[4];
+    for (int j = 0; j < 4; ++j) {
+      k[j] = ckf4(m[4 * rs[0] + rs[j]], m[4 * rs[1] + rs[j]],
+                  m[4 * rs[2] + rs[j]], m[4 * rs[3] + rs[j]]);
+    }
+    for (std::size_t b = 0; b < n; b += 4) {
+      const __m256 v = cload_f(amps + b);
+      cstore_f(amps + b,
+               _mm256_add_ps(_mm256_add_ps(cmul_f(k[0], cbcast0(v)),
+                                           cmul_f(k[1], cbcast1(v))),
+                             _mm256_add_ps(cmul_f(k[2], cbcast2(v)),
+                                           cmul_f(k[3], cbcast3(v)))));
+    }
+    return;
+  }
+  // lo in {1, 2} with hi >= 4: the low-stride partner sits inside each
+  // 4-complex vector (in-vector permute), the high-stride partner in
+  // the slot-aligned block at +hi. k[M][Mp][p] carries, per output
+  // slot, the matrix entry linking output (min bit sigma, hi bit M) to
+  // input (min bit sigma^p from vector Mp).
+  const bool lo_is_b = sb == lo;
+  const auto row = [lo_is_b](int sigma, int hi_bit) {
+    return lo_is_b ? (sigma | (hi_bit << 1)) : ((sigma << 1) | hi_bit);
+  };
+  const auto sigma_of = [lo](std::size_t s) {
+    return static_cast<int>(lo == 1 ? (s & 1) : ((s >> 1) & 1));
+  };
+  CKf k[2][2][2];
+  for (int mo = 0; mo < 2; ++mo) {
+    for (int mi = 0; mi < 2; ++mi) {
+      for (int p = 0; p < 2; ++p) {
+        cplx32 c[4];
+        for (std::size_t s = 0; s < 4; ++s) {
+          c[s] = m[4 * row(sigma_of(s), mo) + row(sigma_of(s) ^ p, mi)];
+        }
+        k[mo][mi][p] = ckf4(c[0], c[1], c[2], c[3]);
+      }
+    }
+  }
+  for (std::size_t base = 0; base < n; base += 2 * hi) {
+    for (std::size_t b = base; b < base + hi; b += 4) {
+      const __m256 va = cload_f(amps + b);
+      const __m256 vb = cload_f(amps + b + hi);
+      const __m256 pa = lo == 1 ? cswap1(va) : cswap2(va);
+      const __m256 pb = lo == 1 ? cswap1(vb) : cswap2(vb);
+      cstore_f(amps + b,
+               _mm256_add_ps(_mm256_add_ps(cmul_f(k[0][0][0], va),
+                                           cmul_f(k[0][0][1], pa)),
+                             _mm256_add_ps(cmul_f(k[0][1][0], vb),
+                                           cmul_f(k[0][1][1], pb))));
+      cstore_f(amps + b + hi,
+               _mm256_add_ps(_mm256_add_ps(cmul_f(k[1][0][0], va),
+                                           cmul_f(k[1][0][1], pa)),
+                             _mm256_add_ps(cmul_f(k[1][1][0], vb),
+                                           cmul_f(k[1][1][1], pb))));
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void apply_diag_2q_f32(
+    cplx32* amps, std::size_t quarter, std::size_t lo, std::size_t hi,
+    std::size_t sa, std::size_t sb, cplx32 d0, cplx32 d1, cplx32 d2,
+    cplx32 d3) {
+  if (lo >= 4) {
+    const CKf k0 = ckf(d0), k1 = ckf(d1), k2 = ckf(d2), k3 = ckf(d3);
+    for (std::size_t g = 0; g < quarter; g += 4) {
+      const std::size_t i = expand2(g, lo, hi);
+      cplx32* p00 = amps + i;
+      cplx32* p01 = amps + (i | sb);
+      cplx32* p10 = amps + (i | sa);
+      cplx32* p11 = amps + (i | sa | sb);
+      cstore_f(p00, cmul_f(k0, cload_f(p00)));
+      cstore_f(p01, cmul_f(k1, cload_f(p01)));
+      cstore_f(p10, cmul_f(k2, cload_f(p10)));
+      cstore_f(p11, cmul_f(k3, cload_f(p11)));
+    }
+    return;
+  }
+  const std::size_t n = 4 * quarter;
+  const cplx32 d[4] = {d0, d1, d2, d3};
+  if (hi == 2) {
+    const int rs1 = sb == 1 ? 1 : 2;
+    const CKf kd = ckf4(d[0], d[rs1], d[3 - rs1], d[3]);
+    for (std::size_t b = 0; b < n; b += 4) {
+      cstore_f(amps + b, cmul_f(kd, cload_f(amps + b)));
+    }
+    return;
+  }
+  // lo in {1, 2} with hi >= 4: per-slot diagonal entries, no partner.
+  const bool lo_is_b = sb == lo;
+  CKf k[2];
+  for (int mo = 0; mo < 2; ++mo) {
+    cplx32 c[4];
+    for (std::size_t s = 0; s < 4; ++s) {
+      const int sigma = static_cast<int>(lo == 1 ? (s & 1) : ((s >> 1) & 1));
+      c[s] = d[lo_is_b ? (sigma | (mo << 1)) : ((sigma << 1) | mo)];
+    }
+    k[mo] = ckf4(c[0], c[1], c[2], c[3]);
+  }
+  for (std::size_t base = 0; base < n; base += 2 * hi) {
+    for (std::size_t b = base; b < base + hi; b += 4) {
+      cstore_f(amps + b, cmul_f(k[0], cload_f(amps + b)));
+      cstore_f(amps + b + hi, cmul_f(k[1], cload_f(amps + b + hi)));
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void apply_controlled_1q_f32(
+    cplx32* amps, std::size_t quarter, std::size_t lo, std::size_t hi,
+    std::size_t sc, std::size_t st, cplx32 m00, cplx32 m01, cplx32 m10,
+    cplx32 m11) {
+  if (lo >= 4) {
+    const CKf k00 = ckf(m00), k01 = ckf(m01), k10 = ckf(m10), k11 = ckf(m11);
+    for (std::size_t g = 0; g < quarter; g += 4) {
+      const std::size_t i = expand2(g, lo, hi) | sc;
+      cplx32* p0 = amps + i;
+      cplx32* p1 = amps + (i | st);
+      const __m256 a0 = cload_f(p0);
+      const __m256 a1 = cload_f(p1);
+      cstore_f(p0, _mm256_add_ps(cmul_f(k00, a0), cmul_f(k01, a1)));
+      cstore_f(p1, _mm256_add_ps(cmul_f(k10, a0), cmul_f(k11, a1)));
+    }
+    return;
+  }
+  c1q_lowlo_f32(amps, 4 * quarter, sc, st, m00, m01, m10, m11);
+}
+
+__attribute__((target("avx2,fma"))) void apply_controlled_antidiag_1q_f32(
+    cplx32* amps, std::size_t quarter, std::size_t lo, std::size_t hi,
+    std::size_t sc, std::size_t st, cplx32 top, cplx32 bottom) {
+  if (lo >= 4) {
+    const CKf kt = ckf(top), kb = ckf(bottom);
+    for (std::size_t g = 0; g < quarter; g += 4) {
+      const std::size_t i = expand2(g, lo, hi) | sc;
+      cplx32* p0 = amps + i;
+      cplx32* p1 = amps + (i | st);
+      const __m256 a0 = cload_f(p0);
+      const __m256 a1 = cload_f(p1);
+      cstore_f(p0, cmul_f(kt, a1));
+      cstore_f(p1, cmul_f(kb, a0));
+    }
+    return;
+  }
+  c1q_lowlo_f32(amps, 4 * quarter, sc, st, cplx32(0.0f, 0.0f), top, bottom,
+                cplx32(0.0f, 0.0f));
+}
+
+__attribute__((target("avx2,fma"))) double norm_sq_f32(const cplx32* amps,
+                                                      std::size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256 v = cload_f(amps + i);
+    const __m256 sq = _mm256_mul_ps(v, v);
+    acc_lo = _mm256_add_pd(acc_lo,
+                           _mm256_cvtps_pd(_mm256_castps256_ps128(sq)));
+    acc_hi = _mm256_add_pd(acc_hi,
+                           _mm256_cvtps_pd(_mm256_extractf128_ps(sq, 1)));
+  }
+  double sum = hsum(_mm256_add_pd(acc_lo, acc_hi));
+  for (; i < n; ++i) {
+    sum += static_cast<double>(amps[i].real()) * amps[i].real() +
+           static_cast<double>(amps[i].imag()) * amps[i].imag();
+  }
+  return sum;
+}
+
 #else  // !QNAT_SIMD_AVX2
 
 // Unreachable stubs: enabled() is permanently false on non-x86 builds,
@@ -395,6 +834,24 @@ cplx derivative_inner_2q(const cplx*, const cplx*, std::size_t, std::size_t,
                          std::size_t, std::size_t, std::size_t, const cplx*) {
   return {};
 }
+
+void apply_1q_f32(cplx32*, std::size_t, std::size_t, cplx32, cplx32, cplx32,
+                  cplx32) {}
+void apply_diag_1q_f32(cplx32*, std::size_t, std::size_t, cplx32, cplx32) {}
+void apply_antidiag_1q_f32(cplx32*, std::size_t, std::size_t, cplx32,
+                           cplx32) {}
+void apply_2q_f32(cplx32*, std::size_t, std::size_t, std::size_t,
+                  std::size_t, std::size_t, const cplx32*) {}
+void apply_diag_2q_f32(cplx32*, std::size_t, std::size_t, std::size_t,
+                       std::size_t, std::size_t, cplx32, cplx32, cplx32,
+                       cplx32) {}
+void apply_controlled_1q_f32(cplx32*, std::size_t, std::size_t, std::size_t,
+                             std::size_t, std::size_t, cplx32, cplx32, cplx32,
+                             cplx32) {}
+void apply_controlled_antidiag_1q_f32(cplx32*, std::size_t, std::size_t,
+                                      std::size_t, std::size_t, std::size_t,
+                                      cplx32, cplx32) {}
+double norm_sq_f32(const cplx32*, std::size_t) { return 0.0; }
 
 #endif  // QNAT_SIMD_AVX2
 

@@ -132,4 +132,45 @@ cplx derivative_inner_2q(const cplx* bra, const cplx* ket,
                          std::size_t quarter, std::size_t lo, std::size_t hi,
                          std::size_t sa, std::size_t sb, const cplx* d);
 
+// --- f32 kernels (8 lanes = 4 complex<float> per __m256) --------------
+// The mixed-precision backends (qsim/backend/f32_kernels.hpp) dispatch
+// through these for the "avx2-f32" backend. Same enumeration contracts
+// as the f64 kernels above, but unlike f64 every power-of-two stride
+// takes a vector path: strides >= 4 load whole blocks, strides 1 and 2
+// resolve the pair partner inside each 4-complex vector with permutes
+// and per-slot coefficient vectors (so the avx2-f32 backend publishes
+// min_fast_2q_lo = 1). The only scalar fallback is the degenerate
+// n < 4 single-qubit state. Reductions accumulate in double: rounding
+// stays per-element f32, the sum does not drift with state size.
+
+void apply_1q_f32(cplx32* amps, std::size_t n, std::size_t stride,
+                  cplx32 m00, cplx32 m01, cplx32 m10, cplx32 m11);
+
+void apply_diag_1q_f32(cplx32* amps, std::size_t n, std::size_t stride,
+                       cplx32 d0, cplx32 d1);
+
+void apply_antidiag_1q_f32(cplx32* amps, std::size_t n, std::size_t stride,
+                           cplx32 top, cplx32 bottom);
+
+void apply_2q_f32(cplx32* amps, std::size_t quarter, std::size_t lo,
+                  std::size_t hi, std::size_t sa, std::size_t sb,
+                  const cplx32* m);
+
+void apply_diag_2q_f32(cplx32* amps, std::size_t quarter, std::size_t lo,
+                       std::size_t hi, std::size_t sa, std::size_t sb,
+                       cplx32 d0, cplx32 d1, cplx32 d2, cplx32 d3);
+
+void apply_controlled_1q_f32(cplx32* amps, std::size_t quarter,
+                             std::size_t lo, std::size_t hi, std::size_t sc,
+                             std::size_t st, cplx32 m00, cplx32 m01,
+                             cplx32 m10, cplx32 m11);
+
+void apply_controlled_antidiag_1q_f32(cplx32* amps, std::size_t quarter,
+                                      std::size_t lo, std::size_t hi,
+                                      std::size_t sc, std::size_t st,
+                                      cplx32 top, cplx32 bottom);
+
+/// Sum of |a_i|^2, double-accumulated.
+double norm_sq_f32(const cplx32* amps, std::size_t n);
+
 }  // namespace qnat::simd

@@ -10,8 +10,28 @@ namespace qnat {
 /// Complex amplitude type used throughout the statevector simulator.
 using cplx = std::complex<double>;
 
+/// Reduced-precision amplitude type of the f32 simulation backends
+/// (qsim/backend/f32_kernels.hpp). Storage only — parameters, matrices
+/// and gradients stay double; conversion happens at the Program boundary.
+using cplx32 = std::complex<float>;
+
 /// Real scalar used for parameters, measurement outcomes and gradients.
 using real = double;
+
+/// Element precision of a simulation storage buffer or artifact. Keys
+/// workspace pools and the cached sampling table (a buffer built from
+/// f32 amplitudes must never serve an f64 consumer and vice versa) and
+/// is recorded in QNATPROG v2 artifacts and serving-option fingerprints.
+enum class DType : std::uint8_t {
+  F64 = 0,
+  F32 = 1,
+};
+
+/// Canonical lowercase name ("f64" / "f32") used in artifacts,
+/// fingerprints and diagnostics.
+inline const char* dtype_name(DType d) {
+  return d == DType::F32 ? "f32" : "f64";
+}
 
 /// Qubit index within a register.
 using QubitIndex = int;

@@ -50,6 +50,7 @@ struct FreeList {
 
 struct ThreadPoolState {
   FreeList<cplx> amps;
+  FreeList<cplx32> amps_f32;
   FreeList<double> reals;
   CumTable cumtable;
 
@@ -71,12 +72,20 @@ std::vector<cplx> acquire_amps(std::size_t n) {
   return local().amps.acquire(n);
 }
 
+std::vector<cplx32> acquire_amps_f32(std::size_t n) {
+  return local().amps_f32.acquire(n);
+}
+
 std::vector<double> acquire_reals(std::size_t n) {
   return local().reals.acquire(n);
 }
 
 void release_amps(std::vector<cplx>&& v) {
   local().amps.release(std::move(v));
+}
+
+void release_amps_f32(std::vector<cplx32>&& v) {
+  local().amps_f32.release(std::move(v));
 }
 
 void release_reals(std::vector<double>&& v) {

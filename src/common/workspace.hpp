@@ -36,22 +36,32 @@ namespace qnat::ws {
 
 /// Hands out a vector with size() == n (unspecified contents). Reuses
 /// pooled storage when a buffer of sufficient capacity is available.
+/// Leases are keyed by element dtype: f64 and f32 amplitude buffers live
+/// in separate free lists, so a lease can never hand f64 storage to an
+/// f32 consumer (or vice versa) regardless of interleaving.
 std::vector<cplx> acquire_amps(std::size_t n);
+std::vector<cplx32> acquire_amps_f32(std::size_t n);
 std::vector<double> acquire_reals(std::size_t n);
 
 /// Returns a buffer to the calling thread's pool. Must be called on the
 /// thread that acquired it; passing a foreign vector is allowed (it
 /// simply joins this thread's pool).
 void release_amps(std::vector<cplx>&& v);
+void release_amps_f32(std::vector<cplx32>&& v);
 void release_reals(std::vector<double>&& v);
 
 /// Cached cumulative-probability table for StateVector::sample, one
 /// slot per thread. `state_id`/`generation` identify the state the
-/// table was built from (see StateVector); `valid` is false until the
-/// first build on this thread.
+/// table was built from (see StateVector); `dtype` records the element
+/// precision of the amplitude buffer the probabilities were computed
+/// from — the same logical state sampled through the f32 mirror path
+/// yields slightly different masses, so a table keyed only by
+/// (state_id, generation) would serve stale cross-precision data.
+/// `valid` is false until the first build on this thread.
 struct CumTable {
   std::uint64_t state_id = 0;
   std::uint64_t generation = 0;
+  DType dtype = DType::F64;
   bool valid = false;
   double total_mass = 0.0;
   std::vector<double> cumulative;

@@ -6,7 +6,9 @@
 
 #include "common/error.hpp"
 #include "common/simd.hpp"
+#include "qsim/backend/f32_kernels.hpp"
 #include "qsim/backend/scalar_kernels.hpp"
+#include "qsim/density_matrix.hpp"
 #include "qsim/program.hpp"
 
 namespace qnat::backend {
@@ -85,6 +87,69 @@ class Avx2Backend final : public Backend {
   }
 };
 
+// Float32 conversion-shim backends. Both report vectorized == false so
+// the default selection and simd::set_enabled(true) never auto-pick
+// them: reduced precision is an explicit opt-in. Their kernels() table
+// is the f64 scalar reference — per-op call sites outside whole-program
+// execution (apply_gate, adjoint sweeps) intentionally stay f64; only
+// execute()/execute_dm() run the f32 storage path.
+
+class Float32Backend final : public Backend {
+ public:
+  const char* name() const override { return "f32"; }
+  Capabilities caps() const override {
+    return Capabilities{/*vectorized=*/false, /*min_fast_2q_lo=*/1,
+                        /*isa=*/"generic", /*element_dtype=*/DType::F32};
+  }
+  bool available() const override { return true; }
+  const KernelTable& kernels() const override { return scalar_kernels(); }
+  void execute(const CompiledProgram& program, StateVector& state,
+               const ParamVector& params) const override {
+    f32::execute_program_f32(program, state, params, f32::scalar_table_f32(),
+                             /*min_fast_2q_lo=*/1);
+  }
+  void execute_dm(const CompiledProgram& program, DensityMatrix& rho,
+                  const ParamVector& params) const override {
+    f32::execute_program_dm_f32(program, rho, params,
+                                f32::scalar_table_f32(),
+                                /*min_fast_2q_lo=*/1);
+  }
+};
+
+class Avx2F32Backend final : public Backend {
+ public:
+  const char* name() const override { return "avx2-f32"; }
+  Capabilities caps() const override {
+    // min_fast_2q_lo = 1: the f32 kernels vectorize every power-of-two
+    // stride (low strides via in-vector permutes), so no 2q pair needs
+    // the scalar re-route.
+    return Capabilities{/*vectorized=*/false, /*min_fast_2q_lo=*/1,
+                        /*isa=*/"avx2", /*element_dtype=*/DType::F32};
+  }
+  bool available() const override {
+    return simd::compiled() && simd::runtime_supported();
+  }
+  const KernelTable& kernels() const override { return scalar_kernels(); }
+  bool supports_op(const CompiledOp& op) const override {
+    if (!Backend::supports_op(op)) return false;
+    return op.kernel != KernelClass::Swap;  // shared scalar-f32 swap
+  }
+  void execute(const CompiledProgram& program, StateVector& state,
+               const ParamVector& params) const override {
+    f32::execute_program_f32(program, state, params, f32::avx2_table_f32(),
+                             /*min_fast_2q_lo=*/1);
+  }
+  void execute_dm(const CompiledProgram& program, DensityMatrix& rho,
+                  const ParamVector& params) const override {
+    f32::execute_program_dm_f32(program, rho, params, f32::avx2_table_f32(),
+                                /*min_fast_2q_lo=*/1);
+  }
+};
+
+// Live ScopedSelection override for the calling thread; consulted before
+// the process-wide atomic in BackendRegistry::active().
+thread_local const Backend* tls_selection = nullptr;
+
 }  // namespace
 
 bool Backend::supports_op(const CompiledOp& op) const {
@@ -97,9 +162,16 @@ void Backend::execute(const CompiledProgram& program, StateVector& state,
   for (const CompiledOp& op : program.ops()) apply_op(state, op, params);
 }
 
+void Backend::execute_dm(const CompiledProgram& program, DensityMatrix& rho,
+                         const ParamVector& params) const {
+  for (const CompiledOp& op : program.ops()) rho.apply_op(op, params);
+}
+
 BackendRegistry::BackendRegistry() {
   backends_.push_back(std::make_unique<ScalarBackend>());
   backends_.push_back(std::make_unique<Avx2Backend>());
+  backends_.push_back(std::make_unique<Float32Backend>());
+  backends_.push_back(std::make_unique<Avx2F32Backend>());
 }
 
 BackendRegistry& BackendRegistry::instance() {
@@ -182,7 +254,29 @@ bool BackendRegistry::set_active(std::string_view name) {
   return true;
 }
 
-const Backend& active() { return BackendRegistry::instance().active(); }
+const Backend& active() {
+  if (tls_selection != nullptr) return *tls_selection;
+  return BackendRegistry::instance().active();
+}
+
+ScopedSelection::ScopedSelection(std::string_view name)
+    : prev_(tls_selection) {
+  const Backend* b = BackendRegistry::instance().find(name);
+  if (b != nullptr && b->available()) {
+    tls_selection = b;
+    engaged_ = true;
+  }
+}
+
+ScopedSelection::~ScopedSelection() { tls_selection = prev_; }
+
+double amplitude_tolerance(DType dtype, std::size_t op_count) {
+  if (dtype == DType::F64) return 1e-12;
+  // eps32 = 2^-24: unit roundoff of an f32 significand. See the header
+  // doc and DESIGN.md for the term-by-term derivation.
+  constexpr double eps32 = 1.0 / 16777216.0;
+  return 4.0 * eps32 * (4.0 + static_cast<double>(op_count));
+}
 
 bool set_active(std::string_view name) {
   return BackendRegistry::instance().set_active(name);

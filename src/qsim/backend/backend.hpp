@@ -45,6 +45,7 @@
 
 namespace qnat {
 class StateVector;
+class DensityMatrix;
 struct CompiledOp;
 class CompiledProgram;
 }  // namespace qnat
@@ -62,6 +63,13 @@ struct Capabilities {
   std::size_t min_fast_2q_lo = 1;
   /// Short ISA label for manifests/diagnostics ("generic", "avx2", ...).
   const char* isa = "generic";
+  /// Element precision of the amplitude storage this backend executes in.
+  /// F32 backends keep vectorized == false on purpose: the default
+  /// selection (resolve_default, simd::set_enabled) only auto-picks
+  /// vectorized backends, so reduced precision is always an explicit
+  /// opt-in (QNAT_BACKEND, set_active, or ScopedSelection) and can never
+  /// silently become the process default.
+  DType element_dtype = DType::F64;
 };
 
 /// Per-backend kernel function pointers. Signatures mirror the scalar
@@ -130,6 +138,13 @@ class Backend {
   /// execution strategies.
   virtual void execute(const CompiledProgram& program, StateVector& state,
                        const ParamVector& params) const;
+
+  /// Density-matrix variant: applies every op to `rho` (matrix on the row
+  /// qubits, conjugate on the column qubits). The default walks
+  /// DensityMatrix::apply_op; the f32 backends override it with the
+  /// conversion-shim whole-program path.
+  virtual void execute_dm(const CompiledProgram& program, DensityMatrix& rho,
+                          const ParamVector& params) const;
 };
 
 /// Process-wide name -> Backend map with one active selection.
@@ -169,7 +184,44 @@ class BackendRegistry {
 };
 
 /// The active backend (shorthand for BackendRegistry::instance().active()).
+/// A live ScopedSelection on the calling thread takes precedence over the
+/// process-wide selection.
 const Backend& active();
+
+/// RAII thread-local backend override. While alive, `active()` on this
+/// thread resolves to the named backend; other threads and the
+/// process-wide selection are untouched — this is how the serving layer
+/// runs one request f32 while concurrent requests stay f64. Nests (inner
+/// selection wins); an unknown/unavailable name leaves the selection
+/// unchanged (engaged() == false) rather than failing, matching
+/// set_active's contract.
+class ScopedSelection {
+ public:
+  explicit ScopedSelection(std::string_view name);
+  ~ScopedSelection();
+  ScopedSelection(const ScopedSelection&) = delete;
+  ScopedSelection& operator=(const ScopedSelection&) = delete;
+
+  /// True when the named backend was found and is now this thread's
+  /// active selection.
+  bool engaged() const { return engaged_; }
+
+ private:
+  const Backend* prev_ = nullptr;
+  bool engaged_ = false;
+};
+
+/// Per-backend differential accuracy bound: the maximum absolute
+/// amplitude (and expectation) deviation from the f64 scalar reference a
+/// conforming backend of element dtype `dtype` may show after `op_count`
+/// compiled ops. F64 backends: 1e-12 flat (bitwise-reordered arithmetic
+/// only). F32 backends: 4*eps32*(4 + op_count) with eps32 = 2^-24 — the
+/// downconvert step contributes eps32/2 per amplitude, each of op_count
+/// gates applies a rounded 2x2/4x4 multiply-accumulate (<= 4 f32
+/// roundings on a unit-norm state), and the factor 4 headroom covers
+/// worst-case constructive error alignment across a 2^n-dim state. See
+/// DESIGN.md "Precision and the f32 backends" for the full derivation.
+double amplitude_tolerance(DType dtype, std::size_t op_count);
 
 /// Selects the active backend by name; false when unknown/unavailable.
 bool set_active(std::string_view name);

@@ -1,0 +1,479 @@
+#include "qsim/backend/f32_kernels.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/simd.hpp"
+#include "common/workspace.hpp"
+#include "qsim/backend/backend.hpp"
+#include "qsim/backend/scalar_kernels.hpp"
+#include "qsim/density_matrix.hpp"
+#include "qsim/program.hpp"
+#include "qsim/statevector.hpp"
+
+namespace qnat::backend::f32 {
+
+namespace {
+
+// --- scalar f32 reference kernels -------------------------------------
+// Same loop structure and left-to-right term order as the f64 scalar
+// kernels; only the amplitude type narrows. These define the f32
+// reference semantics the avx2-f32 kernels are differentially tested
+// against (within the f32 tolerance model — FMA contraction means the
+// two f32 backends agree to f32 rounding, not bit-for-bit).
+
+void s_apply_1q(cplx32* amps, std::size_t n, std::size_t stride, cplx32 m00,
+                cplx32 m01, cplx32 m10, cplx32 m11) {
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      const cplx32 a0 = amps[i];
+      const cplx32 a1 = amps[i + stride];
+      amps[i] = m00 * a0 + m01 * a1;
+      amps[i + stride] = m10 * a0 + m11 * a1;
+    }
+  }
+}
+
+void s_apply_diag_1q(cplx32* amps, std::size_t n, std::size_t stride,
+                     cplx32 d0, cplx32 d1) {
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      amps[i] *= d0;
+      amps[i + stride] *= d1;
+    }
+  }
+}
+
+void s_apply_antidiag_1q(cplx32* amps, std::size_t n, std::size_t stride,
+                         cplx32 top, cplx32 bottom) {
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t i = base; i < base + stride; ++i) {
+      const cplx32 a0 = amps[i];
+      amps[i] = top * amps[i + stride];
+      amps[i + stride] = bottom * a0;
+    }
+  }
+}
+
+void s_apply_2q(cplx32* amps, std::size_t quarter, std::size_t lo,
+                std::size_t hi, std::size_t sa, std::size_t sb,
+                const cplx32* m) {
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = scalar::expand_two_zero_bits(k, lo, hi);
+    const std::size_t i00 = i;
+    const std::size_t i01 = i | sb;
+    const std::size_t i10 = i | sa;
+    const std::size_t i11 = i | sa | sb;
+    const cplx32 a00 = amps[i00], a01 = amps[i01], a10 = amps[i10],
+                 a11 = amps[i11];
+    amps[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+    amps[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+    amps[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+    amps[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+  }
+}
+
+void s_apply_diag_2q(cplx32* amps, std::size_t quarter, std::size_t lo,
+                     std::size_t hi, std::size_t sa, std::size_t sb,
+                     cplx32 d0, cplx32 d1, cplx32 d2, cplx32 d3) {
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = scalar::expand_two_zero_bits(k, lo, hi);
+    amps[i] *= d0;
+    amps[i | sb] *= d1;
+    amps[i | sa] *= d2;
+    amps[i | sa | sb] *= d3;
+  }
+}
+
+void s_apply_controlled_1q(cplx32* amps, std::size_t quarter, std::size_t lo,
+                           std::size_t hi, std::size_t sc, std::size_t st,
+                           cplx32 m00, cplx32 m01, cplx32 m10, cplx32 m11) {
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = scalar::expand_two_zero_bits(k, lo, hi) | sc;
+    const cplx32 a0 = amps[i];
+    const cplx32 a1 = amps[i | st];
+    amps[i] = m00 * a0 + m01 * a1;
+    amps[i | st] = m10 * a0 + m11 * a1;
+  }
+}
+
+void s_apply_controlled_antidiag_1q(cplx32* amps, std::size_t quarter,
+                                    std::size_t lo, std::size_t hi,
+                                    std::size_t sc, std::size_t st,
+                                    cplx32 top, cplx32 bottom) {
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = scalar::expand_two_zero_bits(k, lo, hi) | sc;
+    const cplx32 a0 = amps[i];
+    amps[i] = top * amps[i | st];
+    amps[i | st] = bottom * a0;
+  }
+}
+
+void s_apply_swap(cplx32* amps, std::size_t quarter, std::size_t lo,
+                  std::size_t hi, std::size_t sa, std::size_t sb) {
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = scalar::expand_two_zero_bits(k, lo, hi);
+    const cplx32 tmp = amps[i | sa];
+    amps[i | sa] = amps[i | sb];
+    amps[i | sb] = tmp;
+  }
+}
+
+double s_norm_sq(const cplx32* amps, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += static_cast<double>(amps[i].real()) * amps[i].real() +
+         static_cast<double>(amps[i].imag()) * amps[i].imag();
+  }
+  return s;
+}
+
+KernelTableF32 make_scalar_table() {
+  KernelTableF32 t;
+  t.apply_1q = &s_apply_1q;
+  t.apply_diag_1q = &s_apply_diag_1q;
+  t.apply_antidiag_1q = &s_apply_antidiag_1q;
+  t.apply_2q = &s_apply_2q;
+  t.apply_diag_2q = &s_apply_diag_2q;
+  t.apply_controlled_1q = &s_apply_controlled_1q;
+  t.apply_controlled_antidiag_1q = &s_apply_controlled_antidiag_1q;
+  t.apply_swap = &s_apply_swap;
+  t.norm_sq = &s_norm_sq;
+  return t;
+}
+
+KernelTableF32 make_avx2_table() {
+  KernelTableF32 t;
+  t.apply_1q = &simd::apply_1q_f32;
+  t.apply_diag_1q = &simd::apply_diag_1q_f32;
+  t.apply_antidiag_1q = &simd::apply_antidiag_1q_f32;
+  // Swap stays on the scalar-f32 routine: pure loads/stores, nothing to
+  // vectorize profitably (same split as the f64 avx2 table). Dense 4x4
+  // is vectorized — fusion makes it the dominant op class on deep
+  // circuits.
+  t.apply_2q = &simd::apply_2q_f32;
+  t.apply_diag_2q = &simd::apply_diag_2q_f32;
+  t.apply_controlled_1q = &simd::apply_controlled_1q_f32;
+  t.apply_controlled_antidiag_1q = &simd::apply_controlled_antidiag_1q_f32;
+  t.apply_swap = &s_apply_swap;
+  t.norm_sq = &simd::norm_sq_f32;
+  return t;
+}
+
+inline cplx32 narrow(cplx c) {
+  return {static_cast<float>(c.real()), static_cast<float>(c.imag())};
+}
+
+/// Dispatches one classified matrix through the f32 kernels — the f32
+/// analogue of apply_classified_1q/2q, with the 2q fast-path gate (pairs
+/// below `min_fast_2q_lo` run the scalar-f32 reference table, mirroring
+/// the f64 table_2q split). The avx2-f32 kernels vectorize every stride
+/// so their gate is 1; the split only bites for hypothetical tables
+/// with a narrower fast path.
+void dispatch_f32(cplx32* amps, std::size_t n, KernelClass kernel,
+                  const CMatrix& m, QubitIndex q0, QubitIndex q1,
+                  int num_qubits_of_op, const KernelTableF32& table,
+                  std::size_t min_fast_2q_lo) {
+  if (num_qubits_of_op == 1) {
+    const std::size_t stride = std::size_t{1} << q0;
+    switch (kernel) {
+      case KernelClass::Identity:
+        return;
+      case KernelClass::Diag1Q:
+        table.apply_diag_1q(amps, n, stride, narrow(m(0, 0)), narrow(m(1, 1)));
+        return;
+      case KernelClass::AntiDiag1Q:
+        table.apply_antidiag_1q(amps, n, stride, narrow(m(0, 1)),
+                                narrow(m(1, 0)));
+        return;
+      default:
+        table.apply_1q(amps, n, stride, narrow(m(0, 0)), narrow(m(0, 1)),
+                       narrow(m(1, 0)), narrow(m(1, 1)));
+        return;
+    }
+  }
+  const std::size_t sa = std::size_t{1} << q0;  // high matrix bit
+  const std::size_t sb = std::size_t{1} << q1;  // low matrix bit
+  const std::size_t lo = sa < sb ? sa : sb;
+  const std::size_t hi = sa < sb ? sb : sa;
+  const std::size_t quarter = n >> 2;
+  const KernelTableF32& kt =
+      lo >= min_fast_2q_lo ? table : scalar_table_f32();
+  switch (kernel) {
+    case KernelClass::Identity:
+      return;
+    case KernelClass::Diag2Q:
+      kt.apply_diag_2q(amps, quarter, lo, hi, sa, sb, narrow(m(0, 0)),
+                       narrow(m(1, 1)), narrow(m(2, 2)), narrow(m(3, 3)));
+      return;
+    case KernelClass::CtrlAnti1Q:
+      kt.apply_controlled_antidiag_1q(amps, quarter, lo, hi, sa, sb,
+                                      narrow(m(2, 3)), narrow(m(3, 2)));
+      return;
+    case KernelClass::Ctrl1Q:
+      kt.apply_controlled_1q(amps, quarter, lo, hi, sa, sb, narrow(m(2, 2)),
+                             narrow(m(2, 3)), narrow(m(3, 2)),
+                             narrow(m(3, 3)));
+      return;
+    case KernelClass::Swap:
+      kt.apply_swap(amps, quarter, lo, hi, sa, sb);
+      return;
+    default: {
+      cplx32 flat[16];
+      for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t c = 0; c < 4; ++c) flat[4 * r + c] = narrow(m(r, c));
+      }
+      kt.apply_2q(amps, quarter, lo, hi, sa, sb, flat);
+      return;
+    }
+  }
+}
+
+/// Walks the op list over an f32 amplitude buffer, ticking the same
+/// Deterministic kernel-class counters as the apply_op walk.
+void run_ops_f32(const CompiledProgram& program, const ParamVector& params,
+                 cplx32* amps, std::size_t n, const KernelTableF32& table,
+                 std::size_t min_fast_2q_lo) {
+  for (const CompiledOp& op : program.ops()) {
+    if (!op.parameterized) {
+      count_kernel_dispatch(op.kernel);
+      if (op.kernel == KernelClass::Identity) continue;
+      dispatch_f32(amps, n, op.kernel, op.matrix, op.q0, op.q1,
+                   op.num_qubits, table, min_fast_2q_lo);
+      continue;
+    }
+    const CMatrix m = op.gate.matrix(op.gate.eval_params(params));
+    const KernelClass kernel =
+        op.num_qubits == 1 ? classify_1q(m) : classify_2q(m);
+    count_kernel_dispatch(kernel);
+    dispatch_f32(amps, n, kernel, m, op.q0, op.q1, op.num_qubits, table,
+                 min_fast_2q_lo);
+  }
+}
+
+/// Table + fast-path stride of the preferred f32 implementation: the
+/// active backend's own kernels when an f32 backend is selected, else
+/// the best the machine supports (the avx2-f32 table on AVX2+FMA
+/// hardware, the scalar-f32 reference otherwise).
+struct Selection {
+  const KernelTableF32* table;
+  std::size_t min_fast_2q_lo;
+};
+
+Selection pick_tables() {
+  const Backend& be = active();
+  if (be.caps().element_dtype == DType::F32) {
+    const bool avx = std::strcmp(be.name(), "avx2-f32") == 0;
+    return {avx ? &avx2_table_f32() : &scalar_table_f32(),
+            be.caps().min_fast_2q_lo};
+  }
+  if (simd::compiled() && simd::runtime_supported()) {
+    return {&avx2_table_f32(), 1};
+  }
+  return {&scalar_table_f32(), 1};
+}
+
+std::uint64_t synthetic_state_id() {
+  // Shot runs without a backing StateVector mint ids from the top of the
+  // id space, so they can never collide with real state ids (which count
+  // up from 1).
+  static std::atomic<std::uint64_t> next{~std::uint64_t{0}};
+  return next.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const KernelTableF32& scalar_table_f32() {
+  static const KernelTableF32 table = make_scalar_table();
+  return table;
+}
+
+const KernelTableF32& avx2_table_f32() {
+  static const KernelTableF32 table = make_avx2_table();
+  return table;
+}
+
+void downconvert(const cplx* src, cplx32* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = cplx32(static_cast<float>(src[i].real()),
+                    static_cast<float>(src[i].imag()));
+  }
+}
+
+void upconvert(const cplx32* src, cplx* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = cplx(src[i].real(), src[i].imag());
+  }
+}
+
+void execute_program_f32(const CompiledProgram& program, StateVector& state,
+                         const ParamVector& params,
+                         const KernelTableF32& table,
+                         std::size_t min_fast_2q_lo) {
+  const std::size_t n = state.dim();
+  std::vector<cplx32> buf = ws::acquire_amps_f32(n);
+  downconvert(state.amplitudes().data(), buf.data(), n);
+  run_ops_f32(program, params, buf.data(), n, table, min_fast_2q_lo);
+  upconvert(buf.data(), state.mutable_amplitudes(), n);
+  ws::release_amps_f32(std::move(buf));
+}
+
+void execute_program_dm_f32(const CompiledProgram& program,
+                            DensityMatrix& rho, const ParamVector& params,
+                            const KernelTableF32& table,
+                            std::size_t min_fast_2q_lo) {
+  static metrics::Counter dm_ops = metrics::counter("qsim.dm.ops");
+  StateVector& vec = rho.vectorized_state();
+  const int nq = rho.num_qubits();
+  const std::size_t n = vec.dim();
+  std::vector<cplx32> buf = ws::acquire_amps_f32(n);
+  downconvert(vec.amplitudes().data(), buf.data(), n);
+  for (const CompiledOp& op : program.ops()) {
+    dm_ops.inc();
+    KernelClass kernel = op.kernel;
+    CMatrix m;
+    if (op.parameterized) {
+      m = op.gate.matrix(op.gate.eval_params(params));
+      kernel = op.num_qubits == 1 ? classify_1q(m) : classify_2q(m);
+    } else {
+      if (op.kernel == KernelClass::Identity) continue;
+      m = op.matrix;
+    }
+    const CMatrix mc = m.conjugate();
+    if (op.num_qubits == 1) {
+      dispatch_f32(buf.data(), n, kernel, m, op.q0, 0, 1, table,
+                   min_fast_2q_lo);
+      dispatch_f32(buf.data(), n, kernel, mc, op.q0 + nq, 0, 1, table,
+                   min_fast_2q_lo);
+    } else {
+      dispatch_f32(buf.data(), n, kernel, m, op.q0, op.q1, 2, table,
+                   min_fast_2q_lo);
+      dispatch_f32(buf.data(), n, kernel, mc, op.q0 + nq, op.q1 + nq, 2,
+                   table, min_fast_2q_lo);
+    }
+  }
+  upconvert(buf.data(), vec.mutable_amplitudes(), n);
+  ws::release_amps_f32(std::move(buf));
+}
+
+void run_program_on_f32(const CompiledProgram& program,
+                        const ParamVector& params, cplx32* amps,
+                        std::size_t n) {
+  static metrics::Counter executions =
+      metrics::counter("qsim.program.executions");
+  static metrics::Counter op_dispatches =
+      metrics::counter("qsim.program.op_dispatches");
+  executions.inc();
+  op_dispatches.add(program.ops().size());
+  QNAT_CHECK(n == std::size_t{1} << program.num_qubits(),
+             "f32 program run: buffer dimension must be 2^num_qubits");
+  const Selection sel = pick_tables();
+  run_ops_f32(program, params, amps, n, *sel.table, sel.min_fast_2q_lo);
+}
+
+void expectations_z_from_f32(const cplx32* amps, std::size_t n,
+                             int num_qubits, std::vector<real>& out) {
+  out.assign(static_cast<std::size_t>(num_qubits), 0.0);
+  std::vector<double> probs = ws::acquire_reals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    probs[i] = static_cast<double>(amps[i].real()) * amps[i].real() +
+               static_cast<double>(amps[i].imag()) * amps[i].imag();
+  }
+  std::size_t len = n;
+  for (int q = num_qubits - 1; q >= 0; --q) {
+    const std::size_t half = len >> 1;
+    double diff = 0.0;
+    for (std::size_t j = 0; j < half; ++j) {
+      diff += probs[j] - probs[j + half];
+      probs[j] += probs[j + half];
+    }
+    out[static_cast<std::size_t>(q)] = diff;
+    len = half;
+  }
+  ws::release_reals(std::move(probs));
+}
+
+void measure_expectations_f32(const CompiledProgram& program,
+                              const ParamVector& params,
+                              std::vector<real>& out) {
+  const std::size_t n = std::size_t{1} << program.num_qubits();
+  std::vector<cplx32> buf = ws::acquire_amps_f32(n);
+  std::fill(buf.begin(), buf.end(), cplx32{0.0f, 0.0f});
+  buf[0] = cplx32{1.0f, 0.0f};
+  run_program_on_f32(program, params, buf.data(), n);
+  expectations_z_from_f32(buf.data(), n, program.num_qubits(), out);
+  ws::release_amps_f32(std::move(buf));
+}
+
+std::vector<std::size_t> sample_f32(const cplx32* amps, std::size_t n,
+                                    std::uint64_t state_id,
+                                    std::uint64_t generation, Rng& rng,
+                                    int shots) {
+  QNAT_CHECK(shots > 0, "sample requires positive shot count");
+  static metrics::Counter shots_drawn =
+      metrics::counter("qsim.sv.shots_drawn");
+  shots_drawn.add(static_cast<std::uint64_t>(shots));
+  ws::CumTable& slot = ws::cumtable_slot();
+  // dtype participates in the cache key: the same logical state sampled
+  // through its f64 amplitudes produces a (slightly) different table, so
+  // matching (state_id, generation) alone must not count as a hit.
+  if (!slot.valid || slot.state_id != state_id ||
+      slot.generation != generation || slot.dtype != DType::F32) {
+    static metrics::Counter builds = metrics::counter(
+        "qsim.sv.cumtable_builds", metrics::Stability::PerRun);
+    builds.inc();
+    slot.cumulative.resize(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += static_cast<double>(amps[i].real()) * amps[i].real() +
+             static_cast<double>(amps[i].imag()) * amps[i].imag();
+      slot.cumulative[i] = acc;
+    }
+    slot.total_mass = acc;
+    slot.state_id = state_id;
+    slot.generation = generation;
+    slot.dtype = DType::F32;
+    slot.valid = true;
+    ws::account_cumtable(slot);
+  }
+  QNAT_CHECK(slot.total_mass > 0.0,
+             "sample from a state with no probability mass");
+  std::vector<std::size_t> out;
+  out.reserve(static_cast<std::size_t>(shots));
+  for (int s = 0; s < shots; ++s) {
+    out.push_back(StateVector::sample_index(slot.cumulative,
+                                            rng.uniform() * slot.total_mass));
+  }
+  return out;
+}
+
+std::vector<real> measure_expectations_shots_f32(
+    const CompiledProgram& program, const ParamVector& params, Rng& rng,
+    int shots) {
+  QNAT_CHECK(shots > 0, "sample requires positive shot count");
+  const int nq = program.num_qubits();
+  const std::size_t n = std::size_t{1} << nq;
+  std::vector<cplx32> buf = ws::acquire_amps_f32(n);
+  std::fill(buf.begin(), buf.end(), cplx32{0.0f, 0.0f});
+  buf[0] = cplx32{1.0f, 0.0f};
+  run_program_on_f32(program, params, buf.data(), n);
+  std::vector<long> plus_counts(static_cast<std::size_t>(nq), 0);
+  for (const std::size_t basis :
+       sample_f32(buf.data(), n, synthetic_state_id(), 0, rng, shots)) {
+    for (int q = 0; q < nq; ++q) {
+      if (!((basis >> q) & 1u)) ++plus_counts[static_cast<std::size_t>(q)];
+    }
+  }
+  ws::release_amps_f32(std::move(buf));
+  std::vector<real> out(static_cast<std::size_t>(nq));
+  for (int q = 0; q < nq; ++q) {
+    const real p_plus =
+        static_cast<real>(plus_counts[static_cast<std::size_t>(q)]) / shots;
+    out[static_cast<std::size_t>(q)] = 2.0 * p_plus - 1.0;
+  }
+  return out;
+}
+
+}  // namespace qnat::backend::f32

@@ -1,0 +1,147 @@
+// Float32 mixed-precision simulation path.
+//
+// The f32 backends ("f32" scalar reference and "avx2-f32" 8-lane; see
+// backend.cpp) store amplitudes as complex<float> and convert at the
+// Program boundary: Backend::execute leases a pooled cplx32 mirror of
+// the statevector, downconverts once, runs every op through the f32
+// kernel table below, and upconverts once at the end. Matrices, gate
+// parameters and all reductions stay double — only amplitude *storage*
+// and the per-op multiply/accumulate arithmetic drop to f32, which is
+// what halves memory bandwidth and doubles SIMD lane count.
+//
+// Numerical contract: per-backend tolerance is the analytic ulp-scaled
+// model backend::amplitude_tolerance (~eps32 * O(ops); see DESIGN.md
+// "Precision" for the derivation), enforced against the f64 scalar
+// reference by the precision-aware conformance harness. Gradients and
+// the adjoint differentiator intentionally have no f32 path — training
+// stays f64; f32 is an inference-serving precision.
+//
+// Besides the backend execute hooks this module exposes the pieces the
+// serving/measurement layer and the tests consume directly:
+//  * one-pass expectation folds reading f32 amplitudes with double
+//    accumulation (never upconverting the state),
+//  * f32 finite-shot sampling whose cached cumulative table is keyed by
+//    element dtype in addition to (state_id, generation),
+//  * the raw kernel tables for differential kernel-level tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace qnat {
+class StateVector;
+class DensityMatrix;
+class CompiledProgram;
+}  // namespace qnat
+
+namespace qnat::backend::f32 {
+
+/// Per-backend f32 kernel function pointers; signatures mirror the f64
+/// KernelTable (scalar_kernels.hpp) with cplx32 amplitudes. norm_sq
+/// accumulates in double.
+struct KernelTableF32 {
+  void (*apply_1q)(cplx32* amps, std::size_t n, std::size_t stride,
+                   cplx32 m00, cplx32 m01, cplx32 m10, cplx32 m11) = nullptr;
+  void (*apply_diag_1q)(cplx32* amps, std::size_t n, std::size_t stride,
+                        cplx32 d0, cplx32 d1) = nullptr;
+  void (*apply_antidiag_1q)(cplx32* amps, std::size_t n, std::size_t stride,
+                            cplx32 top, cplx32 bottom) = nullptr;
+  void (*apply_2q)(cplx32* amps, std::size_t quarter, std::size_t lo,
+                   std::size_t hi, std::size_t sa, std::size_t sb,
+                   const cplx32* m) = nullptr;
+  void (*apply_diag_2q)(cplx32* amps, std::size_t quarter, std::size_t lo,
+                        std::size_t hi, std::size_t sa, std::size_t sb,
+                        cplx32 d0, cplx32 d1, cplx32 d2, cplx32 d3) = nullptr;
+  void (*apply_controlled_1q)(cplx32* amps, std::size_t quarter,
+                              std::size_t lo, std::size_t hi, std::size_t sc,
+                              std::size_t st, cplx32 m00, cplx32 m01,
+                              cplx32 m10, cplx32 m11) = nullptr;
+  void (*apply_controlled_antidiag_1q)(cplx32* amps, std::size_t quarter,
+                                       std::size_t lo, std::size_t hi,
+                                       std::size_t sc, std::size_t st,
+                                       cplx32 top, cplx32 bottom) = nullptr;
+  void (*apply_swap)(cplx32* amps, std::size_t quarter, std::size_t lo,
+                     std::size_t hi, std::size_t sa,
+                     std::size_t sb) = nullptr;
+  double (*norm_sq)(const cplx32* amps, std::size_t n) = nullptr;
+};
+
+/// The portable scalar f32 reference table.
+const KernelTableF32& scalar_table_f32();
+
+/// The AVX2 8-lane table (common/simd *_f32 kernels; swap and dense 4x4
+/// stay on the scalar-f32 routines — same split as the f64 avx2 table).
+const KernelTableF32& avx2_table_f32();
+
+/// Downconverts n f64 amplitudes into dst (per-element nearest rounding).
+void downconvert(const cplx* src, cplx32* dst, std::size_t n);
+
+/// Upconverts n f32 amplitudes into dst (exact).
+void upconvert(const cplx32* src, cplx* dst, std::size_t n);
+
+/// Runs every op of `program` on `state` through `table`: downconvert,
+/// per-op classify/dispatch in f32 (2q pairs with lo < min_fast_2q_lo
+/// fall back to the scalar-f32 table), upconvert. Ticks the same
+/// Deterministic kernel-class counters as the default apply_op walk, so
+/// the metrics fingerprint is backend-invariant.
+void execute_program_f32(const CompiledProgram& program, StateVector& state,
+                         const ParamVector& params,
+                         const KernelTableF32& table,
+                         std::size_t min_fast_2q_lo);
+
+/// Density-matrix variant: converts the vectorized rho (a 2n-qubit
+/// statevector) once and applies each op's matrix on the row qubits and
+/// its conjugate on the column qubits in f32, mirroring
+/// DensityMatrix::apply_op (including the qsim.dm.ops counter).
+void execute_program_dm_f32(const CompiledProgram& program,
+                            DensityMatrix& rho, const ParamVector& params,
+                            const KernelTableF32& table,
+                            std::size_t min_fast_2q_lo);
+
+/// Runs every op of `program` on a caller-owned f32 amplitude buffer of
+/// dimension n == 2^num_qubits through the preferred f32 table (the
+/// active backend's when an f32 backend is selected, else the best the
+/// machine supports). Ticks the program-execution and kernel-class
+/// counters like CompiledProgram::run. Building block for the
+/// fixed-point pipeline and kernel-level tests.
+void run_program_on_f32(const CompiledProgram& program,
+                        const ParamVector& params, cplx32* amps,
+                        std::size_t n);
+
+/// One-pass Z-expectation fold over f32 amplitudes: probabilities are
+/// squared in f32 storage order but accumulated in double through the
+/// same halving fold as StateVector::expectations_z_into. Used by
+/// measure_expectations_f32 and the fixed-point pipeline tests.
+void expectations_z_from_f32(const cplx32* amps, std::size_t n,
+                             int num_qubits, std::vector<real>& out);
+
+/// Runs `program` entirely in f32 (through the best available f32 table,
+/// or the active backend's when an f32 backend is active) and folds the
+/// expectations directly from the f32 amplitudes — the state is never
+/// upconverted. The allocation-free analytic path of f32 serving.
+void measure_expectations_f32(const CompiledProgram& program,
+                              const ParamVector& params,
+                              std::vector<real>& out);
+
+/// Finite-shot readout from an f32 amplitude buffer mirroring the state
+/// identified by (state_id, generation). The cached cumulative table is
+/// reused across calls like StateVector::sample, but tagged DType::F32:
+/// alternating f64 and f32 sampling of the same logical state on one
+/// thread rebuilds rather than serving the other precision's table.
+std::vector<std::size_t> sample_f32(const cplx32* amps, std::size_t n,
+                                    std::uint64_t state_id,
+                                    std::uint64_t generation, Rng& rng,
+                                    int shots);
+
+/// Shot-sampled per-qubit Z expectations of `program` run in f32:
+/// executes through the f32 path, samples via sample_f32 (dtype-keyed
+/// cumulative table) and averages ±1 readouts.
+std::vector<real> measure_expectations_shots_f32(
+    const CompiledProgram& program, const ParamVector& params, Rng& rng,
+    int shots);
+
+}  // namespace qnat::backend::f32

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "qsim/backend/backend.hpp"
 
 namespace qnat {
 
@@ -44,6 +45,11 @@ void DensityMatrix::apply_op(const CompiledOp& op, const ParamVector& params) {
     apply_classified_2q(vec_, kernel, mc, op.q0 + num_qubits_,
                         op.q1 + num_qubits_);
   }
+}
+
+void DensityMatrix::run(const CompiledProgram& program,
+                        const ParamVector& params) {
+  backend::active().execute_dm(program, *this, params);
 }
 
 void DensityMatrix::apply_pauli_channel(QubitIndex q,

@@ -54,6 +54,18 @@ class DensityMatrix {
   /// noise channels between ops.
   void apply_op(const CompiledOp& op, const ParamVector& params);
 
+  /// Executes every op of `program` through the active backend's
+  /// execute_dm hook — the whole-program analogue of the apply_op loop.
+  /// Under an f32 backend the entire walk runs on one downconverted
+  /// mirror of the vectorized rho instead of converting per op.
+  void run(const CompiledProgram& program, const ParamVector& params);
+
+  /// The vectorized rho as a 2n-qubit statevector (row index = low n
+  /// qubits, column index = high n qubits). Whole-program backend
+  /// executors use this to address the raw amplitude storage.
+  StateVector& vectorized_state() { return vec_; }
+  const StateVector& vectorized_state() const { return vec_; }
+
   /// Applies a Pauli channel on qubit q exactly:
   /// rho -> (1-px-py-pz) rho + px X rho X + py Y rho Y + pz Z rho Z.
   void apply_pauli_channel(QubitIndex q, const PauliChannel& channel);

@@ -1,0 +1,144 @@
+#include "qsim/fixed_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/workspace.hpp"
+#include "qsim/backend/f32_kernels.hpp"
+#include "qsim/program.hpp"
+
+namespace qnat::fxp {
+
+namespace {
+
+metrics::Counter saturations_counter() {
+  static metrics::Counter c = metrics::counter("qsim.fxp.saturations");
+  return c;
+}
+
+std::int16_t quantize_component(float x, float scale,
+                                metrics::Counter& saturations) {
+  if (scale <= 0.0f) return 0;
+  const float scaled = x / scale * static_cast<float>(kQuantMax);
+  const float rounded = std::nearbyintf(scaled);
+  if (rounded > static_cast<float>(kQuantMax)) {
+    saturations.inc();
+    return static_cast<std::int16_t>(kQuantMax);
+  }
+  if (rounded < -static_cast<float>(kQuantMax)) {
+    saturations.inc();
+    return static_cast<std::int16_t>(-kQuantMax);
+  }
+  return static_cast<std::int16_t>(rounded);
+}
+
+float block_max(const cplx32* amps, std::size_t begin, std::size_t end) {
+  float m = 0.0f;
+  for (std::size_t i = begin; i < end; ++i) {
+    m = std::max(m, std::fabs(amps[i].real()));
+    m = std::max(m, std::fabs(amps[i].imag()));
+  }
+  return m;
+}
+
+}  // namespace
+
+QuantizedState quantize(const cplx32* amps, std::size_t n,
+                        std::size_t block_size) {
+  QNAT_CHECK(block_size > 0, "fxp block size must be positive");
+  metrics::Counter saturations = saturations_counter();
+  QuantizedState q;
+  q.n = n;
+  q.block_size = block_size;
+  q.data.resize(2 * n);
+  q.scales.reserve((n + block_size - 1) / block_size);
+  // running_max is the dynamic scale state: what blocks 0..b-1 taught us.
+  // Block 0 has no history and bootstraps from its own max (a real
+  // streaming pipeline would prime this from the previous batch).
+  float running_max = 0.0f;
+  for (std::size_t begin = 0; begin < n; begin += block_size) {
+    const std::size_t end = std::min(n, begin + block_size);
+    const float observed = block_max(amps, begin, end);
+    const float scale = q.scales.empty() ? observed : running_max;
+    q.scales.push_back(scale);
+    for (std::size_t i = begin; i < end; ++i) {
+      q.data[2 * i] = quantize_component(amps[i].real(), scale, saturations);
+      q.data[2 * i + 1] =
+          quantize_component(amps[i].imag(), scale, saturations);
+    }
+    running_max = std::max(running_max, observed);
+  }
+  return q;
+}
+
+void dequantize(const QuantizedState& q, cplx32* out) {
+  for (std::size_t begin = 0; begin < q.n; begin += q.block_size) {
+    const std::size_t end = std::min(q.n, begin + q.block_size);
+    const float factor = q.scales[begin / q.block_size] /
+                         static_cast<float>(kQuantMax);
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = cplx32(static_cast<float>(q.data[2 * i]) * factor,
+                      static_cast<float>(q.data[2 * i + 1]) * factor);
+    }
+  }
+}
+
+void expectations_z_fxp(const QuantizedState& q, int num_qubits,
+                        std::vector<real>& out) {
+  QNAT_CHECK(q.n == (std::size_t{1} << num_qubits),
+             "fxp expectation fold: dimension must be 2^num_qubits");
+  out.assign(static_cast<std::size_t>(num_qubits), 0.0);
+  std::vector<std::int64_t> diff(static_cast<std::size_t>(num_qubits), 0);
+  double total = 0.0;
+  std::vector<double> scaled(static_cast<std::size_t>(num_qubits), 0.0);
+  for (std::size_t begin = 0; begin < q.n; begin += q.block_size) {
+    const std::size_t end = std::min(q.n, begin + q.block_size);
+    const double s = static_cast<double>(q.scales[begin / q.block_size]) /
+                     kQuantMax;
+    const double factor = s * s;
+    std::fill(diff.begin(), diff.end(), std::int64_t{0});
+    std::int64_t mass = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::int32_t re = q.data[2 * i];
+      const std::int32_t im = q.data[2 * i + 1];
+      // Exact: 2 * 32767^2 < 2^31. Everything below stays integer.
+      const std::int32_t mag = re * re + im * im;
+      mass += mag;
+      for (int qb = 0; qb < num_qubits; ++qb) {
+        diff[static_cast<std::size_t>(qb)] +=
+            (i >> qb) & 1u ? -static_cast<std::int64_t>(mag)
+                           : static_cast<std::int64_t>(mag);
+      }
+    }
+    total += static_cast<double>(mass) * factor;
+    for (int qb = 0; qb < num_qubits; ++qb) {
+      scaled[static_cast<std::size_t>(qb)] +=
+          static_cast<double>(diff[static_cast<std::size_t>(qb)]) * factor;
+    }
+  }
+  QNAT_CHECK(total > 0.0, "fxp expectation fold: state has no mass");
+  for (int qb = 0; qb < num_qubits; ++qb) {
+    out[static_cast<std::size_t>(qb)] =
+        scaled[static_cast<std::size_t>(qb)] / total;
+  }
+}
+
+void measure_expectations_fxp(const CompiledProgram& program,
+                              const ParamVector& params,
+                              std::vector<real>& out,
+                              std::size_t block_size) {
+  const std::size_t n = std::size_t{1} << program.num_qubits();
+  std::vector<cplx32> buf = ws::acquire_amps_f32(n);
+  std::fill(buf.begin(), buf.end(), cplx32{0.0f, 0.0f});
+  buf[0] = cplx32{1.0f, 0.0f};
+  backend::f32::run_program_on_f32(program, params, buf.data(), n);
+  const QuantizedState q = quantize(buf.data(), n, block_size);
+  expectations_z_fxp(q, program.num_qubits(), out);
+  ws::release_amps_f32(std::move(buf));
+}
+
+std::uint64_t saturation_count() { return saturations_counter().value(); }
+
+}  // namespace qnat::fxp

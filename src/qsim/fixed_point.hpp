@@ -1,0 +1,88 @@
+// Experimental per-block fixed-point expectation pipeline.
+//
+// Quantizes an f32 amplitude buffer into int16 blocks with *dynamic
+// scale tracking*: block b is scaled by the running maximum amplitude
+// magnitude observed over blocks 0..b-1 (block 0 bootstraps from its own
+// max, since no history exists yet). This mirrors how a streaming
+// fixed-point DAC pipeline would operate — the scale available when a
+// block arrives is whatever the past predicted — so a block containing a
+// spike larger than anything seen before *saturates*: the offending
+// components clamp to the int16 rails and the event is counted in the
+// Deterministic `qsim.fxp.saturations` counter. After each block the
+// running max absorbs the block's true max, so scales adapt within one
+// block of a regime change.
+//
+// Value mapping: component x (re or im) is stored as
+//   round(x / scale_b * 32767) clamped to [-32767, 32767],
+// so the unsaturated round-trip error per component is bounded by
+// scale_b / 32767 / 2 (nearest rounding) — asserted by
+// tests/qsim/fixed_point_test.cpp.
+//
+// The expectation fold never leaves integer arithmetic per element:
+// |amp|^2 = re^2 + im^2 is an exact uint32 (2 * 32767^2 < 2^31), per-Z
+// signs accumulate in int64 per block, and only the per-block int64
+// partials are scaled back to double (one multiply per block per qubit).
+// Results are normalized by the quantized total mass, which cancels the
+// systematic magnitude bias of quantization.
+//
+// Status: experimental — exercised by the precision harness and the
+// fixed-point property tests, not wired into serving defaults.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qnat {
+class CompiledProgram;
+}
+
+namespace qnat::fxp {
+
+inline constexpr std::size_t kDefaultBlockSize = 256;
+inline constexpr int kQuantMax = 32767;
+
+/// An int16-quantized amplitude buffer with per-block scales.
+struct QuantizedState {
+  std::size_t n = 0;           ///< complex amplitudes
+  std::size_t block_size = kDefaultBlockSize;
+  /// 2*n interleaved components (re, im), block-scaled.
+  std::vector<std::int16_t> data;
+  /// One scale per block of `block_size` amplitudes: component value =
+  /// data * scale / kQuantMax. scales[b] is the running max over blocks
+  /// 0..b-1 (block 0: its own max).
+  std::vector<float> scales;
+
+  std::size_t num_blocks() const { return scales.size(); }
+};
+
+/// Quantizes `n` f32 amplitudes under the dynamic per-block scale policy
+/// above. Ticks qsim.fxp.saturations once per clamped component.
+QuantizedState quantize(const cplx32* amps, std::size_t n,
+                        std::size_t block_size = kDefaultBlockSize);
+
+/// Reconstructs f32 amplitudes (out must hold q.n). Exact inverse up to
+/// the per-component bound scale_b / kQuantMax / 2 for unsaturated
+/// components.
+void dequantize(const QuantizedState& q, cplx32* out);
+
+/// Per-qubit Z expectations from the quantized state (n must be 2^nq).
+/// Integer magnitude/sign accumulation per block, double only at block
+/// granularity; normalized by the quantized total mass.
+void expectations_z_fxp(const QuantizedState& q, int num_qubits,
+                        std::vector<real>& out);
+
+/// End-to-end experimental pipeline: runs `program` through the f32
+/// execution path, quantizes the final state and folds expectations via
+/// expectations_z_fxp.
+void measure_expectations_fxp(const CompiledProgram& program,
+                              const ParamVector& params,
+                              std::vector<real>& out,
+                              std::size_t block_size = kDefaultBlockSize);
+
+/// Current value of the qsim.fxp.saturations counter (test convenience).
+std::uint64_t saturation_count();
+
+}  // namespace qnat::fxp

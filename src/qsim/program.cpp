@@ -190,6 +190,8 @@ CompiledOp compile_gate_op(const Gate& gate) {
   return op;
 }
 
+void count_kernel_dispatch(KernelClass k) { kernel_counter(k).inc(); }
+
 void apply_op(StateVector& state, const CompiledOp& op,
               const ParamVector& params) {
   if (!op.parameterized) {
@@ -378,12 +380,13 @@ std::size_t program_cache_capacity() {
   return g_program_cache_capacity.load(std::memory_order_relaxed);
 }
 
-// --- QNATPROG v1 serialization ---
+// --- QNATPROG v2 serialization ---
 
 namespace {
 
 constexpr const char* kProgramMagic = "#qnat-program";
-constexpr const char* kProgramVersion = "v1";
+constexpr const char* kProgramVersion = "v2";
+constexpr const char* kProgramVersionLegacy = "v1";
 
 /// FNV-1a 64-bit over the canonical artifact body.
 std::uint64_t fnv1a(std::string_view s) {
@@ -424,11 +427,16 @@ void put_matrix(std::ostream& os, const CMatrix& m) {
 /// Canonical body: everything checksummed, i.e. the artifact minus the
 /// trailing checksum/end lines. The deserializer re-serializes what it
 /// parsed and compares hashes, so any non-canonical edit fails loudly.
-std::string serialize_program_body(const CompiledProgram& program) {
+/// `legacy_v1` reproduces the v1 layout (no dtype line) so checksums of
+/// legacy artifacts still verify on load; new artifacts always write v2.
+std::string serialize_program_body(const CompiledProgram& program,
+                                   bool legacy_v1 = false) {
   std::ostringstream os;
-  os << kProgramMagic << ' ' << kProgramVersion << '\n';
+  os << kProgramMagic << ' '
+     << (legacy_v1 ? kProgramVersionLegacy : kProgramVersion) << '\n';
   os << "qubits " << program.num_qubits() << '\n';
   os << "params " << program.num_params() << '\n';
+  if (!legacy_v1) os << "dtype " << dtype_name(program.dtype()) << '\n';
   os << "fingerprint ";
   put_hex64(os, program.source_fingerprint());
   os << '\n';
@@ -537,11 +545,15 @@ CompiledProgram deserialize_program(const std::string& text) {
   if (!magic_line.empty() && magic_line.back() == '\r') magic_line.pop_back();
   const std::string expected_magic =
       std::string(kProgramMagic) + ' ' + kProgramVersion;
+  const std::string legacy_magic =
+      std::string(kProgramMagic) + ' ' + kProgramVersionLegacy;
   QNAT_CHECK(magic_line.rfind(kProgramMagic, 0) == 0,
              "program artifact: bad magic (not a QNATPROG file)");
-  QNAT_CHECK(magic_line == expected_magic,
+  const bool legacy_v1 = magic_line == legacy_magic;
+  QNAT_CHECK(legacy_v1 || magic_line == expected_magic,
              "program artifact: unsupported version '" + magic_line +
-                 "' (expected " + expected_magic + ")");
+                 "' (expected " + expected_magic + " or " + legacy_magic +
+                 ")");
 
   expect_tok(is, "qubits");
   const int num_qubits =
@@ -549,6 +561,22 @@ CompiledProgram deserialize_program(const std::string& text) {
   expect_tok(is, "params");
   const int num_params =
       static_cast<int>(read_int(is, "params", 0, 1 << 20));
+  // v2 records the intended execution precision; v1 predates the f32
+  // backends and implies f64. An unrecognized token means the artifact
+  // came from a newer build — refuse it rather than guess a precision.
+  DType dtype = DType::F64;
+  if (!legacy_v1) {
+    expect_tok(is, "dtype");
+    const std::string dtype_tok = next_tok(is, "dtype");
+    if (dtype_tok == "f32") {
+      dtype = DType::F32;
+    } else {
+      QNAT_CHECK(dtype_tok == "f64",
+                 "program artifact: unknown dtype '" + dtype_tok +
+                     "' (expected f64 or f32; artifact from a newer "
+                     "build?)");
+    }
+  }
   expect_tok(is, "fingerprint");
   const std::uint64_t fingerprint =
       parse_hex64(next_tok(is, "fingerprint"), "fingerprint");
@@ -662,7 +690,9 @@ CompiledProgram deserialize_program(const std::string& text) {
   stats.ops = static_cast<int>(ops.size());
   CompiledProgram program(num_qubits, num_params, fingerprint,
                           std::move(ops), stats);
-  const std::uint64_t computed = fnv1a(serialize_program_body(program));
+  program.set_dtype(dtype);
+  const std::uint64_t computed =
+      fnv1a(serialize_program_body(program, legacy_v1));
   QNAT_CHECK(computed == stored_checksum,
              "program artifact: checksum mismatch (corrupt or "
              "non-canonical file)");

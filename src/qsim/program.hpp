@@ -121,6 +121,13 @@ class CompiledProgram {
   const std::vector<CompiledOp>& ops() const { return ops_; }
   const ProgramStats& stats() const { return stats_; }
 
+  /// Element precision this program was compiled/served for. Matrices are
+  /// always stored f64; the dtype records the intended execution storage
+  /// precision and travels with QNATPROG v2 artifacts so an f32 bundle
+  /// can never be mistaken for an f64 one.
+  DType dtype() const { return dtype_; }
+  void set_dtype(DType d) { dtype_ = d; }
+
   /// Executes every op on `state` under the given parameter binding.
   void run(StateVector& state, const ParamVector& params) const;
 
@@ -130,6 +137,7 @@ class CompiledProgram {
   std::uint64_t fingerprint_ = 0;
   std::vector<CompiledOp> ops_;
   ProgramStats stats_;
+  DType dtype_ = DType::F64;
 };
 
 /// Lowers a circuit into a compiled program. With `options.fuse == false`
@@ -145,6 +153,14 @@ CompiledOp compile_gate_op(const Gate& gate);
 /// from `params`).
 void apply_op(StateVector& state, const CompiledOp& op,
               const ParamVector& params);
+
+/// Ticks the Deterministic per-kernel-class dispatch counter for one op.
+/// apply_op does this itself; whole-program backend executors that bypass
+/// apply_op (the f32 conversion-shim path) must call it once per op they
+/// dispatch, preserving the conservation invariant (counter sum ==
+/// compiled ops x executions) and the cross-backend fingerprint equality
+/// the conformance harness asserts.
+void count_kernel_dispatch(KernelClass k);
 
 /// Structural classification of a concrete 2x2 / 4x4 matrix.
 KernelClass classify_1q(const CMatrix& m);
@@ -183,13 +199,14 @@ void clear_program_cache();
 void set_program_cache_capacity(std::size_t capacity);
 std::size_t program_cache_capacity();
 
-// --- QNATPROG v1: versioned on-disk compiled-program artifacts ---
+// --- QNATPROG v2: versioned on-disk compiled-program artifacts ---
 //
 // Text format, canonical by construction (%.17g doubles, fixed key order):
 //
-//   #qnat-program v1
+//   #qnat-program v2
 //   qubits <n>
 //   params <p>
+//   dtype f64|f32        (v2 only; any other token is rejected loudly)
 //   fingerprint <hex64>
 //   source_gates <n>  fused_away <n>  identity_removed <n>   (3 lines)
 //   ops <count>
@@ -202,9 +219,11 @@ std::size_t program_cache_capacity();
 //
 // `deserialize_program` fails loudly (qnat::Error) on wrong magic,
 // unsupported versions, truncation, checksum mismatch, out-of-range
-// qubits/params, and kernel classes that do not match the stored matrix
-// structure; it never returns a partially-parsed program. Round-trip
-// identity holds: serialize(deserialize(s)) == s for canonical s.
+// qubits/params, unknown dtype tokens, and kernel classes that do not
+// match the stored matrix structure; it never returns a partially-parsed
+// program. Legacy v1 artifacts (no dtype line) still load and imply f64.
+// Round-trip identity holds: serialize(deserialize(s)) == s for
+// canonical s of the current version.
 std::string serialize_program(const CompiledProgram& program);
 CompiledProgram deserialize_program(const std::string& text);
 void save_program(const CompiledProgram& program, const std::string& path);

@@ -341,7 +341,7 @@ std::vector<std::size_t> StateVector::sample(Rng& rng, int shots) const {
   // which state is scheduling-dependent).
   ws::CumTable& slot = ws::cumtable_slot();
   if (!slot.valid || slot.state_id != state_id_ ||
-      slot.generation != generation_) {
+      slot.generation != generation_ || slot.dtype != DType::F64) {
     static metrics::Counter builds = metrics::counter(
         "qsim.sv.cumtable_builds", metrics::Stability::PerRun);
     builds.inc();
@@ -354,6 +354,7 @@ std::vector<std::size_t> StateVector::sample(Rng& rng, int shots) const {
     slot.total_mass = acc;
     slot.state_id = state_id_;
     slot.generation = generation_;
+    slot.dtype = DType::F64;
     slot.valid = true;
     ws::account_cumtable(slot);
   }

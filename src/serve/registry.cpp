@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string_view>
 
@@ -14,6 +15,7 @@
 #include "core/normalization.hpp"
 #include "core/serialization.hpp"
 #include "noise/device_presets.hpp"
+#include "qsim/backend/backend.hpp"
 #include "qsim/execution.hpp"
 
 namespace qnat::serve {
@@ -78,6 +80,7 @@ std::uint64_t fingerprint_options(const ServingOptions& options,
   os << "bind_weights " << options.bind_weights << '\n';
   os << "shots " << options.shots << '\n';
   os << "seed " << options.seed << '\n';
+  os << "dtype " << dtype_name(options.dtype) << '\n';
   if (profiling_inputs == nullptr) {
     os << "profiling none\n";
   } else {
@@ -205,6 +208,14 @@ ServableModel::ServableModel(std::string name, int version, QnnModel model,
     } else {
       binding.program = shared_program(*plan.circuit);
     }
+    if (options_.dtype == DType::F32) {
+      // Private copy: the process-wide program cache instance stays f64
+      // for other consumers; only this model's pinned copy is marked, so
+      // the bundle embeds a dtype-f32 QNATPROG v2 artifact.
+      auto owned = std::make_shared<CompiledProgram>(*binding.program);
+      owned->set_dtype(DType::F32);
+      binding.program = std::move(owned);
+    }
     binding.measure_wires = plan.measure_wires;
     binding.readout_slope = plan.readout_slope;
     binding.readout_intercept = plan.readout_intercept;
@@ -323,6 +334,9 @@ ServableModel::ServableModel(std::string name, int version, QnnModel model,
     // program fails here, before any state is published.
     binding.program = std::make_shared<const CompiledProgram>(
         deserialize_program(program_text));
+    QNAT_CHECK(binding.program->dtype() == options_.dtype,
+               "serve artifact: embedded program dtype does not match the "
+               "requested serving precision");
     bindings_.push_back(std::move(binding));
   }
   expect_tok(is, "checksum");
@@ -389,8 +403,20 @@ Tensor2D ServableModel::run_batch(
              "run_batch needs one request id per row");
   QNAT_TRACE_SCOPE("serve.run_batch");
   const int nq = model_.architecture().num_qubits;
+  // F32 serving resolves its backend once per batch (avx2-f32 when the
+  // machine has it, else the scalar f32 reference) and engages it
+  // thread-locally inside the runner — the runner may execute on worker
+  // threads, and concurrent f64 models must stay untouched.
+  const char* f32_backend = nullptr;
+  if (options_.dtype == DType::F32) {
+    const auto& registry = backend::BackendRegistry::instance();
+    const backend::Backend* avx = registry.find("avx2-f32");
+    f32_backend = (avx != nullptr && avx->available()) ? "avx2-f32" : "f32";
+  }
   const BlockRunner runner = [&](std::size_t b, std::size_t r,
                                  const ParamVector& params, real* out) {
+    std::optional<backend::ScopedSelection> precision;
+    if (f32_backend != nullptr) precision.emplace(f32_backend);
     const BlockBinding& binding = bindings_[b];
     // Per-thread expectation buffer: the analytic serving path runs
     // once per sample per block and must stay allocation-free.

@@ -67,6 +67,13 @@ struct ServingOptions {
   int shots = 0;
   /// Master seed of the per-request shot streams.
   std::uint64_t seed = 20260806;
+  /// Element precision requests execute under. F32 routes every block
+  /// program through the f32 conversion-shim backends (thread-local
+  /// ScopedSelection — concurrent f64 models are unaffected) and marks
+  /// the pinned programs, so cached artifact bundles embed `dtype f32`
+  /// QNATPROG v2 programs and the bundle fingerprint diverges from the
+  /// f64 one: an f32 bundle can never warm-hit an f64 request.
+  DType dtype = DType::F64;
   /// Directory of compiled-artifact bundles ("" = caching disabled). On
   /// `ModelRegistry::add`, a matching `servable_<key>.txt` bundle (key =
   /// model x options x profiling-batch fingerprint) is loaded *warm* —

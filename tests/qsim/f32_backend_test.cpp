@@ -1,0 +1,317 @@
+// Unit tests of the f32 mixed-precision building blocks that sit below
+// the conformance harness: the dtype-keyed sampling cumtable (a regression
+// for the cross-precision staleness hazard), the dtype-keyed workspace
+// pool, kernel-level scalar-f32 vs avx2-f32 differentials, the
+// one-pass f32 expectation folds, and shot sampling through the f32 path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/simd.hpp"
+#include "common/workspace.hpp"
+#include "qsim/backend/backend.hpp"
+#include "qsim/backend/f32_kernels.hpp"
+#include "qsim/execution.hpp"
+#include "qsim/program.hpp"
+#include "qsim/statevector.hpp"
+
+namespace qnat {
+namespace {
+
+class MetricsGuard : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::set_enabled(true);
+    metrics::reset();
+  }
+  void TearDown() override {
+    metrics::set_enabled(false);
+    metrics::reset();
+  }
+};
+
+Circuit spread_circuit(int num_qubits) {
+  Circuit c(num_qubits);
+  for (int q = 0; q < num_qubits; ++q) c.h(q);
+  for (int q = 0; q + 1 < num_qubits; ++q) c.cx(q, q + 1);
+  for (int q = 0; q < num_qubits; ++q) c.rz_const(q, 0.1 + 0.2 * q);
+  return c;
+}
+
+std::vector<cplx32> random_f32_state(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<cplx32> amps(n);
+  double norm = 0.0;
+  for (auto& a : amps) {
+    a = cplx32(dist(rng), dist(rng));
+    norm += static_cast<double>(a.real()) * a.real() +
+            static_cast<double>(a.imag()) * a.imag();
+  }
+  const float inv = static_cast<float>(1.0 / std::sqrt(norm));
+  for (auto& a : amps) a *= inv;
+  return amps;
+}
+
+using F32CumTable = MetricsGuard;
+
+// Satellite regression: alternating f64 and f32 sampling of the *same
+// logical state* on one thread must rebuild the cumulative table on
+// every precision flip. Before dtype joined the cache key, the second
+// precision silently reused the first precision's table.
+TEST_F(F32CumTable, AlternatingPrecisionsRebuildInsteadOfReusing) {
+  const CompiledProgram program = compile_program(spread_circuit(4));
+  StateVector state(4);
+  program.run(state, {});
+  const std::size_t n = state.dim();
+  std::vector<cplx32> mirror(n);
+  backend::f32::downconvert(state.amplitudes().data(), mirror.data(), n);
+
+  metrics::Counter builds = metrics::counter(
+      "qsim.sv.cumtable_builds", metrics::Stability::PerRun);
+  Rng rng(7);
+  const std::uint64_t before = builds.value();
+
+  state.sample(rng, 8);  // f64 build
+  EXPECT_EQ(builds.value(), before + 1);
+  state.sample(rng, 8);  // same state, same dtype: cached
+  EXPECT_EQ(builds.value(), before + 1);
+
+  // Same (state_id, generation), different element dtype: must rebuild.
+  backend::f32::sample_f32(mirror.data(), n, state.state_id(),
+                           state.generation(), rng, 8);
+  EXPECT_EQ(builds.value(), before + 2);
+  backend::f32::sample_f32(mirror.data(), n, state.state_id(),
+                           state.generation(), rng, 8);
+  EXPECT_EQ(builds.value(), before + 2);  // f32 table now cached
+
+  // Flipping back evicts the f32 table in turn.
+  state.sample(rng, 8);
+  EXPECT_EQ(builds.value(), before + 3);
+}
+
+TEST_F(F32CumTable, F32SamplesFollowTheF32Distribution) {
+  // A state with one dominant basis state: nearly every shot must land
+  // there, through the f32 table.
+  const std::size_t n = 8;
+  std::vector<cplx32> amps(n, cplx32{0.0f, 0.0f});
+  amps[5] = cplx32{0.9949874f, 0.0f};  // p ~ 0.99
+  amps[2] = cplx32{0.1f, 0.0f};        // p ~ 0.01
+  Rng rng(42);
+  const auto draws =
+      backend::f32::sample_f32(amps.data(), n, 987654321u, 1u, rng, 512);
+  ASSERT_EQ(draws.size(), 512u);
+  int dominant = 0;
+  for (const std::size_t d : draws) {
+    EXPECT_TRUE(d == 5 || d == 2) << d;
+    if (d == 5) ++dominant;
+  }
+  EXPECT_GT(dominant, 480);
+}
+
+TEST(F32Workspace, PoolKeyedByDtype) {
+  // An f32 lease must never hand back f64 storage (and vice versa); the
+  // two pools recycle independently.
+  std::vector<cplx32> a = ws::acquire_amps_f32(64);
+  EXPECT_EQ(a.size(), 64u);
+  const cplx32* ptr = a.data();
+  ws::release_amps_f32(std::move(a));
+  std::vector<cplx> b = ws::acquire_amps(64);
+  EXPECT_NE(static_cast<const void*>(b.data()),
+            static_cast<const void*>(ptr));
+  ws::release_amps(std::move(b));
+  std::vector<cplx32> c = ws::acquire_amps_f32(64);
+  EXPECT_EQ(c.data(), ptr);  // recycled from the f32 free list
+  ws::release_amps_f32(std::move(c));
+}
+
+TEST(F32Kernels, ScalarAndAvx2TablesAgree) {
+  if (!(simd::compiled() && simd::runtime_supported())) {
+    GTEST_SKIP() << "AVX2 not available";
+  }
+  const auto& st = backend::f32::scalar_table_f32();
+  const auto& vt = backend::f32::avx2_table_f32();
+  // Both tables round f32 arithmetic differently (FMA contraction), so
+  // the differential bound is a few f32 ulps, not zero.
+  const double tol = 1e-6;
+  const cplx32 m00{0.6f, 0.2f}, m01{-0.3f, 0.7f}, m10{0.7f, 0.3f},
+      m11{0.2f, -0.6f};
+  for (const int nq : {3, 6}) {
+    const std::size_t n = std::size_t{1} << nq;
+    for (int q = 0; q < nq; ++q) {
+      const std::size_t stride = std::size_t{1} << q;
+      auto a = random_f32_state(n, 11u * nq + q);
+      auto b = a;
+      st.apply_1q(a.data(), n, stride, m00, m01, m10, m11);
+      vt.apply_1q(b.data(), n, stride, m00, m01, m10, m11);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(std::abs(std::complex<double>(a[i]) -
+                             std::complex<double>(b[i])),
+                    0.0, tol)
+            << "apply_1q nq=" << nq << " q=" << q << " i=" << i;
+      }
+      auto c = random_f32_state(n, 13u * nq + q);
+      auto d = c;
+      st.apply_diag_1q(c.data(), n, stride, m00, m11);
+      vt.apply_diag_1q(d.data(), n, stride, m00, m11);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(std::abs(std::complex<double>(c[i]) -
+                             std::complex<double>(d[i])),
+                    0.0, tol)
+            << "apply_diag_1q nq=" << nq << " q=" << q;
+      }
+      auto e = random_f32_state(n, 17u * nq + q);
+      auto f = e;
+      st.apply_antidiag_1q(e.data(), n, stride, m01, m10);
+      vt.apply_antidiag_1q(f.data(), n, stride, m01, m10);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(std::abs(std::complex<double>(e[i]) -
+                             std::complex<double>(f[i])),
+                    0.0, tol)
+            << "apply_antidiag_1q nq=" << nq << " q=" << q;
+      }
+    }
+    // Two-qubit kernels across the full (a, b) pair grid, both orders.
+    for (int qa = 0; qa < nq; ++qa) {
+      for (int qb = 0; qb < nq; ++qb) {
+        if (qa == qb) continue;
+        const std::size_t sa = std::size_t{1} << qa;
+        const std::size_t sb = std::size_t{1} << qb;
+        const std::size_t lo = sa < sb ? sa : sb;
+        const std::size_t hi = sa < sb ? sb : sa;
+        const std::size_t quarter = n >> 2;
+        auto a = random_f32_state(n, 19u * nq + 7u * qa + qb);
+        auto b = a;
+        st.apply_controlled_1q(a.data(), quarter, lo, hi, sa, sb, m00, m01,
+                               m10, m11);
+        vt.apply_controlled_1q(b.data(), quarter, lo, hi, sa, sb, m00, m01,
+                               m10, m11);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_NEAR(std::abs(std::complex<double>(a[i]) -
+                               std::complex<double>(b[i])),
+                      0.0, tol)
+              << "apply_controlled_1q qa=" << qa << " qb=" << qb;
+        }
+        auto c = random_f32_state(n, 23u * nq + 7u * qa + qb);
+        auto d = c;
+        st.apply_diag_2q(c.data(), quarter, lo, hi, sa, sb, m00, m01, m10,
+                         m11);
+        vt.apply_diag_2q(d.data(), quarter, lo, hi, sa, sb, m00, m01, m10,
+                         m11);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_NEAR(std::abs(std::complex<double>(c[i]) -
+                               std::complex<double>(d[i])),
+                      0.0, tol)
+              << "apply_diag_2q qa=" << qa << " qb=" << qb;
+        }
+        // Dense 4x4 (a non-unitary but well-conditioned matrix is fine
+        // for a differential check).
+        cplx32 dense[16];
+        for (int r = 0; r < 4; ++r) {
+          for (int col = 0; col < 4; ++col) {
+            const float base = r == col ? 0.7f : 0.1f;
+            dense[4 * r + col] =
+                cplx32(base + 0.03f * r, 0.02f * col - 0.03f * r);
+          }
+        }
+        auto g = random_f32_state(n, 31u * nq + 7u * qa + qb);
+        auto h = g;
+        st.apply_2q(g.data(), quarter, lo, hi, sa, sb, dense);
+        vt.apply_2q(h.data(), quarter, lo, hi, sa, sb, dense);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_NEAR(std::abs(std::complex<double>(g[i]) -
+                               std::complex<double>(h[i])),
+                      0.0, tol)
+              << "apply_2q qa=" << qa << " qb=" << qb;
+        }
+        auto e = random_f32_state(n, 29u * nq + 7u * qa + qb);
+        auto f = e;
+        st.apply_controlled_antidiag_1q(e.data(), quarter, lo, hi, sa, sb,
+                                        m01, m10);
+        vt.apply_controlled_antidiag_1q(f.data(), quarter, lo, hi, sa, sb,
+                                        m01, m10);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_NEAR(std::abs(std::complex<double>(e[i]) -
+                               std::complex<double>(f[i])),
+                      0.0, tol)
+              << "apply_controlled_antidiag_1q qa=" << qa << " qb=" << qb;
+        }
+      }
+    }
+    const auto norm_state = random_f32_state(n, 31u * nq);
+    // Both accumulate in double, but the scalar path squares in f32
+    // while AVX2 widens before squaring: agreement is ~n * eps32 of the
+    // total mass, not exact.
+    EXPECT_NEAR(st.norm_sq(norm_state.data(), n),
+                vt.norm_sq(norm_state.data(), n),
+                static_cast<double>(n) * 1e-7);
+    EXPECT_NEAR(st.norm_sq(norm_state.data(), n), 1.0, 1e-5);
+  }
+}
+
+TEST(F32Fold, ExpectationsMatchF64Reference) {
+  backend::ScopedSelection precision("f32");
+  ASSERT_TRUE(precision.engaged());
+  for (const int nq : {3, 5}) {
+    const CompiledProgram program = compile_program(spread_circuit(nq));
+    std::vector<real> f64_z;
+    {
+      backend::ScopedSelection reference("scalar");
+      measure_expectations_into(program, {}, f64_z);
+    }
+    std::vector<real> f32_z;
+    backend::f32::measure_expectations_f32(program, {}, f32_z);
+    ASSERT_EQ(f64_z.size(), f32_z.size());
+    const double tol =
+        backend::amplitude_tolerance(DType::F32, program.ops().size());
+    for (std::size_t q = 0; q < f64_z.size(); ++q) {
+      EXPECT_NEAR(f64_z[q], f32_z[q], tol) << "nq=" << nq << " q=" << q;
+    }
+  }
+}
+
+TEST(F32Fold, NormIsPreservedThroughTheF32Path) {
+  backend::ScopedSelection precision("f32");
+  ASSERT_TRUE(precision.engaged());
+  const CompiledProgram program = compile_program(spread_circuit(6));
+  StateVector state(6);
+  program.run(state, {});
+  EXPECT_NEAR(state.norm_sq(), 1.0,
+              backend::amplitude_tolerance(DType::F32,
+                                           program.ops().size()));
+}
+
+TEST(F32Shots, DeterministicPerSeedAndInRange) {
+  const CompiledProgram program = compile_program(spread_circuit(4));
+  Rng rng_a(991), rng_b(991), rng_c(992);
+  const auto a =
+      backend::f32::measure_expectations_shots_f32(program, {}, rng_a, 256);
+  const auto b =
+      backend::f32::measure_expectations_shots_f32(program, {}, rng_b, 256);
+  const auto c =
+      backend::f32::measure_expectations_shots_f32(program, {}, rng_c, 256);
+  EXPECT_EQ(a, b);  // same seed, same draws, regardless of pool state
+  ASSERT_EQ(a.size(), 4u);
+  for (const real z : a) {
+    EXPECT_GE(z, -1.0);
+    EXPECT_LE(z, 1.0);
+  }
+  // Shot estimates converge on the analytic f32 expectations.
+  std::vector<real> analytic;
+  backend::f32::measure_expectations_f32(program, {}, analytic);
+  Rng rng_many(17);
+  const auto many = backend::f32::measure_expectations_shots_f32(
+      program, {}, rng_many, 8192);
+  for (std::size_t q = 0; q < analytic.size(); ++q) {
+    EXPECT_NEAR(many[q], analytic[q], 5.0 / std::sqrt(8192.0)) << q;
+  }
+  (void)c;
+}
+
+}  // namespace
+}  // namespace qnat

@@ -1,0 +1,161 @@
+// Property tests of the experimental per-block fixed-point expectation
+// pipeline (qsim/fixed_point): dynamic scale propagation (per-block
+// scales track the running max of *prior* blocks), saturation counting
+// in qsim.fxp.saturations, the bounded round-trip quantize/dequantize
+// error, and the end-to-end expectation accuracy of the int16 fold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "qsim/backend/backend.hpp"
+#include "qsim/circuit.hpp"
+#include "qsim/execution.hpp"
+#include "qsim/fixed_point.hpp"
+#include "qsim/program.hpp"
+
+namespace qnat {
+namespace {
+
+class FxpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::set_enabled(true);
+    metrics::reset();
+  }
+  void TearDown() override {
+    metrics::set_enabled(false);
+    metrics::reset();
+  }
+};
+
+/// Buffer of `blocks` blocks of `block_size` amplitudes where block b's
+/// largest component magnitude is peaks[b] (placed on the first element,
+/// the rest graded below it).
+std::vector<cplx32> peaked_blocks(const std::vector<float>& peaks,
+                                  std::size_t block_size) {
+  std::vector<cplx32> amps;
+  amps.reserve(peaks.size() * block_size);
+  for (const float peak : peaks) {
+    for (std::size_t i = 0; i < block_size; ++i) {
+      const float v = peak * (1.0f - 0.5f * static_cast<float>(i) /
+                                         static_cast<float>(block_size));
+      amps.emplace_back(v, -0.25f * v);
+    }
+  }
+  return amps;
+}
+
+TEST_F(FxpTest, ScalesTrackTheRunningMaxOfPriorBlocks) {
+  const std::size_t bs = 16;
+  // Rising, falling, then rising again: the running max must be
+  // monotone — a quiet block never shrinks the scale.
+  const std::vector<float> peaks = {0.1f, 0.4f, 0.2f, 0.8f, 0.05f};
+  const auto amps = peaked_blocks(peaks, bs);
+  const fxp::QuantizedState q = fxp::quantize(amps.data(), amps.size(), bs);
+  ASSERT_EQ(q.num_blocks(), peaks.size());
+  // Block 0 bootstraps from its own max; block b uses max(peaks[0..b-1]).
+  EXPECT_FLOAT_EQ(q.scales[0], 0.1f);
+  EXPECT_FLOAT_EQ(q.scales[1], 0.1f);
+  EXPECT_FLOAT_EQ(q.scales[2], 0.4f);
+  EXPECT_FLOAT_EQ(q.scales[3], 0.4f);
+  EXPECT_FLOAT_EQ(q.scales[4], 0.8f);
+}
+
+TEST_F(FxpTest, SpikesSaturateAndAreCounted) {
+  const std::size_t bs = 16;
+  const std::uint64_t before = fxp::saturation_count();
+  // Block 1's peak is 8x the scale its history predicts: its loudest
+  // components must clamp to the rails and be counted.
+  const auto amps = peaked_blocks({0.1f, 0.8f}, bs);
+  const fxp::QuantizedState q = fxp::quantize(amps.data(), amps.size(), bs);
+  const std::uint64_t saturated = fxp::saturation_count() - before;
+  EXPECT_GT(saturated, 0u);
+  // Every saturated component sits exactly on a rail.
+  std::uint64_t on_rail = 0;
+  for (std::size_t i = bs; i < 2 * bs; ++i) {
+    if (q.data[2 * i] == fxp::kQuantMax ||
+        q.data[2 * i] == -fxp::kQuantMax) {
+      ++on_rail;
+    }
+  }
+  EXPECT_GT(on_rail, 0u);
+  // A clean buffer (flat profile) adds no saturations.
+  const std::uint64_t clean_before = fxp::saturation_count();
+  const auto flat = peaked_blocks({0.5f, 0.5f, 0.5f}, bs);
+  (void)fxp::quantize(flat.data(), flat.size(), bs);
+  EXPECT_EQ(fxp::saturation_count(), clean_before);
+}
+
+TEST_F(FxpTest, RoundTripErrorIsBoundedPerBlockScale) {
+  const std::size_t bs = 32;
+  const std::vector<float> peaks = {0.3f, 0.25f, 0.3f, 0.29f};
+  const auto amps = peaked_blocks(peaks, bs);
+  const std::uint64_t before = fxp::saturation_count();
+  const fxp::QuantizedState q = fxp::quantize(amps.data(), amps.size(), bs);
+  ASSERT_EQ(fxp::saturation_count(), before)
+      << "bound only holds without saturation";
+  std::vector<cplx32> back(amps.size());
+  fxp::dequantize(q, back.data());
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    // Nearest rounding at per-block scale: half an lsb per component.
+    const double bound =
+        0.5 * static_cast<double>(q.scales[i / bs]) / fxp::kQuantMax +
+        1e-9;
+    EXPECT_LE(std::abs(static_cast<double>(amps[i].real()) - back[i].real()),
+              bound)
+        << i;
+    EXPECT_LE(std::abs(static_cast<double>(amps[i].imag()) - back[i].imag()),
+              bound)
+        << i;
+  }
+}
+
+TEST_F(FxpTest, ExpectationsTrackTheF64Reference) {
+  Circuit c(5);
+  for (int q = 0; q < 5; ++q) c.h(q);
+  for (int q = 0; q + 1 < 5; ++q) c.cx(q, q + 1);
+  for (int q = 0; q < 5; ++q) c.ry_const(q, 0.21 + 0.17 * q);
+  const CompiledProgram program = compile_program(c);
+  std::vector<real> reference;
+  measure_expectations_into(program, {}, reference);
+  // A single block covering the whole state quantizes against the true
+  // global max, so nothing saturates and the accuracy bound applies.
+  // (Smaller blocks on an uneven state *should* saturate — that regime
+  // is covered by SpikesSaturateAndAreCounted, not an accuracy claim.)
+  const std::uint64_t before = fxp::saturation_count();
+  std::vector<real> fxp_z;
+  fxp::measure_expectations_fxp(program, {}, fxp_z, std::size_t{1} << 5);
+  ASSERT_EQ(fxp::saturation_count(), before);
+  ASSERT_EQ(reference.size(), fxp_z.size());
+  // int16 quantization of the amplitudes costs ~1/32767 per component;
+  // the normalized fold keeps the expectation error within a few lsb
+  // plus the f32 execution error underneath.
+  const double tol =
+      4.0 / fxp::kQuantMax +
+      backend::amplitude_tolerance(DType::F32, program.ops().size());
+  for (std::size_t q = 0; q < reference.size(); ++q) {
+    EXPECT_NEAR(reference[q], fxp_z[q], tol) << q;
+  }
+}
+
+TEST_F(FxpTest, DegenerateInputsStayWellDefined) {
+  // All-zero block: scale 0, everything quantizes to 0 and round-trips.
+  std::vector<cplx32> zeros(32, cplx32{0.0f, 0.0f});
+  const fxp::QuantizedState q = fxp::quantize(zeros.data(), zeros.size(), 16);
+  std::vector<cplx32> back(zeros.size(), cplx32{1.0f, 1.0f});
+  fxp::dequantize(q, back.data());
+  for (const cplx32 v : back) {
+    EXPECT_EQ(v.real(), 0.0f);
+    EXPECT_EQ(v.imag(), 0.0f);
+  }
+  // A state with mass quantized to nothing must throw, not divide by 0.
+  std::vector<real> out;
+  EXPECT_THROW(fxp::expectations_z_fxp(q, 5, out), Error);
+}
+
+}  // namespace
+}  // namespace qnat

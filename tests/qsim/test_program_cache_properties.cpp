@@ -1,10 +1,14 @@
-// Property tests for the compiled-program cache and the QNATPROG v1
+// Property tests for the compiled-program cache and the QNATPROG v2
 // artifact format: bounded eviction under a tiny capacity, fuse-salt /
-// fingerprint keying, and loud (exception, never a crash) rejection of
-// corrupt, truncated, version-bumped or wrong-magic artifacts.
+// fingerprint keying, dtype round-trips (including legacy v1 loads and
+// loud unknown-dtype rejection), and loud (exception, never a crash)
+// rejection of corrupt, truncated, version-bumped or wrong-magic
+// artifacts.
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <set>
 #include <string>
 
@@ -107,9 +111,9 @@ TEST_F(ProgramArtifactRejection, WrongMagicFailsLoudly) {
 
 TEST_F(ProgramArtifactRejection, NewerVersionIsRejectedNotGuessed) {
   std::string text = serialize_program(compile_program(sample_circuit()));
-  const std::string::size_type v = text.find("v1");
+  const std::string::size_type v = text.find("v2");
   ASSERT_NE(v, std::string::npos);
-  text.replace(v, 2, "v2");
+  text.replace(v, 2, "v3");
   EXPECT_THROW(deserialize_program(text), Error);
 }
 
@@ -161,6 +165,79 @@ TEST_F(ProgramArtifactRejection, StructuralLiesAreRejected) {
 
   // Trailing garbage after the end sentinel is rejected too.
   EXPECT_THROW(deserialize_program(text + "extra"), Error);
+}
+
+// Duplicates the canonical FNV-1a so the tamper tests below can forge a
+// *checksum-consistent* artifact: the rejection must then come from the
+// field being wrong, not from the checksum tripping first.
+std::uint64_t test_fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Replaces the checksum line of `text` with one recomputed over the
+/// (possibly tampered) body above it.
+std::string refresh_checksum(std::string text) {
+  const std::string::size_type ck = text.find("\nchecksum ");
+  EXPECT_NE(ck, std::string::npos);
+  const std::string body = text.substr(0, ck + 1);
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(test_fnv1a(body)));
+  return body + "checksum " + buf + "\nend\n";
+}
+
+TEST_F(ProgramArtifactRejection, DtypeRoundTripsInV2) {
+  CompiledProgram program = compile_program(sample_circuit());
+  EXPECT_EQ(program.dtype(), DType::F64);
+  const std::string f64_text = serialize_program(program);
+  EXPECT_NE(f64_text.find("#qnat-program v2\n"), std::string::npos);
+  EXPECT_NE(f64_text.find("\ndtype f64\n"), std::string::npos);
+  EXPECT_EQ(deserialize_program(f64_text).dtype(), DType::F64);
+
+  program.set_dtype(DType::F32);
+  const std::string f32_text = serialize_program(program);
+  EXPECT_NE(f32_text.find("\ndtype f32\n"), std::string::npos);
+  const CompiledProgram reloaded = deserialize_program(f32_text);
+  EXPECT_EQ(reloaded.dtype(), DType::F32);
+  EXPECT_EQ(serialize_program(reloaded), f32_text);
+  // The dtype is part of the artifact identity: the two texts differ in
+  // exactly that field, and each reloads to its own precision.
+  EXPECT_NE(f64_text, f32_text);
+}
+
+TEST_F(ProgramArtifactRejection, UnknownDtypeIsRejectedEvenWithValidChecksum) {
+  std::string text = serialize_program(compile_program(sample_circuit()));
+  const std::string::size_type d = text.find("\ndtype f64\n");
+  ASSERT_NE(d, std::string::npos);
+  text.replace(d, std::string("\ndtype f64\n").size(), "\ndtype f16\n");
+  // With a refreshed checksum the only thing wrong is the dtype token —
+  // the loader must reject it loudly (an artifact from a newer build),
+  // never guess a precision.
+  EXPECT_THROW(deserialize_program(refresh_checksum(text)), Error);
+}
+
+TEST_F(ProgramArtifactRejection, LegacyV1ArtifactLoadsAndImpliesF64) {
+  const CompiledProgram program = compile_program(sample_circuit());
+  std::string v1 = serialize_program(program);
+  const std::string::size_type magic = v1.find("#qnat-program v2");
+  ASSERT_EQ(magic, 0u);
+  v1.replace(magic, std::string("#qnat-program v2").size(),
+             "#qnat-program v1");
+  const std::string::size_type d = v1.find("\ndtype f64\n");
+  ASSERT_NE(d, std::string::npos);
+  v1.erase(d, std::string("\ndtype f64").size());
+  v1 = refresh_checksum(v1);
+  // A pre-dtype artifact (as older builds wrote it) still loads, implies
+  // f64, and re-serializes in the *current* canonical form.
+  const CompiledProgram reloaded = deserialize_program(v1);
+  EXPECT_EQ(reloaded.dtype(), DType::F64);
+  EXPECT_EQ(reloaded.ops().size(), program.ops().size());
+  EXPECT_EQ(serialize_program(reloaded), serialize_program(program));
 }
 
 TEST_F(ProgramArtifactRejection, ValidArtifactStillLoads) {

@@ -200,6 +200,60 @@ TEST_F(ArtifactCacheTest, DifferentModelOrOptionsNeverFalselyHit) {
   EXPECT_EQ(bundle_files().size(), 3u);
 }
 
+TEST_F(ArtifactCacheTest, ServingPrecisionIsPartOfTheArtifactKey) {
+  const QnnModel model = seeded_model(40);
+  const Tensor2D profile = random_inputs(8, 16, 6);
+
+  ModelRegistry registry;
+  registry.add("m", model, cached_options(), &profile);
+  const auto files_f64 = bundle_files();
+  ASSERT_EQ(files_f64.size(), 1u);
+
+  // Same model served at f32: a different artifact key — the f64 bundle
+  // must never warm-hit the f32 request.
+  metrics::reset();
+  ServingOptions f32_options = cached_options();
+  f32_options.dtype = DType::F32;
+  const auto served_f32 = registry.add("m", model, f32_options, &profile);
+  EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.hits"), 0u);
+  EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.misses"), 1u);
+  ASSERT_EQ(bundle_files().size(), 2u);
+  // The f32 bundle embeds the precision in its QNATPROG payloads; the
+  // f64 bundle carries none.
+  EXPECT_NE(served_f32->serialize_artifact().find("dtype f32"),
+            std::string::npos);
+
+  // The f32 request warm-hits its own bundle on reload.
+  metrics::reset();
+  ModelRegistry warm;
+  warm.add("m", model, f32_options, &profile);
+  EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.hits"), 1u);
+  EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.rejected"),
+            0u);
+
+  // Masquerade the f32 bundle under the f64 key (a filesystem mixup no
+  // fingerprint can prevent): the loader must reject it — the embedded
+  // precision disagrees with the requested one — and rebuild, never
+  // serve f32 state to an f64 request.
+  std::filesystem::path f32_file;
+  for (const auto& p : bundle_files()) {
+    if (p != files_f64[0]) f32_file = p;
+  }
+  ASSERT_FALSE(f32_file.empty());
+  std::filesystem::copy_file(
+      f32_file, files_f64[0],
+      std::filesystem::copy_options::overwrite_existing);
+  metrics::reset();
+  ModelRegistry cross;
+  const auto rebuilt = cross.add("m", model, cached_options(), &profile);
+  EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.rejected"),
+            1u);
+  EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.hits"), 0u);
+  EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.writes"), 1u);
+  EXPECT_EQ(rebuilt->serialize_artifact().find("dtype f32"),
+            std::string::npos);
+}
+
 TEST_F(ArtifactCacheTest, EmptyArtifactDirDisablesCaching) {
   const QnnModel model = seeded_model(30);
   const Tensor2D profile = random_inputs(8, 16, 5);
