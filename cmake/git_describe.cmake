@@ -1,0 +1,23 @@
+# Build-time git describe: regenerates a tiny header every build so run
+# manifests never carry a stale revision (the old configure-time bake
+# went stale as soon as a commit landed without re-running cmake). The
+# header is only rewritten when the description actually changes, so an
+# unchanged tree does not trigger a metrics.cpp recompile.
+execute_process(
+  COMMAND git describe --always --dirty --tags
+  WORKING_DIRECTORY ${SOURCE_DIR}
+  OUTPUT_VARIABLE QNAT_GIT_DESCRIBE
+  OUTPUT_STRIP_TRAILING_WHITESPACE
+  ERROR_QUIET
+)
+if(NOT QNAT_GIT_DESCRIBE)
+  set(QNAT_GIT_DESCRIBE "unknown")
+endif()
+set(content "#define QNAT_GIT_DESCRIBE \"${QNAT_GIT_DESCRIBE}\"\n")
+set(previous "")
+if(EXISTS ${OUT})
+  file(READ ${OUT} previous)
+endif()
+if(NOT content STREQUAL previous)
+  file(WRITE ${OUT} ${content})
+endif()

@@ -1,5 +1,9 @@
 #include "common/metrics.hpp"
 
+// Build-time generated (cmake/git_describe.cmake): the current
+// `git describe --always --dirty --tags` of the source tree.
+#include "qnat_git_describe.h"
+
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -446,7 +450,7 @@ std::string deterministic_fingerprint() {
 
 // --- JSON export ---
 
-const char* build_version() { return QNAT_GIT_DESCRIBE; }
+const char* build_version() { return QNAT_GIT_DESCRIBE; }  // from the generated header
 
 namespace {
 

@@ -94,11 +94,18 @@ DeviceInfo device_info(const std::string& name) {
 }
 
 NoiseModel make_device_noise_model(const std::string& name) {
+  return make_device_noise_model(name, device_info(name).num_qubits);
+}
+
+NoiseModel make_device_noise_model(const std::string& name, int num_qubits) {
   const DeviceInfo info = device_info(name);
-  NoiseModel model(info.name, info.num_qubits);
+  if (num_qubits < 1) {
+    throw Error("device noise model needs at least one qubit");
+  }
+  NoiseModel model(info.name, num_qubits);
   Rng rng(device_seed(name));
 
-  for (QubitIndex q = 0; q < info.num_qubits; ++q) {
+  for (QubitIndex q = 0; q < num_qubits; ++q) {
     // Log-uniform spread in [0.4x, 2.8x] around the base rate — yields the
     // up-to-~10x qubit-to-qubit variation the paper mentions.
     const double spread = std::exp(rng.uniform(-0.9, 1.03));
@@ -128,7 +135,12 @@ NoiseModel make_device_noise_model(const std::string& name) {
         q, ReadoutError::from_flip_probs(ro * 0.8, ro * 1.2));
   }
 
-  for (const auto& [a, b] : device_topology(name, info.num_qubits).edges) {
+  // A non-native width cannot reuse the chip's physical layout; fall
+  // back to a linear chain of the requested width.
+  const Topology topology = num_qubits == info.num_qubits
+                                ? device_topology(name, info.num_qubits)
+                                : linear_topology(num_qubits);
+  for (const auto& [a, b] : topology.edges) {
     const double spread = std::exp(rng.uniform(-0.7, 0.8));
     model.add_coupling(a, b);
     model.set_two_qubit_channel(
@@ -141,7 +153,7 @@ NoiseModel make_device_noise_model(const std::string& name) {
   }
 
   // Calibration values quoted verbatim in the paper.
-  if (name == "yorktown") {
+  if (name == "yorktown" && num_qubits >= 2) {
     model.set_gate_channel(GateType::SX, 1,
                            PauliChannel{0.00096, 0.00096, 0.00096});
   }

@@ -41,4 +41,13 @@ DeviceInfo device_info(const std::string& name);
 /// device. Deterministic: same name → identical model.
 NoiseModel make_device_noise_model(const std::string& name);
 
+/// Same preset widened (or narrowed) to `num_qubits`. Per-qubit rates
+/// keep drawing from the device-seeded RNG stream, so the first
+/// `min(num_qubits, native)` qubits of a widened model are NOT required
+/// to match the native model — only determinism in (name, num_qubits)
+/// is guaranteed. A non-native width uses a linear coupling map (the
+/// physical layout does not extend past the real chip). This is how
+/// 10-qubit reference models run against the paper's 5-qubit presets.
+NoiseModel make_device_noise_model(const std::string& name, int num_qubits);
+
 }  // namespace qnat

@@ -1,0 +1,77 @@
+// Consistent-hash request routing for the sharded serving fleet.
+//
+// Each shard contributes a fixed set of virtual-node points whose
+// positions depend only on (shard index, replica index) — never on the
+// total shard count. A request id routes to the owner of the first
+// point at or after its own hash (wrapping). Because the point set of
+// an S-shard ring is a strict subset of the point set of any larger
+// ring, growing the fleet only *moves keys onto the new shards*: every
+// id that a larger ring routes to one of the original shards is routed
+// to that same shard by the smaller ring. Replay leans on this — a
+// trace recorded at one shard count partitions identically (per
+// surviving shard) at any other, and since responses are a pure
+// function of (request id, model, features), replayed outputs are
+// byte-identical across shard counts (tests/serve/test_fleet.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qnat::serve {
+
+/// splitmix64 finalizer — the same stateless mixer the RNG layer uses;
+/// good avalanche, no dependency on construction order.
+inline std::uint64_t hash_mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+class ConsistentHashRing {
+ public:
+  static constexpr int kDefaultReplicas = 64;
+
+  explicit ConsistentHashRing(int shards, int replicas = kDefaultReplicas) {
+    QNAT_CHECK(shards >= 1, "hash ring needs at least one shard");
+    QNAT_CHECK(replicas >= 1, "hash ring needs at least one replica");
+    shards_ = shards;
+    points_.reserve(static_cast<std::size_t>(shards) *
+                    static_cast<std::size_t>(replicas));
+    for (int shard = 0; shard < shards; ++shard) {
+      for (int replica = 0; replica < replicas; ++replica) {
+        const std::uint64_t point =
+            hash_mix64((static_cast<std::uint64_t>(shard) << 32) |
+                       static_cast<std::uint64_t>(replica));
+        points_.emplace_back(point, shard);
+      }
+    }
+    // Tie-break equal points by shard index so routing is a total
+    // order independent of insertion sequence.
+    std::sort(points_.begin(), points_.end());
+  }
+
+  int shards() const { return shards_; }
+
+  /// Owner shard for a request id.
+  int route(std::uint64_t id) const {
+    const std::uint64_t key = hash_mix64(id);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), key,
+        [](const std::pair<std::uint64_t, int>& p, std::uint64_t k) {
+          return p.first < k;
+        });
+    if (it == points_.end()) it = points_.begin();  // wrap
+    return it->second;
+  }
+
+ private:
+  int shards_ = 1;
+  std::vector<std::pair<std::uint64_t, int>> points_;
+};
+
+}  // namespace qnat::serve

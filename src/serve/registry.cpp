@@ -80,6 +80,9 @@ std::uint64_t fingerprint_options(const ServingOptions& options,
   os << "bind_weights " << options.bind_weights << '\n';
   os << "shots " << options.shots << '\n';
   os << "seed " << options.seed << '\n';
+  os << "weight ";
+  put_real(os, options.weight);
+  os << '\n';
   os << "dtype " << dtype_name(options.dtype) << '\n';
   if (profiling_inputs == nullptr) {
     os << "profiling none\n";
@@ -166,6 +169,8 @@ ServableModel::ServableModel(std::string name, int version, QnnModel model,
       options_(std::move(options)),
       shot_rng_base_(options_.seed) {
   QNAT_TRACE_SCOPE("serve.load_model");
+  QNAT_CHECK(options_.weight > 0.0,
+             "ServingOptions::weight must be positive (WFQ share)");
 
   // Execution plans: logical circuits, or the transpiled compact
   // circuits of the device preset (readout confusion as an affine map).
@@ -255,6 +260,8 @@ ServableModel::ServableModel(std::string name, int version, QnnModel model,
       options_(std::move(options)),
       shot_rng_base_(options_.seed) {
   QNAT_TRACE_SCOPE("serve.load_model_warm");
+  QNAT_CHECK(options_.weight > 0.0,
+             "ServingOptions::weight must be positive (WFQ share)");
 
   std::istringstream is(artifact_text);
   std::string magic_line;

@@ -67,13 +67,23 @@ struct ServingOptions {
   int shots = 0;
   /// Master seed of the per-request shot streams.
   std::uint64_t seed = 20260806;
-  /// Element precision requests execute under. F32 routes every block
-  /// program through the f32 conversion-shim backends (thread-local
-  /// ScopedSelection — concurrent f64 models are unaffected) and marks
-  /// the pinned programs, so cached artifact bundles embed `dtype f32`
-  /// QNATPROG v2 programs and the bundle fingerprint diverges from the
-  /// f64 one: an f32 bundle can never warm-hit an f64 request.
-  DType dtype = DType::F64;
+  /// Weighted-fair-queuing share for this model's flows (must be > 0).
+  /// A shard under contention gives each model throughput proportional
+  /// to its weight within a priority class, so one hot tenant cannot
+  /// starve the rest (see serve/scheduler.hpp).
+  double weight = 1.0;
+  /// Element precision requests execute under. F32 is the default hot
+  /// path: the accuracy gate (tests/integration/test_f32_accuracy_gate)
+  /// shows f64→f32 logit deltas on all table1 tasks under device noise
+  /// sit far below 8192-shot noise, and the AVX2 f32 kernels run ~2× the
+  /// f64 ones. F32 routes every block program through the f32
+  /// conversion-shim backends (thread-local ScopedSelection — concurrent
+  /// f64 models are unaffected) and marks the pinned programs, so cached
+  /// artifact bundles embed `dtype f32` QNATPROG v2 programs and the
+  /// bundle fingerprint diverges from the f64 one: an f32 bundle can
+  /// never warm-hit an f64 request. Set F64 explicitly for full-precision
+  /// serving (the pre-v8 default; a regression test keeps it reachable).
+  DType dtype = DType::F32;
   /// Directory of compiled-artifact bundles ("" = caching disabled). On
   /// `ModelRegistry::add`, a matching `servable_<key>.txt` bundle (key =
   /// model x options x profiling-batch fingerprint) is loaded *warm* —

@@ -18,7 +18,7 @@ std::string format_real(real v) {
 }
 
 constexpr const char* kTraceMagic = "#qnat-trace";
-constexpr int kTraceVersion = 1;
+constexpr int kTraceVersion = 2;
 
 }  // namespace
 
@@ -28,7 +28,8 @@ std::string RequestTrace::serialize() const {
   os << "requests " << records.size() << "\n";
   for (const TraceRecord& record : records) {
     os << "req " << record.id << " " << record.arrival_us << " "
-       << record.model << " " << record.features.size();
+       << class_name(record.cls) << " " << record.model << " "
+       << record.features.size();
     for (const real f : record.features) os << " " << format_real(f);
     os << "\n";
   }
@@ -42,10 +43,12 @@ RequestTrace RequestTrace::deserialize(const std::string& text) {
   QNAT_CHECK(static_cast<bool>(is >> magic >> version) && magic == kTraceMagic,
              "not a request trace (expected '" + std::string(kTraceMagic) +
                  "' magic, found '" + magic + "')");
-  QNAT_CHECK(version == "v" + std::to_string(kTraceVersion),
+  // v1 records carry no class token and replay as Interactive.
+  QNAT_CHECK(version == "v1" || version == "v2",
              "unsupported request-trace version '" + version +
-                 "' (this build reads v" + std::to_string(kTraceVersion) +
-                 ")");
+                 "' (this build reads v1 and v" +
+                 std::to_string(kTraceVersion) + ")");
+  const bool has_class = version == "v2";
   std::string key;
   std::size_t count = 0;
   QNAT_CHECK(static_cast<bool>(is >> key >> count) && key == "requests",
@@ -54,9 +57,22 @@ RequestTrace RequestTrace::deserialize(const std::string& text) {
   for (std::size_t i = 0; i < count; ++i) {
     TraceRecord record;
     std::size_t num_features = 0;
-    QNAT_CHECK(static_cast<bool>(is >> key >> record.id >> record.arrival_us >>
-                                 record.model >> num_features) &&
-                   key == "req",
+    bool header_ok =
+        static_cast<bool>(is >> key >> record.id >> record.arrival_us);
+    if (header_ok && has_class) {
+      std::string cls;
+      header_ok = static_cast<bool>(is >> cls);
+      if (header_ok) {
+        QNAT_CHECK(cls == "interactive" || cls == "batch",
+                   "unknown request class '" + cls + "' in record " +
+                       std::to_string(i));
+        record.cls = cls == "batch" ? RequestClass::Batch
+                                    : RequestClass::Interactive;
+      }
+    }
+    header_ok = header_ok && static_cast<bool>(is >> record.model >>
+                                               num_features);
+    QNAT_CHECK(header_ok && key == "req",
                "request trace truncated in record " + std::to_string(i));
     record.features.resize(num_features);
     for (std::size_t f = 0; f < num_features; ++f) {
@@ -102,20 +118,23 @@ ReplayResult replay_trace(const ModelRegistry& registry,
   SchedulerConfig replay_config = config;
   replay_config.record_trace = false;
   replay_config.default_deadline_us = 0;  // wall time must not shape results
+  replay_config.batch_shed_fraction = -1.0;  // every recorded request runs
   InferenceServer server(registry, replay_config,
                          InferenceServer::Dispatch::Inline);
 
   std::vector<ResponseTicket> tickets;
   tickets.reserve(trace.records.size());
   for (const TraceRecord& record : trace.records) {
-    // Keep submission deterministic under the bounded queue: when the
-    // ring is full, drain it inline before submitting more — no request
-    // is ever rejected during replay, and batch boundaries stay a pure
-    // function of trace order.
-    if (server.queue_size() >= server.config().queue_depth) server.drain();
+    // Keep submission deterministic under the bounded rings: when the
+    // target shard is full, drain inline before submitting more — no
+    // request is ever rejected during replay, and batch boundaries stay
+    // a pure function of trace order and the hash ring.
+    if (server.shard_occupancy(record.id) >= server.shard_capacity()) {
+      server.drain();
+    }
     tickets.push_back(server.submit_with_id(record.id, record.model,
                                             record.features,
-                                            /*deadline_us=*/-1));
+                                            /*deadline_us=*/-1, record.cls));
   }
   server.drain();
 

@@ -1,24 +1,30 @@
 // Deterministic request-trace recording and replay.
 //
 // A `RequestTrace` is the request-level analogue of the seed: the
-// ordered list of (request id, model spec, arrival offset, features)
-// the server saw. Replaying a trace through an Inline-dispatch server
-// reproduces byte-identical outputs — batch boundaries become a pure
-// function of trace order and `max_batch`, per-request randomness is
-// keyed by the recorded request ids (`Rng::child(id)`), and profiled
-// normalization keeps every output independent of batch composition —
-// at any worker-pool width. The canonical `output_fingerprint()` makes
+// ordered list of (request id, class, model spec, arrival offset,
+// features) the server saw. Replaying a trace through an
+// Inline-dispatch server reproduces byte-identical outputs — batch
+// boundaries become a pure function of trace order, the hash ring and
+// `max_batch`, per-request randomness is keyed by the recorded request
+// ids (`Rng::child(id)`), and profiled normalization keeps every output
+// independent of batch composition — at any worker-pool width and any
+// shard count (responses are per-request pure, and the consistent hash
+// ring routes a given id identically whatever the fleet size; see
+// serve/hash_ring.hpp). The canonical `output_fingerprint()` makes
 // "byte-identical" checkable the same way the metrics invariants suite
 // checks `deterministic_fingerprint()`.
 //
 // Traces serialize to a line-oriented text format (magic-headed and
 // versioned like core/serialization checkpoints):
 //
-//   #qnat-trace v1
+//   #qnat-trace v2
 //   requests 2
-//   req <id> <arrival_us> <model_spec> <n> <f0> ... <f{n-1}>
+//   req <id> <arrival_us> <class> <model_spec> <n> <f0> ... <f{n-1}>
 //   ...
 //   end
+//
+// v1 traces (no <class> token) still load; their records replay as
+// Interactive.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +39,7 @@ struct TraceRecord {
   std::uint64_t id = 0;
   /// Arrival offset relative to the start of the run, microseconds.
   std::uint64_t arrival_us = 0;
+  RequestClass cls = RequestClass::Interactive;
   std::string model;  ///< registry spec ("name" or "name@version")
   std::vector<real> features;
 };
@@ -58,16 +65,17 @@ struct ReplayResult {
 
   /// Canonical text of every (id, status, logits) tuple at full
   /// precision. Two replays of the same trace + registry seed must
-  /// produce byte-equal fingerprints at any thread count and any
-  /// max_batch/max_wait setting.
+  /// produce byte-equal fingerprints at any thread count, any
+  /// max_batch/max_wait setting, and any shard count.
   std::string output_fingerprint() const;
 };
 
 /// Replays `trace` through an Inline-dispatch server over `registry`.
-/// Submission follows trace order; when the bounded queue fills, a
-/// dispatch round runs inline (still deterministic — everything happens
-/// on the calling thread). Arrival offsets are ignored: replay is
-/// about *what* was asked, not when.
+/// Submission follows trace order; when a shard's bounded ring fills,
+/// a dispatch round runs inline (still deterministic — everything
+/// happens on the calling thread). Arrival offsets are ignored and
+/// admission shedding is disabled: replay is about *what* was asked,
+/// not when, and every recorded request must execute.
 ReplayResult replay_trace(const ModelRegistry& registry,
                           const SchedulerConfig& config,
                           const RequestTrace& trace);

@@ -2,7 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <limits>
+#include <map>
 #include <ostream>
+#include <thread>
+#include <utility>
 
 #ifdef __linux__
 #include <linux/futex.h>
@@ -24,14 +30,25 @@ namespace detail {
 /// The single per-request allocation: queue entry, request payload, and
 /// completion state in one record. Refcounted intrusively — one
 /// reference belongs to the client's ResponseTicket, one to the server
-/// (held by the ring until dispatch, dropped by finish()); whichever
+/// (held by a shard ring until dispatch, dropped by finish()); whichever
 /// side lets go last frees it.
 struct Pending {
   std::uint64_t id = 0;
+  RequestClass cls = RequestClass::Interactive;
   std::shared_ptr<const ServableModel> model;
   std::vector<real> features;
   std::int64_t submit_ns = 0;
   std::int64_t deadline_ns = 0;  // absolute; 0 = none
+  /// Owning shard (admission-accounted); -1 until admitted. Work
+  /// stealing moves the record to another backlog but the occupancy
+  /// debit stays with the owner.
+  int shard = -1;
+  /// Backlog insertion sequence — the deterministic tie-break for WFQ
+  /// and the stable key for deadline ordering.
+  std::uint64_t seq = 0;
+  /// Start-time-fair-queuing tags, assigned at backlog admission.
+  double wfq_start = 0.0;
+  double wfq_finish = 0.0;
   Response response;
   /// 0 until `response` is published (release store; waiters futex on
   /// this word).
@@ -103,9 +120,9 @@ std::int64_t now_ns() {
 }
 
 // Submission counts are a pure function of the workload; everything
-// downstream of queue timing (batch composition, rejections, latency)
-// is PerRun by the stability contract — scheduling must never leak into
-// the deterministic fingerprint.
+// downstream of queue timing (batch composition, rejections, shedding,
+// latency) is PerRun by the stability contract — scheduling must never
+// leak into the deterministic fingerprint.
 metrics::Counter requests_counter() {
   static metrics::Counter c = metrics::counter("serve.requests");
   return c;
@@ -125,9 +142,19 @@ metrics::Counter completed_counter() {
       metrics::counter("serve.completed", metrics::Stability::PerRun);
   return c;
 }
+metrics::Counter failed_counter() {
+  static metrics::Counter c =
+      metrics::counter("serve.failed", metrics::Stability::PerRun);
+  return c;
+}
 metrics::Counter batches_counter() {
   static metrics::Counter c =
       metrics::counter("serve.batches", metrics::Stability::PerRun);
+  return c;
+}
+metrics::Counter steals_counter() {
+  static metrics::Counter c =
+      metrics::counter("serve.steals", metrics::Stability::PerRun);
   return c;
 }
 metrics::Histogram batch_size_histogram() {
@@ -144,6 +171,120 @@ metrics::Histogram queue_wait_histogram() {
   static metrics::Histogram h = metrics::histogram(
       "serve.queue_wait_seconds", metrics::Stability::PerRun);
   return h;
+}
+// Per-class instruments: completions and (Ok-only) latency per priority
+// class, plus the shed counters the overload tests fingerprint.
+metrics::Counter class_completed_counter(RequestClass cls) {
+  static metrics::Counter interactive =
+      metrics::counter("serve.completed.interactive",
+                       metrics::Stability::PerRun);
+  static metrics::Counter batch =
+      metrics::counter("serve.completed.batch", metrics::Stability::PerRun);
+  return cls == RequestClass::Interactive ? interactive : batch;
+}
+metrics::Counter class_shed_counter(RequestClass cls) {
+  static metrics::Counter interactive =
+      metrics::counter("serve.shed.interactive", metrics::Stability::PerRun);
+  static metrics::Counter batch =
+      metrics::counter("serve.shed.batch", metrics::Stability::PerRun);
+  return cls == RequestClass::Interactive ? interactive : batch;
+}
+metrics::Histogram class_latency_histogram(RequestClass cls) {
+  static metrics::Histogram interactive = metrics::histogram(
+      "serve.latency_seconds.interactive", metrics::Stability::PerRun);
+  static metrics::Histogram batch = metrics::histogram(
+      "serve.latency_seconds.batch", metrics::Stability::PerRun);
+  return cls == RequestClass::Interactive ? interactive : batch;
+}
+
+}  // namespace
+
+/// One per-(model, class) backlog queue inside a shard. Flows exist
+/// only while non-empty; tags persist through `last_finish` while the
+/// flow is backlogged and restart from the shard's virtual time when it
+/// re-appears (standard start-time fair queuing).
+struct Flow {
+  std::shared_ptr<const ServableModel> model;
+  RequestClass cls = RequestClass::Interactive;
+  double weight = 1.0;
+  double last_finish = 0.0;
+  /// How many queued requests carry a deadline (enables the EDF sort
+  /// only when needed — the overload hot path is deadline-free).
+  std::size_t deadline_count = 0;
+  std::deque<detail::Pending*> q;
+};
+
+struct InferenceServer::Shard {
+  Shard(int index_, std::size_t depth)
+      : index(index_),
+        ring(depth),
+        batches_counter(metrics::counter(
+            "serve.shard." + std::to_string(index_) + ".batches",
+            metrics::Stability::PerRun)),
+        steals_counter(metrics::counter(
+            "serve.shard." + std::to_string(index_) + ".steals",
+            metrics::Stability::PerRun)) {}
+
+  const int index;
+  BoundedMpscQueue<detail::Pending*> ring;
+  /// Admitted-but-not-terminal requests owned by this shard (ring +
+  /// backlog, wherever the record currently sits). Admission control
+  /// tests this against the shed/reject thresholds.
+  std::atomic<std::size_t> outstanding{0};
+
+  metrics::Counter batches_counter;
+  metrics::Counter steals_counter;
+
+  std::mutex wake_mu;
+  std::condition_variable wake_cv;
+  /// True only while the dispatcher is parked on wake_cv. Producers
+  /// skip the notify (a futex syscall on the submit hot path) whenever
+  /// the dispatcher is awake; the dispatcher re-checks the ring under
+  /// the lock before sleeping, and its bounded wait makes even a lost
+  /// race cost at most one wait period.
+  std::atomic<bool> idle{false};
+
+  // Dispatcher-owned state (the inline drain caller in Inline mode).
+  std::map<std::pair<const ServableModel*, int>, Flow> flows;
+  std::size_t backlog_size = 0;
+  double vtime = 0.0;
+  std::uint64_t next_seq = 0;
+
+  std::thread dispatcher;
+
+  void insert_backlog(detail::Pending* p);
+};
+
+void InferenceServer::Shard::insert_backlog(detail::Pending* p) {
+  auto key = std::make_pair(p->model.get(), static_cast<int>(p->cls));
+  auto [it, inserted] = flows.try_emplace(key);
+  Flow& flow = it->second;
+  if (inserted) {
+    flow.model = p->model;
+    flow.cls = p->cls;
+    flow.weight = p->model->options().weight;
+  }
+  const double start = std::max(vtime, flow.last_finish);
+  p->wfq_start = start;
+  p->wfq_finish = start + 1.0 / flow.weight;
+  flow.last_finish = p->wfq_finish;
+  p->seq = next_seq++;
+  if (p->deadline_ns > 0) ++flow.deadline_count;
+  flow.q.push_back(p);
+  ++backlog_size;
+}
+
+namespace {
+
+/// Strict class priority, then smallest head finish tag, then earliest
+/// backlog sequence — a deterministic total order (the map's pointer
+/// keys never decide).
+bool flow_before(const Flow& a, const Flow& b) {
+  if (a.cls != b.cls) return a.cls == RequestClass::Interactive;
+  if (a.q.front()->wfq_finish != b.q.front()->wfq_finish) {
+    return a.q.front()->wfq_finish < b.q.front()->wfq_finish;
+  }
+  return a.q.front()->seq < b.q.front()->seq;
 }
 
 }  // namespace
@@ -211,6 +352,15 @@ const char* status_name(RequestStatus status) {
     case RequestStatus::DeadlineExceeded: return "deadline_exceeded";
     case RequestStatus::ModelNotFound: return "model_not_found";
     case RequestStatus::Failed: return "failed";
+    case RequestStatus::Shed: return "shed";
+  }
+  return "?";
+}
+
+const char* class_name(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::Interactive: return "interactive";
+    case RequestClass::Batch: return "batch";
   }
   return "?";
 }
@@ -220,62 +370,93 @@ InferenceServer::InferenceServer(const ModelRegistry& registry,
     : registry_(registry),
       config_(config),
       dispatch_(dispatch),
-      queue_(config.queue_depth),
+      ring_(config.shards >= 1 ? config.shards : 1),
       start_ns_(now_ns()) {
   QNAT_CHECK(config_.max_batch >= 1, "max_batch must be at least 1");
   QNAT_CHECK(config_.queue_depth >= 1, "queue_depth must be at least 1");
+  QNAT_CHECK(config_.shards >= 1, "shards must be at least 1");
+  const std::size_t per_shard =
+      std::max<std::size_t>(1, config_.queue_depth /
+                                   static_cast<std::size_t>(config_.shards));
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(s, per_shard));
+  }
   if (config_.record_trace) trace_ = std::make_unique<RequestTrace>();
   if (dispatch_ == Dispatch::Background) {
-    dispatcher_ = std::thread([this] { run_loop(); });
+    for (auto& shard : shards_) {
+      Shard* raw = shard.get();
+      raw->dispatcher = std::thread([this, raw] { run_loop(*raw); });
+    }
   }
 }
 
 InferenceServer::~InferenceServer() {
   stop();
-  // Inline mode: fail anything still queued so tickets never hang.
-  detail::Pending* pending = nullptr;
-  while (queue_.try_pop(pending)) {
-    Response response;
-    response.id = pending->id;
-    response.status = RequestStatus::Failed;
-    finish(pending, std::move(response));
+  // Inline mode (or submissions that raced a stop): fail anything still
+  // queued or backlogged so tickets never hang.
+  for (auto& shard : shards_) {
+    detail::Pending* pending = nullptr;
+    while (shard->ring.try_pop(pending)) {
+      Response response;
+      response.id = pending->id;
+      response.status = RequestStatus::Failed;
+      finish(pending, std::move(response));
+    }
+    for (auto& [key, flow] : shard->flows) {
+      for (detail::Pending* p : flow.q) {
+        Response response;
+        response.id = p->id;
+        response.status = RequestStatus::Failed;
+        finish(p, std::move(response));
+      }
+    }
+    shard->flows.clear();
+    shard->backlog_size = 0;
   }
 }
 
 void InferenceServer::stop() {
   if (dispatch_ != Dispatch::Background) return;
   bool expected = false;
-  if (!stopping_.compare_exchange_strong(expected, true)) {
-    if (dispatcher_.joinable()) dispatcher_.join();
-    return;
+  if (stopping_.compare_exchange_strong(expected, true)) {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->wake_mu);
+      shard->wake_cv.notify_all();
+    }
   }
-  wake_cv_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();
+  for (auto& shard : shards_) {
+    if (shard->dispatcher.joinable()) shard->dispatcher.join();
+  }
 }
 
 ResponseTicket InferenceServer::submit(const std::string& model_spec,
                                        std::vector<real> features,
-                                       std::int64_t deadline_us) {
+                                       std::int64_t deadline_us,
+                                       RequestClass cls) {
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  return enqueue(id, model_spec, std::move(features), deadline_us);
+  return enqueue(id, model_spec, std::move(features), deadline_us, cls);
 }
 
 ResponseTicket InferenceServer::submit_with_id(std::uint64_t id,
                                                const std::string& model_spec,
                                                std::vector<real> features,
-                                               std::int64_t deadline_us) {
-  return enqueue(id, model_spec, std::move(features), deadline_us);
+                                               std::int64_t deadline_us,
+                                               RequestClass cls) {
+  return enqueue(id, model_spec, std::move(features), deadline_us, cls);
 }
 
 ResponseTicket InferenceServer::enqueue(std::uint64_t id,
                                         const std::string& model_spec,
                                         std::vector<real> features,
-                                        std::int64_t deadline_us) {
+                                        std::int64_t deadline_us,
+                                        RequestClass cls) {
   requests_counter().inc();
   submitted_.fetch_add(1, std::memory_order_relaxed);
 
   auto* pending = new detail::Pending;  // refs == 2: ticket + server
   pending->id = id;
+  pending->cls = cls;
   pending->features = std::move(features);
   pending->submit_ns = now_ns();
   std::int64_t deadline = deadline_us != 0 ? deadline_us
@@ -298,16 +479,49 @@ ResponseTicket InferenceServer::enqueue(std::uint64_t id,
     record.arrival_us =
         static_cast<std::uint64_t>((pending->submit_ns - start_ns_) / 1000);
     record.model = model_spec;
+    record.cls = cls;
     record.features = pending->features;
     std::lock_guard<std::mutex> lock(trace_mu_);
     trace_->records.push_back(std::move(record));
   }
 
-  if (!queue_.try_push(pending)) {
-    // Backpressure: the bounded ring is full — reject now, with the
-    // queue (not the heap) as the only memory the burst ever occupied.
-    rejected_counter().inc();
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+  // SLO-aware admission. Occupancy counts everything admitted and not
+  // yet terminal (ring + backlog), so a dispatcher moving work into its
+  // backlog does not re-open the gate: memory stays bounded by shard
+  // capacity. Batch-class traffic is cut off early (shed) to reserve
+  // the remaining headroom for Interactive requests.
+  Shard& shard = *shards_[static_cast<std::size_t>(ring_.route(id))];
+  const std::size_t cap = shard.ring.capacity();
+  std::size_t limit = cap;
+  const bool shedding =
+      cls == RequestClass::Batch && config_.batch_shed_fraction >= 0.0;
+  if (shedding) {
+    limit = std::min(cap, static_cast<std::size_t>(
+                              config_.batch_shed_fraction *
+                              static_cast<double>(cap)));
+  }
+  const std::size_t prev =
+      shard.outstanding.fetch_add(1, std::memory_order_acq_rel);
+  if (prev >= limit) {
+    shard.outstanding.fetch_sub(1, std::memory_order_relaxed);
+    Response response;
+    response.id = id;
+    // With shedding enabled every Batch-class denial is a shed (the
+    // class's admission cutoff, wherever occupancy sits above it);
+    // Rejected stays the pure backpressure signal — the shard is full —
+    // with the ring (not the heap) as the only memory a burst occupies.
+    response.status =
+        shedding ? RequestStatus::Shed : RequestStatus::Rejected;
+    finish(pending, std::move(response));
+    return ticket;
+  }
+
+  pending->shard = shard.index;
+  if (!shard.ring.try_push(pending)) {
+    // Unreachable while admission holds outstanding <= capacity, but a
+    // transiently full ring must still resolve the ticket.
+    pending->shard = -1;
+    shard.outstanding.fetch_sub(1, std::memory_order_relaxed);
     Response response;
     response.id = id;
     response.status = RequestStatus::Rejected;
@@ -317,23 +531,55 @@ ResponseTicket InferenceServer::enqueue(std::uint64_t id,
   // The server's reference now rides in the ring until a dispatcher
   // pops it.
   if (dispatch_ == Dispatch::Background &&
-      dispatcher_idle_.load(std::memory_order_seq_cst)) {
+      shard.idle.load(std::memory_order_seq_cst)) {
     // Only pay the notify when the dispatcher is actually parked; while
     // it is draining the ring the push above is enough for it to see
     // the request on its next pass.
-    std::lock_guard<std::mutex> lock(wake_mu_);
-    wake_cv_.notify_one();
+    std::lock_guard<std::mutex> lock(shard.wake_mu);
+    shard.wake_cv.notify_one();
   }
   return ticket;
 }
 
 void InferenceServer::finish(detail::Pending* pending, Response response) {
-  if (response.status == RequestStatus::Ok) {
-    completed_counter().inc();
-    completed_.fetch_add(1, std::memory_order_relaxed);
+  if (pending->shard >= 0) {
+    shards_[static_cast<std::size_t>(pending->shard)]->outstanding.fetch_sub(
+        1, std::memory_order_release);
+  }
+  // Every terminal status lands in exactly one bucket; the fleet tests
+  // assert conservation (requests == sum of buckets) from these.
+  switch (response.status) {
+    case RequestStatus::Ok:
+      completed_counter().inc();
+      class_completed_counter(pending->cls).inc();
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::Rejected:
+      rejected_counter().inc();
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::DeadlineExceeded:
+      expired_counter().inc();
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::Shed:
+      class_shed_counter(pending->cls).inc();
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestStatus::ModelNotFound:
+    case RequestStatus::Failed:
+      failed_counter().inc();
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
   }
   response.latency_ns = now_ns() - pending->submit_ns;
   latency_histogram().observe(static_cast<double>(response.latency_ns) * 1e-9);
+  if (response.status == RequestStatus::Ok) {
+    // Per-class SLO latency tracks served requests only — shed and
+    // rejected tickets resolve in nanoseconds and would drown p99.
+    class_latency_histogram(pending->cls)
+        .observe(static_cast<double>(response.latency_ns) * 1e-9);
+  }
   pending->response = std::move(response);
   detail::publish_ready(pending);
   // Drop the server's reference last: the record must stay alive for
@@ -341,43 +587,114 @@ void InferenceServer::finish(detail::Pending* pending, Response response) {
   detail::unref(pending);
 }
 
-bool InferenceServer::dispatch_round(bool wait_for_stragglers) {
-  std::vector<detail::Pending*> batch;
+void InferenceServer::drain_ring(Shard& shard) {
   detail::Pending* popped = nullptr;
-  std::int64_t wait_deadline = 0;
-  while (static_cast<int>(batch.size()) < config_.max_batch) {
-    if (queue_.try_pop(popped)) {
-      batch.push_back(popped);
-      continue;
+  while (shard.ring.try_pop(popped)) {
+    shard.insert_backlog(popped);
+  }
+}
+
+void InferenceServer::steal_into(Shard& shard) {
+  const int shards = config_.shards;
+  for (int off = 1; off < shards; ++off) {
+    Shard& victim =
+        *shards_[static_cast<std::size_t>((shard.index + off) % shards)];
+    detail::Pending* popped = nullptr;
+    std::uint64_t got = 0;
+    while (static_cast<int>(got) < config_.max_batch &&
+           victim.ring.try_pop(popped)) {
+      // The record joins the thief's backlog; its occupancy debit stays
+      // with the owning shard (pending->shard), so admission control on
+      // the victim keeps seeing the load it accepted.
+      shard.insert_backlog(popped);
+      ++got;
     }
-    if (batch.empty()) return false;
-    if (!wait_for_stragglers || config_.max_wait_us <= 0) break;
-    if (wait_deadline == 0) {
-      wait_deadline = now_ns() + config_.max_wait_us * 1000;
-    } else if (now_ns() >= wait_deadline) {
-      break;
+    if (got > 0) {
+      steals_.fetch_add(got, std::memory_order_relaxed);
+      steals_counter().add(got);
+      shard.steals_counter.add(got);
+      return;
     }
-    std::this_thread::sleep_for(std::chrono::microseconds(5));
+  }
+}
+
+bool InferenceServer::dispatch_round(Shard& shard, bool wait_for_stragglers) {
+  drain_ring(shard);
+  if (shard.backlog_size == 0 && dispatch_ == Dispatch::Background &&
+      config_.work_stealing && config_.shards > 1) {
+    steal_into(shard);
+  }
+  if (shard.backlog_size == 0) return false;
+
+  if (wait_for_stragglers && config_.max_wait_us > 0 &&
+      shard.backlog_size < static_cast<std::size_t>(config_.max_batch)) {
+    const std::int64_t wait_deadline = now_ns() + config_.max_wait_us * 1000;
+    while (shard.backlog_size < static_cast<std::size_t>(config_.max_batch) &&
+           now_ns() < wait_deadline) {
+      std::this_thread::sleep_for(std::chrono::microseconds(5));
+      drain_ring(shard);
+    }
   }
 
-  // Coalesce by model, preserving first-appearance order (a mixed pull
-  // yields one micro-batch per model).
-  while (!batch.empty()) {
-    const ServableModel* key = batch.front()->model.get();
-    std::shared_ptr<const ServableModel> model = batch.front()->model;
-    std::vector<detail::Pending*> group;
-    std::vector<detail::Pending*> rest;
-    for (detail::Pending* p : batch) {
-      (p->model.get() == key ? group : rest).push_back(p);
+  // Pick the next flow: strict class priority, then WFQ head tags.
+  auto best = shard.flows.end();
+  for (auto it = shard.flows.begin(); it != shard.flows.end(); ++it) {
+    if (it->second.q.empty()) continue;
+    if (best == shard.flows.end() || flow_before(it->second, best->second)) {
+      best = it;
     }
-    batch = std::move(rest);
-    execute_group(model, std::move(group));
   }
+  if (best == shard.flows.end()) {
+    // Flows are erased when emptied, so a non-zero backlog always has a
+    // candidate; keep the invariant honest anyway.
+    shard.backlog_size = 0;
+    return false;
+  }
+  Flow& flow = best->second;
+
+  const std::size_t take =
+      std::min(flow.q.size(), static_cast<std::size_t>(config_.max_batch));
+  if (flow.deadline_count > 0 && flow.q.size() > take) {
+    // Deadline-aware ordering: earliest deadline first, deadline-free
+    // requests after, stable by backlog sequence. Skipped entirely on
+    // the deadline-free hot path.
+    std::sort(flow.q.begin(), flow.q.end(),
+              [](const detail::Pending* a, const detail::Pending* b) {
+                const std::int64_t da =
+                    a->deadline_ns > 0 ? a->deadline_ns
+                                       : std::numeric_limits<std::int64_t>::max();
+                const std::int64_t db =
+                    b->deadline_ns > 0 ? b->deadline_ns
+                                       : std::numeric_limits<std::int64_t>::max();
+                if (da != db) return da < db;
+                return a->seq < b->seq;
+              });
+  }
+  std::vector<detail::Pending*> group;
+  group.reserve(take);
+  double min_start = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < take; ++i) {
+    detail::Pending* p = flow.q.front();
+    flow.q.pop_front();
+    if (p->deadline_ns > 0) --flow.deadline_count;
+    min_start = std::min(min_start, p->wfq_start);
+    group.push_back(p);
+  }
+  shard.backlog_size -= take;
+  // Virtual time advances to the dispatched work's start tag, so idle
+  // flows re-enter the race at the current service level instead of
+  // replaying their idle past.
+  shard.vtime = std::max(shard.vtime, min_start);
+
+  std::shared_ptr<const ServableModel> model = flow.model;
+  if (flow.q.empty()) shard.flows.erase(best);
+
+  execute_group(shard, model, std::move(group));
   return true;
 }
 
 void InferenceServer::execute_group(
-    const std::shared_ptr<const ServableModel>& model,
+    Shard& shard, const std::shared_ptr<const ServableModel>& model,
     std::vector<detail::Pending*> group) {
   QNAT_TRACE_SCOPE("serve.batch");
 
@@ -386,8 +703,6 @@ void InferenceServer::execute_group(
   std::vector<detail::Pending*> runnable;
   for (detail::Pending* p : group) {
     if (p->deadline_ns > 0 && exec_start > p->deadline_ns) {
-      expired_counter().inc();
-      expired_.fetch_add(1, std::memory_order_relaxed);
       Response response;
       response.id = p->id;
       response.status = RequestStatus::DeadlineExceeded;
@@ -407,8 +722,18 @@ void InferenceServer::execute_group(
   if (runnable.empty()) return;
 
   batches_counter().inc();
+  shard.batches_counter.inc();
   batches_.fetch_add(1, std::memory_order_relaxed);
   batch_size_histogram().observe(static_cast<double>(runnable.size()));
+  if (config_.record_batch_log) {
+    BatchLogEntry entry;
+    entry.shard = shard.index;
+    entry.model = model->spec();
+    entry.cls = runnable.front()->cls;
+    entry.size = static_cast<int>(runnable.size());
+    std::lock_guard<std::mutex> lock(batch_log_mu_);
+    batch_log_.push_back(std::move(entry));
+  }
 
   Tensor2D inputs(runnable.size(),
                   static_cast<std::size_t>(model->num_features()));
@@ -444,23 +769,41 @@ void InferenceServer::execute_group(
 void InferenceServer::drain() {
   QNAT_CHECK(dispatch_ == Dispatch::Inline,
              "drain() is only valid on an Inline-dispatch server");
-  while (dispatch_round(/*wait_for_stragglers=*/false)) {
+  bool any = true;
+  while (any) {
+    any = false;
+    for (auto& shard : shards_) {
+      while (dispatch_round(*shard, /*wait_for_stragglers=*/false)) {
+        any = true;
+      }
+    }
   }
 }
 
-void InferenceServer::run_loop() {
+void InferenceServer::run_loop(Shard& shard) {
   while (true) {
-    if (dispatch_round(/*wait_for_stragglers=*/true)) continue;
+    if (dispatch_round(shard, /*wait_for_stragglers=*/true)) {
+      // Hand the core to sibling dispatchers after every group. On
+      // machines with fewer cores than shards, a dispatcher crunching a
+      // deep batch backlog would otherwise hold its full OS timeslice
+      // (several ms) while interactive requests on other shards wait;
+      // yielding bounds that head-of-line delay to ~one group execution.
+      std::this_thread::yield();
+      continue;
+    }
+    // dispatch_round returning false means the shard's ring, backlog,
+    // and every steal candidate were empty at that instant.
     if (stopping_.load(std::memory_order_acquire)) return;
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    dispatcher_idle_.store(true, std::memory_order_seq_cst);
+    std::unique_lock<std::mutex> lock(shard.wake_mu);
+    shard.idle.store(true, std::memory_order_seq_cst);
     // Re-check under the lock: a producer that pushed before seeing the
     // idle flag must not be missed. The bounded wait caps the cost of
-    // the remaining benign race at one wait period.
-    if (queue_.size() == 0 && !stopping_.load(std::memory_order_acquire)) {
-      wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    // the remaining benign race (and of work appearing on a sibling's
+    // ring) at one wait period.
+    if (shard.ring.size() == 0 && !stopping_.load(std::memory_order_acquire)) {
+      shard.wake_cv.wait_for(lock, std::chrono::milliseconds(1));
     }
-    dispatcher_idle_.store(false, std::memory_order_seq_cst);
+    shard.idle.store(false, std::memory_order_seq_cst);
   }
 }
 
@@ -471,12 +814,41 @@ InferenceServer::Stats InferenceServer::stats() const {
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.deadline_exceeded = expired_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.steals = steals_.load(std::memory_order_relaxed);
   return stats;
+}
+
+std::size_t InferenceServer::queue_size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->ring.size();
+  return total;
+}
+
+std::size_t InferenceServer::queue_capacity() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->ring.capacity();
+  return total;
+}
+
+std::size_t InferenceServer::shard_capacity() const {
+  return shards_.front()->ring.capacity();
+}
+
+std::size_t InferenceServer::shard_occupancy(std::uint64_t id) const {
+  return shards_[static_cast<std::size_t>(ring_.route(id))]->outstanding.load(
+      std::memory_order_acquire);
 }
 
 RequestTrace InferenceServer::recorded_trace() const {
   std::lock_guard<std::mutex> lock(trace_mu_);
   return trace_ != nullptr ? *trace_ : RequestTrace{};
+}
+
+std::vector<InferenceServer::BatchLogEntry> InferenceServer::batch_log() const {
+  std::lock_guard<std::mutex> lock(batch_log_mu_);
+  return batch_log_;
 }
 
 }  // namespace qnat::serve

@@ -1,38 +1,57 @@
-// Dynamic micro-batching inference scheduler.
+// Sharded multi-tenant micro-batching inference fleet.
 //
-// Requests from any number of client threads land in a bounded lock-free
-// MPSC ring (`serve/queue.hpp`); a single dispatcher coalesces them into
-// micro-batches under a max-batch / max-wait policy — take everything
-// queued up to `max_batch`, and if the batch is short, wait up to
-// `max_wait_us` for stragglers before executing — then runs each batch
-// through `ServableModel::run_batch`, which fans the samples out over
-// the process-wide worker pool. Backpressure is immediate: a full ring
-// rejects the request (`serve.rejected`) instead of queueing without
-// bound, and per-request deadlines expire requests that waited too long
-// before any simulation cycles are spent on them.
+// Requests from any number of client threads are routed by consistent
+// hash of their request id (`serve/hash_ring.hpp`) onto one of N worker
+// shards. Each shard owns a private bounded lock-free ring
+// (`serve/queue.hpp`) and — in Background mode — a dispatcher thread
+// that drains that ring into a per-shard backlog of per-(model, class)
+// flows, then coalesces micro-batches under a max-batch / max-wait
+// policy and runs them through `ServableModel::run_batch`.
+//
+// Scheduling inside a shard:
+//   - Priority classes: Interactive flows are always dispatched before
+//     Batch flows (strict priority).
+//   - Weighted fair queuing: within a class, flows compete by
+//     start-time-fair-queuing virtual time — every request is tagged
+//     `finish = max(vtime, flow.last_finish) + 1/weight` at backlog
+//     admission and the flow with the smallest head tag dispatches
+//     next, so a hot model gets throughput proportional to its
+//     `ServingOptions::weight` instead of starving other tenants.
+//   - Deadline-aware ordering: inside a flow, requests carrying
+//     deadlines are batched earliest-deadline-first ahead of
+//     deadline-free requests.
+//
+// SLO-aware admission control sheds load before latency degrades:
+// Batch-class submissions are shed (`RequestStatus::Shed`) once a
+// shard's outstanding work crosses `batch_shed_fraction` of its ring
+// capacity, reserving the remaining headroom for Interactive traffic,
+// which is only rejected when the shard is entirely full. Work
+// stealing keeps the fleet busy under skew: a dispatcher whose ring
+// and backlog are both empty pops from sibling rings (the Vyukov ring
+// is MPMC-safe for this).
 //
 // Two dispatch modes share the identical batching/execution code path:
-//   - Background (production): a dispatcher thread drains the ring as
-//     requests arrive; batch composition depends on wall-clock timing.
-//   - Inline (deterministic replay): no thread is spawned; the caller
-//     drains the ring explicitly, so batch boundaries are a pure
-//     function of submission order and `max_batch`. Combined with
-//     request-id-keyed RNG streams and profiled normalization this makes
-//     a recorded trace + seed reproduce byte-identical outputs at any
-//     worker-pool width (see serve/replay.hpp).
+//   - Background (production): per-shard dispatcher threads; batch
+//     composition depends on wall-clock timing.
+//   - Inline (deterministic replay): no threads; the caller drains all
+//     shards explicitly in shard order, so batch boundaries are a pure
+//     function of submission order, the hash ring, and `max_batch`.
+//     Combined with request-id-keyed RNG streams and profiled
+//     normalization this makes a recorded trace + seed reproduce
+//     byte-identical outputs at any worker-pool width and any shard
+//     count (see serve/replay.hpp).
 #pragma once
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "serve/hash_ring.hpp"
 #include "serve/queue.hpp"
 #include "serve/registry.hpp"
 
@@ -44,7 +63,7 @@ struct Pending;
 
 enum class RequestStatus : std::uint8_t {
   Ok,
-  /// Bounded queue was full at submission (backpressure).
+  /// Shard was full at submission (backpressure).
   Rejected,
   /// Deadline passed before the request reached execution.
   DeadlineExceeded,
@@ -52,9 +71,21 @@ enum class RequestStatus : std::uint8_t {
   ModelNotFound,
   /// The model raised while executing the batch.
   Failed,
+  /// Batch-class request shed by admission control under overload.
+  Shed,
 };
 
 const char* status_name(RequestStatus status);
+
+/// Scheduling priority class. Interactive requests are dispatched
+/// strictly before Batch requests and are only rejected when a shard is
+/// entirely full; Batch requests are shed early under overload.
+enum class RequestClass : std::uint8_t {
+  Interactive,
+  Batch,
+};
+
+const char* class_name(RequestClass cls);
 
 /// Fixed-capacity inline logits container. Responses travel through the
 /// scheduler by value on the per-request hot path; inline storage keeps
@@ -136,13 +167,29 @@ struct SchedulerConfig {
   /// Ignored in inline dispatch (replay), where waiting cannot change
   /// what is already queued.
   std::int64_t max_wait_us = 200;
-  /// Bounded request-queue depth; submissions beyond it are rejected.
+  /// Total bounded queue depth, split evenly across shards; submissions
+  /// beyond a shard's share are rejected.
   std::size_t queue_depth = 1024;
   /// Deadline applied to requests submitted without one (0 = none).
   std::int64_t default_deadline_us = 0;
   /// Record every accepted request into a replayable trace
   /// (see RequestTrace).
   bool record_trace = false;
+  /// Worker shards; each owns a private ring and (Background mode) a
+  /// dispatcher thread. Requests route by consistent hash of their id.
+  int shards = 1;
+  /// Dispatchers with an empty ring and backlog pop from sibling rings.
+  /// Background mode only (inline drain is already work-conserving).
+  bool work_stealing = true;
+  /// Batch-class admission cutoff as a fraction of per-shard capacity:
+  /// a Batch request is shed once the shard's outstanding count reaches
+  /// `batch_shed_fraction * shard_capacity()`. Values < 0 disable
+  /// shedding (replay uses this); Interactive requests always admit up
+  /// to full capacity.
+  double batch_shed_fraction = 0.5;
+  /// Test hook: record (shard, model, class, size) for every executed
+  /// micro-batch (see InferenceServer::batch_log).
+  bool record_batch_log = false;
 };
 
 class RequestTrace;
@@ -150,9 +197,9 @@ class RequestTrace;
 class InferenceServer {
  public:
   enum class Dispatch {
-    /// Spawn a dispatcher thread draining the queue continuously.
+    /// Spawn per-shard dispatcher threads draining the rings.
     Background,
-    /// No thread; the owner calls drain() (deterministic replay).
+    /// No threads; the owner calls drain() (deterministic replay).
     Inline,
   };
 
@@ -166,25 +213,30 @@ class InferenceServer {
   const SchedulerConfig& config() const { return config_; }
 
   /// Submits one request; the ticket resolves when the request
-  /// completes, is rejected (immediately, on a full queue), or expires.
-  /// `deadline_us` overrides the config default (< 0 = no deadline).
+  /// completes, is rejected or shed (immediately, by admission
+  /// control), or expires. `deadline_us` overrides the config default
+  /// (< 0 = no deadline).
   ResponseTicket submit(const std::string& model_spec,
                         std::vector<real> features,
-                        std::int64_t deadline_us = 0);
+                        std::int64_t deadline_us = 0,
+                        RequestClass cls = RequestClass::Interactive);
 
   /// Replay-path submission with a caller-chosen request id (the id keys
-  /// the model's shot RNG stream, so replays must reuse recorded ids).
+  /// the model's shot RNG stream and shard routing, so replays must
+  /// reuse recorded ids).
   ResponseTicket submit_with_id(std::uint64_t id,
                                 const std::string& model_spec,
                                 std::vector<real> features,
-                                std::int64_t deadline_us = 0);
+                                std::int64_t deadline_us = 0,
+                                RequestClass cls = RequestClass::Interactive);
 
-  /// Inline dispatch: executes queued requests until the ring is empty.
-  /// Batch boundaries are deterministic (chunks of `max_batch` in
-  /// submission order). Must not be called in Background mode.
+  /// Inline dispatch: executes queued requests until every shard's ring
+  /// and backlog are empty. Batch boundaries are deterministic (shards
+  /// drained in index order, chunks of `max_batch` in submission order
+  /// within a flow). Must not be called in Background mode.
   void drain();
 
-  /// Stops the dispatcher after the ring empties and joins it
+  /// Stops the dispatchers after the rings empty and joins them
   /// (idempotent; Background mode only — destructor calls it too).
   void stop();
 
@@ -194,56 +246,82 @@ class InferenceServer {
     std::uint64_t rejected = 0;
     std::uint64_t deadline_exceeded = 0;
     std::uint64_t batches = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t steals = 0;
   };
   Stats stats() const;
 
-  /// Current ring occupancy (bounded by config().queue_depth's power-of-
-  /// two round-up; tests assert the memory bound through this).
-  std::size_t queue_size() const { return queue_.size(); }
-  std::size_t queue_capacity() const { return queue_.capacity(); }
+  /// Current total ring occupancy across shards (bounded by
+  /// shard_count() * shard_capacity(); tests assert the memory bound
+  /// through this).
+  std::size_t queue_size() const;
+  std::size_t queue_capacity() const;
+
+  int shard_count() const { return config_.shards; }
+  /// Per-shard ring capacity (queue_depth / shards, rounded up to a
+  /// power of two by the ring).
+  std::size_t shard_capacity() const;
+  /// Owner shard for a request id (exposed so replay and tests can
+  /// reason about routing).
+  int route(std::uint64_t id) const { return ring_.route(id); }
+  /// Outstanding (admitted, not yet terminal) requests on the shard
+  /// that owns `id` — replay drains when the next submission would
+  /// overflow its target shard.
+  std::size_t shard_occupancy(std::uint64_t id) const;
 
   /// The trace recorded so far (config.record_trace). Arrival offsets
   /// are relative to server construction.
   RequestTrace recorded_trace() const;
 
+  struct BatchLogEntry {
+    int shard = 0;
+    std::string model;
+    RequestClass cls = RequestClass::Interactive;
+    int size = 0;
+  };
+  /// Executed-batch journal (config.record_batch_log); empty otherwise.
+  std::vector<BatchLogEntry> batch_log() const;
+
  private:
+  struct Shard;
+
   ResponseTicket enqueue(std::uint64_t id, const std::string& model_spec,
-                         std::vector<real> features,
-                         std::int64_t deadline_us);
-  /// Pops and executes one micro-batch; returns false if the ring was
-  /// empty. `wait_for_stragglers` enables the max-wait policy
-  /// (Background mode only).
-  bool dispatch_round(bool wait_for_stragglers);
-  void execute_group(const std::shared_ptr<const ServableModel>& model,
+                         std::vector<real> features, std::int64_t deadline_us,
+                         RequestClass cls);
+  /// Moves everything queued on `shard`'s ring into its backlog flows.
+  void drain_ring(Shard& shard);
+  /// Pops work from sibling rings into `shard`'s backlog.
+  void steal_into(Shard& shard);
+  /// Dispatches one micro-batch from `shard`'s backlog (refilling it
+  /// from the ring first); returns false if there was nothing to do.
+  /// `wait_for_stragglers` enables the max-wait policy (Background
+  /// mode only).
+  bool dispatch_round(Shard& shard, bool wait_for_stragglers);
+  void execute_group(Shard& shard,
+                     const std::shared_ptr<const ServableModel>& model,
                      std::vector<detail::Pending*> group);
   /// Publishes the response, wakes any waiter, and drops the server's
   /// reference (`pending` must not be touched afterwards).
   void finish(detail::Pending* pending, Response response);
-  void run_loop();
+  void run_loop(Shard& shard);
 
   const ModelRegistry& registry_;
   SchedulerConfig config_;
   Dispatch dispatch_;
-  BoundedMpscQueue<detail::Pending*> queue_;
+  ConsistentHashRing ring_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> submitted_{0}, completed_{0}, rejected_{0},
-      expired_{0}, batches_{0};
+      expired_{0}, batches_{0}, shed_{0}, failed_{0}, steals_{0};
   std::int64_t start_ns_ = 0;
-
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  /// True only while the dispatcher is parked on wake_cv_. Producers
-  /// skip the notify (a futex syscall on the submit hot path) whenever
-  /// the dispatcher is awake; the dispatcher re-checks the ring under
-  /// the lock before sleeping, and its bounded wait makes even a lost
-  /// race cost at most one wait period.
-  std::atomic<bool> dispatcher_idle_{false};
 
   mutable std::mutex trace_mu_;
   std::unique_ptr<RequestTrace> trace_;
 
-  std::thread dispatcher_;
+  mutable std::mutex batch_log_mu_;
+  std::vector<BatchLogEntry> batch_log_;
 };
 
 }  // namespace qnat::serve

@@ -3,10 +3,17 @@
 // paper's measurement protocol. QuantumNAT evaluates with 8192 shots per
 // circuit, so every physically-measured expectation carries sampling
 // noise of at least 1/sqrt(8192) ~= 0.01105; a precision error below
-// that floor is invisible in any real deployment. Two table-1 tasks
-// (MNIST-4 and Fashion-4) run through the ideal forward pass and the
+// that floor is invisible in any real deployment. Each gated cell runs a
+// task's reference model through the ideal forward pass and the
 // seeded-trajectory noisy pipeline on a device preset, once per f32
 // backend, and the worst f64-vs-f32 delta is gated against that floor.
+//
+// Two fast cells (MNIST-4/Santiago, Fashion-4/Lima) always run; the full
+// 8-task x 6-preset grid is instantiated as parameterized tests that
+// skip unless QNAT_ACCURACY_GATE_FULL=1 — the CI accuracy-gate job sets
+// it, the default developer loop stays fast. The 10-class tasks use
+// 10-qubit reference models, wider than the paper's 5-qubit chips, so
+// those cells widen the preset via make_device_noise_model(name, width).
 //
 // The trajectory path is safe to compare across precisions because error
 // gate insertion is driven purely by the counter-based RNG stream and
@@ -18,8 +25,11 @@
 // main-thread thread-local override would never reach.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/evaluator.hpp"
@@ -34,13 +44,13 @@ namespace {
 // the paper's 8192-shot protocol (at the <Z>=0 worst case).
 constexpr double kShotNoiseFloor = 0.011048543456039806;
 
-QnnModel table1_model() {
+QnnModel reference_model(const TaskInfo& info) {
   QnnArchitecture arch;
-  arch.num_qubits = 4;
+  arch.num_qubits = info.num_qubits;
   arch.num_blocks = 2;
   arch.layers_per_block = 2;
-  arch.input_features = 16;
-  arch.num_classes = 4;
+  arch.input_features = info.feature_dim;
+  arch.num_classes = info.num_classes;
   QnnModel model(arch);
   Rng rng(20220712);
   model.init_weights(rng);
@@ -58,13 +68,17 @@ class BackendRestore {
   std::string prev_;
 };
 
-void run_gate(const char* task_name, const char* device) {
+void run_gate(const std::string& task_name, const std::string& device) {
   const TaskBundle task = make_task(task_name, 10, 7);
-  const QnnModel model = table1_model();
-  ASSERT_GE(task.test.size(), 6u);
-  Tensor2D inputs(6, 16);
-  for (std::size_t r = 0; r < 6; ++r) {
-    for (std::size_t f = 0; f < 16; ++f) {
+  const QnnModel model = reference_model(task.info);
+  const auto features = static_cast<std::size_t>(task.info.feature_dim);
+  // 2-class tasks produce a smaller synthetic test split at this sample
+  // budget; probe whatever is available, up to 6 rows.
+  const std::size_t rows = std::min<std::size_t>(6, task.test.size());
+  ASSERT_GE(rows, 4u);
+  Tensor2D inputs(rows, features);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t f = 0; f < features; ++f) {
       inputs(r, f) = task.test.features(r, f);
     }
   }
@@ -73,7 +87,10 @@ void run_gate(const char* task_name, const char* device) {
   QnnForwardOptions pipeline;
   pipeline.normalize = false;
 
-  const Deployment deployment(model, make_device_noise_model(device), 2);
+  // Widen the preset when the reference model outgrows the real chip
+  // (the 10-class tasks use 10 qubits against 5-qubit devices).
+  const Deployment deployment(
+      model, make_device_noise_model(device, task.info.num_qubits), 2);
   NoisyEvalOptions traj;
   traj.mode = NoiseEvalMode::Trajectories;
   traj.trajectories = 8;
@@ -121,9 +138,43 @@ void run_gate(const char* task_name, const char* device) {
   EXPECT_TRUE(gated_any);
 }
 
+// Always-on fast cells: one 4-qubit image task on the cleanest preset,
+// one on a noisier T-topology chip.
 TEST(F32AccuracyGate, Mnist4OnSantiago) { run_gate("mnist4", "santiago"); }
 
 TEST(F32AccuracyGate, Fashion4OnLima) { run_gate("fashion4", "lima"); }
+
+// ---------------------------------------------------------------------
+// Full 8x6 grid, gated behind QNAT_ACCURACY_GATE_FULL=1.
+
+bool full_sweep_enabled() {
+  const char* env = std::getenv("QNAT_ACCURACY_GATE_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+class F32AccuracyGateGrid
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(F32AccuracyGateGrid, HoldsShotNoiseFloor) {
+  if (!full_sweep_enabled()) {
+    GTEST_SKIP() << "set QNAT_ACCURACY_GATE_FULL=1 to run the full "
+                    "8-task x 6-preset sweep";
+  }
+  run_gate(std::get<0>(GetParam()), std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTasksAllPresets, F32AccuracyGateGrid,
+    ::testing::Combine(
+        ::testing::Values("mnist2", "mnist4", "mnist10", "fashion2",
+                          "fashion4", "fashion10", "cifar2", "vowel4"),
+        ::testing::Values("santiago", "athens", "lima", "quito", "belem",
+                          "yorktown")),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::string>>&
+           info) {
+      return std::get<0>(info.param) + "_on_" + std::get<1>(info.param);
+    });
 
 }  // namespace
 }  // namespace qnat

@@ -204,15 +204,20 @@ TEST_F(ArtifactCacheTest, ServingPrecisionIsPartOfTheArtifactKey) {
   const QnnModel model = seeded_model(40);
   const Tensor2D profile = random_inputs(8, 16, 6);
 
+  // Pin the precisions on both sides: the contract under test is that
+  // dtype is part of the key, whatever the ServingOptions default is.
+  ServingOptions f64_options = cached_options();
+  f64_options.dtype = DType::F64;
+
   ModelRegistry registry;
-  registry.add("m", model, cached_options(), &profile);
+  registry.add("m", model, f64_options, &profile);
   const auto files_f64 = bundle_files();
   ASSERT_EQ(files_f64.size(), 1u);
 
   // Same model served at f32: a different artifact key — the f64 bundle
   // must never warm-hit the f32 request.
   metrics::reset();
-  ServingOptions f32_options = cached_options();
+  ServingOptions f32_options = f64_options;
   f32_options.dtype = DType::F32;
   const auto served_f32 = registry.add("m", model, f32_options, &profile);
   EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.hits"), 0u);
@@ -245,7 +250,7 @@ TEST_F(ArtifactCacheTest, ServingPrecisionIsPartOfTheArtifactKey) {
       std::filesystem::copy_options::overwrite_existing);
   metrics::reset();
   ModelRegistry cross;
-  const auto rebuilt = cross.add("m", model, cached_options(), &profile);
+  const auto rebuilt = cross.add("m", model, f64_options, &profile);
   EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.rejected"),
             1u);
   EXPECT_EQ(counter_value(metrics::snapshot(), "serve.artifact.hits"), 0u);

@@ -1,0 +1,447 @@
+// The sharded serving fleet's proof obligations: consistent-hash
+// routing invariants, byte-identical replay across shard counts,
+// work-stealing conservation (every request terminal exactly once),
+// WFQ starvation bounds, strict shed-before-reject overload ordering,
+// and a 16-producer hammer that must run TSan-clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "serve/hash_ring.hpp"
+#include "serve/registry.hpp"
+#include "serve/replay.hpp"
+#include "serve/scheduler.hpp"
+
+namespace qnat::serve {
+namespace {
+
+QnnModel make_model(std::uint64_t seed) {
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 1;
+  arch.input_features = 16;
+  arch.num_classes = 4;
+  QnnModel model(arch);
+  Rng rng(seed);
+  model.init_weights(rng);
+  return model;
+}
+
+Tensor2D make_profile(std::uint64_t seed) {
+  Tensor2D profile(16, 16);
+  Rng rng(seed);
+  for (auto& v : profile.data()) v = rng.gaussian(0.0, 1.0);
+  return profile;
+}
+
+std::vector<real> request_features(std::uint64_t seed) {
+  std::vector<real> f(16);
+  Rng rng(seed);
+  for (auto& v : f) v = rng.gaussian(0.0, 1.0);
+  return f;
+}
+
+std::uint64_t counter_value(const metrics::Snapshot& snap,
+                            const std::string& name) {
+  const auto* entry = snap.find_counter(name);
+  return entry != nullptr ? entry->value : 0;
+}
+
+class FleetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::reset();
+    metrics::set_enabled(true);
+    const Tensor2D profile = make_profile(2);
+    ServingOptions hot_opts;
+    hot_opts.weight = 3.0;
+    hot_ = registry_.add("hot", make_model(21), hot_opts, &profile);
+    cold_ = registry_.add("cold", make_model(22), {}, &profile);
+    ServingOptions shot_opts;
+    shot_opts.shots = 64;
+    shots_ = registry_.add("shots", make_model(23), shot_opts, &profile);
+  }
+  void TearDown() override {
+    metrics::set_enabled(false);
+    metrics::reset();
+  }
+
+  ModelRegistry registry_;
+  std::shared_ptr<const ServableModel> hot_, cold_, shots_;
+};
+
+TEST(HashRing, RoutesDeterministicallyAndRoughlyUniformly) {
+  const ConsistentHashRing ring(8);
+  const ConsistentHashRing twin(8);
+  std::array<int, 8> counts{};
+  for (std::uint64_t id = 1; id <= 100000; ++id) {
+    const int shard = ring.route(id);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 8);
+    EXPECT_EQ(shard, twin.route(id));
+    ++counts[static_cast<std::size_t>(shard)];
+  }
+  for (int s = 0; s < 8; ++s) {
+    // Virtual nodes keep the split coarse-grained fair: no shard owns
+    // less than a third or more than triple its fair share.
+    EXPECT_GT(counts[static_cast<std::size_t>(s)], 100000 / 8 / 3) << s;
+    EXPECT_LT(counts[static_cast<std::size_t>(s)], 3 * 100000 / 8) << s;
+  }
+}
+
+TEST(HashRing, GrowingTheFleetOnlyMovesKeysToNewShards) {
+  // The point set of a small ring is a subset of a larger ring's, so
+  // any id the large ring assigns to an original shard must be routed
+  // identically by the small ring.
+  const ConsistentHashRing small(2);
+  const ConsistentHashRing large(8);
+  int moved = 0;
+  for (std::uint64_t id = 1; id <= 20000; ++id) {
+    const int to = large.route(id);
+    if (to < 2) {
+      EXPECT_EQ(small.route(id), to) << "id " << id;
+    } else {
+      ++moved;
+    }
+  }
+  // And growth really redistributes: the new shards own most keys.
+  EXPECT_GT(moved, 20000 / 2);
+}
+
+TEST_F(FleetTest, ReplayIsByteIdenticalAcrossShardCounts) {
+  // A trace mixing models, classes, shot-bearing requests and sparse
+  // ids; small rings force mid-replay drains at every shard count.
+  RequestTrace trace;
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    TraceRecord record;
+    record.id = 1 + i * 37;  // sparse: exercise routing, not order
+    record.cls = i % 3 == 0 ? RequestClass::Batch : RequestClass::Interactive;
+    record.model = i % 2 == 0 ? "hot" : "shots";
+    record.features = request_features(500 + i);
+    trace.records.push_back(std::move(record));
+  }
+
+  SchedulerConfig config;
+  config.max_batch = 4;
+  config.queue_depth = 16;
+
+  std::vector<std::string> fingerprints;
+  for (const int shards : {1, 2, 8}) {
+    SchedulerConfig sharded = config;
+    sharded.shards = shards;
+    const ReplayResult result = replay_trace(registry_, sharded, trace);
+    ASSERT_EQ(result.responses.size(), trace.size()) << shards << " shards";
+    for (const Response& response : result.responses) {
+      EXPECT_EQ(response.status, RequestStatus::Ok);
+    }
+    fingerprints.push_back(result.output_fingerprint());
+  }
+  ASSERT_FALSE(fingerprints[0].empty());
+  EXPECT_EQ(fingerprints[0], fingerprints[1]) << "1 vs 2 shards";
+  EXPECT_EQ(fingerprints[0], fingerprints[2]) << "1 vs 8 shards";
+
+  // And the trace itself round-trips with classes intact.
+  const RequestTrace reloaded = RequestTrace::deserialize(trace.serialize());
+  ASSERT_EQ(reloaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(reloaded.records[i].cls, trace.records[i].cls);
+    EXPECT_EQ(reloaded.records[i].model, trace.records[i].model);
+  }
+}
+
+TEST_F(FleetTest, V1TracesStillLoadAsInteractive) {
+  const std::string v1 =
+      "#qnat-trace v1\n"
+      "requests 1\n"
+      "req 7 0 hot 2 0.5 -1.25\n"
+      "end\n";
+  const RequestTrace trace = RequestTrace::deserialize(v1);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.records[0].id, 7u);
+  EXPECT_EQ(trace.records[0].cls, RequestClass::Interactive);
+  EXPECT_EQ(trace.records[0].model, "hot");
+  ASSERT_EQ(trace.records[0].features.size(), 2u);
+}
+
+TEST_F(FleetTest, WorkStealingConservesEveryRequestExactlyOnce) {
+  SchedulerConfig config;
+  config.shards = 4;
+  config.work_stealing = true;
+  config.queue_depth = 4096;
+  config.max_wait_us = 50;
+  InferenceServer server(registry_, config,
+                         InferenceServer::Dispatch::Background);
+
+  // Route every request to shard 0: its siblings can only contribute by
+  // stealing from shard 0's ring.
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t candidate = 1; ids.size() < 2000; ++candidate) {
+    if (server.route(candidate) == 0) ids.push_back(candidate);
+  }
+
+  std::vector<ResponseTicket> tickets;
+  tickets.reserve(ids.size());
+  const auto features = request_features(9);
+  for (const std::uint64_t id : ids) {
+    // Throttle below the admission limit so every request is served
+    // (conservation of *served* work is the property under test).
+    while (server.shard_occupancy(id) > server.shard_capacity() / 2) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    tickets.push_back(server.submit_with_id(id, "hot", features));
+  }
+  std::vector<std::uint64_t> seen;
+  seen.reserve(tickets.size());
+  for (auto& ticket : tickets) {
+    Response response = ticket.get();
+    EXPECT_EQ(response.status, RequestStatus::Ok) << response.id;
+    seen.push_back(response.id);
+  }
+  server.stop();
+
+  // Exactly once: every submitted id came back, none twice.
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::unique(seen.begin(), seen.end()) == seen.end());
+  std::vector<std::uint64_t> expected = ids;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(seen, expected);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, ids.size());
+  EXPECT_EQ(stats.completed, ids.size());
+  EXPECT_EQ(stats.rejected + stats.shed + stats.deadline_exceeded +
+                stats.failed,
+            0u);
+  // The whole point of the setup: siblings really stole from shard 0.
+  EXPECT_GT(stats.steals, 0u);
+
+  // Metrics fingerprint of conservation: submissions equal the sum of
+  // terminal buckets, and stolen work shows up on thief shards.
+  const metrics::Snapshot snap = metrics::snapshot();
+  EXPECT_EQ(counter_value(snap, "serve.requests"), ids.size());
+  EXPECT_EQ(counter_value(snap, "serve.completed"), ids.size());
+  EXPECT_EQ(counter_value(snap, "serve.steals"), stats.steals);
+  std::uint64_t thief_steals = 0;
+  for (int s = 1; s < 4; ++s) {
+    thief_steals += counter_value(
+        snap, "serve.shard." + std::to_string(s) + ".steals");
+  }
+  EXPECT_EQ(thief_steals, stats.steals);
+  EXPECT_EQ(counter_value(snap, "serve.shard.0.steals"), 0u);
+}
+
+TEST_F(FleetTest, BatchClassShedsStrictlyBeforeInteractiveRejects) {
+  SchedulerConfig config;
+  config.queue_depth = 32;
+  config.batch_shed_fraction = 0.5;
+  InferenceServer server(registry_, config, InferenceServer::Dispatch::Inline);
+  ASSERT_EQ(server.shard_capacity(), 32u);
+
+  // Alternate classes without draining. Batch admission must cut off at
+  // half capacity while Interactive keeps landing until the ring is
+  // truly full — so the first shed strictly precedes the first reject.
+  const auto features = request_features(3);
+  std::vector<ResponseTicket> tickets;
+  int first_shed = -1, first_reject = -1;
+  int shed = 0, rejected = 0;
+  for (int i = 0; i < 96; ++i) {
+    const RequestClass cls =
+        i % 2 == 0 ? RequestClass::Batch : RequestClass::Interactive;
+    tickets.push_back(server.submit("cold", features, 0, cls));
+    ResponseTicket& ticket = tickets.back();
+    if (ticket.ready()) {
+      const Response response = tickets.back().get();
+      tickets.pop_back();
+      if (response.status == RequestStatus::Shed) {
+        EXPECT_EQ(cls, RequestClass::Batch) << "only batch class sheds";
+        if (first_shed < 0) first_shed = i;
+        ++shed;
+      } else if (response.status == RequestStatus::Rejected) {
+        EXPECT_EQ(cls, RequestClass::Interactive);
+        if (first_reject < 0) first_reject = i;
+        ++rejected;
+      }
+    }
+  }
+  ASSERT_GT(shed, 0);
+  ASSERT_GT(rejected, 0);
+  EXPECT_LT(first_shed, first_reject);
+
+  server.drain();
+  int completed = 0;
+  for (auto& ticket : tickets) {
+    EXPECT_EQ(ticket.get().status, RequestStatus::Ok);
+    ++completed;
+  }
+  EXPECT_EQ(completed + shed + rejected, 96);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, 96u);
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(completed));
+  EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(shed));
+  EXPECT_EQ(stats.rejected, static_cast<std::uint64_t>(rejected));
+  const metrics::Snapshot snap = metrics::snapshot();
+  EXPECT_EQ(counter_value(snap, "serve.shed.batch"), stats.shed);
+  EXPECT_EQ(counter_value(snap, "serve.shed.interactive"), 0u);
+}
+
+TEST_F(FleetTest, WfqInterleavesTenantsAndBoundsStarvation) {
+  // 96 requests for the weight-3 hot model land before 96 for the
+  // weight-1 cold model; SFQ tags must interleave their batches 3:1
+  // instead of letting the hot backlog run first.
+  SchedulerConfig config;
+  config.max_batch = 8;
+  config.queue_depth = 256;
+  config.record_batch_log = true;
+  InferenceServer server(registry_, config, InferenceServer::Dispatch::Inline);
+
+  std::vector<ResponseTicket> tickets;
+  const auto features = request_features(4);
+  for (int i = 0; i < 96; ++i) tickets.push_back(server.submit("hot", features));
+  for (int i = 0; i < 96; ++i) {
+    tickets.push_back(server.submit("cold", features));
+  }
+  server.drain();
+  for (auto& ticket : tickets) {
+    EXPECT_EQ(ticket.get().status, RequestStatus::Ok);
+  }
+
+  const auto log = server.batch_log();
+  ASSERT_EQ(log.size(), 24u);  // 192 requests in full batches of 8
+  // Starvation bound: the cold tenant's first batch dispatches second,
+  // right after one hot batch, despite the 96-deep hot backlog.
+  EXPECT_EQ(log[0].model, "hot@1");
+  EXPECT_EQ(log[1].model, "cold@1");
+  // Weighted shares: over the first 12 batches the 3:1 weights yield
+  // exactly 9 hot and 3 cold batches (inline dispatch is deterministic).
+  int hot_batches = 0;
+  for (int i = 0; i < 12; ++i) {
+    hot_batches += log[static_cast<std::size_t>(i)].model == "hot@1" ? 1 : 0;
+  }
+  EXPECT_EQ(hot_batches, 9);
+}
+
+TEST_F(FleetTest, StrictClassPriorityDispatchesInteractiveFirst) {
+  SchedulerConfig config;
+  config.max_batch = 8;
+  config.queue_depth = 256;
+  config.record_batch_log = true;
+  InferenceServer server(registry_, config, InferenceServer::Dispatch::Inline);
+
+  const auto features = request_features(5);
+  std::vector<ResponseTicket> tickets;
+  for (int i = 0; i < 32; ++i) {
+    tickets.push_back(
+        server.submit("cold", features, 0, RequestClass::Batch));
+  }
+  for (int i = 0; i < 16; ++i) {
+    tickets.push_back(
+        server.submit("cold", features, 0, RequestClass::Interactive));
+  }
+  server.drain();
+  for (auto& ticket : tickets) {
+    EXPECT_EQ(ticket.get().status, RequestStatus::Ok);
+  }
+
+  const auto log = server.batch_log();
+  ASSERT_EQ(log.size(), 6u);
+  // Interactive batches run first even though batch-class work queued
+  // 32-deep ahead of them.
+  EXPECT_EQ(log[0].cls, RequestClass::Interactive);
+  EXPECT_EQ(log[1].cls, RequestClass::Interactive);
+  for (std::size_t i = 2; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].cls, RequestClass::Batch) << i;
+  }
+}
+
+TEST_F(FleetTest, SixteenProducerHammerConservesUnderOverload) {
+  SchedulerConfig config;
+  config.shards = 4;
+  if (const char* env = std::getenv("QNAT_FLEET_SHARDS")) {
+    config.shards = std::max(1, std::atoi(env));
+  }
+  config.queue_depth = 128;  // small rings: force sheds and rejects
+  config.max_wait_us = 20;
+  config.batch_shed_fraction = 0.5;
+  InferenceServer server(registry_, config,
+                         InferenceServer::Dispatch::Background);
+
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 250;
+  std::array<std::array<std::uint64_t, 6>, kThreads> local_counts{};
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      auto& counts = local_counts[static_cast<std::size_t>(t)];
+      const auto features = request_features(100 + static_cast<std::uint64_t>(t));
+      // Bursts of in-flight tickets keep the rings saturated, so the
+      // shed and reject paths run concurrently with completions.
+      constexpr int kBurst = 25;
+      for (int burst = 0; burst < kPerThread / kBurst; ++burst) {
+        std::vector<ResponseTicket> inflight;
+        inflight.reserve(kBurst);
+        for (int i = 0; i < kBurst; ++i) {
+          const RequestClass cls = (t + i) % 2 == 0 ? RequestClass::Interactive
+                                                    : RequestClass::Batch;
+          const char* model = (t + i) % 3 == 0 ? "cold" : "hot";
+          inflight.push_back(server.submit(model, features, 0, cls));
+        }
+        for (auto& ticket : inflight) {
+          ++counts[static_cast<std::size_t>(ticket.get().status)];
+        }
+      }
+    });
+  }
+  for (auto& thread : producers) thread.join();
+  server.stop();
+
+  std::array<std::uint64_t, 6> totals{};
+  for (const auto& counts : local_counts) {
+    for (std::size_t s = 0; s < counts.size(); ++s) totals[s] += counts[s];
+  }
+  const std::uint64_t submitted = kThreads * kPerThread;
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, submitted);
+  // Conservation, twice over: the clients' view (every ticket resolved,
+  // buckets summing to the total)...
+  std::uint64_t client_total = 0;
+  for (const std::uint64_t count : totals) client_total += count;
+  EXPECT_EQ(client_total, submitted);
+  // ...and the server's (stats and metrics agree with the clients
+  // bucket by bucket — nothing lost, nothing double-counted).
+  EXPECT_EQ(stats.completed,
+            totals[static_cast<std::size_t>(RequestStatus::Ok)]);
+  EXPECT_EQ(stats.rejected,
+            totals[static_cast<std::size_t>(RequestStatus::Rejected)]);
+  EXPECT_EQ(stats.shed, totals[static_cast<std::size_t>(RequestStatus::Shed)]);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.completed + stats.rejected + stats.shed, submitted);
+
+  const metrics::Snapshot snap = metrics::snapshot();
+  EXPECT_EQ(counter_value(snap, "serve.requests"), submitted);
+  EXPECT_EQ(counter_value(snap, "serve.completed"), stats.completed);
+  EXPECT_EQ(counter_value(snap, "serve.completed.interactive") +
+                counter_value(snap, "serve.completed.batch"),
+            stats.completed);
+  EXPECT_EQ(counter_value(snap, "serve.shed.batch"), stats.shed);
+  EXPECT_EQ(counter_value(snap, "serve.shed.interactive"), 0u);
+  std::uint64_t shard_batches = 0;
+  for (int s = 0; s < config.shards; ++s) {
+    shard_batches += counter_value(
+        snap, "serve.shard." + std::to_string(s) + ".batches");
+  }
+  EXPECT_EQ(shard_batches, stats.batches);
+}
+
+}  // namespace
+}  // namespace qnat::serve

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -108,6 +110,181 @@ TEST(BoundedMpscQueue, MultiProducerHammerDeliversEveryItemOnce) {
   std::uint64_t leftover;
   EXPECT_FALSE(q.try_pop(leftover));
   for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next[p], kPerProducer);
+}
+
+TEST(BoundedMpscQueue, CapacityOneEdgeCaseRecyclesThroughManyWraps) {
+  // The smallest constructible ring (capacity 1 rounds up to 2) is the
+  // degenerate shard configuration: queue_depth/shards can reach 1 in a
+  // wide fleet. Fill, reject, drain — repeated far past the 2-slot
+  // sequence space so every slot's sequence counter wraps many times.
+  BoundedMpscQueue<int> q(1);
+  ASSERT_EQ(q.capacity(), 2u);
+  for (int cycle = 0; cycle < 10000; ++cycle) {
+    int a = 2 * cycle;
+    int b = 2 * cycle + 1;
+    ASSERT_TRUE(q.try_push(a));
+    ASSERT_TRUE(q.try_push(b));
+    int overflow = -1;
+    ASSERT_FALSE(q.try_push(overflow)) << "cycle " << cycle;
+    EXPECT_EQ(overflow, -1);  // rejected value untouched
+    ASSERT_EQ(q.size(), 2u);
+    int out = -1;
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, 2 * cycle);
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, 2 * cycle + 1);
+    ASSERT_FALSE(q.try_pop(out));
+    ASSERT_EQ(q.size(), 0u);
+  }
+}
+
+TEST(BoundedMpscQueue, WrapAroundManyTimesPreservesFifo) {
+  // Keep a 4-slot ring partially full while pushing thousands of items
+  // through it, so head and tail wrap the buffer constantly and at every
+  // phase offset. FIFO must hold across each wrap boundary.
+  BoundedMpscQueue<int> q(4);
+  int pushed = 0;
+  int popped = 0;
+  constexpr int kTotal = 10000;
+  while (popped < kTotal) {
+    // Vary the burst size so the ring cycles through every occupancy.
+    const int burst = 1 + (pushed % static_cast<int>(q.capacity()));
+    for (int i = 0; i < burst && pushed < kTotal; ++i) {
+      int v = pushed;
+      if (!q.try_push(v)) break;
+      ++pushed;
+    }
+    int out = -1;
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, popped);
+    ++popped;
+  }
+  int leftover;
+  EXPECT_FALSE(q.try_pop(leftover));
+  EXPECT_EQ(pushed, kTotal);
+}
+
+TEST(BoundedMpscQueue, ConcurrentProducersAgainstFullRingLoseNothing) {
+  // Producers slam a tiny ring that spends most of its life full, and do
+  // NOT retry: each attempt either succeeds or is rejected, and the
+  // producer records which. The consumer drains slowly. At the end the
+  // popped multiset must equal exactly the successfully-pushed multiset —
+  // a rejected push may not leak a value in, a successful one may not be
+  // dropped — and per-producer FIFO must survive the contention.
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kAttempts = 4000;
+  BoundedMpscQueue<std::uint64_t> q(8);
+
+  std::vector<std::vector<std::uint64_t>> accepted(kProducers);
+  std::atomic<int> running{kProducers};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &accepted, &running, p] {
+      for (std::uint64_t i = 0; i < kAttempts; ++i) {
+        std::uint64_t v = (static_cast<std::uint64_t>(p) << 32) | i;
+        // The first item retries until it lands so every producer is
+        // represented; everything after is strictly push-or-drop.
+        bool ok = q.try_push(v);
+        while (!ok && i == 0) {
+          std::this_thread::yield();
+          v = static_cast<std::uint64_t>(p) << 32;
+          ok = q.try_push(v);
+        }
+        if (ok) {
+          accepted[static_cast<std::size_t>(p)].push_back(i);
+        } else {
+          std::this_thread::yield();  // let the consumer breathe
+        }
+      }
+      running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  std::vector<std::vector<std::uint64_t>> received(kProducers);
+  for (;;) {
+    std::uint64_t v;
+    if (q.try_pop(v)) {
+      const auto producer = static_cast<std::size_t>(v >> 32);
+      ASSERT_LT(producer, static_cast<std::size_t>(kProducers));
+      received[producer].push_back(v & 0xffffffffull);
+      continue;
+    }
+    if (running.load(std::memory_order_acquire) == 0) {
+      // Producers are done; one more pop sweep below catches stragglers.
+      if (!q.try_pop(v)) break;
+      received[static_cast<std::size_t>(v >> 32)].push_back(v & 0xffffffffull);
+    }
+    std::this_thread::yield();
+  }
+  for (auto& t : producers) t.join();
+
+  std::size_t total = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    const auto idx = static_cast<std::size_t>(p);
+    EXPECT_EQ(received[idx], accepted[idx])
+        << "producer " << p << " lost, duplicated, or reordered items";
+    EXPECT_GT(accepted[idx].size(), 0u);
+    total += accepted[idx].size();
+  }
+  EXPECT_LT(total, static_cast<std::size_t>(kProducers) * kAttempts)
+      << "ring never filled — the test exercised no rejection path";
+}
+
+TEST(BoundedMpscQueue, TwoConsumersDrainExactlyOnce) {
+  // Work stealing pops from a sibling shard's ring while the owner may be
+  // popping too, so the ring must be MPMC-safe on the consumer side:
+  // concurrent try_pop calls must hand out every item exactly once.
+  constexpr int kProducers = 3;
+  constexpr std::uint64_t kPerProducer = 4000;
+  constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+  BoundedMpscQueue<std::uint64_t> q(32);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        std::uint64_t v = (static_cast<std::uint64_t>(p) << 32) | i;
+        while (!q.try_push(v)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::atomic<std::uint64_t> drained{0};
+  std::mutex mu;
+  std::vector<std::uint64_t> seen;
+  auto consume = [&] {
+    std::vector<std::uint64_t> local;
+    while (drained.load(std::memory_order_acquire) < kTotal) {
+      std::uint64_t v;
+      if (q.try_pop(v)) {
+        local.push_back(v);
+        drained.fetch_add(1, std::memory_order_acq_rel);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(seen.end(), local.begin(), local.end());
+  };
+  std::thread owner(consume);
+  std::thread thief(consume);
+  for (auto& t : producers) t.join();
+  owner.join();
+  thief.join();
+
+  std::uint64_t leftover;
+  EXPECT_FALSE(q.try_pop(leftover));
+  ASSERT_EQ(seen.size(), kTotal);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+      << "an item was delivered to both consumers";
+  for (int p = 0; p < kProducers; ++p) {
+    for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+      const std::uint64_t v = (static_cast<std::uint64_t>(p) << 32) | i;
+      ASSERT_TRUE(std::binary_search(seen.begin(), seen.end(), v))
+          << "item " << v << " was lost";
+    }
+  }
 }
 
 }  // namespace

@@ -130,10 +130,14 @@ TEST(ServableModel, PinsOneCompiledProgramPerBlock) {
 TEST(ServableModel, WeightBindingMatchesUnboundOutputs) {
   ModelRegistry registry;
   const Tensor2D profile = random_inputs(8, 16, 11);
-  ServingOptions unbound_opts;
+  // Pin f64: the 1e-9 equivalence below probes the binding fold itself,
+  // which only holds at full precision (f32 rounds the reordered ops).
+  ServingOptions bound_opts;
+  bound_opts.dtype = DType::F64;
+  ServingOptions unbound_opts = bound_opts;
   unbound_opts.bind_weights = false;
   const auto bound =
-      registry.add("bound", seeded_model(5), {}, &profile);  // default: on
+      registry.add("bound", seeded_model(5), bound_opts, &profile);
   const auto unbound =
       registry.add("unbound", seeded_model(5), unbound_opts, &profile);
 
@@ -169,6 +173,7 @@ TEST(ServableModel, WeightBindingMatchesUnboundUnderNoisePreset) {
   const Tensor2D profile = random_inputs(8, 16, 11);
   ServingOptions bound_opts;
   bound_opts.noise_preset = "santiago";
+  bound_opts.dtype = DType::F64;  // 1e-9 equivalence needs full precision
   ServingOptions unbound_opts = bound_opts;
   unbound_opts.bind_weights = false;
   const auto bound = registry.add("b", seeded_model(6), bound_opts, &profile);
@@ -184,6 +189,43 @@ TEST(ServableModel, WeightBindingMatchesUnboundUnderNoisePreset) {
       EXPECT_NEAR(a(r, c), b(r, c), 1e-9) << "row " << r << " col " << c;
     }
   }
+}
+
+// The serving default flipped to f32 once the accuracy gate covered the
+// full task x device grid; full-precision serving must stay one
+// explicit option away.
+TEST(ServableModel, DefaultPrecisionIsF32AndF64StaysReachable) {
+  ASSERT_EQ(ServingOptions{}.dtype, DType::F32);
+
+  ModelRegistry registry;
+  const Tensor2D profile = random_inputs(8, 16, 11);
+  ServingOptions f64_opts;
+  f64_opts.dtype = DType::F64;
+  const auto by_default = registry.add("deflt", seeded_model(7), {}, &profile);
+  const auto full =
+      registry.add("full", seeded_model(7), f64_opts, &profile);
+
+  EXPECT_EQ(by_default->options().dtype, DType::F32);
+  EXPECT_EQ(by_default->block_program(0)->dtype(), DType::F32);
+  EXPECT_EQ(full->options().dtype, DType::F64);
+  EXPECT_EQ(full->block_program(0)->dtype(), DType::F64);
+
+  const Tensor2D inputs = random_inputs(4, 16, 13);
+  const Tensor2D a = by_default->run_batch(inputs, iota_ids(1, 4));
+  const Tensor2D b = full->run_batch(inputs, iota_ids(1, 4));
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  double max_delta = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      max_delta = std::max(max_delta, std::abs(a(r, c) - b(r, c)));
+    }
+  }
+  // The default path really runs reduced precision (outputs diverge
+  // from f64) but stays inside the f32 error envelope the accuracy
+  // gate budgets for.
+  EXPECT_GT(max_delta, 0.0);
+  EXPECT_LT(max_delta, 1e-3);
 }
 
 TEST(ServableModel, LoadFileRoundTripsThroughCheckpoints) {
