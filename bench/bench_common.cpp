@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "common/metrics.hpp"
+#include "core/parallel_trainer.hpp"
 #include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "qsim/backend/backend.hpp"
@@ -23,6 +24,8 @@ int env_int(const char* name, int fallback) {
 
 metrics::ObservabilityOptions g_observability;
 std::string g_run_label;
+int g_train_workers = -1;   // -1 = not yet resolved
+bool g_train_workers_requested = false;
 
 void write_observability_at_exit() {
   metrics::write_observability(g_observability, current_manifest(g_run_label));
@@ -65,10 +68,26 @@ int configure_threads(int argc, char** argv) {
   return num_threads();
 }
 
+int train_workers() {
+  if (g_train_workers < 0) {
+    g_train_workers_requested = std::getenv("QNAT_TRAIN_WORKERS") != nullptr;
+    g_train_workers = env_int("QNAT_TRAIN_WORKERS", 0);
+  }
+  return g_train_workers;
+}
+
+bool train_workers_requested() {
+  train_workers();  // resolve from the environment if not yet parsed
+  return g_train_workers_requested;
+}
+
 const std::vector<Knob>& shared_knobs() {
   static const std::vector<Knob> knobs = {
       {"--threads", "N", "QNAT_THREADS",
        "worker-pool width (results are bit-identical at any count)"},
+      {"--train-workers", "N", "QNAT_TRAIN_WORKERS",
+       "data-parallel training workers (0 = inherit --threads pool; "
+       "trained weights are byte-identical at any count)"},
       {"--backend", "NAME", "QNAT_BACKEND",
        "execution backend (see backend::available_backends; e.g. scalar, "
        "avx2)"},
@@ -116,6 +135,15 @@ int configure_run(const std::string& label, int argc, char** argv,
     }
   }
   const int threads = configure_threads(argc, argv);
+  g_train_workers_requested = std::getenv("QNAT_TRAIN_WORKERS") != nullptr;
+  g_train_workers = env_int("QNAT_TRAIN_WORKERS", 0);
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--train-workers") == 0) {
+      g_train_workers = std::atoi(argv[i + 1]);
+      g_train_workers_requested = true;
+    }
+  }
+  if (g_train_workers < 0) g_train_workers = 0;
   // Backend selection. --simd on|off is the deprecated alias (kept for
   // scripts): it resolves through the same registry, then --backend NAME
   // overrides it. An unknown or unavailable name is a configuration
@@ -192,6 +220,7 @@ TrainerConfig make_trainer_config(const BenchConfig& config, Method method,
   trainer.quantize = method == Method::PostQuant;
   trainer.quant.levels = config.quant_levels;
   trainer.quant_loss_weight = 1.0;
+  trainer.workers = train_workers();
   if (method == Method::GateInsert || method == Method::PostQuant) {
     trainer.injection.method = InjectionMethod::GateInsertion;
     trainer.injection.noise_factor = config.noise_factor;
@@ -210,7 +239,16 @@ MethodResult run_method(const BenchConfig& config, Method method,
   const TrainerConfig trainer = make_trainer_config(config, method, scale);
   const bool needs_device =
       trainer.injection.method == InjectionMethod::GateInsertion;
-  train_qnn(model, task.train, trainer, needs_device ? &deployment : nullptr);
+  // --train-workers (or QNAT_TRAIN_WORKERS) opts the run into the
+  // data-parallel engine; otherwise the legacy single loop keeps the
+  // published accuracy tables bit-stable.
+  if (train_workers_requested()) {
+    train_qnn_parallel(model, task.train, trainer,
+                       needs_device ? &deployment : nullptr);
+  } else {
+    train_qnn(model, task.train, trainer,
+              needs_device ? &deployment : nullptr);
+  }
 
   const QnnForwardOptions pipeline = pipeline_options(trainer);
   NoisyEvalOptions eval_options;

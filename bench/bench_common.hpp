@@ -45,6 +45,19 @@ RunScale scale_from_env();
 /// bit-identical at any thread count; only wall-clock changes.
 int configure_threads(int argc, char** argv);
 
+/// Worker count for the data-parallel training engine — `--train-workers
+/// N` on the command line, else QNAT_TRAIN_WORKERS, else 0 (inherit the
+/// `--threads` pool). Parsed by configure_run; forwarded into
+/// TrainerConfig::workers by make_trainer_config. Training results are
+/// byte-identical at any worker count; only wall-clock changes.
+int train_workers();
+
+/// Whether the user asked for the data-parallel engine at all (the flag
+/// or environment variable was present, even with value 0). run_method
+/// stays on the legacy single loop otherwise so published accuracy
+/// tables remain bit-stable.
+bool train_workers_requested();
+
 /// One shared command-line knob as printed by `--help`. This list is
 /// the single source of truth for flag documentation: the README's
 /// "Shared bench knobs" table is a rendering of exactly these rows, and

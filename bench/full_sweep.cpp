@@ -1,0 +1,351 @@
+// Full-paper sweep driver for the data-parallel training engine.
+//
+// Two phases, one consolidated report (BENCH_train.json, schema
+// qnat.train_bench.v1):
+//
+//   1. Throughput: the deep-circuit MNIST-4 architecture (2 blocks x 6
+//      U3+CU3 layers — the mnist4_noise_aware example model) trained
+//      under GateInsertion noise, once with the legacy single-loop
+//      trainer (train_qnn, the pre-engine baseline: per-sample adjoint
+//      without fused constant runs or prepared insertion plans) and
+//      then with the data-parallel engine (train_qnn_parallel,
+//      micro-batch 2 -> 8 units per step) at 1/2/4/8 workers.
+//      samples/sec = epochs x train-set size / wall seconds. The
+//      engine's determinism contract is asserted inline: an FNV-1a
+//      fingerprint over the trained weight bytes must be identical at
+//      every worker count (the legacy run is numerically different by
+//      design — fused reassociation — and is reported, not asserted).
+//   2. Accuracy sweep: all eight paper tasks x six device presets
+//      trained noise-aware with the parallel engine (standard 2x2
+//      architecture), recording final noise-free train accuracy per
+//      cell. This is the "does the engine actually train" battery —
+//      every cell of the paper's task/device grid goes through the
+//      data-parallel path.
+//
+// Scale via the usual env knobs (QNAT_SAMPLES, QNAT_EPOCHS,
+// QNAT_SAMPLES_10WAY, QNAT_EPOCHS_10WAY, QNAT_SEED); the committed
+// BENCH_train.json is generated at reduced scale so the sweep stays in
+// CI budget. `--out FILE` overrides the report path.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "core/parallel_trainer.hpp"
+
+using namespace qnat;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// FNV-1a over the raw weight bytes: byte-identity, not closeness.
+std::uint64_t weight_fingerprint(const ParamVector& weights) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const real w : weights) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(real) == sizeof(bits));
+    std::memcpy(&bits, &w, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (bits >> (8 * b)) & 0xffu;
+      hash *= 1099511628211ull;
+    }
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// The deep-circuit throughput model: mnist4 at 2 blocks x 6 layers,
+/// the same architecture the mnist4_noise_aware example deploys.
+QnnArchitecture deep_arch(const TaskInfo& info) {
+  QnnArchitecture arch;
+  arch.num_qubits = info.num_qubits;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 6;
+  arch.input_features = info.feature_dim;
+  arch.num_classes = info.num_classes;
+  return arch;
+}
+
+TrainerConfig throughput_config(const bench::RunScale& scale) {
+  TrainerConfig config;
+  config.epochs = scale.epochs;
+  config.batch_size = scale.batch_size;
+  config.seed = scale.seed;
+  config.normalize = true;
+  config.injection.method = InjectionMethod::GateInsertion;
+  config.injection.noise_factor = 0.1;
+  config.injection.readout = true;
+  return config;
+}
+
+struct TimedRun {
+  double seconds = 0.0;
+  double samples_per_sec = 0.0;
+  std::uint64_t fingerprint = 0;
+  real final_loss = 0.0;
+};
+
+/// Best of `reps` identical runs: external interference only ever slows
+/// a run down, so min-seconds is the robust estimator (same methodology
+/// as bench_serve_load). Every rep must produce the same weight bytes —
+/// training is deterministic — which the loop also asserts.
+TimedRun timed_train(const TaskBundle& task, const NoiseModel& noise,
+                     const TrainerConfig& config, bool parallel, int reps) {
+  TimedRun best;
+  for (int rep = 0; rep < reps; ++rep) {
+    QnnModel model(deep_arch(task.info));
+    const Deployment deployment(model, noise, 2);
+    const double start = now_seconds();
+    const TrainResult result =
+        parallel ? train_qnn_parallel(model, task.train, config, &deployment)
+                 : train_qnn(model, task.train, config, &deployment);
+    const double seconds = now_seconds() - start;
+    const std::uint64_t fingerprint = weight_fingerprint(model.weights());
+    if (rep > 0 && fingerprint != best.fingerprint) {
+      std::fprintf(stderr, "FAIL: rep %d produced different weights\n", rep);
+      std::exit(1);
+    }
+    if (rep == 0 || seconds < best.seconds) {
+      best.seconds = seconds;
+      best.samples_per_sec = static_cast<double>(config.epochs) *
+                             static_cast<double>(task.train.size()) / seconds;
+    }
+    best.fingerprint = fingerprint;
+    best.final_loss = result.epoch_loss.back();
+  }
+  return best;
+}
+
+struct SweepCell {
+  std::string task;
+  std::string device;
+  real final_loss = 0.0;
+  real train_accuracy = 0.0;
+  double seconds = 0.0;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<bench::Knob> extra = {
+      {"--out", "FILE", "", "report path (default BENCH_train.json)"},
+      {"--micro", "N", "QNAT_TRAIN_MICRO",
+       "micro-batch size for the throughput phase (default 2: 8 units "
+       "per 16-sample step)"},
+      {"--reps", "N", "QNAT_TRAIN_REPS",
+       "throughput reps per configuration, best-of (default 3)"},
+  };
+  const int threads =
+      bench::configure_run("bench_full_sweep", argc, argv, extra);
+  std::string out_path = "BENCH_train.json";
+  std::size_t micro = 2;
+  int reps = 3;
+  if (const char* env = std::getenv("QNAT_TRAIN_MICRO")) {
+    micro = static_cast<std::size_t>(std::atoi(env));
+  }
+  if (const char* env = std::getenv("QNAT_TRAIN_REPS")) {
+    reps = std::atoi(env);
+  }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--micro") == 0) {
+      micro = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
+  }
+  if (reps < 1) reps = 1;
+  const bench::RunScale scale = bench::scale_from_env();
+  bench::print_header(
+      "Full-paper training sweep: data-parallel engine vs single loop",
+      "parallel engine >= 2.5x single-loop samples/sec on the deep "
+      "circuit; weights byte-identical at every worker count");
+
+  // ---- Phase 1: throughput on the deep circuit ----
+  const TaskBundle deep_task = make_task("mnist4", scale.samples_per_class,
+                                         scale.seed);
+  const NoiseModel deep_noise = make_device_noise_model("belem");
+  TrainerConfig config = throughput_config(scale);
+
+  std::printf("deep circuit: mnist4 2x6, %zu train samples, %d epochs, "
+              "batch %zu\n",
+              deep_task.train.size(), config.epochs, config.batch_size);
+
+  // Legacy single-loop baseline: per-sample adjoint, re-inserted error
+  // gates every step, no fused constant runs.
+  const TimedRun legacy =
+      timed_train(deep_task, deep_noise, config, /*parallel=*/false, reps);
+  std::printf("  single-loop      %7.1f samples/s  (%.2fs, loss %.4f)\n",
+              legacy.samples_per_sec, legacy.seconds, legacy.final_loss);
+
+  // Data-parallel engine at increasing worker counts. The default
+  // micro-batch 2 gives 8 units per 16-sample step — enough slots for
+  // 8 workers.
+  config.micro_batch_size = micro;
+  struct WorkerPoint {
+    int workers;
+    TimedRun run;
+  };
+  std::vector<WorkerPoint> points;
+  for (const int workers : {1, 2, 4, 8}) {
+    TrainerConfig parallel_config = config;
+    parallel_config.workers = workers;
+    points.push_back(
+        {workers, timed_train(deep_task, deep_noise, parallel_config,
+                              /*parallel=*/true, reps)});
+    const TimedRun& run = points.back().run;
+    std::printf("  parallel x%d      %7.1f samples/s  (%.2fs, %.2fx, "
+                "weights %s)\n",
+                workers, run.samples_per_sec, run.seconds,
+                run.samples_per_sec / legacy.samples_per_sec,
+                hex64(run.fingerprint).c_str());
+  }
+  set_num_threads(0);  // restore the auto-sized pool for phase 2
+
+  // Determinism contract: identical weights at every worker count.
+  bool weights_identical = true;
+  for (const WorkerPoint& point : points) {
+    if (point.run.fingerprint != points.front().run.fingerprint) {
+      weights_identical = false;
+      std::fprintf(stderr,
+                   "FAIL: weights at %d workers diverge from 1 worker\n",
+                   point.workers);
+    }
+  }
+  const TimedRun& best = points.back().run;
+  const double speedup = best.samples_per_sec / legacy.samples_per_sec;
+  std::printf("throughput: %.2fx vs single loop at %d workers, weights %s\n",
+              speedup, points.back().workers,
+              weights_identical ? "byte-identical" : "DIVERGED");
+
+  // ---- Phase 2: 8 tasks x 6 devices through the parallel engine ----
+  const std::vector<std::string> tasks = {
+      "mnist2",  "mnist4",  "mnist10", "fashion2",
+      "fashion4", "fashion10", "cifar2", "vowel4"};
+  const std::vector<std::string> devices = {
+      "santiago", "athens", "lima", "quito", "belem", "yorktown"};
+
+  std::vector<SweepCell> cells;
+  std::printf("\naccuracy sweep (%zu tasks x %zu devices):\n", tasks.size(),
+              devices.size());
+  for (const std::string& task_name : tasks) {
+    const TaskBundle task = bench::load_task(task_name, scale);
+    bench::BenchConfig bench_config;
+    bench_config.task = task_name;
+    for (const std::string& device : devices) {
+      bench_config.device = device;
+      TrainerConfig cell_config = bench::make_trainer_config(
+          bench_config, bench::Method::PostQuant, scale);
+      QnnModel model(bench::make_arch(task.info, bench_config));
+      // The 10-qubit tasks overflow the 5-qubit presets; the overload
+      // tiles the preset's calibration onto a device of the model width.
+      const Deployment deployment(
+          model, make_device_noise_model(device, task.info.num_qubits), 2);
+      const double start = now_seconds();
+      const TrainResult result =
+          train_qnn_parallel(model, task.train, cell_config, &deployment);
+      SweepCell cell;
+      cell.task = task_name;
+      cell.device = device;
+      cell.final_loss = result.epoch_loss.back();
+      cell.train_accuracy = result.final_train_accuracy;
+      cell.seconds = now_seconds() - start;
+      cells.push_back(cell);
+      std::printf("  %-10s %-9s acc %.3f  loss %.4f  (%.2fs)\n",
+                  task_name.c_str(), device.c_str(), cell.train_accuracy,
+                  cell.final_loss, cell.seconds);
+    }
+  }
+
+  // ---- Report ----
+  const metrics::RunManifest manifest =
+      bench::current_manifest("bench_full_sweep");
+  std::ostringstream json;
+  json.precision(6);
+  json << std::fixed;
+  json << "{\n";
+  json << "  \"schema\": \"qnat.train_bench.v1\",\n";
+  json << "  \"manifest\": {\"label\": \"" << json_escape(manifest.label)
+       << "\", \"seed\": " << manifest.seed
+       << ", \"threads\": " << manifest.threads << ", \"simd\": "
+       << (manifest.simd ? "true" : "false") << ", \"backend\": \""
+       << json_escape(manifest.backend.empty() ? "scalar" : manifest.backend)
+       << "\", \"git\": \""
+       << json_escape(manifest.git.empty() ? metrics::build_version()
+                                           : manifest.git)
+       << "\"},\n";
+  json << "  \"config\": {\"samples_per_class\": " << scale.samples_per_class
+       << ", \"samples_per_class_10way\": " << scale.samples_per_class_10way
+       << ", \"epochs\": " << scale.epochs
+       << ", \"epochs_10way\": " << scale.epochs_10way
+       << ", \"batch_size\": " << scale.batch_size
+       << ", \"micro_batch_size\": " << config.micro_batch_size
+       << ", \"reps\": " << reps
+       << ", \"deep_arch\": \"mnist4 2x6\""
+       << ", \"train_samples\": " << deep_task.train.size() << "},\n";
+  json << "  \"throughput\": {\n";
+  json << "    \"single_loop\": {\"samples_per_sec\": "
+       << legacy.samples_per_sec << ", \"seconds\": " << legacy.seconds
+       << ", \"final_loss\": " << legacy.final_loss << "},\n";
+  json << "    \"parallel\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const WorkerPoint& point = points[i];
+    json << "      {\"workers\": " << point.workers
+         << ", \"samples_per_sec\": " << point.run.samples_per_sec
+         << ", \"seconds\": " << point.run.seconds
+         << ", \"speedup_vs_single_loop\": "
+         << point.run.samples_per_sec / legacy.samples_per_sec
+         << ", \"weight_fingerprint\": \"" << hex64(point.run.fingerprint)
+         << "\"}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n";
+  json << "    \"weights_identical_across_workers\": "
+       << (weights_identical ? "true" : "false") << ",\n";
+  json << "    \"best_speedup_vs_single_loop\": " << speedup << "\n";
+  json << "  },\n";
+  json << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SweepCell& cell = cells[i];
+    json << "    {\"task\": \"" << json_escape(cell.task)
+         << "\", \"device\": \"" << json_escape(cell.device)
+         << "\", \"final_train_accuracy\": " << cell.train_accuracy
+         << ", \"final_loss\": " << cell.final_loss
+         << ", \"seconds\": " << cell.seconds << "}"
+         << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n";
+  json << "}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  std::cout << "\nwrote " << out_path << " (threads=" << threads << ")\n";
+  return weights_identical ? 0 : 1;
+}

@@ -2,6 +2,11 @@
 // architecture four ways (baseline, +normalization, +gate insertion,
 // +quantization) and reports how each stage recovers on-device accuracy —
 // the paper's Table 1 story on one task.
+//
+// --train-workers N (or QNAT_TRAIN_WORKERS) runs each stage's training
+// on the data-parallel engine; unset keeps the legacy single loop.
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "common/metrics.hpp"
@@ -9,6 +14,7 @@
 #include "qsim/backend/backend.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "core/parallel_trainer.hpp"
 #include "core/trainer.hpp"
 #include "data/tasks.hpp"
 #include "noise/device_presets.hpp"
@@ -25,11 +31,27 @@ struct Stage {
   bool quantize;
 };
 
+// --train-workers N on the command line, else QNAT_TRAIN_WORKERS; -1
+// when neither is present (legacy single-loop trainer).
+int train_workers_arg(int argc, char** argv) {
+  int workers = -1;
+  if (const char* env = std::getenv("QNAT_TRAIN_WORKERS")) {
+    workers = std::atoi(env);
+  }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--train-workers") == 0) {
+      workers = std::atoi(argv[i + 1]);
+    }
+  }
+  return workers;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const metrics::ObservabilityOptions observability =
       metrics::observability_from_args(argc, argv);
+  const int train_workers = train_workers_arg(argc, argv);
   const TaskBundle task = make_task("mnist4", /*samples_per_class=*/50);
   const NoiseModel device = make_device_noise_model("belem");
 
@@ -62,7 +84,14 @@ int main(int argc, char** argv) {
       config.injection.method = InjectionMethod::GateInsertion;
       config.injection.noise_factor = 0.1;
     }
-    train_qnn(model, task.train, config, stage.inject ? &deployment : nullptr);
+    config.workers = train_workers > 0 ? train_workers : 0;
+    if (train_workers >= 0) {
+      train_qnn_parallel(model, task.train, config,
+                         stage.inject ? &deployment : nullptr);
+    } else {
+      train_qnn(model, task.train, config,
+                stage.inject ? &deployment : nullptr);
+    }
 
     const QnnForwardOptions pipeline = pipeline_options(config);
     NoisyEvalOptions eval_options;

@@ -1,19 +1,25 @@
 // Quickstart: build a 2-block QNN, train it noise-aware for MNIST-2, and
 // compare noise-free vs on-device accuracy.
 //
-//   $ ./quickstart [--metrics-out metrics.json] [--trace-out trace.json]
+//   $ ./quickstart [--train-workers N] [--metrics-out metrics.json]
+//                  [--trace-out trace.json]
 //
 // Walks through the library's core objects: task loading, architecture,
 // deployment (transpile onto a noisy device), noise-aware training, and
-// evaluation. With --metrics-out the run dumps a structured metrics
-// snapshot (plus run manifest); --trace-out writes a chrome://tracing
-// phase timeline.
+// evaluation. With --train-workers N (or QNAT_TRAIN_WORKERS) training
+// runs on the data-parallel engine — same weights byte-for-byte at any
+// worker count, just faster. With --metrics-out the run dumps a
+// structured metrics snapshot (plus run manifest); --trace-out writes a
+// chrome://tracing phase timeline.
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "common/metrics.hpp"
 #include "common/simd.hpp"
 #include "qsim/backend/backend.hpp"
 #include "common/thread_pool.hpp"
+#include "core/parallel_trainer.hpp"
 #include "core/trainer.hpp"
 #include "data/tasks.hpp"
 #include "noise/device_presets.hpp"
@@ -21,9 +27,31 @@
 
 using namespace qnat;
 
+namespace {
+
+// --train-workers N on the command line, else QNAT_TRAIN_WORKERS.
+// Returns -1 when neither is present: the example then keeps the legacy
+// single-loop trainer. 0 means the parallel engine on the process-wide
+// pool; N >= 1 resizes the pool to exactly N workers.
+int train_workers_arg(int argc, char** argv) {
+  int workers = -1;
+  if (const char* env = std::getenv("QNAT_TRAIN_WORKERS")) {
+    workers = std::atoi(env);
+  }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--train-workers") == 0) {
+      workers = std::atoi(argv[i + 1]);
+    }
+  }
+  return workers;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const metrics::ObservabilityOptions observability =
       metrics::observability_from_args(argc, argv);
+  const int train_workers = train_workers_arg(argc, argv);
   // 1. Load a task: synthetic MNIST-2 (digits 3 vs 6), preprocessed to a
   //    16-dimensional feature vector exactly as in the paper.
   const TaskBundle task = make_task("mnist2", /*samples_per_class=*/60);
@@ -58,7 +86,11 @@ int main(int argc, char** argv) {
   config.quant.levels = 5;
   config.injection.method = InjectionMethod::GateInsertion;
   config.injection.noise_factor = 0.1;
-  const TrainResult result = train_qnn(model, task.train, config, &deployment);
+  config.workers = train_workers > 0 ? train_workers : 0;
+  const TrainResult result =
+      train_workers >= 0
+          ? train_qnn_parallel(model, task.train, config, &deployment)
+          : train_qnn(model, task.train, config, &deployment);
   std::cout << "training loss: " << result.epoch_loss.front() << " -> "
             << result.epoch_loss.back() << "\n";
 

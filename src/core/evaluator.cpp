@@ -127,6 +127,58 @@ std::vector<BlockExecutionPlan> Deployment::injected_plans(
                             readout_map, circuits);
 }
 
+std::shared_ptr<const Deployment::InjectionTemplate>
+Deployment::prepare_injection(double noise_factor) const {
+  auto prepared = std::make_shared<InjectionTemplate>();
+  prepared->noise_factor = noise_factor;
+  prepared->inserters.reserve(compact_circuits_.size());
+  for (const auto& circuit : compact_circuits_) {
+    prepared->inserters.emplace_back(circuit, compact_noise_, noise_factor);
+  }
+  // Compile the clean realizations once; sharing through the template
+  // keeps workers off the program cache (and its whole-circuit hash) for
+  // every realization where no stochastic site fires.
+  prepared->clean_programs.reserve(prepared->inserters.size());
+  for (const auto& inserter : prepared->inserters) {
+    prepared->clean_programs.push_back(
+        shared_program(*inserter.clean_circuit()));
+  }
+  return prepared;
+}
+
+std::vector<BlockExecutionPlan> Deployment::injected_plans(
+    const InjectionTemplate& prepared, bool readout_map, Rng& rng,
+    std::vector<Circuit>& storage) const {
+  QNAT_CHECK(prepared.inserters.size() == compact_circuits_.size(),
+             "injection template does not match this deployment");
+  storage.clear();
+  storage.resize(prepared.inserters.size());
+  std::vector<const Circuit*> circuits;
+  std::vector<std::shared_ptr<const CompiledProgram>> programs;
+  circuits.reserve(storage.size());
+  programs.reserve(storage.size());
+  for (std::size_t b = 0; b < prepared.inserters.size(); ++b) {
+    // Clean realizations point at the template's shared circuit and
+    // reuse its precompiled program; storage[b] stays an empty
+    // placeholder (block-aligned so callers can splice by index).
+    const auto clean =
+        prepared.inserters[b].realize_cached(rng, storage[b]);
+    if (clean != nullptr) {
+      circuits.push_back(clean.get());
+      programs.push_back(prepared.clean_programs[b]);
+    } else {
+      circuits.push_back(&storage[b]);
+      programs.push_back(nullptr);
+    }
+  }
+  auto plans = plans_over_compact(*this, model_->architecture().num_qubits,
+                                  readout_map, circuits);
+  for (std::size_t b = 0; b < plans.size(); ++b) {
+    plans[b].program = std::move(programs[b]);
+  }
+  return plans;
+}
+
 Tensor2D qnn_forward_noisy(const QnnModel& model, const Deployment& deployment,
                            const Tensor2D& inputs,
                            const QnnForwardOptions& pipeline,

@@ -15,9 +15,12 @@
 // qnn_forward_with_runner.
 #pragma once
 
+#include <memory>
+
 #include "compile/transpiler.hpp"
 #include "core/qnn.hpp"
 #include "data/dataset.hpp"
+#include "noise/error_inserter.hpp"
 #include "noise/noise_model.hpp"
 
 namespace qnat {
@@ -62,6 +65,31 @@ class Deployment {
   /// The circuits are stored in `storage`, which must outlive the plans.
   std::vector<BlockExecutionPlan> injected_plans(
       double noise_factor, bool readout_map, Rng& rng,
+      std::vector<Circuit>& storage) const;
+
+  /// Per-block prepared insertion sites for the amortized injection path
+  /// (the circuit walk and channel scaling run once instead of once per
+  /// realization). Immutable and safe to share across worker threads.
+  struct InjectionTemplate {
+    std::vector<PreparedInserter> inserters;
+    /// Per block: compiled program for the inserter's clean (zero
+    /// stochastic insertions) realization. At the paper's noise factors
+    /// most realizations are clean, so most plans skip both the circuit
+    /// rebuild and the program-cache hash entirely.
+    std::vector<std::shared_ptr<const CompiledProgram>> clean_programs;
+    double noise_factor = 1.0;
+  };
+
+  /// Builds the template for `noise_factor` (one legacy-pass walk per
+  /// block).
+  std::shared_ptr<const InjectionTemplate> prepare_injection(
+      double noise_factor) const;
+
+  /// Fast-path equivalent of `injected_plans`: realizes each block's
+  /// prepared sites, drawing the same RNG sequence as the legacy pass —
+  /// for equal generator states the plans are byte-identical.
+  std::vector<BlockExecutionPlan> injected_plans(
+      const InjectionTemplate& prepared, bool readout_map, Rng& rng,
       std::vector<Circuit>& storage) const;
 
  private:

@@ -24,6 +24,9 @@ NoiseInjector::NoiseInjector(InjectionConfig config,
   if (config_.method == InjectionMethod::GateInsertion) {
     QNAT_CHECK(deployment_ != nullptr,
                "gate insertion requires a device deployment");
+    // Prepared sites amortize the per-realization circuit walk across
+    // every step of a training run (used by step_plans_range).
+    prepared_ = deployment_->prepare_injection(config_.noise_factor);
   }
 }
 
@@ -94,6 +97,81 @@ StepPlans NoiseInjector::step_plans(const QnnModel& model,
         Rng realization_rng = base.child(s);
         realized[s] = perturb_angles(model, config_.angle_std,
                                      realization_rng);
+      });
+      storage.clear();
+      storage.reserve(realizations * num_blocks);
+      StepPlans plans;
+      for (std::size_t s = 0; s < realizations; ++s) {
+        const std::size_t first = storage.size();
+        for (auto& c : realized[s]) storage.push_back(std::move(c));
+        std::vector<BlockExecutionPlan> plan_set = make_logical_plans(model);
+        for (std::size_t b = 0; b < num_blocks; ++b) {
+          plan_set[b].circuit = &storage[first + b];
+        }
+        plans.per_sample.push_back(std::move(plan_set));
+      }
+      return plans;
+    }
+    case InjectionMethod::None:
+    case InjectionMethod::MeasurementPerturbation:
+      storage.clear();
+      return StepPlans::shared(make_logical_plans(model));
+  }
+  throw Error("unknown injection method");
+}
+
+StepPlans NoiseInjector::step_plans_range(const QnnModel& model,
+                                          std::size_t range_begin,
+                                          std::size_t range_end, Rng rng,
+                                          std::vector<Circuit>& storage) const {
+  QNAT_CHECK(range_end > range_begin, "step plan range must be non-empty");
+  const std::size_t count = range_end - range_begin;
+  const std::size_t num_blocks = model.blocks().size();
+
+  switch (config_.method) {
+    case InjectionMethod::GateInsertion: {
+      // Same stream discipline as step_plans: one fork, then one child
+      // per realization — except the child index is the sample's global
+      // position in the effective batch, so the realization a sample
+      // sees is invariant under re-partitioning into micro-batches.
+      // Without per-sample injection every range rebuilds the step's
+      // single shared realization from child(0).
+      const Rng base = rng.fork();
+      const std::size_t realizations = config_.per_sample ? count : 1;
+      std::vector<std::vector<BlockExecutionPlan>> plan_sets(realizations);
+      std::vector<std::vector<Circuit>> realized(realizations);
+      parallel_for(realizations, [&](std::size_t s) {
+        Rng realization_rng =
+            base.child(config_.per_sample ? range_begin + s : 0);
+        plan_sets[s] = deployment_->injected_plans(
+            *prepared_, config_.readout, realization_rng, realized[s]);
+      });
+      storage.clear();
+      storage.reserve(realizations * num_blocks);
+      StepPlans plans;
+      for (std::size_t s = 0; s < realizations; ++s) {
+        for (std::size_t b = 0; b < num_blocks; ++b) {
+          // Plans with a precompiled program reference the injection
+          // template's shared clean circuit (owned by prepared_, which
+          // outlives the step); only dirty realizations need splicing
+          // into the step's storage.
+          if (plan_sets[s][b].program != nullptr) continue;
+          storage.push_back(std::move(realized[s][b]));
+          plan_sets[s][b].circuit = &storage.back();
+        }
+        plans.per_sample.push_back(std::move(plan_sets[s]));
+      }
+      return plans;
+    }
+    case InjectionMethod::AnglePerturbation: {
+      const Rng base = rng.fork();
+      const std::size_t realizations = config_.per_sample ? count : 1;
+      std::vector<std::vector<Circuit>> realized(realizations);
+      parallel_for(realizations, [&](std::size_t s) {
+        Rng realization_rng =
+            base.child(config_.per_sample ? range_begin + s : 0);
+        realized[s] =
+            perturb_angles(model, config_.angle_std, realization_rng);
       });
       storage.clear();
       storage.reserve(realizations * num_blocks);

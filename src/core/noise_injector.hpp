@@ -68,6 +68,20 @@ class NoiseInjector {
   StepPlans step_plans(const QnnModel& model, std::size_t batch_size,
                        Rng& rng, std::vector<Circuit>& storage) const;
 
+  /// Plans for samples [range_begin, range_end) of a (possibly larger)
+  /// effective batch — the data-parallel trainer's per-micro-batch entry
+  /// point. Realization streams are keyed by the *global* sample index
+  /// (`base.child(s)` off one fork of `rng`), so the circuits a sample
+  /// sees depend only on (step rng, sample position), never on how the
+  /// effective batch is partitioned into micro-batches or how many
+  /// workers run them. Calling with the full range [0, batch) draws
+  /// exactly the streams `step_plans` draws. GateInsertion realizations
+  /// run through prepared insertion sites (built once at construction)
+  /// instead of re-walking the transpiled circuits every step.
+  StepPlans step_plans_range(const QnnModel& model, std::size_t range_begin,
+                             std::size_t range_end, Rng rng,
+                             std::vector<Circuit>& storage) const;
+
   /// Enables measurement perturbation in the forward options when the
   /// method calls for it.
   void configure_forward(QnnForwardOptions& options, Rng& rng) const;
@@ -75,6 +89,8 @@ class NoiseInjector {
  private:
   InjectionConfig config_;
   const Deployment* deployment_;
+  /// Prepared per-block insertion sites (GateInsertion only).
+  std::shared_ptr<const Deployment::InjectionTemplate> prepared_;
 };
 
 /// Benchmarks the error distribution between noisy and ideal *normalized*

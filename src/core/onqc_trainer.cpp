@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "nn/losses.hpp"
+#include "nn/reduction.hpp"
 #include "nn/scheduler.hpp"
 #include "noise/error_inserter.hpp"
 #include "qsim/execution.hpp"
@@ -85,14 +86,18 @@ OnDeviceTrainResult train_on_device(const Circuit& circuit, int num_inputs,
     result.device_evaluations +=
         static_cast<long>(train.size()) *
         (1 + parameter_shift_num_evaluations(circuit));
-    real loss = 0.0;
-    ParamVector grad(num_weights, 0.0);
+    // Strip each sample's encoder-input slots, then fold losses and
+    // weight gradients with the shared deterministic pairwise tree
+    // (worker-count invariant, O(log n) rounding growth).
+    std::vector<ParamVector> weight_parts(train.size());
     for (std::size_t r = 0; r < train.size(); ++r) {
-      loss += sample_loss[r];
-      for (std::size_t w = 0; w < num_weights; ++w) {
-        grad[w] += sample_grad[r][static_cast<std::size_t>(num_inputs) + w];
-      }
+      weight_parts[r].assign(
+          sample_grad[r].begin() + num_inputs,
+          sample_grad[r].begin() + num_inputs +
+              static_cast<std::ptrdiff_t>(num_weights));
     }
+    const real loss = tree_reduce(std::span<const real>(sample_loss));
+    ParamVector grad = tree_reduce(std::span<const ParamVector>(weight_parts));
     const auto n = static_cast<real>(train.size());
     for (auto& g : grad) g /= n;
     adam.step(weights, grad, schedule.scale(epoch));

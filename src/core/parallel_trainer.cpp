@@ -1,0 +1,169 @@
+#include "core/parallel_trainer.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+#include "nn/losses.hpp"
+#include "nn/reduction.hpp"
+
+namespace qnat {
+
+std::vector<UnitRange> plan_micro_units(std::size_t effective_size,
+                                        std::size_t micro_batch_size) {
+  QNAT_CHECK(micro_batch_size > 0, "micro batch size must be positive");
+  std::vector<UnitRange> units;
+  for (std::size_t lo = 0; lo < effective_size; lo += micro_batch_size) {
+    units.push_back({lo, std::min(lo + micro_batch_size, effective_size)});
+  }
+  if (units.size() > 1 && units.back().hi - units.back().lo < 2) {
+    units[units.size() - 2].hi = units.back().hi;
+    units.pop_back();
+  }
+  return units;
+}
+
+TrainResult train_qnn_parallel(QnnModel& model, const Dataset& train,
+                               const TrainerConfig& config,
+                               const Deployment* deployment) {
+  QNAT_CHECK(config.epochs > 0, "need at least one epoch");
+  QNAT_CHECK(train.size() >= 2, "training set too small");
+  QNAT_CHECK(train.feature_dim() ==
+                 static_cast<std::size_t>(model.architecture().input_features),
+             "dataset feature width does not match model encoder");
+  QNAT_CHECK(config.accum_steps >= 1, "accum_steps must be >= 1");
+  if (config.workers > 0) set_num_threads(config.workers);
+
+  // Identical rng discipline to train_qnn: draws consumed in the same
+  // order, so the initialized weights, batch permutations, and per-step
+  // base streams line up with the legacy trainer.
+  Rng rng(config.seed);
+  if (!config.warm_start) model.init_weights(rng);
+  const NoiseInjector injector(config.injection, deployment);
+
+  Adam optimizer(model.weights().size(), config.adam);
+  Batcher batcher(train.size(), config.batch_size, rng.fork());
+  const auto accum = static_cast<std::size_t>(config.accum_steps);
+  const std::size_t groups_per_epoch =
+      (batcher.batches_per_epoch() + accum - 1) / accum;
+  const long total_steps = static_cast<long>(config.epochs) *
+                           static_cast<long>(groups_per_epoch);
+  const WarmupCosineSchedule schedule(
+      static_cast<long>(config.warmup_fraction * total_steps), total_steps);
+  const std::size_t micro = config.micro_batch_size == 0
+                                ? config.batch_size
+                                : config.micro_batch_size;
+
+  TrainResult result;
+  long ostep = 0;
+  const Rng injection_base = rng.fork();
+  const Rng perturb_base = rng.fork();
+
+  static metrics::Counter step_counter = metrics::counter("train.steps");
+  static metrics::Counter epoch_counter = metrics::counter("train.epochs");
+  static metrics::Counter unit_counter = metrics::counter("train.units");
+  static metrics::Counter skipped_counter =
+      metrics::counter("train.batches_skipped");
+  static metrics::Histogram step_timer =
+      metrics::histogram("train.step_seconds");
+  static metrics::Histogram epoch_timer =
+      metrics::histogram("train.epoch_seconds");
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    QNAT_TRACE_SCOPE("train.epoch");
+    metrics::ScopedTimer epoch_scope(epoch_timer);
+    epoch_counter.inc();
+    real epoch_loss = 0.0;
+    std::size_t steps_this_epoch = 0;
+    const auto batches = batcher.epoch_batches();
+    for (std::size_t g = 0; g < batches.size(); g += accum) {
+      // The optimizer-step index is a pure function of (epoch, group) —
+      // advance it even for skipped groups so noise streams stay aligned
+      // with the precomputed schedule.
+      const long step_index = ostep++;
+      std::vector<std::size_t> indices;
+      const std::size_t group_end = std::min(g + accum, batches.size());
+      for (std::size_t b = g; b < group_end; ++b) {
+        indices.insert(indices.end(), batches[b].begin(), batches[b].end());
+      }
+      if (indices.size() < 2) {  // batch-norm needs >= 2 samples
+        skipped_counter.inc();
+        continue;
+      }
+      QNAT_TRACE_SCOPE("train.step");
+      metrics::ScopedTimer step_scope(step_timer);
+      step_counter.inc();
+
+      const Dataset effective = train.subset(indices);
+      const std::size_t effective_size = indices.size();
+      const auto units = plan_micro_units(effective_size, micro);
+      unit_counter.add(units.size());
+
+      const Rng step_injection =
+          injection_base.child(static_cast<std::uint64_t>(step_index));
+      const Rng step_perturb =
+          perturb_base.child(static_cast<std::uint64_t>(step_index));
+
+      std::vector<real> unit_loss(units.size(), 0.0);
+      std::vector<ParamVector> unit_grad(units.size());
+      parallel_for(units.size(), [&](std::size_t u) {
+        const std::size_t lo = units[u].lo;
+        const std::size_t hi = units[u].hi;
+        // Each unit contributes (n_u / E) × its mean loss, so the step
+        // loss/gradient is the effective-batch mean regardless of the
+        // unit decomposition.
+        const real unit_scale = static_cast<real>(hi - lo) /
+                                static_cast<real>(effective_size);
+
+        std::vector<Circuit> storage;
+        const StepPlans plans =
+            injector.step_plans_range(model, lo, hi, step_injection, storage);
+        QnnForwardOptions options = pipeline_options(config);
+        options.fused_backward = config.fused_backward;
+        Rng perturb_rng = step_perturb.child(static_cast<std::uint64_t>(lo));
+        injector.configure_forward(options, perturb_rng);
+
+        QnnForwardCache cache;
+        const Tensor2D logits = qnn_forward_range(
+            model, effective.features, lo, hi, plans, options, &cache);
+        const std::vector<int> labels(
+            effective.labels.begin() + static_cast<std::ptrdiff_t>(lo),
+            effective.labels.begin() + static_cast<std::ptrdiff_t>(hi));
+        const real ce = cross_entropy_loss(logits, labels);
+        unit_loss[u] = unit_scale *
+                       (ce + config.quant_loss_weight * cache.quant_loss);
+        Tensor2D grad_logits = cross_entropy_grad(logits, labels);
+        if (unit_scale != 1.0) {
+          for (real& value : grad_logits.data()) value *= unit_scale;
+        }
+        unit_grad[u] = qnn_backward(
+            model, grad_logits, cache, plans, options,
+            (config.quantize ? config.quant_loss_weight : 0.0) * unit_scale);
+      });
+
+      optimizer.step_reduced(model.weights(),
+                             std::span<const ParamVector>(unit_grad),
+                             schedule.scale(step_index));
+      epoch_loss += tree_reduce(std::span<const real>(unit_loss));
+      ++steps_this_epoch;
+    }
+    QNAT_CHECK(steps_this_epoch > 0,
+               "no usable batches (batch size vs dataset size)");
+    result.epoch_loss.push_back(epoch_loss /
+                                static_cast<real>(steps_this_epoch));
+  }
+
+  // Final noise-free training accuracy with the training pipeline —
+  // identical to the legacy trainer's epilogue (fused_backward is a
+  // backward-only knob, so it does not apply here).
+  const QnnForwardOptions options = pipeline_options(config);
+  const Tensor2D logits =
+      qnn_forward(model, train.features, make_logical_plans(model), options);
+  result.final_train_accuracy = accuracy(logits, train.labels);
+  return result;
+}
+
+}  // namespace qnat

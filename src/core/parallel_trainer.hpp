@@ -1,0 +1,60 @@
+// Data-parallel QNN training engine with deterministic gradient reduction.
+//
+// Each optimizer step covers an *effective batch* — `accum_steps`
+// consecutive Batcher batches — split into fixed-size micro-batch work
+// units that run concurrently on the shared thread pool. Three rules make
+// the trained model a pure function of the config, independent of worker
+// count and of how the effective batch is sharded into units:
+//
+//  1. RNG keying by position, not by schedule: the noise realization for
+//     sample s of optimizer step t derives from
+//     `injection_base.child(t).child(s)` (see
+//     NoiseInjector::step_plans_range), so a unit draws exactly the
+//     streams its samples would draw in any other partitioning.
+//  2. Slot writes: every unit writes its loss and weight gradient into a
+//     slot indexed by unit position; no worker touches shared
+//     accumulators.
+//  3. Fixed-order tree reduction: slots are folded with the pairwise
+//     midpoint tree of nn/reduction.hpp, whose shape depends only on the
+//     unit count — byte-identical at 1, 2, or 8 workers, and across any
+//     (batch_size × accum_steps) refactoring that preserves the effective
+//     batch and `micro_batch_size`.
+//
+// Per-micro-batch semantics: batch-normalization statistics (and the
+// measurement-perturbation draw order) are computed per *unit*, so unit
+// size is part of the model definition — `micro_batch_size` is a real
+// hyperparameter, not just a performance knob. With `accum_steps == 1`,
+// `micro_batch_size == batch_size`, and `fused_backward == false` the
+// engine reproduces the legacy single-loop `train_qnn` byte-for-byte
+// under GateInsertion (MeasurementPerturbation keys its Gaussian stream
+// per unit rather than per step, so only that method diverges from the
+// legacy trainer's draws).
+#pragma once
+
+#include "core/trainer.hpp"
+
+namespace qnat {
+
+/// Half-open sample range [lo, hi) within an effective batch — one
+/// data-parallel work unit.
+struct UnitRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+
+/// Splits an effective batch into micro-batch units of `micro_batch_size`
+/// samples, folding a size-1 tail into the previous unit (batch norm
+/// needs >= 2 samples per unit). The decomposition is a pure function of
+/// (effective_size, micro_batch_size).
+std::vector<UnitRange> plan_micro_units(std::size_t effective_size,
+                                        std::size_t micro_batch_size);
+
+/// Trains `model` in place on `train` with the data-parallel engine.
+/// Honors the TrainerConfig data-parallel knobs (`accum_steps`,
+/// `micro_batch_size`, `workers`, `fused_backward`); everything else
+/// follows the legacy `train_qnn` recipe.
+TrainResult train_qnn_parallel(QnnModel& model, const Dataset& train,
+                               const TrainerConfig& config,
+                               const Deployment* deployment = nullptr);
+
+}  // namespace qnat

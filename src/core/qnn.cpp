@@ -131,9 +131,18 @@ namespace {
 /// Runs one block circuit for one sample; writes post-readout logical
 /// expectations into `out` (num_logical slots).
 void run_block_sample(const BlockExecutionPlan& plan, const ParamVector& params,
-                      int num_logical, real* out) {
+                      int num_logical, real* out,
+                      std::vector<cplx>* keep_state = nullptr) {
   ScopedState state(plan.circuit->num_qubits());
-  run_circuit_inplace(*plan.circuit, params, state.get());
+  if (plan.program != nullptr) {
+    plan.program->run(state.get(), params);
+  } else {
+    run_circuit_inplace(*plan.circuit, params, state.get());
+  }
+  if (keep_state != nullptr) {
+    keep_state->assign(state->amplitudes().begin(),
+                       state->amplitudes().end());
+  }
   // One fold over the state yields every wire's expectation at once
   // (run_block_sample measures all logical qubits), instead of a full
   // O(2^n) pass per wire. The fold buffer is per-thread so the sample
@@ -169,6 +178,9 @@ void check_plan(const BlockExecutionPlan& plan, const QnnModel::Block& block,
                  plan.readout_slope.size() == plan.measure_wires.size() &&
                  plan.readout_intercept.size() == plan.measure_wires.size(),
              "plan wiring arrays must cover every logical qubit");
+  QNAT_CHECK(plan.program == nullptr ||
+                 plan.program->num_qubits() == plan.circuit->num_qubits(),
+             "plan program does not match its circuit");
 }
 
 }  // namespace
@@ -197,11 +209,47 @@ Tensor2D qnn_forward(const QnnModel& model, const Tensor2D& batch_inputs,
       check_plan(plan_set[b], model.blocks()[b], nq);
     }
   }
+  if (!options.fused_backward || cache == nullptr) {
+    const BlockRunner runner = [&](std::size_t b, std::size_t sample,
+                                   const ParamVector& params, real* out) {
+      run_block_sample(plans.for_sample(sample)[b], params, nq, out);
+    };
+    return qnn_forward_with_runner(model, batch_inputs, runner, options,
+                                   cache);
+  }
+
+  // Fused-backward path: retain each (block, sample) final state so the
+  // backward sweep starts from it instead of re-running the circuit.
+  // Slots are written by sample index, so results and retained states are
+  // identical at any thread count.
+  std::vector<std::vector<std::vector<cplx>>> states(
+      model.blocks().size(),
+      std::vector<std::vector<cplx>>(batch_inputs.rows()));
   const BlockRunner runner = [&](std::size_t b, std::size_t sample,
                                  const ParamVector& params, real* out) {
-    run_block_sample(plans.for_sample(sample)[b], params, nq, out);
+    run_block_sample(plans.for_sample(sample)[b], params, nq, out,
+                     &states[b][sample]);
   };
-  return qnn_forward_with_runner(model, batch_inputs, runner, options, cache);
+  Tensor2D logits =
+      qnn_forward_with_runner(model, batch_inputs, runner, options, cache);
+  cache->final_states = std::move(states);
+  return logits;
+}
+
+Tensor2D qnn_forward_range(const QnnModel& model, const Tensor2D& inputs,
+                           std::size_t row_begin, std::size_t row_end,
+                           const StepPlans& plans,
+                           const QnnForwardOptions& options,
+                           QnnForwardCache* cache) {
+  QNAT_CHECK(row_begin < row_end && row_end <= inputs.rows(),
+             "invalid forward row range");
+  Tensor2D slice(row_end - row_begin, inputs.cols());
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    const real* src = inputs.data().data() + r * inputs.cols();
+    std::copy(src, src + inputs.cols(),
+              slice.data().data() + (r - row_begin) * inputs.cols());
+  }
+  return qnn_forward(model, slice, plans, options, cache);
 }
 
 Tensor2D qnn_forward_with_runner(const QnnModel& model,
@@ -396,8 +444,15 @@ ParamVector qnn_backward(const QnnModel& model, const Tensor2D& grad_logits,
       const ParamVector params =
           bind_params(cache.inputs[b], r, model.weights(), block.weight_offset,
                       block.num_weights);
-      const AdjointResult adjoint = adjoint_vjp(*plan.circuit, params,
-                                                cotangent);
+      const bool fused = options.fused_backward && !cache.final_states.empty();
+      const AdjointResult adjoint =
+          fused ? adjoint_vjp_fused(*plan.circuit,
+                                    plan.program != nullptr
+                                        ? *plan.program
+                                        : *shared_program(*plan.circuit),
+                                    params, cotangent,
+                                    cache.final_states[b][r])
+                : adjoint_vjp(*plan.circuit, params, cotangent);
       for (int i = 0; i < block.num_inputs; ++i) {
         grad_inputs(r, static_cast<std::size_t>(i)) =
             adjoint.gradient[static_cast<std::size_t>(i)];

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -28,6 +29,8 @@
 #include "qsim/circuit.hpp"
 
 namespace qnat {
+
+class CompiledProgram;
 
 struct QnnArchitecture {
   int num_qubits = 4;
@@ -99,6 +102,11 @@ class QnnModel {
 /// applied to the measured expectations.
 struct BlockExecutionPlan {
   const Circuit* circuit = nullptr;
+  /// Precompiled program for `circuit`, set when the planner already
+  /// holds one (shared clean noise realizations). Skips the per-call
+  /// program-cache lookup — which hashes the whole circuit — on both the
+  /// forward run and the adjoint sweep. Null falls back to the cache.
+  std::shared_ptr<const CompiledProgram> program;
   /// Logical qubit q is read from wire measure_wires[q].
   std::vector<QubitIndex> measure_wires;
   /// Per logical qubit: e -> slope * e + intercept (1, 0 when readout
@@ -148,6 +156,13 @@ struct QnnForwardOptions {
   /// when set, replaces batch statistics. Outer index = block.
   const std::vector<std::vector<real>>* profiled_mean = nullptr;
   const std::vector<std::vector<real>>* profiled_std = nullptr;
+  /// Data-parallel trainer fast path: the forward pass keeps every
+  /// (block, sample) final statevector in the cache and the backward pass
+  /// runs the fused-program adjoint sweep from those states instead of
+  /// re-simulating each circuit (adjoint_vjp_fused). Gradients match the
+  /// default path up to floating-point reassociation of fused constant
+  /// runs; leave off for bit-compatibility with the single-loop trainer.
+  bool fused_backward = false;
 };
 
 struct QnnForwardCache {
@@ -159,6 +174,9 @@ struct QnnForwardCache {
   std::vector<Tensor2D> processed;   // per processed block (post quant)
   Tensor2D final_outputs;            // what the head consumed
   real quant_loss = 0.0;             // mean ||y - Q(y)||^2 over blocks
+  /// Final statevector amplitudes per [block][sample], retained only when
+  /// QnnForwardOptions::fused_backward is set (feeds adjoint_vjp_fused).
+  std::vector<std::vector<std::vector<cplx>>> final_states;
 };
 
 /// Batched forward pass. Returns class logits (batch x num_classes).
@@ -173,6 +191,17 @@ Tensor2D qnn_forward(const QnnModel& model, const Tensor2D& batch_inputs,
 Tensor2D qnn_forward(const QnnModel& model, const Tensor2D& batch_inputs,
                      const StepPlans& plans, const QnnForwardOptions& options,
                      QnnForwardCache* cache = nullptr);
+
+/// Forward pass over the contiguous row range [row_begin, row_end) of
+/// `inputs` — the data-parallel trainer's micro-batch entry point. The
+/// range is copied into a dense micro-batch, so batch-dependent pipeline
+/// stages (normalization statistics) see exactly the micro-batch rows.
+/// `plans` indexes samples *within the range* (entry 0 = row_begin).
+Tensor2D qnn_forward_range(const QnnModel& model, const Tensor2D& inputs,
+                           std::size_t row_begin, std::size_t row_end,
+                           const StepPlans& plans,
+                           const QnnForwardOptions& options,
+                           QnnForwardCache* cache = nullptr);
 
 /// Pluggable block executor: given the block index, the batch sample
 /// index, and the bound parameter vector [inputs | block weights], returns

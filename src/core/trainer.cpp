@@ -50,6 +50,8 @@ TrainResult train_qnn(QnnModel& model, const Dataset& train,
 
   static metrics::Counter step_counter = metrics::counter("train.steps");
   static metrics::Counter epoch_counter = metrics::counter("train.epochs");
+  static metrics::Counter skipped_counter =
+      metrics::counter("train.batches_skipped");
   static metrics::Histogram step_timer =
       metrics::histogram("train.step_seconds");
   static metrics::Histogram epoch_timer =
@@ -62,7 +64,14 @@ TrainResult train_qnn(QnnModel& model, const Dataset& train,
     real epoch_loss = 0.0;
     std::size_t batches = 0;
     for (const auto& indices : batcher.epoch_batches()) {
-      if (indices.size() < 2) continue;  // batch-norm needs >= 2 samples
+      if (indices.size() < 2) {
+        // Batch norm needs >= 2 samples. The Batcher folds size-1 tails
+        // into the previous batch, so this only fires for a dataset that
+        // is itself a single sample group; count it so silent drops show
+        // up in the metrics report instead of vanishing.
+        skipped_counter.inc();
+        continue;
+      }
       QNAT_TRACE_SCOPE("train.step");
       metrics::ScopedTimer step_scope(step_timer);
       step_counter.inc();

@@ -44,6 +44,29 @@ struct TrainerConfig {
   bool warm_start = false;
 
   std::uint64_t seed = 1234;
+
+  // Data-parallel engine knobs (train_qnn_parallel; ignored by the
+  // legacy single-loop train_qnn).
+
+  /// Number of Batcher batches folded into one optimizer step. The
+  /// effective batch is the concatenation of `accum_steps` consecutive
+  /// batches; gradients are reduced across the whole group before the
+  /// single Adam update.
+  int accum_steps = 1;
+  /// Work-unit granularity: the effective batch is split into units of
+  /// this many samples (0 → `batch_size`). Units are the atoms of
+  /// parallelism *and* of the deterministic reduction tree, so results
+  /// are byte-identical for any worker count given the same unit size.
+  std::size_t micro_batch_size = 0;
+  /// Worker threads for the unit-level parallel loop. 0 → use the
+  /// process-wide pool size (QNAT_NUM_THREADS / hardware concurrency);
+  /// >0 → resize the shared pool to exactly this many threads.
+  int workers = 0;
+  /// Use the fused adjoint sweep with forward final-state reuse in the
+  /// data-parallel backward pass. Equal to the legacy backward up to
+  /// floating-point reassociation; disable for bit-exact comparison
+  /// against train_qnn.
+  bool fused_backward = true;
 };
 
 struct TrainResult {

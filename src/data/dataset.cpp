@@ -61,11 +61,22 @@ std::vector<std::vector<std::size_t>> Batcher::epoch_batches() {
     batches.emplace_back(perm.begin() + static_cast<std::ptrdiff_t>(start),
                          perm.begin() + static_cast<std::ptrdiff_t>(end));
   }
+  if (batches.size() > 1 && batches.back().size() < 2) {
+    auto& prev = batches[batches.size() - 2];
+    prev.insert(prev.end(), batches.back().begin(), batches.back().end());
+    batches.pop_back();
+  }
   return batches;
 }
 
 std::size_t Batcher::batches_per_epoch() const {
-  return (dataset_size_ + batch_size_ - 1) / batch_size_;
+  const std::size_t full = (dataset_size_ + batch_size_ - 1) / batch_size_;
+  // A size-1 final batch gets folded into the previous one
+  // (epoch_batches); with batch_size 1 that includes an exact division.
+  const std::size_t tail = dataset_size_ % batch_size_;
+  const std::size_t last = tail == 0 ? batch_size_ : tail;
+  if (full > 1 && last < 2) return full - 1;
+  return full;
 }
 
 }  // namespace qnat

@@ -41,7 +41,9 @@ class Batcher {
   Batcher(std::size_t dataset_size, std::size_t batch_size, Rng rng);
 
   /// Index groups for one epoch (reshuffled each call). The final batch
-  /// may be smaller.
+  /// may be smaller; a size-1 tail is folded into the previous batch
+  /// (batch normalization needs >= 2 samples, and silently dropping the
+  /// tail would starve those samples of gradient signal every epoch).
   std::vector<std::vector<std::size_t>> epoch_batches();
 
   std::size_t batches_per_epoch() const;

@@ -150,6 +150,95 @@ AdjointResult adjoint_vjp(const Circuit& circuit, const ParamVector& params,
   return result;
 }
 
+AdjointResult adjoint_vjp_fused(const Circuit& circuit,
+                                const CompiledProgram& program,
+                                const ParamVector& params,
+                                std::span<const real> cotangent,
+                                std::span<const cplx> final_amplitudes) {
+  QNAT_CHECK(cotangent.size() ==
+                 static_cast<std::size_t>(circuit.num_qubits()),
+             "cotangent must have one entry per qubit");
+  QNAT_CHECK(program.num_qubits() == circuit.num_qubits(),
+             "program/circuit qubit count mismatch");
+  QNAT_TRACE_SCOPE("grad.adjoint_fused");
+  static metrics::Counter invocations =
+      metrics::counter("grad.adjoint.fused_invocations");
+  invocations.inc();
+  AdjointResult result;
+  result.gradient.assign(static_cast<std::size_t>(circuit.num_params()), 0.0);
+
+  // Recompute the forward state only when the caller cannot supply it.
+  // The training engine caches each sample's final block state during the
+  // forward pass, so the sweep starts from a copy instead of re-running
+  // the whole program.
+  ScopedState ket_lease(circuit.num_qubits());
+  StateVector& ket = ket_lease.get();
+  if (final_amplitudes.empty()) {
+    program.run(ket, params);
+  } else {
+    QNAT_CHECK(final_amplitudes.size() == ket.dim(),
+               "cached final state has the wrong dimension");
+    std::copy(final_amplitudes.begin(), final_amplitudes.end(),
+              ket.mutable_amplitudes());
+  }
+  result.expectations = ket.expectations_z();
+
+  if (circuit.num_params() == 0) return result;
+
+  ScopedState bra_lease(circuit.num_qubits());
+  StateVector& bra = bra_lease.get();
+  apply_observable(ket, cotangent, bra);
+
+  // Reverse sweep over the *compiled* ops. A constant (possibly fused)
+  // run is undone with one conjugate-transposed matrix shared by ket and
+  // bra — kernel classes are closed under dagger (diagonal stays
+  // diagonal, anti-diagonal stays anti-diagonal, controlled blocks stay
+  // controlled, swap is self-adjoint), so the baked class dispatches the
+  // specialized kernel without re-classification. Parameterized gates are
+  // fusion barriers, so every differentiable cut of the source circuit is
+  // an op boundary and the accumulated gradient matches the unfused sweep
+  // up to floating-point reassociation of the fused constant products.
+  const auto& ops = program.ops();
+  for (std::size_t oi = ops.size(); oi-- > 0;) {
+    const CompiledOp& op = ops[oi];
+    if (!op.parameterized) {
+      if (op.kernel == KernelClass::Identity) continue;
+      const CMatrix adj = op.matrix.adjoint();
+      if (op.num_qubits == 1) {
+        apply_classified_1q(ket, op.kernel, adj, op.q0);
+        apply_classified_1q(bra, op.kernel, adj, op.q0);
+      } else {
+        apply_classified_2q(ket, op.kernel, adj, op.q0, op.q1);
+        apply_classified_2q(bra, op.kernel, adj, op.q0, op.q1);
+      }
+      continue;
+    }
+    const Gate& gate = op.gate;
+    const std::vector<real> values = gate.eval_params(params);
+    const CMatrix madj = gate.matrix(values).adjoint();
+    if (gate.num_qubits() == 1) {
+      apply_matrix_1q(ket, madj, gate.qubits[0]);
+    } else {
+      apply_matrix_2q(ket, madj, gate.qubits[0], gate.qubits[1]);
+    }
+    for (int k = 0; k < gate.num_params(); ++k) {
+      const ParamExpr& expr = gate.params[static_cast<std::size_t>(k)];
+      if (expr.is_constant()) continue;
+      const CMatrix d = gate.matrix_derivative(values, k);
+      const real g = 2.0 * derivative_inner(bra, ket, gate, d).real();
+      for (const auto& term : expr.terms) {
+        result.gradient[static_cast<std::size_t>(term.id)] += term.scale * g;
+      }
+    }
+    if (gate.num_qubits() == 1) {
+      apply_matrix_1q(bra, madj, gate.qubits[0]);
+    } else {
+      apply_matrix_2q(bra, madj, gate.qubits[0], gate.qubits[1]);
+    }
+  }
+  return result;
+}
+
 std::vector<std::vector<real>> adjoint_jacobian(const Circuit& circuit,
                                                 const ParamVector& params) {
   const int nq = circuit.num_qubits();

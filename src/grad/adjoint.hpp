@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "qsim/circuit.hpp"
+#include "qsim/program.hpp"
 #include "qsim/statevector.hpp"
 
 namespace qnat {
@@ -35,6 +36,21 @@ struct AdjointResult {
 /// `cotangent` has one weight per qubit.
 AdjointResult adjoint_vjp(const Circuit& circuit, const ParamVector& params,
                           std::span<const real> cotangent);
+
+/// Adjoint sweep over the *compiled* program of `circuit` — the training
+/// engine's fast path. Constant fused runs are undone with one
+/// conjugate-transposed matrix dispatched through their baked kernel
+/// class, and when `final_amplitudes` carries the circuit's forward state
+/// (cached by the batched forward pass) the internal forward re-run is
+/// skipped entirely. Gradients match `adjoint_vjp` up to floating-point
+/// reassociation of fused constant products; per-call results are a pure
+/// function of the arguments, so the data-parallel trainer's worker-count
+/// invariance is preserved.
+AdjointResult adjoint_vjp_fused(const Circuit& circuit,
+                                const CompiledProgram& program,
+                                const ParamVector& params,
+                                std::span<const real> cotangent,
+                                std::span<const cplx> final_amplitudes = {});
 
 /// Full Jacobian J[q][p] = d(exp_z[q]) / d(params[p]), computed with one
 /// adjoint sweep per qubit.

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "nn/reduction.hpp"
 
 namespace qnat {
 
@@ -32,6 +33,14 @@ void Adam::step(ParamVector& params, const ParamVector& gradient,
     params[i] -= lr * (m_hat / (std::sqrt(v_hat) + config_.epsilon) +
                        config_.weight_decay * params[i]);
   }
+}
+
+void Adam::step_reduced(ParamVector& params,
+                        std::span<const ParamVector> unit_gradients,
+                        real lr_scale) {
+  QNAT_CHECK(!unit_gradients.empty(), "need at least one gradient partial");
+  const ParamVector gradient = tree_reduce(unit_gradients);
+  step(params, gradient, lr_scale);
 }
 
 void Adam::reset() {

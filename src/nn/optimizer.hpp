@@ -2,6 +2,7 @@
 // models with Adam, weight decay 1e-4, and a warmup + cosine LR schedule.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -26,6 +27,16 @@ class Adam {
   /// scheduler each step).
   void step(ParamVector& params, const ParamVector& gradient,
             real lr_scale = 1.0);
+
+  /// Apply-after-reduce entry for data-parallel training: folds the
+  /// per-unit partial gradients with the deterministic pairwise tree
+  /// (see nn/reduction.hpp) and applies a single update. The partials
+  /// must already carry their 1/batch scaling; the fold order depends
+  /// only on the unit count, so the update is byte-identical at any
+  /// worker count.
+  void step_reduced(ParamVector& params,
+                    std::span<const ParamVector> unit_gradients,
+                    real lr_scale = 1.0);
 
   /// Resets first/second moment accumulators and the step counter.
   void reset();

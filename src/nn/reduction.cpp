@@ -1,0 +1,51 @@
+#include "nn/reduction.hpp"
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+namespace {
+
+real tree_sum(std::span<const real> values, std::size_t lo, std::size_t hi) {
+  if (hi - lo == 1) return values[lo];
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return tree_sum(values, lo, mid) + tree_sum(values, mid, hi);
+}
+
+void tree_sum_vec(std::span<const ParamVector> parts, std::size_t lo,
+                  std::size_t hi, ParamVector& out) {
+  if (hi - lo == 1) {
+    out = parts[lo];
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  tree_sum_vec(parts, lo, mid, out);
+  ParamVector right;
+  tree_sum_vec(parts, mid, hi, right);
+  QNAT_CHECK(right.size() == out.size(),
+             "tree_reduce parts must have equal size");
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += right[i];
+}
+
+}  // namespace
+
+real tree_reduce(std::span<const real> values) {
+  if (values.empty()) return 0.0;
+  return tree_sum(values, 0, values.size());
+}
+
+void tree_reduce_into(std::span<const ParamVector> parts, ParamVector& out) {
+  if (parts.empty()) {
+    out.clear();
+    return;
+  }
+  tree_sum_vec(parts, 0, parts.size(), out);
+}
+
+ParamVector tree_reduce(std::span<const ParamVector> parts) {
+  ParamVector out;
+  tree_reduce_into(parts, out);
+  return out;
+}
+
+}  // namespace qnat

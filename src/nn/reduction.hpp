@@ -1,0 +1,34 @@
+// Deterministic fixed-order tree reduction of per-worker partial results.
+//
+// Data-parallel gradient accumulation must not let the floating-point
+// summation order depend on which worker finishes first, or on how many
+// workers there are — otherwise "same config, more threads" trains a
+// (slightly) different model. The reducers here combine partials with a
+// midpoint-recursion pairwise tree whose shape is a pure function of the
+// partial *count*: sum[lo,hi) = sum[lo,mid) + sum[mid,hi). Workers write
+// their partial into a slot indexed by work-unit position, then one
+// thread folds the slots — byte-identical results at any worker count,
+// and for any re-sharding that preserves the unit decomposition.
+//
+// The pairwise tree is also numerically kinder than left-to-right
+// accumulation (error grows O(log n) instead of O(n)), which is why the
+// full-batch ONQC trainer uses it for its per-sample reduction too.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace qnat {
+
+/// Pairwise tree sum of scalars; empty input sums to 0.
+real tree_reduce(std::span<const real> values);
+
+/// Element-wise pairwise tree sum of equally-sized vectors into `out`
+/// (resized and overwritten). With no parts, `out` becomes empty.
+void tree_reduce_into(std::span<const ParamVector> parts, ParamVector& out);
+
+/// Convenience wrapper returning the reduced vector.
+ParamVector tree_reduce(std::span<const ParamVector> parts);
+
+}  // namespace qnat

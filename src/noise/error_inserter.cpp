@@ -109,6 +109,167 @@ Circuit insert_error_gates(const Circuit& circuit, const NoiseModel& model,
   return out;
 }
 
+PreparedInserter::PreparedInserter(const Circuit& circuit,
+                                   const NoiseModel& model,
+                                   double noise_factor,
+                                   double coherent_factor)
+    : num_qubits_(circuit.num_qubits()), num_params_(circuit.num_params()) {
+  QNAT_CHECK(circuit.num_qubits() <= model.num_qubits(),
+             "circuit does not fit on device");
+  MomentTracker moments(circuit.num_qubits());
+
+  // The site list replays insert_error_gates' walk: any divergence in
+  // which sites draw from the rng (or their order) would silently change
+  // every realization, so the conditions below must mirror the legacy
+  // pass exactly (the differential test pins this).
+  auto prepare_idle = [&](QubitIndex q, int layers) {
+    if (layers <= 0) return;
+    const PauliChannel idle = model.idle_channel(q).scaled(noise_factor);
+    if (idle.total() <= 0.0) return;
+    sites_.push_back(Site{Site::Kind::Stochastic, idle.power(layers), q,
+                          Gate(GateType::X, {q}), false, false});
+  };
+
+  for (const auto& gate : circuit.gates()) {
+    const int layer = moments.start_layer(gate);
+    for (const QubitIndex q : gate.qubits) {
+      prepare_idle(q, moments.idle_layers(q, layer));
+    }
+    moments.occupy(gate, layer);
+
+    sites_.push_back(
+        Site{Site::Kind::Fixed, PauliChannel{}, 0, gate, true, false});
+    const PauliChannel channel =
+        scaled_channel_for_operand(model, gate, noise_factor);
+    for (int operand = 0; operand < gate.num_qubits(); ++operand) {
+      const QubitIndex q = gate.qubits[static_cast<std::size_t>(operand)];
+      sites_.push_back(Site{Site::Kind::Stochastic, channel, q,
+                            Gate(GateType::X, {q}), false, false});
+    }
+
+    if (gate.num_qubits() == 1) {
+      if (!NoiseModel::is_virtual_gate(gate.type)) {
+        const real angle =
+            model.coherent_overrotation(gate.qubits[0]) * coherent_factor;
+        if (angle != 0.0) {
+          sites_.push_back(Site{Site::Kind::Fixed, PauliChannel{}, 0,
+                                Gate(GateType::RX, {gate.qubits[0]},
+                                     {ParamExpr::constant(angle)}),
+                                false, true});
+        }
+      }
+    } else {
+      const real zz =
+          model.coherent_zz(gate.qubits[0], gate.qubits[1]) * coherent_factor;
+      if (zz != 0.0) {
+        sites_.push_back(Site{Site::Kind::Fixed, PauliChannel{}, 0,
+                              Gate(GateType::RZZ,
+                                   {gate.qubits[0], gate.qubits[1]},
+                                   {ParamExpr::constant(zz)}),
+                              false, true});
+      }
+    }
+  }
+
+  const int final_layer = moments.final_layer();
+  for (QubitIndex q = 0; q < circuit.num_qubits(); ++q) {
+    prepare_idle(q, final_layer - moments.next_free(q));
+  }
+
+  // Prebuild the zero-insertion realization (what realize produces when
+  // no stochastic site fires): gate-for-gate identical to that path so
+  // realize_cached can hand out one shared circuit instead of
+  // reconstructing it per realization.
+  Circuit clean(num_qubits_, num_params_);
+  for (const Site& site : sites_) {
+    if (site.kind != Site::Kind::Fixed) continue;
+    clean.append(site.gate);
+    if (site.counts_as_original) ++clean_stats_.original_gates;
+    if (site.counts_as_coherent) ++clean_stats_.coherent_gates;
+  }
+  clean_ = std::make_shared<const Circuit>(std::move(clean));
+}
+
+Circuit PreparedInserter::realize(Rng& rng, InsertionStats* stats) const {
+  Circuit out(num_qubits_, num_params_);
+  InsertionStats local;
+  for (const Site& site : sites_) {
+    if (site.kind == Site::Kind::Stochastic) {
+      if (const auto pauli = site.channel.sample(rng)) {
+        out.append(Gate(*pauli, {site.qubit}));
+        ++local.inserted_gates;
+      }
+      continue;
+    }
+    out.append(site.gate);
+    if (site.counts_as_original) ++local.original_gates;
+    if (site.counts_as_coherent) ++local.coherent_gates;
+  }
+
+  static metrics::Counter circuits =
+      metrics::counter("noise.inserter.circuits");
+  static metrics::Counter error_gates =
+      metrics::counter("noise.inserter.error_gates");
+  static metrics::Counter coherent_gates =
+      metrics::counter("noise.inserter.coherent_gates");
+  circuits.inc();
+  error_gates.add(static_cast<std::uint64_t>(local.inserted_gates));
+  coherent_gates.add(static_cast<std::uint64_t>(local.coherent_gates));
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::shared_ptr<const Circuit> PreparedInserter::realize_cached(
+    Rng& rng, Circuit& dirty, InsertionStats* stats) const {
+  static metrics::Counter circuits =
+      metrics::counter("noise.inserter.circuits");
+  static metrics::Counter error_gates =
+      metrics::counter("noise.inserter.error_gates");
+  static metrics::Counter coherent_gates =
+      metrics::counter("noise.inserter.coherent_gates");
+  static metrics::Counter clean_hits =
+      metrics::counter("noise.inserter.clean_realizations");
+
+  // Sample every stochastic site up front, in site order — the same draw
+  // sequence realize consumes (fixed sites never draw) — so the clean
+  // shortcut is invisible to the RNG stream.
+  thread_local std::vector<std::optional<GateType>> draws;
+  draws.clear();
+  int inserted = 0;
+  for (const Site& site : sites_) {
+    if (site.kind != Site::Kind::Stochastic) continue;
+    draws.push_back(site.channel.sample(rng));
+    if (draws.back().has_value()) ++inserted;
+  }
+
+  circuits.inc();
+  coherent_gates.add(
+      static_cast<std::uint64_t>(clean_stats_.coherent_gates));
+  if (inserted == 0) {
+    clean_hits.inc();
+    if (stats != nullptr) *stats = clean_stats_;
+    return clean_;
+  }
+
+  error_gates.add(static_cast<std::uint64_t>(inserted));
+  InsertionStats local = clean_stats_;
+  local.inserted_gates = inserted;
+  dirty = Circuit(num_qubits_, num_params_);
+  std::size_t d = 0;
+  for (const Site& site : sites_) {
+    if (site.kind == Site::Kind::Stochastic) {
+      if (const auto pauli = draws[d++]) {
+        dirty.append(Gate(*pauli, {site.qubit}));
+      }
+      continue;
+    }
+    dirty.append(site.gate);
+  }
+  if (stats != nullptr) *stats = local;
+  return nullptr;
+}
+
 double expected_insertions(const Circuit& circuit, const NoiseModel& model,
                            double noise_factor) {
   double expected = 0.0;

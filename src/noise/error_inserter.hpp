@@ -12,6 +12,8 @@
 // parameters is unchanged.
 #pragma once
 
+#include <memory>
+
 #include "common/rng.hpp"
 #include "noise/noise_model.hpp"
 #include "qsim/circuit.hpp"
@@ -50,5 +52,64 @@ Circuit insert_error_gates(const Circuit& circuit, const NoiseModel& model,
 /// sampling pass, used by tests and the overhead report.
 double expected_insertions(const Circuit& circuit, const NoiseModel& model,
                            double noise_factor);
+
+/// Amortized insertion pass for training loops that realize the same
+/// (circuit, noise model, noise factor) thousands of times. The circuit
+/// walk — layer scheduling, per-operand channel lookup and scaling, idle
+/// channel composition, coherent-error magnitudes — depends only on those
+/// three inputs, so it runs once at construction and is flattened into a
+/// site list; `realize` then replays the sites, drawing exactly the same
+/// RNG sequence as `insert_error_gates`, so for any generator state the
+/// two produce byte-identical circuits (asserted by the differential
+/// test). Construction cost is one legacy-pass walk; realize cost is one
+/// uniform draw per stochastic site plus gate appends.
+class PreparedInserter {
+ public:
+  PreparedInserter(const Circuit& circuit, const NoiseModel& model,
+                   double noise_factor, double coherent_factor = 1.0);
+
+  /// Samples one noisy realization (equivalent to `insert_error_gates` on
+  /// the prepared circuit with the same rng state).
+  Circuit realize(Rng& rng, InsertionStats* stats = nullptr) const;
+
+  /// realize(), minus the rebuild when nothing fires. Draws exactly the
+  /// same RNG sequence as `realize`; when at least one stochastic site
+  /// fires, builds the realization into `dirty` and returns nullptr.
+  /// When none fire — the common case at the paper's noise factors —
+  /// returns the shared zero-insertion circuit and leaves `dirty`
+  /// untouched, skipping the per-realization circuit construction (and
+  /// letting callers reuse a precompiled program for it).
+  std::shared_ptr<const Circuit> realize_cached(
+      Rng& rng, Circuit& dirty, InsertionStats* stats = nullptr) const;
+
+  /// The zero-insertion realization: original + deterministic coherent
+  /// gates only, identical for every realization where no stochastic
+  /// site fires. Built once at construction and shared.
+  const std::shared_ptr<const Circuit>& clean_circuit() const {
+    return clean_;
+  }
+
+  /// Upper bound on the realized circuit's gate count (all stochastic
+  /// sites firing), used to reserve the output buffer.
+  std::size_t max_gates() const { return sites_.size(); }
+
+ private:
+  struct Site {
+    /// Stochastic sites sample `channel` and append the drawn Pauli on
+    /// `qubit`; fixed sites append `gate` unconditionally.
+    enum class Kind : std::uint8_t { Stochastic, Fixed } kind;
+    PauliChannel channel;
+    QubitIndex qubit = 0;
+    Gate gate;
+    /// Fixed-site bookkeeping mirror of InsertionStats.
+    bool counts_as_original = false;
+    bool counts_as_coherent = false;
+  };
+  std::vector<Site> sites_;
+  std::shared_ptr<const Circuit> clean_;
+  InsertionStats clean_stats_;
+  int num_qubits_ = 0;
+  int num_params_ = 0;
+};
 
 }  // namespace qnat

@@ -74,9 +74,34 @@ TEST(Batcher, ReshufflesBetweenEpochs) {
   EXPECT_NE(e1[0], e2[0]);
 }
 
-TEST(Batcher, BatchesPerEpochRoundsUp) {
-  EXPECT_EQ(Batcher(10, 3, Rng(3)).batches_per_epoch(), 4u);
+TEST(Batcher, BatchesPerEpochRoundsUpAndFoldsSizeOneTail) {
+  // 10 = 3+3+3+1: the size-1 tail folds into the previous batch.
+  EXPECT_EQ(Batcher(10, 3, Rng(3)).batches_per_epoch(), 3u);
   EXPECT_EQ(Batcher(9, 3, Rng(3)).batches_per_epoch(), 3u);
+  // A size-2 tail survives (batch norm can handle it).
+  EXPECT_EQ(Batcher(11, 3, Rng(3)).batches_per_epoch(), 4u);
+  // A single undersized batch has nowhere to fold.
+  EXPECT_EQ(Batcher(1, 3, Rng(3)).batches_per_epoch(), 1u);
+}
+
+TEST(Batcher, EpochBatchesMatchBatchesPerEpoch) {
+  for (const std::size_t n : {1u, 2u, 7u, 9u, 10u, 11u, 23u}) {
+    for (const std::size_t bs : {1u, 2u, 3u, 5u, 16u}) {
+      Batcher b(n, bs, Rng(7));
+      const auto batches = b.epoch_batches();
+      EXPECT_EQ(batches.size(), b.batches_per_epoch())
+          << "n=" << n << " batch_size=" << bs;
+      std::size_t covered = 0;
+      for (const auto& batch : batches) covered += batch.size();
+      EXPECT_EQ(covered, n);
+      // With batch_size >= 2, folding guarantees every batch can feed
+      // batch norm. (batch_size == 1 batches stay undersized by design —
+      // the trainers count them via train.batches_skipped.)
+      if (n >= 2 && bs >= 2) {
+        for (const auto& batch : batches) EXPECT_GE(batch.size(), 2u);
+      }
+    }
+  }
 }
 
 TEST(Batcher, Validation) {

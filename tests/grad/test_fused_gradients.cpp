@@ -50,6 +50,23 @@ void crosscheck(const Circuit& c, const ParamVector& params) {
   expect_close(adjoint, shift, 1e-9, "adjoint vs parameter-shift");
   expect_close(adjoint, fd, 1e-6, "adjoint vs finite-diff");
   expect_close(shift, fd, 1e-6, "parameter-shift vs finite-diff");
+
+  // The fused-program sweep must agree whether it re-runs the forward
+  // pass itself or resumes from a caller-provided final state, and the
+  // two fused variants must be bit-identical to each other (same sweep,
+  // only the forward source differs).
+  const CompiledProgram& program = *shared_program(c);
+  const AdjointResult fused =
+      adjoint_vjp_fused(c, program, params, cotangent);
+  expect_close(adjoint, fused.gradient, 1e-9, "adjoint vs fused sweep");
+
+  StateVector state(c.num_qubits());
+  program.run(state, params);
+  const AdjointResult resumed = adjoint_vjp_fused(
+      c, program, params, cotangent, state.amplitudes());
+  ASSERT_EQ(fused.gradient, resumed.gradient)
+      << "fused sweep drifted when resuming from the cached forward state";
+  ASSERT_EQ(fused.expectations, resumed.expectations);
 }
 
 TEST(FusedGradients, ConstantRunsSandwichingParameterizedGates) {

@@ -157,5 +157,115 @@ TEST(ErrorInserter, CircuitMustFitDevice) {
   EXPECT_THROW(insert_error_gates(big, heavy_model(), 1.0, rng), Error);
 }
 
+TEST(PreparedInserter, RealizeMatchesLegacyPassByteForByte) {
+  // The prepared site list must replay the exact RNG sequence of the
+  // legacy walk: same circuits, same stats, same number of draws consumed
+  // — for synthetic heavy noise and for a real device preset (which
+  // exercises idle channels, coherent RX/RZZ gates, and zero-probability
+  // operand channels).
+  struct Case {
+    NoiseModel model;
+    double factor;
+  };
+  const std::vector<Case> cases = {
+      {heavy_model(), 1.0},
+      {heavy_model(), 0.3},
+      {make_device_noise_model("santiago"), 1.0},
+      {make_device_noise_model("lima"), 0.5},
+      {make_device_noise_model("yorktown"), 0.0},
+  };
+  for (std::size_t k = 0; k < cases.size(); ++k) {
+    Circuit c(3, 2);
+    c.sx(0);
+    c.ry(1, 0);
+    c.cx(0, 1);
+    c.rx(2, 1);
+    c.cx(1, 2);
+    const PreparedInserter prepared(c, cases[k].model, cases[k].factor);
+    Rng legacy_rng(100 + static_cast<std::uint64_t>(k));
+    Rng prepared_rng(100 + static_cast<std::uint64_t>(k));
+    for (int trial = 0; trial < 50; ++trial) {
+      InsertionStats legacy_stats;
+      InsertionStats prepared_stats;
+      const Circuit legacy = insert_error_gates(
+          c, cases[k].model, cases[k].factor, legacy_rng, &legacy_stats);
+      const Circuit replayed = prepared.realize(prepared_rng, &prepared_stats);
+      ASSERT_EQ(legacy.size(), replayed.size()) << "case " << k;
+      EXPECT_EQ(legacy.fingerprint(), replayed.fingerprint()) << "case " << k;
+      EXPECT_EQ(legacy.num_params(), replayed.num_params());
+      EXPECT_EQ(legacy_stats.original_gates, prepared_stats.original_gates);
+      EXPECT_EQ(legacy_stats.inserted_gates, prepared_stats.inserted_gates);
+      EXPECT_EQ(legacy_stats.coherent_gates, prepared_stats.coherent_gates);
+    }
+    // Both generators consumed the same number of draws.
+    EXPECT_EQ(legacy_rng.uniform(), prepared_rng.uniform()) << "case " << k;
+  }
+}
+
+TEST(PreparedInserter, RealizeCachedMatchesRealize) {
+  // The cached path must consume the exact RNG sequence of realize():
+  // clean draws return the shared prebuilt circuit (leaving `dirty`
+  // untouched), dirty draws build the same circuit realize() would, and
+  // the stats agree either way. Low factors on a real device make the
+  // clean branch the common case; the heavy model forces dirty draws.
+  struct Case {
+    NoiseModel model;
+    double factor;
+  };
+  const std::vector<Case> cases = {
+      {heavy_model(), 1.0},
+      {make_device_noise_model("santiago"), 0.1},
+      {make_device_noise_model("lima"), 1.0},
+      {make_device_noise_model("yorktown"), 0.0},
+  };
+  for (std::size_t k = 0; k < cases.size(); ++k) {
+    Circuit c(3, 2);
+    c.sx(0);
+    c.ry(1, 0);
+    c.cx(0, 1);
+    c.rx(2, 1);
+    c.cx(1, 2);
+    const PreparedInserter prepared(c, cases[k].model, cases[k].factor);
+    Rng plain_rng(7 + static_cast<std::uint64_t>(k));
+    Rng cached_rng(7 + static_cast<std::uint64_t>(k));
+    int clean_hits = 0;
+    int dirty_hits = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+      InsertionStats plain_stats;
+      InsertionStats cached_stats;
+      const Circuit expected = prepared.realize(plain_rng, &plain_stats);
+      Circuit dirty;
+      const auto clean =
+          prepared.realize_cached(cached_rng, dirty, &cached_stats);
+      const Circuit& actual = clean != nullptr ? *clean : dirty;
+      ASSERT_EQ(expected.size(), actual.size()) << "case " << k;
+      EXPECT_EQ(expected.fingerprint(), actual.fingerprint()) << "case " << k;
+      EXPECT_EQ(expected.num_params(), actual.num_params());
+      EXPECT_EQ(plain_stats.original_gates, cached_stats.original_gates);
+      EXPECT_EQ(plain_stats.inserted_gates, cached_stats.inserted_gates);
+      EXPECT_EQ(plain_stats.coherent_gates, cached_stats.coherent_gates);
+      if (clean != nullptr) {
+        // Zero stochastic insertions: the shared circuit is returned and
+        // every call hands back the same object.
+        EXPECT_EQ(plain_stats.inserted_gates, 0);
+        EXPECT_EQ(clean.get(), prepared.clean_circuit().get()) << "case " << k;
+        EXPECT_EQ(dirty.size(), 0u) << "dirty circuit must stay untouched";
+        ++clean_hits;
+      } else {
+        EXPECT_GT(plain_stats.inserted_gates, 0);
+        ++dirty_hits;
+      }
+    }
+    // Both generators consumed the same number of draws.
+    EXPECT_EQ(plain_rng.uniform(), cached_rng.uniform()) << "case " << k;
+    if (cases[k].factor == 0.0) {
+      EXPECT_EQ(clean_hits, 50) << "zero factor never inserts";
+    }
+    if (k == 0) {
+      EXPECT_GT(dirty_hits, 0) << "heavy model should force dirty draws";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qnat
