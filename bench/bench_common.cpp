@@ -41,6 +41,7 @@ metrics::RunManifest current_manifest(const std::string& label) {
   manifest.fused = default_fusion();
   manifest.simd = simd::enabled();
   manifest.backend = std::string(backend::active().name());
+  manifest.drift = metrics::drift_stamp();
   return manifest;
 }
 

@@ -1,0 +1,261 @@
+// Drift benchmark: serving accuracy under device drift, with and
+// without online recalibration.
+//
+// For each of the eight canonical tasks, a noise-aware (normalized)
+// model is trained once and then served three ways against a seeded
+// drift trajectory (src/noise/drift) at severity calm / daily /
+// aggressive:
+//   fresh         — deployed against the calibration-day device
+//                   (drift.at(0)) with load-time profiled statistics;
+//   stale         — the drifted device (drift.at(tick)) served with the
+//                   calibration-time statistics nobody re-profiled;
+//   recalibrated  — the same drifted device after the online loop:
+//                   shift detection on served traffic, re-profiling of
+//                   the A.3.7 statistics against that traffic, corrector
+//                   fit, hot swap (serve/recalibration.hpp).
+//
+// Expected shape: "stale" loses accuracy monotonically with severity;
+// "recalibrated" recovers most of the loss (exactly, for Direct-head
+// tasks, where per-qubit affine readout drift is fully observable in
+// the logits).
+//
+// Emits BENCH_drift.json (schema qnat.drift_bench.v1).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "noise/drift/drift.hpp"
+#include "serve/recalibration.hpp"
+#include "serve/registry.hpp"
+
+using namespace qnat;
+using namespace qnat::bench;
+
+namespace {
+
+struct DriftKnobs {
+  std::string preset;  // "" = all three severities
+  std::uint64_t seed = 424242;
+  std::int64_t tick = 150;
+  std::string out = "BENCH_drift.json";
+};
+
+DriftKnobs parse_knobs(int argc, char** argv) {
+  DriftKnobs knobs;
+  if (const char* env = std::getenv("QNAT_DRIFT")) knobs.preset = env;
+  if (const char* env = std::getenv("QNAT_DRIFT_SEED")) {
+    knobs.seed = static_cast<std::uint64_t>(std::atoll(env));
+  }
+  if (const char* env = std::getenv("QNAT_DRIFT_TICK")) {
+    knobs.tick = std::atoll(env);
+  }
+  if (const char* env = std::getenv("QNAT_DRIFT_OUT")) knobs.out = env;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--drift-preset") == 0) knobs.preset = argv[i + 1];
+    if (std::strcmp(argv[i], "--drift-seed") == 0) {
+      knobs.seed = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--drift-tick") == 0) {
+      knobs.tick = std::atoll(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--out") == 0) knobs.out = argv[i + 1];
+  }
+  return knobs;
+}
+
+struct CellResult {
+  std::string task;
+  std::string preset;
+  double fresh = 0.0;
+  double stale = 0.0;
+  double recalibrated = 0.0;
+  bool detected = false;
+};
+
+double serving_accuracy(const serve::ServableModel& servable,
+                        const Dataset& data, std::uint64_t id_base) {
+  std::vector<std::uint64_t> ids(data.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = id_base + i;
+  const Tensor2D logits = servable.run_batch(data.features, ids);
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      if (logits(r, c) > logits(r, best)) best = c;
+    }
+    if (static_cast<int>(best) == data.labels[r]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+CellResult run_cell(const std::string& task_name, const std::string& preset,
+                    const DriftKnobs& knobs, const RunScale& scale) {
+  const bool ten_way = task_name == "mnist10" || task_name == "fashion10";
+  BenchConfig config;
+  config.task = task_name;
+  config.device = ten_way ? "melbourne" : "santiago";
+  const TaskBundle task = load_task(task_name, scale);
+
+  QnnModel model(make_arch(task.info, config));
+  const TrainerConfig trainer =
+      make_trainer_config(config, Method::PostNorm, scale);
+  train_qnn(model, task.train, trainer);
+
+  DriftConfig drift_config = drift_preset(preset);
+  drift_config.seed = knobs.seed;
+  const DriftModel drift(make_device_noise_model(config.device),
+                         drift_config);
+  metrics::set_drift_stamp(drift.stamp(knobs.tick));
+
+  serve::ModelRegistry registry;
+  const Tensor2D& profiling = task.train.features;
+  serve::ServingOptions fresh_options;
+  fresh_options.normalize = true;
+  fresh_options.device_override = std::make_shared<NoiseModel>(drift.at(0));
+  const auto fresh =
+      registry.add(task_name, model, fresh_options, &profiling);
+
+  serve::RecalibrationConfig rc;
+  rc.traffic_capacity = profiling.rows();
+  rc.min_traffic = std::min(rc.min_traffic, rc.traffic_capacity);
+  // More sensitive than the serving defaults: the bench wants to report
+  // whether drift is *observable*, not to avoid operational false alarms.
+  rc.detector.window = 16;
+  rc.detector.cusum_h = 4.0;
+  serve::RecalibrationController controller(registry, task_name, rc);
+  controller.prime(profiling);
+
+  serve::ServingOptions stale_options = fresh_options;
+  stale_options.device_override =
+      std::make_shared<NoiseModel>(drift.at(knobs.tick));
+  stale_options.profile_override = std::make_shared<serve::ProfiledStats>(
+      serve::ProfiledStats{fresh->profiled_mean(), fresh->profiled_std()});
+  const auto stale =
+      registry.add(task_name, model, stale_options, &profiling);
+
+  CellResult result;
+  result.task = task_name;
+  result.preset = preset;
+  result.fresh = serving_accuracy(*fresh, task.test, 10000);
+  result.stale = serving_accuracy(*stale, task.test, 20000);
+
+  // The online loop: served traffic (the profiling distribution) streams
+  // through the detector in id order, then one recalibration hot-swap.
+  std::vector<std::uint64_t> traffic_ids(profiling.rows());
+  for (std::size_t i = 0; i < traffic_ids.size(); ++i) {
+    traffic_ids[i] = 30000 + i;
+  }
+  const Tensor2D traffic_logits = stale->run_batch(profiling, traffic_ids);
+  for (std::size_t r = 0; r < profiling.rows(); ++r) {
+    controller.observe(profiling.row(r), traffic_logits.row(r));
+  }
+  result.detected = controller.shift_detected();
+  const auto recalibrated = controller.recalibrate();
+  result.recalibrated = serving_accuracy(*recalibrated, task.test, 40000);
+  return result;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void write_report(const DriftKnobs& knobs,
+                  const std::vector<std::string>& presets,
+                  const std::vector<CellResult>& results) {
+  const metrics::RunManifest manifest = current_manifest("drift_eval");
+  std::ostringstream json;
+  json.precision(6);
+  json << std::fixed;
+  json << "{\n";
+  json << "  \"schema\": \"qnat.drift_bench.v1\",\n";
+  json << "  \"manifest\": {\"label\": \"" << json_escape(manifest.label)
+       << "\", \"seed\": " << manifest.seed
+       << ", \"threads\": " << manifest.threads
+       << ", \"simd\": " << (manifest.simd ? "true" : "false")
+       << ", \"backend\": \"" << json_escape(manifest.backend)
+       << "\", \"git\": \""
+       << json_escape(manifest.git.empty() ? metrics::build_version()
+                                           : manifest.git)
+       << "\", \"drift\": \"" << json_escape(manifest.drift) << "\"},\n";
+  json << "  \"config\": {\"drift_seed\": " << knobs.seed
+       << ", \"drift_tick\": " << knobs.tick << ", \"presets\": [";
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    json << (i ? ", " : "") << '"' << json_escape(presets[i]) << '"';
+  }
+  json << "]},\n";
+  json << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& cell = results[i];
+    json << "    {\"task\": \"" << json_escape(cell.task)
+         << "\", \"preset\": \"" << json_escape(cell.preset)
+         << "\", \"fresh\": " << cell.fresh << ", \"stale\": " << cell.stale
+         << ", \"recalibrated\": " << cell.recalibrated
+         << ", \"detected\": " << (cell.detected ? "true" : "false") << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::ofstream out(knobs.out);
+  out << json.str();
+  std::cout << "\nwrote " << knobs.out << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<Knob> extra = {
+      {"--drift-preset", "NAME", "QNAT_DRIFT",
+       "drift severity to evaluate (none, calm, daily, aggressive; "
+       "default: calm, daily and aggressive)"},
+      {"--drift-seed", "N", "QNAT_DRIFT_SEED",
+       "seed of the drift trajectory (trajectories replay byte-identically "
+       "per seed)"},
+      {"--drift-tick", "N", "QNAT_DRIFT_TICK",
+       "virtual-clock tick the stale deployment is evaluated at"},
+      {"--out", "FILE", "QNAT_DRIFT_OUT",
+       "report path (default BENCH_drift.json)"},
+  };
+  print_header(
+      "Drift: serving accuracy under device drift, with and without "
+      "online recalibration (8 tasks x 3 severities)",
+      "stale deployments degrade monotonically with severity; online "
+      "re-profiling + corrector recovers the loss");
+  const RunScale scale = scale_from_env();
+  configure_run("drift_eval", argc, argv, extra);
+  const DriftKnobs knobs = parse_knobs(argc, argv);
+
+  const std::vector<std::string> tasks = {"mnist2",   "mnist4",  "mnist10",
+                                          "fashion2", "fashion4",
+                                          "fashion10", "cifar2",  "vowel4"};
+  std::vector<std::string> presets = {"calm", "daily", "aggressive"};
+  if (!knobs.preset.empty()) presets = {knobs.preset};
+
+  std::vector<CellResult> results;
+  for (const std::string& task : tasks) {
+    TextTable table({"severity (" + task + ")", "fresh", "stale",
+                     "recalibrated", "detected"});
+    for (const std::string& preset : presets) {
+      const CellResult cell = run_cell(task, preset, knobs, scale);
+      table.add_row({preset, fmt_fixed(cell.fresh, 2),
+                     fmt_fixed(cell.stale, 2),
+                     fmt_fixed(cell.recalibrated, 2),
+                     cell.detected ? "yes" : "no"});
+      results.push_back(cell);
+    }
+    std::cout << table.render() << "\n";
+  }
+  write_report(knobs, presets, results);
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Drift + online recalibration walkthrough: deploy a noise-aware model
+// to the serving fleet, let the device drift underneath it, watch the
+// shift detector trip on served traffic, and hot-swap a recalibrated
+// version without dropping a request.
+//
+//   $ ./drift_recalibration [--drift-preset NAME] [--drift-tick N]
+//
+// The drift engine (src/noise/drift) evolves a calibration-day noise
+// model along a virtual clock, deterministically per seed: the same
+// (preset, seed, tick) always yields the byte-identical device, so the
+// whole episode below replays exactly.
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/tasks.hpp"
+#include "noise/device_presets.hpp"
+#include "noise/drift/drift.hpp"
+#include "serve/recalibration.hpp"
+#include "serve/registry.hpp"
+
+using namespace qnat;
+
+namespace {
+
+double accuracy(const serve::ServableModel& servable, const Dataset& data,
+                std::uint64_t id_base) {
+  std::vector<std::uint64_t> ids(data.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = id_base + i;
+  const Tensor2D logits = servable.run_batch(data.features, ids);
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      if (logits(r, c) > logits(r, best)) best = c;
+    }
+    if (static_cast<int>(best) == data.labels[r]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string preset = "aggressive";
+  std::int64_t tick = 150;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--drift-preset") == 0) preset = argv[i + 1];
+    if (std::strcmp(argv[i], "--drift-tick") == 0) {
+      tick = std::atoll(argv[i + 1]);
+    }
+  }
+
+  // 1. Train a noise-aware MNIST-4 model (normalization on: the online
+  //    recovery leans on re-profiling the A.3.7 statistics).
+  const TaskBundle task = make_task("mnist4", 40, 11);
+  QnnArchitecture arch;
+  arch.num_qubits = 4;
+  arch.num_blocks = 2;
+  arch.layers_per_block = 2;
+  arch.input_features = 16;
+  arch.num_classes = 4;
+  QnnModel model(arch);
+  TrainerConfig trainer;
+  trainer.epochs = 10;
+  trainer.batch_size = 16;
+  trainer.normalize = true;
+  trainer.seed = 1234;
+  std::cout << "training mnist4 (normalize on)...\n";
+  train_qnn(model, task.train, trainer);
+
+  // 2. Deploy against the calibration-day device.
+  DriftConfig drift_config = drift_preset(preset);
+  drift_config.seed = 424242;
+  const DriftModel drift(make_device_noise_model("santiago"), drift_config);
+  serve::ModelRegistry registry;
+  serve::ServingOptions options;
+  options.normalize = true;
+  options.device_override = std::make_shared<NoiseModel>(drift.at(0));
+  const Tensor2D& profiling = task.train.features;
+  const auto fresh = registry.add("mnist4", model, options, &profiling);
+  std::cout << "deployed " << fresh->spec() << " against "
+            << drift.stamp(0) << "\n";
+  std::cout << "fresh accuracy:        " << accuracy(*fresh, task.test, 1000)
+            << "\n";
+
+  // 3. Prime the recalibration controller while the device is fresh.
+  serve::RecalibrationConfig rc;
+  rc.traffic_capacity = profiling.rows();
+  rc.min_traffic = std::min(rc.min_traffic, rc.traffic_capacity);
+  serve::RecalibrationController controller(registry, "mnist4", rc);
+  controller.prime(profiling);
+
+  // 4. The device drifts; the deployment's statistics go stale.
+  serve::ServingOptions stale = options;
+  stale.device_override = std::make_shared<NoiseModel>(drift.at(tick));
+  stale.profile_override = std::make_shared<serve::ProfiledStats>(
+      serve::ProfiledStats{fresh->profiled_mean(), fresh->profiled_std()});
+  const auto drifted = registry.add("mnist4", model, stale, &profiling);
+  std::cout << "device drifted to " << drift.stamp(tick) << "\n";
+  std::cout << "stale accuracy:        "
+            << accuracy(*drifted, task.test, 2000) << "\n";
+
+  // 5. Served traffic streams through the detector in request-id order.
+  std::vector<std::uint64_t> ids(profiling.rows());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = 3000 + i;
+  const Tensor2D traffic_logits = drifted->run_batch(profiling, ids);
+  for (std::size_t r = 0; r < profiling.rows(); ++r) {
+    controller.observe(profiling.row(r), traffic_logits.row(r));
+  }
+  std::cout << "shift detected:        "
+            << (controller.shift_detected() ? "yes" : "no")
+            << " (max CUSUM statistic "
+            << controller.detector().max_statistic() << ")\n";
+
+  // 6. Recalibrate: re-profile against recent traffic, fit the per-logit
+  //    corrector, hot-swap the successor version. In-flight requests on
+  //    the old version finish on the shared_ptr they already hold.
+  const auto recalibrated = controller.recalibrate();
+  std::cout << "hot-swapped " << recalibrated->spec() << "\n";
+  std::cout << "recalibrated accuracy: "
+            << accuracy(*recalibrated, task.test, 4000) << "\n";
+  return 0;
+}

@@ -453,6 +453,21 @@ std::string deterministic_fingerprint() {
 const char* build_version() { return QNAT_GIT_DESCRIBE; }  // from the generated header
 
 namespace {
+std::mutex g_drift_stamp_mu;
+std::string g_drift_stamp;
+}  // namespace
+
+void set_drift_stamp(std::string stamp) {
+  std::lock_guard<std::mutex> lock(g_drift_stamp_mu);
+  g_drift_stamp = std::move(stamp);
+}
+
+std::string drift_stamp() {
+  std::lock_guard<std::mutex> lock(g_drift_stamp_mu);
+  return g_drift_stamp;
+}
+
+namespace {
 
 void append_json_string(std::ostringstream& os, std::string_view s) {
   os << '"';
@@ -497,6 +512,9 @@ std::string to_json(const Snapshot& snap, const RunManifest& manifest) {
   os << ", \"git\": ";
   append_json_string(os,
                      manifest.git.empty() ? build_version() : manifest.git);
+  os << ", \"drift\": ";
+  append_json_string(os,
+                     manifest.drift.empty() ? drift_stamp() : manifest.drift);
   os << "},\n";
 
   os << "  \"counters\": {";
@@ -753,6 +771,7 @@ Snapshot from_json(const std::string& json, RunManifest* manifest) {
     manifest->backend =
         m->find("backend") ? m->find("backend")->string : "";
     manifest->git = m->find("git") ? m->find("git")->string : "";
+    manifest->drift = m->find("drift") ? m->find("drift")->string : "";
   }
 
   Snapshot snap;

@@ -202,7 +202,17 @@ struct RunManifest {
   bool simd = false;        ///< SIMD kernel backend active (simd::enabled())
   std::string backend;      ///< execution backend name (backend::active())
   std::string git;          ///< git describe (defaults to build_version())
+  /// Drift-engine provenance ("" = calibration-fresh): the
+  /// `DriftModel::stamp` of the device the run was served/evaluated
+  /// against. Defaults to the process-wide drift_stamp().
+  std::string drift;
 };
+
+/// Process-wide drift stamp: drift-aware drivers set it (usually to
+/// `DriftModel::stamp(tick)`) before snapshots are written, so every
+/// manifest distinguishes drifted runs from calibration-fresh ones.
+void set_drift_stamp(std::string stamp);
+std::string drift_stamp();
 
 /// `git describe` of the source tree, baked in at configure time
 /// ("unknown" outside a git checkout; stale until the next CMake run).

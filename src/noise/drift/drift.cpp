@@ -1,0 +1,224 @@
+#include "noise/drift/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qnat {
+
+namespace {
+
+// Walk stream kinds. Entities are qubits for per-qubit kinds and packed
+// sorted edges (a * kEdgeStride + b) for per-edge kinds.
+constexpr std::uint64_t kWalkChannel1q = 1;
+constexpr std::uint64_t kWalkChannel2q = 2;
+constexpr std::uint64_t kWalkReadout00 = 3;
+constexpr std::uint64_t kWalkReadout11 = 4;
+constexpr std::uint64_t kWalkCoherent1q = 5;
+constexpr std::uint64_t kWalkCoherentZZ = 6;
+constexpr std::uint64_t kEdgeStride = 1024;
+
+std::uint64_t edge_entity(QubitIndex a, QubitIndex b) {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return lo * kEdgeStride + hi;
+}
+
+}  // namespace
+
+void DriftConfig::validate() const {
+  QNAT_CHECK(channel_walk_sigma >= 0.0 && readout_walk_sigma >= 0.0 &&
+                 coherent_walk_sigma >= 0.0,
+             "drift config '" + name + "': walk sigmas must be non-negative");
+  QNAT_CHECK(scale_amplitude >= 0.0,
+             "drift config '" + name + "': scale amplitude must be "
+             "non-negative");
+  QNAT_CHECK(scale_period_ticks >= 0,
+             "drift config '" + name + "': scale period must be >= 0");
+  QNAT_CHECK(scale_ramp_per_tick >= 0.0,
+             "drift config '" + name + "': scale ramp must be non-negative");
+  QNAT_CHECK(calibration_interval >= 0,
+             "drift config '" + name + "': calibration interval must be >= 0");
+}
+
+DriftConfig drift_preset(const std::string& name) {
+  // Ticks are "five-ish minutes" of wall time; 288 ticks = one
+  // calibration day. Severities are chosen so that at a few dozen ticks
+  // "calm" is a within-noise-floor wobble, "daily" a clearly measurable
+  // shift, and "aggressive" (an uncalibrated device) breaks stale
+  // normalization statistics outright.
+  DriftConfig config;
+  config.name = name;
+  if (name == "none") {
+    return config;
+  }
+  if (name == "calm") {
+    config.channel_walk_sigma = 0.002;
+    config.readout_walk_sigma = 0.0008;
+    config.coherent_walk_sigma = 0.0005;
+    config.scale_amplitude = 0.05;
+    config.scale_period_ticks = 288;
+    config.calibration_interval = 288;
+    return config;
+  }
+  if (name == "daily") {
+    config.channel_walk_sigma = 0.008;
+    config.readout_walk_sigma = 0.003;
+    config.coherent_walk_sigma = 0.002;
+    config.scale_amplitude = 0.15;
+    config.scale_period_ticks = 288;
+    config.scale_ramp_per_tick = 0.0005;
+    config.calibration_interval = 288;
+    return config;
+  }
+  if (name == "aggressive") {
+    config.channel_walk_sigma = 0.03;
+    config.readout_walk_sigma = 0.012;
+    config.coherent_walk_sigma = 0.008;
+    config.scale_amplitude = 0.3;
+    config.scale_period_ticks = 64;
+    config.scale_ramp_per_tick = 0.002;
+    config.calibration_interval = 0;  // never recalibrated
+    return config;
+  }
+  QNAT_CHECK(false, "unknown drift preset '" + name +
+                        "' (available: none, calm, daily, aggressive)");
+  return config;
+}
+
+const std::vector<std::string>& drift_preset_names() {
+  static const std::vector<std::string> names = {"none", "calm", "daily",
+                                                 "aggressive"};
+  return names;
+}
+
+DriftModel::DriftModel(NoiseModel base, DriftConfig config)
+    : base_(std::move(base)), config_(std::move(config)), root_(config_.seed) {
+  config_.validate();
+  base_.validate();
+}
+
+double DriftModel::walk(std::uint64_t kind, std::uint64_t entity,
+                        std::int64_t tick) const {
+  // Increment stream keyed by (kind, entity, step): a pure function of
+  // the config seed, so positions replay identically in any evaluation
+  // order. Calibration truncates the sum — at a calibration tick the
+  // walk restarts from zero.
+  std::int64_t start = 0;
+  if (config_.calibration_interval > 0) {
+    start = tick - tick % config_.calibration_interval;
+  }
+  const Rng entity_rng = root_.child(kind).child(entity);
+  double position = 0.0;
+  for (std::int64_t step = start + 1; step <= tick; ++step) {
+    Rng step_rng = entity_rng.child(static_cast<std::uint64_t>(step));
+    position += step_rng.gaussian();
+  }
+  return position;
+}
+
+double DriftModel::schedule_factor(std::int64_t tick) const {
+  double factor = 1.0;
+  if (config_.scale_period_ticks > 0 && config_.scale_amplitude > 0.0) {
+    factor += config_.scale_amplitude *
+              std::sin(2.0 * qnat::kPi * static_cast<double>(tick) /
+                       static_cast<double>(config_.scale_period_ticks));
+  }
+  if (config_.scale_ramp_per_tick > 0.0) {
+    std::int64_t since_calibration = tick;
+    if (config_.calibration_interval > 0) {
+      since_calibration = tick % config_.calibration_interval;
+    }
+    factor +=
+        config_.scale_ramp_per_tick * static_cast<double>(since_calibration);
+  }
+  return std::max(0.0, factor);
+}
+
+NoiseModel DriftModel::at(std::int64_t tick) const {
+  QNAT_CHECK(tick >= 0, "drift tick must be >= 0");
+  NoiseModel out = base_;
+  const int nq = base_.num_qubits();
+  const double schedule = schedule_factor(tick);
+
+  // Stochastic channels: per-qubit (and per-edge) multiplicative factors
+  // exp(walk) * schedule. Gate overrides follow their qubit's factor so
+  // an override never drifts apart from the default it specializes.
+  for (QubitIndex q = 0; q < nq; ++q) {
+    const double factor =
+        schedule * std::exp(config_.channel_walk_sigma *
+                            walk(kWalkChannel1q,
+                                 static_cast<std::uint64_t>(q), tick));
+    out.set_single_qubit_channel(q,
+                                 base_.single_qubit_default(q).scaled(factor));
+    out.set_idle_channel(q, base_.idle_channel(q).scaled(factor));
+    for (const auto& [key, channel] : base_.gate_override_channels()) {
+      if (key.second == q) {
+        out.set_gate_channel(static_cast<GateType>(key.first), q,
+                             channel.scaled(factor));
+      }
+    }
+  }
+  // Two-qubit channels drift per edge: coupled edges materialize their
+  // (possibly operand-default) channel, pre-characterized off-coupling
+  // entries drift in place.
+  auto drift_edge = [&](QubitIndex a, QubitIndex b) {
+    const double factor =
+        schedule * std::exp(config_.channel_walk_sigma *
+                            walk(kWalkChannel2q, edge_entity(a, b), tick));
+    out.set_two_qubit_channel(a, b, base_.two_qubit_channel(a, b)
+                                        .scaled(factor));
+  };
+  for (const auto& [a, b] : base_.coupling_map()) drift_edge(a, b);
+  for (const auto& [edge, channel] : base_.two_qubit_channels()) {
+    if (!base_.coupled(edge.first, edge.second)) {
+      drift_edge(edge.first, edge.second);
+    }
+  }
+
+  // Readout: walk the diagonal assignment probabilities inside [0.5, 1]
+  // — each confusion row is (p, 1-p), so row-stochasticity is preserved
+  // by construction at any walk position.
+  for (QubitIndex q = 0; q < nq; ++q) {
+    const ReadoutError ro = base_.readout_error(q);
+    const auto entity = static_cast<std::uint64_t>(q);
+    const double p00 = std::clamp(
+        ro.p0_given_0 +
+            config_.readout_walk_sigma * walk(kWalkReadout00, entity, tick),
+        0.5, 1.0);
+    const double p11 = std::clamp(
+        ro.p1_given_1 +
+            config_.readout_walk_sigma * walk(kWalkReadout11, entity, tick),
+        0.5, 1.0);
+    out.set_readout_error(q, ReadoutError{p00, p11});
+  }
+
+  // Coherent miscalibrations: additive radian walks.
+  if (config_.coherent_walk_sigma > 0.0) {
+    for (QubitIndex q = 0; q < nq; ++q) {
+      out.set_coherent_overrotation(
+          q, base_.coherent_overrotation(q) +
+                 config_.coherent_walk_sigma *
+                     walk(kWalkCoherent1q, static_cast<std::uint64_t>(q),
+                          tick));
+    }
+    for (const auto& [a, b] : base_.coupling_map()) {
+      out.set_coherent_zz(a, b,
+                          base_.coherent_zz(a, b) +
+                              config_.coherent_walk_sigma *
+                                  walk(kWalkCoherentZZ, edge_entity(a, b),
+                                       tick));
+    }
+  }
+
+  out.validate();
+  return out;
+}
+
+std::string DriftModel::stamp(std::int64_t tick) const {
+  return config_.name + " seed=" + std::to_string(config_.seed) +
+         " tick=" + std::to_string(tick);
+}
+
+}  // namespace qnat

@@ -1,0 +1,127 @@
+// Deterministic, time-parameterized device drift.
+//
+// Real devices drift between calibrations: T1/T2 wander, readout
+// assignment matrices degrade, gate fidelities breathe with temperature
+// cycles — which is why the paper trains noise-aware models against a
+// calibration snapshot that is already stale by serving time. The drift
+// engine makes that gap a first-class, *replayable* object: a
+// `DriftModel` evolves a base `NoiseModel` along a virtual clock of
+// integer ticks, and the model it emits at tick t is a pure function of
+// (base model, drift config, t).
+//
+// Every drifting quantity follows a counter-seeded Gaussian random walk:
+// the increment applied at step s to entity e of kind k is drawn from
+// `Rng(seed).child(k).child(e).child(s)`, so trajectories are identical
+// across runs, thread counts and evaluation order — `at(t)` can be
+// computed out of order, in parallel, or twice, and always yields the
+// same device. Walks snap back to the preset on calibration days
+// (`calibration_interval`), mirroring the daily recalibration cycle of
+// IBMQ backends.
+//
+// Structure preservation: readout confusion matrices stay row-stochastic
+// by construction — the engine walks the diagonal assignment
+// probabilities P(0|0) and P(1|1) inside [0.5, 1] and each row's
+// off-diagonal is their complement — and stochastic Pauli channels stay
+// valid because multiplicative log-space factors keep probabilities
+// non-negative and `PauliChannel::scaled` clamps the total at 1. Every
+// emitted model additionally passes `NoiseModel::validate()` before it
+// leaves `at()`, so a drifted device can never silently carry a
+// negative-probability channel into a simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qnat {
+
+/// Drift-process parameters. All sigmas are per-tick standard deviations
+/// of the underlying Gaussian walks; zero everywhere = a device frozen at
+/// its calibration (`at(t)` returns the base model for every t).
+struct DriftConfig {
+  /// Preset name, stamped into run manifests ("none", "calm", "daily",
+  /// "aggressive", or a custom label).
+  std::string name = "none";
+  /// Seed of the walk streams; two engines with equal (base, config)
+  /// produce byte-identical trajectories.
+  std::uint64_t seed = 20260807;
+
+  /// Log-space walk on the stochastic error channels: qubit q's
+  /// single-qubit default, idle channel and gate overrides scale by
+  /// exp(walk_q(t)), each coupled edge's two-qubit channel by its own
+  /// exp(walk_e(t)) — the T1/T2 wander of the device, multiplicative so
+  /// probabilities stay non-negative.
+  double channel_walk_sigma = 0.0;
+  /// Probability-space walk on the readout diagonal terms P(0|0) and
+  /// P(1|1), independently per qubit, clamped to [0.5, 1].
+  double readout_walk_sigma = 0.0;
+  /// Radian walk on the coherent miscalibrations (per-qubit RX
+  /// over-rotation and per-edge ZZ phase).
+  double coherent_walk_sigma = 0.0;
+
+  /// Deterministic gate-error scaling schedule multiplying the same
+  /// channels as `channel_walk_sigma`:
+  ///   schedule(t) = max(0, 1 + scale_amplitude * sin(2*pi*t/period)
+  ///                        + scale_ramp_per_tick * (t - last_calibration))
+  /// The sinusoid models daily temperature cycles, the ramp the monotone
+  /// decay between calibrations.
+  double scale_amplitude = 0.0;
+  int scale_period_ticks = 0;  ///< 0 disables the sinusoid.
+  double scale_ramp_per_tick = 0.0;
+
+  /// Every `calibration_interval` ticks the device is recalibrated: all
+  /// walks and the ramp restart from the preset (0 = never).
+  int calibration_interval = 0;
+
+  /// Throws qnat::Error on negative sigmas/amplitudes or a negative
+  /// period/interval.
+  void validate() const;
+};
+
+/// Built-in drift severities ("none", "calm", "daily", "aggressive");
+/// throws qnat::Error for unknown names.
+DriftConfig drift_preset(const std::string& name);
+
+/// Names of the built-in presets.
+const std::vector<std::string>& drift_preset_names();
+
+/// A base device evolved along a virtual clock. Immutable and cheap to
+/// copy; safe to share across threads.
+class DriftModel {
+ public:
+  DriftModel(NoiseModel base, DriftConfig config);
+
+  const NoiseModel& base() const { return base_; }
+  const DriftConfig& config() const { return config_; }
+
+  /// The device at virtual tick t >= 0 — a pure, replayable function of
+  /// (base, config, t). `at(0)` and every calibration tick return the
+  /// base model exactly. The emitted model passes
+  /// `NoiseModel::validate()`.
+  NoiseModel at(std::int64_t tick) const;
+
+  /// Deterministic gate-error schedule factor at tick t (exposed for
+  /// tests and benches).
+  double schedule_factor(std::int64_t tick) const;
+
+  /// Manifest stamp for a run served against `at(tick)`:
+  /// "<name> seed=<seed> tick=<tick>". Feed to
+  /// `metrics::set_drift_stamp` so snapshots distinguish drifted runs
+  /// from calibration-fresh ones.
+  std::string stamp(std::int64_t tick) const;
+
+ private:
+  /// Walk position at `tick` for entity `entity` of stream `kind`:
+  /// the sum of per-step Gaussian increments since the last calibration.
+  double walk(std::uint64_t kind, std::uint64_t entity,
+              std::int64_t tick) const;
+
+  NoiseModel base_;
+  DriftConfig config_;
+  Rng root_;
+};
+
+}  // namespace qnat

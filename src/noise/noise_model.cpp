@@ -1,6 +1,9 @@
 #include "noise/noise_model.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -10,6 +13,20 @@ namespace {
 
 std::pair<int, int> sorted_edge(QubitIndex a, QubitIndex b) {
   return {std::min(a, b), std::max(a, b)};
+}
+
+void put_real(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+void put_channel(std::ostream& os, const PauliChannel& c) {
+  put_real(os, c.px);
+  os << ' ';
+  put_real(os, c.py);
+  os << ' ';
+  put_real(os, c.pz);
 }
 
 }  // namespace
@@ -101,6 +118,11 @@ PauliChannel NoiseModel::single_qubit_channel(GateType type,
   const auto it = gate_overrides_.find({static_cast<int>(type), q});
   if (it != gate_overrides_.end()) return it->second;
   if (is_virtual_gate(type)) return PauliChannel::ideal();
+  return single_defaults_[static_cast<std::size_t>(q)];
+}
+
+PauliChannel NoiseModel::single_qubit_default(QubitIndex q) const {
+  QNAT_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
   return single_defaults_[static_cast<std::size_t>(q)];
 }
 
@@ -201,6 +223,92 @@ NoiseModel NoiseModel::restricted_to(
     if (na != -1 && nb != -1) out.add_coupling(na, nb);
   }
   return out;
+}
+
+void NoiseModel::validate() const {
+  const std::string who =
+      "noise model '" + (name_.empty() ? std::string("<unnamed>") : name_) +
+      "'";
+  auto check_channel = [&](const PauliChannel& c, const std::string& where) {
+    try {
+      c.validate();
+    } catch (const Error& e) {
+      throw Error(who + ": " + where + ": " + e.what());
+    }
+  };
+  for (int q = 0; q < num_qubits_; ++q) {
+    const auto qi = static_cast<std::size_t>(q);
+    check_channel(single_defaults_[qi],
+                  "single-qubit default on qubit " + std::to_string(q));
+    check_channel(idle_[qi], "idle channel on qubit " + std::to_string(q));
+    const ReadoutError& ro = readout_[qi];
+    QNAT_CHECK(ro.p0_given_0 >= 0.0 && ro.p0_given_0 <= 1.0 &&
+                   ro.p1_given_1 >= 0.0 && ro.p1_given_1 <= 1.0,
+               who + ": readout assignment probability out of [0, 1] on "
+                     "qubit " +
+                   std::to_string(q));
+    // Rows of the 2x2 confusion matrix are (p, 1-p) pairs, so the sums
+    // are 1 by construction; the explicit check documents (and guards)
+    // the row-stochasticity invariant drifted matrices must keep.
+    QNAT_CHECK(std::abs(ro.p0_given_0 + ro.p1_given_0() - 1.0) <= 1e-12 &&
+                   std::abs(ro.p1_given_1 + ro.p0_given_1() - 1.0) <= 1e-12,
+               who + ": readout confusion row does not sum to 1 on qubit " +
+                   std::to_string(q));
+  }
+  for (const auto& [key, channel] : gate_overrides_) {
+    check_channel(channel, "gate override (type " +
+                               std::to_string(key.first) + ") on qubit " +
+                               std::to_string(key.second));
+  }
+  for (const auto& [edge, channel] : two_qubit_) {
+    check_channel(channel, "two-qubit channel on edge (" +
+                               std::to_string(edge.first) + ", " +
+                               std::to_string(edge.second) + ")");
+  }
+  for (const auto& [a, b] : couplings_) {
+    QNAT_CHECK(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_ &&
+                   a != b,
+               who + ": invalid coupling");
+  }
+}
+
+std::string NoiseModel::canonical_text() const {
+  std::ostringstream os;
+  os << "device " << name_ << '\n';
+  os << "qubits " << num_qubits_ << '\n';
+  for (int q = 0; q < num_qubits_; ++q) {
+    const auto qi = static_cast<std::size_t>(q);
+    os << "q " << q << " 1q ";
+    put_channel(os, single_defaults_[qi]);
+    os << " idle ";
+    put_channel(os, idle_[qi]);
+    os << " coherent ";
+    put_real(os, coherent_1q_[qi]);
+    os << " readout ";
+    put_real(os, readout_[qi].p0_given_0);
+    os << ' ';
+    put_real(os, readout_[qi].p1_given_1);
+    os << '\n';
+  }
+  for (const auto& [key, channel] : gate_overrides_) {
+    os << "gate " << key.first << ' ' << key.second << ' ';
+    put_channel(os, channel);
+    os << '\n';
+  }
+  for (const auto& [edge, channel] : two_qubit_) {
+    os << "2q " << edge.first << ' ' << edge.second << ' ';
+    put_channel(os, channel);
+    os << '\n';
+  }
+  for (const auto& [edge, angle] : coherent_zz_) {
+    os << "zz " << edge.first << ' ' << edge.second << ' ';
+    put_real(os, angle);
+    os << '\n';
+  }
+  for (const auto& [a, b] : couplings_) {
+    os << "coupling " << a << ' ' << b << '\n';
+  }
+  return std::move(os).str();
 }
 
 NoiseModel NoiseModel::scaled(double factor) const {

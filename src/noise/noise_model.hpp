@@ -75,6 +75,26 @@ class NoiseModel {
   /// unless explicitly overridden.
   PauliChannel single_qubit_channel(GateType type, QubitIndex q) const;
 
+  /// Qubit q's single-qubit default channel, ignoring gate overrides and
+  /// virtual-gate special cases (the quantity the drift engine walks).
+  PauliChannel single_qubit_default(QubitIndex q) const;
+
+  /// Gate-specific channel overrides, keyed by ((int)GateType, qubit).
+  /// Exposed so the drift engine can evolve overrides alongside the
+  /// defaults they specialize.
+  const std::map<std::pair<int, int>, PauliChannel>& gate_override_channels()
+      const {
+    return gate_overrides_;
+  }
+
+  /// Explicitly characterized two-qubit channels, keyed by sorted edge.
+  /// Edges absent here fall back to the worse operand default (see
+  /// two_qubit_channel).
+  const std::map<std::pair<int, int>, PauliChannel>& two_qubit_channels()
+      const {
+    return two_qubit_;
+  }
+
   /// Channel applied per operand qubit of a two-qubit gate on edge (a, b).
   PauliChannel two_qubit_channel(QubitIndex a, QubitIndex b) const;
 
@@ -111,6 +131,21 @@ class NoiseModel {
   /// couplings whose endpoints both survive. Used to compact transpiled
   /// circuits down to their touched wires.
   NoiseModel restricted_to(const std::vector<QubitIndex>& wires) const;
+
+  /// Re-validates every stored channel and readout matrix: Pauli
+  /// probabilities non-negative with totals <= 1, readout assignment
+  /// probabilities in [0, 1] with each confusion row summing to 1 within
+  /// 1e-12. The setters already validate on write; models produced by
+  /// bulk transforms (drift, scaling, deserialization) call this before
+  /// use so an invalid channel fails loudly — with the offending qubit or
+  /// edge named — instead of silently corrupting a simulation.
+  void validate() const;
+
+  /// Canonical full-precision text of the entire model (name, channels,
+  /// overrides, readout matrices, coherent terms, couplings). Byte-equal
+  /// texts <=> identical models; drift replay tests and serving
+  /// fingerprints compare and hash this.
+  std::string canonical_text() const;
 
  private:
   std::string name_;

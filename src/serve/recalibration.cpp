@@ -1,0 +1,149 @@
+#include "serve/recalibration.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+
+namespace qnat::serve {
+
+namespace {
+
+std::vector<std::uint64_t> iota_ids(std::size_t n) {
+  std::vector<std::uint64_t> ids(n);
+  std::iota(ids.begin(), ids.end(), std::uint64_t{1});
+  return ids;
+}
+
+}  // namespace
+
+RecalibrationController::RecalibrationController(ModelRegistry& registry,
+                                                 std::string model_name,
+                                                 RecalibrationConfig config)
+    : registry_(registry),
+      name_(std::move(model_name)),
+      config_(config),
+      detector_(config.detector) {
+  QNAT_CHECK(config_.traffic_capacity >= 2 && config_.min_traffic >= 2,
+             "recalibration needs a traffic capacity / minimum of >= 2");
+  QNAT_CHECK(config_.min_traffic <= config_.traffic_capacity,
+             "recalibration min_traffic exceeds the ring capacity");
+}
+
+void RecalibrationController::prime(const Tensor2D& baseline_inputs) {
+  reference_ = registry_.find(name_);
+  QNAT_CHECK(reference_ != nullptr,
+             "recalibration: no registered model named '" + name_ + "'");
+  QNAT_CHECK(baseline_inputs.rows() >= 2,
+             "recalibration baseline needs at least 2 rows");
+  const Tensor2D logits = reference_->run_batch(
+      baseline_inputs, iota_ids(baseline_inputs.rows()));
+  std::vector<std::vector<real>> rows;
+  rows.reserve(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) rows.push_back(logits.row(r));
+  detector_.set_baseline_from_rows(rows);
+}
+
+bool RecalibrationController::observe(const std::vector<real>& features,
+                                      const std::vector<real>& logits) {
+  QNAT_CHECK(reference_ != nullptr, "recalibration: prime() first");
+  if (traffic_.size() < config_.traffic_capacity) {
+    traffic_.push_back(features);
+  } else {
+    traffic_[traffic_next_] = features;
+    traffic_next_ = (traffic_next_ + 1) % config_.traffic_capacity;
+    traffic_wrapped_ = true;
+  }
+  return detector_.observe(logits);
+}
+
+std::size_t RecalibrationController::traffic_rows() const {
+  return traffic_.size();
+}
+
+Tensor2D RecalibrationController::traffic_tensor() const {
+  QNAT_CHECK(!traffic_.empty(), "recalibration: no traffic observed");
+  const std::size_t cols = traffic_[0].size();
+  Tensor2D out(traffic_.size(), cols);
+  // Oldest-first: rows [next, end) then [0, next) once the ring wrapped.
+  std::size_t row = 0;
+  const std::size_t start = traffic_wrapped_ ? traffic_next_ : 0;
+  for (std::size_t i = 0; i < traffic_.size(); ++i) {
+    const auto& src = traffic_[(start + i) % traffic_.size()];
+    out.set_row(row++, src);
+  }
+  return out;
+}
+
+std::shared_ptr<const ServableModel> RecalibrationController::recalibrate() {
+  QNAT_CHECK(reference_ != nullptr, "recalibration: prime() first");
+  QNAT_CHECK(traffic_.size() >= config_.min_traffic,
+             "recalibration: not enough recent traffic (" +
+                 std::to_string(traffic_.size()) + " rows, need " +
+                 std::to_string(config_.min_traffic) + ")");
+  static metrics::Counter swaps =
+      metrics::counter("serve.recalibration.swaps", metrics::Stability::PerRun);
+
+  const std::shared_ptr<const ServableModel> current = registry_.find(name_);
+  QNAT_CHECK(current != nullptr,
+             "recalibration: model '" + name_ + "' disappeared");
+  const Tensor2D traffic = traffic_tensor();
+  const std::vector<std::uint64_t> ids = iota_ids(traffic.rows());
+
+  // 1. Fresh A.3.7 statistics, as the deployed (drifted) device produces
+  // them on recent traffic.
+  ServingOptions options = current->options();
+  if (options.normalize) {
+    options.profile_override = std::make_shared<const ProfiledStats>(
+        current->profile_raw(traffic, ids));
+  }
+  options.corrector_scale.clear();
+  options.corrector_bias.clear();
+
+  // 2. Per-logit affine corrector: candidate (fresh statistics, no
+  // corrector) vs the calibration-fresh reference on identical features.
+  if (config_.fit_corrector) {
+    ServingOptions candidate_options = options;
+    candidate_options.artifact_dir.clear();  // scratch build, no caching
+    ModelRegistry scratch;
+    const auto candidate =
+        scratch.add(name_, current->model(), candidate_options, nullptr);
+    const Tensor2D x = candidate->run_batch(traffic, ids);
+    const Tensor2D y = reference_->run_batch(traffic, ids);
+    const auto rows = static_cast<double>(traffic.rows());
+    std::vector<real> scale(x.cols()), bias(x.cols());
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      double mean_x = 0.0, mean_y = 0.0;
+      for (std::size_t r = 0; r < x.rows(); ++r) {
+        mean_x += x(r, c);
+        mean_y += y(r, c);
+      }
+      mean_x /= rows;
+      mean_y /= rows;
+      double var_x = 0.0, cov_xy = 0.0;
+      for (std::size_t r = 0; r < x.rows(); ++r) {
+        var_x += (x(r, c) - mean_x) * (x(r, c) - mean_x);
+        cov_xy += (x(r, c) - mean_x) * (y(r, c) - mean_y);
+      }
+      // Degenerate (constant) logit column: match the mean, keep unit
+      // slope.
+      const double a = var_x > 1e-12 ? cov_xy / var_x : 1.0;
+      scale[c] = static_cast<real>(a);
+      bias[c] = static_cast<real>(mean_y - a * mean_x);
+    }
+    options.corrector_scale = std::move(scale);
+    options.corrector_bias = std::move(bias);
+  }
+
+  // 3. Hot swap: the next version under the same name. New requests
+  // route here on their next find(); in-flight holders of the old
+  // version finish undisturbed.
+  auto swapped = registry_.add(name_, current->model(), options, nullptr);
+  swaps.inc();
+  detector_.reset();
+  return swapped;
+}
+
+}  // namespace qnat::serve

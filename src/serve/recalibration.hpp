@@ -1,0 +1,101 @@
+// Online recalibration: shift detection -> re-profiling -> hot swap.
+//
+// The controller closes the loop the drift engine opens. It pins the
+// calibration-fresh serving version as a *reference*, freezes a
+// shift-detector baseline from the reference's outputs on a
+// representative batch, and then watches served traffic. When the
+// detector trips, `recalibrate()` builds a successor version of the
+// currently served model:
+//
+//   1. Re-profile: recent traffic is run back through the *deployed*
+//      (drifted) model and the A.3.7 normalization statistics are
+//      re-measured (`ServableModel::profile_raw`). Pinning the fresh
+//      statistics exactly cancels per-qubit affine readout drift on
+//      every normalized (intermediate) block.
+//   2. Corrector fit: the final block is unnormalized, so residual drift
+//      reaches the logits as a per-logit affine map. A candidate with
+//      the fresh statistics is built in a scratch registry, run on the
+//      same traffic, and a per-logit least-squares affine corrector is
+//      fit against the reference's logits on identical features.
+//   3. Hot swap: the recalibrated options are registered under the same
+//      name with the next version. `ModelRegistry::find(name)` resolves
+//      to it immediately for new requests, while in-flight requests
+//      finish on the shared_ptr they already hold — zero downtime, zero
+//      dropped requests.
+//
+// Determinism contract: feed `observe()` in request-id order (sort each
+// phase's responses before streaming them in). Every stage is then a
+// pure function of (reference, traffic, drift trajectory), so a whole
+// degrade-detect-recalibrate episode is byte-identical across shard and
+// thread counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "serve/shift_detector.hpp"
+
+namespace qnat::serve {
+
+struct RecalibrationConfig {
+  ShiftDetectorConfig detector;
+  /// Recent-traffic ring capacity (feature rows kept for re-profiling).
+  std::size_t traffic_capacity = 256;
+  /// Minimum traffic rows before recalibrate() will re-profile.
+  std::size_t min_traffic = 16;
+  /// Fit the per-logit affine corrector (step 2 above). Off leaves the
+  /// corrector empty — re-profiling alone still fixes every normalized
+  /// block.
+  bool fit_corrector = true;
+};
+
+class RecalibrationController {
+ public:
+  RecalibrationController(ModelRegistry& registry, std::string model_name,
+                          RecalibrationConfig config = {});
+
+  /// Pins the current latest version as the calibration-fresh reference
+  /// and freezes the detector baseline from its logits on
+  /// `baseline_inputs`. Call once, at deployment time, while the device
+  /// is fresh.
+  void prime(const Tensor2D& baseline_inputs);
+
+  /// Streams one served (features, logits) pair. Returns true when the
+  /// detector has tripped (latched). Feed in request-id order for
+  /// deterministic episodes.
+  bool observe(const std::vector<real>& features,
+               const std::vector<real>& logits);
+
+  bool shift_detected() const { return detector_.triggered(); }
+  const ShiftDetector& detector() const { return detector_; }
+  std::size_t traffic_rows() const;
+
+  /// Re-profiles against the recent-traffic ring, fits the corrector,
+  /// and hot-swaps a recalibrated version into the registry (see file
+  /// header). Returns the new entry. Requires prime() and at least
+  /// `min_traffic` observed rows. Re-arms the detector.
+  std::shared_ptr<const ServableModel> recalibrate();
+
+  /// The calibration-fresh reference pinned by prime() (tests).
+  const std::shared_ptr<const ServableModel>& reference() const {
+    return reference_;
+  }
+
+ private:
+  Tensor2D traffic_tensor() const;
+
+  ModelRegistry& registry_;
+  std::string name_;
+  RecalibrationConfig config_;
+  ShiftDetector detector_;
+  std::shared_ptr<const ServableModel> reference_;
+  /// Ring of recent feature rows, in arrival order.
+  std::vector<std::vector<real>> traffic_;
+  std::size_t traffic_next_ = 0;
+  bool traffic_wrapped_ = false;
+};
+
+}  // namespace qnat::serve

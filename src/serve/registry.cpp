@@ -84,6 +84,24 @@ std::uint64_t fingerprint_options(const ServingOptions& options,
   put_real(os, options.weight);
   os << '\n';
   os << "dtype " << dtype_name(options.dtype) << '\n';
+  // Drift-serving fields are appended only when present, so fingerprints
+  // (and therefore on-disk artifact keys) of pre-drift configurations
+  // are unchanged.
+  if (options.device_override != nullptr) {
+    os << "device_override\n" << options.device_override->canonical_text();
+  }
+  if (options.profile_override != nullptr) {
+    os << "profile_override " << options.profile_override->mean.size()
+       << '\n';
+    for (std::size_t b = 0; b < options.profile_override->mean.size(); ++b) {
+      put_real_vector(os, "mean", options.profile_override->mean[b]);
+      put_real_vector(os, "std", options.profile_override->stddev[b]);
+    }
+  }
+  if (!options.corrector_scale.empty() || !options.corrector_bias.empty()) {
+    put_real_vector(os, "corrector_scale", options.corrector_scale);
+    put_real_vector(os, "corrector_bias", options.corrector_bias);
+  }
   if (profiling_inputs == nullptr) {
     os << "profiling none\n";
   } else {
@@ -173,15 +191,22 @@ ServableModel::ServableModel(std::string name, int version, QnnModel model,
              "ServingOptions::weight must be positive (WFQ share)");
 
   // Execution plans: logical circuits, or the transpiled compact
-  // circuits of the device preset (readout confusion as an affine map).
+  // circuits of the device (readout confusion as an affine map). An
+  // explicit device override — a drift-engine snapshot — wins over the
+  // named preset.
   std::vector<BlockExecutionPlan> plans;
-  if (options_.noise_preset.empty()) {
-    plans = make_logical_plans(model_);
-  } else {
+  if (options_.device_override != nullptr) {
+    options_.device_override->validate();
+    deployment_ = std::make_unique<Deployment>(
+        model_, *options_.device_override, options_.optimization_level);
+    plans = deployment_->compiled_plans(/*readout_map=*/true);
+  } else if (!options_.noise_preset.empty()) {
     deployment_ = std::make_unique<Deployment>(
         model_, make_device_noise_model(options_.noise_preset),
         options_.optimization_level);
     plans = deployment_->compiled_plans(/*readout_map=*/true);
+  } else {
+    plans = make_logical_plans(model_);
   }
 
   // Pin one compiled program per block. The shared_ptr keeps the
@@ -227,21 +252,48 @@ ServableModel::ServableModel(std::string name, int version, QnnModel model,
     bindings_.push_back(std::move(binding));
   }
 
-  // Pin normalization statistics from the profiling batch (appendix
-  // A.3.7): serving must never fall back to batch statistics, or a
-  // request's answer would depend on its batch-mates.
+  // Pin normalization statistics (appendix A.3.7): serving must never
+  // fall back to batch statistics, or a request's answer would depend on
+  // its batch-mates. Statistics come from the profiling batch, or — for
+  // drift recalibration — verbatim from a profile override.
   if (options_.normalize) {
-    QNAT_CHECK(profiling_inputs != nullptr && profiling_inputs->rows() >= 2,
-               "serving with normalization requires a profiling batch of at "
-               "least 2 rows to pin statistics (model '" +
-                   name_ + "')");
-    QnnForwardOptions profile_options;
-    profile_options.normalize = true;  // batch statistics, this once
-    QnnForwardCache cache;
-    qnn_forward(model_, *profiling_inputs, plans, profile_options, &cache);
-    for (std::size_t b = 0; b < cache.normalized.size(); ++b) {
-      profiled_mean_.push_back(cache.raw[b].col_mean());
-      profiled_std_.push_back(cache.raw[b].col_std(kNormEpsilon));
+    if (options_.profile_override != nullptr) {
+      const ProfiledStats& stats = *options_.profile_override;
+      const std::size_t processed = model_.blocks().size() - 1;
+      const auto nq =
+          static_cast<std::size_t>(model_.architecture().num_qubits);
+      QNAT_CHECK(stats.mean.size() == processed &&
+                     stats.stddev.size() == processed,
+                 "profile override must carry one entry per processed "
+                 "block (model '" +
+                     name_ + "')");
+      for (std::size_t b = 0; b < processed; ++b) {
+        QNAT_CHECK(stats.mean[b].size() == nq &&
+                       stats.stddev[b].size() == nq,
+                   "profile override entry width must equal the qubit "
+                   "count (model '" +
+                       name_ + "')");
+        for (const real s : stats.stddev[b]) {
+          QNAT_CHECK(s > 0.0, "profile override stddev must be positive "
+                              "(model '" +
+                                  name_ + "')");
+        }
+      }
+      profiled_mean_ = stats.mean;
+      profiled_std_ = stats.stddev;
+    } else {
+      QNAT_CHECK(profiling_inputs != nullptr && profiling_inputs->rows() >= 2,
+                 "serving with normalization requires a profiling batch of at "
+                 "least 2 rows to pin statistics (model '" +
+                     name_ + "')");
+      QnnForwardOptions profile_options;
+      profile_options.normalize = true;  // batch statistics, this once
+      QnnForwardCache cache;
+      qnn_forward(model_, *profiling_inputs, plans, profile_options, &cache);
+      for (std::size_t b = 0; b < cache.normalized.size(); ++b) {
+        profiled_mean_.push_back(cache.raw[b].col_mean());
+        profiled_std_.push_back(cache.raw[b].col_std(kNormEpsilon));
+      }
     }
   }
 
@@ -371,6 +423,15 @@ void ServableModel::finalize_pipeline() {
     pipeline_.profiled_mean = &profiled_mean_;
     pipeline_.profiled_std = &profiled_std_;
   }
+  const auto classes =
+      static_cast<std::size_t>(model_.architecture().num_classes);
+  QNAT_CHECK((options_.corrector_scale.empty() &&
+              options_.corrector_bias.empty()) ||
+                 (options_.corrector_scale.size() == classes &&
+                  options_.corrector_bias.size() == classes),
+             "corrector scale/bias must both be empty or both have one "
+             "entry per class (model '" +
+                 name_ + "')");
 }
 
 std::string ServableModel::serialize_artifact() const {
@@ -404,8 +465,9 @@ std::string ServableModel::serialize_artifact() const {
   return body;
 }
 
-Tensor2D ServableModel::run_batch(
-    const Tensor2D& inputs, const std::vector<std::uint64_t>& request_ids) const {
+Tensor2D ServableModel::forward(const Tensor2D& inputs,
+                                const std::vector<std::uint64_t>& request_ids,
+                                QnnForwardCache* cache) const {
   QNAT_CHECK(inputs.rows() == request_ids.size(),
              "run_batch needs one request id per row");
   QNAT_TRACE_SCOPE("serve.run_batch");
@@ -443,7 +505,41 @@ Tensor2D ServableModel::run_batch(
       out[q] = binding.readout_slope[qi] * e + binding.readout_intercept[qi];
     }
   };
-  return qnn_forward_with_runner(model_, inputs, runner, pipeline_, nullptr);
+  Tensor2D logits =
+      qnn_forward_with_runner(model_, inputs, runner, pipeline_, cache);
+  if (!options_.corrector_scale.empty()) {
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+      for (std::size_t c = 0; c < logits.cols(); ++c) {
+        logits(r, c) = options_.corrector_scale[c] * logits(r, c) +
+                       options_.corrector_bias[c];
+      }
+    }
+  }
+  return logits;
+}
+
+Tensor2D ServableModel::run_batch(
+    const Tensor2D& inputs,
+    const std::vector<std::uint64_t>& request_ids) const {
+  return forward(inputs, request_ids, nullptr);
+}
+
+ProfiledStats ServableModel::profile_raw(
+    const Tensor2D& inputs,
+    const std::vector<std::uint64_t>& request_ids) const {
+  QNAT_CHECK(inputs.rows() >= 2,
+             "online re-profiling needs at least 2 traffic rows");
+  QnnForwardCache cache;
+  forward(inputs, request_ids, &cache);
+  ProfiledStats stats;
+  // `normalized` has one entry per processed block; `raw` one per block —
+  // the profile covers exactly the processed prefix (same shape as the
+  // load-time profiling pass).
+  for (std::size_t b = 0; b < cache.normalized.size(); ++b) {
+    stats.mean.push_back(cache.raw[b].col_mean());
+    stats.stddev.push_back(cache.raw[b].col_std(kNormEpsilon));
+  }
+  return stats;
 }
 
 std::shared_ptr<const ServableModel> ModelRegistry::add(

@@ -39,6 +39,14 @@
 
 namespace qnat::serve {
 
+/// Pre-computed per-processed-block normalization statistics (appendix
+/// A.3.7), pinned verbatim instead of profiling at load time. Outer
+/// index = processed block, inner = logical qubit.
+struct ProfiledStats {
+  std::vector<std::vector<real>> mean;
+  std::vector<std::vector<real>> stddev;
+};
+
 /// Per-model inference configuration, fixed at load time.
 struct ServingOptions {
   /// Post-measurement normalization with statistics profiled at load
@@ -84,6 +92,27 @@ struct ServingOptions {
   /// never warm-hit an f64 request. Set F64 explicitly for full-precision
   /// serving (the pre-v8 default; a regression test keeps it reachable).
   DType dtype = DType::F32;
+  /// Explicit device noise model, overriding `noise_preset` when set —
+  /// how drift-aware serving deploys against a `DriftModel` snapshot
+  /// (`drift.at(tick)`) instead of a named calibration-fresh preset.
+  /// Validated (`NoiseModel::validate`) and fingerprinted by canonical
+  /// text, so two versions built at different drift ticks never share an
+  /// artifact bundle. Shared and treated as immutable.
+  std::shared_ptr<const NoiseModel> device_override;
+  /// Pinned normalization statistics. When set (with `normalize`), the
+  /// load-time profiling pass is skipped and these are installed
+  /// verbatim: stale calibration-time statistics are emulated by pinning
+  /// an old version's profile, and online re-profiling installs fresh
+  /// statistics measured against recent traffic. One entry per
+  /// *processed* block (all blocks but the last), one value per qubit.
+  std::shared_ptr<const ProfiledStats> profile_override;
+  /// Learned per-logit affine corrector applied after the classifier
+  /// head: logit[c] -> corrector_scale[c] * logit[c] + corrector_bias[c].
+  /// Both empty = identity. The recalibration controller fits this
+  /// against a calibration-fresh reference to cancel residual drift on
+  /// the (unnormalized) final block.
+  std::vector<real> corrector_scale;
+  std::vector<real> corrector_bias;
   /// Directory of compiled-artifact bundles ("" = caching disabled). On
   /// `ModelRegistry::add`, a matching `servable_<key>.txt` bundle (key =
   /// model x options x profiling-batch fingerprint) is loaded *warm* —
@@ -110,6 +139,17 @@ class ServableModel {
   /// stream; outputs are row-wise pure (independent of batch grouping).
   Tensor2D run_batch(const Tensor2D& inputs,
                      const std::vector<std::uint64_t>& request_ids) const;
+
+  /// Online re-profiling measurement: runs `inputs` through this model's
+  /// pinned programs and returns the raw (pre-normalization,
+  /// post-readout) per-processed-block outcome statistics — the A.3.7
+  /// profile as the *currently deployed* device produces it. The
+  /// recalibration controller feeds recent traffic through this and pins
+  /// the result into a successor version via
+  /// `ServingOptions::profile_override`.
+  ProfiledStats profile_raw(const Tensor2D& inputs,
+                            const std::vector<std::uint64_t>& request_ids)
+      const;
 
   /// Profiled per-processed-block normalization statistics (empty when
   /// `normalize` is off).
@@ -152,6 +192,10 @@ class ServableModel {
                 const std::string& artifact_text);
   /// Shared tail of both constructors (pipeline wiring).
   void finalize_pipeline();
+  /// Shared execution core of run_batch / profile_raw.
+  Tensor2D forward(const Tensor2D& inputs,
+                   const std::vector<std::uint64_t>& request_ids,
+                   QnnForwardCache* cache) const;
 
   /// One block's steady-state execution state.
   struct BlockBinding {

@@ -1,0 +1,110 @@
+#include "serve/shift_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+
+namespace qnat::serve {
+
+ShiftDetector::ShiftDetector(ShiftDetectorConfig config) : config_(config) {
+  QNAT_CHECK(config_.window >= 1, "shift detector window must be >= 1");
+  QNAT_CHECK(config_.cusum_k >= 0.0 && config_.cusum_h > 0.0,
+             "shift detector needs k >= 0 and h > 0");
+  QNAT_CHECK(config_.min_std > 0.0, "shift detector min_std must be > 0");
+}
+
+void ShiftDetector::set_baseline(const std::vector<real>& mean,
+                                 const std::vector<real>& stddev) {
+  QNAT_CHECK(!mean.empty() && mean.size() == stddev.size(),
+             "shift detector baseline mean/stddev must be non-empty and "
+             "equally sized");
+  mean_ = mean;
+  stddev_ = stddev;
+  for (real& s : stddev_) {
+    s = std::max(s, static_cast<real>(config_.min_std));
+  }
+  window_sum_.assign(mean_.size(), 0.0);
+  s_pos_.assign(mean_.size(), 0.0);
+  s_neg_.assign(mean_.size(), 0.0);
+  window_count_ = 0;
+  triggered_ = false;
+  max_statistic_ = 0.0;
+  windows_ = 0;
+  observations_ = 0;
+}
+
+void ShiftDetector::set_baseline_from_rows(
+    const std::vector<std::vector<real>>& rows) {
+  QNAT_CHECK(rows.size() >= 2,
+             "shift detector baseline needs at least 2 rows");
+  const std::size_t dims = rows[0].size();
+  std::vector<real> mean(dims, 0.0), stddev(dims, 0.0);
+  for (const auto& row : rows) {
+    QNAT_CHECK(row.size() == dims, "shift detector baseline rows ragged");
+    for (std::size_t d = 0; d < dims; ++d) mean[d] += row[d];
+  }
+  const auto n = static_cast<real>(rows.size());
+  for (std::size_t d = 0; d < dims; ++d) mean[d] /= n;
+  for (const auto& row : rows) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      const real delta = row[d] - mean[d];
+      stddev[d] += delta * delta;
+    }
+  }
+  for (std::size_t d = 0; d < dims; ++d) {
+    stddev[d] = std::sqrt(stddev[d] / n);
+  }
+  set_baseline(mean, stddev);
+}
+
+bool ShiftDetector::observe(const std::vector<real>& row) {
+  return observe(row.data(), row.size());
+}
+
+bool ShiftDetector::observe(const real* row, std::size_t n) {
+  QNAT_CHECK(has_baseline(), "shift detector has no baseline");
+  QNAT_CHECK(n == mean_.size(),
+             "shift detector observation dimension mismatch");
+  ++observations_;
+  for (std::size_t d = 0; d < n; ++d) window_sum_[d] += row[d];
+  if (++window_count_ < config_.window) return triggered_;
+
+  // Window complete: one CUSUM step per dimension on the standardized
+  // window mean.
+  static metrics::Counter windows_counter = metrics::counter(
+      "serve.shift.windows", metrics::Stability::PerRun);
+  windows_counter.inc();
+  ++windows_;
+  const double root_n = std::sqrt(static_cast<double>(config_.window));
+  for (std::size_t d = 0; d < n; ++d) {
+    const double window_mean =
+        window_sum_[d] / static_cast<double>(config_.window);
+    const double z = (window_mean - static_cast<double>(mean_[d])) /
+                     (static_cast<double>(stddev_[d]) / root_n);
+    s_pos_[d] = std::max(0.0, s_pos_[d] + z - config_.cusum_k);
+    s_neg_[d] = std::max(0.0, s_neg_[d] - z - config_.cusum_k);
+    max_statistic_ = std::max({max_statistic_, s_pos_[d], s_neg_[d]});
+    window_sum_[d] = 0.0;
+  }
+  window_count_ = 0;
+  if (!triggered_ && max_statistic_ > config_.cusum_h) {
+    triggered_ = true;
+    static metrics::Counter triggers = metrics::counter(
+        "serve.shift.triggers", metrics::Stability::PerRun);
+    triggers.inc();
+  }
+  return triggered_;
+}
+
+void ShiftDetector::reset() {
+  std::fill(window_sum_.begin(), window_sum_.end(), 0.0);
+  std::fill(s_pos_.begin(), s_pos_.end(), 0.0);
+  std::fill(s_neg_.begin(), s_neg_.end(), 0.0);
+  window_count_ = 0;
+  triggered_ = false;
+  max_statistic_ = 0.0;
+}
+
+}  // namespace qnat::serve

@@ -1,0 +1,98 @@
+// Distribution-shift detection for served model outputs.
+//
+// At load time a model's output distribution is frozen into a baseline
+// (per-dimension mean and standard deviation of its logits on a
+// representative batch). At serving time the detector consumes the
+// stream of served outputs, aggregates them into fixed-size windows, and
+// runs a two-sided CUSUM on each dimension's standardized window mean:
+//
+//   z_d      = (window_mean_d - baseline_mean_d)
+//              / (baseline_std_d / sqrt(window))
+//   s+_d     = max(0, s+_d + z_d - k)        (upward drift)
+//   s-_d     = max(0, s-_d - z_d - k)        (downward drift)
+//   trigger  when any s+_d or s-_d exceeds h
+//
+// k (the slack, in baseline-std units) absorbs the noise floor so the
+// statistic only accumulates on persistent shifts; h (the decision
+// threshold) trades detection delay against false-trigger rate. The
+// trigger latches until reset() so a recalibration pass cannot miss it.
+//
+// Determinism: the detector is a pure fold over the observation
+// sequence. Fed in request-id order (the recalibration controller's
+// contract) it triggers at the same observation index for any shard
+// count or thread count — which is what keeps a drift episode
+// replay-identical end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qnat::serve {
+
+struct ShiftDetectorConfig {
+  /// Observations aggregated per CUSUM step. Larger windows average out
+  /// per-request noise (smaller z variance) at the cost of detection
+  /// delay.
+  std::size_t window = 32;
+  /// CUSUM slack per step, in units of the standardized window mean.
+  double cusum_k = 0.5;
+  /// CUSUM decision threshold.
+  double cusum_h = 8.0;
+  /// Floor applied to baseline standard deviations (degenerate constant
+  /// dimensions would otherwise make z explode on float dust).
+  double min_std = 1e-9;
+};
+
+class ShiftDetector {
+ public:
+  explicit ShiftDetector(ShiftDetectorConfig config = {});
+
+  /// Freezes the baseline distribution (per-dimension mean / stddev).
+  void set_baseline(const std::vector<real>& mean,
+                    const std::vector<real>& stddev);
+
+  /// Convenience: freezes the baseline from raw output rows (>= 2).
+  void set_baseline_from_rows(const std::vector<std::vector<real>>& rows);
+
+  bool has_baseline() const { return !mean_.empty(); }
+  std::size_t dimensions() const { return mean_.size(); }
+
+  /// Feeds one served output row (dimension must match the baseline).
+  /// Returns triggered() after the observation is folded in.
+  bool observe(const std::vector<real>& row);
+  bool observe(const real* row, std::size_t n);
+
+  /// True once any CUSUM statistic has crossed the threshold; latched
+  /// until reset().
+  bool triggered() const { return triggered_; }
+
+  /// Largest CUSUM statistic seen so far (diagnostics / tests).
+  double max_statistic() const { return max_statistic_; }
+
+  /// Completed windows folded into the CUSUM so far.
+  std::uint64_t windows_consumed() const { return windows_; }
+  std::uint64_t observations() const { return observations_; }
+
+  /// Re-arms after a recalibration: clears the CUSUM state, the partial
+  /// window and the trigger latch. The baseline is kept — a recalibrated
+  /// model is steered back to the baseline output distribution, so the
+  /// load-time profile remains the reference.
+  void reset();
+
+ private:
+  ShiftDetectorConfig config_;
+  std::vector<real> mean_;
+  std::vector<real> stddev_;
+  std::vector<double> window_sum_;
+  std::size_t window_count_ = 0;
+  std::vector<double> s_pos_;
+  std::vector<double> s_neg_;
+  bool triggered_ = false;
+  double max_statistic_ = 0.0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace qnat::serve

@@ -279,6 +279,7 @@ TEST_F(MetricsTest, JsonSnapshotRoundTrip) {
   manifest.threads = 4;
   manifest.fused = false;
   manifest.git = "testtag-1-gabc";
+  manifest.drift = "daily seed=7 tick=42";
 
   const metrics::Snapshot snap = metrics::snapshot();
   const std::string json = metrics::to_json(snap, manifest);
@@ -291,6 +292,7 @@ TEST_F(MetricsTest, JsonSnapshotRoundTrip) {
   EXPECT_EQ(parsed_manifest.threads, manifest.threads);
   EXPECT_EQ(parsed_manifest.fused, manifest.fused);
   EXPECT_EQ(parsed_manifest.git, manifest.git);
+  EXPECT_EQ(parsed_manifest.drift, manifest.drift);
 
   ASSERT_EQ(parsed.counters.size(), snap.counters.size());
   ASSERT_EQ(parsed.gauges.size(), snap.gauges.size());
@@ -311,6 +313,21 @@ TEST_F(MetricsTest, JsonSnapshotRoundTrip) {
     EXPECT_EQ(parsed.histograms[i].sum, snap.histograms[i].sum);
     EXPECT_EQ(parsed.histograms[i].buckets, snap.histograms[i].buckets);
   }
+}
+
+TEST_F(MetricsTest, DriftStampFillsManifestWhenUnset) {
+  // Benchmarks stamp the active drift configuration process-wide; a
+  // manifest that does not set `drift` explicitly picks the stamp up so
+  // every snapshot records which (preset, seed, tick) produced it.
+  metrics::set_drift_stamp("aggressive seed=1 tick=9");
+  metrics::RunManifest manifest;
+  const std::string json = metrics::to_json(metrics::snapshot(), manifest);
+  EXPECT_NE(json.find("aggressive seed=1 tick=9"), std::string::npos);
+  metrics::RunManifest parsed;
+  metrics::from_json(json, &parsed);
+  EXPECT_EQ(parsed.drift, "aggressive seed=1 tick=9");
+  metrics::set_drift_stamp("");
+  EXPECT_EQ(metrics::drift_stamp(), "");
 }
 
 TEST_F(MetricsTest, JsonRejectsMalformedAndWrongSchema) {
@@ -342,7 +359,8 @@ TEST_F(MetricsTest, JsonMatchesCheckedInSchema) {
   for (const char* key :
        {"\"schema\"", "\"manifest\"", "\"counters\"", "\"gauges\"",
         "\"histograms\"", "\"label\"", "\"seed\"", "\"threads\"", "\"fused\"",
-        "\"git\"", "\"value\"", "\"stability\"", "\"count\"", "\"sum\"",
+        "\"git\"", "\"drift\"", "\"value\"", "\"stability\"", "\"count\"",
+        "\"sum\"",
         "\"bucket_base\"", "\"buckets\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing key " << key;
   }

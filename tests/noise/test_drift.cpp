@@ -1,0 +1,177 @@
+// Drift-engine properties: replayability, structure preservation,
+// calibration snap-back, and thread-count invariance of trajectories.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "noise/device_presets.hpp"
+#include "noise/drift/drift.hpp"
+
+namespace qnat {
+namespace {
+
+DriftModel make_drift(const std::string& preset, const std::string& device,
+                      std::uint64_t seed = 99) {
+  DriftConfig config = drift_preset(preset);
+  config.seed = seed;
+  return DriftModel(make_device_noise_model(device), config);
+}
+
+TEST(DriftConfig, PresetsValidateAndAreDistinct) {
+  for (const std::string& name : drift_preset_names()) {
+    const DriftConfig config = drift_preset(name);
+    EXPECT_EQ(config.name, name);
+    EXPECT_NO_THROW(config.validate());
+  }
+  EXPECT_THROW(drift_preset("weather"), Error);
+  EXPECT_GT(drift_preset("aggressive").readout_walk_sigma,
+            drift_preset("calm").readout_walk_sigma);
+}
+
+TEST(DriftConfig, RejectsNegativeParameters) {
+  DriftConfig config = drift_preset("calm");
+  config.readout_walk_sigma = -1e-3;
+  EXPECT_THROW(config.validate(), Error);
+  config = drift_preset("calm");
+  config.calibration_interval = -1;
+  EXPECT_THROW(config.validate(), Error);
+}
+
+TEST(DriftModel, ZeroRateIsFrozenAtThePreset) {
+  // The "none" preset (all sigmas and schedules zero) must return the
+  // base model bit-exactly at every tick — convergence to the preset
+  // under zero drift rate.
+  const DriftModel drift = make_drift("none", "santiago");
+  const std::string base_text = drift.base().canonical_text();
+  for (const std::int64_t tick : {0, 1, 7, 100, 1000}) {
+    EXPECT_EQ(drift.at(tick).canonical_text(), base_text) << "tick " << tick;
+  }
+}
+
+TEST(DriftModel, TickZeroIsTheBaseModelForEveryPreset) {
+  for (const std::string& name : drift_preset_names()) {
+    const DriftModel drift = make_drift(name, "yorktown");
+    EXPECT_EQ(drift.at(0).canonical_text(), drift.base().canonical_text())
+        << name;
+  }
+}
+
+TEST(DriftModel, DriftedReadoutStaysRowStochastic) {
+  // Property: at any tick, every qubit's confusion matrix has valid
+  // probabilities and rows summing to 1 within 1e-12 — even under the
+  // aggressive preset, whose walks regularly hit the clamps.
+  const DriftModel drift = make_drift("aggressive", "melbourne", 7);
+  for (const std::int64_t tick : {1, 3, 17, 64, 150, 400}) {
+    const NoiseModel model = drift.at(tick);
+    for (QubitIndex q = 0; q < model.num_qubits(); ++q) {
+      const ReadoutError ro = model.readout_error(q);
+      EXPECT_GE(ro.p0_given_0, 0.0);
+      EXPECT_LE(ro.p0_given_0, 1.0);
+      EXPECT_GE(ro.p1_given_1, 0.0);
+      EXPECT_LE(ro.p1_given_1, 1.0);
+      EXPECT_NEAR(ro.p0_given_0 + ro.p1_given_0(), 1.0, 1e-12);
+      EXPECT_NEAR(ro.p1_given_1 + ro.p0_given_1(), 1.0, 1e-12);
+    }
+    // The emitted model as a whole passes the loud invariant check.
+    EXPECT_NO_THROW(model.validate());
+  }
+}
+
+TEST(DriftModel, DriftActuallyMovesTheDevice) {
+  const DriftModel drift = make_drift("aggressive", "santiago", 11);
+  const NoiseModel drifted = drift.at(120);
+  EXPECT_NE(drifted.canonical_text(), drift.base().canonical_text());
+  // Readout must have moved measurably on at least one qubit (the drift
+  // lever the serving path sees).
+  double max_delta = 0.0;
+  for (QubitIndex q = 0; q < drifted.num_qubits(); ++q) {
+    max_delta = std::max(
+        max_delta, std::abs(drifted.readout_error(q).p0_given_0 -
+                            drift.base().readout_error(q).p0_given_0));
+  }
+  EXPECT_GT(max_delta, 0.01);
+}
+
+TEST(DriftModel, CalibrationSnapsWalksBackToThePreset) {
+  DriftConfig config = drift_preset("daily");
+  config.seed = 5;
+  config.scale_amplitude = 0.0;  // isolate the walks from the sinusoid
+  config.scale_ramp_per_tick = 0.0;
+  const DriftModel drift(make_device_noise_model("athens"), config);
+  const std::string base_text = drift.base().canonical_text();
+  // Mid-interval the device has drifted; on calibration days it is
+  // exactly the preset again.
+  EXPECT_NE(drift.at(150).canonical_text(), base_text);
+  EXPECT_EQ(drift.at(config.calibration_interval).canonical_text(),
+            base_text);
+  EXPECT_EQ(drift.at(2 * config.calibration_interval).canonical_text(),
+            base_text);
+}
+
+TEST(DriftModel, TrajectoriesReplayByteIdentically) {
+  // Same (base, config) => byte-identical models at every tick, from
+  // independent engine instances, in any evaluation order.
+  const DriftModel a = make_drift("daily", "lima", 42);
+  const DriftModel b = make_drift("daily", "lima", 42);
+  const std::vector<std::int64_t> ticks = {5, 1, 64, 17, 3};
+  for (const std::int64_t tick : ticks) {
+    EXPECT_EQ(a.at(tick).canonical_text(), b.at(tick).canonical_text());
+  }
+  // A different seed gives a different trajectory.
+  const DriftModel c = make_drift("daily", "lima", 43);
+  EXPECT_NE(a.at(64).canonical_text(), c.at(64).canonical_text());
+}
+
+TEST(DriftModel, TrajectoryIsThreadCountInvariant) {
+  // Satellite requirement: replay byte-identity of a drift trajectory
+  // across thread counts. Compute the same trajectory serially and with
+  // 8 threads splitting the ticks; the per-tick canonical texts must be
+  // byte-equal.
+  const DriftModel drift = make_drift("aggressive", "quito", 2022);
+  constexpr int kTicks = 24;
+  std::vector<std::string> serial(kTicks), threaded(kTicks);
+  for (int t = 0; t < kTicks; ++t) {
+    serial[static_cast<std::size_t>(t)] = drift.at(t).canonical_text();
+  }
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int t = w; t < kTicks; t += kThreads) {
+        threaded[static_cast<std::size_t>(t)] = drift.at(t).canonical_text();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(DriftModel, ScheduleFactorFollowsSinusoidAndRamp) {
+  DriftConfig config;
+  config.name = "schedule-only";
+  config.scale_amplitude = 0.5;
+  config.scale_period_ticks = 4;
+  config.scale_ramp_per_tick = 0.01;
+  config.calibration_interval = 8;
+  const DriftModel drift(make_device_noise_model("belem"), config);
+  EXPECT_NEAR(drift.schedule_factor(0), 1.0, 1e-12);
+  EXPECT_NEAR(drift.schedule_factor(1), 1.5 + 0.01, 1e-12);
+  EXPECT_NEAR(drift.schedule_factor(3), 0.5 + 0.03, 1e-12);
+  // The ramp restarts at calibration.
+  EXPECT_NEAR(drift.schedule_factor(8), 1.0, 1e-12);
+}
+
+TEST(DriftModel, StampNamesConfigSeedAndTick) {
+  const DriftModel drift = make_drift("daily", "santiago", 77);
+  EXPECT_EQ(drift.stamp(42), "daily seed=77 tick=42");
+}
+
+TEST(DriftModel, RejectsNegativeTicks) {
+  const DriftModel drift = make_drift("calm", "santiago");
+  EXPECT_THROW(drift.at(-1), Error);
+}
+
+}  // namespace
+}  // namespace qnat

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace qnat {
@@ -93,6 +95,41 @@ TEST(NoiseModel, RangeValidation) {
   EXPECT_THROW(m.set_two_qubit_channel(0, 0, PauliChannel::ideal()), Error);
   EXPECT_THROW(m.add_coupling(0, 0), Error);
   EXPECT_THROW(m.readout_error(-1), Error);
+}
+
+TEST(NoiseModel, SettersRejectInvalidValuesLoudly) {
+  NoiseModel m = make_model();
+  EXPECT_THROW(m.set_single_qubit_channel(0, PauliChannel{-0.01, 0.0, 0.0}),
+               Error);
+  EXPECT_THROW(m.set_two_qubit_channel(0, 1, PauliChannel{0.5, 0.4, 0.2}),
+               Error);
+  EXPECT_THROW(m.set_readout_error(0, ReadoutError{1.2, 0.9}), Error);
+  EXPECT_THROW(m.set_readout_error(0, ReadoutError{0.9, -0.1}), Error);
+}
+
+TEST(NoiseModel, ValidatePassesOnWellFormedModels) {
+  EXPECT_NO_THROW(make_model().validate());
+  EXPECT_NO_THROW(NoiseModel("empty", 2).validate());
+}
+
+TEST(NoiseModel, SingleQubitDefaultIgnoresOverrides) {
+  NoiseModel m = make_model();
+  m.set_gate_channel(GateType::SX, 1, PauliChannel::symmetric(0.01));
+  EXPECT_DOUBLE_EQ(m.single_qubit_default(1).total(), 0.006);
+  ASSERT_EQ(m.gate_override_channels().size(), 1u);
+}
+
+TEST(NoiseModel, CanonicalTextIsAnIdentityWitness) {
+  const NoiseModel a = make_model();
+  NoiseModel b = make_model();
+  EXPECT_EQ(a.canonical_text(), b.canonical_text());
+  // Any perturbation — even one readout probability in the last bits —
+  // changes the text, so byte-equality <=> model identity.
+  const ReadoutError ro = b.readout_error(0);
+  b.set_readout_error(
+      0, ReadoutError{std::nextafter(ro.p0_given_0, 0.0), ro.p1_given_1});
+  EXPECT_NE(a.canonical_text(), b.canonical_text());
+  EXPECT_NE(a.canonical_text(), a.scaled(1.5).canonical_text());
 }
 
 }  // namespace

@@ -1,0 +1,414 @@
+// The drift/recalibration battery: a full degrade -> detect ->
+// re-profile -> hot-swap -> recover episode on mnist4/santiago, replay
+// byte-identity of the episode across shard counts, zero dropped
+// in-flight requests across a hot swap, and a Background-dispatch soak
+// under aggressive drift with repeated swaps (scaled up by
+// QNAT_DRIFT_SOAK in the TSan CI job).
+//
+// Own binary (like test_fleet) so the drift-soak CI job can rerun it
+// under TSan at higher intensity without re-running the whole suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/trainer.hpp"
+#include "data/tasks.hpp"
+#include "noise/device_presets.hpp"
+#include "noise/drift/drift.hpp"
+#include "serve/recalibration.hpp"
+#include "serve/registry.hpp"
+#include "serve/scheduler.hpp"
+
+namespace qnat::serve {
+namespace {
+
+constexpr const char* kDevice = "santiago";
+constexpr std::uint64_t kDriftSeed = 424242;
+// Deep into an uncalibrated stretch of the aggressive preset: far enough
+// for the readout walks to break stale normalization statistics.
+constexpr std::int64_t kDriftTick = 150;
+
+int soak_scale() {
+  const char* env = std::getenv("QNAT_DRIFT_SOAK");
+  return env != nullptr ? std::max(1, std::atoi(env)) : 1;
+}
+
+struct TrainedTask {
+  TaskBundle task;
+  QnnModel model;
+
+  TrainedTask() : task(make_task("mnist4", 40, 11)), model(make_arch()) {
+    TrainerConfig config;
+    config.epochs = 10;
+    config.batch_size = 16;
+    config.normalize = true;  // serving recovery leans on A.3.7 stats
+    config.seed = 1234;
+    train_qnn(model, task.train, config);
+  }
+
+  static QnnArchitecture make_arch() {
+    QnnArchitecture arch;
+    arch.num_qubits = 4;
+    arch.num_blocks = 2;
+    arch.layers_per_block = 2;
+    arch.input_features = 16;
+    arch.num_classes = 4;  // Direct head: logit c = qubit c's outcome
+    return arch;
+  }
+};
+
+const TrainedTask& trained() {
+  static const TrainedTask state;
+  return state;
+}
+
+DriftModel make_drift() {
+  DriftConfig config = drift_preset("aggressive");
+  config.seed = kDriftSeed;
+  return DriftModel(make_device_noise_model(kDevice), config);
+}
+
+ServingOptions fresh_options(const DriftModel& drift) {
+  ServingOptions options;
+  options.normalize = true;
+  options.device_override = std::make_shared<NoiseModel>(drift.at(0));
+  return options;
+}
+
+/// Drifted device serving with *stale* calibration-time statistics: the
+/// deployment nobody has recalibrated yet.
+ServingOptions stale_options(const DriftModel& drift,
+                             const ServableModel& fresh) {
+  ServingOptions options = fresh.options();
+  options.device_override = std::make_shared<NoiseModel>(drift.at(kDriftTick));
+  options.profile_override = std::make_shared<ProfiledStats>(
+      ProfiledStats{fresh.profiled_mean(), fresh.profiled_std()});
+  return options;
+}
+
+/// Submits every row of `inputs` with ids id_base, id_base+1, ... and
+/// returns the responses in id order (Inline dispatch: submit, drain,
+/// collect).
+std::vector<Response> serve_rows(InferenceServer& server,
+                                 const std::string& spec,
+                                 const Tensor2D& inputs,
+                                 std::uint64_t id_base) {
+  std::vector<ResponseTicket> tickets;
+  tickets.reserve(inputs.rows());
+  for (std::size_t r = 0; r < inputs.rows(); ++r) {
+    tickets.push_back(
+        server.submit_with_id(id_base + r, spec, inputs.row(r)));
+  }
+  server.drain();
+  std::vector<Response> responses;
+  responses.reserve(tickets.size());
+  for (auto& ticket : tickets) responses.push_back(ticket.get());
+  return responses;
+}
+
+double accuracy_of(const std::vector<Response>& responses,
+                   const std::vector<int>& labels) {
+  EXPECT_EQ(responses.size(), labels.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].status, RequestStatus::Ok);
+    if (responses[i].predicted_class == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+std::vector<real> to_vector(const LogitVector& logits) {
+  return std::vector<real>(logits.begin(), logits.end());
+}
+
+void append_reals(std::string* out, const std::vector<real>& values) {
+  char buf[40];
+  for (const real v : values) {
+    std::snprintf(buf, sizeof buf, "%.17g ", static_cast<double>(v));
+    *out += buf;
+  }
+}
+
+struct EpisodeResult {
+  double fresh_acc = 0.0;
+  double drifted_acc = 0.0;
+  double recovered_acc = 0.0;
+  bool detected = false;
+  int final_version = 0;
+  /// Full-precision transcript of every served logit plus the
+  /// recalibrated version's pinned statistics and corrector.
+  std::string fingerprint;
+};
+
+/// One complete degrade-detect-recalibrate-recover episode against a
+/// `shards`-wide inline fleet. Pure function of (trained model, drift
+/// seed, tick) — the replay test compares its transcript across shard
+/// counts byte for byte.
+EpisodeResult run_episode(int shards) {
+  const TrainedTask& state = trained();
+  const DriftModel drift = make_drift();
+  ModelRegistry registry;
+  const Tensor2D& profiling = state.task.train.features;
+
+  const auto fresh =
+      registry.add("mnist4", state.model, fresh_options(drift), &profiling);
+
+  RecalibrationConfig rc;
+  rc.traffic_capacity = state.task.train.features.rows();
+  rc.min_traffic = std::min(rc.min_traffic, rc.traffic_capacity);
+  RecalibrationController controller(registry, "mnist4", rc);
+  // Baseline traffic = the profiling distribution: re-profiling recent
+  // traffic then reproduces the reference's statistics exactly, which is
+  // what makes the recovery sharp.
+  controller.prime(profiling);
+
+  SchedulerConfig config;
+  config.shards = shards;
+  config.queue_depth = 4096;
+  config.batch_shed_fraction = -1.0;  // replay semantics: never shed
+  InferenceServer server(registry, config, InferenceServer::Dispatch::Inline);
+
+  EpisodeResult result;
+  const auto fresh_responses =
+      serve_rows(server, "mnist4", state.task.test.features, 10000);
+  result.fresh_acc = accuracy_of(fresh_responses, state.task.test.labels);
+
+  // The device drifts under the deployment; nobody has re-profiled.
+  registry.add("mnist4", state.model, stale_options(drift, *fresh),
+               &profiling);
+
+  // Served traffic (the profiling distribution again), streamed to the
+  // controller in request-id order.
+  const auto traffic_responses =
+      serve_rows(server, "mnist4", profiling, 20000);
+  for (std::size_t r = 0; r < traffic_responses.size(); ++r) {
+    controller.observe(profiling.row(r),
+                       to_vector(traffic_responses[r].logits));
+  }
+  result.detected = controller.shift_detected();
+
+  const auto drifted_responses =
+      serve_rows(server, "mnist4", state.task.test.features, 30000);
+  result.drifted_acc = accuracy_of(drifted_responses, state.task.test.labels);
+
+  const auto recalibrated = controller.recalibrate();
+  result.final_version = recalibrated->version();
+
+  const auto recovered_responses =
+      serve_rows(server, "mnist4", state.task.test.features, 40000);
+  result.recovered_acc =
+      accuracy_of(recovered_responses, state.task.test.labels);
+
+  for (const auto* phase :
+       {&fresh_responses, &traffic_responses, &drifted_responses,
+        &recovered_responses}) {
+    for (const Response& response : *phase) {
+      append_reals(&result.fingerprint, to_vector(response.logits));
+    }
+    result.fingerprint += '\n';
+  }
+  for (const auto& block : recalibrated->profiled_mean()) {
+    append_reals(&result.fingerprint, block);
+  }
+  for (const auto& block : recalibrated->profiled_std()) {
+    append_reals(&result.fingerprint, block);
+  }
+  append_reals(&result.fingerprint, recalibrated->options().corrector_scale);
+  append_reals(&result.fingerprint, recalibrated->options().corrector_bias);
+  return result;
+}
+
+const EpisodeResult& episode(int shards) {
+  static std::map<int, EpisodeResult> cache;
+  auto it = cache.find(shards);
+  if (it == cache.end()) it = cache.emplace(shards, run_episode(shards)).first;
+  return it->second;
+}
+
+TEST(DriftEpisode, DegradeDetectRecalibrateRecover) {
+  const EpisodeResult& result = episode(1);
+  // The seeded trajectory really hurts: >= 5 accuracy points lost.
+  EXPECT_GE(result.fresh_acc - result.drifted_acc, 0.05)
+      << "fresh " << result.fresh_acc << " drifted " << result.drifted_acc;
+  // The detector saw it in the served traffic.
+  EXPECT_TRUE(result.detected);
+  // The hot-swapped version is a successor of the stale one.
+  EXPECT_EQ(result.final_version, 3);
+  // Re-profiling + corrector bring accuracy back to within one point of
+  // the calibration-fresh baseline.
+  EXPECT_GE(result.recovered_acc, result.fresh_acc - 0.01)
+      << "fresh " << result.fresh_acc << " recovered "
+      << result.recovered_acc;
+}
+
+TEST(DriftEpisode, EpisodeIsReplayIdenticalAcrossShardCounts) {
+  const EpisodeResult& one = episode(1);
+  const EpisodeResult& eight = episode(8);
+  EXPECT_EQ(one.fresh_acc, eight.fresh_acc);
+  EXPECT_EQ(one.drifted_acc, eight.drifted_acc);
+  EXPECT_EQ(one.recovered_acc, eight.recovered_acc);
+  EXPECT_EQ(one.detected, eight.detected);
+  ASSERT_FALSE(one.fingerprint.empty());
+  EXPECT_EQ(one.fingerprint, eight.fingerprint) << "1 vs 8 shards";
+}
+
+TEST(DriftEpisode, RecalibrationRequiresPrimeAndTraffic) {
+  const TrainedTask& state = trained();
+  const DriftModel drift = make_drift();
+  ModelRegistry registry;
+  const Tensor2D& profiling = state.task.train.features;
+  registry.add("mnist4", state.model, fresh_options(drift), &profiling);
+  RecalibrationController controller(registry, "mnist4");
+  EXPECT_THROW(controller.recalibrate(), Error);  // not primed
+  controller.prime(profiling);
+  EXPECT_THROW(controller.recalibrate(), Error);  // no traffic yet
+}
+
+TEST(DriftSwap, HotSwapDropsNoInFlightRequests) {
+  const TrainedTask& state = trained();
+  const DriftModel drift = make_drift();
+  ModelRegistry registry;
+  const Tensor2D& profiling = state.task.train.features;
+  const auto fresh =
+      registry.add("mnist4", state.model, fresh_options(drift), &profiling);
+
+  RecalibrationController controller(registry, "mnist4");
+  controller.prime(profiling);
+  // Pre-load the traffic ring so recalibrate() can run mid-load without
+  // the test having to interleave observe() with the producers.
+  for (std::size_t r = 0; r < 32; ++r) {
+    controller.observe(profiling.row(r),
+                       std::vector<real>(4, static_cast<real>(r) * 0.01f));
+  }
+  registry.add("mnist4", state.model, stale_options(drift, *fresh),
+               &profiling);
+
+  SchedulerConfig config;
+  config.shards = 4;
+  config.queue_depth = 4096;
+  config.batch_shed_fraction = -1.0;
+  InferenceServer server(registry, config,
+                         InferenceServer::Dispatch::Background);
+
+  constexpr int kThreads = 2;
+  const int bursts = 6 * soak_scale();
+  constexpr int kBurst = 64;
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      const auto features = trained().task.test.features.row(
+          static_cast<std::size_t>(t));
+      for (int burst = 0; burst < bursts; ++burst) {
+        std::vector<ResponseTicket> inflight;
+        inflight.reserve(kBurst);
+        for (int i = 0; i < kBurst; ++i) {
+          inflight.push_back(server.submit("mnist4", features));
+        }
+        for (auto& ticket : inflight) {
+          EXPECT_EQ(ticket.get().status, RequestStatus::Ok);
+        }
+      }
+    });
+  }
+  // Hot swap while the producers are mid-stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto recalibrated = controller.recalibrate();
+  EXPECT_EQ(recalibrated->version(), 3);
+  for (auto& producer : producers) producer.join();
+  server.stop();
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::uint64_t>(kThreads * bursts * kBurst));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.rejected + stats.shed + stats.deadline_exceeded +
+                stats.failed,
+            0u);
+  EXPECT_EQ(registry.find("mnist4")->version(), 3);
+}
+
+TEST(DriftSoak, FleetSurvivesAggressiveDriftWithRepeatedSwaps) {
+  // The drift-soak CI job reruns this under TSan with QNAT_DRIFT_SOAK
+  // scaling up producers' work and the number of hot swaps.
+  const TrainedTask& state = trained();
+  const DriftModel drift = make_drift();
+  ModelRegistry registry;
+  const Tensor2D& profiling = state.task.train.features;
+  const auto fresh =
+      registry.add("mnist4", state.model, fresh_options(drift), &profiling);
+  RecalibrationController controller(registry, "mnist4");
+  controller.prime(profiling);
+  for (std::size_t r = 0; r < 32; ++r) {
+    controller.observe(profiling.row(r),
+                       std::vector<real>(4, static_cast<real>(r) * 0.01f));
+  }
+
+  SchedulerConfig config;
+  config.shards = 4;
+  config.queue_depth = 4096;
+  config.batch_shed_fraction = -1.0;
+  InferenceServer server(registry, config,
+                         InferenceServer::Dispatch::Background);
+
+  constexpr int kThreads = 4;
+  const int bursts = 4 * soak_scale();
+  constexpr int kBurst = 50;
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      const auto features = trained().task.test.features.row(
+          static_cast<std::size_t>(t));
+      for (int burst = 0; burst < bursts; ++burst) {
+        std::vector<ResponseTicket> inflight;
+        inflight.reserve(kBurst);
+        for (int i = 0; i < kBurst; ++i) {
+          inflight.push_back(server.submit("mnist4", features));
+        }
+        for (auto& ticket : inflight) {
+          EXPECT_EQ(ticket.get().status, RequestStatus::Ok);
+        }
+      }
+    });
+  }
+
+  // Main thread: the device keeps drifting; operations keeps deploying
+  // stale versions and the controller keeps recalibrating on top.
+  const int swaps = 2 * soak_scale();
+  int expected_version = 1;
+  for (int swap = 0; swap < swaps; ++swap) {
+    ServingOptions stale = fresh->options();
+    stale.device_override = std::make_shared<NoiseModel>(
+        drift.at(kDriftTick + 32 * (swap + 1)));
+    stale.profile_override = std::make_shared<ProfiledStats>(
+        ProfiledStats{fresh->profiled_mean(), fresh->profiled_std()});
+    registry.add("mnist4", state.model, stale, &profiling);
+    const auto recalibrated = controller.recalibrate();
+    expected_version += 2;
+    EXPECT_EQ(recalibrated->version(), expected_version);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (auto& producer : producers) producer.join();
+  server.stop();
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::uint64_t>(kThreads * bursts * kBurst));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.rejected + stats.shed + stats.deadline_exceeded +
+                stats.failed,
+            0u);
+  EXPECT_EQ(registry.find("mnist4")->version(), expected_version);
+}
+
+}  // namespace
+}  // namespace qnat::serve
